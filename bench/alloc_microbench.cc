@@ -1,0 +1,165 @@
+// Micro-benchmarks of the allocation algorithms (google-benchmark):
+// supports the paper's complexity claims — O(|V| Delta N^2) for Algorithm 1
+// and O(|V| Delta N^4) for the heterogeneous substring heuristic — and
+// quantifies the cost of the min-max optimization vs the TIVC baseline.
+#include <benchmark/benchmark.h>
+
+#include "stats/rng.h"
+#include "svc/first_fit.h"
+#include "svc/hetero_exact.h"
+#include "svc/hetero_heuristic.h"
+#include "svc/homogeneous_search.h"
+#include "svc/manager.h"
+#include "topology/builders.h"
+
+namespace {
+
+using namespace svc;
+
+topology::Topology BenchFabric(int racks) {
+  topology::ThreeTierConfig config;
+  config.racks = racks;
+  config.machines_per_rack = 20;
+  config.racks_per_agg = std::max(1, racks / 5);
+  return topology::BuildThreeTier(config);
+}
+
+// Pre-loads the datacenter to ~40% so allocations work against a realistic
+// ledger, then measures Allocate() only.
+core::NetworkManager LoadedManager(const topology::Topology& topo) {
+  core::NetworkManager manager(topo, 0.05);
+  core::HomogeneousDpAllocator alloc;
+  stats::Rng rng(7);
+  int64_t id = 1'000'000;
+  while (manager.slots().total_free() > topo.total_slots() * 6 / 10) {
+    const int n = static_cast<int>(rng.UniformInt(2, 60));
+    const double mu = 100.0 * static_cast<double>(rng.UniformInt(1, 5));
+    const core::Request r =
+        core::Request::Homogeneous(id++, n, mu, mu * rng.Uniform(0, 1));
+    if (!manager.Admit(r, alloc).ok()) break;
+  }
+  return manager;
+}
+
+void BM_HomogeneousDp(benchmark::State& state) {
+  const topology::Topology topo = BenchFabric(50);
+  const core::NetworkManager manager = LoadedManager(topo);
+  const core::HomogeneousDpAllocator alloc;
+  const int n = static_cast<int>(state.range(0));
+  const core::Request r = core::Request::Homogeneous(1, n, 200, 100);
+  for (auto _ : state) {
+    auto result = alloc.Allocate(r, manager.ledger(), manager.slots());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_HomogeneousDp)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_TivcAdapted(benchmark::State& state) {
+  const topology::Topology topo = BenchFabric(50);
+  const core::NetworkManager manager = LoadedManager(topo);
+  const core::TivcAdaptedAllocator alloc;
+  const int n = static_cast<int>(state.range(0));
+  const core::Request r = core::Request::Homogeneous(1, n, 200, 100);
+  for (auto _ : state) {
+    auto result = alloc.Allocate(r, manager.ledger(), manager.slots());
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TivcAdapted)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_HomogeneousDpTopologyScaling(benchmark::State& state) {
+  const topology::Topology topo =
+      BenchFabric(static_cast<int>(state.range(0)));
+  core::NetworkManager manager(topo, 0.05);
+  const core::HomogeneousDpAllocator alloc;
+  const core::Request r = core::Request::Homogeneous(1, 49, 200, 100);
+  for (auto _ : state) {
+    auto result = alloc.Allocate(r, manager.ledger(), manager.slots());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_HomogeneousDpTopologyScaling)
+    ->Arg(10)->Arg(25)->Arg(50)->Arg(100)
+    ->Complexity(benchmark::oN);
+
+void BM_HeteroHeuristic(benchmark::State& state) {
+  const topology::Topology topo = BenchFabric(10);
+  core::NetworkManager manager(topo, 0.05);
+  const core::HeteroHeuristicAllocator alloc;
+  const int n = static_cast<int>(state.range(0));
+  stats::Rng rng(3);
+  std::vector<stats::Normal> demands;
+  for (int i = 0; i < n; ++i) {
+    const double mu = 100.0 * static_cast<double>(rng.UniformInt(1, 5));
+    const double sigma = mu * rng.Uniform(0, 1);
+    demands.push_back({mu, sigma * sigma});
+  }
+  const core::Request r = core::Request::Heterogeneous(1, demands);
+  for (auto _ : state) {
+    auto result = alloc.Allocate(r, manager.ledger(), manager.slots());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_HeteroHeuristic)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Complexity();
+
+void BM_HeteroExact(benchmark::State& state) {
+  const topology::Topology topo = topology::BuildTwoTier(4, 4, 4, 1000, 2.0);
+  core::NetworkManager manager(topo, 0.05);
+  const core::HeteroExactAllocator alloc;
+  const int n = static_cast<int>(state.range(0));
+  stats::Rng rng(5);
+  std::vector<stats::Normal> demands;
+  for (int i = 0; i < n; ++i) {
+    const double mu = 100.0 * static_cast<double>(rng.UniformInt(1, 5));
+    demands.push_back({mu, mu * mu * 0.25});
+  }
+  const core::Request r = core::Request::Heterogeneous(1, demands);
+  for (auto _ : state) {
+    auto result = alloc.Allocate(r, manager.ledger(), manager.slots());
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_HeteroExact)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_FirstFit(benchmark::State& state) {
+  const topology::Topology topo = BenchFabric(10);
+  core::NetworkManager manager(topo, 0.05);
+  const core::FirstFitAllocator alloc;
+  const int n = static_cast<int>(state.range(0));
+  stats::Rng rng(9);
+  std::vector<stats::Normal> demands;
+  for (int i = 0; i < n; ++i) {
+    const double mu = 100.0 * static_cast<double>(rng.UniformInt(1, 5));
+    demands.push_back({mu, mu * mu * 0.25});
+  }
+  const core::Request r = core::Request::Heterogeneous(1, demands);
+  for (auto _ : state) {
+    auto result = alloc.Allocate(r, manager.ledger(), manager.slots());
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FirstFit)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_AdmitReleaseCycle(benchmark::State& state) {
+  const topology::Topology topo = BenchFabric(50);
+  core::NetworkManager manager(topo, 0.05);
+  const core::HomogeneousDpAllocator alloc;
+  int64_t id = 1;
+  for (auto _ : state) {
+    const core::Request r = core::Request::Homogeneous(id, 49, 200, 100);
+    auto result = manager.Admit(r, alloc);
+    benchmark::DoNotOptimize(result);
+    manager.Release(id);
+    ++id;
+  }
+}
+BENCHMARK(BM_AdmitReleaseCycle);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Every bench accepts the same fabric/workload flags (paper defaults) plus
+// its own sweep parameters, builds the three-tier topology, runs the
+// simulator, and prints an aligned table of the series the paper plots.
+// EXPERIMENTS.md records the paper-vs-measured comparison for each.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "svc/allocator.h"
+#include "topology/builders.h"
+#include "util/flags.h"
+#include "util/table.h"
+#include "workload/workload.h"
+
+namespace svc::bench {
+
+// Registers the shared flags on `flags` and materializes the configs after
+// Parse().  Defaults follow the paper's setup (Section VI-A) with the job
+// count reduced from 500 to 300 so that `for b in bench/*` completes in
+// minutes; pass --jobs 500 for the full runs.
+class CommonOptions {
+ public:
+  explicit CommonOptions(util::FlagSet& flags);
+
+  topology::ThreeTierConfig TopologyConfig() const;
+  workload::WorkloadConfig WorkloadConfig() const;
+  double epsilon() const { return epsilon_; }
+  uint64_t seed() const { return static_cast<uint64_t>(seed_); }
+  int64_t jobs() const { return jobs_; }
+
+ private:
+  int64_t& racks_;
+  int64_t& machines_per_rack_;
+  int64_t& slots_;
+  double& oversubscription_;
+  int64_t& jobs_;
+  double& mean_job_size_;
+  int64_t& max_job_size_;
+  std::string& rate_menu_;
+  double& epsilon_;
+  int64_t& seed_;
+};
+
+// Builds the allocator appropriate for the abstraction: the paper's
+// Algorithm 1 for SVC requests, the Oktopus-style deterministic allocator
+// for mean-VC / percentile-VC.
+const core::Allocator& AllocatorFor(workload::Abstraction abstraction);
+
+// Runs one batch-scenario simulation.
+sim::BatchResult RunBatch(const topology::Topology& topo,
+                          const std::vector<workload::JobSpec>& jobs,
+                          workload::Abstraction abstraction,
+                          const core::Allocator& allocator, double epsilon,
+                          uint64_t seed);
+
+// Runs one online-scenario simulation.
+sim::OnlineResult RunOnline(const topology::Topology& topo,
+                            std::vector<workload::JobSpec> jobs,
+                            workload::Abstraction abstraction,
+                            const core::Allocator& allocator, double epsilon,
+                            uint64_t seed);
+
+// Prints the table plus a trailing blank line; also echoes CSV when
+// --csv is set by the bench (pass the flag value through).
+void EmitTable(const std::string& title, const util::Table& table, bool csv);
+
+}  // namespace svc::bench

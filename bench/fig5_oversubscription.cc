@@ -1,0 +1,48 @@
+// Fig. 5: total completion time of a batch of tenant jobs vs network
+// oversubscription, for mean-VC, percentile-VC, SVC(eps=0.05) and
+// SVC(eps=0.02).
+//
+// Paper shape: mean-VC lowest (most concurrency), percentile-VC highest
+// (exclusive 95th-percentile reservations), SVC in between with smaller
+// epsilon costing more; all grow with oversubscription.
+#include "bench_common.h"
+
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace svc;
+  util::FlagSet flags(
+      "fig5_oversubscription: batch makespan vs oversubscription (Fig. 5)");
+  bench::CommonOptions common(flags);
+  std::string& oversubs =
+      flags.String("oversubs", "1,2,3,4", "oversubscription sweep");
+  bool& csv = flags.Bool("csv", false, "also print CSV");
+  flags.Parse(argc, argv);
+
+  util::Table table({"oversub", "mean-VC", "percentile-VC", "SVC(e=0.05)",
+                     "SVC(e=0.02)"});
+  for (double oversub : util::ParseDoubleList(oversubs)) {
+    topology::ThreeTierConfig tconfig = common.TopologyConfig();
+    tconfig.oversubscription = oversub;
+    const topology::Topology topo = topology::BuildThreeTier(tconfig);
+    workload::WorkloadGenerator gen(common.WorkloadConfig(), common.seed());
+    const auto jobs = gen.GenerateBatch();
+
+    auto makespan = [&](workload::Abstraction abstraction, double epsilon) {
+      const auto result = bench::RunBatch(
+          topo, jobs, abstraction, bench::AllocatorFor(abstraction), epsilon,
+          common.seed() + 1);
+      return result.total_completion_time;
+    };
+    table.AddRow(
+        {util::Table::Num(oversub, 0),
+         util::Table::Num(makespan(workload::Abstraction::kMeanVc, 0.05), 0),
+         util::Table::Num(
+             makespan(workload::Abstraction::kPercentileVc, 0.05), 0),
+         util::Table::Num(makespan(workload::Abstraction::kSvc, 0.05), 0),
+         util::Table::Num(makespan(workload::Abstraction::kSvc, 0.02), 0)});
+  }
+  bench::EmitTable("Fig. 5: total completion time (s) of batched jobs",
+                   table, csv);
+  return 0;
+}

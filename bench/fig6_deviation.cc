@@ -1,0 +1,52 @@
+// Fig. 6: average running time per job vs deviation coefficient rho
+// (sigma_d = rho * mu_d) in the batched scenario.
+//
+// Paper shape: percentile-VC flat and lowest; mean-VC worst, growing with
+// rho; SVC between them, closer to percentile-VC; smaller epsilon lowers
+// SVC's running time.
+#include "bench_common.h"
+
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace svc;
+  util::FlagSet flags(
+      "fig6_deviation: per-job running time vs deviation coefficient "
+      "(Fig. 6)");
+  bench::CommonOptions common(flags);
+  std::string& rhos =
+      flags.String("rhos", "0.1,0.3,0.5,0.7,0.9", "deviation coefficients");
+  bool& csv = flags.Bool("csv", false, "also print CSV");
+  flags.Parse(argc, argv);
+
+  const topology::Topology topo =
+      topology::BuildThreeTier(common.TopologyConfig());
+  util::Table table({"rho", "mean-VC", "percentile-VC", "SVC(e=0.05)",
+                     "SVC(e=0.02)"});
+  for (double rho : util::ParseDoubleList(rhos)) {
+    workload::WorkloadConfig wconfig = common.WorkloadConfig();
+    wconfig.fixed_deviation = rho;
+    workload::WorkloadGenerator gen(wconfig, common.seed());
+    const auto jobs = gen.GenerateBatch();
+    auto mean_running = [&](workload::Abstraction abstraction,
+                            double epsilon) {
+      return bench::RunBatch(topo, jobs, abstraction,
+                             bench::AllocatorFor(abstraction), epsilon,
+                             common.seed() + 1)
+          .MeanRunningTime();
+    };
+    table.AddRow(
+        {util::Table::Num(rho, 1),
+         util::Table::Num(mean_running(workload::Abstraction::kMeanVc, 0.05),
+                          1),
+         util::Table::Num(
+             mean_running(workload::Abstraction::kPercentileVc, 0.05), 1),
+         util::Table::Num(mean_running(workload::Abstraction::kSvc, 0.05), 1),
+         util::Table::Num(mean_running(workload::Abstraction::kSvc, 0.02),
+                          1)});
+  }
+  bench::EmitTable(
+      "Fig. 6: average running time per job (s) vs deviation coefficient",
+      table, csv);
+  return 0;
+}

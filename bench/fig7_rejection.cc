@@ -1,0 +1,42 @@
+// Fig. 7: percentage of rejected requests vs datacenter load (Poisson
+// arrivals, reject-on-arrival admission).
+//
+// Paper shape: mean-VC < SVC(0.05) < SVC(0.02) < percentile-VC at every
+// load; all near zero at 20% load.
+#include "bench_common.h"
+
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace svc;
+  util::FlagSet flags("fig7_rejection: rejection rate vs load (Fig. 7)");
+  bench::CommonOptions common(flags);
+  std::string& loads =
+      flags.String("loads", "0.2,0.4,0.6,0.8", "datacenter load sweep");
+  bool& csv = flags.Bool("csv", false, "also print CSV");
+  flags.Parse(argc, argv);
+
+  const topology::Topology topo =
+      topology::BuildThreeTier(common.TopologyConfig());
+  util::Table table({"load", "mean-VC", "percentile-VC", "SVC(e=0.05)",
+                     "SVC(e=0.02)"});
+  for (double load : util::ParseDoubleList(loads)) {
+    auto rejection = [&](workload::Abstraction abstraction, double epsilon) {
+      workload::WorkloadGenerator gen(common.WorkloadConfig(), common.seed());
+      auto jobs = gen.GenerateOnline(load, topo.total_slots());
+      const auto result = bench::RunOnline(
+          topo, std::move(jobs), abstraction,
+          bench::AllocatorFor(abstraction), epsilon, common.seed() + 1);
+      return 100.0 * result.RejectionRate();
+    };
+    table.AddRow(
+        {util::Table::Num(load, 2),
+         util::Table::Num(rejection(workload::Abstraction::kMeanVc, 0.05), 2),
+         util::Table::Num(
+             rejection(workload::Abstraction::kPercentileVc, 0.05), 2),
+         util::Table::Num(rejection(workload::Abstraction::kSvc, 0.05), 2),
+         util::Table::Num(rejection(workload::Abstraction::kSvc, 0.02), 2)});
+  }
+  bench::EmitTable("Fig. 7: rejected requests (%) vs load", table, csv);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Section VI-B3 (heterogeneous, "details omitted" in the paper): the
+// heterogeneous SVC heuristic vs plain first-fit — max bandwidth-occupancy
+// distribution and rejection rate under dynamically arriving jobs.
+//
+// Paper claim: "heterogeneous SVC algorithm achieves better bandwidth
+// occupancy overhead and similar rejection rates compared with the
+// first-fit algorithm."
+//
+// The substring heuristic is O(|V| * Delta * N^4), so this bench defaults
+// to a smaller fabric (250 machines) and smaller jobs (mean 10 VMs) than
+// the homogeneous benches; the comparison is allocation-level, not scale-
+// sensitive (see DESIGN.md).
+#include "bench_common.h"
+
+#include "stats/ecdf.h"
+#include "svc/first_fit.h"
+#include "svc/hetero_heuristic.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace svc;
+  util::FlagSet flags(
+      "hetero_comparison: heterogeneous SVC heuristic vs first-fit "
+      "(Sec. VI-B3)");
+  bench::CommonOptions common(flags);
+  std::string& loads = flags.String("loads", "0.2,0.6", "load sweep");
+  bool& csv = flags.Bool("csv", false, "also print CSV");
+  flags.Parse(argc, argv);
+
+  // Scaled-down defaults unless the user overrides on the command line.
+  topology::ThreeTierConfig tconfig = common.TopologyConfig();
+  if (tconfig.racks == 50 && tconfig.machines_per_rack == 20) {
+    tconfig.racks = 25;
+    tconfig.machines_per_rack = 10;
+    tconfig.racks_per_agg = 5;
+  }
+  const topology::Topology topo = topology::BuildThreeTier(tconfig);
+
+  workload::WorkloadConfig wconfig = common.WorkloadConfig();
+  wconfig.heterogeneous = true;
+  if (wconfig.mean_job_size == 49) {
+    wconfig.mean_job_size = 10;
+    wconfig.max_job_size = 30;
+  }
+  if (wconfig.num_jobs > 200) wconfig.num_jobs = 200;
+
+  const core::HeteroHeuristicAllocator heuristic;
+  const core::FirstFitAllocator first_fit;
+
+  for (double load : util::ParseDoubleList(loads)) {
+    auto run = [&](const core::Allocator& alloc) {
+      workload::WorkloadGenerator gen(wconfig, common.seed());
+      auto jobs = gen.GenerateOnline(load, topo.total_slots());
+      return bench::RunOnline(topo, std::move(jobs),
+                              workload::Abstraction::kSvc, alloc,
+                              common.epsilon(), common.seed() + 1);
+    };
+    const auto h = run(heuristic);
+    const auto f = run(first_fit);
+    const stats::EmpiricalCdf h_cdf(h.max_occupancy_samples);
+    const stats::EmpiricalCdf f_cdf(f.max_occupancy_samples);
+
+    util::Table table({"cdf", "SVC-heuristic max-occ", "first-fit max-occ"});
+    for (double p : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95}) {
+      table.AddRow({util::Table::Num(p, 2),
+                    util::Table::Num(h_cdf.Percentile(p), 4),
+                    util::Table::Num(f_cdf.Percentile(p), 4)});
+    }
+    bench::EmitTable(
+        "Hetero: max occupancy quantiles, load " +
+            util::Table::Num(100 * load, 0) + "%",
+        table, csv);
+
+    util::Table summary({"metric", "SVC-heuristic", "first-fit"});
+    summary.AddRow({"rejection %",
+                    util::Table::Num(100 * h.RejectionRate(), 2),
+                    util::Table::Num(100 * f.RejectionRate(), 2)});
+    summary.AddRow({"mean concurrency",
+                    util::Table::Num(h.MeanConcurrency(), 2),
+                    util::Table::Num(f.MeanConcurrency(), 2)});
+    bench::EmitTable("Hetero summary, load " +
+                         util::Table::Num(100 * load, 0) + "%",
+                     summary, csv);
+  }
+  return 0;
+}

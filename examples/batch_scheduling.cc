@@ -1,0 +1,74 @@
+// Batch scheduling demo: a queue of MapReduce-style jobs with volatile
+// bandwidth demands, run under all three abstractions (paper Section VI-B1
+// in miniature).
+//
+//   build/examples/batch_scheduling [--jobs N] [--rho R]
+//
+// Prints, per abstraction: makespan, mean running time per job, and the
+// concurrency/running-time trade-off the paper's Figs. 5-6 quantify.
+#include <cstdio>
+
+#include "sim/engine.h"
+#include "svc/homogeneous_search.h"
+#include "topology/builders.h"
+#include "util/flags.h"
+#include "util/table.h"
+#include "workload/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace svc;
+  util::FlagSet flags("batch_scheduling: the job-queue trade-off demo");
+  int64_t& num_jobs = flags.Int("jobs", 80, "jobs in the batch");
+  double& rho = flags.Double("rho", 0.8, "demand deviation coefficient");
+  int64_t& seed = flags.Int("seed", 7, "random seed");
+  flags.Parse(argc, argv);
+
+  // A 10-rack datacenter (200 VM slots).
+  topology::ThreeTierConfig tconfig;
+  tconfig.racks = 10;
+  tconfig.machines_per_rack = 5;
+  tconfig.racks_per_agg = 5;
+  const topology::Topology topo = topology::BuildThreeTier(tconfig);
+  std::printf("datacenter: %s\n", topo.Describe().c_str());
+
+  // Data-crunching jobs: ~12 VMs, volatile demand (sigma = rho * mu).
+  workload::WorkloadConfig wconfig;
+  wconfig.num_jobs = static_cast<int>(num_jobs);
+  wconfig.mean_job_size = 12;
+  wconfig.max_job_size = 40;
+  wconfig.rate_means = {50, 100, 150, 200, 250};
+  wconfig.fixed_deviation = rho;
+  workload::WorkloadGenerator gen(wconfig, static_cast<uint64_t>(seed));
+  const auto jobs = gen.GenerateBatch();
+  std::printf("workload: %lld jobs, rho = %.1f\n\n",
+              static_cast<long long>(num_jobs), rho);
+
+  const core::HomogeneousDpAllocator svc_alloc;
+  const core::OktopusAllocator vc_alloc;
+
+  util::Table table(
+      {"abstraction", "makespan (s)", "mean running time (s)", "skipped"});
+  for (auto abstraction :
+       {workload::Abstraction::kMeanVc, workload::Abstraction::kPercentileVc,
+        workload::Abstraction::kSvc}) {
+    sim::SimConfig config;
+    config.abstraction = abstraction;
+    config.allocator = abstraction == workload::Abstraction::kSvc
+                           ? static_cast<const core::Allocator*>(&svc_alloc)
+                           : &vc_alloc;
+    config.epsilon = 0.05;
+    config.seed = static_cast<uint64_t>(seed) + 1;
+    sim::Engine engine(topo, config);
+    const auto result = engine.RunBatch(jobs);
+    table.AddRow({workload::ToString(abstraction),
+                  util::Table::Num(result.total_completion_time, 0),
+                  util::Table::Num(result.MeanRunningTime(), 1),
+                  std::to_string(result.unallocatable_jobs)});
+  }
+  std::printf("%s", table.ToText().c_str());
+  std::printf(
+      "\nReading the table: mean-VC packs the most jobs concurrently (low\n"
+      "makespan) but starves volatile jobs (high running time);\n"
+      "percentile-VC is the opposite; SVC achieves the trade-off.\n");
+  return 0;
+}

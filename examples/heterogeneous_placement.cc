@@ -1,0 +1,63 @@
+// Heterogeneous SVC demo (paper Section V): a tenant whose VMs have very
+// different bandwidth profiles — e.g. an ingest tier, a shuffle tier and a
+// mostly-idle coordinator — placed by the exact DP, the substring
+// heuristic, and plain first-fit.
+//
+//   build/examples/heterogeneous_placement
+#include <cstdio>
+
+#include "svc/first_fit.h"
+#include "svc/hetero_exact.h"
+#include "svc/hetero_heuristic.h"
+#include "svc/manager.h"
+#include "topology/builders.h"
+#include "util/table.h"
+
+int main() {
+  using namespace svc;
+
+  const topology::Topology topo =
+      topology::BuildTwoTier(/*racks=*/3, /*machines_per_rack=*/3,
+                             /*slots_per_machine=*/3, /*link_mbps=*/800,
+                             /*oversubscription=*/2.0);
+  std::printf("datacenter: %s\n\n", topo.Describe().c_str());
+
+  core::NetworkManager manager(topo, /*epsilon=*/0.05);
+
+  // A 9-VM analytics cluster:
+  //   3 ingest VMs     ~ N(300, 150^2)  — heavy, bursty
+  //   4 shuffle VMs    ~ N(150,  60^2)  — moderate
+  //   2 coordinators   ~ N( 20,  10^2)  — light
+  std::vector<stats::Normal> demands;
+  for (int i = 0; i < 3; ++i) demands.push_back({300, 150.0 * 150.0});
+  for (int i = 0; i < 4; ++i) demands.push_back({150, 60.0 * 60.0});
+  for (int i = 0; i < 2; ++i) demands.push_back({20, 10.0 * 10.0});
+  const core::Request request = core::Request::Heterogeneous(1, demands);
+  std::printf("request: %s\n\n", request.Describe().c_str());
+
+  const core::HeteroExactAllocator exact;
+  const core::HeteroHeuristicAllocator heuristic;
+  const core::FirstFitAllocator first_fit;
+
+  util::Table table({"allocator", "placement", "max occupancy"});
+  for (const core::Allocator* alloc :
+       std::initializer_list<const core::Allocator*>{&exact, &heuristic,
+                                                     &first_fit}) {
+    const auto result = alloc->Allocate(request, manager.ledger(),
+                                        manager.slots());
+    if (result) {
+      table.AddRow({std::string(alloc->name()), result->Describe(),
+                    util::Table::Num(result->max_occupancy, 4)});
+    } else {
+      table.AddRow({std::string(alloc->name()),
+                    result.status().ToText(), "-"});
+    }
+  }
+  std::printf("%s", table.ToText().c_str());
+  std::printf(
+      "\nThe exact DP searches all 2^N subsets per subtree; the heuristic\n"
+      "only substrings of the demand-sorted VM order (O(N^2) candidates)\n"
+      "yet typically matches it; first-fit ignores the occupancy objective\n"
+      "and concentrates load on the first links it finds.\n");
+  return 0;
+}

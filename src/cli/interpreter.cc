@@ -1,0 +1,293 @@
+#include "cli/interpreter.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "svc/first_fit.h"
+#include "svc/hetero_exact.h"
+#include "svc/hetero_heuristic.h"
+#include "svc/homogeneous_search.h"
+#include "svc/snapshot.h"
+#include "util/strings.h"
+
+namespace svc::cli {
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) {
+    if (token[0] == '#') break;  // comment to end of line
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+bool ParseDouble(const std::string& text, double& value) {
+  try {
+    size_t used = 0;
+    value = std::stod(text, &used);
+    return used == text.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool ParseInt(const std::string& text, int64_t& value) {
+  try {
+    size_t used = 0;
+    value = std::stoll(text, &used);
+    return used == text.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+Interpreter::Interpreter(const topology::Topology& topo, double epsilon)
+    : manager_(topo, epsilon) {
+  allocators_["svc-dp"] = std::make_unique<core::HomogeneousDpAllocator>();
+  allocators_["tivc-adapted"] =
+      std::make_unique<core::TivcAdaptedAllocator>();
+  allocators_["oktopus"] = std::make_unique<core::OktopusAllocator>();
+  allocators_["hetero-exact"] = std::make_unique<core::HeteroExactAllocator>();
+  allocators_["hetero-heuristic"] =
+      std::make_unique<core::HeteroHeuristicAllocator>();
+  allocators_["first-fit"] = std::make_unique<core::FirstFitAllocator>();
+  current_allocator_name_ = "svc-dp";
+  current_allocator_ = allocators_.at(current_allocator_name_).get();
+}
+
+Interpreter::~Interpreter() = default;
+
+bool Interpreter::SelectAllocator(const std::string& name) {
+  auto it = allocators_.find(name);
+  if (it == allocators_.end()) return false;
+  current_allocator_ = it->second.get();
+  current_allocator_name_ = name;
+  return true;
+}
+
+bool Interpreter::CmdAdmit(const std::vector<std::string>& args,
+                           std::ostream& out) {
+  // admit <id> homogeneous <n> <mu> <sigma>
+  // admit <id> deterministic <n> <B>
+  // admit <id> heterogeneous <mu:sigma>...
+  if (args.size() < 3) {
+    out << "error: admit needs <id> <kind> ...\n";
+    return false;
+  }
+  int64_t id = 0;
+  if (!ParseInt(args[1], id)) {
+    out << "error: bad tenant id '" << args[1] << "'\n";
+    return false;
+  }
+  const std::string& kind = args[2];
+  std::unique_ptr<core::Request> request;
+  if (kind == "homogeneous" && args.size() == 6) {
+    int64_t n;
+    double mu, sigma;
+    if (!ParseInt(args[3], n) || !ParseDouble(args[4], mu) ||
+        !ParseDouble(args[5], sigma) || n < 1) {
+      out << "error: admit homogeneous <n> <mu> <sigma>\n";
+      return false;
+    }
+    request = std::make_unique<core::Request>(
+        core::Request::Homogeneous(id, static_cast<int>(n), mu, sigma));
+  } else if (kind == "deterministic" && args.size() == 5) {
+    int64_t n;
+    double bandwidth;
+    if (!ParseInt(args[3], n) || !ParseDouble(args[4], bandwidth) || n < 1) {
+      out << "error: admit deterministic <n> <B>\n";
+      return false;
+    }
+    request = std::make_unique<core::Request>(
+        core::Request::Deterministic(id, static_cast<int>(n), bandwidth));
+  } else if (kind == "heterogeneous" && args.size() >= 4) {
+    std::vector<stats::Normal> demands;
+    for (size_t i = 3; i < args.size(); ++i) {
+      const auto parts = util::Split(args[i], ':');
+      double mu, sigma;
+      if (parts.size() != 2 || !ParseDouble(parts[0], mu) ||
+          !ParseDouble(parts[1], sigma)) {
+        out << "error: bad demand '" << args[i] << "' (want mu:sigma)\n";
+        return false;
+      }
+      demands.push_back({mu, sigma * sigma});
+    }
+    request = std::make_unique<core::Request>(
+        core::Request::Heterogeneous(id, std::move(demands)));
+  } else {
+    out << "error: unknown admit form\n";
+    return false;
+  }
+
+  auto placement = manager_.Admit(*request, *current_allocator_);
+  if (!placement) {
+    out << "admit " << id << ": REJECTED (" << placement.status().ToText()
+        << ")\n";
+    return false;
+  }
+  out << "admit " << id << ": placed " << placement->Describe()
+      << " max-occupancy " << placement->max_occupancy << "\n";
+  return true;
+}
+
+bool Interpreter::CmdRelease(const std::vector<std::string>& args,
+                             std::ostream& out) {
+  int64_t id = 0;
+  if (args.size() != 2 || !ParseInt(args[1], id)) {
+    out << "error: release <id>\n";
+    return false;
+  }
+  if (!manager_.IsLive(id)) {
+    out << "release " << id << ": not live (no-op)\n";
+    return true;
+  }
+  manager_.Release(id);
+  out << "release " << id << ": done\n";
+  return true;
+}
+
+bool Interpreter::CmdShow(const std::vector<std::string>& args,
+                          std::ostream& out) {
+  if (args.size() < 2) {
+    out << "error: show slots|occupancy|placement|tenants\n";
+    return false;
+  }
+  const std::string& what = args[1];
+  if (what == "slots") {
+    out << "slots: " << manager_.slots().total_free() << " free of "
+        << manager_.topo().total_slots() << "\n";
+    return true;
+  }
+  if (what == "occupancy") {
+    int64_t k = 5;
+    if (args.size() >= 3 && !ParseInt(args[2], k)) {
+      out << "error: show occupancy [k]\n";
+      return false;
+    }
+    std::vector<std::pair<double, topology::VertexId>> ranked;
+    const auto& topo = manager_.topo();
+    for (topology::VertexId v = 1; v < topo.num_vertices(); ++v) {
+      ranked.emplace_back(manager_.ledger().Occupancy(v), v);
+    }
+    std::sort(ranked.rbegin(), ranked.rend());
+    out << "occupancy (top " << k << "):";
+    for (int64_t i = 0; i < k && i < static_cast<int64_t>(ranked.size());
+         ++i) {
+      out << " link" << ranked[i].second << "=" << ranked[i].first;
+    }
+    out << "\n";
+    return true;
+  }
+  if (what == "placement") {
+    int64_t id = 0;
+    if (args.size() != 3 || !ParseInt(args[2], id)) {
+      out << "error: show placement <id>\n";
+      return false;
+    }
+    const core::Placement* placement = manager_.placement_of(id);
+    if (placement == nullptr) {
+      out << "placement " << id << ": not live\n";
+      return false;
+    }
+    out << "placement " << id << ": " << placement->Describe() << "\n";
+    return true;
+  }
+  if (what == "tenants") {
+    out << "tenants: " << manager_.live_count() << " live\n";
+    return true;
+  }
+  out << "error: unknown show target '" << what << "'\n";
+  return false;
+}
+
+bool Interpreter::CmdAssert(const std::vector<std::string>& args,
+                            std::ostream& out) {
+  if (args.size() >= 2 && args[1] == "valid") {
+    if (manager_.StateValid()) {
+      out << "assert valid: ok\n";
+      return true;
+    }
+    out << "assert valid: FAILED — condition (4) violated\n";
+    return false;
+  }
+  if (args.size() == 3 && args[1] == "live") {
+    int64_t id = 0;
+    if (!ParseInt(args[2], id)) {
+      out << "error: assert live <id>\n";
+      return false;
+    }
+    if (manager_.IsLive(id)) {
+      out << "assert live " << id << ": ok\n";
+      return true;
+    }
+    out << "assert live " << id << ": FAILED\n";
+    return false;
+  }
+  out << "error: assert valid | assert live <id>\n";
+  return false;
+}
+
+bool Interpreter::CmdSnapshot(const std::vector<std::string>& args,
+                              std::ostream& out) {
+  if (args.size() != 3 || (args[1] != "save" && args[1] != "load")) {
+    out << "error: snapshot save|load <file>\n";
+    return false;
+  }
+  if (args[1] == "save") {
+    const util::Status status = core::SaveSnapshotToFile(manager_, args[2]);
+    if (!status.ok()) {
+      out << "snapshot save: " << status.ToText() << "\n";
+      return false;
+    }
+    out << "snapshot save: " << manager_.live_count() << " tenant(s) -> "
+        << args[2] << "\n";
+    return true;
+  }
+  const util::Status status =
+      core::RestoreSnapshotFromFile(args[2], manager_);
+  if (!status.ok()) {
+    out << "snapshot load: " << status.ToText() << "\n";
+    return false;
+  }
+  out << "snapshot load: " << manager_.live_count() << " tenant(s) restored\n";
+  return true;
+}
+
+bool Interpreter::Execute(const std::string& line, std::ostream& out) {
+  const std::vector<std::string> args = Tokenize(line);
+  if (args.empty()) return true;  // blank / comment
+  const std::string& command = args[0];
+  if (command == "admit") return CmdAdmit(args, out);
+  if (command == "release") return CmdRelease(args, out);
+  if (command == "show") return CmdShow(args, out);
+  if (command == "assert") return CmdAssert(args, out);
+  if (command == "snapshot") return CmdSnapshot(args, out);
+  if (command == "allocator") {
+    if (args.size() != 2 || !SelectAllocator(args[1])) {
+      out << "error: unknown allocator\n";
+      return false;
+    }
+    out << "allocator: " << args[1] << "\n";
+    return true;
+  }
+  out << "error: unknown command '" << command << "'\n";
+  return false;
+}
+
+int Interpreter::Run(std::istream& in, std::ostream& out) {
+  int failures = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!Execute(line, out)) ++failures;
+  }
+  return failures;
+}
+
+}  // namespace svc::cli

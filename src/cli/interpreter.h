@@ -1,0 +1,69 @@
+// Command interpreter behind the `svcctl` tool: a scriptable network
+// manager.  Operators (or tests) drive admission control with a simple
+// line-oriented language:
+//
+//   # comments and blank lines are ignored
+//   admit 1 homogeneous 10 200 120      # <id> <N> <mu> <sigma>
+//   admit 2 deterministic 6 150         # <id> <N> <B>
+//   admit 3 heterogeneous 300:150 20:5  # <id> <mu:sigma>...
+//   release 1
+//   show slots                          # free/total VM slots
+//   show occupancy [k]                  # k worst links (default 5)
+//   show placement 2
+//   show tenants
+//   assert valid                        # fail unless condition (4) holds
+//   assert live 2                       # fail unless tenant 2 is admitted
+//   allocator svc-dp                    # switch placement algorithm
+//   snapshot save state.txt             # persist live tenants
+//   snapshot load state.txt             # replay into an empty manager
+//
+// Each command writes a one-line result to the output stream; errors are
+// reported per line (the interpreter keeps going) and counted.  Exit
+// status of `svcctl` is nonzero if any command failed.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "svc/allocator.h"
+#include "svc/manager.h"
+
+namespace svc::cli {
+
+class Interpreter {
+ public:
+  // Borrows the topology (must outlive the interpreter).
+  Interpreter(const topology::Topology& topo, double epsilon);
+  ~Interpreter();
+
+  // Executes one command line; returns false if the command failed
+  // (parse error or failed assertion/admission).  Output (including error
+  // text) goes to `out`.
+  bool Execute(const std::string& line, std::ostream& out);
+
+  // Runs a whole script; returns the number of failed lines.
+  int Run(std::istream& in, std::ostream& out);
+
+  // Selects the allocator by name; returns false for unknown names.
+  // Known: svc-dp, tivc-adapted, oktopus, hetero-exact, hetero-heuristic,
+  // first-fit.
+  bool SelectAllocator(const std::string& name);
+
+  const core::NetworkManager& manager() const { return manager_; }
+
+ private:
+  bool CmdAdmit(const std::vector<std::string>& args, std::ostream& out);
+  bool CmdRelease(const std::vector<std::string>& args, std::ostream& out);
+  bool CmdShow(const std::vector<std::string>& args, std::ostream& out);
+  bool CmdAssert(const std::vector<std::string>& args, std::ostream& out);
+  bool CmdSnapshot(const std::vector<std::string>& args, std::ostream& out);
+
+  core::NetworkManager manager_;
+  std::map<std::string, std::unique_ptr<core::Allocator>> allocators_;
+  core::Allocator* current_allocator_;  // points into allocators_
+  std::string current_allocator_name_;
+};
+
+}  // namespace svc::cli

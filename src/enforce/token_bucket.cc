@@ -1,0 +1,29 @@
+#include "enforce/token_bucket.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace svc::enforce {
+
+TokenBucket::TokenBucket(double rate_mbps, double burst_mbits)
+    : rate_mbps_(rate_mbps),
+      burst_mbits_(burst_mbits),
+      credit_mbits_(burst_mbits) {
+  assert(rate_mbps >= 0);
+  assert(burst_mbits >= 0);
+}
+
+double TokenBucket::Admit(double desired_mbps, double dt_seconds) {
+  assert(dt_seconds > 0);
+  assert(desired_mbps >= 0);
+  // Accrue credit for the interval, capped at the bucket depth.
+  credit_mbits_ =
+      std::min(burst_mbits_ + rate_mbps_ * dt_seconds,
+               credit_mbits_ + rate_mbps_ * dt_seconds);
+  const double wanted_mbits = desired_mbps * dt_seconds;
+  const double sent_mbits = std::min(wanted_mbits, credit_mbits_);
+  credit_mbits_ -= sent_mbits;
+  return sent_mbits / dt_seconds;
+}
+
+}  // namespace svc::enforce

@@ -1,0 +1,42 @@
+// Hypervisor rate limiting (paper Section III-C): "Rate limiting components
+// at endhost hypervisors or switches are used to enforce the bandwidth
+// reservations by ensuring that VMs do not exceed the bandwidth specified
+// in the virtual topology."
+//
+// Two enforcement disciplines are provided:
+//   * a hard cap — the idealized limiter the analysis assumes (send rate
+//     clipped at the reservation every instant);
+//   * a token bucket — how real hypervisors (tc/HTB, SENIC, EyeQ) enforce
+//     rates: the VM may burst above the reservation while accumulated
+//     credit lasts, so short spikes pass through but the long-run average
+//     cannot exceed the reservation.
+//
+// The simulator uses the hard cap by default (matching the paper); the
+// token bucket is an ablation knob that quantifies how enforcement
+// burstiness erodes the reservation guarantee.
+#pragma once
+
+namespace svc::enforce {
+
+class TokenBucket {
+ public:
+  // rate_mbps: sustained rate (the reservation B).
+  // burst_mbits: bucket depth; <= rate * dt degenerates to a hard cap.
+  TokenBucket(double rate_mbps, double burst_mbits);
+
+  // One enforcement interval: the VM wants to send at `desired_mbps` for
+  // `dt_seconds`; returns the admitted send rate for the interval and
+  // debits/accrues credit accordingly.
+  double Admit(double desired_mbps, double dt_seconds);
+
+  // Remaining burst credit (Mbit).
+  double credit_mbits() const { return credit_mbits_; }
+  double rate_mbps() const { return rate_mbps_; }
+
+ private:
+  double rate_mbps_;
+  double burst_mbits_;
+  double credit_mbits_;
+};
+
+}  // namespace svc::enforce

@@ -1,0 +1,41 @@
+#include "net/admission.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "stats/normal.h"
+
+namespace svc::net {
+
+double GuaranteeQuantile(double epsilon) {
+  assert(epsilon > 0 && epsilon < 1);
+  return stats::NormalQuantile(1.0 - epsilon);
+}
+
+double EffectiveBandwidth(double mu_i, double var_i, double var_total,
+                          double c) {
+  assert(var_total >= var_i && var_i >= 0);
+  if (var_total <= 0) return mu_i;
+  return mu_i + c * var_i / std::sqrt(var_total);
+}
+
+double OccupancyRatio(double capacity, double deterministic, double mean_sum,
+                      double var_sum, double c) {
+  assert(capacity > 0);
+  assert(var_sum >= 0);
+  return (deterministic + mean_sum + c * std::sqrt(var_sum)) / capacity;
+}
+
+bool SatisfiesGuarantee(double capacity, double deterministic,
+                        double mean_sum, double var_sum, double c) {
+  // Tolerate accumulated floating-point drift at the feasibility boundary;
+  // 1e-9 of relative capacity is far below any physically meaningful rate.
+  const double slack = 1e-9 * capacity;
+  if (var_sum <= 0) {
+    return deterministic + mean_sum <= capacity + slack;
+  }
+  return capacity - deterministic - mean_sum >
+         c * std::sqrt(var_sum) - slack;
+}
+
+}  // namespace svc::net

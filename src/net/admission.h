@@ -1,0 +1,38 @@
+// The paper's probabilistic-guarantee algebra (Eqs. 1, 4, 5, 6).
+//
+// A link with capacity C carries a deterministic reservation D (rate-limited
+// Oktopus-style requests) and K stochastic demands B_i with means mu_i and
+// variances var_i.  The residual S = C - D is statistically shared by the
+// stochastic demands; the guarantee is Pr(sum B_i > S) < epsilon.  By the
+// central-limit approximation sum B_i ~ N(sum mu_i, sum var_i), which gives:
+//
+//   condition (4):   S - sum(mu_i) > c * sqrt(sum(var_i)),
+//                    c = Phi^{-1}(1 - epsilon)
+//   effective bw (5): E_i = mu_i + c * var_i / sqrt(sum(var_i))
+//   occupancy (6):   O = (D + sum(mu_i) + c*sqrt(sum(var_i))) / C
+//
+// O < 1 is exactly condition (4); for an all-deterministic link the
+// condition degrades to D <= C (equality allowed, matching Oktopus).
+#pragma once
+
+namespace svc::net {
+
+// Phi^{-1}(1 - epsilon); cached by callers that evaluate many links.
+double GuaranteeQuantile(double epsilon);
+
+// Effective amount of bandwidth attributed to one stochastic demand
+// (Eq. 5).  `var_total` must include `var_i`; returns `mu_i` when the link
+// carries no variance at all.
+double EffectiveBandwidth(double mu_i, double var_i, double var_total,
+                          double c);
+
+// Occupancy ratio O (Eq. 6).  Well-defined for capacity > 0.
+double OccupancyRatio(double capacity, double deterministic, double mean_sum,
+                      double var_sum, double c);
+
+// Validity test for one link (Eq. 4).  Strict when any variance is present;
+// allows equality for the purely deterministic case.
+bool SatisfiesGuarantee(double capacity, double deterministic,
+                        double mean_sum, double var_sum, double c);
+
+}  // namespace svc::net

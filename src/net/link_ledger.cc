@@ -1,0 +1,119 @@
+#include "net/link_ledger.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace svc::net {
+
+namespace {
+// Demands smaller than this (Mbps / Mbps^2) are treated as absent.
+constexpr double kNegligible = 1e-12;
+}  // namespace
+
+LinkLedger::LinkLedger(const topology::Topology& topo, double epsilon)
+    : topo_(&topo), epsilon_(epsilon), c_(GuaranteeQuantile(epsilon)) {
+  assert(topo.finalized());
+  links_.resize(topo.num_vertices());
+  for (topology::VertexId v = 1; v < topo.num_vertices(); ++v) {
+    links_[v].capacity = topo.uplink_capacity(v);
+  }
+}
+
+double LinkLedger::SharingBandwidth(topology::VertexId v) const {
+  assert(v != topo_->root());
+  return links_[v].capacity - links_[v].deterministic;
+}
+
+double LinkLedger::Occupancy(topology::VertexId v) const {
+  assert(v != topo_->root());
+  const LinkState& s = links_[v];
+  return OccupancyRatio(s.capacity, s.deterministic, s.mean_sum, s.var_sum,
+                        c_);
+}
+
+double LinkLedger::OccupancyWith(topology::VertexId v, double mean_add,
+                                 double var_add, double det_add) const {
+  assert(v != topo_->root());
+  const LinkState& s = links_[v];
+  return OccupancyRatio(s.capacity, s.deterministic + det_add,
+                        s.mean_sum + mean_add, s.var_sum + var_add, c_);
+}
+
+bool LinkLedger::ValidWith(topology::VertexId v, double mean_add,
+                           double var_add, double det_add) const {
+  assert(v != topo_->root());
+  const LinkState& s = links_[v];
+  return SatisfiesGuarantee(s.capacity, s.deterministic + det_add,
+                            s.mean_sum + mean_add, s.var_sum + var_add, c_);
+}
+
+double LinkLedger::MaxOccupancy() const {
+  double result = 0;
+  for (topology::VertexId v = 1; v < topo_->num_vertices(); ++v) {
+    result = std::max(result, Occupancy(v));
+  }
+  return result;
+}
+
+void LinkLedger::AddStochastic(topology::VertexId v, RequestId req,
+                               double mean, double variance) {
+  assert(v != topo_->root());
+  assert(mean >= 0 && variance >= 0);
+  if (mean < kNegligible && variance < kNegligible) return;
+  LinkState& s = links_[v];
+  s.stochastic.push_back({req, mean, variance});
+  s.mean_sum += mean;
+  s.var_sum += variance;
+  touched_[req].push_back(v);
+}
+
+void LinkLedger::AddDeterministic(topology::VertexId v, RequestId req,
+                                  double amount) {
+  assert(v != topo_->root());
+  assert(amount >= 0);
+  if (amount < kNegligible) return;
+  LinkState& s = links_[v];
+  s.reserved.push_back({req, amount});
+  s.deterministic += amount;
+  touched_[req].push_back(v);
+}
+
+void LinkLedger::RebuildSums(topology::VertexId v) {
+  LinkState& s = links_[v];
+  s.mean_sum = 0;
+  s.var_sum = 0;
+  s.deterministic = 0;
+  for (const auto& d : s.stochastic) {
+    s.mean_sum += d.mean;
+    s.var_sum += d.variance;
+  }
+  for (const auto& d : s.reserved) s.deterministic += d.amount;
+}
+
+void LinkLedger::RemoveRequest(RequestId req) {
+  auto it = touched_.find(req);
+  if (it == touched_.end()) return;
+  // A request may appear twice per link (stochastic + deterministic); the
+  // duplicate vertex entries are harmless because erase + rebuild is
+  // idempotent per link.
+  for (topology::VertexId v : it->second) {
+    LinkState& s = links_[v];
+    std::erase_if(s.stochastic,
+                  [req](const StochasticDemand& d) { return d.request == req; });
+    std::erase_if(s.reserved, [req](const DeterministicDemand& d) {
+      return d.request == req;
+    });
+    RebuildSums(v);
+  }
+  touched_.erase(it);
+}
+
+size_t LinkLedger::TotalRecords() const {
+  size_t total = 0;
+  for (const auto& s : links_) {
+    total += s.stochastic.size() + s.reserved.size();
+  }
+  return total;
+}
+
+}  // namespace svc::net

@@ -1,0 +1,111 @@
+// Per-link bandwidth bookkeeping for a finalized topology.
+//
+// This is the network manager's "up-to-date status of the datacenter
+// network" (paper Section III-C): for every physical link it tracks the
+// capacity C_L, the deterministic reservation D_L, and the per-request
+// stochastic demand records (mu_{i,L}, sigma^2_{i,L}), plus their running
+// sums so validity and occupancy checks are O(1).
+//
+// Links are identified by the child vertex of the link (topology
+// convention).  Mutations are grouped per request so a tenant departure
+// releases every link it touched in O(records).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/admission.h"
+#include "topology/topology.h"
+
+namespace svc::net {
+
+using RequestId = int64_t;
+
+// One stochastic demand record on a link: request r contributes demand
+// B_r^L with the given first two moments.
+struct StochasticDemand {
+  RequestId request;
+  double mean;
+  double variance;
+};
+
+// One deterministic reservation record (Oktopus-style, rate limited).
+struct DeterministicDemand {
+  RequestId request;
+  double amount;
+};
+
+struct LinkState {
+  double capacity = 0;       // C_L
+  double deterministic = 0;  // D_L
+  double mean_sum = 0;       // sum of stochastic means on the link
+  double var_sum = 0;        // sum of stochastic variances on the link
+  std::vector<StochasticDemand> stochastic;
+  std::vector<DeterministicDemand> reserved;
+};
+
+class LinkLedger {
+ public:
+  // The ledger borrows the topology; it must outlive the ledger.
+  // `epsilon` is the SLA risk factor of condition (1).
+  LinkLedger(const topology::Topology& topo, double epsilon);
+
+  double epsilon() const { return epsilon_; }
+  // c = Phi^{-1}(1 - epsilon), cached.
+  double quantile() const { return c_; }
+  const topology::Topology& topo() const { return *topo_; }
+
+  const LinkState& link(topology::VertexId v) const { return links_[v]; }
+
+  // S_L = C_L - D_L, the stochastic sharing bandwidth.
+  double SharingBandwidth(topology::VertexId v) const;
+
+  // Occupancy ratio O_L of the link under current state (Eq. 6).
+  double Occupancy(topology::VertexId v) const;
+
+  // Occupancy if a candidate demand (stochastic moments + deterministic
+  // amount) were added.  Used by the allocators' DP inner loop.
+  double OccupancyWith(topology::VertexId v, double mean_add, double var_add,
+                       double det_add) const;
+
+  // Condition (4) with the candidate included.
+  bool ValidWith(topology::VertexId v, double mean_add, double var_add,
+                 double det_add) const;
+
+  // Maximum occupancy ratio over all links (the Fig. 9 sample statistic).
+  double MaxOccupancy() const;
+
+  // --- Mutations ---
+
+  // Records a stochastic demand of request `req` on link v.  Demands with
+  // negligible moments are skipped (links entirely above/below the
+  // placement carry none).
+  void AddStochastic(topology::VertexId v, RequestId req, double mean,
+                     double variance);
+
+  // Records a deterministic reservation.
+  void AddDeterministic(topology::VertexId v, RequestId req, double amount);
+
+  // Removes every record of `req` and restores the running sums.  Removing
+  // an unknown request is a no-op (idempotent release).
+  void RemoveRequest(RequestId req);
+
+  // Recomputes the running sums of every link the request touches from the
+  // remaining records, bounding floating-point drift over long simulations.
+  // Called internally by RemoveRequest.
+  void RebuildSums(topology::VertexId v);
+
+  // Total number of demand records (diagnostics / tests).
+  size_t TotalRecords() const;
+
+ private:
+  const topology::Topology* topo_;
+  double epsilon_;
+  double c_;
+  std::vector<LinkState> links_;  // indexed by vertex id; root unused
+  // Which links each live request touches, for O(records) release.
+  std::unordered_map<RequestId, std::vector<topology::VertexId>> touched_;
+};
+
+}  // namespace svc::net

@@ -1,0 +1,90 @@
+#include "profile/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/ecdf.h"
+
+namespace svc::profile {
+
+bool DemandEstimate::NormalFitReasonable() const {
+  return std::abs(skewness) < 1.0 && std::abs(excess_kurtosis) < 3.0;
+}
+
+namespace {
+
+util::Result<DemandEstimate> EstimateFromSamples(
+    const std::vector<double>& samples) {
+  if (samples.size() < 2) {
+    return util::Status{util::ErrorCode::kInvalidArgument,
+                        "need at least 2 samples to estimate a distribution"};
+  }
+  const double n = static_cast<double>(samples.size());
+  double mean = 0;
+  for (double s : samples) mean += s;
+  mean /= n;
+  double m2 = 0, m3 = 0, m4 = 0;
+  for (double s : samples) {
+    const double d = s - mean;
+    m2 += d * d;
+    m3 += d * d * d;
+    m4 += d * d * d * d;
+  }
+  m2 /= n;
+  m3 /= n;
+  m4 /= n;
+
+  DemandEstimate estimate;
+  estimate.samples = samples.size();
+  estimate.mean = mean;
+  // Sample (unbiased) variance for the request.
+  estimate.demand = stats::Normal{mean, m2 * n / (n - 1)};
+  if (m2 > 0) {
+    estimate.skewness = m3 / std::pow(m2, 1.5);
+    estimate.excess_kurtosis = m4 / (m2 * m2) - 3.0;
+  }
+  stats::EmpiricalCdf cdf(samples);
+  estimate.p95 = cdf.Percentile(0.95);
+  return estimate;
+}
+
+}  // namespace
+
+util::Result<DemandEstimate> EstimateDemand(const UsageTrace& trace) {
+  return EstimateFromSamples(trace.samples());
+}
+
+util::Result<core::Request> RequestFromTraces(
+    core::RequestId id, std::span<const UsageTrace> traces) {
+  if (traces.empty()) {
+    return util::Status{util::ErrorCode::kInvalidArgument,
+                        "need at least one trace"};
+  }
+  std::vector<stats::Normal> demands;
+  demands.reserve(traces.size());
+  for (const UsageTrace& trace : traces) {
+    auto estimate = EstimateDemand(trace);
+    if (!estimate) return estimate.status();
+    demands.push_back(estimate->demand);
+  }
+  return core::Request::Heterogeneous(id, std::move(demands));
+}
+
+util::Result<core::Request> HomogeneousRequestFromTraces(
+    core::RequestId id, int n, std::span<const UsageTrace> traces) {
+  if (n < 1) {
+    return util::Status{util::ErrorCode::kInvalidArgument, "n must be >= 1"};
+  }
+  std::vector<double> pooled;
+  for (const UsageTrace& trace : traces) {
+    pooled.insert(pooled.end(), trace.samples().begin(),
+                  trace.samples().end());
+  }
+  auto estimate = EstimateFromSamples(pooled);
+  if (!estimate) return estimate.status();
+  return core::Request::Homogeneous(id, n, estimate->demand.mean,
+                                    estimate->demand.stddev());
+}
+
+}  // namespace svc::profile

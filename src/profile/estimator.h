@@ -1,0 +1,47 @@
+// Demand-distribution estimation from usage traces.
+//
+// Produces the (mu, sigma) pair an SVC request carries, together with the
+// statistics a tenant would use for the deterministic alternatives
+// (mean-VC / percentile-VC) and a crude normality diagnostic: the SVC
+// framework only consumes the first two moments (aggregation across VMs and
+// tenants is CLT-normal anyway — paper Section IV-B), but a heavy-tailed
+// per-VM trace is worth flagging to the operator.
+#pragma once
+
+#include <span>
+
+#include "profile/usage_trace.h"
+#include "stats/normal.h"
+#include "svc/request.h"
+
+namespace svc::profile {
+
+struct DemandEstimate {
+  stats::Normal demand;     // N(mu, sigma^2) for the SVC request
+  double mean = 0;          // == demand.mean; the mean-VC reservation
+  double p95 = 0;           // empirical 95th pct; the percentile-VC reservation
+  double skewness = 0;      // standardized third moment
+  double excess_kurtosis = 0;
+  size_t samples = 0;
+
+  // Heuristic: |skew| < 1 and |excess kurtosis| < 3 — within the range
+  // where a two-moment summary is a faithful risk model.
+  bool NormalFitReasonable() const;
+};
+
+// Estimates from one trace.  Requires at least 2 samples
+// (kInvalidArgument otherwise).
+util::Result<DemandEstimate> EstimateDemand(const UsageTrace& trace);
+
+// Builds a heterogeneous SVC request with one demand per trace (VM i's
+// distribution estimated from traces[i]).
+util::Result<core::Request> RequestFromTraces(
+    core::RequestId id, std::span<const UsageTrace> traces);
+
+// Builds a homogeneous SVC request <N, mu, sigma> by pooling all traces'
+// samples — appropriate when the tasks are statistically interchangeable
+// (e.g. the mappers of one MapReduce stage).
+util::Result<core::Request> HomogeneousRequestFromTraces(
+    core::RequestId id, int n, std::span<const UsageTrace> traces);
+
+}  // namespace svc::profile

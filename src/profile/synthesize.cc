@@ -1,0 +1,53 @@
+#include "profile/synthesize.h"
+
+#include <cassert>
+
+namespace svc::profile {
+
+UsageTrace SynthesizeNoisy(stats::Rng& rng, int seconds, double mean_mbps,
+                           double stddev_mbps) {
+  assert(seconds > 0);
+  UsageTrace trace(1.0);
+  for (int t = 0; t < seconds; ++t) {
+    trace.Record(rng.Normal(mean_mbps, stddev_mbps));
+  }
+  return trace;
+}
+
+UsageTrace SynthesizeOnOff(stats::Rng& rng, int seconds, double on_mbps,
+                           int on_seconds, int off_seconds) {
+  assert(seconds > 0 && on_seconds > 0 && off_seconds >= 0);
+  UsageTrace trace(1.0);
+  int phase_left = on_seconds;
+  bool on = true;
+  for (int t = 0; t < seconds; ++t) {
+    if (on) {
+      trace.Record(rng.Normal(on_mbps, 0.1 * on_mbps));
+    } else {
+      trace.Record(rng.Normal(0.02 * on_mbps, 0.01 * on_mbps));
+    }
+    if (--phase_left == 0) {
+      on = !on;
+      phase_left = on ? on_seconds : off_seconds;
+      if (phase_left == 0) {  // off_seconds == 0: always on
+        on = true;
+        phase_left = on_seconds;
+      }
+    }
+  }
+  return trace;
+}
+
+UsageTrace SynthesizeRamp(stats::Rng& rng, int seconds, double start_mbps,
+                          double end_mbps, double noise_mbps) {
+  assert(seconds > 0);
+  UsageTrace trace(1.0);
+  for (int t = 0; t < seconds; ++t) {
+    const double base =
+        start_mbps + (end_mbps - start_mbps) * t / std::max(1, seconds - 1);
+    trace.Record(rng.Normal(base, noise_mbps));
+  }
+  return trace;
+}
+
+}  // namespace svc::profile

@@ -1,0 +1,29 @@
+// Synthetic trace generators.
+//
+// The paper evaluates against synthetic workloads because production traces
+// are proprietary (its future work is profiling real ones).  These
+// generators produce the trace shapes the measurement studies it cites
+// report: steady noisy senders, on/off burst patterns (shuffle phases), and
+// diurnal ramps.  They feed the estimator tests and the profiling example.
+#pragma once
+
+#include "profile/usage_trace.h"
+#include "stats/rng.h"
+
+namespace svc::profile {
+
+// Gaussian rate around `mean_mbps` with `stddev_mbps`, rectified at 0.
+UsageTrace SynthesizeNoisy(stats::Rng& rng, int seconds, double mean_mbps,
+                           double stddev_mbps);
+
+// On/off bursts: `on_seconds` at on_mbps (with 10% jitter), `off_seconds`
+// near zero — the paper's "highly volatile" shuffle-like profile.  Produces
+// a strongly bimodal (non-normal) trace that stresses the two-moment model.
+UsageTrace SynthesizeOnOff(stats::Rng& rng, int seconds, double on_mbps,
+                           int on_seconds, int off_seconds);
+
+// Linear ramp from `start_mbps` to `end_mbps` with Gaussian noise.
+UsageTrace SynthesizeRamp(stats::Rng& rng, int seconds, double start_mbps,
+                          double end_mbps, double noise_mbps);
+
+}  // namespace svc::profile

@@ -1,0 +1,81 @@
+#include "profile/usage_trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <fstream>
+#include <sstream>
+
+namespace svc::profile {
+
+namespace {
+constexpr char kMagic[] = "svc-trace v1";
+}
+
+UsageTrace::UsageTrace(double interval_seconds)
+    : interval_seconds_(interval_seconds) {
+  assert(interval_seconds > 0);
+}
+
+void UsageTrace::Record(double rate_mbps) {
+  samples_.push_back(std::max(0.0, rate_mbps));
+}
+
+void UsageTrace::SaveTo(std::ostream& out) const {
+  out << kMagic << "\n";
+  out << "interval " << interval_seconds_ << "\n";
+  out << "samples " << samples_.size() << "\n";
+  out.precision(17);
+  for (double s : samples_) out << s << "\n";
+}
+
+util::Result<UsageTrace> UsageTrace::LoadFrom(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return {util::ErrorCode::kInvalidArgument,
+            "not a trace file (bad magic line)"};
+  }
+  std::string keyword;
+  double interval = 0;
+  size_t count = 0;
+  if (!(in >> keyword >> interval) || keyword != "interval" ||
+      interval <= 0) {
+    return {util::ErrorCode::kInvalidArgument, "bad interval line"};
+  }
+  if (!(in >> keyword >> count) || keyword != "samples") {
+    return {util::ErrorCode::kInvalidArgument, "bad samples line"};
+  }
+  UsageTrace trace(interval);
+  trace.samples_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    double value = 0;
+    if (!(in >> value) || value < 0) {
+      return {util::ErrorCode::kInvalidArgument,
+              "bad sample at index " + std::to_string(i)};
+    }
+    trace.samples_.push_back(value);
+  }
+  return trace;
+}
+
+util::Status UsageTrace::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return {util::ErrorCode::kInvalidArgument, "cannot open " + path};
+  }
+  SaveTo(out);
+  out.flush();
+  if (!out) {
+    return {util::ErrorCode::kInvalidArgument, "write failed: " + path};
+  }
+  return util::Status::Ok();
+}
+
+util::Result<UsageTrace> UsageTrace::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return util::Status{util::ErrorCode::kNotFound, "cannot open " + path};
+  }
+  return LoadFrom(in);
+}
+
+}  // namespace svc::profile

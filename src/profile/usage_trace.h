@@ -1,0 +1,55 @@
+// Bandwidth usage traces.
+//
+// "Given the bandwidth usage profile of an application, one can derive the
+// probability distributions of bandwidth demands of VMs and include them in
+// the virtual cluster requests" (paper Section III-A).  This module is that
+// pipeline: record (or synthesize) per-task rate samples, estimate the
+// demand distribution, and build SVC requests from it.
+//
+// Traces persist in a line-oriented text format:
+//
+//   svc-trace v1
+//   interval <seconds>
+//   samples <count>
+//   <rate_mbps>            (one per line)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace svc::profile {
+
+class UsageTrace {
+ public:
+  explicit UsageTrace(double interval_seconds = 1.0);
+
+  // Appends one observed rate sample (Mbps, >= 0; negative readings are
+  // clamped to 0 — counters can glitch).
+  void Record(double rate_mbps);
+
+  double interval_seconds() const { return interval_seconds_; }
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  const std::vector<double>& samples() const { return samples_; }
+  double duration_seconds() const {
+    return interval_seconds_ * static_cast<double>(samples_.size());
+  }
+
+  // Serialization (format above).  Load validates the header and every
+  // sample; malformed input yields kInvalidArgument.
+  void SaveTo(std::ostream& out) const;
+  static util::Result<UsageTrace> LoadFrom(std::istream& in);
+
+  // Convenience file wrappers.
+  util::Status SaveToFile(const std::string& path) const;
+  static util::Result<UsageTrace> LoadFromFile(const std::string& path);
+
+ private:
+  double interval_seconds_;
+  std::vector<double> samples_;
+};
+
+}  // namespace svc::profile

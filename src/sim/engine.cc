@@ -1,0 +1,337 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "stats/lognormal.h"
+#include "util/logging.h"
+
+namespace svc::sim {
+
+Engine::Engine(const topology::Topology& topo, SimConfig config)
+    : topo_(&topo),
+      config_(config),
+      manager_(topo, config.epsilon),
+      empty_manager_(topo, config.epsilon),
+      scratch_(topo.directed_cable_slots()),
+      rng_(config.seed) {
+  assert(config_.allocator != nullptr && "SimConfig.allocator is required");
+  assert(config_.time_step > 0);
+  // Full-duplex links, one capacity slot per cable and direction; on
+  // untrunked fabrics each link simply has one cable per direction.
+  topo.FillCableCapacities(capacity_);
+  offered_load_.resize(topo.directed_cable_slots(), 0.0);
+  link_touched_.resize(topo.directed_cable_slots(), 0);
+}
+
+bool Engine::UnallocatableEvenEmpty(const workload::JobSpec& spec) {
+  const core::Request request =
+      workload::MakeRequest(spec, config_.abstraction, config_.vc_quantile);
+  return !config_.allocator
+              ->Allocate(request, empty_manager_.ledger(),
+                         empty_manager_.slots())
+              .ok();
+}
+
+bool Engine::TryStart(const workload::JobSpec& spec, double now) {
+  const core::Request request =
+      workload::MakeRequest(spec, config_.abstraction, config_.vc_quantile);
+  util::Result<core::Placement> result =
+      manager_.Admit(request, *config_.allocator);
+  if (!result) {
+    if (result.status().code() == util::ErrorCode::kFailedPrecondition) {
+      // An allocator bug, not a capacity condition — fail loudly.
+      SVC_LOG(Error) << "admission inconsistency: " << result.status().ToText();
+    }
+    return false;
+  }
+  const core::Placement& placement = *result;
+  if (placement.subtree_root != topology::kNoVertex) {
+    placement_levels_.push_back(topo_->level(placement.subtree_root));
+  }
+
+  ActiveJob job;
+  job.spec = spec;
+  job.start_time = now;
+  job.compute_done = now + spec.compute_time;
+  job.last_flow_finish = now;
+  const double cap = workload::RateCap(spec, config_.abstraction, config_.vc_quantile);
+
+  // One flow per task; every task is a source and a destination for exactly
+  // one flow (paper's workload model), i.e. dst is a fixed-point-free
+  // permutation of the tasks.
+  std::vector<int> dst_of(spec.size);
+  if (spec.size > 1) {
+    if (config_.flow_pattern == FlowPattern::kRing) {
+      for (int i = 0; i < spec.size; ++i) dst_of[i] = (i + 1) % spec.size;
+    } else {
+      // Random derangement: shuffle, then use the cyclic structure of the
+      // shuffled order (i -> next in shuffled sequence), which has no fixed
+      // points and is exactly one big cycle over a random order.
+      std::vector<int> order(spec.size);
+      for (int i = 0; i < spec.size; ++i) order[i] = i;
+      for (int i = spec.size - 1; i > 0; --i) {
+        const int j = static_cast<int>(rng_.UniformInt(0, i));
+        std::swap(order[i], order[j]);
+      }
+      for (int i = 0; i < spec.size; ++i) {
+        dst_of[order[i]] = order[(i + 1) % spec.size];
+      }
+    }
+  }
+  if (spec.size > 1) {
+    for (int i = 0; i < spec.size; ++i) {
+      const topology::VertexId src = placement.vm_machine[i];
+      const topology::VertexId dst = placement.vm_machine[dst_of[i]];
+      SimFlow flow;
+      // Per-flow ECMP: one hash pins the flow to a cable on every trunk.
+      topo_->PathCablesDirected(src, dst, rng_.NextU64(), flow.links);
+      flows_.push_back(std::move(flow));
+      // Heterogeneous jobs: the source task's own distribution drives the
+      // per-second generation-rate draws.
+      const double rate_mean = spec.vm_demands.empty()
+                                   ? spec.rate_mean
+                                   : spec.vm_demands[i].mean;
+      const double rate_stddev = spec.vm_demands.empty()
+                                     ? spec.rate_stddev
+                                     : spec.vm_demands[i].stddev();
+      FlowMeta meta{spec.id, spec.flow_mbits, rate_mean, rate_stddev, cap,
+                    enforce::TokenBucket{0, 0}};
+      if (config_.enforcement == Enforcement::kTokenBucket &&
+          std::isfinite(cap)) {
+        meta.bucket = enforce::TokenBucket(cap, cap * config_.burst_seconds);
+      }
+      meta.distribution = spec.rate_distribution;
+      if (meta.distribution == workload::RateDistribution::kLogNormal &&
+          rate_stddev > 0 && rate_mean > 0) {
+        const stats::LogNormal lognormal = stats::LogNormal::FromMeanVariance(
+            rate_mean, rate_stddev * rate_stddev);
+        meta.log_mu = lognormal.mu_log();
+        meta.log_sigma = lognormal.sigma_log();
+      } else {
+        meta.distribution = workload::RateDistribution::kNormal;
+      }
+      meta_.push_back(std::move(meta));
+      ++job.flows_left;
+    }
+  }
+  active_.emplace(spec.id, std::move(job));
+  if (config_.events != nullptr) {
+    config_.events->Record(now, EventKind::kAdmit, spec.id);
+  }
+  return true;
+}
+
+void Engine::Step(double now, std::vector<int64_t>& completed) {
+  const double dt = config_.time_step;
+  const double end = now + dt;
+
+  // Redraw per-source generation rates and apply hypervisor rate limiting.
+  const bool token_bucket =
+      config_.enforcement == Enforcement::kTokenBucket;
+  for (size_t f = 0; f < flows_.size(); ++f) {
+    FlowMeta& m = meta_[f];
+    const double draw =
+        m.distribution == workload::RateDistribution::kLogNormal
+            ? std::exp(rng_.Normal(m.log_mu, m.log_sigma))
+            : std::max(0.0, rng_.Normal(m.rate_mean, m.rate_stddev));
+    if (token_bucket && std::isfinite(m.rate_cap)) {
+      flows_[f].desired = m.bucket.Admit(draw, dt);
+    } else {
+      flows_[f].desired = std::min(draw, m.rate_cap);
+    }
+  }
+
+  if (config_.measure_outage) {
+    // A bandwidth outage (paper constraint (1)) is a loaded link whose
+    // offered demand exceeds its capacity this second.
+    for (const SimFlow& flow : flows_) {
+      for (topology::VertexId link : flow.links) {
+        if (!link_touched_[link]) {
+          link_touched_[link] = 1;
+          loaded_links_.push_back(link);
+        }
+        offered_load_[link] += flow.desired;
+      }
+    }
+    for (topology::VertexId link : loaded_links_) {
+      ++busy_link_seconds_;
+      if (offered_load_[link] > capacity_[link] * (1 + 1e-9)) {
+        ++outage_link_seconds_;
+      }
+      offered_load_[link] = 0.0;
+      link_touched_[link] = 0;
+    }
+    loaded_links_.clear();
+  }
+
+  scratch_.Allocate(flows_, capacity_);
+
+  // Progress transfers; swap-erase finished flows.
+  for (size_t f = 0; f < flows_.size();) {
+    meta_[f].remaining_mbits -= flows_[f].rate * dt;
+    if (meta_[f].remaining_mbits <= 1e-9) {
+      ActiveJob& job = active_.at(meta_[f].job_id);
+      --job.flows_left;
+      job.last_flow_finish = end;
+      if (job.flows_left == 0 && config_.events != nullptr) {
+        config_.events->Record(end, EventKind::kNetworkDone,
+                               meta_[f].job_id);
+      }
+      flows_[f] = std::move(flows_.back());
+      flows_.pop_back();
+      meta_[f] = meta_.back();
+      meta_.pop_back();
+    } else {
+      ++f;
+    }
+  }
+
+  // Completions: network done and compute done.
+  for (auto it = active_.begin(); it != active_.end();) {
+    const ActiveJob& job = it->second;
+    if (job.flows_left == 0 && end >= job.compute_done - 1e-9) {
+      completed.push_back(it->first);
+      if (config_.events != nullptr) {
+        config_.events->Record(end, EventKind::kComplete, it->first);
+      }
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+BatchResult Engine::RunBatch(const std::vector<workload::JobSpec>& jobs) {
+  BatchResult result;
+  std::deque<workload::JobSpec> queue(jobs.begin(), jobs.end());
+
+  double now = 0;
+  std::unordered_map<int64_t, double> start_times;
+  auto admit_fifo = [&] {
+    while (!queue.empty()) {
+      if (TryStart(queue.front(), now)) {
+        start_times[queue.front().id] = now;
+        queue.pop_front();
+        continue;
+      }
+      if (UnallocatableEvenEmpty(queue.front())) {
+        if (config_.events != nullptr) {
+          config_.events->Record(now, EventKind::kSkipUnallocatable,
+                                 queue.front().id);
+        }
+        // The head job cannot fit even in an empty datacenter; skip it
+        // immediately so it neither deadlocks the batch nor stalls the
+        // FIFO queue until the fabric drains.
+        SVC_LOG(Debug) << "job " << queue.front().id
+                       << " unallocatable on an empty datacenter; skipped";
+        ++result.unallocatable_jobs;
+        queue.pop_front();
+        continue;
+      }
+      break;  // strict FIFO: wait for completions
+    }
+  };
+
+  admit_fifo();
+  std::vector<int64_t> completed;
+  while (!active_.empty()) {
+    if (now >= config_.max_seconds) {
+      SVC_LOG(Error) << "batch simulation hit the max_seconds safety stop at "
+                     << now;
+      break;
+    }
+    completed.clear();
+    Step(now, completed);
+    now += config_.time_step;
+    if (!completed.empty()) {
+      for (int64_t id : completed) {
+        manager_.Release(id);
+        JobRecord record;
+        record.id = id;
+        record.arrival_time = 0;
+        record.start_time = start_times.at(id);
+        record.finish_time = now;
+        result.jobs.push_back(record);
+        result.total_completion_time = now;
+      }
+      admit_fifo();
+    }
+  }
+  result.simulated_seconds = now;
+  result.outage = {outage_link_seconds_, busy_link_seconds_};
+  result.placement_levels = placement_levels_;
+  return result;
+}
+
+OnlineResult Engine::RunOnline(std::vector<workload::JobSpec> jobs) {
+  std::sort(jobs.begin(), jobs.end(),
+            [](const auto& lhs, const auto& rhs) {
+              return lhs.arrival_time < rhs.arrival_time;
+            });
+  OnlineResult result;
+  size_t next = 0;
+  double now = 0;
+  std::vector<int64_t> completed;
+  std::unordered_map<int64_t, double> start_times;
+  std::unordered_map<int64_t, double> arrival_times;
+
+  while (next < jobs.size() || !active_.empty()) {
+    if (now >= config_.max_seconds) {
+      SVC_LOG(Error) << "online simulation hit the max_seconds safety stop";
+      break;
+    }
+    while (next < jobs.size() && jobs[next].arrival_time <= now) {
+      const workload::JobSpec& spec = jobs[next];
+      if (config_.events != nullptr) {
+        config_.events->Record(spec.arrival_time, EventKind::kArrival,
+                               spec.id);
+      }
+      if (TryStart(spec, now)) {
+        ++result.accepted;
+        start_times[spec.id] = now;
+        arrival_times[spec.id] = spec.arrival_time;
+      } else {
+        ++result.rejected;
+        if (config_.events != nullptr) {
+          config_.events->Record(now, EventKind::kReject, spec.id);
+        }
+      }
+      // Samples taken at every arrival, after the admission decision.
+      result.concurrency_samples.push_back(
+          static_cast<int>(active_.size()));
+      if (config_.sample_occupancy) {
+        result.max_occupancy_samples.push_back(manager_.MaxOccupancy());
+      }
+      ++next;
+    }
+    if (active_.empty()) {
+      // Idle period: jump to the next arrival instead of stepping through
+      // empty seconds.
+      if (next < jobs.size()) {
+        now = std::max(now, jobs[next].arrival_time);
+        continue;
+      }
+      break;
+    }
+    completed.clear();
+    Step(now, completed);
+    now += config_.time_step;
+    for (int64_t id : completed) {
+      manager_.Release(id);
+      JobRecord record;
+      record.id = id;
+      record.arrival_time = arrival_times.at(id);
+      record.start_time = start_times.at(id);
+      record.finish_time = now;
+      result.jobs.push_back(record);
+    }
+  }
+  result.simulated_seconds = now;
+  result.outage = {outage_link_seconds_, busy_link_seconds_};
+  result.placement_levels = placement_levels_;
+  return result;
+}
+
+}  // namespace svc::sim

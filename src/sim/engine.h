@@ -1,0 +1,146 @@
+// Time-stepped flow-level datacenter simulator (paper Section VI).
+//
+// Jobs occupy VM slots from allocation until max(Tc, Tn): Tc is the job's
+// compute time, Tn the time its last flow finishes.  Every simulated second
+// each task draws a fresh data-generation rate from N(mu_d, sigma_d^2)
+// (rectified at 0); deterministic abstractions (mean-VC / percentile-VC)
+// cap that rate at the reserved bandwidth (hypervisor rate limiting), SVC
+// leaves it uncapped and the network's max-min fair sharing arbitrates —
+// the "statistical sharing" the paper's framework relies on.
+//
+// Two scenarios:
+//   RunBatch  — all jobs queued FIFO at t=0; whenever a job completes the
+//               topmost job(s) that fit are started (paper VI-B1).
+//   RunOnline — Poisson arrivals; a job that cannot be allocated at its
+//               arrival instant is rejected (paper VI-B2).  Concurrency and
+//               max-occupancy are sampled at every arrival.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "enforce/token_bucket.h"
+#include "sim/event_log.h"
+#include "sim/max_min.h"
+#include "sim/metrics.h"
+#include "stats/rng.h"
+#include "svc/allocator.h"
+#include "svc/manager.h"
+#include "topology/topology.h"
+#include "workload/workload.h"
+
+namespace svc::sim {
+
+// How a job's tasks are paired into flows.  Every task is a source and a
+// destination for exactly one flow (paper's workload model) — i.e. the
+// pairing is a fixed-point-free permutation of the tasks.
+enum class FlowPattern {
+  // dst(i) drawn as a random derangement: the expected traffic crossing a
+  // link that splits the job m / N-m is ~2*m*(N-m)/N * mu, which matches
+  // the hose-model demand min(m, N-m)*mu the SVC reservation is based on.
+  kRandomPermutation,
+  // dst(i) = (i+1) mod N: a ring (pipeline-shaped jobs).  Only ~2 flows
+  // cross any link under contiguous placement — far below the hose bound,
+  // making the reservation very conservative for such jobs.
+  kRing,
+};
+
+// How deterministic reservations are enforced at the hypervisor (see
+// enforce/token_bucket.h).  SVC flows are never rate limited either way.
+enum class Enforcement {
+  kHardCap,      // idealized limiter: rate clipped at B every second
+  kTokenBucket,  // realistic limiter: bursts above B ride on saved credit
+};
+
+struct SimConfig {
+  workload::Abstraction abstraction = workload::Abstraction::kSvc;
+  double epsilon = 0.05;           // SVC risk factor
+  const core::Allocator* allocator = nullptr;  // required
+  double time_step = 1.0;          // seconds; the paper redraws rates at 1 s
+  double max_seconds = 2e6;        // safety stop, flagged in the result log
+  uint64_t seed = 1;
+  bool sample_occupancy = true;    // record MaxOccupancy at arrivals
+  FlowPattern flow_pattern = FlowPattern::kRandomPermutation;
+  // Count bandwidth outages: (link, second) pairs where offered demand
+  // exceeded capacity, over (link, second) pairs carrying any demand.
+  // This measures the paper's constraint (1) end to end.
+  bool measure_outage = true;
+  Enforcement enforcement = Enforcement::kHardCap;
+  // Token-bucket depth as seconds of the reservation rate (B * this).
+  double burst_seconds = 5.0;
+  // Reserved percentile for Abstraction::kPercentileVc (paper: 0.95).
+  double vc_quantile = 0.95;
+  // Optional structured event log (borrowed; must outlive the run).
+  EventLog* events = nullptr;
+};
+
+class Engine {
+ public:
+  Engine(const topology::Topology& topo, SimConfig config);
+
+  BatchResult RunBatch(const std::vector<workload::JobSpec>& jobs);
+  OnlineResult RunOnline(std::vector<workload::JobSpec> jobs);
+
+  const core::NetworkManager& manager() const { return manager_; }
+
+ private:
+  struct ActiveJob {
+    workload::JobSpec spec;
+    double start_time = 0;
+    double compute_done = 0;
+    int flows_left = 0;
+    double last_flow_finish = 0;
+  };
+
+  // Per-flow state parallel to the SimFlow rate-allocation records.
+  struct FlowMeta {
+    int64_t job_id = 0;
+    double remaining_mbits = 0;
+    double rate_mean = 0;
+    double rate_stddev = 0;
+    double rate_cap = 0;
+    enforce::TokenBucket bucket{0, 0};  // used when enforcement=kTokenBucket
+    workload::RateDistribution distribution =
+        workload::RateDistribution::kNormal;
+    // Underlying-normal parameters when distribution == kLogNormal.
+    double log_mu = 0;
+    double log_sigma = 0;
+  };
+
+  // Attempts admission; on success registers flows and the active record.
+  bool TryStart(const workload::JobSpec& spec, double now);
+
+  // True if the job could not be placed even on an empty datacenter (e.g.
+  // per-VM effective demand above the machine link): such jobs can never
+  // run and must not block the FIFO queue until the fabric drains.
+  bool UnallocatableEvenEmpty(const workload::JobSpec& spec);
+
+  // Advances one time step; returns ids of jobs that completed at `now+dt`.
+  void Step(double now, std::vector<int64_t>& completed);
+
+  const topology::Topology* topo_;
+  SimConfig config_;
+  core::NetworkManager manager_;
+  // Pristine state used only for UnallocatableEvenEmpty checks.
+  core::NetworkManager empty_manager_;
+  MaxMinScratch scratch_;
+  std::vector<double> capacity_;  // uplink capacity per vertex
+  stats::Rng rng_;
+
+  std::vector<SimFlow> flows_;
+  std::vector<FlowMeta> meta_;
+  std::unordered_map<int64_t, ActiveJob> active_;
+
+  std::vector<int> placement_levels_;  // locality of accepted placements
+
+  // Outage accounting scratch + totals (see SimConfig.measure_outage).
+  std::vector<double> offered_load_;
+  std::vector<char> link_touched_;
+  std::vector<topology::VertexId> loaded_links_;
+  int64_t outage_link_seconds_ = 0;
+  int64_t busy_link_seconds_ = 0;
+};
+
+}  // namespace svc::sim

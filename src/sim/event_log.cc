@@ -1,0 +1,37 @@
+#include "sim/event_log.h"
+
+#include <sstream>
+
+namespace svc::sim {
+
+const char* ToString(EventKind kind) {
+  switch (kind) {
+    case EventKind::kArrival: return "arrival";
+    case EventKind::kAdmit: return "admit";
+    case EventKind::kReject: return "reject";
+    case EventKind::kSkipUnallocatable: return "skip-unallocatable";
+    case EventKind::kNetworkDone: return "network-done";
+    case EventKind::kComplete: return "complete";
+  }
+  return "?";
+}
+
+std::vector<Event> EventLog::Filter(EventKind kind) const {
+  std::vector<Event> matching;
+  for (const Event& event : events_) {
+    if (event.kind == kind) matching.push_back(event);
+  }
+  return matching;
+}
+
+std::string EventLog::ToCsv() const {
+  std::ostringstream out;
+  out << "time,kind,job\n";
+  for (const Event& event : events_) {
+    out << event.time << "," << ToString(event.kind) << "," << event.job_id
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace svc::sim

@@ -1,0 +1,52 @@
+// Optional structured event log for simulations.
+//
+// When attached via SimConfig.events, the engine records every scheduler
+// decision with its timestamp, giving post-hoc analyses (queueing delay
+// breakdowns, admission timelines) and fine-grained regression tests
+// something better than aggregate metrics to look at.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace svc::sim {
+
+enum class EventKind {
+  kArrival,        // online: a request arrived
+  kAdmit,          // placement succeeded; job starts
+  kReject,         // online: admission failed at arrival
+  kSkipUnallocatable,  // batch: head job can never fit; skipped
+  kNetworkDone,    // the job's last flow finished
+  kComplete,       // job released (max(Tc, Tn) reached)
+};
+
+const char* ToString(EventKind kind);
+
+struct Event {
+  double time = 0;
+  EventKind kind = EventKind::kArrival;
+  int64_t job_id = 0;
+};
+
+class EventLog {
+ public:
+  void Record(double time, EventKind kind, int64_t job_id) {
+    events_.push_back({time, kind, job_id});
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  void Clear() { events_.clear(); }
+
+  // Events of one kind, in order.
+  std::vector<Event> Filter(EventKind kind) const;
+
+  // "time,kind,job" CSV, one event per line, with header.
+  std::string ToCsv() const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace svc::sim

@@ -1,0 +1,110 @@
+#include "sim/max_min.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace svc::sim {
+
+MaxMinScratch::MaxMinScratch(int num_vertices) {
+  remaining_.resize(num_vertices);
+  count_.resize(num_vertices);
+  flows_on_.resize(num_vertices);
+}
+
+void MaxMinScratch::Allocate(std::vector<SimFlow>& flows,
+                             const std::vector<double>& capacity) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const int n = static_cast<int>(flows.size());
+  frozen_.assign(n, 0);
+  active_links_.clear();
+
+  int unfrozen = 0;
+  for (int f = 0; f < n; ++f) {
+    SimFlow& flow = flows[f];
+    flow.rate = 0;
+    if (flow.links.empty() || flow.desired <= 0) {
+      // No network on the path (or nothing to send): the flow gets its
+      // desire outright.
+      flow.rate = std::max(0.0, flow.desired);
+      frozen_[f] = 1;
+      continue;
+    }
+    ++unfrozen;
+    for (topology::VertexId link : flow.links) {
+      if (count_[link] == 0) {
+        remaining_[link] = capacity[link];
+        flows_on_[link].clear();
+        active_links_.push_back(link);
+      }
+      ++count_[link];
+      flows_on_[link].push_back(f);
+    }
+  }
+
+  // Flow indices ascending by desired rate; the front of this order is the
+  // candidate set for demand-limited freezing.
+  order_.clear();
+  for (int f = 0; f < n; ++f) {
+    if (!frozen_[f]) order_.push_back(f);
+  }
+  std::sort(order_.begin(), order_.end(), [&](int lhs, int rhs) {
+    return flows[lhs].desired < flows[rhs].desired;
+  });
+  size_t next_demand = 0;
+
+  auto freeze = [&](int f, double rate) {
+    SimFlow& flow = flows[f];
+    flow.rate = rate;
+    frozen_[f] = 1;
+    --unfrozen;
+    for (topology::VertexId link : flow.links) {
+      remaining_[link] -= rate;
+      if (remaining_[link] < 0) remaining_[link] = 0;  // fp guard
+      --count_[link];
+    }
+  };
+
+  while (unfrozen > 0) {
+    // Current bottleneck share over links that still carry unfrozen flows.
+    double level = kInf;
+    topology::VertexId bottleneck = topology::kNoVertex;
+    for (topology::VertexId link : active_links_) {
+      if (count_[link] == 0) continue;
+      const double share = remaining_[link] / count_[link];
+      if (share < level) {
+        level = share;
+        bottleneck = link;
+      }
+    }
+    assert(bottleneck != topology::kNoVertex);
+
+    // Rule 1: batch-freeze demand-limited flows.  Freezing a flow with
+    // desired <= level only raises link shares, so one pass is safe.
+    bool any_demand_frozen = false;
+    while (next_demand < order_.size()) {
+      const int f = order_[next_demand];
+      if (frozen_[f]) {
+        ++next_demand;
+        continue;
+      }
+      if (flows[f].desired > level) break;
+      freeze(f, flows[f].desired);
+      ++next_demand;
+      any_demand_frozen = true;
+    }
+    if (any_demand_frozen) continue;  // shares changed; recompute level
+
+    // Rule 2: saturate the bottleneck link.
+    for (int f : flows_on_[bottleneck]) {
+      if (!frozen_[f]) freeze(f, level);
+    }
+  }
+
+  // Reset per-link state for the next call (only touched links).
+  for (topology::VertexId link : active_links_) {
+    count_[link] = 0;
+  }
+}
+
+}  // namespace svc::sim

@@ -1,0 +1,57 @@
+// Max-min fair bandwidth allocation with per-flow demand caps
+// (progressive filling / water-filling).
+//
+// Every simulated second the engine hands each flow a desired rate (its
+// source's data-generation draw, clipped by the hypervisor rate limit for
+// deterministic abstractions) and this module computes the rates the
+// network actually delivers: the unique max-min fair allocation where no
+// flow exceeds its desired rate and no link its capacity.
+//
+// Algorithm: classic progressive filling with two freeze rules.
+//   1. Any unfrozen flow whose desired rate is at or below the current
+//      bottleneck share is demand-limited: it freezes at its desire.
+//      (Freezing such a flow can only *raise* link shares, so a whole batch
+//      can be frozen per scan.)
+//   2. Otherwise the bottleneck link saturates: every unfrozen flow through
+//      it freezes at the bottleneck share.
+// Each round freezes at least one flow or saturates one link, so the loop
+// terminates in O(#links + #batches) rounds.  Flows with an empty path
+// (both endpoints on one machine) bypass the network entirely.
+#pragma once
+
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace svc::sim {
+
+struct SimFlow {
+  // Capacity-array indices of the links on the flow's path (empty =
+  // intra-machine).  The engine uses Topology::PathLinksDirected encodings
+  // (one capacity slot per link direction); tests may use any indexing —
+  // the allocator is agnostic as long as `capacity` is indexed the same way.
+  std::vector<int32_t> links;
+  double desired = 0;  // offered rate this step, Mbps
+  double rate = 0;     // output: delivered rate, Mbps
+};
+
+// Reusable scratch buffers so the per-second call does not allocate.
+class MaxMinScratch {
+ public:
+  explicit MaxMinScratch(int num_vertices);
+
+  // Computes flow.rate for every flow.  `capacity[v]` is the capacity of
+  // vertex v's uplink (index 0 / root unused).
+  void Allocate(std::vector<SimFlow>& flows,
+                const std::vector<double>& capacity);
+
+ private:
+  std::vector<double> remaining_;           // per link
+  std::vector<int> count_;                  // unfrozen flows per link
+  std::vector<std::vector<int>> flows_on_;  // per link: flow indices
+  std::vector<topology::VertexId> active_links_;
+  std::vector<int> order_;  // flow indices sorted by desired
+  std::vector<char> frozen_;
+};
+
+}  // namespace svc::sim

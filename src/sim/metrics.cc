@@ -1,0 +1,43 @@
+#include "sim/metrics.h"
+
+namespace svc::sim {
+
+double BatchResult::MeanRunningTime() const {
+  if (jobs.empty()) return 0;
+  double sum = 0;
+  for (const JobRecord& job : jobs) sum += job.running_time();
+  return sum / static_cast<double>(jobs.size());
+}
+
+namespace {
+double MeanOf(const std::vector<int>& values) {
+  if (values.empty()) return 0;
+  double sum = 0;
+  for (int v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+}  // namespace
+
+double BatchResult::MeanPlacementLevel() const {
+  return MeanOf(placement_levels);
+}
+
+double OnlineResult::MeanPlacementLevel() const {
+  return MeanOf(placement_levels);
+}
+
+double OnlineResult::MeanConcurrency() const {
+  if (concurrency_samples.empty()) return 0;
+  double sum = 0;
+  for (int sample : concurrency_samples) sum += sample;
+  return sum / static_cast<double>(concurrency_samples.size());
+}
+
+double OnlineResult::MeanRunningTime() const {
+  if (jobs.empty()) return 0;
+  double sum = 0;
+  for (const JobRecord& job : jobs) sum += job.running_time();
+  return sum / static_cast<double>(jobs.size());
+}
+
+}  // namespace svc::sim

@@ -1,0 +1,73 @@
+// Result records for the two evaluation scenarios.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/ecdf.h"
+#include "stats/moments.h"
+
+namespace svc::sim {
+
+// One finished job's timeline.
+struct JobRecord {
+  int64_t id = 0;
+  double arrival_time = 0;
+  double start_time = 0;   // when the allocation succeeded
+  double finish_time = 0;  // max(compute done, last flow done)
+  double running_time() const { return finish_time - start_time; }
+  double waiting_time() const { return start_time - arrival_time; }
+};
+
+// Bandwidth-outage accounting: an outage is a (link, second) pair where the
+// offered demand exceeded the link capacity (so some flow was throttled).
+// The paper's constraint (1) bounds the per-link outage probability by
+// epsilon; OutageRate() is the empirical aggregate over all loaded links.
+struct OutageStats {
+  int64_t outage_link_seconds = 0;
+  int64_t busy_link_seconds = 0;
+  double OutageRate() const {
+    return busy_link_seconds == 0
+               ? 0.0
+               : static_cast<double>(outage_link_seconds) / busy_link_seconds;
+  }
+};
+
+struct BatchResult {
+  double total_completion_time = 0;  // makespan of the batch
+  std::vector<JobRecord> jobs;       // completed jobs
+  int64_t unallocatable_jobs = 0;    // skipped (could never fit even empty)
+  double simulated_seconds = 0;
+  OutageStats outage;
+  // Level of the subtree each accepted placement fit in (0 = one machine):
+  // the locality metric the lowest-subtree rule optimizes.
+  std::vector<int> placement_levels;
+
+  // Mean running time per job, the Fig. 6 statistic.
+  double MeanRunningTime() const;
+  double MeanPlacementLevel() const;
+};
+
+struct OnlineResult {
+  std::vector<JobRecord> jobs;  // accepted & completed jobs
+  int64_t accepted = 0;
+  int64_t rejected = 0;
+  double simulated_seconds = 0;
+  OutageStats outage;
+  std::vector<int> placement_levels;  // see BatchResult
+
+  // Sampled at every job arrival (paper Sections VI-B2/B3).
+  std::vector<int> concurrency_samples;
+  std::vector<double> max_occupancy_samples;
+
+  double RejectionRate() const {
+    const int64_t total = accepted + rejected;
+    return total == 0 ? 0.0 : static_cast<double>(rejected) / total;
+  }
+  double MeanConcurrency() const;
+  double MeanRunningTime() const;
+  double MeanPlacementLevel() const;
+};
+
+}  // namespace svc::sim

@@ -1,0 +1,43 @@
+#include "stats/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace svc::stats {
+
+double RectifiedNormalMean(double mean, double stddev) {
+  assert(stddev >= 0);
+  if (stddev == 0) return std::max(0.0, mean);
+  const double z = mean / stddev;
+  return mean * NormalCdf(z) + stddev * NormalPdf(z);
+}
+
+double RectifiedNormalVariance(double mean, double stddev) {
+  assert(stddev >= 0);
+  if (stddev == 0) return 0.0;
+  const double z = mean / stddev;
+  const double first = RectifiedNormalMean(mean, stddev);
+  // E[max(0,X)^2] = (mean^2 + stddev^2) * Phi(z) + mean*stddev*phi(z).
+  const double second = (mean * mean + stddev * stddev) * NormalCdf(z) +
+                        mean * stddev * NormalPdf(z);
+  return std::max(0.0, second - first * first);
+}
+
+double SampleRectifiedNormal(Rng& rng, double mean, double stddev) {
+  return std::max(0.0, rng.Normal(mean, stddev));
+}
+
+int64_t SampleExponentialInt(Rng& rng, double mean, int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  assert(mean > 0);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const int64_t draw =
+        static_cast<int64_t>(std::llround(rng.Exponential(mean)));
+    if (draw >= lo && draw <= hi) return draw;
+  }
+  // Extremely unlikely unless [lo, hi] has negligible mass; clamp.
+  return std::clamp(static_cast<int64_t>(std::llround(mean)), lo, hi);
+}
+
+}  // namespace svc::stats

@@ -1,0 +1,29 @@
+// Derived distributions used by the workload model.
+//
+// The paper draws per-second data-generation rates from N(mu_d, sigma_d^2)
+// with sigma_d up to mu_d, so negative draws occur; physical rates are the
+// rectification max(0, X).  RectifiedNormalMean/Variance give the exact
+// moments of that rectified variable, which the tests use to validate the
+// simulator's effective throughput.
+#pragma once
+
+#include "stats/normal.h"
+#include "stats/rng.h"
+
+namespace svc::stats {
+
+// E[max(0, X)] for X ~ N(mean, stddev^2).
+double RectifiedNormalMean(double mean, double stddev);
+
+// Var[max(0, X)] for X ~ N(mean, stddev^2).
+double RectifiedNormalVariance(double mean, double stddev);
+
+// Samples max(0, N(mean, stddev^2)) — the paper's data-generation rate.
+double SampleRectifiedNormal(Rng& rng, double mean, double stddev);
+
+// Samples an exponential clamped to [lo, hi] by re-drawing (used for job
+// sizes: "exponentially distributed around a mean of 49", clamped to at
+// least 2 VMs and at most the cluster slot count).
+int64_t SampleExponentialInt(Rng& rng, double mean, int64_t lo, int64_t hi);
+
+}  // namespace svc::stats

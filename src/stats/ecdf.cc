@@ -1,0 +1,49 @@
+#include "stats/ecdf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace svc::stats {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : samples_(std::move(samples)), sorted_(false) {}
+
+void EmpiricalCdf::Add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+}
+
+void EmpiricalCdf::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::CdfAt(double x) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::Percentile(double p) const {
+  assert(!samples_.empty());
+  assert(p >= 0 && p <= 1);
+  EnsureSorted();
+  if (samples_.size() == 1) return samples_[0];
+  const double position = p * static_cast<double>(samples_.size() - 1);
+  const size_t lower = static_cast<size_t>(std::floor(position));
+  const size_t upper = std::min(lower + 1, samples_.size() - 1);
+  const double weight = position - static_cast<double>(lower);
+  return samples_[lower] * (1 - weight) + samples_[upper] * weight;
+}
+
+const std::vector<double>& EmpiricalCdf::sorted() const {
+  EnsureSorted();
+  return samples_;
+}
+
+}  // namespace svc::stats

@@ -1,0 +1,40 @@
+// Empirical cumulative distribution over a collected sample.
+//
+// Fig. 9 of the paper plots the empirical CDF of the maximum bandwidth-
+// occupancy ratio sampled at every job arrival; this class reproduces that
+// computation and also provides percentile queries used elsewhere.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace svc::stats {
+
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  void Add(double sample);
+
+  // Fraction of samples <= x (0 for an empty sample).
+  double CdfAt(double x) const;
+
+  // p-quantile with linear interpolation between order statistics,
+  // p in [0, 1].  Precondition: at least one sample.
+  double Percentile(double p) const;
+
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  // Sorted view of the sample (sorts lazily).
+  const std::vector<double>& sorted() const;
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace svc::stats

@@ -1,0 +1,40 @@
+#include "stats/lognormal.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace svc::stats {
+
+LogNormal::LogNormal(double mu_log, double sigma_log)
+    : mu_log_(mu_log), sigma_log_(sigma_log) {
+  assert(sigma_log >= 0);
+}
+
+LogNormal LogNormal::FromMeanVariance(double mean, double variance) {
+  assert(mean > 0);
+  assert(variance >= 0);
+  // mean = exp(mu + s^2/2), var = (exp(s^2) - 1) * mean^2.
+  const double s2 = std::log1p(variance / (mean * mean));
+  const double mu = std::log(mean) - 0.5 * s2;
+  return LogNormal(mu, std::sqrt(s2));
+}
+
+double LogNormal::mean() const {
+  return std::exp(mu_log_ + 0.5 * sigma_log_ * sigma_log_);
+}
+
+double LogNormal::variance() const {
+  const double m = mean();
+  return (std::exp(sigma_log_ * sigma_log_) - 1.0) * m * m;
+}
+
+double LogNormal::Quantile(double p) const {
+  assert(p > 0 && p < 1);
+  return std::exp(mu_log_ + sigma_log_ * NormalQuantile(p));
+}
+
+double LogNormal::Sample(Rng& rng) const {
+  return std::exp(rng.Normal(mu_log_, sigma_log_));
+}
+
+}  // namespace svc::stats

@@ -1,0 +1,46 @@
+// Lognormal distribution, parameterized for the SVC use case.
+//
+// The paper assumes normal bandwidth demands "for simplicity" and notes
+// SVC "can straightforwardly use other types of probability distributions":
+// the admission framework only consumes each demand's first two moments
+// (everything downstream is the CLT aggregate).  The lognormal is the
+// canonical heavy-tailed alternative observed in datacenter traffic; this
+// class converts between (mean, variance) — what the SVC request carries —
+// and the underlying (mu_log, sigma_log) needed for sampling and quantiles.
+#pragma once
+
+#include "stats/normal.h"
+#include "stats/rng.h"
+
+namespace svc::stats {
+
+class LogNormal {
+ public:
+  // From the underlying normal's parameters: X = exp(N(mu_log, sigma_log^2)).
+  LogNormal(double mu_log, double sigma_log);
+
+  // The lognormal with the given arithmetic mean and variance
+  // (mean > 0, variance >= 0; variance == 0 degenerates to a constant).
+  static LogNormal FromMeanVariance(double mean, double variance);
+
+  double mu_log() const { return mu_log_; }
+  double sigma_log() const { return sigma_log_; }
+
+  // Arithmetic moments.
+  double mean() const;
+  double variance() const;
+
+  // p-quantile, p in (0, 1).
+  double Quantile(double p) const;
+
+  double Sample(Rng& rng) const;
+
+  // The two-moment summary an SVC request carries.
+  Normal MomentSummary() const { return Normal{mean(), variance()}; }
+
+ private:
+  double mu_log_;
+  double sigma_log_;
+};
+
+}  // namespace svc::stats

@@ -1,0 +1,31 @@
+#include "stats/min_normal.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace svc::stats {
+
+Normal MinOfNormals(const Normal& a, const Normal& b) {
+  assert(a.variance >= 0 && b.variance >= 0);
+  if (a.variance == 0 && b.variance == 0) {
+    return Normal{std::min(a.mean, b.mean), 0.0};
+  }
+  const double theta = std::sqrt(a.variance + b.variance);
+  const double alpha = (b.mean - a.mean) / theta;
+  const double cdf_pos = NormalCdf(alpha);
+  const double cdf_neg = NormalCdf(-alpha);
+  const double pdf = NormalPdf(alpha);
+
+  const double mean =
+      a.mean * cdf_pos + b.mean * cdf_neg - theta * pdf;
+  const double second_moment = (a.variance + a.mean * a.mean) * cdf_pos +
+                               (b.variance + b.mean * b.mean) * cdf_neg -
+                               (a.mean + b.mean) * theta * pdf;
+  // Guard against a tiny negative variance from cancellation when one input
+  // dominates (alpha far in a tail).
+  const double variance = std::max(0.0, second_moment - mean * mean);
+  return Normal{mean, variance};
+}
+
+}  // namespace svc::stats

@@ -1,0 +1,30 @@
+// Lemma 1 of the paper: exact mean and variance of min(X1, X2) for
+// independent normals X1 ~ N(m1, s1^2), X2 ~ N(m2, s2^2).
+//
+// With theta = sqrt(s1^2 + s2^2) and alpha = (m2 - m1) / theta:
+//   E[min]   = m1*Phi(alpha) + m2*Phi(-alpha) - theta*phi(alpha)
+//   E[min^2] = (s1^2+m1^2)*Phi(alpha) + (s2^2+m2^2)*Phi(-alpha)
+//              - (m1+m2)*theta*phi(alpha)
+//   Var[min] = E[min^2] - E[min]^2
+//
+// This is the classical Clark/Nadarajah-Kotz result; the paper uses it to
+// model the demand a link carries when it splits a homogeneous SVC into m
+// and N-m VMs: B_r^L(m) = min(B(m), B(N-m)).
+#pragma once
+
+#include "stats/normal.h"
+
+namespace svc::stats {
+
+// Moments of min(X1, X2) for independent X1 ~ a and X2 ~ b.  The result is
+// reported as a Normal for uniform bookkeeping even though the true min of
+// two normals is not normal; the framework only consumes its first two
+// moments (the central-limit aggregation across requests justifies this —
+// see paper Section IV-B).
+//
+// Degenerate cases are handled exactly: if both variances are 0 the result
+// is the deterministic min; if exactly one variance is 0 the formulas still
+// apply (theta > 0).
+Normal MinOfNormals(const Normal& a, const Normal& b);
+
+}  // namespace svc::stats

@@ -1,0 +1,45 @@
+// Online (single-pass) descriptive statistics via Welford's algorithm.
+//
+// Used by the simulator's metric collectors and by the Monte-Carlo property
+// tests that validate Lemma 1.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace svc::stats {
+
+class RunningMoments {
+ public:
+  // Adds one observation.
+  void Add(double x);
+
+  // Merges another accumulator (parallel-safe combination rule).
+  void Merge(const RunningMoments& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+
+  // Population variance (divides by n).
+  double variance() const { return count_ > 0 ? m2_ / count_ : 0.0; }
+
+  // Sample variance (divides by n-1); 0 for fewer than two samples.
+  double sample_variance() const {
+    return count_ > 1 ? m2_ / (count_ - 1) : 0.0;
+  }
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double sum_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace svc::stats

@@ -1,0 +1,73 @@
+#include "stats/normal.h"
+
+#include <cassert>
+#include <limits>
+
+namespace svc::stats {
+namespace {
+
+constexpr double kInvSqrt2Pi = 0.3989422804014326779399461;
+constexpr double kInvSqrt2 = 0.7071067811865475244008444;
+
+// Coefficients of Acklam's rational approximation to the normal quantile.
+constexpr double kA[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                         -2.759285104469687e+02, 1.383577518672690e+02,
+                         -3.066479806614716e+01, 2.506628277459239e+00};
+constexpr double kB[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                         -1.556989798598866e+02, 6.680131188771972e+01,
+                         -1.328068155288572e+01};
+constexpr double kC[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                         -2.400758277161838e+00, -2.549732539343734e+00,
+                         4.374664141464968e+00, 2.938163982698783e+00};
+constexpr double kD[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                         2.445134137142996e+00, 3.754408661907416e+00};
+
+double AcklamQuantile(double p) {
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1 - p_low;
+  if (p < p_low) {
+    const double q = std::sqrt(-2 * std::log(p));
+    return (((((kC[0] * q + kC[1]) * q + kC[2]) * q + kC[3]) * q + kC[4]) * q +
+            kC[5]) /
+           ((((kD[0] * q + kD[1]) * q + kD[2]) * q + kD[3]) * q + 1);
+  }
+  if (p <= p_high) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((kA[0] * r + kA[1]) * r + kA[2]) * r + kA[3]) * r + kA[4]) * r +
+            kA[5]) *
+           q /
+           (((((kB[0] * r + kB[1]) * r + kB[2]) * r + kB[3]) * r + kB[4]) * r +
+            1);
+  }
+  const double q = std::sqrt(-2 * std::log(1 - p));
+  return -(((((kC[0] * q + kC[1]) * q + kC[2]) * q + kC[3]) * q + kC[4]) * q +
+           kC[5]) /
+         ((((kD[0] * q + kD[1]) * q + kD[2]) * q + kD[3]) * q + 1);
+}
+
+}  // namespace
+
+double NormalPdf(double x) { return kInvSqrt2Pi * std::exp(-0.5 * x * x); }
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x * kInvSqrt2); }
+
+double NormalQuantile(double p) {
+  assert(p >= 0 && p <= 1);
+  if (p <= 0) return -std::numeric_limits<double>::infinity();
+  if (p >= 1) return std::numeric_limits<double>::infinity();
+  double x = AcklamQuantile(p);
+  // One Halley refinement step against the high-accuracy Cdf.
+  const double e = NormalCdf(x) - p;
+  const double u = e / NormalPdf(x);          // Newton step
+  x -= u / (1 + 0.5 * x * u);                 // Halley correction
+  return x;
+}
+
+double Normal::Quantile(double q) const {
+  assert(variance >= 0);
+  if (variance == 0) return mean;
+  return mean + stddev() * NormalQuantile(q);
+}
+
+}  // namespace svc::stats

@@ -1,0 +1,39 @@
+// Standard-normal pdf/cdf/quantile and the Normal value type.
+//
+// The SVC admission condition (paper Eq. 4) needs Phi^{-1}(1 - epsilon); the
+// quantile is implemented with Acklam's rational approximation refined by one
+// Halley step against our own Cdf, giving ~1e-15 relative accuracy — far
+// beyond what the model needs, but cheap.
+#pragma once
+
+#include <cmath>
+
+namespace svc::stats {
+
+// A normal distribution summarized by mean and variance.  variance == 0
+// denotes a deterministic (degenerate) "distribution", which the framework
+// uses to model Oktopus-style deterministic virtual clusters.
+struct Normal {
+  double mean = 0;
+  double variance = 0;
+
+  double stddev() const { return std::sqrt(variance); }
+
+  // The q-quantile (e.g. q = 0.95 for the 95th percentile used to order
+  // heterogeneous VMs and to derive percentile-VC requests).
+  double Quantile(double q) const;
+
+  friend bool operator==(const Normal&, const Normal&) = default;
+};
+
+// Standard normal probability density phi(x).
+double NormalPdf(double x);
+
+// Standard normal cumulative distribution Phi(x), accurate over the full
+// double range (implemented via erfc to avoid cancellation in the tails).
+double NormalCdf(double x);
+
+// Inverse of NormalCdf on (0, 1).  Returns -inf / +inf at the endpoints.
+double NormalQuantile(double p);
+
+}  // namespace svc::stats

@@ -1,0 +1,110 @@
+#include "stats/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace svc::stats {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+  // All-zero state would be a fixed point; SplitMix64 cannot produce four
+  // zero outputs in a row, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  assert(lo <= hi);
+  return lo + (hi - lo) * UniformDouble();
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(NextU64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t draw;
+  do {
+    draw = NextU64();
+  } while (draw >= limit);
+  return lo + static_cast<int64_t>(draw % range);
+}
+
+double Rng::StandardNormal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * UniformDouble() - 1.0;
+    v = 2.0 * UniformDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_ = true;
+  return u * factor;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * StandardNormal();
+}
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0);
+  // 1 - U in (0,1] avoids log(0).
+  return -mean * std::log(1.0 - UniformDouble());
+}
+
+int64_t Rng::Poisson(double mean) {
+  assert(mean >= 0);
+  if (mean == 0) return 0;
+  if (mean > 64.0) {
+    const double draw = Normal(mean, std::sqrt(mean));
+    return draw < 0 ? 0 : static_cast<int64_t>(std::llround(draw));
+  }
+  // Knuth: multiply uniforms until below exp(-mean).
+  const double threshold = std::exp(-mean);
+  int64_t count = 0;
+  double product = UniformDouble();
+  while (product > threshold) {
+    ++count;
+    product *= UniformDouble();
+  }
+  return count;
+}
+
+Rng Rng::Split() { return Rng(NextU64()); }
+
+}  // namespace svc::stats

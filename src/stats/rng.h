@@ -1,0 +1,55 @@
+// Deterministic, seedable pseudo-random number generator.
+//
+// The simulator needs reproducible runs across platforms, so we implement
+// xoshiro256++ (Blackman & Vigna, public domain) seeded via SplitMix64
+// instead of relying on implementation-defined std::mt19937 distributions.
+// All variate transforms (normal, exponential, Poisson) are implemented here
+// so results are bit-identical for a given seed everywhere.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace svc::stats {
+
+class Rng {
+ public:
+  // Seeds the state via SplitMix64 so that nearby seeds give uncorrelated
+  // streams.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Core generator: uniform 64-bit value.
+  uint64_t NextU64();
+
+  // Uniform double in [0, 1) with 53 bits of precision.
+  double UniformDouble();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] inclusive (unbiased via rejection).
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Standard normal via the Marsaglia polar method (one spare cached).
+  double StandardNormal();
+
+  // Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  // Exponential with the given mean (= 1/rate).
+  double Exponential(double mean);
+
+  // Poisson-distributed count.  Knuth's method for small means, normal
+  // approximation (rounded, clamped at 0) for mean > 64.
+  int64_t Poisson(double mean);
+
+  // Splits off an independent child stream (for per-job randomness).
+  Rng Split();
+
+ private:
+  std::array<uint64_t, 4> state_;
+  double spare_normal_ = 0;
+  bool has_spare_ = false;
+};
+
+}  // namespace svc::stats

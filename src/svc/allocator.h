@@ -1,0 +1,39 @@
+// VM-allocator interface.
+//
+// An allocator maps a tenant request onto empty VM slots such that every
+// physical link still satisfies the probabilistic guarantee (condition 4).
+// Allocators are stateless with respect to the datacenter: they read the
+// LinkLedger and SlotMap and return a Placement; committing the placement
+// (slots + per-link demand records) is the NetworkManager's job, which keeps
+// admission atomic and lets callers evaluate placements without mutating
+// shared state.
+#pragma once
+
+#include <string_view>
+
+#include "net/link_ledger.h"
+#include "svc/placement.h"
+#include "svc/request.h"
+#include "svc/slot_map.h"
+#include "util/result.h"
+
+namespace svc::core {
+
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  // Short stable identifier ("svc-dp", "tivc-adapted", ...), used in bench
+  // output and logs.
+  virtual std::string_view name() const = 0;
+
+  // Finds a valid placement or an error:
+  //   kInvalidArgument — request shape unsupported by this allocator
+  //   kCapacity        — fewer free slots than requested VMs
+  //   kInfeasible      — slots exist but no placement satisfies (4)
+  virtual util::Result<Placement> Allocate(const Request& request,
+                                           const net::LinkLedger& ledger,
+                                           const SlotMap& slots) const = 0;
+};
+
+}  // namespace svc::core

@@ -1,0 +1,54 @@
+#include "svc/demand_profile.h"
+
+#include <cassert>
+
+namespace svc::core {
+
+stats::Normal SplitDemand(const stats::Normal& below,
+                          const stats::Normal& above) {
+  // A side with no VMs contributes the degenerate N(0, 0); min(0, X) for a
+  // nonnegative-demand aggregate is 0 — physically, no traffic crosses a
+  // link with all of the request's VMs on one side.
+  if ((below.mean == 0 && below.variance == 0) ||
+      (above.mean == 0 && above.variance == 0)) {
+    return stats::Normal{0.0, 0.0};
+  }
+  stats::Normal result = stats::MinOfNormals(below, above);
+  // Bandwidth demands are nonnegative; the normal model's small negative
+  // tail (e.g. min against an all-zero-mean side) is truncated to 0 for
+  // the ledger's books.
+  if (result.mean < 0) result.mean = 0;
+  return result;
+}
+
+stats::Normal SplitDemandFromBelow(const Request& request, double below_mean,
+                                   double below_variance) {
+  // The above-side aggregate is computed by subtraction, so when the below
+  // side holds (nearly) all of the request the residues are floating-point
+  // noise — potentially large in absolute terms when the totals are large
+  // (variances reach ~1e8 at paper scale).  Clamp relative to the totals.
+  const double mean_eps = 1e-9 * (1.0 + request.total_mean());
+  const double var_eps = 1e-9 * (1.0 + request.total_variance());
+  auto clamp = [](double x, double eps) { return x < eps ? 0.0 : x; };
+  const stats::Normal below{clamp(below_mean, mean_eps),
+                            clamp(below_variance, var_eps)};
+  const stats::Normal above{
+      clamp(request.total_mean() - below_mean, mean_eps),
+      clamp(request.total_variance() - below_variance, var_eps)};
+  return SplitDemand(below, above);
+}
+
+HomogeneousProfile::HomogeneousProfile(const Request& request)
+    : n_(request.n()), deterministic_(request.deterministic()) {
+  assert(request.homogeneous());
+  const stats::Normal& per_vm = request.demand(0);
+  table_.resize(n_ + 1);
+  for (int m = 0; m <= n_; ++m) {
+    const stats::Normal below{per_vm.mean * m, per_vm.variance * m};
+    const stats::Normal above{per_vm.mean * (n_ - m),
+                              per_vm.variance * (n_ - m)};
+    table_[m] = SplitDemand(below, above);
+  }
+}
+
+}  // namespace svc::core

@@ -1,0 +1,62 @@
+// Per-link demand moments induced by splitting a request across a link.
+//
+// Removing link L from the tree splits a request's N VMs into a set below L
+// and a set above; the demand the request places on L is
+// min(B(below), B(above)) (paper Section IV-A).  This file provides:
+//
+//   * SplitDemand   — the generic moments of that min for arbitrary
+//                     aggregate distributions (heterogeneous model);
+//   * HomogeneousProfile — precomputed tables mu_r(m), var_r(m) for the
+//                     homogeneous model, indexed by the count m below L,
+//                     making the allocator DP's occupancy checks O(1);
+//   * the deterministic amount min(m, N-m) * B for sigma = 0 requests.
+#pragma once
+
+#include <vector>
+
+#include "stats/min_normal.h"
+#include "stats/normal.h"
+#include "svc/request.h"
+
+namespace svc::core {
+
+// Moments of min(X, Y) where X is the aggregate demand below the link and Y
+// the aggregate above.  Either side with zero mean and variance means "no
+// VMs on that side": the link carries no traffic for this request.
+stats::Normal SplitDemand(const stats::Normal& below,
+                          const stats::Normal& above);
+
+// Demand moments of a request on a link given the aggregate moments of the
+// VMs placed below it.  The above-side aggregate is the request total minus
+// the below side.
+stats::Normal SplitDemandFromBelow(const Request& request, double below_mean,
+                                   double below_variance);
+
+class HomogeneousProfile {
+ public:
+  // Precondition: request.homogeneous().
+  explicit HomogeneousProfile(const Request& request);
+
+  int n() const { return n_; }
+  bool deterministic() const { return deterministic_; }
+
+  // Moments of the request's demand on a link with m of the N VMs below it,
+  // m in [0, N].  Zero at m == 0 and m == N.
+  const stats::Normal& LinkDemand(int m) const { return table_[m]; }
+
+  // Contribution to the link's books: deterministic requests reserve
+  // mean(m) in D_L; stochastic ones add (mean, var) records.  These helpers
+  // let allocator code treat both uniformly.
+  double MeanAdd(int m) const {
+    return deterministic_ ? 0.0 : table_[m].mean;
+  }
+  double VarAdd(int m) const { return deterministic_ ? 0.0 : table_[m].variance; }
+  double DetAdd(int m) const { return deterministic_ ? table_[m].mean : 0.0; }
+
+ private:
+  int n_;
+  bool deterministic_;
+  std::vector<stats::Normal> table_;  // index m = 0..n
+};
+
+}  // namespace svc::core

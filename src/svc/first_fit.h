@@ -1,0 +1,32 @@
+// First-fit baseline for heterogeneous requests (paper Section V-B).
+//
+// VMs are sorted ascending by bandwidth demand (95th percentile for
+// stochastic demands) and placed sequentially: a cursor walks the machines
+// in topology order and each VM goes onto the first machine, at or after the
+// cursor, with a free slot whose path links remain valid under the demand
+// the partially placed request induces.  The cursor never moves backwards,
+// so each machine (and hence each subtree) receives a contiguous substring
+// of the sorted sequence — exactly the structure the paper's heuristic
+// generalizes and optimizes over.
+//
+// Because the min() split demand of a *partial* placement is not monotone in
+// the VMs still to be placed, a placement that passed every incremental
+// check is re-validated as a whole at the end; if that fails the allocation
+// is rejected.  This conservatism is inherent to first-fit and is part of
+// why the paper's heuristic outperforms it.
+#pragma once
+
+#include "svc/allocator.h"
+
+namespace svc::core {
+
+class FirstFitAllocator : public Allocator {
+ public:
+  std::string_view name() const override { return "first-fit"; }
+
+  util::Result<Placement> Allocate(const Request& request,
+                                   const net::LinkLedger& ledger,
+                                   const SlotMap& slots) const override;
+};
+
+}  // namespace svc::core

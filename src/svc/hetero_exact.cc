@@ -1,0 +1,177 @@
+#include "svc/hetero_exact.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "svc/demand_profile.h"
+
+namespace svc::core {
+namespace {
+
+constexpr double kInfeasible = std::numeric_limits<double>::infinity();
+
+struct VertexState {
+  // opt[mask]: min-max occupancy over T_v's links plus v's uplink when
+  // exactly the VMs in `mask` are placed in T_v; +inf if impossible.
+  std::vector<double> opt;
+  // choice[i][mask]: submask handed to the i-th child.
+  std::vector<std::vector<uint32_t>> choice;
+};
+
+}  // namespace
+
+util::Result<Placement> HeteroExactAllocator::Allocate(
+    const Request& request, const net::LinkLedger& ledger,
+    const SlotMap& slots) const {
+  if (util::Status s = request.Validate(); !s.ok()) return s;
+  const int n = request.n();
+  if (n > kMaxExactVms) {
+    return {util::ErrorCode::kInvalidArgument,
+            "exact DP is exponential; use HeteroHeuristicAllocator for N > " +
+                std::to_string(kMaxExactVms)};
+  }
+  if (n > slots.total_free()) {
+    return {util::ErrorCode::kCapacity, "not enough free VM slots"};
+  }
+
+  const topology::Topology& topo = ledger.topo();
+  const uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1);
+  const size_t num_masks = static_cast<size_t>(full) + 1;
+
+  // Aggregate demand moments per subset, built incrementally from the
+  // lowest set bit.
+  std::vector<double> mask_mean(num_masks, 0.0);
+  std::vector<double> mask_var(num_masks, 0.0);
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    const int bit = std::countr_zero(mask);
+    const uint32_t rest = mask & (mask - 1);
+    mask_mean[mask] = mask_mean[rest] + request.demand(bit).mean;
+    mask_var[mask] = mask_var[rest] + request.demand(bit).variance;
+  }
+
+  const bool det = request.deterministic();
+  // Occupancy of v's uplink with subset `mask` below it.
+  auto uplink_cost = [&](topology::VertexId v, uint32_t mask) -> double {
+    const stats::Normal demand =
+        SplitDemandFromBelow(request, mask_mean[mask], mask_var[mask]);
+    const double mean = det ? 0.0 : demand.mean;
+    const double var = det ? 0.0 : demand.variance;
+    const double d = det ? demand.mean : 0.0;
+    if (!ledger.ValidWith(v, mean, var, d)) return kInfeasible;
+    return ledger.OccupancyWith(v, mean, var, d);
+  };
+
+  std::vector<VertexState> state(topo.num_vertices());
+  topology::VertexId best_vertex = topology::kNoVertex;
+  double best_value = kInfeasible;
+
+  for (int level = 0; level <= topo.height(); ++level) {
+    for (topology::VertexId v : topo.vertices_at_level(level)) {
+      VertexState& vs = state[v];
+      if (topo.is_machine(v)) {
+        const int cap = slots.free_slots(v);
+        vs.opt.assign(num_masks, kInfeasible);
+        for (uint32_t mask = 0; mask <= full; ++mask) {
+          if (std::popcount(mask) > cap) continue;
+          vs.opt[mask] = uplink_cost(v, mask);
+        }
+      } else {
+        const auto& children = topo.children(v);
+        std::vector<double> current(num_masks, kInfeasible);
+        current[0] = 0.0;
+        vs.choice.resize(children.size());
+        for (size_t i = 0; i < children.size(); ++i) {
+          const std::vector<double>& child_opt = state[children[i]].opt;
+          std::vector<double> next(num_masks, kInfeasible);
+          std::vector<uint32_t>& choice = vs.choice[i];
+          choice.assign(num_masks, 0);
+          for (uint32_t mask = 0; mask <= full; ++mask) {
+            // Enumerate submasks `sub` of `mask` given to child i (the
+            // standard (sub - 1) & mask walk, including 0).
+            uint32_t sub = mask;
+            while (true) {
+              const uint32_t prev = mask ^ sub;
+              if (current[prev] != kInfeasible &&
+                  child_opt[sub] != kInfeasible) {
+                const double value = std::max(current[prev], child_opt[sub]);
+                const bool better = optimize_ ? value < next[mask]
+                                              : next[mask] == kInfeasible;
+                if (better) {
+                  next[mask] = value;
+                  choice[mask] = sub;
+                }
+              }
+              if (sub == 0) break;
+              sub = (sub - 1) & mask;
+            }
+          }
+          current = std::move(next);
+        }
+        vs.opt.assign(num_masks, kInfeasible);
+        for (uint32_t mask = 0; mask <= full; ++mask) {
+          if (current[mask] == kInfeasible) continue;
+          if (v == topo.root()) {
+            vs.opt[mask] = current[mask];
+          } else {
+            const double up = uplink_cost(v, mask);
+            if (up != kInfeasible) vs.opt[mask] = std::max(current[mask], up);
+          }
+        }
+      }
+
+      if (vs.opt[full] != kInfeasible) {
+        const bool better = optimize_ ? vs.opt[full] < best_value
+                                      : best_vertex == topology::kNoVertex;
+        if (better) {
+          best_vertex = v;
+          best_value = vs.opt[full];
+        }
+      }
+    }
+    if (best_vertex != topology::kNoVertex) break;  // lowest subtree
+  }
+
+  if (best_vertex == topology::kNoVertex) {
+    return {util::ErrorCode::kInfeasible,
+            "no subtree satisfies the probabilistic guarantee for " +
+                request.Describe()};
+  }
+
+  Placement placement;
+  placement.subtree_root = best_vertex;
+  placement.max_occupancy = best_value;
+  placement.vm_machine.assign(n, topology::kNoVertex);
+  std::vector<std::pair<topology::VertexId, uint32_t>> stack{
+      {best_vertex, full}};
+  while (!stack.empty()) {
+    const auto [v, mask] = stack.back();
+    stack.pop_back();
+    if (mask == 0) continue;
+    if (topo.is_machine(v)) {
+      for (uint32_t rest = mask; rest;) {
+        const int bit = std::countr_zero(rest);
+        placement.vm_machine[bit] = v;
+        rest &= rest - 1;
+      }
+      continue;
+    }
+    const auto& children = topo.children(v);
+    uint32_t remaining = mask;
+    for (size_t i = children.size(); i-- > 0;) {
+      const uint32_t sub = state[v].choice[i][remaining];
+      if (sub) stack.emplace_back(children[i], sub);
+      remaining ^= sub;
+    }
+    assert(remaining == 0 && "vertex itself holds no VMs");
+  }
+  for (topology::VertexId machine : placement.vm_machine) {
+    assert(machine != topology::kNoVertex);
+    (void)machine;
+  }
+  return placement;
+}
+
+}  // namespace svc::core

@@ -1,0 +1,41 @@
+// Exact allocation for heterogeneous SVC requests (paper Section V-B,
+// "Dynamic programming based allocation algorithm").
+//
+// The homogeneous DP generalizes by tracking *which* VMs a subtree holds,
+// not just how many: per vertex the allocable VM set becomes a set of VM
+// subsets, and the recurrence enumerates submasks.  The cost is exponential
+// — O(|V| * Delta * 3^N) with bitmask subsets — so the paper (and this
+// implementation) restricts it to small N.  It serves three roles here:
+//
+//   1. the paper's exact algorithm for small requests,
+//   2. a brute-force oracle for property-testing the heuristic and the
+//      homogeneous DP (identical per-VM distributions must agree),
+//   3. the worked examples.
+//
+// Requests with N > kMaxExactVms are rejected with kInvalidArgument.
+#pragma once
+
+#include "svc/allocator.h"
+
+namespace svc::core {
+
+inline constexpr int kMaxExactVms = 16;
+
+class HeteroExactAllocator : public Allocator {
+ public:
+  // `optimize_occupancy` mirrors the homogeneous search: true = min-max
+  // occupancy (the paper's extension), false = first feasible subset.
+  explicit HeteroExactAllocator(bool optimize_occupancy = true)
+      : optimize_(optimize_occupancy) {}
+
+  std::string_view name() const override { return "hetero-exact"; }
+
+  util::Result<Placement> Allocate(const Request& request,
+                                   const net::LinkLedger& ledger,
+                                   const SlotMap& slots) const override;
+
+ private:
+  bool optimize_;
+};
+
+}  // namespace svc::core

@@ -1,0 +1,209 @@
+#include "svc/hetero_heuristic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "svc/demand_profile.h"
+
+namespace svc::core {
+namespace {
+
+constexpr double kInfeasible = std::numeric_limits<double>::infinity();
+constexpr int kMaxHeuristicVms = 512;  // int16_t split indices + sanity bound
+
+// Dense (a, b) table over substrings of the sorted VM sequence.
+// a in [1, n+1], b in [0, n]; the entry (a, a-1) is the empty assignment.
+class SubstringTable {
+ public:
+  explicit SubstringTable(int n)
+      : n_(n), cells_((n + 2) * (n + 1), kInfeasible) {}
+
+  double& at(int a, int b) { return cells_[a * (n_ + 1) + b]; }
+  double at(int a, int b) const { return cells_[a * (n_ + 1) + b]; }
+
+ private:
+  int n_;
+  std::vector<double> cells_;
+};
+
+struct VertexState {
+  SubstringTable opt;  // min-max occupancy incl. own uplink, or +inf
+  // choice[i][(a,b)] = split point k: child i receives <k, b>, earlier
+  // stages keep <a, k-1>.
+  std::vector<std::vector<int16_t>> choice;
+
+  explicit VertexState(int n) : opt(n) {}
+};
+
+}  // namespace
+
+util::Result<Placement> HeteroHeuristicAllocator::Allocate(
+    const Request& request, const net::LinkLedger& ledger,
+    const SlotMap& slots) const {
+  if (util::Status s = request.Validate(); !s.ok()) return s;
+  const int n = request.n();
+  if (n > kMaxHeuristicVms) {
+    return {util::ErrorCode::kInvalidArgument,
+            "request too large for the substring heuristic"};
+  }
+  if (n > slots.total_free()) {
+    return {util::ErrorCode::kCapacity, "not enough free VM slots"};
+  }
+
+  const topology::Topology& topo = ledger.topo();
+
+  // Sort VM indices ascending by the 95th percentile of their demand (the
+  // paper's ordering for stochastic demands; for deterministic requests the
+  // quantile is the constant bandwidth itself).
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int lhs, int rhs) {
+    return request.demand(lhs).Quantile(0.95) <
+           request.demand(rhs).Quantile(0.95);
+  });
+
+  // Prefix moments over the sorted order: prefix[k] = aggregate of the
+  // first k sorted VMs.
+  std::vector<double> prefix_mean(n + 1, 0.0);
+  std::vector<double> prefix_var(n + 1, 0.0);
+  for (int k = 1; k <= n; ++k) {
+    const stats::Normal& d = request.demand(order[k - 1]);
+    prefix_mean[k] = prefix_mean[k - 1] + d.mean;
+    prefix_var[k] = prefix_var[k - 1] + d.variance;
+  }
+
+  const bool det = request.deterministic();
+  // Occupancy of v's uplink when sorted positions a..b sit below it.
+  auto uplink_cost = [&](topology::VertexId v, int a, int b) -> double {
+    const double below_mean = prefix_mean[b] - prefix_mean[a - 1];
+    const double below_var = prefix_var[b] - prefix_var[a - 1];
+    const stats::Normal demand =
+        SplitDemandFromBelow(request, below_mean, below_var);
+    const double mean = det ? 0.0 : demand.mean;
+    const double var = det ? 0.0 : demand.variance;
+    const double d = det ? demand.mean : 0.0;
+    if (!ledger.ValidWith(v, mean, var, d)) return kInfeasible;
+    return ledger.OccupancyWith(v, mean, var, d);
+  };
+
+  std::vector<VertexState> state(topo.num_vertices(), VertexState(n));
+  topology::VertexId best_vertex = topology::kNoVertex;
+  double best_value = kInfeasible;
+
+  for (int level = 0; level <= topo.height(); ++level) {
+    for (topology::VertexId v : topo.vertices_at_level(level)) {
+      VertexState& vs = state[v];
+      if (topo.is_machine(v)) {
+        const int cap = slots.free_slots(v);
+        for (int a = 1; a <= n + 1; ++a) {
+          const int b_hi = std::min(n, a - 1 + cap);
+          for (int b = a - 1; b <= b_hi; ++b) {
+            vs.opt.at(a, b) = uplink_cost(v, a, b);
+          }
+        }
+      } else {
+        const auto& children = topo.children(v);
+        // current = assignments realizable by T_v^[i]; T_v^[0] holds only
+        // the empty substring.
+        SubstringTable current(n);
+        for (int a = 1; a <= n + 1; ++a) current.at(a, a - 1) = 0.0;
+        vs.choice.resize(children.size());
+        for (size_t i = 0; i < children.size(); ++i) {
+          const SubstringTable& child_opt = state[children[i]].opt;
+          SubstringTable next(n);
+          std::vector<int16_t>& choice = vs.choice[i];
+          choice.assign((n + 2) * (n + 1), -1);
+          for (int a = 1; a <= n + 1; ++a) {
+            for (int b = a - 1; b <= n; ++b) {
+              double best = kInfeasible;
+              int best_k = -1;
+              // Child i takes <k, b>; stages 0..i-1 keep <a, k-1>.
+              for (int k = a; k <= b + 1; ++k) {
+                const double left = current.at(a, k - 1);
+                if (left == kInfeasible) continue;
+                const double right = child_opt.at(k, b);
+                if (right == kInfeasible) continue;
+                const double value = std::max(left, right);
+                if (optimize_ ? value < best : best_k < 0) {
+                  best = value;
+                  best_k = k;
+                }
+                if (!optimize_ && best_k >= 0) break;
+              }
+              if (best_k >= 0) {
+                next.at(a, b) = best;
+                choice[a * (n + 1) + b] = static_cast<int16_t>(best_k);
+              }
+            }
+          }
+          current = std::move(next);
+        }
+        for (int a = 1; a <= n + 1; ++a) {
+          for (int b = a - 1; b <= n; ++b) {
+            const double inner = current.at(a, b);
+            if (inner == kInfeasible) continue;
+            if (v == topo.root()) {
+              vs.opt.at(a, b) = inner;
+            } else {
+              const double up = uplink_cost(v, a, b);
+              if (up != kInfeasible) vs.opt.at(a, b) = std::max(inner, up);
+            }
+          }
+        }
+      }
+
+      const double whole = vs.opt.at(1, n);
+      if (whole != kInfeasible) {
+        const bool better =
+            optimize_ ? whole < best_value : best_vertex == topology::kNoVertex;
+        if (better) {
+          best_vertex = v;
+          best_value = whole;
+        }
+      }
+    }
+    if (best_vertex != topology::kNoVertex) break;  // lowest subtree
+  }
+
+  if (best_vertex == topology::kNoVertex) {
+    return {util::ErrorCode::kInfeasible,
+            "no subtree accommodates the sorted VM sequence for " +
+                request.Describe()};
+  }
+
+  Placement placement;
+  placement.subtree_root = best_vertex;
+  placement.max_occupancy = best_value;
+  placement.vm_machine.assign(n, topology::kNoVertex);
+  std::vector<std::tuple<topology::VertexId, int, int>> stack{
+      {best_vertex, 1, n}};
+  while (!stack.empty()) {
+    auto [v, a, b] = stack.back();
+    stack.pop_back();
+    if (b < a) continue;
+    if (topo.is_machine(v)) {
+      for (int pos = a; pos <= b; ++pos) {
+        placement.vm_machine[order[pos - 1]] = v;
+      }
+      continue;
+    }
+    const auto& children = topo.children(v);
+    for (size_t i = children.size(); i-- > 0;) {
+      const int k = state[v].choice[i][a * (n + 1) + b];
+      assert(k >= a && k <= b + 1 && "unreachable choice entry");
+      if (k <= b) stack.emplace_back(children[i], k, b);
+      b = k - 1;
+    }
+    assert(b == a - 1 && "vertex itself holds no VMs");
+  }
+  for (topology::VertexId machine : placement.vm_machine) {
+    assert(machine != topology::kNoVertex);
+    (void)machine;
+  }
+  return placement;
+}
+
+}  // namespace svc::core

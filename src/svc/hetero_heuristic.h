@@ -1,0 +1,36 @@
+// Heuristic allocation for heterogeneous SVC requests (paper Section V-B,
+// "Heuristic allocation algorithm").
+//
+// The exact DP is exponential because a subtree's allocable VM set can hold
+// any of the 2^N subsets.  The heuristic bounds it to *substrings* of the
+// demand-sorted VM sequence: VMs are ordered ascending by the 95th
+// percentile of their bandwidth demand, and a subtree may only be assigned
+// a set of consecutive VMs <a, b> of that order — the structure a first-fit
+// pass would produce.  There are O(N^2) substrings, each combination step
+// tries O(N) split points, so the whole search is O(|V| * Delta * N^4)
+// while still performing Algorithm 1's min-max occupancy optimization over
+// the restricted space.
+#pragma once
+
+#include "svc/allocator.h"
+
+namespace svc::core {
+
+class HeteroHeuristicAllocator : public Allocator {
+ public:
+  // `optimize_occupancy` = false degrades to a pure first-fit-over-
+  // substrings feasibility search (for ablation).
+  explicit HeteroHeuristicAllocator(bool optimize_occupancy = true)
+      : optimize_(optimize_occupancy) {}
+
+  std::string_view name() const override { return "hetero-heuristic"; }
+
+  util::Result<Placement> Allocate(const Request& request,
+                                   const net::LinkLedger& ledger,
+                                   const SlotMap& slots) const override;
+
+ private:
+  bool optimize_;
+};
+
+}  // namespace svc::core

@@ -1,0 +1,172 @@
+#include "svc/homogeneous_search.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "svc/demand_profile.h"
+#include "util/logging.h"
+
+namespace svc::core {
+namespace {
+
+constexpr double kInfeasible = std::numeric_limits<double>::infinity();
+
+// Per-vertex DP state.
+//
+// opt[x] is the paper's combination of Opt(T_v, x) and the uplink ratio
+// O_{L_v}(N, x): the minimum achievable value of the maximum occupancy over
+// all links of T_v *plus v's uplink* when x VMs are placed in T_v, or
+// +inf when no valid placement of x VMs exists.  Folding the uplink in here
+// is equivalent to the paper's recurrence (11), which maxes O_{L_vi} in at
+// the parent.
+//
+// choice[i][x] is the paper's D_v[i, x]: how many of the x VMs assigned to
+// T_v^[i] (v plus its first i child subtrees) go to the i-th child.
+struct VertexState {
+  std::vector<double> opt;
+  std::vector<std::vector<int>> choice;
+};
+
+}  // namespace
+
+util::Result<Placement> HomogeneousSearchAllocator::Allocate(
+    const Request& request, const net::LinkLedger& ledger,
+    const SlotMap& slots) const {
+  if (!request.homogeneous()) {
+    return {util::ErrorCode::kInvalidArgument,
+            std::string(name()) + " handles homogeneous requests only"};
+  }
+  if (util::Status s = request.Validate(); !s.ok()) return s;
+  const int n = request.n();
+  if (n > slots.total_free()) {
+    return {util::ErrorCode::kCapacity,
+            "request needs " + std::to_string(n) + " VMs, only " +
+                std::to_string(slots.total_free()) + " slots free"};
+  }
+
+  const topology::Topology& topo = ledger.topo();
+  const HomogeneousProfile profile(request);
+
+  std::vector<VertexState> state(topo.num_vertices());
+
+  // Occupancy of v's uplink if x of the n VMs end up below it; +inf when
+  // condition (4) would be violated.
+  auto uplink_cost = [&](topology::VertexId v, int x) -> double {
+    const double mean = profile.MeanAdd(x);
+    const double var = profile.VarAdd(x);
+    const double det = profile.DetAdd(x);
+    if (!ledger.ValidWith(v, mean, var, det)) return kInfeasible;
+    return ledger.OccupancyWith(v, mean, var, det);
+  };
+
+  topology::VertexId best_vertex = topology::kNoVertex;
+  double best_value = kInfeasible;
+
+  for (int level = 0; level <= topo.height(); ++level) {
+    for (topology::VertexId v : topo.vertices_at_level(level)) {
+      VertexState& vs = state[v];
+      if (topo.is_machine(v)) {
+        // Leaf: S_v = {0..free slots}; no links inside a machine, so the
+        // subtree cost is just the uplink's.
+        const int cap = std::min(n, slots.free_slots(v));
+        vs.opt.assign(cap + 1, kInfeasible);
+        for (int x = 0; x <= cap; ++x) vs.opt[x] = uplink_cost(v, x);
+      } else {
+        // Internal vertex: fold children in one at a time (T_v^[i]).
+        const auto& children = topo.children(v);
+        std::vector<double> current{0.0};  // T_v^[0] = {v}: zero VMs, no links
+        vs.choice.resize(children.size());
+        for (size_t i = 0; i < children.size(); ++i) {
+          const std::vector<double>& child_opt = state[children[i]].opt;
+          const int prev_max = static_cast<int>(current.size()) - 1;
+          const int child_max = static_cast<int>(child_opt.size()) - 1;
+          const int next_max = std::min(n, prev_max + child_max);
+          std::vector<double> next(next_max + 1, kInfeasible);
+          std::vector<int>& choice = vs.choice[i];
+          choice.assign(next_max + 1, -1);
+          for (int h = 0; h <= prev_max; ++h) {
+            if (current[h] == kInfeasible) continue;
+            const int e_limit = std::min(child_max, n - h);
+            for (int e = 0; e <= e_limit; ++e) {
+              if (child_opt[e] == kInfeasible) continue;
+              const double value = std::max(current[h], child_opt[e]);
+              const int total = h + e;
+              const bool better = options_.optimize_occupancy
+                                      ? value < next[total]
+                                      : next[total] == kInfeasible;
+              if (better) {
+                next[total] = value;
+                choice[total] = e;
+              }
+            }
+          }
+          current = std::move(next);
+        }
+        // Apply v's own uplink (root has none).
+        vs.opt.assign(current.size(), kInfeasible);
+        for (int x = 0; x < static_cast<int>(current.size()); ++x) {
+          if (current[x] == kInfeasible) continue;
+          if (v == topo.root()) {
+            vs.opt[x] = current[x];
+          } else {
+            const double up = uplink_cost(v, x);
+            if (up != kInfeasible) vs.opt[x] = std::max(current[x], up);
+          }
+        }
+      }
+
+      // Can this subtree host the whole request?
+      if (static_cast<int>(vs.opt.size()) > n && vs.opt[n] != kInfeasible) {
+        const bool better = options_.optimize_occupancy
+                                ? vs.opt[n] < best_value
+                                : best_vertex == topology::kNoVertex;
+        if (better) {
+          best_vertex = v;
+          best_value = vs.opt[n];
+        }
+      }
+    }
+    if (options_.lowest_subtree_first && best_vertex != topology::kNoVertex) {
+      break;  // lowest feasible level found; stop for locality
+    }
+  }
+
+  if (best_vertex == topology::kNoVertex) {
+    return {util::ErrorCode::kInfeasible,
+            "no subtree satisfies the probabilistic guarantee for " +
+                request.Describe()};
+  }
+
+  // Reconstruct the chosen split top-down via the recorded choices.
+  Placement placement;
+  placement.subtree_root = best_vertex;
+  placement.max_occupancy = best_value;
+  placement.vm_machine.reserve(n);
+  // Explicit stack to avoid recursion on deep topologies.
+  std::vector<std::pair<topology::VertexId, int>> stack{{best_vertex, n}};
+  while (!stack.empty()) {
+    const auto [v, x] = stack.back();
+    stack.pop_back();
+    if (x == 0) continue;
+    if (topo.is_machine(v)) {
+      for (int k = 0; k < x; ++k) placement.vm_machine.push_back(v);
+      continue;
+    }
+    const auto& children = topo.children(v);
+    int remaining = x;
+    for (size_t i = children.size(); i-- > 0;) {
+      assert(remaining < static_cast<int>(state[v].choice[i].size()));
+      const int e = state[v].choice[i][remaining];
+      assert(e >= 0 && "reconstruction hit an unreachable table entry");
+      if (e > 0) stack.emplace_back(children[i], e);
+      remaining -= e;
+    }
+    assert(remaining == 0 && "vertex itself holds no VMs");
+  }
+  assert(static_cast<int>(placement.vm_machine.size()) == n);
+  return placement;
+}
+
+}  // namespace svc::core

@@ -1,0 +1,152 @@
+#include "svc/manager.h"
+
+#include <cassert>
+
+#include "svc/demand_profile.h"
+#include "util/logging.h"
+
+namespace svc::core {
+
+NetworkManager::NetworkManager(const topology::Topology& topo, double epsilon)
+    : topo_(&topo), ledger_(topo, epsilon), slots_(topo) {}
+
+std::vector<LinkDemand> NetworkManager::ComputeLinkDemands(
+    const Request& request, const Placement& placement) const {
+  assert(placement.total_vms() == request.n());
+  // Aggregate the per-VM moments below every link the placement touches by
+  // walking each VM's machine up to the root.
+  std::unordered_map<topology::VertexId, stats::Normal> below;
+  for (int vm = 0; vm < request.n(); ++vm) {
+    const stats::Normal& d = request.demand(vm);
+    for (topology::VertexId link = placement.vm_machine[vm];
+         link != topo_->root(); link = topo_->parent(link)) {
+      stats::Normal& agg = below[link];
+      agg.mean += d.mean;
+      agg.variance += d.variance;
+    }
+  }
+  const bool det = request.deterministic();
+  std::vector<LinkDemand> demands;
+  demands.reserve(below.size());
+  for (const auto& [link, agg] : below) {
+    const stats::Normal demand =
+        SplitDemandFromBelow(request, agg.mean, agg.variance);
+    if (demand.mean == 0 && demand.variance == 0) continue;  // all on one side
+    if (det) {
+      demands.push_back({link, 0, 0, demand.mean});
+    } else {
+      demands.push_back({link, demand.mean, demand.variance, 0});
+    }
+  }
+  return demands;
+}
+
+util::Result<Placement> NetworkManager::AdmitPlacement(const Request& request,
+                                                       Placement placement) {
+  if (live_.count(request.id())) {
+    return {util::ErrorCode::kFailedPrecondition,
+            "request id already admitted: " + std::to_string(request.id())};
+  }
+  if (placement.total_vms() != request.n()) {
+    return {util::ErrorCode::kFailedPrecondition,
+            "placement has " + std::to_string(placement.total_vms()) +
+                " VMs for a request of " + std::to_string(request.n())};
+  }
+  // Defense in depth: re-check slots and condition (4) before committing.
+  std::unordered_map<topology::VertexId, int> counts;
+  for (topology::VertexId machine : placement.vm_machine) {
+    if (machine < 0 || machine >= topo_->num_vertices() ||
+        !topo_->is_machine(machine)) {
+      return {util::ErrorCode::kFailedPrecondition,
+              "placement names a non-machine vertex " +
+                  std::to_string(machine)};
+    }
+    ++counts[machine];
+  }
+  for (const auto& [machine, count] : counts) {
+    if (slots_.free_slots(machine) < count) {
+      return {util::ErrorCode::kFailedPrecondition,
+              "placement exceeds free slots on machine " +
+                  std::to_string(machine)};
+    }
+  }
+  const std::vector<LinkDemand> demands =
+      ComputeLinkDemands(request, placement);
+  for (const LinkDemand& d : demands) {
+    if (!ledger_.ValidWith(d.link, d.mean, d.variance, d.deterministic)) {
+      return {util::ErrorCode::kFailedPrecondition,
+              "placement violates condition (4) on link " +
+                  std::to_string(d.link)};
+    }
+  }
+
+  // Commit.
+  for (const auto& [machine, count] : counts) slots_.Occupy(machine, count);
+  for (const LinkDemand& d : demands) {
+    if (d.deterministic > 0) {
+      ledger_.AddDeterministic(d.link, request.id(), d.deterministic);
+    } else {
+      ledger_.AddStochastic(d.link, request.id(), d.mean, d.variance);
+    }
+  }
+  live_.emplace(request.id(), LiveRequest{request, placement});
+  return placement;
+}
+
+util::Result<Placement> NetworkManager::Admit(const Request& request,
+                                              const Allocator& allocator) {
+  if (live_.count(request.id())) {
+    return {util::ErrorCode::kFailedPrecondition,
+            "request id already admitted: " + std::to_string(request.id())};
+  }
+  util::Result<Placement> result = allocator.Allocate(request, ledger_, slots_);
+  if (!result) return result;
+  util::Result<Placement> committed = AdmitPlacement(request, *result);
+  if (!committed) {
+    // The allocator produced an invalid placement — surface it with the
+    // allocator's name so the bug is attributable.
+    return {util::ErrorCode::kFailedPrecondition,
+            std::string(allocator.name()) + ": " +
+                committed.status().message()};
+  }
+  SVC_LOG(Debug) << "admitted " << request.Describe() << " via "
+                 << allocator.name() << ": " << committed->Describe();
+  return committed;
+}
+
+void NetworkManager::Release(RequestId id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) return;
+  ledger_.RemoveRequest(id);
+  for (const auto& [machine, count] : it->second.placement.MachineCounts()) {
+    slots_.Release(machine, count);
+  }
+  live_.erase(it);
+}
+
+const Placement* NetworkManager::placement_of(RequestId id) const {
+  auto it = live_.find(id);
+  return it == live_.end() ? nullptr : &it->second.placement;
+}
+
+const Request* NetworkManager::request_of(RequestId id) const {
+  auto it = live_.find(id);
+  return it == live_.end() ? nullptr : &it->second.request;
+}
+
+void NetworkManager::ForEachLive(
+    const std::function<void(const Request&, const Placement&)>& visit)
+    const {
+  for (const auto& [id, live] : live_) {
+    visit(live.request, live.placement);
+  }
+}
+
+bool NetworkManager::StateValid() const {
+  for (topology::VertexId v = 1; v < topo_->num_vertices(); ++v) {
+    if (!ledger_.ValidWith(v, 0, 0, 0)) return false;
+  }
+  return true;
+}
+
+}  // namespace svc::core

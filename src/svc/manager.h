@@ -1,0 +1,96 @@
+// NetworkManager: the paper's admission-control component.
+//
+// "A network manager, upon receiving a tenant request, performs admission
+// control and VM allocation in the datacenter with physical links satisfying
+// the bandwidth requirements in terms of the probabilistic constraint (1)."
+//
+// The manager owns the authoritative datacenter state (LinkLedger +
+// SlotMap), delegates placement search to an Allocator, re-validates the
+// returned placement (defense in depth against allocator bugs), and commits
+// it atomically: VM slots are occupied and per-link demand records are
+// written in one step, and Release() undoes exactly that step.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link_ledger.h"
+#include "svc/allocator.h"
+#include "svc/placement.h"
+#include "svc/request.h"
+#include "svc/slot_map.h"
+#include "util/result.h"
+
+namespace svc::core {
+
+// One link demand a committed request induces.
+struct LinkDemand {
+  topology::VertexId link;
+  double mean;         // stochastic mean (0 for deterministic requests)
+  double variance;     // stochastic variance (0 for deterministic requests)
+  double deterministic;  // rate-limited reservation (0 for stochastic)
+};
+
+class NetworkManager {
+ public:
+  NetworkManager(const topology::Topology& topo, double epsilon);
+
+  const topology::Topology& topo() const { return *topo_; }
+  const net::LinkLedger& ledger() const { return ledger_; }
+  const SlotMap& slots() const { return slots_; }
+  double epsilon() const { return ledger_.epsilon(); }
+
+  // Runs the allocator and, on success, commits the placement.  Errors pass
+  // through from the allocator; a placement that fails re-validation is
+  // reported as kFailedPrecondition (an allocator bug, surfaced loudly).
+  util::Result<Placement> Admit(const Request& request,
+                                const Allocator& allocator);
+
+  // Validates and commits an externally produced placement (snapshot
+  // restore, external placement services).  Same checks as Admit's
+  // re-validation; on any failure nothing is committed.
+  util::Result<Placement> AdmitPlacement(const Request& request,
+                                         Placement placement);
+
+  // Releases every slot and demand record of the request.  Unknown ids are
+  // ignored (idempotent).
+  void Release(RequestId id);
+
+  bool IsLive(RequestId id) const { return live_.count(id) > 0; }
+  size_t live_count() const { return live_.size(); }
+  const Placement* placement_of(RequestId id) const;
+  const Request* request_of(RequestId id) const;
+
+  // Visits every live tenant (iteration order unspecified).  Used by the
+  // snapshot writer and diagnostics.
+  void ForEachLive(
+      const std::function<void(const Request&, const Placement&)>& visit)
+      const;
+
+  // The per-link demands a placement induces — exposed for tests and for
+  // callers that want to inspect a placement without committing it.
+  std::vector<LinkDemand> ComputeLinkDemands(const Request& request,
+                                             const Placement& placement) const;
+
+  // True iff condition (4) holds on every link with no additions — the
+  // global invariant Admit/Release maintain.
+  bool StateValid() const;
+
+  // Maximum occupancy ratio over all links (Fig. 9's sample statistic).
+  double MaxOccupancy() const { return ledger_.MaxOccupancy(); }
+
+ private:
+  struct LiveRequest {
+    Request request;
+    Placement placement;
+  };
+
+  const topology::Topology* topo_;
+  net::LinkLedger ledger_;
+  SlotMap slots_;
+  std::unordered_map<RequestId, LiveRequest> live_;
+};
+
+}  // namespace svc::core

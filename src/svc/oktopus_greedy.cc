@@ -1,0 +1,114 @@
+#include "svc/oktopus_greedy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace svc::core {
+namespace {
+
+// Largest a in [0, upper] with min(a, n-a) * b fitting the link's residual
+// deterministic headroom, or -1 if none (a = 0 always fits).
+int LargestFeasibleCount(const net::LinkLedger& ledger, topology::VertexId v,
+                         int upper, int n, double bandwidth) {
+  for (int a = upper; a >= 0; --a) {
+    const double reserved = std::min(a, n - a) * bandwidth;
+    if (ledger.ValidWith(v, 0, 0, reserved)) return a;
+  }
+  return -1;
+}
+
+}  // namespace
+
+util::Result<Placement> OktopusGreedyAllocator::Allocate(
+    const Request& request, const net::LinkLedger& ledger,
+    const SlotMap& slots) const {
+  if (!request.deterministic() || !request.homogeneous()) {
+    return {util::ErrorCode::kInvalidArgument,
+            "oktopus-greedy supports deterministic <N, B> requests only"};
+  }
+  if (util::Status s = request.Validate(); !s.ok()) return s;
+  const int n = request.n();
+  const double bandwidth = request.demand(0).mean;
+  if (n > slots.total_free()) {
+    return {util::ErrorCode::kCapacity, "not enough free VM slots"};
+  }
+
+  const topology::Topology& topo = ledger.topo();
+  std::vector<int> count(topo.num_vertices(), 0);
+
+  topology::VertexId host = topology::kNoVertex;
+  for (int level = 0; level <= topo.height() && host == topology::kNoVertex;
+       ++level) {
+    for (topology::VertexId v : topo.vertices_at_level(level)) {
+      int available;
+      if (topo.is_machine(v)) {
+        available = std::min(n, slots.free_slots(v));
+      } else {
+        available = 0;
+        for (topology::VertexId child : topo.children(v)) {
+          available += count[child];
+        }
+        available = std::min(available, n);
+      }
+      if (v == topo.root()) {
+        count[v] = available;
+      } else {
+        count[v] =
+            std::max(0, LargestFeasibleCount(ledger, v, available, n,
+                                             bandwidth));
+      }
+      if (count[v] >= n) {
+        host = v;
+        break;
+      }
+    }
+  }
+  if (host == topology::kNoVertex) {
+    return {util::ErrorCode::kInfeasible,
+            "greedy counts never reached N (note: the greedy is incomplete)"};
+  }
+
+  // Greedy packing with per-child repair: give each child as many VMs as
+  // its count allows, shrunk until its uplink accepts the assignment.
+  Placement placement;
+  placement.subtree_root = host;
+  placement.vm_machine.reserve(n);
+  double worst_occupancy = 0;
+  std::vector<std::pair<topology::VertexId, int>> stack{{host, n}};
+  while (!stack.empty()) {
+    const auto [v, x] = stack.back();
+    stack.pop_back();
+    if (x == 0) continue;
+    if (topo.is_machine(v)) {
+      for (int k = 0; k < x; ++k) placement.vm_machine.push_back(v);
+      continue;
+    }
+    int remaining = x;
+    for (topology::VertexId child : topo.children(v)) {
+      if (remaining == 0) break;
+      int give = std::min(count[child], remaining);
+      // Repair: the count was computed for the *maximum* count; a smaller
+      // assignment can violate min(a, N-a)*B (non-monotone).  Shrink until
+      // the child's uplink accepts it.
+      give = LargestFeasibleCount(ledger, child, give, n, bandwidth);
+      if (give <= 0) continue;
+      stack.emplace_back(child, give);
+      worst_occupancy = std::max(
+          worst_occupancy,
+          ledger.OccupancyWith(child, 0, 0, std::min(give, n - give) *
+                                                bandwidth));
+      remaining -= give;
+    }
+    if (remaining != 0) {
+      return {util::ErrorCode::kInfeasible,
+              "greedy packing failed after repair (known Oktopus "
+              "incompleteness); use the DP allocator"};
+    }
+  }
+  assert(static_cast<int>(placement.vm_machine.size()) == n);
+  placement.max_occupancy = worst_occupancy;
+  return placement;
+}
+
+}  // namespace svc::core

@@ -1,0 +1,44 @@
+// Faithful reimplementation of Oktopus's virtual-cluster allocation
+// heuristic (Ballani et al., SIGCOMM 2011, Section 4.1), as the literature
+// baseline the paper compares abstractions against.
+//
+// For a deterministic request <N, B> the algorithm computes, bottom-up, the
+// *maximum* number of VMs each subtree can host:
+//
+//   machine m:  count = max { a <= free slots : min(a, N-a)*B <= residual }
+//   switch v:   count = max { a <= sum(children counts) :
+//                             min(a, N-a)*B <= residual(uplink) }
+//
+// and allocates into the first (lowest) subtree whose count reaches N,
+// greedily packing children left to right.
+//
+// Two well-known consequences of tracking only the maximum count (instead
+// of the full allocable set, as TIVC and this repo's DP do):
+//   * incompleteness — min(a, N-a) is not monotone in a, so a subtree may
+//     be able to host N VMs even though the greedy count says otherwise,
+//     and a greedy child assignment may need repair (we shrink the
+//     assignment until the child's uplink constraint holds, the standard
+//     fix);
+//   * no occupancy objective — like TIVC it is indifferent among valid
+//     placements.
+//
+// Only deterministic requests are supported (Oktopus predates stochastic
+// demands); stochastic requests get kInvalidArgument.  The DP-based
+// `OktopusAllocator` (complete feasibility search) remains the default VC
+// baseline in the benches; this class exists for fidelity comparisons.
+#pragma once
+
+#include "svc/allocator.h"
+
+namespace svc::core {
+
+class OktopusGreedyAllocator : public Allocator {
+ public:
+  std::string_view name() const override { return "oktopus-greedy"; }
+
+  util::Result<Placement> Allocate(const Request& request,
+                                   const net::LinkLedger& ledger,
+                                   const SlotMap& slots) const override;
+};
+
+}  // namespace svc::core

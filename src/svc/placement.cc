@@ -1,0 +1,29 @@
+#include "svc/placement.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace svc::core {
+
+std::vector<std::pair<topology::VertexId, int>> Placement::MachineCounts()
+    const {
+  std::map<topology::VertexId, int> counts;
+  for (topology::VertexId machine : vm_machine) ++counts[machine];
+  return {counts.begin(), counts.end()};
+}
+
+std::string Placement::Describe() const {
+  std::ostringstream out;
+  out << total_vms() << " VMs under vertex " << subtree_root << " {";
+  bool first = true;
+  for (const auto& [machine, count] : MachineCounts()) {
+    if (!first) out << ", ";
+    out << "m" << machine << ":" << count;
+    first = false;
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace svc::core

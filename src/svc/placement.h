@@ -1,0 +1,32 @@
+// The result of a VM allocation: which machine hosts each VM.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace svc::core {
+
+struct Placement {
+  // vm_machine[i] is the machine hosting VM i (0-based VM index; for
+  // homogeneous requests the index carries no meaning beyond identity).
+  std::vector<topology::VertexId> vm_machine;
+
+  // Root of the lowest subtree the allocation fits in (locality witness).
+  topology::VertexId subtree_root = topology::kNoVertex;
+
+  // The allocator's objective value: the maximum bandwidth-occupancy ratio
+  // over the affected links *after* this placement is committed.  Filled by
+  // optimizing allocators; NaN for allocators that do not track it.
+  double max_occupancy = 0;
+
+  int total_vms() const { return static_cast<int>(vm_machine.size()); }
+
+  // VMs per machine, in machine order (for tests and diagnostics).
+  std::vector<std::pair<topology::VertexId, int>> MachineCounts() const;
+
+  std::string Describe() const;
+};
+
+}  // namespace svc::core

@@ -1,0 +1,31 @@
+#include "svc/slot_map.h"
+
+namespace svc::core {
+
+SlotMap::SlotMap(const topology::Topology& topo) : topo_(&topo) {
+  assert(topo.finalized());
+  free_.resize(topo.num_vertices(), 0);
+  for (topology::VertexId machine : topo.machines()) {
+    free_[machine] = topo.vm_slots(machine);
+    total_free_ += free_[machine];
+  }
+}
+
+void SlotMap::Occupy(topology::VertexId machine, int count) {
+  assert(count >= 0);
+  assert(topo_->is_machine(machine));
+  assert(free_[machine] >= count && "occupying more slots than free");
+  free_[machine] -= count;
+  total_free_ -= count;
+}
+
+void SlotMap::Release(topology::VertexId machine, int count) {
+  assert(count >= 0);
+  assert(topo_->is_machine(machine));
+  assert(free_[machine] + count <= topo_->vm_slots(machine) &&
+         "releasing more slots than the machine has");
+  free_[machine] += count;
+  total_free_ += count;
+}
+
+}  // namespace svc::core

@@ -1,0 +1,32 @@
+// Empty-VM-slot bookkeeping per machine.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace svc::core {
+
+class SlotMap {
+ public:
+  explicit SlotMap(const topology::Topology& topo);
+
+  int free_slots(topology::VertexId machine) const {
+    return free_[machine];
+  }
+  int total_free() const { return total_free_; }
+
+  // Occupies `count` slots on `machine`; asserts availability.
+  void Occupy(topology::VertexId machine, int count);
+
+  // Releases `count` slots; asserts against over-release.
+  void Release(topology::VertexId machine, int count);
+
+ private:
+  const topology::Topology* topo_;
+  std::vector<int> free_;  // indexed by vertex id; 0 for switches
+  int total_free_ = 0;
+};
+
+}  // namespace svc::core

@@ -1,0 +1,180 @@
+#include "svc/snapshot.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace svc::core {
+namespace {
+
+constexpr char kMagic[] = "svc-snapshot v1";
+
+void WriteTenant(std::ostream& out, const Request& request,
+                 const Placement& placement) {
+  out << "tenant " << request.id() << " ";
+  if (request.homogeneous()) {
+    out << "homogeneous " << request.n() << " " << request.demand(0).mean
+        << " " << request.demand(0).variance << "\n";
+  } else {
+    out << "heterogeneous " << request.n();
+    for (int i = 0; i < request.n(); ++i) {
+      out << " " << request.demand(i).mean << ":"
+          << request.demand(i).variance;
+    }
+    out << "\n";
+  }
+  out << "place";
+  for (topology::VertexId machine : placement.vm_machine) {
+    out << " " << machine;
+  }
+  out << "\n";
+}
+
+}  // namespace
+
+void SaveSnapshot(const NetworkManager& manager, std::ostream& out) {
+  out.precision(17);
+  out << kMagic << "\n";
+  out << "epsilon " << manager.epsilon() << "\n";
+  // Deterministic order for reproducible snapshots.
+  std::map<RequestId, std::pair<const Request*, const Placement*>> ordered;
+  manager.ForEachLive([&](const Request& request, const Placement& placement) {
+    ordered.emplace(request.id(), std::make_pair(&request, &placement));
+  });
+  out << "tenants " << ordered.size() << "\n";
+  for (const auto& [id, pair] : ordered) {
+    WriteTenant(out, *pair.first, *pair.second);
+  }
+}
+
+util::Status RestoreSnapshot(std::istream& in, NetworkManager& manager) {
+  if (manager.live_count() != 0) {
+    return {util::ErrorCode::kFailedPrecondition,
+            "restore target must have no live tenants"};
+  }
+  auto fail = [&](const std::string& message) {
+    // Roll back everything restored so far.
+    std::vector<RequestId> admitted;
+    manager.ForEachLive([&](const Request& request, const Placement&) {
+      admitted.push_back(request.id());
+    });
+    for (RequestId id : admitted) manager.Release(id);
+    return util::Status{util::ErrorCode::kInvalidArgument, message};
+  };
+
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return fail("not a snapshot (bad magic line)");
+  }
+  std::string keyword;
+  double epsilon = 0;
+  size_t tenants = 0;
+  if (!(in >> keyword >> epsilon) || keyword != "epsilon") {
+    return fail("bad epsilon line");
+  }
+  if (!(in >> keyword >> tenants) || keyword != "tenants") {
+    return fail("bad tenants line");
+  }
+
+  for (size_t t = 0; t < tenants; ++t) {
+    int64_t id = 0;
+    std::string kind;
+    int n = 0;
+    if (!(in >> keyword >> id >> kind >> n) || keyword != "tenant" || n < 1) {
+      return fail("bad tenant header at index " + std::to_string(t));
+    }
+    std::unique_ptr<Request> request;
+    if (kind == "homogeneous") {
+      double mean = 0, variance = 0;
+      if (!(in >> mean >> variance) || mean < 0 || variance < 0) {
+        return fail("bad homogeneous moments for tenant " +
+                    std::to_string(id));
+      }
+      request = std::make_unique<Request>(
+          Request::Homogeneous(id, n, mean, std::sqrt(variance)));
+    } else if (kind == "heterogeneous") {
+      std::vector<stats::Normal> demands;
+      for (int i = 0; i < n; ++i) {
+        std::string pair_text;
+        if (!(in >> pair_text)) {
+          return fail("missing demand for tenant " + std::to_string(id));
+        }
+        const auto parts = util::Split(pair_text, ':');
+        if (parts.size() != 2) {
+          return fail("bad demand '" + pair_text + "'");
+        }
+        try {
+          demands.push_back({std::stod(parts[0]), std::stod(parts[1])});
+        } catch (const std::exception&) {
+          return fail("unparsable demand '" + pair_text + "'");
+        }
+      }
+      request = std::make_unique<Request>(
+          Request::Heterogeneous(id, std::move(demands)));
+    } else {
+      return fail("unknown tenant kind '" + kind + "'");
+    }
+
+    if (!(in >> keyword) || keyword != "place") {
+      return fail("missing placement for tenant " + std::to_string(id));
+    }
+    Placement placement;
+    placement.vm_machine.resize(n);
+    for (int i = 0; i < n; ++i) {
+      if (!(in >> placement.vm_machine[i])) {
+        return fail("short placement for tenant " + std::to_string(id));
+      }
+    }
+    // Recompute the locality witness.
+    const topology::Topology& topo = manager.topo();
+    topology::VertexId root_of_all = placement.vm_machine[0];
+    for (topology::VertexId machine : placement.vm_machine) {
+      if (machine < 0 || machine >= topo.num_vertices() ||
+          !topo.is_machine(machine)) {
+        return fail("placement of tenant " + std::to_string(id) +
+                    " names a non-machine vertex (topology mismatch?)");
+      }
+      while (!topo.IsInSubtree(machine, root_of_all)) {
+        root_of_all = topo.parent(root_of_all);
+      }
+    }
+    placement.subtree_root = root_of_all;
+
+    auto admitted = manager.AdmitPlacement(*request, std::move(placement));
+    if (!admitted) {
+      return fail("tenant " + std::to_string(id) +
+                  " does not fit the target datacenter: " +
+                  admitted.status().ToText());
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status SaveSnapshotToFile(const NetworkManager& manager,
+                                const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return {util::ErrorCode::kInvalidArgument, "cannot open " + path};
+  }
+  SaveSnapshot(manager, out);
+  out.flush();
+  if (!out) {
+    return {util::ErrorCode::kInvalidArgument, "write failed: " + path};
+  }
+  return util::Status::Ok();
+}
+
+util::Status RestoreSnapshotFromFile(const std::string& path,
+                                     NetworkManager& manager) {
+  std::ifstream in(path);
+  if (!in) {
+    return {util::ErrorCode::kNotFound, "cannot open " + path};
+  }
+  return RestoreSnapshot(in, manager);
+}
+
+}  // namespace svc::core

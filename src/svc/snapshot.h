@@ -1,0 +1,46 @@
+// Network-manager state snapshots.
+//
+// The paper's network manager maintains "the up-to-date status of the
+// datacenter network"; a production deployment must survive restarts of
+// that (logically centralized) component.  A snapshot is the minimal
+// ground truth — the live tenants' requests and placements — from which
+// every derived structure (slot map, per-link demand records, running
+// sums) is rebuilt by replaying AdmitPlacement.  Restore therefore
+// re-validates everything: a snapshot that does not fit the target
+// topology, or that violates condition (4) under the target epsilon, is
+// rejected.
+//
+// Text format:
+//
+//   svc-snapshot v1
+//   epsilon 0.05
+//   tenants 2
+//   tenant 7 homogeneous 10 200 14400     # id, N, mu, variance
+//   place 3 3 4 4 5 5 6 6 7 7             # machine of VM 0..N-1
+//   tenant 9 heterogeneous 2 300:22500 20:25
+//   place 3 4
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "svc/manager.h"
+#include "util/result.h"
+
+namespace svc::core {
+
+// Writes the manager's live tenants.  Deterministic output order (by id).
+void SaveSnapshot(const NetworkManager& manager, std::ostream& out);
+
+// Replays a snapshot into `manager`, which must have no live tenants.
+// On any malformed line or failed admission, restores nothing (the manager
+// is rolled back to empty) and returns the error.
+util::Status RestoreSnapshot(std::istream& in, NetworkManager& manager);
+
+// File convenience wrappers.
+util::Status SaveSnapshotToFile(const NetworkManager& manager,
+                                const std::string& path);
+util::Status RestoreSnapshotFromFile(const std::string& path,
+                                     NetworkManager& manager);
+
+}  // namespace svc::core

@@ -1,0 +1,68 @@
+#include "topology/builders.h"
+
+#include <cassert>
+
+namespace svc::topology {
+
+Topology BuildThreeTier(const ThreeTierConfig& config) {
+  assert(config.racks > 0 && config.machines_per_rack > 0 &&
+         config.slots_per_machine > 0);
+  assert(config.racks % config.racks_per_agg == 0 &&
+         "racks must divide evenly into aggregation groups");
+  assert(config.oversubscription >= 1.0);
+
+  const double tor_uplink = config.machines_per_rack *
+                            config.machine_link_mbps /
+                            config.oversubscription;
+  const double agg_uplink =
+      config.racks_per_agg * tor_uplink / config.oversubscription;
+  const int num_aggs = config.racks / config.racks_per_agg;
+
+  Topology topo;
+  const VertexId core = topo.AddVertex(kNoVertex, 0, 0);
+  for (int a = 0; a < num_aggs; ++a) {
+    const VertexId agg =
+        topo.AddVertex(core, agg_uplink, 0, config.agg_trunk);
+    for (int r = 0; r < config.racks_per_agg; ++r) {
+      const VertexId tor =
+          topo.AddVertex(agg, tor_uplink, 0, config.tor_trunk);
+      for (int m = 0; m < config.machines_per_rack; ++m) {
+        topo.AddVertex(tor, config.machine_link_mbps,
+                       config.slots_per_machine);
+      }
+    }
+  }
+  topo.Finalize();
+  return topo;
+}
+
+Topology BuildStar(int machines, int slots_per_machine, double link_mbps) {
+  assert(machines > 0 && slots_per_machine > 0 && link_mbps > 0);
+  Topology topo;
+  const VertexId sw = topo.AddVertex(kNoVertex, 0, 0);
+  for (int m = 0; m < machines; ++m) {
+    topo.AddVertex(sw, link_mbps, slots_per_machine);
+  }
+  topo.Finalize();
+  return topo;
+}
+
+Topology BuildTwoTier(int racks, int machines_per_rack, int slots_per_machine,
+                      double link_mbps, double oversubscription) {
+  assert(racks > 0 && machines_per_rack > 0 && slots_per_machine > 0);
+  assert(oversubscription >= 1.0);
+  const double rack_uplink =
+      machines_per_rack * link_mbps / oversubscription;
+  Topology topo;
+  const VertexId core = topo.AddVertex(kNoVertex, 0, 0);
+  for (int r = 0; r < racks; ++r) {
+    const VertexId tor = topo.AddVertex(core, rack_uplink, 0);
+    for (int m = 0; m < machines_per_rack; ++m) {
+      topo.AddVertex(tor, link_mbps, slots_per_machine);
+    }
+  }
+  topo.Finalize();
+  return topo;
+}
+
+}  // namespace svc::topology

@@ -1,0 +1,43 @@
+// Canonical topology builders.
+//
+// BuildThreeTier reproduces the paper's evaluation fabric: racks of machines
+// under ToR switches, ToRs under aggregation switches, aggregations under a
+// single core, with a per-level oversubscription factor ("the default
+// oversubscription of the physical network is 2").
+#pragma once
+
+#include "topology/topology.h"
+
+namespace svc::topology {
+
+struct ThreeTierConfig {
+  int racks = 50;
+  int machines_per_rack = 20;
+  int slots_per_machine = 4;
+  int racks_per_agg = 10;           // `racks` must be divisible by this
+  double machine_link_mbps = 1000;  // 1 Gbps to the ToR
+  // Uplink of a switch = (sum of its children's link capacities) /
+  // oversubscription.  With the defaults this gives 10 Gbps ToR uplinks and
+  // 50 Gbps aggregation uplinks, matching the paper.
+  double oversubscription = 2.0;
+  // Trunking (multi-rooted fabrics): the ToR / aggregation uplinks consist
+  // of this many parallel cables carrying the same aggregate capacity.
+  // Allocation sees the aggregate; the simulator ECMP-hashes flows onto
+  // cables.  1 = the paper's single-path tree.
+  int tor_trunk = 1;
+  int agg_trunk = 1;
+};
+
+// Builds and finalizes the three-tier tree.  Asserts on inconsistent config.
+Topology BuildThreeTier(const ThreeTierConfig& config);
+
+// A one-switch "star" of `machines` machines, used by unit tests and the
+// worked example of Fig. 3.
+Topology BuildStar(int machines, int slots_per_machine, double link_mbps);
+
+// Two-level tree: `racks` racks of `machines_per_rack` machines; rack uplink
+// = machines_per_rack * link_mbps / oversubscription.
+Topology BuildTwoTier(int racks, int machines_per_rack, int slots_per_machine,
+                      double link_mbps, double oversubscription);
+
+}  // namespace svc::topology

@@ -1,0 +1,56 @@
+// Minimal leveled logger used by the library, simulator, and benches.
+//
+// Design goals: zero dependencies, cheap when a level is disabled, and
+// streaming syntax:
+//
+//   SVC_LOG(Info) << "allocated " << n << " VMs under vertex " << v;
+//
+// The global level defaults to Warning so library code is silent in tests;
+// benches raise it to Info.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace svc::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// True if a message at `level` would be emitted.
+bool LogEnabled(LogLevel level);
+
+namespace internal {
+
+// Accumulates one log line and flushes it (with level tag and timestamp)
+// on destruction.  Construct only via SVC_LOG.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace svc::util
+
+#define SVC_LOG(severity)                                                  \
+  if (!::svc::util::LogEnabled(::svc::util::LogLevel::k##severity)) {      \
+  } else                                                                   \
+    ::svc::util::internal::LogMessage(::svc::util::LogLevel::k##severity, \
+                                      __FILE__, __LINE__)

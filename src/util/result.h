@@ -1,0 +1,101 @@
+// Lightweight Result<T> / Status types for recoverable errors.
+//
+// The library reports recoverable failures (infeasible allocation, invalid
+// request, capacity exhaustion) by value rather than by exception, following
+// the convention that exceptions are reserved for programming errors and
+// resource exhaustion.  Result<T> is a minimal expected-like type: it holds
+// either a value or an error message plus a machine-inspectable code.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace svc::util {
+
+// Machine-inspectable error categories used across the library.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed request or parameter
+  kInfeasible,        // no valid allocation exists under current state
+  kCapacity,          // not enough empty VM slots
+  kNotFound,          // unknown id (request, vertex, link)
+  kFailedPrecondition // operation invalid in the current state
+};
+
+// Human-readable name of an ErrorCode (for logs and test failure messages).
+constexpr const char* ToString(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kInfeasible: return "INFEASIBLE";
+    case ErrorCode::kCapacity: return "CAPACITY";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+  }
+  return "UNKNOWN";
+}
+
+// A success-or-error status with message.  Cheap to copy on the success path.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Renders "CODE: message" for diagnostics.
+  std::string ToText() const {
+    if (ok()) return "OK";
+    return std::string(ToString(code_)) + ": " + message_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+// Either a T or a Status describing why the T could not be produced.
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions keep call sites terse:  return value; / return status;
+  Result(T value) : value_(std::move(value)) {}            // NOLINT
+  Result(Status status) : status_(std::move(status)) {     // NOLINT
+    assert(!status_.ok() && "use the value constructor for success");
+  }
+  Result(ErrorCode code, std::string message)
+      : status_(code, std::move(message)) {}
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Status& status() const { return status_; }
+
+  // Preconditions: ok().
+  const T& value() const& { assert(ok()); return *value_; }
+  T& value() & { assert(ok()); return *value_; }
+  T&& value() && { assert(ok()); return std::move(*value_); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the contained value or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace svc::util

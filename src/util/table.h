@@ -1,0 +1,37 @@
+// Aligned text tables for bench output.
+//
+// The figure-reproduction benches print their series as fixed-width tables so
+// the output is directly comparable with the paper's plots; Table also emits
+// CSV for downstream plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace svc::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Appends a row; the row is padded/truncated to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: formats doubles with `precision` digits after the point.
+  static std::string Num(double value, int precision = 3);
+
+  // Renders with aligned columns (two-space gutters).
+  std::string ToText() const;
+
+  // Renders as RFC-4180-ish CSV (no quoting of embedded commas needed for
+  // our numeric output, but quotes are escaped defensively).
+  std::string ToCsv() const;
+
+  size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace svc::util

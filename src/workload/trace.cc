@@ -1,0 +1,125 @@
+#include "workload/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace svc::workload {
+namespace {
+
+constexpr char kMagic[] = "svc-workload v1";
+
+const char* DistName(RateDistribution distribution) {
+  return distribution == RateDistribution::kLogNormal ? "lognormal"
+                                                      : "normal";
+}
+
+}  // namespace
+
+void SaveJobs(const std::vector<JobSpec>& jobs, std::ostream& out) {
+  out.precision(17);
+  out << kMagic << "\n";
+  out << "jobs " << jobs.size() << "\n";
+  for (const JobSpec& job : jobs) {
+    out << "job " << job.id << " " << job.size << " " << job.compute_time
+        << " " << job.rate_mean << " " << job.rate_stddev << " "
+        << job.flow_mbits << " " << job.arrival_time << " "
+        << DistName(job.rate_distribution);
+    for (const stats::Normal& d : job.vm_demands) {
+      out << " " << d.mean << ":" << d.variance;
+    }
+    out << "\n";
+  }
+}
+
+util::Result<std::vector<JobSpec>> LoadJobs(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return util::Status{util::ErrorCode::kInvalidArgument,
+                        "not a workload file (bad magic line)"};
+  }
+  std::string keyword;
+  size_t count = 0;
+  if (!(in >> keyword >> count) || keyword != "jobs") {
+    return util::Status{util::ErrorCode::kInvalidArgument, "bad jobs line"};
+  }
+  std::getline(in, line);  // consume the rest of the header line
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(count);
+  for (size_t j = 0; j < count; ++j) {
+    if (!std::getline(in, line)) {
+      return util::Status{util::ErrorCode::kInvalidArgument,
+                          "truncated at job " + std::to_string(j)};
+    }
+    std::istringstream fields(line);
+    JobSpec job;
+    std::string tag, dist;
+    if (!(fields >> tag >> job.id >> job.size >> job.compute_time >>
+          job.rate_mean >> job.rate_stddev >> job.flow_mbits >>
+          job.arrival_time >> dist) ||
+        tag != "job" || job.size < 1 || job.rate_mean < 0 ||
+        job.rate_stddev < 0 || job.compute_time < 0) {
+      return util::Status{util::ErrorCode::kInvalidArgument,
+                          "malformed job line: '" + line + "'"};
+    }
+    if (dist == "lognormal") {
+      job.rate_distribution = RateDistribution::kLogNormal;
+    } else if (dist == "normal") {
+      job.rate_distribution = RateDistribution::kNormal;
+    } else {
+      return util::Status{util::ErrorCode::kInvalidArgument,
+                          "unknown distribution '" + dist + "'"};
+    }
+    std::string pair_text;
+    while (fields >> pair_text) {
+      const auto parts = util::Split(pair_text, ':');
+      if (parts.size() != 2) {
+        return util::Status{util::ErrorCode::kInvalidArgument,
+                            "bad VM demand '" + pair_text + "'"};
+      }
+      try {
+        job.vm_demands.push_back(
+            {std::stod(parts[0]), std::stod(parts[1])});
+      } catch (const std::exception&) {
+        return util::Status{util::ErrorCode::kInvalidArgument,
+                            "unparsable VM demand '" + pair_text + "'"};
+      }
+    }
+    if (!job.vm_demands.empty() &&
+        static_cast<int>(job.vm_demands.size()) != job.size) {
+      return util::Status{util::ErrorCode::kInvalidArgument,
+                          "job " + std::to_string(job.id) + " has " +
+                              std::to_string(job.vm_demands.size()) +
+                              " VM demands for size " +
+                              std::to_string(job.size)};
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+util::Status SaveJobsToFile(const std::vector<JobSpec>& jobs,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return {util::ErrorCode::kInvalidArgument, "cannot open " + path};
+  }
+  SaveJobs(jobs, out);
+  out.flush();
+  if (!out) {
+    return {util::ErrorCode::kInvalidArgument, "write failed: " + path};
+  }
+  return util::Status::Ok();
+}
+
+util::Result<std::vector<JobSpec>> LoadJobsFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return util::Status{util::ErrorCode::kNotFound, "cannot open " + path};
+  }
+  return LoadJobs(in);
+}
+
+}  // namespace svc::workload

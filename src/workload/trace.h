@@ -1,0 +1,31 @@
+// Workload persistence: save/load a generated job stream so an experiment
+// can be replayed bit-for-bit elsewhere (or against a different allocator)
+// without carrying the generator's seed and config around.
+//
+// Line-oriented text format, one job per line after the header:
+//
+//   svc-workload v1
+//   jobs <count>
+//   job <id> <size> <compute> <mu> <sigma> <flow_mbits> <arrival> <dist>
+//       [<mu_i>:<var_i> ...]          (per-VM demands, heterogeneous only)
+//
+// <dist> is "normal" or "lognormal".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "workload/workload.h"
+
+namespace svc::workload {
+
+void SaveJobs(const std::vector<JobSpec>& jobs, std::ostream& out);
+util::Result<std::vector<JobSpec>> LoadJobs(std::istream& in);
+
+util::Status SaveJobsToFile(const std::vector<JobSpec>& jobs,
+                            const std::string& path);
+util::Result<std::vector<JobSpec>> LoadJobsFromFile(const std::string& path);
+
+}  // namespace svc::workload

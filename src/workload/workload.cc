@@ -1,0 +1,148 @@
+#include "workload/workload.h"
+
+#include <cassert>
+#include <limits>
+
+#include "stats/distributions.h"
+#include "stats/lognormal.h"
+#include "stats/normal.h"
+
+namespace svc::workload {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config, uint64_t seed)
+    : config_(std::move(config)), rng_(seed) {
+  assert(config_.num_jobs > 0);
+  assert(!config_.rate_means.empty());
+  assert(config_.min_job_size >= 1 &&
+         config_.min_job_size <= config_.max_job_size);
+}
+
+JobSpec WorkloadGenerator::NextJob() {
+  JobSpec job;
+  job.id = next_id_++;
+  job.size = static_cast<int>(stats::SampleExponentialInt(
+      rng_, config_.mean_job_size, config_.min_job_size,
+      config_.max_job_size));
+  job.compute_time =
+      rng_.Uniform(config_.compute_time_lo, config_.compute_time_hi);
+  const size_t pick = static_cast<size_t>(
+      rng_.UniformInt(0, static_cast<int64_t>(config_.rate_means.size()) - 1));
+  job.rate_mean = config_.rate_means[pick];
+  const double rho = config_.fixed_deviation >= 0
+                         ? config_.fixed_deviation
+                         : rng_.Uniform(config_.deviation_lo,
+                                        config_.deviation_hi);
+  job.rate_stddev = rho * job.rate_mean;
+  job.rate_distribution = config_.rate_distribution;
+  job.flow_mbits =
+      job.rate_mean * rng_.Uniform(config_.flow_time_lo, config_.flow_time_hi);
+  if (config_.heterogeneous) {
+    job.vm_demands.reserve(job.size);
+    double mean_sum = 0;
+    for (int i = 0; i < job.size; ++i) {
+      const size_t vm_pick = static_cast<size_t>(rng_.UniformInt(
+          0, static_cast<int64_t>(config_.rate_means.size()) - 1));
+      const double mu = config_.rate_means[vm_pick];
+      const double vm_rho = config_.fixed_deviation >= 0
+                                ? config_.fixed_deviation
+                                : rng_.Uniform(config_.deviation_lo,
+                                               config_.deviation_hi);
+      const double sigma = vm_rho * mu;
+      job.vm_demands.push_back({mu, sigma * sigma});
+      mean_sum += mu;
+    }
+    // Keep the flow length tied to the job's average rate so network time
+    // stays comparable to compute time.
+    job.rate_mean = mean_sum / job.size;
+    job.flow_mbits = job.rate_mean *
+                     rng_.Uniform(config_.flow_time_lo, config_.flow_time_hi);
+  }
+  return job;
+}
+
+std::vector<JobSpec> WorkloadGenerator::GenerateBatch() {
+  std::vector<JobSpec> jobs;
+  jobs.reserve(config_.num_jobs);
+  for (int i = 0; i < config_.num_jobs; ++i) jobs.push_back(NextJob());
+  return jobs;
+}
+
+std::vector<JobSpec> WorkloadGenerator::GenerateOnline(double load,
+                                                       int total_slots) {
+  assert(load > 0);
+  assert(total_slots > 0);
+  const double mean_compute =
+      0.5 * (config_.compute_time_lo + config_.compute_time_hi);
+  // Paper: load = lambda * mean_N * mean_Tc / M  =>  lambda as below.
+  const double lambda =
+      load * total_slots / (config_.mean_job_size * mean_compute);
+  std::vector<JobSpec> jobs;
+  jobs.reserve(config_.num_jobs);
+  double t = 0;
+  for (int i = 0; i < config_.num_jobs; ++i) {
+    t += rng_.Exponential(1.0 / lambda);
+    JobSpec job = NextJob();
+    job.arrival_time = t;
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+const char* ToString(Abstraction abstraction) {
+  switch (abstraction) {
+    case Abstraction::kSvc: return "SVC";
+    case Abstraction::kMeanVc: return "mean-VC";
+    case Abstraction::kPercentileVc: return "percentile-VC";
+  }
+  return "?";
+}
+
+core::Request MakeRequest(const JobSpec& job, Abstraction abstraction,
+                          double vc_quantile) {
+  switch (abstraction) {
+    case Abstraction::kSvc:
+      if (!job.vm_demands.empty()) {
+        return core::Request::Heterogeneous(job.id, job.vm_demands);
+      }
+      return core::Request::Homogeneous(job.id, job.size, job.rate_mean,
+                                        job.rate_stddev);
+    case Abstraction::kMeanVc:
+      return core::Request::Deterministic(job.id, job.size, job.rate_mean);
+    case Abstraction::kPercentileVc:
+      return core::Request::Deterministic(
+          job.id, job.size, RatePercentile(job, vc_quantile));
+  }
+  assert(false && "unknown abstraction");
+  return core::Request::Deterministic(job.id, job.size, job.rate_mean);
+}
+
+double RatePercentile(const JobSpec& job, double p) {
+  if (job.rate_stddev == 0) return job.rate_mean;
+  switch (job.rate_distribution) {
+    case RateDistribution::kNormal: {
+      const stats::Normal rate{job.rate_mean,
+                               job.rate_stddev * job.rate_stddev};
+      return rate.Quantile(p);
+    }
+    case RateDistribution::kLogNormal:
+      return stats::LogNormal::FromMeanVariance(
+                 job.rate_mean, job.rate_stddev * job.rate_stddev)
+          .Quantile(p);
+  }
+  return job.rate_mean;
+}
+
+double RateCap(const JobSpec& job, Abstraction abstraction,
+               double vc_quantile) {
+  switch (abstraction) {
+    case Abstraction::kSvc:
+      return std::numeric_limits<double>::infinity();
+    case Abstraction::kMeanVc:
+      return job.rate_mean;
+    case Abstraction::kPercentileVc:
+      return RatePercentile(job, vc_quantile);
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+}  // namespace svc::workload

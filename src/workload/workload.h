@@ -1,0 +1,125 @@
+// Tenant-job workload model (paper Section VI-A).
+//
+// "Each job is modeled as a set of tasks to be run on individual VMs and a
+// set of flows of uniform length between tasks.  Each task is a source and a
+// destination for one flow.  The completion time of a job is max(Tc, Tn)."
+//
+// Distributions, matching the paper:
+//   * job size N        ~ exponential around mean 49 (clamped);
+//   * compute time Tc   ~ U[200, 500] s;
+//   * rate mean mu_d    ~ uniform over {100, 200, 300, 400, 500} Mbps;
+//   * rate stddev       sigma_d = rho * mu_d, rho ~ U(0, 1) by default, or a
+//     fixed deviation coefficient for the Fig. 6 sweep;
+//   * arrivals          Poisson with rate lambda = load * M / (mean_N * mean_Tc)
+//     for the online scenario (paper's load definition).
+//
+// The paper leaves the uniform flow length L unspecified; we draw
+// L = mu_d * U[flow_time_lo, flow_time_hi] Mbit so the network time at the
+// mean rate is comparable to the compute time (documented in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.h"
+#include "svc/request.h"
+
+namespace svc::workload {
+
+// Shape of the per-second data-generation rate distribution.  The SVC
+// request always carries just (mean, variance); the shape matters to the
+// simulator's draws and to the percentile-VC reservation, and is how the
+// robustness of the two-moment framework to heavy tails is evaluated.
+enum class RateDistribution {
+  kNormal,     // N(mu_d, sigma_d^2) rectified at 0 (the paper's model)
+  kLogNormal,  // lognormal with the same mean and variance (heavy-tailed)
+};
+
+struct JobSpec {
+  int64_t id = 0;
+  int size = 0;              // N, number of VMs / tasks
+  double compute_time = 0;   // Tc, seconds
+  double rate_mean = 0;      // mu_d, Mbps
+  double rate_stddev = 0;    // sigma_d, Mbps
+  double flow_mbits = 0;     // uniform flow length L, Mbit
+  double arrival_time = 0;   // seconds (0 for batch scenarios)
+  RateDistribution rate_distribution = RateDistribution::kNormal;
+  // Heterogeneous jobs (paper Section V): per-VM rate distributions.  When
+  // non-empty (size `size`), these override rate_mean/rate_stddev for both
+  // the SVC request and the per-task generation rates.
+  std::vector<stats::Normal> vm_demands;
+};
+
+struct WorkloadConfig {
+  int num_jobs = 500;
+  double mean_job_size = 49;
+  int min_job_size = 2;
+  int max_job_size = 400;
+  double compute_time_lo = 200;
+  double compute_time_hi = 500;
+  std::vector<double> rate_means = {100, 200, 300, 400, 500};
+  // sigma_d = rho * mu_d.  fixed_deviation >= 0 pins rho; otherwise rho is
+  // drawn uniformly from (deviation_lo, deviation_hi).
+  double deviation_lo = 0.0;
+  double deviation_hi = 1.0;
+  double fixed_deviation = -1;
+  // Flow length L = mu_d * U[flow_time_lo, flow_time_hi].
+  double flow_time_lo = 200;
+  double flow_time_hi = 500;
+  // Heterogeneous mode: each VM draws its own mu_i from rate_means and its
+  // own rho_i, instead of one (mu_d, sigma_d) per job.
+  bool heterogeneous = false;
+  RateDistribution rate_distribution = RateDistribution::kNormal;
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(WorkloadConfig config, uint64_t seed);
+
+  // Jobs with arrival_time 0, for the batched-FIFO scenario.
+  std::vector<JobSpec> GenerateBatch();
+
+  // Jobs with Poisson arrival times calibrated so the offered load is
+  // `load` (fraction of the datacenter's `total_slots` VM slots busy in
+  // steady state, using the paper's lambda * mean_N * mean_Tc / M formula).
+  std::vector<JobSpec> GenerateOnline(double load, int total_slots);
+
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  JobSpec NextJob();
+
+  WorkloadConfig config_;
+  stats::Rng rng_;
+  int64_t next_id_ = 1;
+};
+
+// The three network abstractions the evaluation compares.
+enum class Abstraction {
+  kSvc,           // stochastic virtual cluster <N, mu_d, sigma_d>
+  kMeanVc,        // deterministic VC with B = mu_d
+  kPercentileVc,  // deterministic VC with B = a percentile of the rate
+                  // (the paper's 95th by default; see vc_quantile below)
+};
+
+const char* ToString(Abstraction abstraction);
+
+// Derives the tenant request a job submits under the given abstraction
+// ("Our SVC is derived from the distribution of the data generation rate").
+// `vc_quantile` selects the reserved percentile for kPercentileVc —
+// q = 0.5 degenerates to mean-VC (for a symmetric distribution) and
+// q -> 1 to worst-case provisioning; the paper uses 0.95.
+core::Request MakeRequest(const JobSpec& job, Abstraction abstraction,
+                          double vc_quantile = 0.95);
+
+// The per-VM rate cap the hypervisor enforces under the abstraction:
+// deterministic VCs are rate-limited to their reserved bandwidth, SVC VMs
+// are not limited (statistical sharing).  Returns +infinity for kSvc.
+double RateCap(const JobSpec& job, Abstraction abstraction,
+               double vc_quantile = 0.95);
+
+// p-quantile of the job's per-second rate distribution (respects
+// rate_distribution; the percentile-VC reservation is RatePercentile(0.95)).
+double RatePercentile(const JobSpec& job, double p);
+
+}  // namespace svc::workload

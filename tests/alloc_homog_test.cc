@@ -1,0 +1,241 @@
+// Homogeneous allocation: Algorithm 1 (svc-dp) and the adapted-TIVC
+// baseline — validity, locality, optimality, and the paper's Fig. 3 example.
+#include "svc/homogeneous_search.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+#include "svc/demand_profile.h"
+#include "svc/manager.h"
+#include "test_helpers.h"
+#include "topology/builders.h"
+
+namespace svc::core {
+namespace {
+
+using testing_helpers::ExpectPlacementValid;
+
+TEST(HomogeneousDp, RejectsHeterogeneousRequests) {
+  const topology::Topology topo = topology::BuildStar(2, 4, 1000);
+  NetworkManager manager(topo, 0.05);
+  HomogeneousDpAllocator alloc;
+  const Request r = Request::Heterogeneous(1, {{10, 1}, {20, 4}});
+  const auto result = alloc.Allocate(r, manager.ledger(), manager.slots());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::ErrorCode::kInvalidArgument);
+}
+
+TEST(HomogeneousDp, CapacityError) {
+  const topology::Topology topo = topology::BuildStar(2, 2, 1000);
+  NetworkManager manager(topo, 0.05);
+  HomogeneousDpAllocator alloc;
+  const Request r = Request::Homogeneous(1, 5, 10, 1);
+  const auto result = alloc.Allocate(r, manager.ledger(), manager.slots());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::ErrorCode::kCapacity);
+}
+
+TEST(HomogeneousDp, SingleMachineFitsWithoutNetwork) {
+  const topology::Topology topo = topology::BuildStar(3, 4, 100);
+  NetworkManager manager(topo, 0.05);
+  HomogeneousDpAllocator alloc;
+  // 4 VMs fit on one machine: no link demand at all, so even huge
+  // bandwidth needs are fine.
+  const Request r = Request::Homogeneous(1, 4, 1e6, 1e5);
+  const auto result = alloc.Allocate(r, manager.ledger(), manager.slots());
+  ASSERT_TRUE(result.ok()) << result.status().ToText();
+  EXPECT_TRUE(topo.is_machine(result->subtree_root));
+  ExpectPlacementValid(r, *result, manager);
+}
+
+TEST(HomogeneousDp, Fig3ExampleFindsMinOccupancySplit) {
+  // Paper Fig. 3: two machines with 5 slots each, links of capacity 50,
+  // deterministic request <N=6, B=10>.  Valid splits include 3+3 (reserved
+  // 30) and 2+4 (reserved 20); the min-max optimum is 5+1 (reserved 10).
+  const topology::Topology topo = topology::BuildStar(2, 5, 50);
+  NetworkManager manager(topo, 0.05);
+  HomogeneousDpAllocator alloc;
+  const Request r = Request::Deterministic(1, 6, 10);
+  const auto result = alloc.Allocate(r, manager.ledger(), manager.slots());
+  ASSERT_TRUE(result.ok()) << result.status().ToText();
+  ExpectPlacementValid(r, *result, manager);
+  const auto counts = result->MachineCounts();
+  ASSERT_EQ(counts.size(), 2u);
+  const int larger = std::max(counts[0].second, counts[1].second);
+  EXPECT_EQ(larger, 5);  // 5+1 split: min(5,1)*10 = 10 reserved per link
+  EXPECT_NEAR(result->max_occupancy, 10.0 / 50.0, 1e-12);
+}
+
+TEST(HomogeneousDp, TivcBaselineMayPickWorseSplitButValid) {
+  const topology::Topology topo = topology::BuildStar(2, 5, 50);
+  NetworkManager manager(topo, 0.05);
+  TivcAdaptedAllocator tivc;
+  const Request r = Request::Deterministic(1, 6, 10);
+  const auto result = tivc.Allocate(r, manager.ledger(), manager.slots());
+  ASSERT_TRUE(result.ok());
+  ExpectPlacementValid(r, *result, manager);
+}
+
+TEST(HomogeneousDp, PrefersLowestSubtree) {
+  // 4 racks of 2 machines x 4 slots: an 8-VM job fits exactly in one rack
+  // and must be placed there (locality), not spread.
+  const topology::Topology topo = topology::BuildTwoTier(4, 2, 4, 1000, 1.0);
+  NetworkManager manager(topo, 0.05);
+  HomogeneousDpAllocator alloc;
+  const Request r = Request::Homogeneous(1, 8, 100, 30);
+  const auto result = alloc.Allocate(r, manager.ledger(), manager.slots());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(topo.level(result->subtree_root), 1);  // a rack, not the root
+  ExpectPlacementValid(r, *result, manager);
+}
+
+TEST(HomogeneousDp, MachinePreferredOverRack) {
+  const topology::Topology topo = topology::BuildTwoTier(2, 2, 4, 1000, 1.0);
+  NetworkManager manager(topo, 0.05);
+  HomogeneousDpAllocator alloc;
+  const Request r = Request::Homogeneous(1, 3, 200, 50);
+  const auto result = alloc.Allocate(r, manager.ledger(), manager.slots());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(topo.is_machine(result->subtree_root));
+  const auto counts = result->MachineCounts();
+  EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(HomogeneousDp, InfeasibleWhenBandwidthExhausted) {
+  // Two machines, tiny links: a cross-machine job with large demand cannot
+  // satisfy (4), and too many VMs for one machine.
+  const topology::Topology topo = topology::BuildStar(2, 2, 10);
+  NetworkManager manager(topo, 0.05);
+  HomogeneousDpAllocator alloc;
+  const Request r = Request::Homogeneous(1, 4, 100, 30);
+  const auto result = alloc.Allocate(r, manager.ledger(), manager.slots());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::ErrorCode::kInfeasible);
+}
+
+TEST(HomogeneousDp, DeterministicEqualityBoundaryAllowed) {
+  // <N=2, B=10> across two machines with capacity exactly 10: Oktopus-style
+  // reservation min(1,1)*10 == 10 <= capacity must be accepted.
+  const topology::Topology topo = topology::BuildStar(2, 1, 10);
+  NetworkManager manager(topo, 0.05);
+  HomogeneousDpAllocator alloc;
+  const Request r = Request::Deterministic(1, 2, 10);
+  const auto result = alloc.Allocate(r, manager.ledger(), manager.slots());
+  ASSERT_TRUE(result.ok()) << result.status().ToText();
+  ExpectPlacementValid(r, *result, manager);
+}
+
+TEST(HomogeneousDp, SmallerEpsilonIsMoreConservative) {
+  // A request near the feasibility boundary: feasible at eps=0.3,
+  // infeasible at eps=0.01 (larger quantile).
+  const topology::Topology topo = topology::BuildStar(2, 2, 250);
+  const Request r = Request::Homogeneous(1, 4, 100, 60);
+  // demand on each machine link: min-split m=2: mean ~ <=200, var adds.
+  NetworkManager loose(topo, 0.3);
+  NetworkManager tight(topo, 0.001);
+  HomogeneousDpAllocator alloc;
+  const auto loose_result = alloc.Allocate(r, loose.ledger(), loose.slots());
+  const auto tight_result = alloc.Allocate(r, tight.ledger(), tight.slots());
+  EXPECT_TRUE(loose_result.ok());
+  EXPECT_FALSE(tight_result.ok());
+}
+
+TEST(HomogeneousDp, OccupancyNeverWorseThanTivc) {
+  // Property: evaluated on the SAME datacenter state, Algorithm 1's min-max
+  // objective is <= the adapted-TIVC baseline's achieved max occupancy
+  // (both search the same lowest feasible level; the DP takes the level's
+  // minimum).  The shared state evolves by committing the DP's placements.
+  const topology::Topology topo = topology::BuildTwoTier(4, 4, 4, 1000, 2.0);
+  stats::Rng rng(2024);
+  HomogeneousDpAllocator dp;
+  TivcAdaptedAllocator tivc;
+  for (int trial = 0; trial < 20; ++trial) {
+    NetworkManager manager(topo, 0.05);
+    for (int j = 0; j < 6; ++j) {
+      const int n = static_cast<int>(rng.UniformInt(2, 12));
+      const double mu = 50.0 * static_cast<double>(rng.UniformInt(1, 5));
+      const double sigma = mu * rng.Uniform(0.1, 0.9);
+      const Request r = Request::Homogeneous(trial * 100 + j, n, mu, sigma);
+      const auto dp_result =
+          dp.Allocate(r, manager.ledger(), manager.slots());
+      const auto tivc_result =
+          tivc.Allocate(r, manager.ledger(), manager.slots());
+      ASSERT_EQ(dp_result.ok(), tivc_result.ok())
+          << "feasibility must agree on identical state";
+      if (!dp_result.ok()) continue;
+      EXPECT_EQ(topo.level(dp_result->subtree_root),
+                topo.level(tivc_result->subtree_root));
+      EXPECT_LE(dp_result->max_occupancy, tivc_result->max_occupancy + 1e-9)
+          << "trial " << trial << " job " << j;
+      ASSERT_TRUE(manager.Admit(r, dp).ok());
+    }
+  }
+}
+
+TEST(HomogeneousDp, SequentialAdmissionsKeepStateValid) {
+  const topology::Topology topo = topology::BuildTwoTier(4, 4, 4, 500, 2.0);
+  NetworkManager manager(topo, 0.05);
+  HomogeneousDpAllocator alloc;
+  stats::Rng rng(7);
+  int admitted = 0;
+  for (int j = 0; j < 40; ++j) {
+    const int n = static_cast<int>(rng.UniformInt(2, 10));
+    const Request r = Request::Homogeneous(j, n, 100, 50);
+    if (manager.Admit(r, alloc).ok()) ++admitted;
+    ASSERT_TRUE(manager.StateValid()) << "after job " << j;
+    if (j % 3 == 2 && admitted > 0) {
+      manager.Release(j - 2);  // churn
+      ASSERT_TRUE(manager.StateValid());
+    }
+  }
+  EXPECT_GT(admitted, 0);
+}
+
+TEST(HomogeneousDp, WholeTreeSearchOptionFindsGlobalOptimum) {
+  // With lowest_subtree_first disabled the allocator may spread across
+  // racks when that lowers max occupancy.
+  const topology::Topology topo = topology::BuildTwoTier(2, 2, 4, 1000, 1.0);
+  HomogeneousSearchAllocator global(
+      {.optimize_occupancy = true, .lowest_subtree_first = false}, "global");
+  NetworkManager manager(topo, 0.05);
+  const Request r = Request::Homogeneous(1, 8, 100, 30);
+  const auto result = global.Allocate(r, manager.ledger(), manager.slots());
+  ASSERT_TRUE(result.ok());
+  ExpectPlacementValid(r, *result, manager);
+}
+
+class HomogeneousRandomized : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HomogeneousRandomized, AllPlacementsValidUnderChurn) {
+  const topology::Topology topo = topology::BuildTwoTier(5, 4, 4, 800, 2.0);
+  NetworkManager manager(topo, 0.05);
+  HomogeneousDpAllocator alloc;
+  stats::Rng rng(GetParam());
+  std::vector<int64_t> live;
+  for (int j = 0; j < 60; ++j) {
+    const int n = static_cast<int>(rng.UniformInt(2, 16));
+    const double mu = 40.0 * static_cast<double>(rng.UniformInt(1, 6));
+    const double sigma = mu * rng.Uniform(0.0, 1.0);
+    const Request r = Request::Homogeneous(j, n, mu, sigma);
+    const auto result = alloc.Allocate(r, manager.ledger(), manager.slots());
+    if (result.ok()) {
+      ExpectPlacementValid(r, *result, manager);
+      ASSERT_TRUE(manager.Admit(r, alloc).ok());
+      live.push_back(j);
+    }
+    // Random departures.
+    if (!live.empty() && rng.UniformDouble() < 0.3) {
+      const size_t pick =
+          static_cast<size_t>(rng.UniformInt(0, live.size() - 1));
+      manager.Release(live[pick]);
+      live.erase(live.begin() + pick);
+    }
+    ASSERT_TRUE(manager.StateValid());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HomogeneousRandomized,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace svc::core

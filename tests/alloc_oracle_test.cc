@@ -1,0 +1,185 @@
+// Oracle test: Algorithm 1's min-max objective against brute-force
+// enumeration of EVERY feasible placement, on small topologies with
+// randomized pre-existing load.  This is the ground-truth check that the
+// DP recurrences (11)/(12) and the lowest-subtree search are implemented
+// correctly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "stats/rng.h"
+#include "svc/demand_profile.h"
+#include "svc/homogeneous_search.h"
+#include "svc/manager.h"
+#include "topology/builders.h"
+
+namespace svc::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Minimum achievable max-occupancy over links of T_v (including v's uplink)
+// when placing exactly n VMs on machines under v, or +inf if impossible.
+// Pure brute force over all slot-bounded compositions.
+double BruteForceOpt(const topology::Topology& topo,
+                     const net::LinkLedger& ledger, const SlotMap& slots,
+                     const HomogeneousProfile& profile, int n,
+                     topology::VertexId v) {
+  const std::vector<topology::VertexId> machines = topo.MachinesUnder(v);
+  std::vector<int> counts(machines.size(), 0);
+  double best = kInf;
+
+  // Occupancy of one candidate composition: for every link in T_v plus the
+  // uplink, the VMs below it determine the split demand.
+  auto evaluate = [&]() {
+    double worst = 0;
+    // Count VMs below each vertex of T_v by walking machines upward.
+    std::vector<int> below(topo.num_vertices(), 0);
+    for (size_t i = 0; i < machines.size(); ++i) {
+      topology::VertexId u = machines[i];
+      while (true) {
+        below[u] += counts[i];
+        if (u == v) break;
+        u = topo.parent(u);
+      }
+    }
+    // Links of T_v: every vertex u != root(T_v) with below counted, plus
+    // v's own uplink (if v is not the global root).
+    std::vector<topology::VertexId> stack{v};
+    std::vector<topology::VertexId> links;
+    while (!stack.empty()) {
+      const topology::VertexId u = stack.back();
+      stack.pop_back();
+      if (u != topo.root()) links.push_back(u);
+      if (u == v || !topo.is_machine(u)) {
+        for (topology::VertexId child : topo.children(u)) {
+          stack.push_back(child);
+        }
+      }
+    }
+    for (topology::VertexId link : links) {
+      // Links below v that are not on any machine path still count with
+      // their existing occupancy; below[] is 0 there, giving demand 0.
+      const int m = topo.IsInSubtree(link, v) && link != v ? below[link]
+                                                           : below[v];
+      const double mean = profile.MeanAdd(m);
+      const double var = profile.VarAdd(m);
+      const double det = profile.DetAdd(m);
+      if (!ledger.ValidWith(link, mean, var, det)) return kInf;
+      worst = std::max(worst, ledger.OccupancyWith(link, mean, var, det));
+    }
+    return worst;
+  };
+
+  // Enumerate compositions recursively.
+  std::function<void(size_t, int)> recurse = [&](size_t index, int left) {
+    if (index == machines.size()) {
+      if (left == 0) best = std::min(best, evaluate());
+      return;
+    }
+    const int cap = std::min(left, slots.free_slots(machines[index]));
+    for (int c = 0; c <= cap; ++c) {
+      counts[index] = c;
+      recurse(index + 1, left - c);
+    }
+    counts[index] = 0;
+  };
+  recurse(0, n);
+  return best;
+}
+
+// Ground truth for the full allocation: the lowest level with a feasible
+// vertex, and the minimum objective among that level's vertices.
+struct Oracle {
+  int level = -1;
+  double value = kInf;
+};
+
+Oracle BruteForceAllocate(const topology::Topology& topo,
+                          const net::LinkLedger& ledger, const SlotMap& slots,
+                          const Request& request) {
+  const HomogeneousProfile profile(request);
+  Oracle oracle;
+  for (int level = 0; level <= topo.height(); ++level) {
+    for (topology::VertexId v : topo.vertices_at_level(level)) {
+      const double value =
+          BruteForceOpt(topo, ledger, slots, profile, request.n(), v);
+      if (value < oracle.value) {
+        oracle.value = value;
+        oracle.level = level;
+      }
+    }
+    if (oracle.level >= 0) break;  // lowest feasible level found
+  }
+  return oracle;
+}
+
+class DpOracle : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DpOracle, DpMatchesBruteForceUnderRandomLoad) {
+  const topology::Topology topo = topology::BuildTwoTier(
+      /*racks=*/2, /*machines_per_rack=*/3, /*slots_per_machine=*/2,
+      /*link_mbps=*/600, /*oversubscription=*/2.0);
+  NetworkManager manager(topo, 0.05);
+  HomogeneousDpAllocator dp;
+  stats::Rng rng(GetParam());
+
+  // Random pre-existing load so link states are asymmetric.
+  for (int j = 0; j < 3; ++j) {
+    const int n = static_cast<int>(rng.UniformInt(1, 4));
+    const double mu = 30.0 * static_cast<double>(rng.UniformInt(1, 5));
+    const Request r =
+        Request::Homogeneous(1000 + j, n, mu, mu * rng.Uniform(0, 0.8));
+    manager.Admit(r, dp);  // may fail; fine
+  }
+
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n = static_cast<int>(rng.UniformInt(1, 6));
+    const double mu = 40.0 * static_cast<double>(rng.UniformInt(1, 5));
+    const double sigma = mu * rng.Uniform(0, 0.9);
+    const Request request = Request::Homogeneous(trial, n, mu, sigma);
+
+    const Oracle oracle =
+        BruteForceAllocate(topo, manager.ledger(), manager.slots(), request);
+    const auto result =
+        dp.Allocate(request, manager.ledger(), manager.slots());
+
+    if (oracle.level < 0) {
+      EXPECT_FALSE(result.ok()) << "DP found a placement brute force missed";
+      continue;
+    }
+    ASSERT_TRUE(result.ok())
+        << "brute force feasible at level " << oracle.level
+        << " but DP failed: " << result.status().ToText();
+    EXPECT_EQ(topo.level(result->subtree_root), oracle.level);
+    EXPECT_NEAR(result->max_occupancy, oracle.value, 1e-9)
+        << "trial " << trial << " n=" << n << " mu=" << mu
+        << " sigma=" << sigma;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpOracle,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+TEST(DpOracle, DeterministicRequestsToo) {
+  const topology::Topology topo = topology::BuildTwoTier(2, 2, 3, 100, 1.0);
+  NetworkManager manager(topo, 0.05);
+  HomogeneousDpAllocator dp;
+  for (int n = 1; n <= 8; ++n) {
+    const Request request = Request::Deterministic(n, n, 15);
+    const Oracle oracle =
+        BruteForceAllocate(topo, manager.ledger(), manager.slots(), request);
+    const auto result =
+        dp.Allocate(request, manager.ledger(), manager.slots());
+    ASSERT_EQ(oracle.level >= 0, result.ok()) << "n=" << n;
+    if (result.ok()) {
+      EXPECT_NEAR(result->max_occupancy, oracle.value, 1e-9) << "n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace svc::core

@@ -1,0 +1,181 @@
+// The svcctl command interpreter: parsing, admission semantics, error
+// handling, and script execution.
+#include "cli/interpreter.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "topology/builders.h"
+
+namespace svc::cli {
+namespace {
+
+class InterpreterTest : public ::testing::Test {
+ protected:
+  InterpreterTest()
+      : topo_(topology::BuildTwoTier(2, 3, 4, 1000, 2.0)),
+        interpreter_(topo_, 0.05) {}
+
+  std::string Exec(const std::string& line, bool* ok = nullptr) {
+    std::ostringstream out;
+    const bool result = interpreter_.Execute(line, out);
+    if (ok != nullptr) *ok = result;
+    return out.str();
+  }
+
+  topology::Topology topo_;
+  Interpreter interpreter_;
+};
+
+TEST_F(InterpreterTest, BlankAndCommentLinesSucceedSilently) {
+  bool ok = false;
+  EXPECT_EQ(Exec("", &ok), "");
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(Exec("   # a comment", &ok), "");
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(InterpreterTest, AdmitHomogeneous) {
+  bool ok = false;
+  const std::string out = Exec("admit 1 homogeneous 6 100 40", &ok);
+  EXPECT_TRUE(ok) << out;
+  EXPECT_NE(out.find("placed"), std::string::npos);
+  EXPECT_TRUE(interpreter_.manager().IsLive(1));
+}
+
+TEST_F(InterpreterTest, AdmitDeterministicAndRelease) {
+  bool ok = false;
+  Exec("admit 2 deterministic 4 100", &ok);
+  EXPECT_TRUE(ok);
+  const std::string out = Exec("release 2", &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_NE(out.find("done"), std::string::npos);
+  EXPECT_FALSE(interpreter_.manager().IsLive(2));
+}
+
+TEST_F(InterpreterTest, AdmitHeterogeneous) {
+  bool ok = false;
+  const std::string out =
+      Exec("admit 3 heterogeneous 300:150 100:20 50:5", &ok);
+  // Needs a heterogeneous-capable allocator first.
+  EXPECT_FALSE(ok);
+  Exec("allocator hetero-heuristic", &ok);
+  EXPECT_TRUE(ok);
+  const std::string retry =
+      Exec("admit 3 heterogeneous 300:150 100:20 50:5", &ok);
+  EXPECT_TRUE(ok) << retry;
+}
+
+TEST_F(InterpreterTest, RejectionReportsReason) {
+  bool ok = true;
+  const std::string out = Exec("admit 4 homogeneous 100 100 40", &ok);
+  EXPECT_FALSE(ok);  // 100 VMs > 24 slots
+  EXPECT_NE(out.find("REJECTED"), std::string::npos);
+  EXPECT_NE(out.find("CAPACITY"), std::string::npos);
+}
+
+TEST_F(InterpreterTest, ShowCommands) {
+  Exec("admit 1 homogeneous 6 100 40");
+  bool ok = false;
+  EXPECT_NE(Exec("show slots", &ok).find("18 free of 24"),
+            std::string::npos);
+  EXPECT_TRUE(ok);
+  EXPECT_NE(Exec("show occupancy 3", &ok).find("link"), std::string::npos);
+  EXPECT_TRUE(ok);
+  EXPECT_NE(Exec("show placement 1", &ok).find("6 VMs"), std::string::npos);
+  EXPECT_TRUE(ok);
+  EXPECT_NE(Exec("show tenants", &ok).find("1 live"), std::string::npos);
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(InterpreterTest, ShowPlacementOfUnknownTenantFails) {
+  bool ok = true;
+  EXPECT_NE(Exec("show placement 99", &ok).find("not live"),
+            std::string::npos);
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(InterpreterTest, Asserts) {
+  bool ok = false;
+  EXPECT_NE(Exec("assert valid", &ok).find("ok"), std::string::npos);
+  EXPECT_TRUE(ok);
+  Exec("admit 1 homogeneous 4 50 10");
+  EXPECT_NE(Exec("assert live 1", &ok).find("ok"), std::string::npos);
+  EXPECT_TRUE(ok);
+  EXPECT_NE(Exec("assert live 2", &ok).find("FAILED"), std::string::npos);
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(InterpreterTest, UnknownCommandsAndAllocators) {
+  bool ok = true;
+  EXPECT_NE(Exec("frobnicate", &ok).find("unknown command"),
+            std::string::npos);
+  EXPECT_FALSE(ok);
+  EXPECT_NE(Exec("allocator warp-drive", &ok).find("unknown allocator"),
+            std::string::npos);
+  EXPECT_FALSE(ok);
+  // Still functional afterwards.
+  Exec("allocator oktopus", &ok);
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(InterpreterTest, MalformedAdmitArguments) {
+  bool ok = true;
+  EXPECT_FALSE(interpreter_.Execute("admit", std::cout));
+  Exec("admit x homogeneous 4 100 10", &ok);
+  EXPECT_FALSE(ok);
+  Exec("admit 5 homogeneous 4 abc 10", &ok);
+  EXPECT_FALSE(ok);
+  Exec("admit 5 heterogeneous 100-10", &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(interpreter_.manager().live_count(), 0u);
+}
+
+TEST_F(InterpreterTest, ScriptRunCountsFailures) {
+  std::istringstream script(
+      "admit 1 homogeneous 4 100 30\n"
+      "admit 2 deterministic 4 50\n"
+      "bogus command\n"
+      "assert live 1\n"
+      "release 1\n"
+      "assert live 1\n");  // fails: released
+  std::ostringstream out;
+  EXPECT_EQ(interpreter_.Run(script, out), 2);
+  EXPECT_TRUE(interpreter_.manager().IsLive(2));
+}
+
+TEST_F(InterpreterTest, SnapshotSaveAndLoad) {
+  const std::string path = ::testing::TempDir() + "/cli_snapshot.txt";
+  bool ok = false;
+  Exec("admit 1 homogeneous 6 100 40", &ok);
+  ASSERT_TRUE(ok);
+  Exec("snapshot save " + path, &ok);
+  EXPECT_TRUE(ok);
+  // A fresh interpreter on the same topology restores the tenant.
+  Interpreter fresh(topo_, 0.05);
+  std::ostringstream out;
+  EXPECT_TRUE(fresh.Execute("snapshot load " + path, out));
+  EXPECT_TRUE(fresh.manager().IsLive(1));
+  // Loading into a non-empty manager fails loudly.
+  EXPECT_FALSE(fresh.Execute("snapshot load " + path, out));
+}
+
+TEST_F(InterpreterTest, SnapshotBadUsage) {
+  bool ok = true;
+  Exec("snapshot", &ok);
+  EXPECT_FALSE(ok);
+  Exec("snapshot frobnicate /tmp/x", &ok);
+  EXPECT_FALSE(ok);
+  Exec("snapshot load /nonexistent/path.txt", &ok);
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(InterpreterTest, ReleaseUnknownIsNoopSuccess) {
+  bool ok = false;
+  EXPECT_NE(Exec("release 77", &ok).find("no-op"), std::string::npos);
+  EXPECT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace svc::cli

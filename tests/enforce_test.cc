@@ -1,0 +1,125 @@
+// Token-bucket rate limiter: sustained-rate bound, burst credit mechanics,
+// and the hard-cap degenerate case.
+#include "enforce/token_bucket.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+#include "stats/rng.h"
+#include "svc/homogeneous_search.h"
+#include "topology/builders.h"
+
+namespace svc::enforce {
+namespace {
+
+TEST(TokenBucket, ZeroBurstIsHardCap) {
+  TokenBucket bucket(100, 0);
+  EXPECT_DOUBLE_EQ(bucket.Admit(500, 1.0), 100);
+  EXPECT_DOUBLE_EQ(bucket.Admit(50, 1.0), 50);
+  EXPECT_DOUBLE_EQ(bucket.Admit(500, 1.0), 100);
+}
+
+TEST(TokenBucket, BurstCreditAllowsSpikes) {
+  TokenBucket bucket(100, 300);  // 3 s of credit saved up
+  // First spike rides on the stored credit: 300 + 100 this second.
+  EXPECT_DOUBLE_EQ(bucket.Admit(1000, 1.0), 400);
+  // Credit exhausted: back to the sustained rate.
+  EXPECT_DOUBLE_EQ(bucket.Admit(1000, 1.0), 100);
+}
+
+TEST(TokenBucket, CreditRefillsWhenIdle) {
+  TokenBucket bucket(100, 200);
+  EXPECT_DOUBLE_EQ(bucket.Admit(1000, 1.0), 300);  // drain
+  EXPECT_DOUBLE_EQ(bucket.Admit(0, 1.0), 0);        // idle, refill 100
+  EXPECT_DOUBLE_EQ(bucket.Admit(0, 1.0), 0);        // idle, refill to cap 200
+  EXPECT_DOUBLE_EQ(bucket.Admit(1000, 1.0), 300);  // full burst again
+}
+
+TEST(TokenBucket, LongRunAverageBoundedByRate) {
+  TokenBucket bucket(100, 500);
+  stats::Rng rng(5);
+  double sent = 0;
+  const int seconds = 10000;
+  for (int t = 0; t < seconds; ++t) {
+    sent += bucket.Admit(std::max(0.0, rng.Normal(150, 120)), 1.0);
+  }
+  // Average cannot exceed rate + initial credit amortized away.
+  EXPECT_LE(sent / seconds, 100 + 500.0 / seconds + 1e-9);
+  // And demand was high enough that it's essentially saturated.
+  EXPECT_GT(sent / seconds, 95);
+}
+
+TEST(TokenBucket, PartialIntervals) {
+  TokenBucket bucket(100, 0);
+  EXPECT_DOUBLE_EQ(bucket.Admit(1000, 0.5), 100);  // 50 Mbit in 0.5 s
+}
+
+TEST(TokenBucket, NeverNegativeCredit) {
+  TokenBucket bucket(10, 5);
+  for (int i = 0; i < 100; ++i) {
+    bucket.Admit(1e6, 1.0);
+    EXPECT_GE(bucket.credit_mbits(), 0);
+  }
+}
+
+// Enforcement ablation at the engine level: token-bucket bursts let a
+// rate-limited VC job finish volatile flows faster than the hard cap, at
+// the price of transient over-reservation traffic.
+TEST(EnforcementAblation, TokenBucketSpeedsUpVolatileVcJobs) {
+  const topology::Topology topo = topology::BuildStar(8, 1, 10000);
+  core::OktopusAllocator alloc;
+  auto run = [&](sim::Enforcement enforcement) {
+    sim::SimConfig config;
+    config.abstraction = workload::Abstraction::kMeanVc;
+    config.allocator = &alloc;
+    config.seed = 3;
+    config.enforcement = enforcement;
+    config.burst_seconds = 30;
+    sim::Engine engine(topo, config);
+    workload::JobSpec job;
+    job.id = 1;
+    job.size = 4;
+    job.compute_time = 1;
+    job.rate_mean = 300;
+    job.rate_stddev = 270;  // highly volatile
+    job.flow_mbits = 60000;
+    return engine.RunBatch({job});
+  };
+  const auto hard = run(sim::Enforcement::kHardCap);
+  const auto bucket = run(sim::Enforcement::kTokenBucket);
+  ASSERT_EQ(hard.jobs.size(), 1u);
+  ASSERT_EQ(bucket.jobs.size(), 1u);
+  EXPECT_LT(bucket.jobs[0].running_time(), hard.jobs[0].running_time());
+}
+
+TEST(EnforcementAblation, SvcUnaffectedByEnforcementMode) {
+  const topology::Topology topo = topology::BuildStar(4, 2, 2000);
+  core::HomogeneousDpAllocator alloc;
+  auto run = [&](sim::Enforcement enforcement) {
+    sim::SimConfig config;
+    config.abstraction = workload::Abstraction::kSvc;
+    config.allocator = &alloc;
+    config.seed = 11;
+    config.enforcement = enforcement;
+    sim::Engine engine(topo, config);
+    workload::JobSpec job;
+    job.id = 1;
+    job.size = 4;
+    job.compute_time = 10;
+    job.rate_mean = 200;
+    job.rate_stddev = 100;
+    job.flow_mbits = 20000;
+    return engine.RunBatch({job});
+  };
+  const auto hard = run(sim::Enforcement::kHardCap);
+  const auto bucket = run(sim::Enforcement::kTokenBucket);
+  // SVC flows carry no rate cap, so enforcement mode is irrelevant:
+  // identical seeds give identical trajectories.
+  ASSERT_EQ(hard.jobs.size(), 1u);
+  ASSERT_EQ(bucket.jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(hard.jobs[0].running_time(),
+                   bucket.jobs[0].running_time());
+}
+
+}  // namespace
+}  // namespace svc::enforce

@@ -1,0 +1,108 @@
+// Heterogeneous jobs in the flow-level simulator: per-VM distributions
+// drive both the SVC request and the per-task rate draws.
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+#include "svc/hetero_heuristic.h"
+#include "topology/builders.h"
+
+namespace svc::sim {
+namespace {
+
+workload::JobSpec HeteroJob(int64_t id, double compute, double flow_mbits,
+                            std::vector<stats::Normal> demands) {
+  workload::JobSpec job;
+  job.id = id;
+  job.size = static_cast<int>(demands.size());
+  job.compute_time = compute;
+  job.flow_mbits = flow_mbits;
+  double sum = 0;
+  for (const auto& d : demands) sum += d.mean;
+  job.rate_mean = sum / job.size;
+  job.vm_demands = std::move(demands);
+  return job;
+}
+
+TEST(EngineHetero, BatchCompletesHeterogeneousJob) {
+  const topology::Topology topo = topology::BuildTwoTier(2, 3, 2, 1000, 2.0);
+  core::HeteroHeuristicAllocator alloc;
+  SimConfig config;
+  config.abstraction = workload::Abstraction::kSvc;
+  config.allocator = &alloc;
+  config.seed = 5;
+  Engine engine(topo, config);
+  const auto result = engine.RunBatch({HeteroJob(
+      1, 30, 3000,
+      {{300, 150.0 * 150}, {150, 60.0 * 60}, {150, 60.0 * 60}, {20, 25}})});
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_GE(result.jobs[0].running_time(), 30 - 1e-9);
+  EXPECT_EQ(result.unallocatable_jobs, 0);
+}
+
+TEST(EngineHetero, HeavySourceFinishesSlowerThanLightOne) {
+  // Two 2-VM jobs, identical flow sizes; one job's sources generate at
+  // 400 Mbps, the other's at 40 Mbps.  On an uncongested fabric the fast
+  // job's network time is ~10x shorter.
+  const topology::Topology topo = topology::BuildStar(4, 1, 10000);
+  core::HeteroHeuristicAllocator alloc;
+  SimConfig config;
+  config.abstraction = workload::Abstraction::kSvc;
+  config.allocator = &alloc;
+  config.seed = 9;
+  Engine engine(topo, config);
+  const auto result = engine.RunBatch(
+      {HeteroJob(1, 1, 8000, {{400, 100}, {400, 100}}),
+       HeteroJob(2, 1, 8000, {{40, 1}, {40, 1}})});
+  ASSERT_EQ(result.jobs.size(), 2u);
+  double fast = 0, slow = 0;
+  for (const auto& job : result.jobs) {
+    (job.id == 1 ? fast : slow) = job.running_time();
+  }
+  EXPECT_LT(fast * 5, slow);
+}
+
+TEST(EngineHetero, OnlineHeterogeneousWorkload) {
+  const topology::Topology topo = topology::BuildTwoTier(4, 4, 4, 1000, 2.0);
+  core::HeteroHeuristicAllocator alloc;
+  workload::WorkloadConfig wconfig;
+  wconfig.num_jobs = 40;
+  wconfig.mean_job_size = 6;
+  wconfig.max_job_size = 16;
+  wconfig.rate_means = {50, 100, 150};
+  wconfig.heterogeneous = true;
+  wconfig.compute_time_lo = 20;
+  wconfig.compute_time_hi = 60;
+  wconfig.flow_time_lo = 20;
+  wconfig.flow_time_hi = 60;
+  workload::WorkloadGenerator gen(wconfig, 11);
+  SimConfig config;
+  config.abstraction = workload::Abstraction::kSvc;
+  config.allocator = &alloc;
+  config.seed = 12;
+  Engine engine(topo, config);
+  const auto result = engine.RunOnline(gen.GenerateOnline(0.5, 64));
+  EXPECT_EQ(result.accepted + result.rejected, 40);
+  EXPECT_GT(result.accepted, 0);
+  EXPECT_EQ(static_cast<size_t>(result.accepted), result.jobs.size());
+  EXPECT_TRUE(engine.manager().StateValid());
+}
+
+TEST(EngineHetero, LogNormalRatesRunAndStayBounded) {
+  const topology::Topology topo = topology::BuildStar(4, 2, 2000);
+  core::HeteroHeuristicAllocator halloc;
+  SimConfig config;
+  config.abstraction = workload::Abstraction::kSvc;
+  config.allocator = &halloc;
+  config.seed = 21;
+  Engine engine(topo, config);
+  workload::JobSpec job =
+      HeteroJob(1, 5, 5000, {{200, 10000}, {200, 10000}, {50, 100}, {50, 100}});
+  job.rate_distribution = workload::RateDistribution::kLogNormal;
+  const auto result = engine.RunBatch({job});
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_GT(result.jobs[0].running_time(), 0);
+  EXPECT_LT(result.jobs[0].running_time(), 1000);
+}
+
+}  // namespace
+}  // namespace svc::sim

@@ -1,0 +1,120 @@
+// Structured event log: recording, filtering, CSV export, and the
+// engine's event-sequence invariants.
+#include "sim/event_log.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+#include "svc/homogeneous_search.h"
+#include "topology/builders.h"
+#include "workload/workload.h"
+
+namespace svc::sim {
+namespace {
+
+TEST(EventLog, RecordFilterCsv) {
+  EventLog log;
+  log.Record(1.0, EventKind::kArrival, 7);
+  log.Record(1.0, EventKind::kAdmit, 7);
+  log.Record(9.0, EventKind::kComplete, 7);
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.Filter(EventKind::kAdmit).size(), 1u);
+  EXPECT_EQ(log.Filter(EventKind::kReject).size(), 0u);
+  const std::string csv = log.ToCsv();
+  EXPECT_NE(csv.find("time,kind,job"), std::string::npos);
+  EXPECT_NE(csv.find("1,admit,7"), std::string::npos);
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(EventLog, KindNames) {
+  EXPECT_STREQ(ToString(EventKind::kArrival), "arrival");
+  EXPECT_STREQ(ToString(EventKind::kSkipUnallocatable),
+               "skip-unallocatable");
+  EXPECT_STREQ(ToString(EventKind::kNetworkDone), "network-done");
+}
+
+workload::JobSpec SimpleJob(int64_t id, double arrival) {
+  workload::JobSpec job;
+  job.id = id;
+  job.size = 4;
+  job.compute_time = 20;
+  job.rate_mean = 100;
+  job.rate_stddev = 20;
+  job.flow_mbits = 1000;
+  job.arrival_time = arrival;
+  return job;
+}
+
+TEST(EventLog, EngineOnlineSequenceInvariants) {
+  const topology::Topology topo = topology::BuildTwoTier(2, 2, 4, 1000, 2.0);
+  core::HomogeneousDpAllocator alloc;
+  EventLog log;
+  SimConfig config;
+  config.abstraction = workload::Abstraction::kSvc;
+  config.allocator = &alloc;
+  config.seed = 4;
+  config.events = &log;
+  Engine engine(topo, config);
+  std::vector<workload::JobSpec> jobs;
+  for (int j = 0; j < 6; ++j) jobs.push_back(SimpleJob(j + 1, j * 5.0));
+  const auto result = engine.RunOnline(jobs);
+
+  // Every job has exactly one arrival and one admit-or-reject.
+  EXPECT_EQ(log.Filter(EventKind::kArrival).size(), 6u);
+  EXPECT_EQ(log.Filter(EventKind::kAdmit).size() +
+                log.Filter(EventKind::kReject).size(),
+            6u);
+  EXPECT_EQ(log.Filter(EventKind::kAdmit).size(),
+            static_cast<size_t>(result.accepted));
+  // Admitted jobs complete exactly once, after their admit, and their
+  // network finishes at or before completion.
+  std::map<int64_t, double> admit_time, net_time, complete_time;
+  for (const Event& e : log.events()) {
+    switch (e.kind) {
+      case EventKind::kAdmit: admit_time[e.job_id] = e.time; break;
+      case EventKind::kNetworkDone: net_time[e.job_id] = e.time; break;
+      case EventKind::kComplete: complete_time[e.job_id] = e.time; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(complete_time.size(), admit_time.size());
+  for (const auto& [id, t_complete] : complete_time) {
+    ASSERT_TRUE(admit_time.count(id));
+    EXPECT_LT(admit_time[id], t_complete);
+    ASSERT_TRUE(net_time.count(id));
+    EXPECT_LE(net_time[id], t_complete);
+    // Completion never precedes the compute time.
+    EXPECT_GE(t_complete - admit_time[id], 20 - 1e-9);
+  }
+  // Event times are non-decreasing.
+  for (size_t i = 1; i < log.events().size(); ++i) {
+    EXPECT_GE(log.events()[i].time, log.events()[i - 1].time - 1e-9);
+  }
+}
+
+TEST(EventLog, EngineBatchRecordsSkips) {
+  const topology::Topology topo = topology::BuildStar(1, 2, 1000);
+  core::HomogeneousDpAllocator alloc;
+  EventLog log;
+  SimConfig config;
+  config.abstraction = workload::Abstraction::kSvc;
+  config.allocator = &alloc;
+  config.seed = 5;
+  config.events = &log;
+  Engine engine(topo, config);
+  workload::JobSpec too_big = SimpleJob(1, 0);
+  too_big.size = 50;
+  workload::JobSpec fits = SimpleJob(2, 0);
+  fits.size = 2;
+  const auto result = engine.RunBatch({too_big, fits});
+  EXPECT_EQ(result.unallocatable_jobs, 1);
+  ASSERT_EQ(log.Filter(EventKind::kSkipUnallocatable).size(), 1u);
+  EXPECT_EQ(log.Filter(EventKind::kSkipUnallocatable)[0].job_id, 1);
+  EXPECT_EQ(log.Filter(EventKind::kComplete).size(), 1u);
+}
+
+}  // namespace
+}  // namespace svc::sim

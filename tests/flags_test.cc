@@ -1,0 +1,83 @@
+// FlagSet parsing (success paths; the error paths exit() and are covered
+// by the bench binaries' own --help handling).
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace svc::util {
+namespace {
+
+TEST(FlagSet, DefaultsSurviveEmptyParse) {
+  FlagSet flags("test");
+  int64_t& count = flags.Int("count", 42, "a count");
+  double& ratio = flags.Double("ratio", 0.5, "a ratio");
+  bool& verbose = flags.Bool("verbose", false, "verbosity");
+  std::string& name = flags.String("name", "default", "a name");
+  char prog[] = "prog";
+  char* argv[] = {prog};
+  flags.Parse(1, argv);
+  EXPECT_EQ(count, 42);
+  EXPECT_DOUBLE_EQ(ratio, 0.5);
+  EXPECT_FALSE(verbose);
+  EXPECT_EQ(name, "default");
+}
+
+TEST(FlagSet, SpaceSeparatedValues) {
+  FlagSet flags("test");
+  int64_t& count = flags.Int("count", 0, "");
+  double& ratio = flags.Double("ratio", 0, "");
+  std::string& name = flags.String("name", "", "");
+  char prog[] = "prog";
+  char a1[] = "--count", a2[] = "7";
+  char a3[] = "--ratio", a4[] = "2.25";
+  char a5[] = "--name", a6[] = "svc";
+  char* argv[] = {prog, a1, a2, a3, a4, a5, a6};
+  flags.Parse(7, argv);
+  EXPECT_EQ(count, 7);
+  EXPECT_DOUBLE_EQ(ratio, 2.25);
+  EXPECT_EQ(name, "svc");
+}
+
+TEST(FlagSet, EqualsSyntaxAndBareBool) {
+  FlagSet flags("test");
+  int64_t& count = flags.Int("count", 0, "");
+  bool& verbose = flags.Bool("verbose", false, "");
+  bool& quiet = flags.Bool("quiet", true, "");
+  char prog[] = "prog";
+  char a1[] = "--count=13";
+  char a2[] = "--verbose";
+  char a3[] = "--quiet=false";
+  char* argv[] = {prog, a1, a2, a3};
+  flags.Parse(4, argv);
+  EXPECT_EQ(count, 13);
+  EXPECT_TRUE(verbose);
+  EXPECT_FALSE(quiet);
+}
+
+TEST(FlagSet, UsageListsFlagsAndDefaults) {
+  FlagSet flags("my-prog does things");
+  flags.Int("jobs", 300, "number of jobs");
+  flags.Double("epsilon", 0.05, "risk factor");
+  const std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("my-prog does things"), std::string::npos);
+  EXPECT_NE(usage.find("--jobs"), std::string::npos);
+  EXPECT_NE(usage.find("300"), std::string::npos);
+  EXPECT_NE(usage.find("number of jobs"), std::string::npos);
+  EXPECT_NE(usage.find("--epsilon"), std::string::npos);
+}
+
+TEST(FlagSet, NegativeNumbers) {
+  FlagSet flags("test");
+  int64_t& offset = flags.Int("offset", 0, "");
+  double& delta = flags.Double("delta", 0, "");
+  char prog[] = "prog";
+  char a1[] = "--offset=-5";
+  char a2[] = "--delta=-1.5";
+  char* argv[] = {prog, a1, a2};
+  flags.Parse(3, argv);
+  EXPECT_EQ(offset, -5);
+  EXPECT_DOUBLE_EQ(delta, -1.5);
+}
+
+}  // namespace
+}  // namespace svc::util

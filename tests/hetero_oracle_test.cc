@@ -1,0 +1,177 @@
+// Oracle for the substring heuristic: its search space is exactly "cut the
+// demand-sorted VM sequence into consecutive chunks handed to the machines
+// in DFS order", so brute-force enumeration of all such chunkings gives
+// ground truth for both feasibility and the min-max objective.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <limits>
+#include <numeric>
+
+#include "stats/rng.h"
+#include "svc/demand_profile.h"
+#include "svc/hetero_heuristic.h"
+#include "svc/manager.h"
+#include "topology/builders.h"
+
+namespace svc::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Minimum max-occupancy over links of T_v (plus v's uplink) across every
+// consecutive chunking of the sorted VM order onto the machines under v.
+double BruteForceSubstringOpt(const topology::Topology& topo,
+                              const net::LinkLedger& ledger,
+                              const SlotMap& slots, const Request& request,
+                              const std::vector<int>& order,
+                              topology::VertexId v) {
+  const int n = request.n();
+  // Machines in the heuristic's order: children left to right (DFS).
+  // MachinesUnder() uses a LIFO stack and returns them reversed, which is
+  // NOT equivalent here — per-machine slot capacities break the mirror
+  // symmetry of chunkings.
+  std::vector<topology::VertexId> machines;
+  {
+    std::vector<topology::VertexId> stack{v};
+    while (!stack.empty()) {
+      const topology::VertexId u = stack.back();
+      stack.pop_back();
+      if (topo.is_machine(u)) machines.push_back(u);
+      const auto& children = topo.children(u);
+      for (auto it = children.rbegin(); it != children.rend(); ++it) {
+        stack.push_back(*it);
+      }
+    }
+  }
+  // Prefix moments over the sorted order.
+  std::vector<double> prefix_mean(n + 1, 0), prefix_var(n + 1, 0);
+  for (int k = 1; k <= n; ++k) {
+    const stats::Normal& d = request.demand(order[k - 1]);
+    prefix_mean[k] = prefix_mean[k - 1] + d.mean;
+    prefix_var[k] = prefix_var[k - 1] + d.variance;
+  }
+
+  std::vector<int> chunk(machines.size(), 0);
+  double best = kInf;
+
+  auto evaluate = [&]() {
+    // Aggregate below-moments per vertex of T_v.
+    std::vector<double> below_mean(topo.num_vertices(), 0);
+    std::vector<double> below_var(topo.num_vertices(), 0);
+    int position = 0;
+    for (size_t i = 0; i < machines.size(); ++i) {
+      const double mean =
+          prefix_mean[position + chunk[i]] - prefix_mean[position];
+      const double var =
+          prefix_var[position + chunk[i]] - prefix_var[position];
+      position += chunk[i];
+      topology::VertexId u = machines[i];
+      while (true) {
+        below_mean[u] += mean;
+        below_var[u] += var;
+        if (u == v) break;
+        u = topo.parent(u);
+      }
+    }
+    // Evaluate every link of T_v plus v's uplink.
+    double worst = 0;
+    std::vector<topology::VertexId> stack{v};
+    while (!stack.empty()) {
+      const topology::VertexId u = stack.back();
+      stack.pop_back();
+      for (topology::VertexId child : topo.children(u)) stack.push_back(child);
+      if (u == topo.root()) continue;
+      const stats::Normal demand =
+          SplitDemandFromBelow(request, below_mean[u], below_var[u]);
+      if (!ledger.ValidWith(u, demand.mean, demand.variance, 0)) return kInf;
+      worst = std::max(worst,
+                       ledger.OccupancyWith(u, demand.mean, demand.variance, 0));
+    }
+    return worst;
+  };
+
+  std::function<void(size_t, int)> recurse = [&](size_t index, int left) {
+    if (index == machines.size()) {
+      if (left == 0) best = std::min(best, evaluate());
+      return;
+    }
+    const int cap = std::min(left, slots.free_slots(machines[index]));
+    for (int c = 0; c <= cap; ++c) {
+      chunk[index] = c;
+      recurse(index + 1, left - c);
+    }
+    chunk[index] = 0;
+  };
+  recurse(0, n);
+  return best;
+}
+
+class HeuristicOracle : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HeuristicOracle, HeuristicMatchesSubstringBruteForce) {
+  const topology::Topology topo =
+      topology::BuildTwoTier(2, 3, 2, 500, 2.0);
+  NetworkManager manager(topo, 0.05);
+  HeteroHeuristicAllocator heuristic;
+  stats::Rng rng(GetParam());
+
+  // Light random pre-load.
+  for (int j = 0; j < 2; ++j) {
+    const int n = static_cast<int>(rng.UniformInt(1, 3));
+    manager.Admit(Request::Homogeneous(1000 + j, n,
+                                       30.0 * rng.UniformInt(1, 4),
+                                       10.0 * rng.UniformInt(0, 3)),
+                  heuristic);
+  }
+
+  for (int trial = 0; trial < 6; ++trial) {
+    const int n = static_cast<int>(rng.UniformInt(2, 6));
+    std::vector<stats::Normal> demands;
+    for (int i = 0; i < n; ++i) {
+      const double mu = 25.0 * static_cast<double>(rng.UniformInt(1, 6));
+      const double sigma = mu * rng.Uniform(0, 0.8);
+      demands.push_back({mu, sigma * sigma});
+    }
+    const Request request = Request::Heterogeneous(trial, demands);
+
+    // Sorted order the heuristic uses (ascending p95).
+    std::vector<int> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return request.demand(a).Quantile(0.95) <
+             request.demand(b).Quantile(0.95);
+    });
+
+    // Ground truth: lowest level with a feasible chunking, best value.
+    int oracle_level = -1;
+    double oracle_value = kInf;
+    for (int level = 0; level <= topo.height() && oracle_level < 0;
+         ++level) {
+      for (topology::VertexId v : topo.vertices_at_level(level)) {
+        const double value = BruteForceSubstringOpt(
+            topo, manager.ledger(), manager.slots(), request, order, v);
+        if (value < oracle_value) {
+          oracle_value = value;
+          oracle_level = level;
+        }
+      }
+    }
+
+    const auto result =
+        heuristic.Allocate(request, manager.ledger(), manager.slots());
+    ASSERT_EQ(oracle_level >= 0, result.ok()) << "trial " << trial;
+    if (result.ok()) {
+      EXPECT_EQ(topo.level(result->subtree_root), oracle_level)
+          << "trial " << trial;
+      EXPECT_NEAR(result->max_occupancy, oracle_value, 1e-9)
+          << "trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeuristicOracle,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace svc::core

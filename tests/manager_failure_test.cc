@@ -1,0 +1,122 @@
+// Failure injection: adversarial allocators that return malformed or
+// guarantee-violating placements.  The NetworkManager's re-validation must
+// reject them (kFailedPrecondition) and leave the datacenter state
+// untouched — the defense-in-depth that keeps one buggy placement policy
+// from corrupting the shared ledger.
+#include <gtest/gtest.h>
+
+#include "svc/homogeneous_search.h"
+#include "svc/manager.h"
+#include "topology/builders.h"
+
+namespace svc::core {
+namespace {
+
+// Returns a fixed placement regardless of state.
+class FixedPlacementAllocator : public Allocator {
+ public:
+  explicit FixedPlacementAllocator(Placement placement)
+      : placement_(std::move(placement)) {}
+  std::string_view name() const override { return "fixed(adversarial)"; }
+  util::Result<Placement> Allocate(const Request&, const net::LinkLedger&,
+                                   const SlotMap&) const override {
+    return placement_;
+  }
+
+ private:
+  Placement placement_;
+};
+
+class ManagerFailureTest : public ::testing::Test {
+ protected:
+  ManagerFailureTest()
+      : topo_(topology::BuildStar(2, 2, 100)), manager_(topo_, 0.05) {}
+
+  void ExpectUntouched() {
+    EXPECT_EQ(manager_.slots().total_free(), 4);
+    EXPECT_EQ(manager_.ledger().TotalRecords(), 0u);
+    EXPECT_EQ(manager_.live_count(), 0u);
+    EXPECT_TRUE(manager_.StateValid());
+  }
+
+  topology::Topology topo_;
+  NetworkManager manager_;
+};
+
+TEST_F(ManagerFailureTest, OverpackedMachineRejected) {
+  Placement bogus;
+  bogus.vm_machine = {topo_.machines()[0], topo_.machines()[0],
+                      topo_.machines()[0]};  // 3 VMs on a 2-slot machine
+  FixedPlacementAllocator evil(bogus);
+  const Request r = Request::Homogeneous(1, 3, 1, 0);
+  const auto result = manager_.Admit(r, evil);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::ErrorCode::kFailedPrecondition);
+  ExpectUntouched();
+}
+
+TEST_F(ManagerFailureTest, PlacementOnSwitchRejected) {
+  Placement bogus;
+  bogus.vm_machine = {topo_.root(), topo_.machines()[0]};  // root is a switch
+  FixedPlacementAllocator evil(bogus);
+  const Request r = Request::Homogeneous(1, 2, 1, 0);
+  const auto result = manager_.Admit(r, evil);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::ErrorCode::kFailedPrecondition);
+  ExpectUntouched();
+}
+
+TEST_F(ManagerFailureTest, GuaranteeViolatingPlacementRejected) {
+  // Splitting a heavy request across the two machines violates (4) on the
+  // 100 Mbps links: min(B(2), B(2)) with mu=200/VM is far beyond capacity.
+  Placement bogus;
+  bogus.vm_machine = {topo_.machines()[0], topo_.machines()[0],
+                      topo_.machines()[1], topo_.machines()[1]};
+  FixedPlacementAllocator evil(bogus);
+  const Request r = Request::Homogeneous(1, 4, 200, 50);
+  const auto result = manager_.Admit(r, evil);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::ErrorCode::kFailedPrecondition);
+  ExpectUntouched();
+}
+
+TEST_F(ManagerFailureTest, WrongVmCountCaughtByAssertOrRejected) {
+  // A placement with fewer VMs than the request violates the manager's
+  // precondition; with asserts on this aborts in ComputeLinkDemands, so we
+  // only check the well-formed-but-invalid cases above.  Document the
+  // contract instead: total_vms must equal request.n().
+  Placement p;
+  p.vm_machine = {topo_.machines()[0]};
+  EXPECT_EQ(p.total_vms(), 1);
+}
+
+TEST_F(ManagerFailureTest, ValidPlacementFromUntrustedAllocatorAccepted) {
+  // The manager re-validates but does not over-reject: a correct placement
+  // from an arbitrary allocator is committed.
+  Placement fine;
+  fine.vm_machine = {topo_.machines()[0], topo_.machines()[1]};
+  fine.subtree_root = topo_.root();
+  FixedPlacementAllocator handmade(fine);
+  const Request r = Request::Homogeneous(1, 2, 10, 2);
+  const auto result = manager_.Admit(r, handmade);
+  ASSERT_TRUE(result.ok()) << result.status().ToText();
+  EXPECT_TRUE(manager_.StateValid());
+  manager_.Release(1);
+  ExpectUntouched();
+}
+
+TEST_F(ManagerFailureTest, AdversarialDoesNotPoisonSubsequentAdmissions) {
+  Placement bogus;
+  bogus.vm_machine = {topo_.machines()[0], topo_.machines()[0],
+                      topo_.machines()[0]};
+  FixedPlacementAllocator evil(bogus);
+  (void)manager_.Admit(Request::Homogeneous(1, 3, 1, 0), evil);
+  // A real allocator afterwards works on clean state.
+  HomogeneousDpAllocator good;
+  const auto result = manager_.Admit(Request::Homogeneous(2, 4, 10, 3), good);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(manager_.live_count(), 1u);
+}
+
+}  // namespace
+}  // namespace svc::core

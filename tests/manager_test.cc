@@ -1,0 +1,159 @@
+// NetworkManager lifecycle: admission, commit atomicity, release, and the
+// per-link demand computation.
+#include "svc/manager.h"
+
+#include <gtest/gtest.h>
+
+#include "svc/demand_profile.h"
+#include "svc/homogeneous_search.h"
+#include "topology/builders.h"
+
+namespace svc::core {
+namespace {
+
+TEST(Manager, AdmitCommitsSlotsAndDemands) {
+  const topology::Topology topo = topology::BuildStar(2, 5, 1000);
+  NetworkManager manager(topo, 0.05);
+  HomogeneousDpAllocator alloc;
+  const Request r = Request::Homogeneous(1, 6, 100, 30);
+  const int before = manager.slots().total_free();
+  const auto result = manager.Admit(r, alloc);
+  ASSERT_TRUE(result.ok()) << result.status().ToText();
+  EXPECT_EQ(manager.slots().total_free(), before - 6);
+  EXPECT_TRUE(manager.IsLive(1));
+  EXPECT_EQ(manager.live_count(), 1u);
+  EXPECT_GT(manager.ledger().TotalRecords(), 0u);
+  EXPECT_NE(manager.placement_of(1), nullptr);
+}
+
+TEST(Manager, ReleaseRestoresEverything) {
+  const topology::Topology topo = topology::BuildStar(2, 5, 1000);
+  NetworkManager manager(topo, 0.05);
+  HomogeneousDpAllocator alloc;
+  const Request r = Request::Homogeneous(1, 6, 100, 30);
+  ASSERT_TRUE(manager.Admit(r, alloc).ok());
+  manager.Release(1);
+  EXPECT_EQ(manager.slots().total_free(), 10);
+  EXPECT_EQ(manager.ledger().TotalRecords(), 0u);
+  EXPECT_FALSE(manager.IsLive(1));
+  EXPECT_DOUBLE_EQ(manager.MaxOccupancy(), 0.0);
+}
+
+TEST(Manager, ReleaseUnknownIsNoop) {
+  const topology::Topology topo = topology::BuildStar(2, 5, 1000);
+  NetworkManager manager(topo, 0.05);
+  manager.Release(42);
+  EXPECT_EQ(manager.live_count(), 0u);
+}
+
+TEST(Manager, DoubleAdmitSameIdFails) {
+  const topology::Topology topo = topology::BuildStar(4, 5, 1000);
+  NetworkManager manager(topo, 0.05);
+  HomogeneousDpAllocator alloc;
+  const Request r = Request::Homogeneous(1, 2, 10, 1);
+  ASSERT_TRUE(manager.Admit(r, alloc).ok());
+  const auto second = manager.Admit(r, alloc);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), util::ErrorCode::kFailedPrecondition);
+}
+
+TEST(Manager, FailedAdmissionLeavesNoTrace) {
+  const topology::Topology topo = topology::BuildStar(2, 2, 10);
+  NetworkManager manager(topo, 0.05);
+  HomogeneousDpAllocator alloc;
+  const Request r = Request::Homogeneous(1, 4, 500, 100);  // infeasible
+  ASSERT_FALSE(manager.Admit(r, alloc).ok());
+  EXPECT_EQ(manager.slots().total_free(), 4);
+  EXPECT_EQ(manager.ledger().TotalRecords(), 0u);
+  EXPECT_EQ(manager.live_count(), 0u);
+}
+
+TEST(Manager, ComputeLinkDemandsHomogeneous) {
+  const topology::Topology topo = topology::BuildStar(2, 5, 1000);
+  NetworkManager manager(topo, 0.05);
+  // Hand-built placement: 2 VMs on machine A, 4 on machine B.
+  const Request r = Request::Homogeneous(1, 6, 100, 30);
+  Placement placement;
+  const auto a = topo.machines()[0];
+  const auto b = topo.machines()[1];
+  placement.vm_machine = {a, a, b, b, b, b};
+  const auto demands = manager.ComputeLinkDemands(r, placement);
+  ASSERT_EQ(demands.size(), 2u);
+  const HomogeneousProfile profile(r);
+  for (const LinkDemand& d : demands) {
+    const int m = (d.link == a) ? 2 : 4;
+    EXPECT_NEAR(d.mean, profile.LinkDemand(m).mean, 1e-9);
+    EXPECT_NEAR(d.variance, profile.LinkDemand(m).variance, 1e-9);
+    EXPECT_DOUBLE_EQ(d.deterministic, 0);
+  }
+  // Both splits of a 6-VM request induce the same min(...) demand.
+  EXPECT_NEAR(demands[0].mean, demands[1].mean, 1e-9);
+}
+
+TEST(Manager, ComputeLinkDemandsDeterministic) {
+  const topology::Topology topo = topology::BuildStar(2, 5, 1000);
+  NetworkManager manager(topo, 0.05);
+  const Request r = Request::Deterministic(1, 6, 10);
+  Placement placement;
+  placement.vm_machine = {topo.machines()[0], topo.machines()[0],
+                          topo.machines()[1], topo.machines()[1],
+                          topo.machines()[1], topo.machines()[1]};
+  const auto demands = manager.ComputeLinkDemands(r, placement);
+  ASSERT_EQ(demands.size(), 2u);
+  for (const LinkDemand& d : demands) {
+    EXPECT_DOUBLE_EQ(d.deterministic, 20);  // min(2,4)*10
+    EXPECT_DOUBLE_EQ(d.mean, 0);
+    EXPECT_DOUBLE_EQ(d.variance, 0);
+  }
+}
+
+TEST(Manager, AllVmsOnOneMachineInduceNoLinkDemand) {
+  const topology::Topology topo = topology::BuildStar(2, 5, 1000);
+  NetworkManager manager(topo, 0.05);
+  const Request r = Request::Homogeneous(1, 4, 1000, 100);
+  Placement placement;
+  placement.vm_machine.assign(4, topo.machines()[0]);
+  EXPECT_TRUE(manager.ComputeLinkDemands(r, placement).empty());
+}
+
+TEST(Manager, ThreeTierDemandOnAllPathLinks) {
+  // VMs split across two racks: machine links, both ToR uplinks carry the
+  // demand; the agg uplink does not (both racks under the same agg).
+  topology::ThreeTierConfig config;
+  config.racks = 2;
+  config.machines_per_rack = 2;
+  config.racks_per_agg = 2;
+  const topology::Topology topo = topology::BuildThreeTier(config);
+  NetworkManager manager(topo, 0.05);
+  const Request r = Request::Homogeneous(1, 4, 100, 30);
+  Placement placement;
+  placement.vm_machine = {topo.machines()[0], topo.machines()[1],
+                          topo.machines()[2], topo.machines()[3]};
+  const auto demands = manager.ComputeLinkDemands(r, placement);
+  // 4 machine links + 2 ToR uplinks = 6 links with nonzero demand.
+  EXPECT_EQ(demands.size(), 6u);
+}
+
+TEST(Manager, StateValidInitially) {
+  const topology::Topology topo = topology::BuildThreeTier({});
+  NetworkManager manager(topo, 0.05);
+  EXPECT_TRUE(manager.StateValid());
+}
+
+TEST(Manager, MixedDeterministicAndStochasticCoexist) {
+  // The framework's coexistence story: deterministic reservations shrink
+  // S_L for the stochastic sharers, and admission still holds.
+  const topology::Topology topo = topology::BuildStar(4, 4, 1000);
+  NetworkManager manager(topo, 0.05);
+  HomogeneousDpAllocator alloc;
+  ASSERT_TRUE(manager.Admit(Request::Deterministic(1, 8, 120), alloc).ok());
+  ASSERT_TRUE(manager.Admit(Request::Homogeneous(2, 6, 150, 80), alloc).ok());
+  EXPECT_TRUE(manager.StateValid());
+  manager.Release(1);
+  EXPECT_TRUE(manager.StateValid());
+  manager.Release(2);
+  EXPECT_DOUBLE_EQ(manager.MaxOccupancy(), 0.0);
+}
+
+}  // namespace
+}  // namespace svc::core

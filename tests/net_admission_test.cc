@@ -1,0 +1,130 @@
+// Validates the probabilistic-guarantee algebra: condition (4), effective
+// bandwidth (5), occupancy ratio (6), and their equivalences — including a
+// Monte-Carlo check that the admission boundary really corresponds to
+// outage probability epsilon.
+#include "net/admission.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/normal.h"
+#include "stats/rng.h"
+
+namespace svc::net {
+namespace {
+
+TEST(GuaranteeQuantile, MatchesNormalQuantile) {
+  EXPECT_NEAR(GuaranteeQuantile(0.05), 1.6448536269514722, 1e-10);
+  EXPECT_NEAR(GuaranteeQuantile(0.02), 2.0537489106318225, 1e-10);
+  EXPECT_NEAR(GuaranteeQuantile(0.5), 0.0, 1e-12);
+}
+
+TEST(EffectiveBandwidth, SumsToMeanPlusQuantileTerm) {
+  // Paper identity: sum_i E_i = sum(mu) + c * sqrt(sum(var)).
+  const double c = GuaranteeQuantile(0.05);
+  const double mus[] = {100, 250, 50};
+  const double vars[] = {400, 2500, 100};
+  double var_total = 0;
+  for (double v : vars) var_total += v;
+  double sum_eff = 0, sum_mu = 0;
+  for (int i = 0; i < 3; ++i) {
+    sum_eff += EffectiveBandwidth(mus[i], vars[i], var_total, c);
+    sum_mu += mus[i];
+  }
+  EXPECT_NEAR(sum_eff, sum_mu + c * std::sqrt(var_total), 1e-9);
+}
+
+TEST(EffectiveBandwidth, NoVarianceIsJustMean) {
+  EXPECT_DOUBLE_EQ(EffectiveBandwidth(120, 0, 0, 1.64), 120);
+}
+
+TEST(EffectiveBandwidth, GrowsWithOwnVariance) {
+  const double c = GuaranteeQuantile(0.05);
+  const double total = 5000;
+  EXPECT_LT(EffectiveBandwidth(100, 100, total, c),
+            EffectiveBandwidth(100, 2000, total, c));
+}
+
+TEST(OccupancyRatio, DeterministicOnly) {
+  EXPECT_DOUBLE_EQ(OccupancyRatio(1000, 600, 0, 0, 1.64), 0.6);
+}
+
+TEST(OccupancyRatio, IncludesQuantileTerm) {
+  const double c = GuaranteeQuantile(0.05);
+  const double o = OccupancyRatio(1000, 100, 500, 10000, c);
+  EXPECT_NEAR(o, (100 + 500 + c * 100) / 1000, 1e-12);
+}
+
+TEST(SatisfiesGuarantee, EquivalentToOccupancyBelowOne) {
+  const double c = GuaranteeQuantile(0.05);
+  struct Case {
+    double cap, det, mean, var;
+  };
+  const Case cases[] = {
+      {1000, 0, 500, 10000},  {1000, 0, 900, 10000}, {1000, 500, 400, 900},
+      {1000, 900, 50, 900},   {1000, 0, 999, 0},     {1000, 100, 850, 2500},
+      {10000, 5000, 4000, 40000},
+  };
+  for (const Case& k : cases) {
+    const double occupancy = OccupancyRatio(k.cap, k.det, k.mean, k.var, c);
+    const bool valid = SatisfiesGuarantee(k.cap, k.det, k.mean, k.var, c);
+    if (k.var > 0) {
+      EXPECT_EQ(valid, occupancy < 1.0 + 1e-9)
+          << "cap=" << k.cap << " det=" << k.det << " mean=" << k.mean
+          << " var=" << k.var;
+    }
+  }
+}
+
+TEST(SatisfiesGuarantee, DeterministicAllowsEquality) {
+  const double c = GuaranteeQuantile(0.05);
+  EXPECT_TRUE(SatisfiesGuarantee(1000, 1000, 0, 0, c));
+  EXPECT_FALSE(SatisfiesGuarantee(1000, 1000.1, 0, 0, c));
+}
+
+TEST(SatisfiesGuarantee, StochasticBoundaryIsStrict) {
+  const double c = GuaranteeQuantile(0.05);
+  // mean + c*sqrt(var) exactly equals capacity: not strictly satisfied.
+  const double var = 10000;
+  const double mean = 1000 - c * std::sqrt(var);
+  EXPECT_FALSE(SatisfiesGuarantee(1000, 0, mean + 1e-3, var, c));
+  EXPECT_TRUE(SatisfiesGuarantee(1000, 0, mean - 1e-3, var, c));
+}
+
+// The semantic test: at the admission boundary, the probability that the
+// aggregate normal demand exceeds the sharing bandwidth is epsilon.
+class OutageProbability : public ::testing::TestWithParam<double> {};
+
+TEST_P(OutageProbability, MatchesEpsilonAtBoundary) {
+  const double epsilon = GetParam();
+  const double c = GuaranteeQuantile(epsilon);
+  // Three demands; capacity set exactly at the boundary.
+  const double mus[] = {300, 200, 100};
+  const double vars[] = {8100, 3600, 900};
+  double mean_sum = 0, var_sum = 0;
+  for (int i = 0; i < 3; ++i) {
+    mean_sum += mus[i];
+    var_sum += vars[i];
+  }
+  const double sharing = mean_sum + c * std::sqrt(var_sum);
+
+  stats::Rng rng(77);
+  int outages = 0;
+  constexpr int kTrials = 400000;
+  for (int t = 0; t < kTrials; ++t) {
+    double total = 0;
+    for (int i = 0; i < 3; ++i) {
+      total += rng.Normal(mus[i], std::sqrt(vars[i]));
+    }
+    if (total > sharing) ++outages;
+  }
+  const double observed = static_cast<double>(outages) / kTrials;
+  EXPECT_NEAR(observed, epsilon, 0.15 * epsilon + 0.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, OutageProbability,
+                         ::testing::Values(0.02, 0.05, 0.1, 0.25));
+
+}  // namespace
+}  // namespace svc::net

@@ -1,0 +1,135 @@
+#include "net/link_ledger.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "topology/builders.h"
+
+namespace svc::net {
+namespace {
+
+class LinkLedgerTest : public ::testing::Test {
+ protected:
+  LinkLedgerTest() : topo_(topology::BuildStar(4, 4, 1000)) {}
+
+  topology::Topology topo_;
+};
+
+TEST_F(LinkLedgerTest, InitialState) {
+  LinkLedger ledger(topo_, 0.05);
+  EXPECT_DOUBLE_EQ(ledger.epsilon(), 0.05);
+  EXPECT_NEAR(ledger.quantile(), 1.6448536269514722, 1e-10);
+  for (topology::VertexId v = 1; v < topo_.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(ledger.link(v).capacity, 1000);
+    EXPECT_DOUBLE_EQ(ledger.Occupancy(v), 0.0);
+    EXPECT_DOUBLE_EQ(ledger.SharingBandwidth(v), 1000);
+    EXPECT_TRUE(ledger.ValidWith(v, 0, 0, 0));
+  }
+  EXPECT_EQ(ledger.TotalRecords(), 0u);
+}
+
+TEST_F(LinkLedgerTest, AddStochasticUpdatesSums) {
+  LinkLedger ledger(topo_, 0.05);
+  ledger.AddStochastic(1, /*req=*/10, 200, 400);
+  ledger.AddStochastic(1, /*req=*/11, 300, 2500);
+  const LinkState& s = ledger.link(1);
+  EXPECT_DOUBLE_EQ(s.mean_sum, 500);
+  EXPECT_DOUBLE_EQ(s.var_sum, 2900);
+  EXPECT_EQ(s.stochastic.size(), 2u);
+  const double c = ledger.quantile();
+  EXPECT_NEAR(ledger.Occupancy(1), (500 + c * std::sqrt(2900)) / 1000, 1e-12);
+}
+
+TEST_F(LinkLedgerTest, AddDeterministicReducesSharing) {
+  LinkLedger ledger(topo_, 0.05);
+  ledger.AddDeterministic(2, /*req=*/20, 400);
+  EXPECT_DOUBLE_EQ(ledger.SharingBandwidth(2), 600);
+  EXPECT_DOUBLE_EQ(ledger.Occupancy(2), 0.4);
+}
+
+TEST_F(LinkLedgerTest, NegligibleDemandsSkipped) {
+  LinkLedger ledger(topo_, 0.05);
+  ledger.AddStochastic(1, 30, 0, 0);
+  ledger.AddDeterministic(1, 30, 0);
+  EXPECT_EQ(ledger.TotalRecords(), 0u);
+}
+
+TEST_F(LinkLedgerTest, RemoveRequestRestoresState) {
+  LinkLedger ledger(topo_, 0.05);
+  ledger.AddStochastic(1, 10, 200, 400);
+  ledger.AddStochastic(2, 10, 100, 100);
+  ledger.AddDeterministic(3, 10, 250);
+  ledger.AddStochastic(1, 11, 50, 25);
+  ledger.RemoveRequest(10);
+  EXPECT_DOUBLE_EQ(ledger.link(1).mean_sum, 50);
+  EXPECT_DOUBLE_EQ(ledger.link(1).var_sum, 25);
+  EXPECT_DOUBLE_EQ(ledger.link(2).mean_sum, 0);
+  EXPECT_DOUBLE_EQ(ledger.link(3).deterministic, 0);
+  EXPECT_EQ(ledger.TotalRecords(), 1u);
+}
+
+TEST_F(LinkLedgerTest, RemoveUnknownRequestIsNoop) {
+  LinkLedger ledger(topo_, 0.05);
+  ledger.AddStochastic(1, 10, 200, 400);
+  ledger.RemoveRequest(999);
+  EXPECT_EQ(ledger.TotalRecords(), 1u);
+}
+
+TEST_F(LinkLedgerTest, RemoveIsIdempotent) {
+  LinkLedger ledger(topo_, 0.05);
+  ledger.AddStochastic(1, 10, 200, 400);
+  ledger.RemoveRequest(10);
+  ledger.RemoveRequest(10);
+  EXPECT_EQ(ledger.TotalRecords(), 0u);
+  EXPECT_DOUBLE_EQ(ledger.link(1).mean_sum, 0);
+}
+
+TEST_F(LinkLedgerTest, ValidWithCandidate) {
+  LinkLedger ledger(topo_, 0.05);
+  const double c = ledger.quantile();
+  // Fill most of link 1.
+  ledger.AddStochastic(1, 10, 700, 0);
+  // Candidate that fits: 700 + 200 + c*sqrt(100) < 1000 ?
+  EXPECT_EQ(ledger.ValidWith(1, 200, 100, 0),
+            700 + 200 + c * 10 < 1000);
+  // Candidate that clearly does not fit.
+  EXPECT_FALSE(ledger.ValidWith(1, 400, 0, 0));
+}
+
+TEST_F(LinkLedgerTest, MaxOccupancyTracksWorstLink) {
+  LinkLedger ledger(topo_, 0.05);
+  ledger.AddDeterministic(1, 10, 100);
+  ledger.AddDeterministic(2, 11, 900);
+  EXPECT_DOUBLE_EQ(ledger.MaxOccupancy(), 0.9);
+}
+
+TEST_F(LinkLedgerTest, ChurnKeepsSumsConsistent) {
+  LinkLedger ledger(topo_, 0.05);
+  // Many add/remove cycles; sums must match a fresh recomputation.
+  for (int round = 0; round < 200; ++round) {
+    ledger.AddStochastic(1, round, 10.5, 3.25);
+    if (round >= 3) ledger.RemoveRequest(round - 3);
+  }
+  double mean = 0, var = 0;
+  for (const auto& d : ledger.link(1).stochastic) {
+    mean += d.mean;
+    var += d.variance;
+  }
+  EXPECT_DOUBLE_EQ(ledger.link(1).mean_sum, mean);
+  EXPECT_DOUBLE_EQ(ledger.link(1).var_sum, var);
+  EXPECT_EQ(ledger.link(1).stochastic.size(), 3u);
+}
+
+TEST_F(LinkLedgerTest, RequestTouchingMultipleLinks) {
+  LinkLedger ledger(topo_, 0.05);
+  ledger.AddStochastic(1, 10, 100, 50);
+  ledger.AddStochastic(2, 10, 100, 50);
+  ledger.AddDeterministic(3, 10, 70);
+  ledger.RemoveRequest(10);
+  EXPECT_EQ(ledger.TotalRecords(), 0u);
+  EXPECT_DOUBLE_EQ(ledger.MaxOccupancy(), 0.0);
+}
+
+}  // namespace
+}  // namespace svc::net

@@ -1,0 +1,153 @@
+// Profiling pipeline: trace recording, persistence, demand estimation, and
+// request derivation.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "profile/estimator.h"
+#include "profile/synthesize.h"
+#include "profile/usage_trace.h"
+#include "svc/hetero_heuristic.h"
+#include "svc/manager.h"
+#include "topology/builders.h"
+
+namespace svc::profile {
+namespace {
+
+TEST(UsageTrace, RecordClampsNegative) {
+  UsageTrace trace;
+  trace.Record(-5.0);
+  trace.Record(10.0);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.samples()[0], 0.0);
+  EXPECT_DOUBLE_EQ(trace.samples()[1], 10.0);
+  EXPECT_DOUBLE_EQ(trace.duration_seconds(), 2.0);
+}
+
+TEST(UsageTrace, SaveLoadRoundTrip) {
+  UsageTrace trace(0.5);
+  for (double s : {1.25, 100.0, 0.0, 333.333}) trace.Record(s);
+  std::stringstream buffer;
+  trace.SaveTo(buffer);
+  auto loaded = UsageTrace::LoadFrom(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToText();
+  EXPECT_DOUBLE_EQ(loaded->interval_seconds(), 0.5);
+  ASSERT_EQ(loaded->size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(loaded->samples()[i], trace.samples()[i]);
+  }
+}
+
+TEST(UsageTrace, LoadRejectsGarbage) {
+  std::stringstream bad_magic("hello\n");
+  EXPECT_FALSE(UsageTrace::LoadFrom(bad_magic).ok());
+  std::stringstream truncated("svc-trace v1\ninterval 1\nsamples 3\n1\n2\n");
+  EXPECT_FALSE(UsageTrace::LoadFrom(truncated).ok());
+  std::stringstream negative(
+      "svc-trace v1\ninterval 1\nsamples 1\n-4\n");
+  EXPECT_FALSE(UsageTrace::LoadFrom(negative).ok());
+  std::stringstream bad_interval("svc-trace v1\ninterval 0\nsamples 0\n");
+  EXPECT_FALSE(UsageTrace::LoadFrom(bad_interval).ok());
+}
+
+TEST(UsageTrace, FileRoundTrip) {
+  UsageTrace trace;
+  trace.Record(42.0);
+  const std::string path = ::testing::TempDir() + "/trace_roundtrip.txt";
+  ASSERT_TRUE(trace.SaveToFile(path).ok());
+  auto loaded = UsageTrace::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 1u);
+  EXPECT_FALSE(UsageTrace::LoadFromFile("/nonexistent/nowhere.txt").ok());
+}
+
+TEST(Estimator, RequiresTwoSamples) {
+  UsageTrace trace;
+  trace.Record(5.0);
+  EXPECT_FALSE(EstimateDemand(trace).ok());
+}
+
+TEST(Estimator, RecoversNormalParameters) {
+  stats::Rng rng(17);
+  const UsageTrace trace = SynthesizeNoisy(rng, 20000, 200, 60);
+  auto estimate = EstimateDemand(trace);
+  ASSERT_TRUE(estimate.ok());
+  // Rectification at 0 is negligible for mu = 3.3 sigma.
+  EXPECT_NEAR(estimate->demand.mean, 200, 2.0);
+  EXPECT_NEAR(estimate->demand.stddev(), 60, 2.0);
+  EXPECT_NEAR(estimate->p95, 200 + 60 * 1.645, 4.0);
+  EXPECT_TRUE(estimate->NormalFitReasonable());
+  EXPECT_EQ(estimate->samples, 20000u);
+}
+
+TEST(Estimator, FlagsBimodalTraceAsNonNormal) {
+  stats::Rng rng(19);
+  // Mostly off with rare large bursts: strongly non-normal.
+  const UsageTrace trace = SynthesizeOnOff(rng, 10000, 500, 5, 95);
+  auto estimate = EstimateDemand(trace);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_FALSE(estimate->NormalFitReasonable());
+  // Still captures the two moments the framework consumes.
+  EXPECT_GT(estimate->demand.stddev(), estimate->demand.mean);
+}
+
+TEST(Estimator, RampHasLargeSpread) {
+  stats::Rng rng(23);
+  const UsageTrace trace = SynthesizeRamp(rng, 5000, 0, 400, 10);
+  auto estimate = EstimateDemand(trace);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(estimate->demand.mean, 200, 8);
+  // Uniform-ish spread: stddev ~ range/sqrt(12) ~ 115.
+  EXPECT_NEAR(estimate->demand.stddev(), 400 / std::sqrt(12.0), 10);
+}
+
+TEST(Estimator, RequestFromTracesBuildsHeterogeneous) {
+  stats::Rng rng(29);
+  std::vector<UsageTrace> traces;
+  traces.push_back(SynthesizeNoisy(rng, 5000, 300, 90));
+  traces.push_back(SynthesizeNoisy(rng, 5000, 100, 20));
+  traces.push_back(SynthesizeNoisy(rng, 5000, 50, 5));
+  auto request = RequestFromTraces(7, traces);
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->n(), 3);
+  EXPECT_FALSE(request->homogeneous());
+  EXPECT_NEAR(request->demand(0).mean, 300, 5);
+  EXPECT_NEAR(request->demand(2).mean, 50, 2);
+}
+
+TEST(Estimator, EmptyTraceListRejected) {
+  EXPECT_FALSE(RequestFromTraces(1, {}).ok());
+}
+
+TEST(Estimator, HomogeneousPoolsSamples) {
+  stats::Rng rng(31);
+  std::vector<UsageTrace> traces;
+  for (int i = 0; i < 4; ++i) {
+    traces.push_back(SynthesizeNoisy(rng, 3000, 150, 40));
+  }
+  auto request = HomogeneousRequestFromTraces(9, 10, traces);
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->n(), 10);
+  EXPECT_TRUE(request->homogeneous());
+  EXPECT_NEAR(request->demand(0).mean, 150, 3);
+}
+
+TEST(Estimator, EndToEndProfiledRequestIsAllocatable) {
+  // The full pipeline: profile a running app, derive the SVC request,
+  // admit it.
+  stats::Rng rng(37);
+  std::vector<UsageTrace> traces;
+  for (int i = 0; i < 6; ++i) {
+    traces.push_back(SynthesizeNoisy(rng, 2000, 120, 50));
+  }
+  auto request = RequestFromTraces(1, traces);
+  ASSERT_TRUE(request.ok());
+  const topology::Topology topo = topology::BuildTwoTier(2, 4, 4, 1000, 2.0);
+  core::NetworkManager manager(topo, 0.05);
+  core::HeteroHeuristicAllocator alloc;
+  EXPECT_TRUE(manager.Admit(*request, alloc).ok());
+  EXPECT_TRUE(manager.StateValid());
+}
+
+}  // namespace
+}  // namespace svc::profile

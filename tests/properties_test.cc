@@ -1,0 +1,172 @@
+// Cross-cutting invariants of the admission algebra and the simulator,
+// swept over parameter grids (TEST_P).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "net/admission.h"
+#include "sim/engine.h"
+#include "stats/rng.h"
+#include "svc/homogeneous_search.h"
+#include "svc/manager.h"
+#include "topology/builders.h"
+
+namespace svc {
+namespace {
+
+// ---- Admission algebra properties --------------------------------------
+
+using AlgebraParam = std::tuple<double, double, double>;  // eps, mean, var
+
+class AdmissionAlgebra : public ::testing::TestWithParam<AlgebraParam> {};
+
+TEST_P(AdmissionAlgebra, OccupancyMonotoneInDemand) {
+  const auto [eps, mean, var] = GetParam();
+  const double c = net::GuaranteeQuantile(eps);
+  const double base = net::OccupancyRatio(1000, 100, mean, var, c);
+  EXPECT_GE(net::OccupancyRatio(1000, 100, mean + 50, var, c), base);
+  EXPECT_GE(net::OccupancyRatio(1000, 100, mean, var + 500, c), base);
+  EXPECT_GE(net::OccupancyRatio(1000, 150, mean, var, c), base);
+}
+
+TEST_P(AdmissionAlgebra, GuaranteeMonotoneInCapacity) {
+  const auto [eps, mean, var] = GetParam();
+  const double c = net::GuaranteeQuantile(eps);
+  // If a demand set fits capacity C it fits any C' > C.
+  for (double cap = 200; cap <= 2000; cap += 200) {
+    if (net::SatisfiesGuarantee(cap, 0, mean, var, c)) {
+      EXPECT_TRUE(net::SatisfiesGuarantee(cap + 300, 0, mean, var, c))
+          << "cap=" << cap;
+    }
+  }
+}
+
+TEST_P(AdmissionAlgebra, GuaranteeMonotoneInEpsilon) {
+  const auto [eps, mean, var] = GetParam();
+  // A larger risk tolerance can only admit more.
+  const double tight = net::GuaranteeQuantile(eps / 2);
+  const double loose = net::GuaranteeQuantile(eps);
+  if (net::SatisfiesGuarantee(1000, 0, mean, var, tight)) {
+    EXPECT_TRUE(net::SatisfiesGuarantee(1000, 0, mean, var, loose));
+  }
+}
+
+TEST_P(AdmissionAlgebra, EffectiveBandwidthSubAdditive) {
+  const auto [eps, mean, var] = GetParam();
+  const double c = net::GuaranteeQuantile(eps);
+  if (var <= 0) return;
+  // Joint reservation mean + c*sqrt(v1+v2) <= severally reserved
+  // (mean1 + c*sqrt(v1)) + (mean2 + c*sqrt(v2)): the statistical
+  // multiplexing gain of SVC.
+  const double v1 = var * 0.4, v2 = var * 0.6;
+  const double joint = mean + c * std::sqrt(v1 + v2);
+  const double several = mean + c * (std::sqrt(v1) + std::sqrt(v2));
+  EXPECT_LE(joint, several + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AdmissionAlgebra,
+    ::testing::Combine(::testing::Values(0.01, 0.05, 0.2),
+                       ::testing::Values(100.0, 500.0, 900.0),
+                       ::testing::Values(0.0, 2500.0, 40000.0)));
+
+// ---- Allocation feasibility monotone in epsilon ------------------------
+
+class EpsilonMonotone : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EpsilonMonotone, FeasibleAtTightEpsilonImpliesFeasibleAtLoose) {
+  const topology::Topology topo = topology::BuildTwoTier(2, 3, 4, 600, 2.0);
+  core::HomogeneousDpAllocator dp;
+  stats::Rng rng(GetParam());
+  for (int trial = 0; trial < 15; ++trial) {
+    const int n = static_cast<int>(rng.UniformInt(2, 12));
+    const double mu = 40.0 * static_cast<double>(rng.UniformInt(1, 6));
+    const double sigma = mu * rng.Uniform(0, 1);
+    const core::Request r = core::Request::Homogeneous(trial, n, mu, sigma);
+    core::NetworkManager tight(topo, 0.01);
+    core::NetworkManager loose(topo, 0.1);
+    const bool tight_ok = dp.Allocate(r, tight.ledger(), tight.slots()).ok();
+    const bool loose_ok = dp.Allocate(r, loose.ledger(), loose.slots()).ok();
+    if (tight_ok) {
+      EXPECT_TRUE(loose_ok) << "trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EpsilonMonotone,
+                         ::testing::Values(1, 7, 42, 1337));
+
+// ---- Simulator determinism ----------------------------------------------
+
+TEST(EngineDeterminism, SameSeedSameResult) {
+  const topology::Topology topo = topology::BuildTwoTier(3, 3, 4, 800, 2.0);
+  core::HomogeneousDpAllocator alloc;
+  auto run = [&](uint64_t seed) {
+    workload::WorkloadConfig wconfig;
+    wconfig.num_jobs = 30;
+    wconfig.mean_job_size = 6;
+    wconfig.max_job_size = 16;
+    wconfig.rate_means = {50, 100, 150};
+    wconfig.compute_time_lo = 20;
+    wconfig.compute_time_hi = 60;
+    wconfig.flow_time_lo = 20;
+    wconfig.flow_time_hi = 60;
+    workload::WorkloadGenerator gen(wconfig, 5);
+    sim::SimConfig config;
+    config.abstraction = workload::Abstraction::kSvc;
+    config.allocator = &alloc;
+    config.seed = seed;
+    sim::Engine engine(topo, config);
+    return engine.RunOnline(gen.GenerateOnline(0.6, topo.total_slots()));
+  };
+  const auto a = run(99);
+  const auto b = run(99);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_DOUBLE_EQ(a.simulated_seconds, b.simulated_seconds);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].finish_time, b.jobs[i].finish_time);
+  }
+  EXPECT_EQ(a.outage.outage_link_seconds, b.outage.outage_link_seconds);
+
+  // Different engine seed: rate draws differ, so timings differ.
+  const auto c = run(100);
+  bool any_difference = (a.jobs.size() != c.jobs.size());
+  for (size_t i = 0; !any_difference && i < a.jobs.size(); ++i) {
+    any_difference = a.jobs[i].finish_time != c.jobs[i].finish_time;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+// ---- Ledger conservation under simulated churn --------------------------
+
+TEST(LedgerConservation, EmptyAfterAllJobsComplete) {
+  const topology::Topology topo = topology::BuildTwoTier(3, 3, 4, 800, 2.0);
+  core::HomogeneousDpAllocator alloc;
+  workload::WorkloadConfig wconfig;
+  wconfig.num_jobs = 25;
+  wconfig.mean_job_size = 6;
+  wconfig.max_job_size = 16;
+  wconfig.rate_means = {50, 100, 150};
+  wconfig.compute_time_lo = 10;
+  wconfig.compute_time_hi = 30;
+  wconfig.flow_time_lo = 10;
+  wconfig.flow_time_hi = 30;
+  workload::WorkloadGenerator gen(wconfig, 8);
+  sim::SimConfig config;
+  config.abstraction = workload::Abstraction::kSvc;
+  config.allocator = &alloc;
+  config.seed = 9;
+  sim::Engine engine(topo, config);
+  const auto result = engine.RunBatch(gen.GenerateBatch());
+  EXPECT_GT(result.jobs.size(), 0u);
+  // After the batch drains, every slot and every demand record is back.
+  EXPECT_EQ(engine.manager().slots().total_free(), topo.total_slots());
+  EXPECT_EQ(engine.manager().ledger().TotalRecords(), 0u);
+  EXPECT_DOUBLE_EQ(engine.manager().MaxOccupancy(), 0.0);
+}
+
+}  // namespace
+}  // namespace svc

@@ -1,0 +1,162 @@
+// Snapshot save/restore: ground-truth replay, rollback on failure, and
+// topology/epsilon mismatch handling.
+#include "svc/snapshot.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "svc/hetero_heuristic.h"
+#include "svc/homogeneous_search.h"
+#include "topology/builders.h"
+
+namespace svc::core {
+namespace {
+
+topology::Topology TestTopo() {
+  return topology::BuildTwoTier(2, 3, 4, 1000, 2.0);
+}
+
+TEST(Snapshot, EmptyManagerRoundTrip) {
+  const topology::Topology topo = TestTopo();
+  NetworkManager manager(topo, 0.05);
+  std::stringstream buffer;
+  SaveSnapshot(manager, buffer);
+  NetworkManager restored(topo, 0.05);
+  EXPECT_TRUE(RestoreSnapshot(buffer, restored).ok());
+  EXPECT_EQ(restored.live_count(), 0u);
+}
+
+TEST(Snapshot, RoundTripPreservesStateExactly) {
+  const topology::Topology topo = TestTopo();
+  NetworkManager manager(topo, 0.05);
+  HomogeneousDpAllocator dp;
+  HeteroHeuristicAllocator heuristic;
+  ASSERT_TRUE(manager.Admit(Request::Homogeneous(1, 8, 150, 70), dp).ok());
+  ASSERT_TRUE(manager.Admit(Request::Deterministic(2, 4, 200), dp).ok());
+  ASSERT_TRUE(manager
+                  .Admit(Request::Heterogeneous(
+                             3, {{300, 10000}, {100, 400}, {50, 25}}),
+                         heuristic)
+                  .ok());
+
+  std::stringstream buffer;
+  SaveSnapshot(manager, buffer);
+
+  NetworkManager restored(topo, 0.05);
+  ASSERT_TRUE(RestoreSnapshot(buffer, restored).ok());
+  EXPECT_EQ(restored.live_count(), 3u);
+  EXPECT_TRUE(restored.StateValid());
+  EXPECT_EQ(restored.slots().total_free(), manager.slots().total_free());
+  EXPECT_EQ(restored.ledger().TotalRecords(),
+            manager.ledger().TotalRecords());
+  EXPECT_NEAR(restored.MaxOccupancy(), manager.MaxOccupancy(), 1e-12);
+  // Placements identical per tenant.
+  for (int64_t id : {1, 2, 3}) {
+    ASSERT_NE(restored.placement_of(id), nullptr) << id;
+    EXPECT_EQ(restored.placement_of(id)->vm_machine,
+              manager.placement_of(id)->vm_machine)
+        << id;
+  }
+  // And releases still work on the restored manager.
+  restored.Release(1);
+  restored.Release(2);
+  restored.Release(3);
+  EXPECT_EQ(restored.slots().total_free(), topo.total_slots());
+  EXPECT_EQ(restored.ledger().TotalRecords(), 0u);
+}
+
+TEST(Snapshot, SecondRoundTripIsIdentical) {
+  const topology::Topology topo = TestTopo();
+  NetworkManager manager(topo, 0.05);
+  HomogeneousDpAllocator dp;
+  ASSERT_TRUE(manager.Admit(Request::Homogeneous(5, 6, 100, 40), dp).ok());
+  std::stringstream first;
+  SaveSnapshot(manager, first);
+  NetworkManager restored(topo, 0.05);
+  ASSERT_TRUE(RestoreSnapshot(first, restored).ok());
+  std::stringstream second;
+  SaveSnapshot(restored, second);
+  std::stringstream first_again;
+  SaveSnapshot(manager, first_again);
+  EXPECT_EQ(second.str(), first_again.str());
+}
+
+TEST(Snapshot, RestoreIntoNonEmptyManagerFails) {
+  const topology::Topology topo = TestTopo();
+  NetworkManager manager(topo, 0.05);
+  HomogeneousDpAllocator dp;
+  ASSERT_TRUE(manager.Admit(Request::Homogeneous(1, 2, 10, 1), dp).ok());
+  std::stringstream buffer("svc-snapshot v1\nepsilon 0.05\ntenants 0\n");
+  const auto status = RestoreSnapshot(buffer, manager);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(manager.live_count(), 1u);  // untouched
+}
+
+TEST(Snapshot, MalformedInputRejectedAndRolledBack) {
+  const topology::Topology topo = TestTopo();
+  for (const char* text : {
+           "garbage\n",
+           "svc-snapshot v1\nepsilon x\n",
+           "svc-snapshot v1\nepsilon 0.05\ntenants 1\ntenant 1 bogus 2\n",
+           // Valid first tenant, then truncated second: all-or-nothing.
+           "svc-snapshot v1\nepsilon 0.05\ntenants 2\n"
+           "tenant 1 homogeneous 2 10 1\nplace 3 3\n"
+           "tenant 2 homogeneous 2 10 1\nplace 3\n",
+       }) {
+    NetworkManager manager(topo, 0.05);
+    std::stringstream buffer(text);
+    const auto status = RestoreSnapshot(buffer, manager);
+    EXPECT_FALSE(status.ok()) << text;
+    EXPECT_EQ(manager.live_count(), 0u) << "rollback failed for: " << text;
+    EXPECT_EQ(manager.slots().total_free(), topo.total_slots());
+  }
+}
+
+TEST(Snapshot, TopologyMismatchRejected) {
+  const topology::Topology big = TestTopo();
+  NetworkManager manager(big, 0.05);
+  HomogeneousDpAllocator dp;
+  ASSERT_TRUE(manager.Admit(Request::Homogeneous(1, 8, 150, 70), dp).ok());
+  std::stringstream buffer;
+  SaveSnapshot(manager, buffer);
+
+  // A smaller datacenter cannot host the snapshot's machine ids.
+  const topology::Topology small = topology::BuildStar(2, 4, 1000);
+  NetworkManager target(small, 0.05);
+  const auto status = RestoreSnapshot(buffer, target);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(target.live_count(), 0u);
+}
+
+TEST(Snapshot, TighterEpsilonTargetMayReject) {
+  const topology::Topology topo = topology::BuildStar(2, 2, 260);
+  NetworkManager loose(topo, 0.3);
+  HomogeneousDpAllocator dp;
+  // Near-boundary request feasible only under the loose epsilon.
+  ASSERT_TRUE(loose.Admit(Request::Homogeneous(1, 4, 100, 60), dp).ok());
+  std::stringstream buffer;
+  SaveSnapshot(loose, buffer);
+  NetworkManager tight(topo, 0.001);
+  const auto status = RestoreSnapshot(buffer, tight);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(tight.live_count(), 0u);
+}
+
+TEST(Snapshot, FileRoundTrip) {
+  const topology::Topology topo = TestTopo();
+  NetworkManager manager(topo, 0.05);
+  HomogeneousDpAllocator dp;
+  ASSERT_TRUE(manager.Admit(Request::Homogeneous(1, 4, 80, 30), dp).ok());
+  const std::string path = ::testing::TempDir() + "/snapshot_roundtrip.txt";
+  ASSERT_TRUE(SaveSnapshotToFile(manager, path).ok());
+  NetworkManager restored(topo, 0.05);
+  ASSERT_TRUE(RestoreSnapshotFromFile(path, restored).ok());
+  EXPECT_EQ(restored.live_count(), 1u);
+  EXPECT_FALSE(
+      RestoreSnapshotFromFile("/nonexistent/file.txt", restored).ok());
+}
+
+}  // namespace
+}  // namespace svc::core

@@ -1,0 +1,91 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/moments.h"
+
+namespace svc::stats {
+namespace {
+
+TEST(RectifiedNormal, DegenerateStddev) {
+  EXPECT_DOUBLE_EQ(RectifiedNormalMean(5.0, 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(RectifiedNormalMean(-5.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RectifiedNormalVariance(5.0, 0.0), 0.0);
+}
+
+TEST(RectifiedNormal, FarAboveZeroIsUnchanged) {
+  // mu = 10 sigma: rectification has negligible effect.
+  EXPECT_NEAR(RectifiedNormalMean(100.0, 10.0), 100.0, 1e-6);
+  EXPECT_NEAR(RectifiedNormalVariance(100.0, 10.0), 100.0, 1e-4);
+}
+
+TEST(RectifiedNormal, ZeroMeanHalfNormal) {
+  // max(0, N(0, s^2)) has mean s/sqrt(2*pi) and variance s^2*(1/2 - 1/(2pi)).
+  const double s = 2.0;
+  EXPECT_NEAR(RectifiedNormalMean(0.0, s), s / std::sqrt(2 * M_PI), 1e-12);
+  EXPECT_NEAR(RectifiedNormalVariance(0.0, s),
+              s * s * (0.5 - 1.0 / (2 * M_PI)), 1e-12);
+}
+
+class RectifiedMonteCarlo
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(RectifiedMonteCarlo, MatchesSampling) {
+  const auto [mean, stddev] = GetParam();
+  Rng rng(99);
+  RunningMoments mc;
+  for (int i = 0; i < 300000; ++i) {
+    mc.Add(SampleRectifiedNormal(rng, mean, stddev));
+  }
+  EXPECT_NEAR(RectifiedNormalMean(mean, stddev), mc.mean(),
+              0.02 * std::max(1.0, stddev));
+  EXPECT_NEAR(RectifiedNormalVariance(mean, stddev), mc.variance(),
+              0.03 * std::max(1.0, stddev * stddev));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RectifiedMonteCarlo,
+    ::testing::Values(std::pair{100.0, 90.0},   // rho = 0.9 rate draw
+                      std::pair{300.0, 300.0},  // rho = 1.0
+                      std::pair{0.0, 50.0}, std::pair{-20.0, 30.0},
+                      std::pair{500.0, 50.0}));
+
+TEST(RectifiedNormal, SampleNeverNegative) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_GE(SampleRectifiedNormal(rng, -10.0, 20.0), 0.0);
+  }
+}
+
+TEST(SampleExponentialInt, RespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = SampleExponentialInt(rng, 49, 2, 400);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 400);
+  }
+}
+
+TEST(SampleExponentialInt, RoughlyExponentialMean) {
+  Rng rng(7);
+  RunningMoments m;
+  for (int i = 0; i < 100000; ++i) {
+    m.Add(static_cast<double>(SampleExponentialInt(rng, 49, 2, 400)));
+  }
+  // Clamping shifts the mean slightly; allow a generous band around 49.
+  EXPECT_NEAR(m.mean(), 49.0, 4.0);
+}
+
+TEST(SampleExponentialInt, TightWindowStillTerminates) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const int64_t v = SampleExponentialInt(rng, 1000.0, 2, 3);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 3);
+  }
+}
+
+}  // namespace
+}  // namespace svc::stats

@@ -1,0 +1,62 @@
+#include "stats/ecdf.h"
+
+#include <gtest/gtest.h>
+
+namespace svc::stats {
+namespace {
+
+TEST(EmpiricalCdf, EmptyCdfIsZero) {
+  EmpiricalCdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.CdfAt(0.0), 0.0);
+}
+
+TEST(EmpiricalCdf, SingleSample) {
+  EmpiricalCdf cdf({5.0});
+  EXPECT_DOUBLE_EQ(cdf.CdfAt(4.9), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.CdfAt(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Percentile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.Percentile(1.0), 5.0);
+}
+
+TEST(EmpiricalCdf, StepFunction) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.CdfAt(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.CdfAt(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.CdfAt(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.CdfAt(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.CdfAt(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, PercentileInterpolates) {
+  EmpiricalCdf cdf({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(cdf.Percentile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.Percentile(0.25), 2.5);
+}
+
+TEST(EmpiricalCdf, AddInvalidatesSortLazily) {
+  EmpiricalCdf cdf;
+  cdf.Add(3.0);
+  cdf.Add(1.0);
+  cdf.Add(2.0);
+  EXPECT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Percentile(1.0), 3.0);
+  cdf.Add(0.0);
+  EXPECT_DOUBLE_EQ(cdf.Percentile(0.0), 0.0);
+}
+
+TEST(EmpiricalCdf, SortedViewIsSorted) {
+  EmpiricalCdf cdf({3.0, 1.0, 2.0});
+  const auto& sorted = cdf.sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+}
+
+TEST(EmpiricalCdf, MedianOfOddSample) {
+  EmpiricalCdf cdf({1.0, 100.0, 2.0});
+  EXPECT_DOUBLE_EQ(cdf.Percentile(0.5), 2.0);
+}
+
+}  // namespace
+}  // namespace svc::stats

@@ -1,0 +1,74 @@
+#include "stats/lognormal.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/moments.h"
+
+namespace svc::stats {
+namespace {
+
+TEST(LogNormal, MomentsFromLogParams) {
+  const LogNormal d(0.0, 1.0);
+  EXPECT_NEAR(d.mean(), std::exp(0.5), 1e-12);
+  EXPECT_NEAR(d.variance(), (std::exp(1.0) - 1) * std::exp(1.0), 1e-12);
+}
+
+TEST(LogNormal, FromMeanVarianceRoundTrip) {
+  for (double mean : {10.0, 100.0, 500.0}) {
+    for (double cv : {0.1, 0.5, 1.0, 2.0}) {
+      const double var = (cv * mean) * (cv * mean);
+      const LogNormal d = LogNormal::FromMeanVariance(mean, var);
+      EXPECT_NEAR(d.mean(), mean, 1e-9 * mean) << mean << " " << cv;
+      EXPECT_NEAR(d.variance(), var, 1e-9 * var + 1e-12);
+    }
+  }
+}
+
+TEST(LogNormal, DegenerateVariance) {
+  const LogNormal d = LogNormal::FromMeanVariance(42.0, 0.0);
+  EXPECT_NEAR(d.mean(), 42.0, 1e-12);
+  EXPECT_NEAR(d.variance(), 0.0, 1e-12);
+  EXPECT_NEAR(d.Quantile(0.01), 42.0, 1e-9);
+  EXPECT_NEAR(d.Quantile(0.99), 42.0, 1e-9);
+}
+
+TEST(LogNormal, QuantileMatchesDefinition) {
+  const LogNormal d(1.5, 0.7);
+  // Median of a lognormal is exp(mu_log).
+  EXPECT_NEAR(d.Quantile(0.5), std::exp(1.5), 1e-9);
+  // Quantile is monotone and reproduces the underlying normal quantile.
+  EXPECT_NEAR(std::log(d.Quantile(0.95)), 1.5 + 0.7 * 1.6448536269514722,
+              1e-9);
+  EXPECT_LT(d.Quantile(0.2), d.Quantile(0.8));
+}
+
+TEST(LogNormal, HeavierTailThanNormalSameMoments) {
+  // Same (mean, var): the lognormal's 99.9th percentile exceeds the
+  // normal's — the property the robustness ablation stresses.
+  const double mean = 200, var = 200.0 * 200.0;
+  const LogNormal heavy = LogNormal::FromMeanVariance(mean, var);
+  const Normal light{mean, var};
+  EXPECT_GT(heavy.Quantile(0.999), light.Quantile(0.999));
+}
+
+TEST(LogNormal, SamplingMatchesMoments) {
+  const LogNormal d = LogNormal::FromMeanVariance(150.0, 90.0 * 90.0);
+  Rng rng(77);
+  RunningMoments mc;
+  for (int i = 0; i < 400000; ++i) mc.Add(d.Sample(rng));
+  EXPECT_NEAR(mc.mean(), 150.0, 1.0);
+  EXPECT_NEAR(std::sqrt(mc.variance()), 90.0, 2.0);
+  EXPECT_GT(mc.min(), 0.0);  // lognormal support is positive
+}
+
+TEST(LogNormal, MomentSummaryForRequests) {
+  const LogNormal d = LogNormal::FromMeanVariance(300.0, 10000.0);
+  const Normal summary = d.MomentSummary();
+  EXPECT_NEAR(summary.mean, 300.0, 1e-9);
+  EXPECT_NEAR(summary.variance, 10000.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace svc::stats

@@ -1,0 +1,124 @@
+// Lemma 1 validation: closed-form moments of min(X1, X2) against
+// Monte-Carlo estimates over a parameter grid, plus exact special cases.
+#include "stats/min_normal.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "stats/moments.h"
+#include "stats/rng.h"
+
+namespace svc::stats {
+namespace {
+
+TEST(MinOfNormals, BothDegenerate) {
+  const Normal result = MinOfNormals({5.0, 0.0}, {3.0, 0.0});
+  EXPECT_DOUBLE_EQ(result.mean, 3.0);
+  EXPECT_DOUBLE_EQ(result.variance, 0.0);
+}
+
+TEST(MinOfNormals, SymmetricInArguments) {
+  const Normal a{120.0, 900.0};
+  const Normal b{80.0, 400.0};
+  const Normal ab = MinOfNormals(a, b);
+  const Normal ba = MinOfNormals(b, a);
+  EXPECT_NEAR(ab.mean, ba.mean, 1e-9);
+  EXPECT_NEAR(ab.variance, ba.variance, 1e-9);
+}
+
+TEST(MinOfNormals, IdenticalInputs) {
+  // min of two iid N(mu, s^2): E = mu - s/sqrt(pi), known closed form.
+  const double mu = 100, var = 400;
+  const Normal result = MinOfNormals({mu, var}, {mu, var});
+  EXPECT_NEAR(result.mean, mu - std::sqrt(var) / std::sqrt(M_PI), 1e-9);
+  EXPECT_LT(result.variance, var);  // the min has less spread
+  EXPECT_GT(result.variance, 0);
+}
+
+TEST(MinOfNormals, DominatedSideIsExact) {
+  // When one variable is far below the other, min ~= the lower one.
+  const Normal low{10.0, 4.0};
+  const Normal high{1000.0, 4.0};
+  const Normal result = MinOfNormals(low, high);
+  EXPECT_NEAR(result.mean, 10.0, 1e-6);
+  EXPECT_NEAR(result.variance, 4.0, 1e-6);
+}
+
+TEST(MinOfNormals, OneDegenerateBelow) {
+  // Constant 0 vs a positive-mean normal: min is (almost surely) 0 when the
+  // normal's mass is far above 0.
+  const Normal result = MinOfNormals({0.0, 0.0}, {500.0, 100.0});
+  EXPECT_NEAR(result.mean, 0.0, 1e-9);
+  EXPECT_NEAR(result.variance, 0.0, 1e-9);
+}
+
+TEST(MinOfNormals, MeanBelowBothInputs) {
+  const Normal result = MinOfNormals({100.0, 2500.0}, {110.0, 2500.0});
+  EXPECT_LT(result.mean, 100.0);
+}
+
+TEST(MinOfNormals, VarianceNeverNegative) {
+  // Extreme tail configuration that stresses the E[X^2] - E[X]^2
+  // cancellation.
+  const Normal result = MinOfNormals({1e6, 1.0}, {0.0, 1e-8});
+  EXPECT_GE(result.variance, 0.0);
+}
+
+// (mu1, var1, mu2, var2) grid checked against Monte-Carlo.
+using MinParam = std::tuple<double, double, double, double>;
+
+class MinOfNormalsMonteCarlo : public ::testing::TestWithParam<MinParam> {};
+
+TEST_P(MinOfNormalsMonteCarlo, MatchesSimulation) {
+  const auto [mu1, var1, mu2, var2] = GetParam();
+  const Normal analytic = MinOfNormals({mu1, var1}, {mu2, var2});
+
+  Rng rng(0xBEEF ^ static_cast<uint64_t>(mu1 * 31 + mu2));
+  RunningMoments mc;
+  constexpr int kSamples = 400000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x1 = rng.Normal(mu1, std::sqrt(var1));
+    const double x2 = rng.Normal(mu2, std::sqrt(var2));
+    mc.Add(std::min(x1, x2));
+  }
+  const double scale = std::max({1.0, std::sqrt(var1), std::sqrt(var2)});
+  EXPECT_NEAR(analytic.mean, mc.mean(), 0.02 * scale);
+  EXPECT_NEAR(analytic.variance, mc.variance(),
+              0.03 * std::max(1.0, var1 + var2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MinOfNormalsMonteCarlo,
+    ::testing::Values(
+        MinParam{0, 1, 0, 1}, MinParam{0, 1, 2, 1}, MinParam{5, 4, 5, 9},
+        MinParam{100, 2500, 100, 2500},      // homogeneous split, rho=0.5
+        MinParam{300, 8100, 700, 18900},     // m=3 vs m=7 of N(100,(90)^2/vm)
+        MinParam{50, 100, 400, 6400}, MinParam{10, 0, 12, 16},
+        MinParam{200, 40000, 300, 90000},    // high-variance (rho ~ 1)
+        MinParam{1000, 1, 1000, 1e6}));
+
+// Paper context: B_r^L(m) = min(B(m), B(N-m)) with B(m) ~ N(m*mu, m*s^2).
+TEST(MinOfNormals, HomogeneousSplitMatchesMonteCarlo) {
+  const int n = 10;
+  const double mu = 100, sigma = 60;
+  for (int m = 1; m < n; ++m) {
+    const Normal below{m * mu, m * sigma * sigma};
+    const Normal above{(n - m) * mu, (n - m) * sigma * sigma};
+    const Normal analytic = MinOfNormals(below, above);
+    Rng rng(1000 + m);
+    RunningMoments mc;
+    for (int i = 0; i < 200000; ++i) {
+      mc.Add(std::min(rng.Normal(below.mean, below.stddev()),
+                      rng.Normal(above.mean, above.stddev())));
+    }
+    EXPECT_NEAR(analytic.mean, mc.mean(), 2.5) << "m=" << m;
+    EXPECT_NEAR(analytic.variance, mc.variance(), 0.03 * analytic.variance +
+                                                      50.0)
+        << "m=" << m;
+  }
+}
+
+}  // namespace
+}  // namespace svc::stats

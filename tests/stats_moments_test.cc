@@ -1,0 +1,82 @@
+#include "stats/moments.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace svc::stats {
+namespace {
+
+TEST(RunningMoments, Empty) {
+  RunningMoments m;
+  EXPECT_EQ(m.count(), 0);
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(m.sample_variance(), 0.0);
+}
+
+TEST(RunningMoments, SingleValue) {
+  RunningMoments m;
+  m.Add(42.0);
+  EXPECT_EQ(m.count(), 1);
+  EXPECT_DOUBLE_EQ(m.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(m.min(), 42.0);
+  EXPECT_DOUBLE_EQ(m.max(), 42.0);
+}
+
+TEST(RunningMoments, MatchesDirectComputation) {
+  const std::vector<double> data{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5};
+  RunningMoments m;
+  double sum = 0;
+  for (double x : data) {
+    m.Add(x);
+    sum += x;
+  }
+  const double mean = sum / data.size();
+  double ss = 0;
+  for (double x : data) ss += (x - mean) * (x - mean);
+  EXPECT_NEAR(m.mean(), mean, 1e-12);
+  EXPECT_NEAR(m.variance(), ss / data.size(), 1e-12);
+  EXPECT_NEAR(m.sample_variance(), ss / (data.size() - 1), 1e-12);
+  EXPECT_DOUBLE_EQ(m.min(), 1.0);
+  EXPECT_DOUBLE_EQ(m.max(), 9.0);
+  EXPECT_DOUBLE_EQ(m.sum(), sum);
+}
+
+TEST(RunningMoments, MergeEqualsSequential) {
+  RunningMoments all, left, right;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.7 - 10;
+    all.Add(x);
+    (i % 2 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningMoments, MergeWithEmpty) {
+  RunningMoments a, empty;
+  a.Add(1.0);
+  a.Add(2.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(RunningMoments, NumericalStabilityLargeOffset) {
+  // Welford should survive a large constant offset.
+  RunningMoments m;
+  for (int i = 0; i < 1000; ++i) m.Add(1e9 + (i % 2));
+  EXPECT_NEAR(m.variance(), 0.25, 1e-6);
+}
+
+}  // namespace
+}  // namespace svc::stats

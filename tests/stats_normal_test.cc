@@ -1,0 +1,97 @@
+#include "stats/normal.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace svc::stats {
+namespace {
+
+TEST(NormalPdf, KnownValues) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804014327, 1e-15);
+  EXPECT_NEAR(NormalPdf(1.0), 0.24197072451914337, 1e-15);
+  EXPECT_NEAR(NormalPdf(-1.0), NormalPdf(1.0), 1e-15);
+  EXPECT_NEAR(NormalPdf(2.5), 0.01752830049356854, 1e-15);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_DOUBLE_EQ(NormalCdf(0.0), 0.5);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(NormalCdf(-1.0), 0.15865525393145705, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963984540054), 0.975, 1e-12);
+  EXPECT_NEAR(NormalCdf(-1.6448536269514722), 0.05, 1e-12);
+}
+
+TEST(NormalCdf, TailAccuracy) {
+  // erfc-based implementation stays accurate deep in the lower tail.
+  EXPECT_NEAR(NormalCdf(-6.0), 9.865876450376946e-10, 1e-18);
+  EXPECT_GT(NormalCdf(-38.0), 0.0);
+  EXPECT_LT(NormalCdf(38.0), 1.0 + 1e-15);
+}
+
+TEST(NormalCdf, Monotone) {
+  double prev = -1;
+  for (double x = -8; x <= 8; x += 0.25) {
+    const double value = NormalCdf(x);
+    EXPECT_GT(value, prev) << "at x=" << x;
+    prev = value;
+  }
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-15);
+  EXPECT_NEAR(NormalQuantile(0.95), 1.6448536269514722, 1e-12);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963984540054, 1e-12);
+  EXPECT_NEAR(NormalQuantile(0.98), 2.0537489106318225, 1e-12);
+  EXPECT_NEAR(NormalQuantile(0.05), -1.6448536269514722, 1e-12);
+}
+
+TEST(NormalQuantile, Endpoints) {
+  EXPECT_EQ(NormalQuantile(0.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(NormalQuantile(1.0), std::numeric_limits<double>::infinity());
+}
+
+class QuantileRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileRoundTrip, CdfOfQuantileIsIdentity) {
+  const double p = GetParam();
+  EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-12) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, QuantileRoundTrip,
+    ::testing::Values(1e-9, 1e-6, 1e-4, 0.001, 0.01, 0.02, 0.02425, 0.05,
+                      0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.97575, 0.99, 0.999,
+                      0.9999, 1 - 1e-6, 1 - 1e-9));
+
+class QuantileRoundTripX : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileRoundTripX, QuantileOfCdfIsIdentity) {
+  const double x = GetParam();
+  EXPECT_NEAR(NormalQuantile(NormalCdf(x)), x, 1e-9) << "x=" << x;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, QuantileRoundTripX,
+                         ::testing::Values(-5.0, -3.0, -1.5, -0.5, -0.1, 0.0,
+                                           0.1, 0.5, 1.5, 3.0, 5.0));
+
+TEST(NormalStruct, QuantileUsesMoments) {
+  const Normal n{100.0, 400.0};  // stddev 20
+  EXPECT_NEAR(n.Quantile(0.95), 100.0 + 20.0 * 1.6448536269514722, 1e-9);
+  EXPECT_DOUBLE_EQ(n.Quantile(0.5), 100.0);
+}
+
+TEST(NormalStruct, DegenerateQuantileIsMean) {
+  const Normal n{42.0, 0.0};
+  EXPECT_DOUBLE_EQ(n.Quantile(0.01), 42.0);
+  EXPECT_DOUBLE_EQ(n.Quantile(0.99), 42.0);
+}
+
+TEST(NormalStruct, StddevIsSqrtVariance) {
+  const Normal n{0.0, 9.0};
+  EXPECT_DOUBLE_EQ(n.stddev(), 3.0);
+}
+
+}  // namespace
+}  // namespace svc::stats

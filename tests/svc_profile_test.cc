@@ -1,0 +1,107 @@
+// Demand-profile tests: the per-link split demand tables that feed the
+// allocator DPs.
+#include "svc/demand_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/min_normal.h"
+
+namespace svc::core {
+namespace {
+
+TEST(SplitDemand, ZeroWhenOneSideEmpty) {
+  const stats::Normal demand = SplitDemand({0, 0}, {500, 2500});
+  EXPECT_DOUBLE_EQ(demand.mean, 0);
+  EXPECT_DOUBLE_EQ(demand.variance, 0);
+  const stats::Normal other = SplitDemand({500, 2500}, {0, 0});
+  EXPECT_DOUBLE_EQ(other.mean, 0);
+}
+
+TEST(SplitDemand, MatchesMinOfNormals) {
+  const stats::Normal below{300, 2700};
+  const stats::Normal above{700, 6300};
+  const stats::Normal expected = stats::MinOfNormals(below, above);
+  const stats::Normal actual = SplitDemand(below, above);
+  EXPECT_DOUBLE_EQ(actual.mean, expected.mean);
+  EXPECT_DOUBLE_EQ(actual.variance, expected.variance);
+}
+
+TEST(SplitDemandFromBelow, ComplementsTotals) {
+  const Request r = Request::Heterogeneous(
+      1, {{100, 400}, {200, 900}, {300, 1600}});
+  // Below side holds VM 0: above must be VMs 1+2.
+  const stats::Normal demand = SplitDemandFromBelow(r, 100, 400);
+  const stats::Normal expected =
+      stats::MinOfNormals({100, 400}, {500, 2500});
+  EXPECT_NEAR(demand.mean, expected.mean, 1e-12);
+  EXPECT_NEAR(demand.variance, expected.variance, 1e-12);
+}
+
+TEST(HomogeneousProfile, EndpointsAreZero) {
+  const Request r = Request::Homogeneous(1, 10, 100, 30);
+  const HomogeneousProfile profile(r);
+  EXPECT_DOUBLE_EQ(profile.LinkDemand(0).mean, 0);
+  EXPECT_DOUBLE_EQ(profile.LinkDemand(10).mean, 0);
+  EXPECT_DOUBLE_EQ(profile.LinkDemand(0).variance, 0);
+}
+
+TEST(HomogeneousProfile, SymmetricInSplit) {
+  const Request r = Request::Homogeneous(1, 10, 100, 30);
+  const HomogeneousProfile profile(r);
+  for (int m = 0; m <= 10; ++m) {
+    EXPECT_NEAR(profile.LinkDemand(m).mean, profile.LinkDemand(10 - m).mean,
+                1e-9);
+    EXPECT_NEAR(profile.LinkDemand(m).variance,
+                profile.LinkDemand(10 - m).variance, 1e-9);
+  }
+}
+
+TEST(HomogeneousProfile, DeterministicIsMinTimesB) {
+  // Deterministic <N=6, B=10>: link demand is min(m, N-m) * 10 (Fig. 3).
+  const Request r = Request::Deterministic(1, 6, 10);
+  const HomogeneousProfile profile(r);
+  EXPECT_TRUE(profile.deterministic());
+  EXPECT_DOUBLE_EQ(profile.LinkDemand(2).mean, 20);
+  EXPECT_DOUBLE_EQ(profile.LinkDemand(3).mean, 30);
+  EXPECT_DOUBLE_EQ(profile.LinkDemand(5).mean, 10);
+  EXPECT_DOUBLE_EQ(profile.LinkDemand(2).variance, 0);
+  // Deterministic contribution goes to DetAdd, not MeanAdd.
+  EXPECT_DOUBLE_EQ(profile.DetAdd(2), 20);
+  EXPECT_DOUBLE_EQ(profile.MeanAdd(2), 0);
+  EXPECT_DOUBLE_EQ(profile.VarAdd(2), 0);
+}
+
+TEST(HomogeneousProfile, StochasticRoutesThroughMeanAdd) {
+  const Request r = Request::Homogeneous(1, 6, 100, 50);
+  const HomogeneousProfile profile(r);
+  EXPECT_FALSE(profile.deterministic());
+  EXPECT_GT(profile.MeanAdd(3), 0);
+  EXPECT_GT(profile.VarAdd(3), 0);
+  EXPECT_DOUBLE_EQ(profile.DetAdd(3), 0);
+}
+
+TEST(HomogeneousProfile, MeanBelowDeterministicEquivalent) {
+  // E[min(X, Y)] <= min(E X, E Y): stochastic profile mean is below the
+  // deterministic min(m, N-m)*mu.
+  const Request r = Request::Homogeneous(1, 8, 100, 60);
+  const HomogeneousProfile profile(r);
+  for (int m = 1; m < 8; ++m) {
+    EXPECT_LE(profile.LinkDemand(m).mean, std::min(m, 8 - m) * 100.0 + 1e-9)
+        << "m=" << m;
+  }
+}
+
+TEST(HomogeneousProfile, MatchesDirectLemma1) {
+  const Request r = Request::Homogeneous(1, 7, 150, 40);
+  const HomogeneousProfile profile(r);
+  for (int m = 1; m < 7; ++m) {
+    const stats::Normal below{150.0 * m, 1600.0 * m};
+    const stats::Normal above{150.0 * (7 - m), 1600.0 * (7 - m)};
+    const stats::Normal expected = stats::MinOfNormals(below, above);
+    EXPECT_NEAR(profile.LinkDemand(m).mean, expected.mean, 1e-9);
+    EXPECT_NEAR(profile.LinkDemand(m).variance, expected.variance, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace svc::core

@@ -1,0 +1,68 @@
+#include "svc/request.h"
+
+#include <gtest/gtest.h>
+
+namespace svc::core {
+namespace {
+
+TEST(Request, HomogeneousFactory) {
+  const Request r = Request::Homogeneous(1, 10, 100, 30);
+  EXPECT_EQ(r.id(), 1);
+  EXPECT_EQ(r.n(), 10);
+  EXPECT_TRUE(r.homogeneous());
+  EXPECT_FALSE(r.deterministic());
+  EXPECT_DOUBLE_EQ(r.demand(0).mean, 100);
+  EXPECT_DOUBLE_EQ(r.demand(7).variance, 900);
+  EXPECT_DOUBLE_EQ(r.total_mean(), 1000);
+  EXPECT_DOUBLE_EQ(r.total_variance(), 9000);
+  EXPECT_TRUE(r.Validate().ok());
+}
+
+TEST(Request, DeterministicFactory) {
+  const Request r = Request::Deterministic(2, 6, 10);
+  EXPECT_TRUE(r.deterministic());
+  EXPECT_TRUE(r.homogeneous());
+  EXPECT_DOUBLE_EQ(r.demand(3).mean, 10);
+  EXPECT_DOUBLE_EQ(r.demand(3).variance, 0);
+  EXPECT_DOUBLE_EQ(r.total_mean(), 60);
+}
+
+TEST(Request, HeterogeneousFactory) {
+  const Request r = Request::Heterogeneous(
+      3, {{100, 400}, {200, 0}, {300, 8100}});
+  EXPECT_EQ(r.n(), 3);
+  EXPECT_FALSE(r.homogeneous());
+  EXPECT_FALSE(r.deterministic());
+  EXPECT_DOUBLE_EQ(r.demand(1).mean, 200);
+  EXPECT_DOUBLE_EQ(r.total_mean(), 600);
+  EXPECT_DOUBLE_EQ(r.total_variance(), 8500);
+}
+
+TEST(Request, HeterogeneousAllZeroVarianceIsDeterministic) {
+  const Request r = Request::Heterogeneous(4, {{10, 0}, {20, 0}});
+  EXPECT_TRUE(r.deterministic());
+}
+
+TEST(Request, SigmaZeroSvcEqualsDeterministicVc) {
+  // The paper: SVC reduces to the Oktopus VC when all sigmas are 0.
+  const Request svc = Request::Homogeneous(5, 8, 100, 0);
+  EXPECT_TRUE(svc.deterministic());
+}
+
+TEST(Request, ValidateRejectsNegativeMoments) {
+  const Request r = Request::Heterogeneous(6, {{-5, 0}});
+  EXPECT_FALSE(r.Validate().ok());
+  EXPECT_EQ(r.Validate().code(), util::ErrorCode::kInvalidArgument);
+}
+
+TEST(Request, DescribeMentionsShape) {
+  const Request hom = Request::Homogeneous(7, 5, 100, 20);
+  EXPECT_NE(hom.Describe().find("N=5"), std::string::npos);
+  const Request det = Request::Deterministic(8, 3, 50);
+  EXPECT_NE(det.Describe().find("deterministic"), std::string::npos);
+  const Request het = Request::Heterogeneous(9, {{1, 1}, {2, 2}});
+  EXPECT_NE(het.Describe().find("heterogeneous"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace svc::core

@@ -1,0 +1,33 @@
+// Shared assertions for allocator tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "svc/manager.h"
+
+namespace svc::core::testing_helpers {
+
+// Asserts the placement places exactly request.n() VMs on real machines and
+// that committing it would keep condition (4) true on every link.
+inline void ExpectPlacementValid(const Request& request,
+                                 const Placement& placement,
+                                 const NetworkManager& manager) {
+  ASSERT_EQ(placement.total_vms(), request.n());
+  std::unordered_map<topology::VertexId, int> counts;
+  for (topology::VertexId machine : placement.vm_machine) {
+    ASSERT_TRUE(manager.topo().is_machine(machine));
+    ++counts[machine];
+  }
+  for (const auto& [machine, count] : counts) {
+    EXPECT_LE(count, manager.slots().free_slots(machine))
+        << "machine " << machine << " over-packed";
+  }
+  for (const LinkDemand& d :
+       manager.ComputeLinkDemands(request, placement)) {
+    EXPECT_TRUE(
+        manager.ledger().ValidWith(d.link, d.mean, d.variance, d.deterministic))
+        << "condition (4) violated on link " << d.link;
+  }
+}
+
+}  // namespace svc::core::testing_helpers

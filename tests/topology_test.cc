@@ -1,0 +1,279 @@
+#include "topology/topology.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "topology/builders.h"
+
+namespace svc::topology {
+namespace {
+
+TEST(Builders, StarShape) {
+  const Topology topo = BuildStar(4, 2, 1000);
+  EXPECT_EQ(topo.num_vertices(), 5);
+  EXPECT_EQ(topo.num_links(), 4);
+  EXPECT_EQ(topo.height(), 1);
+  EXPECT_EQ(topo.machines().size(), 4u);
+  EXPECT_EQ(topo.total_slots(), 8);
+  for (VertexId m : topo.machines()) {
+    EXPECT_TRUE(topo.is_machine(m));
+    EXPECT_EQ(topo.level(m), 0);
+    EXPECT_EQ(topo.parent(m), topo.root());
+    EXPECT_DOUBLE_EQ(topo.uplink_capacity(m), 1000);
+  }
+}
+
+TEST(Builders, ThreeTierPaperScale) {
+  // The paper's evaluation fabric: 1000 machines, oversubscription 2.
+  const Topology topo = BuildThreeTier({});
+  EXPECT_EQ(topo.machines().size(), 1000u);
+  EXPECT_EQ(topo.total_slots(), 4000);
+  // 1 core + 5 agg + 50 ToR + 1000 machines.
+  EXPECT_EQ(topo.num_vertices(), 1056);
+  EXPECT_EQ(topo.height(), 3);
+  // Link capacities: 1 Gbps machine, 10 Gbps ToR uplink, 50 Gbps agg uplink.
+  const VertexId machine = topo.machines()[0];
+  EXPECT_DOUBLE_EQ(topo.uplink_capacity(machine), 1000);
+  const VertexId tor = topo.parent(machine);
+  EXPECT_DOUBLE_EQ(topo.uplink_capacity(tor), 10000);
+  const VertexId agg = topo.parent(tor);
+  EXPECT_DOUBLE_EQ(topo.uplink_capacity(agg), 50000);
+  EXPECT_EQ(topo.parent(agg), topo.root());
+}
+
+TEST(Builders, OversubscriptionScalesUplinks) {
+  ThreeTierConfig config;
+  config.oversubscription = 4;
+  const Topology topo = BuildThreeTier(config);
+  const VertexId tor = topo.parent(topo.machines()[0]);
+  EXPECT_DOUBLE_EQ(topo.uplink_capacity(tor), 5000);       // 20 Gbps / 4
+  EXPECT_DOUBLE_EQ(topo.uplink_capacity(topo.parent(tor)), 12500);
+}
+
+TEST(Builders, TwoTier) {
+  const Topology topo = BuildTwoTier(3, 4, 2, 1000, 2.0);
+  EXPECT_EQ(topo.machines().size(), 12u);
+  EXPECT_EQ(topo.height(), 2);
+  const VertexId rack = topo.parent(topo.machines()[0]);
+  EXPECT_DOUBLE_EQ(topo.uplink_capacity(rack), 2000);
+}
+
+TEST(Topology, LevelsAreSubtreeHeights) {
+  const Topology topo = BuildThreeTier({});
+  EXPECT_EQ(topo.level(topo.root()), 3);
+  EXPECT_EQ(topo.vertices_at_level(0).size(), 1000u);
+  EXPECT_EQ(topo.vertices_at_level(1).size(), 50u);
+  EXPECT_EQ(topo.vertices_at_level(2).size(), 5u);
+  EXPECT_EQ(topo.vertices_at_level(3).size(), 1u);
+}
+
+TEST(Topology, DepthsFromRoot) {
+  const Topology topo = BuildThreeTier({});
+  EXPECT_EQ(topo.depth(topo.root()), 0);
+  EXPECT_EQ(topo.depth(topo.machines()[0]), 3);
+}
+
+TEST(Topology, MachinesUnder) {
+  const Topology topo = BuildThreeTier({});
+  const VertexId tor = topo.parent(topo.machines()[0]);
+  EXPECT_EQ(topo.MachinesUnder(tor).size(), 20u);
+  const VertexId agg = topo.parent(tor);
+  EXPECT_EQ(topo.MachinesUnder(agg).size(), 200u);
+  EXPECT_EQ(topo.MachinesUnder(topo.root()).size(), 1000u);
+  EXPECT_EQ(topo.MachinesUnder(topo.machines()[5]).size(), 1u);
+}
+
+TEST(Topology, PathLinksSameMachineEmpty) {
+  const Topology topo = BuildThreeTier({});
+  std::vector<VertexId> path;
+  topo.PathLinks(topo.machines()[0], topo.machines()[0], path);
+  EXPECT_TRUE(path.empty());
+}
+
+TEST(Topology, PathLinksSameRack) {
+  const Topology topo = BuildThreeTier({});
+  std::vector<VertexId> path;
+  const VertexId a = topo.machines()[0];
+  const VertexId b = topo.machines()[1];
+  topo.PathLinks(a, b, path);
+  // Two machine uplinks through the shared ToR.
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_TRUE((path[0] == a && path[1] == b) ||
+              (path[0] == b && path[1] == a));
+}
+
+TEST(Topology, PathLinksCrossAggregation) {
+  const Topology topo = BuildThreeTier({});
+  const VertexId a = topo.machines()[0];     // first agg group
+  const VertexId b = topo.machines()[999];   // last agg group
+  std::vector<VertexId> path;
+  topo.PathLinks(a, b, path);
+  // machine + ToR + agg on each side = 6 links through the core.
+  EXPECT_EQ(path.size(), 6u);
+  // No duplicates.
+  std::vector<VertexId> sorted = path;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(Topology, PathLinksSameAggDifferentRacks) {
+  const Topology topo = BuildThreeTier({});
+  const VertexId a = topo.machines()[0];
+  const VertexId b = topo.machines()[20];  // next rack, same agg
+  std::vector<VertexId> path;
+  topo.PathLinks(a, b, path);
+  EXPECT_EQ(path.size(), 4u);  // 2 machine links + 2 ToR uplinks
+}
+
+TEST(Topology, PathLinksDirectedEncoding) {
+  const Topology topo = BuildThreeTier({});
+  const VertexId a = topo.machines()[0];
+  const VertexId b = topo.machines()[1];  // same rack
+  std::vector<int32_t> path;
+  topo.PathLinksDirected(a, b, path);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], Topology::UpLink(a));
+  EXPECT_EQ(path[1], Topology::DownLink(b));
+}
+
+TEST(Topology, PathLinksDirectedAsymmetric) {
+  // a -> b and b -> a use opposite halves of every link.
+  const Topology topo = BuildThreeTier({});
+  const VertexId a = topo.machines()[0];
+  const VertexId b = topo.machines()[999];
+  std::vector<int32_t> forward, backward;
+  topo.PathLinksDirected(a, b, forward);
+  topo.PathLinksDirected(b, a, backward);
+  ASSERT_EQ(forward.size(), 6u);
+  ASSERT_EQ(backward.size(), 6u);
+  std::set<int32_t> f(forward.begin(), forward.end());
+  for (int32_t link : backward) {
+    EXPECT_EQ(f.count(link), 0u) << "direction halves must not overlap";
+    // But the opposite half of the same physical link is used.
+    EXPECT_EQ(f.count(link ^ 1), 1u);
+  }
+}
+
+TEST(Topology, PathLinksDirectedSameMachineEmpty) {
+  const Topology topo = BuildStar(2, 2, 100);
+  std::vector<int32_t> path;
+  topo.PathLinksDirected(topo.machines()[0], topo.machines()[0], path);
+  EXPECT_TRUE(path.empty());
+}
+
+TEST(Trunking, DefaultWidthOne) {
+  const Topology topo = BuildStar(2, 2, 100);
+  for (VertexId v = 1; v < topo.num_vertices(); ++v) {
+    EXPECT_EQ(topo.trunk_width(v), 1);
+    EXPECT_DOUBLE_EQ(topo.cable_capacity(v), 100);
+  }
+  // One up + one down slot per vertex (root slots unused).
+  EXPECT_EQ(topo.directed_cable_slots(), 2 * topo.num_vertices());
+}
+
+TEST(Trunking, CableCapacitySplitsAggregate) {
+  ThreeTierConfig config;
+  config.racks = 2;
+  config.machines_per_rack = 2;
+  config.racks_per_agg = 2;
+  config.tor_trunk = 4;
+  const Topology topo = BuildThreeTier(config);
+  const VertexId tor = topo.parent(topo.machines()[0]);
+  EXPECT_EQ(topo.trunk_width(tor), 4);
+  EXPECT_DOUBLE_EQ(topo.uplink_capacity(tor), 1000);  // 2 Gbps / oversub 2
+  EXPECT_DOUBLE_EQ(topo.cable_capacity(tor), 250);
+  std::vector<double> capacity;
+  topo.FillCableCapacities(capacity);
+  ASSERT_EQ(static_cast<int>(capacity.size()), topo.directed_cable_slots());
+  double total = 0;
+  for (int cable = 0; cable < 4; ++cable) {
+    total += capacity[topo.DirectedCableSlot(tor, true, cable)];
+  }
+  EXPECT_DOUBLE_EQ(total, 1000);
+}
+
+TEST(Trunking, FlowHashPinsCableDeterministically) {
+  ThreeTierConfig config;
+  config.racks = 2;
+  config.machines_per_rack = 2;
+  config.racks_per_agg = 2;
+  config.tor_trunk = 4;
+  config.agg_trunk = 2;
+  const Topology topo = BuildThreeTier(config);
+  const VertexId a = topo.machines()[0];
+  const VertexId b = topo.machines()[3];  // other rack
+  std::vector<int32_t> path1, path2, path3;
+  topo.PathCablesDirected(a, b, 12345, path1);
+  topo.PathCablesDirected(a, b, 12345, path2);
+  topo.PathCablesDirected(a, b, 99999, path3);
+  EXPECT_EQ(path1, path2);  // same flow -> same cables
+  EXPECT_EQ(path1.size(), 4u);  // machine up, ToR up, ToR down, machine down
+  // Different flows spread across cables at least sometimes.
+  bool any_spread = false;
+  for (uint64_t h = 0; h < 32 && !any_spread; ++h) {
+    std::vector<int32_t> p;
+    topo.PathCablesDirected(a, b, h, p);
+    any_spread = (p != path1);
+  }
+  EXPECT_TRUE(any_spread);
+}
+
+TEST(Trunking, CableSlotsDisjointAcrossVertices) {
+  ThreeTierConfig config;
+  config.racks = 2;
+  config.machines_per_rack = 3;
+  config.racks_per_agg = 2;
+  config.tor_trunk = 3;
+  const Topology topo = BuildThreeTier(config);
+  std::set<int32_t> seen;
+  for (VertexId v = 0; v < topo.num_vertices(); ++v) {
+    for (int cable = 0; cable < topo.trunk_width(v); ++cable) {
+      for (bool up : {true, false}) {
+        const int32_t slot = topo.DirectedCableSlot(v, up, cable);
+        EXPECT_TRUE(seen.insert(slot).second) << "slot reused: " << slot;
+        EXPECT_GE(slot, 0);
+        EXPECT_LT(slot, topo.directed_cable_slots());
+      }
+    }
+  }
+}
+
+TEST(Topology, IsInSubtree) {
+  const Topology topo = BuildThreeTier({});
+  const VertexId machine = topo.machines()[0];
+  const VertexId tor = topo.parent(machine);
+  EXPECT_TRUE(topo.IsInSubtree(machine, tor));
+  EXPECT_TRUE(topo.IsInSubtree(machine, topo.root()));
+  EXPECT_TRUE(topo.IsInSubtree(tor, tor));
+  EXPECT_FALSE(topo.IsInSubtree(tor, machine));
+  EXPECT_FALSE(topo.IsInSubtree(topo.machines()[999], tor));
+}
+
+TEST(Topology, CustomTreeConstruction) {
+  Topology topo;
+  const VertexId root = topo.AddVertex(kNoVertex, 0, 0);
+  const VertexId sw = topo.AddVertex(root, 100, 0);
+  const VertexId m1 = topo.AddVertex(sw, 10, 3);
+  const VertexId m2 = topo.AddVertex(root, 10, 1);  // uneven depths
+  topo.Finalize();
+  EXPECT_EQ(topo.height(), 2);
+  EXPECT_EQ(topo.level(m1), 0);
+  EXPECT_EQ(topo.level(m2), 0);
+  EXPECT_EQ(topo.level(sw), 1);
+  EXPECT_EQ(topo.total_slots(), 4);
+  std::vector<VertexId> path;
+  topo.PathLinks(m1, m2, path);
+  EXPECT_EQ(path.size(), 3u);  // m1, sw, m2 uplinks
+}
+
+TEST(Topology, DescribeMentionsScale) {
+  const Topology topo = BuildStar(4, 2, 1000);
+  const std::string text = topo.Describe();
+  EXPECT_NE(text.find("4 machines"), std::string::npos);
+  EXPECT_NE(text.find("8 VM slots"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace svc::topology

@@ -1,0 +1,175 @@
+#include "workload/workload.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "stats/moments.h"
+
+namespace svc::workload {
+namespace {
+
+TEST(WorkloadGenerator, BatchShapes) {
+  WorkloadConfig config;
+  config.num_jobs = 200;
+  WorkloadGenerator gen(config, 1);
+  const auto jobs = gen.GenerateBatch();
+  ASSERT_EQ(jobs.size(), 200u);
+  stats::RunningMoments sizes;
+  for (const JobSpec& job : jobs) {
+    EXPECT_GE(job.size, config.min_job_size);
+    EXPECT_LE(job.size, config.max_job_size);
+    EXPECT_GE(job.compute_time, 200);
+    EXPECT_LE(job.compute_time, 500);
+    EXPECT_GE(job.rate_mean, 100);
+    EXPECT_LE(job.rate_mean, 500);
+    EXPECT_GE(job.rate_stddev, 0);
+    EXPECT_LE(job.rate_stddev, job.rate_mean);  // rho in (0,1)
+    EXPECT_GT(job.flow_mbits, 0);
+    EXPECT_DOUBLE_EQ(job.arrival_time, 0);
+    sizes.Add(job.size);
+  }
+  EXPECT_NEAR(sizes.mean(), 49, 10);
+}
+
+TEST(WorkloadGenerator, UniqueIds) {
+  WorkloadGenerator gen({.num_jobs = 50}, 2);
+  const auto jobs = gen.GenerateBatch();
+  std::set<int64_t> ids;
+  for (const auto& job : jobs) ids.insert(job.id);
+  EXPECT_EQ(ids.size(), jobs.size());
+}
+
+TEST(WorkloadGenerator, DeterministicPerSeed) {
+  WorkloadGenerator a({.num_jobs = 20}, 99);
+  WorkloadGenerator b({.num_jobs = 20}, 99);
+  const auto ja = a.GenerateBatch();
+  const auto jb = b.GenerateBatch();
+  for (size_t i = 0; i < ja.size(); ++i) {
+    EXPECT_EQ(ja[i].size, jb[i].size);
+    EXPECT_DOUBLE_EQ(ja[i].rate_mean, jb[i].rate_mean);
+    EXPECT_DOUBLE_EQ(ja[i].compute_time, jb[i].compute_time);
+  }
+}
+
+TEST(WorkloadGenerator, FixedDeviationPinsSigma) {
+  WorkloadConfig config;
+  config.num_jobs = 30;
+  config.fixed_deviation = 0.5;
+  WorkloadGenerator gen(config, 3);
+  for (const JobSpec& job : gen.GenerateBatch()) {
+    EXPECT_DOUBLE_EQ(job.rate_stddev, 0.5 * job.rate_mean);
+  }
+}
+
+TEST(WorkloadGenerator, RateMeansFromMenu) {
+  WorkloadGenerator gen({.num_jobs = 200}, 4);
+  for (const JobSpec& job : gen.GenerateBatch()) {
+    const double r = job.rate_mean;
+    EXPECT_TRUE(r == 100 || r == 200 || r == 300 || r == 400 || r == 500)
+        << r;
+  }
+}
+
+TEST(WorkloadGenerator, OnlineArrivalsMatchLoad) {
+  WorkloadConfig config;
+  config.num_jobs = 2000;
+  WorkloadGenerator gen(config, 5);
+  const double load = 0.6;
+  const int total_slots = 4000;
+  const auto jobs = gen.GenerateOnline(load, total_slots);
+  ASSERT_EQ(jobs.size(), 2000u);
+  // Arrival times strictly increasing.
+  for (size_t i = 1; i < jobs.size(); ++i) {
+    EXPECT_GT(jobs[i].arrival_time, jobs[i - 1].arrival_time);
+  }
+  // Empirical rate ~= lambda = load * M / (meanN * meanTc).
+  const double lambda_expected = load * total_slots / (49.0 * 350.0);
+  const double lambda_observed =
+      static_cast<double>(jobs.size()) / jobs.back().arrival_time;
+  EXPECT_NEAR(lambda_observed, lambda_expected, 0.1 * lambda_expected);
+}
+
+TEST(MakeRequest, SvcCarriesDistribution) {
+  JobSpec job;
+  job.id = 7;
+  job.size = 10;
+  job.rate_mean = 300;
+  job.rate_stddev = 150;
+  const core::Request r = MakeRequest(job, Abstraction::kSvc);
+  EXPECT_FALSE(r.deterministic());
+  EXPECT_DOUBLE_EQ(r.demand(0).mean, 300);
+  EXPECT_DOUBLE_EQ(r.demand(0).variance, 150 * 150);
+}
+
+TEST(MakeRequest, MeanVcIsDeterministicMean) {
+  JobSpec job;
+  job.size = 5;
+  job.rate_mean = 200;
+  job.rate_stddev = 100;
+  const core::Request r = MakeRequest(job, Abstraction::kMeanVc);
+  EXPECT_TRUE(r.deterministic());
+  EXPECT_DOUBLE_EQ(r.demand(0).mean, 200);
+}
+
+TEST(MakeRequest, PercentileVcReservesQ95) {
+  JobSpec job;
+  job.size = 5;
+  job.rate_mean = 200;
+  job.rate_stddev = 100;
+  const core::Request r = MakeRequest(job, Abstraction::kPercentileVc);
+  EXPECT_TRUE(r.deterministic());
+  EXPECT_NEAR(r.demand(0).mean, 200 + 100 * 1.6448536269514722, 1e-9);
+}
+
+TEST(RateCap, MatchesAbstraction) {
+  JobSpec job;
+  job.rate_mean = 200;
+  job.rate_stddev = 100;
+  EXPECT_TRUE(std::isinf(RateCap(job, Abstraction::kSvc)));
+  EXPECT_DOUBLE_EQ(RateCap(job, Abstraction::kMeanVc), 200);
+  EXPECT_NEAR(RateCap(job, Abstraction::kPercentileVc),
+              200 + 100 * 1.6448536269514722, 1e-9);
+}
+
+TEST(WorkloadGenerator, HeterogeneousModePopulatesPerVmDemands) {
+  WorkloadConfig config;
+  config.num_jobs = 40;
+  config.heterogeneous = true;
+  WorkloadGenerator gen(config, 6);
+  for (const JobSpec& job : gen.GenerateBatch()) {
+    ASSERT_EQ(static_cast<int>(job.vm_demands.size()), job.size);
+    double mean_sum = 0;
+    for (const auto& d : job.vm_demands) {
+      EXPECT_GE(d.mean, 100);
+      EXPECT_LE(d.mean, 500);
+      EXPECT_GE(d.variance, 0);
+      mean_sum += d.mean;
+    }
+    // flow length re-derived from the per-VM average rate.
+    EXPECT_NEAR(job.rate_mean, mean_sum / job.size, 1e-9);
+    EXPECT_GT(job.flow_mbits, 0);
+  }
+}
+
+TEST(MakeRequest, HeterogeneousJobYieldsHeterogeneousSvc) {
+  JobSpec job;
+  job.id = 3;
+  job.size = 2;
+  job.rate_mean = 100;
+  job.vm_demands = {{50, 25}, {150, 225}};
+  const core::Request r = MakeRequest(job, Abstraction::kSvc);
+  EXPECT_FALSE(r.homogeneous());
+  EXPECT_DOUBLE_EQ(r.demand(0).mean, 50);
+  EXPECT_DOUBLE_EQ(r.demand(1).variance, 225);
+}
+
+TEST(Abstraction, Names) {
+  EXPECT_STREQ(ToString(Abstraction::kSvc), "SVC");
+  EXPECT_STREQ(ToString(Abstraction::kMeanVc), "mean-VC");
+  EXPECT_STREQ(ToString(Abstraction::kPercentileVc), "percentile-VC");
+}
+
+}  // namespace
+}  // namespace svc::workload

@@ -1,0 +1,95 @@
+// Workload trace persistence: exact round-trips and malformed-input
+// rejection.
+#include "workload/trace.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace svc::workload {
+namespace {
+
+TEST(WorkloadTrace, RoundTripHomogeneous) {
+  WorkloadConfig config;
+  config.num_jobs = 25;
+  WorkloadGenerator gen(config, 3);
+  const auto jobs = gen.GenerateOnline(0.5, 4000);
+
+  std::stringstream buffer;
+  SaveJobs(jobs, buffer);
+  auto loaded = LoadJobs(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToText();
+  ASSERT_EQ(loaded->size(), jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].id, jobs[i].id);
+    EXPECT_EQ((*loaded)[i].size, jobs[i].size);
+    EXPECT_DOUBLE_EQ((*loaded)[i].compute_time, jobs[i].compute_time);
+    EXPECT_DOUBLE_EQ((*loaded)[i].rate_mean, jobs[i].rate_mean);
+    EXPECT_DOUBLE_EQ((*loaded)[i].rate_stddev, jobs[i].rate_stddev);
+    EXPECT_DOUBLE_EQ((*loaded)[i].flow_mbits, jobs[i].flow_mbits);
+    EXPECT_DOUBLE_EQ((*loaded)[i].arrival_time, jobs[i].arrival_time);
+    EXPECT_EQ((*loaded)[i].rate_distribution, jobs[i].rate_distribution);
+  }
+}
+
+TEST(WorkloadTrace, RoundTripHeterogeneousAndLogNormal) {
+  WorkloadConfig config;
+  config.num_jobs = 10;
+  config.heterogeneous = true;
+  config.rate_distribution = RateDistribution::kLogNormal;
+  WorkloadGenerator gen(config, 5);
+  const auto jobs = gen.GenerateBatch();
+
+  std::stringstream buffer;
+  SaveJobs(jobs, buffer);
+  auto loaded = LoadJobs(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToText();
+  ASSERT_EQ(loaded->size(), jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_EQ((*loaded)[i].vm_demands.size(), jobs[i].vm_demands.size());
+    for (size_t k = 0; k < jobs[i].vm_demands.size(); ++k) {
+      EXPECT_DOUBLE_EQ((*loaded)[i].vm_demands[k].mean,
+                       jobs[i].vm_demands[k].mean);
+      EXPECT_DOUBLE_EQ((*loaded)[i].vm_demands[k].variance,
+                       jobs[i].vm_demands[k].variance);
+    }
+    EXPECT_EQ((*loaded)[i].rate_distribution, RateDistribution::kLogNormal);
+  }
+}
+
+TEST(WorkloadTrace, EmptyListRoundTrips) {
+  std::stringstream buffer;
+  SaveJobs({}, buffer);
+  auto loaded = LoadJobs(buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST(WorkloadTrace, MalformedInputsRejected) {
+  for (const char* text : {
+           "garbage\n",
+           "svc-workload v1\nnope 3\n",
+           "svc-workload v1\njobs 1\n",  // truncated
+           "svc-workload v1\njobs 1\njob 1 0 10 100 10 500 0 normal\n",
+           "svc-workload v1\njobs 1\njob 1 2 10 100 10 500 0 weird\n",
+           "svc-workload v1\njobs 1\njob 1 2 10 100 10 500 0 normal 5:1\n",
+           "svc-workload v1\njobs 1\njob 1 2 10 100 10 500 0 normal a:b c:d\n",
+       }) {
+    std::stringstream buffer(text);
+    EXPECT_FALSE(LoadJobs(buffer).ok()) << text;
+  }
+}
+
+TEST(WorkloadTrace, FileRoundTrip) {
+  WorkloadGenerator gen({.num_jobs = 5}, 9);
+  const auto jobs = gen.GenerateBatch();
+  const std::string path = ::testing::TempDir() + "/workload_trace.txt";
+  ASSERT_TRUE(SaveJobsToFile(jobs, path).ok());
+  auto loaded = LoadJobsFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 5u);
+  EXPECT_FALSE(LoadJobsFromFile("/nonexistent/trace.txt").ok());
+}
+
+}  // namespace
+}  // namespace svc::workload
