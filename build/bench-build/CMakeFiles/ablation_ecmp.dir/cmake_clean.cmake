@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_ecmp"
+  "../bench/ablation_ecmp.pdb"
+  "CMakeFiles/ablation_ecmp.dir/ablation_ecmp.cc.o"
+  "CMakeFiles/ablation_ecmp.dir/ablation_ecmp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ecmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

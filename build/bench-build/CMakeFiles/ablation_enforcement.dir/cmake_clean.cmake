@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_enforcement"
+  "../bench/ablation_enforcement.pdb"
+  "CMakeFiles/ablation_enforcement.dir/ablation_enforcement.cc.o"
+  "CMakeFiles/ablation_enforcement.dir/ablation_enforcement.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_enforcement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_locality"
+  "../bench/ablation_locality.pdb"
+  "CMakeFiles/ablation_locality.dir/ablation_locality.cc.o"
+  "CMakeFiles/ablation_locality.dir/ablation_locality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

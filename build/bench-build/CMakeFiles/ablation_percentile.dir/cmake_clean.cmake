@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_percentile"
+  "../bench/ablation_percentile.pdb"
+  "CMakeFiles/ablation_percentile.dir/ablation_percentile.cc.o"
+  "CMakeFiles/ablation_percentile.dir/ablation_percentile.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_percentile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/alloc_microbench"
+  "../bench/alloc_microbench.pdb"
+  "CMakeFiles/alloc_microbench.dir/alloc_microbench.cc.o"
+  "CMakeFiles/alloc_microbench.dir/alloc_microbench.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

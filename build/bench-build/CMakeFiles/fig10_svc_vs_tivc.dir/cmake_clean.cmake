@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_svc_vs_tivc"
+  "../bench/fig10_svc_vs_tivc.pdb"
+  "CMakeFiles/fig10_svc_vs_tivc.dir/fig10_svc_vs_tivc.cc.o"
+  "CMakeFiles/fig10_svc_vs_tivc.dir/fig10_svc_vs_tivc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_svc_vs_tivc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

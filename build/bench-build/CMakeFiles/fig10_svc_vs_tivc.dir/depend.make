@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_svc_vs_tivc.
+# This may be replaced when dependencies are built.

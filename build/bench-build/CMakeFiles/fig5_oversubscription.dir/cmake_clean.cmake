@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_oversubscription"
+  "../bench/fig5_oversubscription.pdb"
+  "CMakeFiles/fig5_oversubscription.dir/fig5_oversubscription.cc.o"
+  "CMakeFiles/fig5_oversubscription.dir/fig5_oversubscription.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_oversubscription.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_deviation"
+  "../bench/fig6_deviation.pdb"
+  "CMakeFiles/fig6_deviation.dir/fig6_deviation.cc.o"
+  "CMakeFiles/fig6_deviation.dir/fig6_deviation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_deviation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_rejection"
+  "../bench/fig7_rejection.pdb"
+  "CMakeFiles/fig7_rejection.dir/fig7_rejection.cc.o"
+  "CMakeFiles/fig7_rejection.dir/fig7_rejection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_rejection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

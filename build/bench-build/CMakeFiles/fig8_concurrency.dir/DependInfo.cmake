@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8_concurrency.cc" "bench-build/CMakeFiles/fig8_concurrency.dir/fig8_concurrency.cc.o" "gcc" "bench-build/CMakeFiles/fig8_concurrency.dir/fig8_concurrency.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/svc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/enforce/CMakeFiles/svc_enforce.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/svc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/svc/CMakeFiles/svc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/svc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/svc_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/svc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/svc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_concurrency"
+  "../bench/fig8_concurrency.pdb"
+  "CMakeFiles/fig8_concurrency.dir/fig8_concurrency.cc.o"
+  "CMakeFiles/fig8_concurrency.dir/fig8_concurrency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_occupancy_cdf"
+  "../bench/fig9_occupancy_cdf.pdb"
+  "CMakeFiles/fig9_occupancy_cdf.dir/fig9_occupancy_cdf.cc.o"
+  "CMakeFiles/fig9_occupancy_cdf.dir/fig9_occupancy_cdf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_occupancy_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/guarantee_validation"
+  "../bench/guarantee_validation.pdb"
+  "CMakeFiles/guarantee_validation.dir/guarantee_validation.cc.o"
+  "CMakeFiles/guarantee_validation.dir/guarantee_validation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guarantee_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

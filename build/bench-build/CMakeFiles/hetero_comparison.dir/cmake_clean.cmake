@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/hetero_comparison"
+  "../bench/hetero_comparison.pdb"
+  "CMakeFiles/hetero_comparison.dir/hetero_comparison.cc.o"
+  "CMakeFiles/hetero_comparison.dir/hetero_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

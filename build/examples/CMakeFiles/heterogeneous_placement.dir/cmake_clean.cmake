@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_placement.dir/heterogeneous_placement.cc.o"
+  "CMakeFiles/heterogeneous_placement.dir/heterogeneous_placement.cc.o.d"
+  "heterogeneous_placement"
+  "heterogeneous_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiling_to_svc.dir/profiling_to_svc.cc.o"
+  "CMakeFiles/profiling_to_svc.dir/profiling_to_svc.cc.o.d"
+  "profiling_to_svc"
+  "profiling_to_svc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiling_to_svc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cli/interpreter.cc" "src/cli/CMakeFiles/svc_cli.dir/interpreter.cc.o" "gcc" "src/cli/CMakeFiles/svc_cli.dir/interpreter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/svc/CMakeFiles/svc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/svc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/svc_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/svc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/svc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

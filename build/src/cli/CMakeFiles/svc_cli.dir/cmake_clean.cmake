@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_cli.dir/interpreter.cc.o"
+  "CMakeFiles/svc_cli.dir/interpreter.cc.o.d"
+  "libsvc_cli.a"
+  "libsvc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

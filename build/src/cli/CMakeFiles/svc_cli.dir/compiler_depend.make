@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for svc_cli.
+# This may be replaced when dependencies are built.

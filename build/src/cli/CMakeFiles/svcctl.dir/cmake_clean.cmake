@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svcctl.dir/svcctl.cc.o"
+  "CMakeFiles/svcctl.dir/svcctl.cc.o.d"
+  "svcctl"
+  "svcctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svcctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_enforce.dir/token_bucket.cc.o"
+  "CMakeFiles/svc_enforce.dir/token_bucket.cc.o.d"
+  "libsvc_enforce.a"
+  "libsvc_enforce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_enforce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

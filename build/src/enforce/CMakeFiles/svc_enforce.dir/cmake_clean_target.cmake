@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsvc_enforce.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for svc_enforce.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/admission.cc" "src/net/CMakeFiles/svc_net.dir/admission.cc.o" "gcc" "src/net/CMakeFiles/svc_net.dir/admission.cc.o.d"
+  "/root/repo/src/net/link_ledger.cc" "src/net/CMakeFiles/svc_net.dir/link_ledger.cc.o" "gcc" "src/net/CMakeFiles/svc_net.dir/link_ledger.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/svc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/svc_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/svc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_net.dir/admission.cc.o"
+  "CMakeFiles/svc_net.dir/admission.cc.o.d"
+  "CMakeFiles/svc_net.dir/link_ledger.cc.o"
+  "CMakeFiles/svc_net.dir/link_ledger.cc.o.d"
+  "libsvc_net.a"
+  "libsvc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_profile.dir/estimator.cc.o"
+  "CMakeFiles/svc_profile.dir/estimator.cc.o.d"
+  "CMakeFiles/svc_profile.dir/synthesize.cc.o"
+  "CMakeFiles/svc_profile.dir/synthesize.cc.o.d"
+  "CMakeFiles/svc_profile.dir/usage_trace.cc.o"
+  "CMakeFiles/svc_profile.dir/usage_trace.cc.o.d"
+  "libsvc_profile.a"
+  "libsvc_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_sim.dir/engine.cc.o"
+  "CMakeFiles/svc_sim.dir/engine.cc.o.d"
+  "CMakeFiles/svc_sim.dir/event_log.cc.o"
+  "CMakeFiles/svc_sim.dir/event_log.cc.o.d"
+  "CMakeFiles/svc_sim.dir/max_min.cc.o"
+  "CMakeFiles/svc_sim.dir/max_min.cc.o.d"
+  "CMakeFiles/svc_sim.dir/metrics.cc.o"
+  "CMakeFiles/svc_sim.dir/metrics.cc.o.d"
+  "libsvc_sim.a"
+  "libsvc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

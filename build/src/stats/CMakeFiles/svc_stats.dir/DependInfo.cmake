@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/distributions.cc" "src/stats/CMakeFiles/svc_stats.dir/distributions.cc.o" "gcc" "src/stats/CMakeFiles/svc_stats.dir/distributions.cc.o.d"
+  "/root/repo/src/stats/ecdf.cc" "src/stats/CMakeFiles/svc_stats.dir/ecdf.cc.o" "gcc" "src/stats/CMakeFiles/svc_stats.dir/ecdf.cc.o.d"
+  "/root/repo/src/stats/lognormal.cc" "src/stats/CMakeFiles/svc_stats.dir/lognormal.cc.o" "gcc" "src/stats/CMakeFiles/svc_stats.dir/lognormal.cc.o.d"
+  "/root/repo/src/stats/min_normal.cc" "src/stats/CMakeFiles/svc_stats.dir/min_normal.cc.o" "gcc" "src/stats/CMakeFiles/svc_stats.dir/min_normal.cc.o.d"
+  "/root/repo/src/stats/moments.cc" "src/stats/CMakeFiles/svc_stats.dir/moments.cc.o" "gcc" "src/stats/CMakeFiles/svc_stats.dir/moments.cc.o.d"
+  "/root/repo/src/stats/normal.cc" "src/stats/CMakeFiles/svc_stats.dir/normal.cc.o" "gcc" "src/stats/CMakeFiles/svc_stats.dir/normal.cc.o.d"
+  "/root/repo/src/stats/rng.cc" "src/stats/CMakeFiles/svc_stats.dir/rng.cc.o" "gcc" "src/stats/CMakeFiles/svc_stats.dir/rng.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/svc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

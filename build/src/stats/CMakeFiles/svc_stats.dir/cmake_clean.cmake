@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_stats.dir/distributions.cc.o"
+  "CMakeFiles/svc_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/svc_stats.dir/ecdf.cc.o"
+  "CMakeFiles/svc_stats.dir/ecdf.cc.o.d"
+  "CMakeFiles/svc_stats.dir/lognormal.cc.o"
+  "CMakeFiles/svc_stats.dir/lognormal.cc.o.d"
+  "CMakeFiles/svc_stats.dir/min_normal.cc.o"
+  "CMakeFiles/svc_stats.dir/min_normal.cc.o.d"
+  "CMakeFiles/svc_stats.dir/moments.cc.o"
+  "CMakeFiles/svc_stats.dir/moments.cc.o.d"
+  "CMakeFiles/svc_stats.dir/normal.cc.o"
+  "CMakeFiles/svc_stats.dir/normal.cc.o.d"
+  "CMakeFiles/svc_stats.dir/rng.cc.o"
+  "CMakeFiles/svc_stats.dir/rng.cc.o.d"
+  "libsvc_stats.a"
+  "libsvc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

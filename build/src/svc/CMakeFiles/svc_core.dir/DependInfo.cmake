@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/svc/demand_profile.cc" "src/svc/CMakeFiles/svc_core.dir/demand_profile.cc.o" "gcc" "src/svc/CMakeFiles/svc_core.dir/demand_profile.cc.o.d"
+  "/root/repo/src/svc/first_fit.cc" "src/svc/CMakeFiles/svc_core.dir/first_fit.cc.o" "gcc" "src/svc/CMakeFiles/svc_core.dir/first_fit.cc.o.d"
+  "/root/repo/src/svc/hetero_exact.cc" "src/svc/CMakeFiles/svc_core.dir/hetero_exact.cc.o" "gcc" "src/svc/CMakeFiles/svc_core.dir/hetero_exact.cc.o.d"
+  "/root/repo/src/svc/hetero_heuristic.cc" "src/svc/CMakeFiles/svc_core.dir/hetero_heuristic.cc.o" "gcc" "src/svc/CMakeFiles/svc_core.dir/hetero_heuristic.cc.o.d"
+  "/root/repo/src/svc/homogeneous_search.cc" "src/svc/CMakeFiles/svc_core.dir/homogeneous_search.cc.o" "gcc" "src/svc/CMakeFiles/svc_core.dir/homogeneous_search.cc.o.d"
+  "/root/repo/src/svc/manager.cc" "src/svc/CMakeFiles/svc_core.dir/manager.cc.o" "gcc" "src/svc/CMakeFiles/svc_core.dir/manager.cc.o.d"
+  "/root/repo/src/svc/oktopus_greedy.cc" "src/svc/CMakeFiles/svc_core.dir/oktopus_greedy.cc.o" "gcc" "src/svc/CMakeFiles/svc_core.dir/oktopus_greedy.cc.o.d"
+  "/root/repo/src/svc/placement.cc" "src/svc/CMakeFiles/svc_core.dir/placement.cc.o" "gcc" "src/svc/CMakeFiles/svc_core.dir/placement.cc.o.d"
+  "/root/repo/src/svc/request.cc" "src/svc/CMakeFiles/svc_core.dir/request.cc.o" "gcc" "src/svc/CMakeFiles/svc_core.dir/request.cc.o.d"
+  "/root/repo/src/svc/slot_map.cc" "src/svc/CMakeFiles/svc_core.dir/slot_map.cc.o" "gcc" "src/svc/CMakeFiles/svc_core.dir/slot_map.cc.o.d"
+  "/root/repo/src/svc/snapshot.cc" "src/svc/CMakeFiles/svc_core.dir/snapshot.cc.o" "gcc" "src/svc/CMakeFiles/svc_core.dir/snapshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/svc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/svc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/svc_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/svc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_core.dir/demand_profile.cc.o"
+  "CMakeFiles/svc_core.dir/demand_profile.cc.o.d"
+  "CMakeFiles/svc_core.dir/first_fit.cc.o"
+  "CMakeFiles/svc_core.dir/first_fit.cc.o.d"
+  "CMakeFiles/svc_core.dir/hetero_exact.cc.o"
+  "CMakeFiles/svc_core.dir/hetero_exact.cc.o.d"
+  "CMakeFiles/svc_core.dir/hetero_heuristic.cc.o"
+  "CMakeFiles/svc_core.dir/hetero_heuristic.cc.o.d"
+  "CMakeFiles/svc_core.dir/homogeneous_search.cc.o"
+  "CMakeFiles/svc_core.dir/homogeneous_search.cc.o.d"
+  "CMakeFiles/svc_core.dir/manager.cc.o"
+  "CMakeFiles/svc_core.dir/manager.cc.o.d"
+  "CMakeFiles/svc_core.dir/oktopus_greedy.cc.o"
+  "CMakeFiles/svc_core.dir/oktopus_greedy.cc.o.d"
+  "CMakeFiles/svc_core.dir/placement.cc.o"
+  "CMakeFiles/svc_core.dir/placement.cc.o.d"
+  "CMakeFiles/svc_core.dir/request.cc.o"
+  "CMakeFiles/svc_core.dir/request.cc.o.d"
+  "CMakeFiles/svc_core.dir/slot_map.cc.o"
+  "CMakeFiles/svc_core.dir/slot_map.cc.o.d"
+  "CMakeFiles/svc_core.dir/snapshot.cc.o"
+  "CMakeFiles/svc_core.dir/snapshot.cc.o.d"
+  "libsvc_core.a"
+  "libsvc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

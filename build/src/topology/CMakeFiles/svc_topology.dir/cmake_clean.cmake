@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_topology.dir/builders.cc.o"
+  "CMakeFiles/svc_topology.dir/builders.cc.o.d"
+  "CMakeFiles/svc_topology.dir/topology.cc.o"
+  "CMakeFiles/svc_topology.dir/topology.cc.o.d"
+  "libsvc_topology.a"
+  "libsvc_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_util.dir/flags.cc.o"
+  "CMakeFiles/svc_util.dir/flags.cc.o.d"
+  "CMakeFiles/svc_util.dir/logging.cc.o"
+  "CMakeFiles/svc_util.dir/logging.cc.o.d"
+  "CMakeFiles/svc_util.dir/strings.cc.o"
+  "CMakeFiles/svc_util.dir/strings.cc.o.d"
+  "CMakeFiles/svc_util.dir/table.cc.o"
+  "CMakeFiles/svc_util.dir/table.cc.o.d"
+  "libsvc_util.a"
+  "libsvc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

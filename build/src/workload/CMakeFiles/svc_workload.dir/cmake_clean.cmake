@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_workload.dir/trace.cc.o"
+  "CMakeFiles/svc_workload.dir/trace.cc.o.d"
+  "CMakeFiles/svc_workload.dir/workload.cc.o"
+  "CMakeFiles/svc_workload.dir/workload.cc.o.d"
+  "libsvc_workload.a"
+  "libsvc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

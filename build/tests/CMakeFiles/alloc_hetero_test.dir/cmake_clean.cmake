@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_hetero_test.dir/alloc_hetero_test.cc.o"
+  "CMakeFiles/alloc_hetero_test.dir/alloc_hetero_test.cc.o.d"
+  "alloc_hetero_test"
+  "alloc_hetero_test.pdb"
+  "alloc_hetero_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_hetero_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

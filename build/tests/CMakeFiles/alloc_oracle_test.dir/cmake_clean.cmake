@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_oracle_test.dir/alloc_oracle_test.cc.o"
+  "CMakeFiles/alloc_oracle_test.dir/alloc_oracle_test.cc.o.d"
+  "alloc_oracle_test"
+  "alloc_oracle_test.pdb"
+  "alloc_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enforce_test.dir/enforce_test.cc.o"
+  "CMakeFiles/enforce_test.dir/enforce_test.cc.o.d"
+  "enforce_test"
+  "enforce_test.pdb"
+  "enforce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enforce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

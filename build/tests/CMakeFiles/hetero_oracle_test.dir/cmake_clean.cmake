@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_oracle_test.dir/hetero_oracle_test.cc.o"
+  "CMakeFiles/hetero_oracle_test.dir/hetero_oracle_test.cc.o.d"
+  "hetero_oracle_test"
+  "hetero_oracle_test.pdb"
+  "hetero_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manager_failure_test.dir/manager_failure_test.cc.o"
+  "CMakeFiles/manager_failure_test.dir/manager_failure_test.cc.o.d"
+  "manager_failure_test"
+  "manager_failure_test.pdb"
+  "manager_failure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manager_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_ledger_test.dir/net_ledger_test.cc.o"
+  "CMakeFiles/net_ledger_test.dir/net_ledger_test.cc.o.d"
+  "net_ledger_test"
+  "net_ledger_test.pdb"
+  "net_ledger_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_ledger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

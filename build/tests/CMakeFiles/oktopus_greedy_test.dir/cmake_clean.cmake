@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oktopus_greedy_test.dir/oktopus_greedy_test.cc.o"
+  "CMakeFiles/oktopus_greedy_test.dir/oktopus_greedy_test.cc.o.d"
+  "oktopus_greedy_test"
+  "oktopus_greedy_test.pdb"
+  "oktopus_greedy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oktopus_greedy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

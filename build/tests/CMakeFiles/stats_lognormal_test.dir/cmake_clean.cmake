@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_lognormal_test.dir/stats_lognormal_test.cc.o"
+  "CMakeFiles/stats_lognormal_test.dir/stats_lognormal_test.cc.o.d"
+  "stats_lognormal_test"
+  "stats_lognormal_test.pdb"
+  "stats_lognormal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_lognormal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

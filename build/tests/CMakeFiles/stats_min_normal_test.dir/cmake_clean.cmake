@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_min_normal_test.dir/stats_min_normal_test.cc.o"
+  "CMakeFiles/stats_min_normal_test.dir/stats_min_normal_test.cc.o.d"
+  "stats_min_normal_test"
+  "stats_min_normal_test.pdb"
+  "stats_min_normal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_min_normal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

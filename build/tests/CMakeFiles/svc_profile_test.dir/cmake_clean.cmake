@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_profile_test.dir/svc_profile_test.cc.o"
+  "CMakeFiles/svc_profile_test.dir/svc_profile_test.cc.o.d"
+  "svc_profile_test"
+  "svc_profile_test.pdb"
+  "svc_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

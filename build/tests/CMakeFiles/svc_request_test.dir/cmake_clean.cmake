@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_request_test.dir/svc_request_test.cc.o"
+  "CMakeFiles/svc_request_test.dir/svc_request_test.cc.o.d"
+  "svc_request_test"
+  "svc_request_test.pdb"
+  "svc_request_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_request_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_trace_test.dir/workload_trace_test.cc.o"
+  "CMakeFiles/workload_trace_test.dir/workload_trace_test.cc.o.d"
+  "workload_trace_test"
+  "workload_trace_test.pdb"
+  "workload_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
