@@ -23,27 +23,45 @@ int main(int argc, char** argv) {
   const topology::Topology topo =
       topology::BuildThreeTier(common.TopologyConfig());
 
-  util::Table table({"rate distribution", "epsilon", "measured outage rate",
-                     "rejection %", "mean running time (s)"});
+  const std::vector<double> epsilon_list = util::ParseDoubleList(epsilons);
+  struct Cell {
+    workload::RateDistribution distribution;
+    double epsilon;
+  };
+  std::vector<Cell> grid;
   for (auto distribution : {workload::RateDistribution::kNormal,
                             workload::RateDistribution::kLogNormal}) {
-    for (double epsilon : util::ParseDoubleList(epsilons)) {
+    for (double epsilon : epsilon_list) grid.push_back({distribution, epsilon});
+  }
+
+  std::vector<std::function<sim::OnlineResult()>> cells;
+  for (const Cell& cell : grid) {
+    cells.push_back([&cell, &common, &topo, &load] {
       workload::WorkloadConfig wconfig = common.WorkloadConfig();
-      wconfig.rate_distribution = distribution;
+      wconfig.rate_distribution = cell.distribution;
       workload::WorkloadGenerator gen(wconfig, common.seed());
       auto jobs = gen.GenerateOnline(load, topo.total_slots());
-      const auto result = bench::RunOnline(
-          topo, std::move(jobs), workload::Abstraction::kSvc,
-          bench::AllocatorFor(workload::Abstraction::kSvc), epsilon,
-          common.seed() + 1);
-      table.AddRow(
-          {distribution == workload::RateDistribution::kNormal ? "normal"
-                                                               : "lognormal",
-           util::Table::Num(epsilon, 2),
-           util::Table::Num(result.outage.OutageRate(), 5),
-           util::Table::Num(100 * result.RejectionRate(), 2),
-           util::Table::Num(result.MeanRunningTime(), 1)});
-    }
+      return bench::RunOnline(topo, std::move(jobs),
+                              workload::Abstraction::kSvc,
+                              bench::AllocatorFor(workload::Abstraction::kSvc),
+                              cell.epsilon, common.seed() + 1);
+    });
+  }
+  sim::SweepRunner runner(common.threads());
+  const auto results = runner.Run(std::move(cells));
+
+  util::Table table({"rate distribution", "epsilon", "measured outage rate",
+                     "rejection %", "mean running time (s)"});
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const sim::OnlineResult& result = results[i];
+    table.AddRow(
+        {grid[i].distribution == workload::RateDistribution::kNormal
+             ? "normal"
+             : "lognormal",
+         util::Table::Num(grid[i].epsilon, 2),
+         util::Table::Num(result.outage.OutageRate(), 5),
+         util::Table::Num(100 * result.RejectionRate(), 2),
+         util::Table::Num(result.MeanRunningTime(), 1)});
   }
   bench::EmitTable(
       "Ablation: SVC admission with normal vs lognormal demands", table,

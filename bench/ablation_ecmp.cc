@@ -24,20 +24,31 @@ int main(int argc, char** argv) {
   bool& csv = flags.Bool("csv", false, "also print CSV");
   flags.Parse(argc, argv);
 
+  // Each cell builds its own (per-width) topology, so nothing is shared.
+  const std::vector<int64_t> width_list = util::ParseIntList(trunks);
+  std::vector<std::function<sim::OnlineResult()>> cells;
+  for (const int64_t& width : width_list) {
+    cells.push_back([&width, &common, &load] {
+      topology::ThreeTierConfig tconfig = common.TopologyConfig();
+      tconfig.tor_trunk = static_cast<int>(width);
+      tconfig.agg_trunk = static_cast<int>(width);
+      const topology::Topology topo = topology::BuildThreeTier(tconfig);
+      workload::WorkloadGenerator gen(common.WorkloadConfig(), common.seed());
+      auto jobs = gen.GenerateOnline(load, topo.total_slots());
+      return bench::RunOnline(
+          topo, std::move(jobs), workload::Abstraction::kSvc,
+          bench::AllocatorFor(workload::Abstraction::kSvc), common.epsilon(),
+          common.seed() + 1);
+    });
+  }
+  sim::SweepRunner runner(common.threads());
+  const auto results = runner.Run(std::move(cells));
+
   util::Table table({"trunk width", "outage rate", "rejection %",
                      "mean running time (s)"});
-  for (int64_t width : util::ParseIntList(trunks)) {
-    topology::ThreeTierConfig tconfig = common.TopologyConfig();
-    tconfig.tor_trunk = static_cast<int>(width);
-    tconfig.agg_trunk = static_cast<int>(width);
-    const topology::Topology topo = topology::BuildThreeTier(tconfig);
-    workload::WorkloadGenerator gen(common.WorkloadConfig(), common.seed());
-    auto jobs = gen.GenerateOnline(load, topo.total_slots());
-    const auto result = bench::RunOnline(
-        topo, std::move(jobs), workload::Abstraction::kSvc,
-        bench::AllocatorFor(workload::Abstraction::kSvc), common.epsilon(),
-        common.seed() + 1);
-    table.AddRow({std::to_string(width),
+  for (size_t i = 0; i < width_list.size(); ++i) {
+    const sim::OnlineResult& result = results[i];
+    table.AddRow({std::to_string(width_list[i]),
                   util::Table::Num(result.outage.OutageRate(), 5),
                   util::Table::Num(100 * result.RejectionRate(), 2),
                   util::Table::Num(result.MeanRunningTime(), 1)});

@@ -29,36 +29,51 @@ int main(int argc, char** argv) {
   const core::OktopusAllocator vc_alloc;
   const core::HomogeneousDpAllocator svc_alloc;
 
+  const struct {
+    workload::Abstraction abstraction;
+    const core::Allocator* alloc;
+    sim::Enforcement enforcement;
+    const char* label;
+  } kRuns[] = {
+      {workload::Abstraction::kMeanVc, &vc_alloc, sim::Enforcement::kHardCap,
+       "hard-cap"},
+      {workload::Abstraction::kMeanVc, &vc_alloc,
+       sim::Enforcement::kTokenBucket, "token-bucket"},
+      {workload::Abstraction::kPercentileVc, &vc_alloc,
+       sim::Enforcement::kHardCap, "hard-cap"},
+      {workload::Abstraction::kPercentileVc, &vc_alloc,
+       sim::Enforcement::kTokenBucket, "token-bucket"},
+      {workload::Abstraction::kSvc, &svc_alloc, sim::Enforcement::kHardCap,
+       "n/a (no limiting)"},
+  };
+
+  std::vector<std::function<sim::BatchResult()>> cells;
+  for (const auto& spec : kRuns) {
+    cells.push_back([&spec, &wconfig, &common, &topo, &burst] {
+      workload::WorkloadGenerator gen(wconfig, common.seed());
+      sim::SimConfig config;
+      config.abstraction = spec.abstraction;
+      config.allocator = spec.alloc;
+      config.epsilon = common.epsilon();
+      config.seed = common.seed() + 1;
+      config.enforcement = spec.enforcement;
+      config.burst_seconds = burst;
+      sim::Engine engine(topo, config);
+      return engine.RunBatch(gen.GenerateBatch());
+    });
+  }
+  sim::SweepRunner runner(common.threads());
+  const auto results = runner.Run(std::move(cells));
+
   util::Table table({"abstraction", "enforcement", "mean running time (s)",
                      "makespan (s)", "outage rate"});
-  auto run = [&](workload::Abstraction abstraction,
-                 const core::Allocator& alloc, sim::Enforcement enforcement,
-                 const char* label) {
-    workload::WorkloadGenerator gen(wconfig, common.seed());
-    sim::SimConfig config;
-    config.abstraction = abstraction;
-    config.allocator = &alloc;
-    config.epsilon = common.epsilon();
-    config.seed = common.seed() + 1;
-    config.enforcement = enforcement;
-    config.burst_seconds = burst;
-    sim::Engine engine(topo, config);
-    const auto result = engine.RunBatch(gen.GenerateBatch());
-    table.AddRow({workload::ToString(abstraction), label,
+  for (size_t i = 0; i < std::size(kRuns); ++i) {
+    const sim::BatchResult& result = results[i];
+    table.AddRow({workload::ToString(kRuns[i].abstraction), kRuns[i].label,
                   util::Table::Num(result.MeanRunningTime(), 1),
                   util::Table::Num(result.total_completion_time, 0),
                   util::Table::Num(result.outage.OutageRate(), 5)});
-  };
-  run(workload::Abstraction::kMeanVc, vc_alloc, sim::Enforcement::kHardCap,
-      "hard-cap");
-  run(workload::Abstraction::kMeanVc, vc_alloc,
-      sim::Enforcement::kTokenBucket, "token-bucket");
-  run(workload::Abstraction::kPercentileVc, vc_alloc,
-      sim::Enforcement::kHardCap, "hard-cap");
-  run(workload::Abstraction::kPercentileVc, vc_alloc,
-      sim::Enforcement::kTokenBucket, "token-bucket");
-  run(workload::Abstraction::kSvc, svc_alloc, sim::Enforcement::kHardCap,
-      "n/a (no limiting)");
+  }
   bench::EmitTable("Ablation: reservation enforcement discipline (rho = " +
                        util::Table::Num(rho, 1) + ")",
                    table, csv);

@@ -33,20 +33,32 @@ int main(int argc, char** argv) {
       "global-minmax");
   const core::TivcAdaptedAllocator tivc;
 
-  for (double load : util::ParseDoubleList(loads)) {
+  const std::vector<double> load_list = util::ParseDoubleList(loads);
+  const core::Allocator* kAllocs[] = {&svc_dp, &global_minmax, &tivc};
+
+  std::vector<std::function<sim::OnlineResult()>> cells;
+  for (const double& load : load_list) {
+    for (const core::Allocator* alloc : kAllocs) {
+      cells.push_back([alloc, &load, &common, &topo] {
+        workload::WorkloadGenerator gen(common.WorkloadConfig(),
+                                        common.seed());
+        auto jobs = gen.GenerateOnline(load, topo.total_slots());
+        return bench::RunOnline(topo, std::move(jobs),
+                                workload::Abstraction::kSvc, *alloc,
+                                common.epsilon(), common.seed() + 1);
+      });
+    }
+  }
+  sim::SweepRunner runner(common.threads());
+  const auto results = runner.Run(std::move(cells));
+
+  for (size_t p = 0; p < load_list.size(); ++p) {
     util::Table table({"allocator", "rejection %", "mean placement level",
                        "median max-occ", "p95 max-occ"});
-    for (const core::Allocator* alloc :
-         std::initializer_list<const core::Allocator*>{&svc_dp,
-                                                       &global_minmax,
-                                                       &tivc}) {
-      workload::WorkloadGenerator gen(common.WorkloadConfig(), common.seed());
-      auto jobs = gen.GenerateOnline(load, topo.total_slots());
-      const auto result = bench::RunOnline(
-          topo, std::move(jobs), workload::Abstraction::kSvc, *alloc,
-          common.epsilon(), common.seed() + 1);
+    for (size_t a = 0; a < std::size(kAllocs); ++a) {
+      const sim::OnlineResult& result = results[p * std::size(kAllocs) + a];
       stats::EmpiricalCdf cdf(result.max_occupancy_samples);
-      table.AddRow({std::string(alloc->name()),
+      table.AddRow({std::string(kAllocs[a]->name()),
                     util::Table::Num(100 * result.RejectionRate(), 2),
                     util::Table::Num(result.MeanPlacementLevel(), 2),
                     cdf.empty() ? "-" : util::Table::Num(cdf.Percentile(0.5), 4),
@@ -54,7 +66,7 @@ int main(int argc, char** argv) {
                                 : util::Table::Num(cdf.Percentile(0.95), 4)});
     }
     bench::EmitTable("Ablation: locality vs global min-max, load " +
-                         util::Table::Num(100 * load, 0) + "%",
+                         util::Table::Num(100 * load_list[p], 0) + "%",
                      table, csv);
   }
   return 0;

@@ -24,32 +24,47 @@ int main(int argc, char** argv) {
   const topology::Topology topo =
       topology::BuildThreeTier(common.TopologyConfig());
 
+  struct RunSpec {
+    workload::Abstraction abstraction;
+    double quantile;
+    std::string label;
+  };
+  std::vector<RunSpec> specs;
+  specs.push_back({workload::Abstraction::kMeanVc, 0.5, "mean-VC"});
+  for (double q : util::ParseDoubleList(quantiles)) {
+    specs.push_back({workload::Abstraction::kPercentileVc, q,
+                     "q-VC(q=" + util::Table::Num(q, 2) + ")"});
+  }
+  specs.push_back({workload::Abstraction::kSvc, 0.95,
+                   "SVC(e=" + util::Table::Num(common.epsilon(), 2) + ")"});
+
+  std::vector<std::function<sim::OnlineResult()>> cells;
+  for (const RunSpec& spec : specs) {
+    cells.push_back([&spec, &common, &topo, &load] {
+      workload::WorkloadGenerator gen(common.WorkloadConfig(), common.seed());
+      auto jobs = gen.GenerateOnline(load, topo.total_slots());
+      sim::SimConfig config;
+      config.abstraction = spec.abstraction;
+      config.allocator = &bench::AllocatorFor(spec.abstraction);
+      config.epsilon = common.epsilon();
+      config.seed = common.seed() + 1;
+      config.vc_quantile = spec.quantile;
+      sim::Engine engine(topo, config);
+      return engine.RunOnline(std::move(jobs));
+    });
+  }
+  sim::SweepRunner runner(common.threads());
+  const auto results = runner.Run(std::move(cells));
+
   util::Table table({"abstraction", "rejection %", "mean running time (s)",
                      "mean concurrency"});
-  auto run = [&](workload::Abstraction abstraction, double quantile,
-                 const std::string& label) {
-    workload::WorkloadGenerator gen(common.WorkloadConfig(), common.seed());
-    auto jobs = gen.GenerateOnline(load, topo.total_slots());
-    sim::SimConfig config;
-    config.abstraction = abstraction;
-    config.allocator = &bench::AllocatorFor(abstraction);
-    config.epsilon = common.epsilon();
-    config.seed = common.seed() + 1;
-    config.vc_quantile = quantile;
-    sim::Engine engine(topo, config);
-    const auto result = engine.RunOnline(std::move(jobs));
-    table.AddRow({label, util::Table::Num(100 * result.RejectionRate(), 2),
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const sim::OnlineResult& result = results[i];
+    table.AddRow({specs[i].label,
+                  util::Table::Num(100 * result.RejectionRate(), 2),
                   util::Table::Num(result.MeanRunningTime(), 1),
                   util::Table::Num(result.MeanConcurrency(), 1)});
-  };
-
-  run(workload::Abstraction::kMeanVc, 0.5, "mean-VC");
-  for (double q : util::ParseDoubleList(quantiles)) {
-    run(workload::Abstraction::kPercentileVc, q,
-        "q-VC(q=" + util::Table::Num(q, 2) + ")");
   }
-  run(workload::Abstraction::kSvc, 0.95,
-      "SVC(e=" + util::Table::Num(common.epsilon(), 2) + ")");
   bench::EmitTable(
       "Ablation: deterministic percentile frontier vs SVC (load " +
           util::Table::Num(100 * load, 0) + "%)",

@@ -2,14 +2,25 @@
 // supports the paper's complexity claims — O(|V| Delta N^2) for Algorithm 1
 // and O(|V| Delta N^4) for the heterogeneous substring heuristic — and
 // quantifies the cost of the min-max optimization vs the TIVC baseline.
+//
+// Run with --json[=path] to also write the results as JSON (default path
+// BENCH_ALLOC.json; same record shape as perf_suite's BENCH_PERF.json).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "alloc_counter.h"
+#include "bench_common.h"
 #include "stats/rng.h"
 #include "svc/first_fit.h"
 #include "svc/hetero_exact.h"
 #include "svc/hetero_heuristic.h"
 #include "svc/homogeneous_search.h"
 #include "svc/manager.h"
+#include "svc/scratch_arena.h"
 #include "topology/builders.h"
 
 namespace {
@@ -160,6 +171,94 @@ void BM_AdmitReleaseCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_AdmitReleaseCycle);
 
+// Heap allocations per Allocate() call in steady state: the DP arena is
+// thread-local and the placement buffer is recycled, so after the first
+// (warm-up) call the count must be zero (see docs/PERFORMANCE.md).
+void BM_HomogeneousDpSteadyAllocs(benchmark::State& state) {
+  const topology::Topology topo = BenchFabric(50);
+  const core::NetworkManager manager = LoadedManager(topo);
+  const core::HomogeneousDpAllocator alloc;
+  const core::Request r = core::Request::Homogeneous(1, 49, 200, 100);
+  // Warm-up: size the arena and seed the buffer pool.
+  if (auto result = alloc.Allocate(r, manager.ledger(), manager.slots())) {
+    core::RecycleVmBuffer(std::move(result->vm_machine));
+  }
+  int64_t allocations = 0;
+  int64_t calls = 0;
+  for (auto _ : state) {
+    const int64_t before = svc::bench::AllocationCount();
+    auto result = alloc.Allocate(r, manager.ledger(), manager.slots());
+    allocations += svc::bench::AllocationCount() - before;
+    ++calls;
+    benchmark::DoNotOptimize(result);
+    if (result.ok()) core::RecycleVmBuffer(std::move(result->vm_machine));
+  }
+  state.counters["allocs_per_call"] =
+      calls == 0 ? 0.0 : static_cast<double>(allocations) / calls;
+}
+BENCHMARK(BM_HomogeneousDpSteadyAllocs);
+
+// Console output plus a capture of every run for the --json emitter.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      svc::bench::BenchRecord record;
+      record.name = run.benchmark_name();
+      record.iterations = run.iterations;
+      if (run.iterations > 0) {
+        record.real_ns_per_iter =
+            run.real_accumulated_time * 1e9 / run.iterations;
+        record.cpu_ns_per_iter =
+            run.cpu_accumulated_time * 1e9 / run.iterations;
+      }
+      for (const auto& [name, counter] : run.counters) {
+        record.counters.emplace_back(name, counter.value);
+      }
+      records_.push_back(std::move(record));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<svc::bench::BenchRecord>& records() const {
+    return records_;
+  }
+
+ private:
+  std::vector<svc::bench::BenchRecord> records_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Extract --json[=path] before google-benchmark sees the argv.
+  std::string json_path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "BENCH_ALLOC.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    svc::util::JsonWriter w;
+    w.BeginObject();
+    svc::bench::AddBenchmarksMember(w, reporter.records());
+    w.EndObject();
+    if (!svc::bench::WriteFile(json_path, w.str() + "\n")) return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <utility>
 
 #include "svc/homogeneous_search.h"
 #include "util/strings.h"
@@ -28,7 +29,10 @@ CommonOptions::CommonOptions(util::FlagSet& flags)
           "contradicting the paper's near-zero low-load rejection; the "
           "halved default restores that regime (see EXPERIMENTS.md)")),
       epsilon_(flags.Double("epsilon", 0.05, "SVC risk factor epsilon")),
-      seed_(flags.Int("seed", 42, "workload / simulation seed")) {}
+      seed_(flags.Int("seed", 42, "workload / simulation seed")),
+      threads_(flags.Int("threads", 0,
+                         "sweep worker threads (0 = all cores, 1 = serial); "
+                         "results are identical for every value")) {}
 
 topology::ThreeTierConfig CommonOptions::TopologyConfig() const {
   topology::ThreeTierConfig config;
@@ -86,9 +90,42 @@ sim::OnlineResult RunOnline(const topology::Topology& topo,
   return engine.RunOnline(std::move(jobs));
 }
 
+std::vector<double> RunCells(int threads,
+                             std::vector<std::function<double()>> cells) {
+  sim::SweepRunner runner(threads);
+  return runner.Run(std::move(cells));
+}
+
 void EmitTable(const std::string& title, const util::Table& table, bool csv) {
   std::printf("=== %s ===\n%s\n", title.c_str(), table.ToText().c_str());
   if (csv) std::printf("--- csv ---\n%s\n", table.ToCsv().c_str());
+}
+
+void AddBenchmarksMember(util::JsonWriter& w,
+                         const std::vector<BenchRecord>& records) {
+  w.Key("benchmarks");
+  w.BeginArray();
+  for (const BenchRecord& record : records) {
+    w.BeginObject();
+    w.Member("name", record.name);
+    w.Member("iterations", record.iterations);
+    w.Member("real_ns_per_iter", record.real_ns_per_iter);
+    w.Member("cpu_ns_per_iter", record.cpu_ns_per_iter);
+    for (const auto& [key, value] : record.counters) w.Member(key, value);
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return written == content.size();
 }
 
 }  // namespace svc::bench

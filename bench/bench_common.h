@@ -7,13 +7,16 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "sim/engine.h"
+#include "sim/sweep_runner.h"
 #include "svc/allocator.h"
 #include "topology/builders.h"
 #include "util/flags.h"
+#include "util/json.h"
 #include "util/table.h"
 #include "workload/workload.h"
 
@@ -32,6 +35,8 @@ class CommonOptions {
   double epsilon() const { return epsilon_; }
   uint64_t seed() const { return static_cast<uint64_t>(seed_); }
   int64_t jobs() const { return jobs_; }
+  // Worker threads for the sweep (0 = all hardware threads, 1 = serial).
+  int threads() const { return static_cast<int>(threads_); }
 
  private:
   int64_t& racks_;
@@ -44,6 +49,7 @@ class CommonOptions {
   std::string& rate_menu_;
   double& epsilon_;
   int64_t& seed_;
+  int64_t& threads_;
 };
 
 // Builds the allocator appropriate for the abstraction: the paper's
@@ -65,8 +71,33 @@ sim::OnlineResult RunOnline(const topology::Topology& topo,
                             const core::Allocator& allocator, double epsilon,
                             uint64_t seed);
 
+// Runs independent simulation cells across `threads` workers via
+// sim::SweepRunner and returns the values by cell index — the output is
+// bit-identical to running the cells serially, in any thread count (every
+// cell builds its own generator/engine from fixed seeds).
+std::vector<double> RunCells(int threads,
+                             std::vector<std::function<double()>> cells);
+
 // Prints the table plus a trailing blank line; also echoes CSV when
 // --csv is set by the bench (pass the flag value through).
 void EmitTable(const std::string& title, const util::Table& table, bool csv);
+
+// One timed benchmark result for the JSON emitters (perf_suite's
+// BENCH_PERF.json and alloc_microbench --json share this shape).
+struct BenchRecord {
+  std::string name;
+  int64_t iterations = 0;
+  double real_ns_per_iter = 0;
+  double cpu_ns_per_iter = 0;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+// Appends a "benchmarks": [...] member to the currently open JSON object.
+void AddBenchmarksMember(util::JsonWriter& w,
+                         const std::vector<BenchRecord>& records);
+
+// Writes `content` to `path`; returns false (with a message on stderr) on
+// I/O failure.
+bool WriteFile(const std::string& path, const std::string& content);
 
 }  // namespace svc::bench

@@ -24,19 +24,31 @@ int main(int argc, char** argv) {
   const core::HomogeneousDpAllocator svc_dp;
   const core::TivcAdaptedAllocator tivc;
 
-  util::Table table({"load", "SVC rejection %", "TIVC rejection %"});
-  for (double load : util::ParseDoubleList(loads)) {
+  const std::vector<double> load_list = util::ParseDoubleList(loads);
+  std::vector<std::function<double()>> cells;
+  for (const double& load : load_list) {
     auto rejection = [&](const core::Allocator& alloc) {
-      workload::WorkloadGenerator gen(common.WorkloadConfig(), common.seed());
-      auto jobs = gen.GenerateOnline(load, topo.total_slots());
-      return 100.0 * bench::RunOnline(topo, std::move(jobs),
-                                      workload::Abstraction::kSvc, alloc,
-                                      common.epsilon(), common.seed() + 1)
-                         .RejectionRate();
+      return [&alloc, &load, &common, &topo] {
+        workload::WorkloadGenerator gen(common.WorkloadConfig(),
+                                        common.seed());
+        auto jobs = gen.GenerateOnline(load, topo.total_slots());
+        return 100.0 * bench::RunOnline(topo, std::move(jobs),
+                                        workload::Abstraction::kSvc, alloc,
+                                        common.epsilon(), common.seed() + 1)
+                           .RejectionRate();
+      };
     };
-    table.AddRow({util::Table::Num(load, 2),
-                  util::Table::Num(rejection(svc_dp), 2),
-                  util::Table::Num(rejection(tivc), 2)});
+    cells.push_back(rejection(svc_dp));
+    cells.push_back(rejection(tivc));
+  }
+  const std::vector<double> rejections =
+      bench::RunCells(common.threads(), std::move(cells));
+
+  util::Table table({"load", "SVC rejection %", "TIVC rejection %"});
+  for (size_t p = 0; p < load_list.size(); ++p) {
+    table.AddRow({util::Table::Num(load_list[p], 2),
+                  util::Table::Num(rejections[2 * p], 2),
+                  util::Table::Num(rejections[2 * p + 1], 2)});
   }
   bench::EmitTable(
       "Fig. 10: rejection rate vs load, SVC DP vs adapted TIVC", table, csv);

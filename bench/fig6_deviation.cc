@@ -6,6 +6,8 @@
 // SVC's running time.
 #include "bench_common.h"
 
+#include <deque>
+
 #include "util/strings.h"
 
 int main(int argc, char** argv) {
@@ -21,29 +23,50 @@ int main(int argc, char** argv) {
 
   const topology::Topology topo =
       topology::BuildThreeTier(common.TopologyConfig());
-  util::Table table({"rho", "mean-VC", "percentile-VC", "SVC(e=0.05)",
-                     "SVC(e=0.02)"});
+
+  // One workload per rho, shared read-only by the four abstraction cells.
+  struct Point {
+    double rho;
+    std::vector<workload::JobSpec> jobs;
+  };
+  std::deque<Point> points;
   for (double rho : util::ParseDoubleList(rhos)) {
     workload::WorkloadConfig wconfig = common.WorkloadConfig();
     wconfig.fixed_deviation = rho;
     workload::WorkloadGenerator gen(wconfig, common.seed());
-    const auto jobs = gen.GenerateBatch();
-    auto mean_running = [&](workload::Abstraction abstraction,
-                            double epsilon) {
-      return bench::RunBatch(topo, jobs, abstraction,
-                             bench::AllocatorFor(abstraction), epsilon,
-                             common.seed() + 1)
-          .MeanRunningTime();
-    };
-    table.AddRow(
-        {util::Table::Num(rho, 1),
-         util::Table::Num(mean_running(workload::Abstraction::kMeanVc, 0.05),
-                          1),
-         util::Table::Num(
-             mean_running(workload::Abstraction::kPercentileVc, 0.05), 1),
-         util::Table::Num(mean_running(workload::Abstraction::kSvc, 0.05), 1),
-         util::Table::Num(mean_running(workload::Abstraction::kSvc, 0.02),
-                          1)});
+    points.push_back({rho, gen.GenerateBatch()});
+  }
+
+  const struct {
+    workload::Abstraction abstraction;
+    double epsilon;
+  } kConfigs[] = {{workload::Abstraction::kMeanVc, 0.05},
+                  {workload::Abstraction::kPercentileVc, 0.05},
+                  {workload::Abstraction::kSvc, 0.05},
+                  {workload::Abstraction::kSvc, 0.02}};
+
+  std::vector<std::function<double()>> cells;
+  for (const Point& point : points) {
+    for (const auto& config : kConfigs) {
+      cells.push_back([&point, &config, &common, &topo] {
+        return bench::RunBatch(topo, point.jobs, config.abstraction,
+                               bench::AllocatorFor(config.abstraction),
+                               config.epsilon, common.seed() + 1)
+            .MeanRunningTime();
+      });
+    }
+  }
+  const std::vector<double> running =
+      bench::RunCells(common.threads(), std::move(cells));
+
+  util::Table table({"rho", "mean-VC", "percentile-VC", "SVC(e=0.05)",
+                     "SVC(e=0.02)"});
+  for (size_t p = 0; p < points.size(); ++p) {
+    table.AddRow({util::Table::Num(points[p].rho, 1),
+                  util::Table::Num(running[4 * p + 0], 1),
+                  util::Table::Num(running[4 * p + 1], 1),
+                  util::Table::Num(running[4 * p + 2], 1),
+                  util::Table::Num(running[4 * p + 3], 1)});
   }
   bench::EmitTable(
       "Fig. 6: average running time per job (s) vs deviation coefficient",

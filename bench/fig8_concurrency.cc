@@ -20,14 +20,20 @@ int main(int argc, char** argv) {
   const topology::Topology topo =
       topology::BuildThreeTier(common.TopologyConfig());
   auto run = [&](workload::Abstraction abstraction) {
-    workload::WorkloadGenerator gen(common.WorkloadConfig(), common.seed());
-    auto jobs = gen.GenerateOnline(load, topo.total_slots());
-    return bench::RunOnline(topo, std::move(jobs), abstraction,
-                            bench::AllocatorFor(abstraction),
-                            common.epsilon(), common.seed() + 1);
+    return [abstraction, &common, &topo, &load] {
+      workload::WorkloadGenerator gen(common.WorkloadConfig(), common.seed());
+      auto jobs = gen.GenerateOnline(load, topo.total_slots());
+      return bench::RunOnline(topo, std::move(jobs), abstraction,
+                              bench::AllocatorFor(abstraction),
+                              common.epsilon(), common.seed() + 1);
+    };
   };
-  const auto svc_result = run(workload::Abstraction::kSvc);
-  const auto pct_result = run(workload::Abstraction::kPercentileVc);
+  sim::SweepRunner runner(common.threads());
+  auto results = runner.Run<sim::OnlineResult>(
+      {run(workload::Abstraction::kSvc),
+       run(workload::Abstraction::kPercentileVc)});
+  const auto& svc_result = results[0];
+  const auto& pct_result = results[1];
 
   // Time series (downsampled to `series` points over the arrival sequence).
   util::Table table({"arrival#", "SVC(e=0.05)", "percentile-VC"});

@@ -24,18 +24,31 @@ int main(int argc, char** argv) {
   const core::HomogeneousDpAllocator svc_dp;
   const core::TivcAdaptedAllocator tivc;
 
-  auto samples = [&](const core::Allocator& alloc, double load) {
-    workload::WorkloadGenerator gen(common.WorkloadConfig(), common.seed());
-    auto jobs = gen.GenerateOnline(load, topo.total_slots());
-    auto result =
-        bench::RunOnline(topo, std::move(jobs), workload::Abstraction::kSvc,
-                         alloc, common.epsilon(), common.seed() + 1);
-    return stats::EmpiricalCdf(std::move(result.max_occupancy_samples));
+  // Cells: (load x {svc, tivc}) engines run across the sweep runner; the
+  // per-cell CDFs are assembled in index order afterwards.
+  const std::vector<double> load_list = util::ParseDoubleList(loads);
+  auto samples = [&](const core::Allocator& alloc, const double& load) {
+    return [&alloc, &load, &common, &topo] {
+      workload::WorkloadGenerator gen(common.WorkloadConfig(), common.seed());
+      auto jobs = gen.GenerateOnline(load, topo.total_slots());
+      auto result =
+          bench::RunOnline(topo, std::move(jobs), workload::Abstraction::kSvc,
+                           alloc, common.epsilon(), common.seed() + 1);
+      return stats::EmpiricalCdf(std::move(result.max_occupancy_samples));
+    };
   };
+  std::vector<std::function<stats::EmpiricalCdf()>> cells;
+  for (const double& load : load_list) {
+    cells.push_back(samples(svc_dp, load));
+    cells.push_back(samples(tivc, load));
+  }
+  sim::SweepRunner runner(common.threads());
+  const auto cdfs = runner.Run(std::move(cells));
 
-  for (double load : util::ParseDoubleList(loads)) {
-    const auto svc_cdf = samples(svc_dp, load);
-    const auto tivc_cdf = samples(tivc, load);
+  for (size_t p = 0; p < load_list.size(); ++p) {
+    const double load = load_list[p];
+    const auto& svc_cdf = cdfs[2 * p];
+    const auto& tivc_cdf = cdfs[2 * p + 1];
     util::Table table({"cdf", "SVC max-occupancy", "TIVC max-occupancy"});
     for (double p : {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9,
                      0.95, 0.99}) {

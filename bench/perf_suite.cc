@@ -1,0 +1,223 @@
+// Performance suite for the hot-path overhaul, one section per layer:
+//
+//   sweep    — a grid of replicated batch simulations run serially vs on
+//              the work-stealing pool (sim::SweepRunner).  Asserts the
+//              parallel results are bit-identical to the serial ones and
+//              reports the wall-clock speedup.
+//   step     — simulator Step() throughput with a steady workload (zero
+//              demand variance: the incremental fast path reuses the
+//              previous max-min solve every tick) vs a volatile one (fresh
+//              draws every tick force a full solve).
+//   allocate — HomogeneousSearchAllocator::Allocate() calls/sec against a
+//              pre-loaded fabric, plus heap allocations per call after
+//              warm-up (must be zero: thread-local DP arena + recycled
+//              placement buffers; alloc_counter.cc counts operator new).
+//
+// Writes BENCH_PERF.json (override with --out) and prints a summary.
+// Designed to finish in well under two minutes at the default sizes.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "alloc_counter.h"
+#include "bench_common.h"
+#include "stats/rng.h"
+#include "svc/homogeneous_search.h"
+#include "svc/manager.h"
+#include "svc/scratch_arena.h"
+#include "topology/builders.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace svc;
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool SameJobs(const std::vector<sim::JobRecord>& a,
+              const std::vector<sim::JobRecord>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id != b[i].id || a[i].arrival_time != b[i].arrival_time ||
+        a[i].start_time != b[i].start_time ||
+        a[i].finish_time != b[i].finish_time) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Field-by-field bitwise equality: the parallel sweep must reproduce the
+// serial results exactly, not approximately.
+bool SameBatchResult(const sim::BatchResult& a, const sim::BatchResult& b) {
+  return a.total_completion_time == b.total_completion_time &&
+         a.unallocatable_jobs == b.unallocatable_jobs &&
+         a.simulated_seconds == b.simulated_seconds &&
+         a.outage.outage_link_seconds == b.outage.outage_link_seconds &&
+         a.outage.busy_link_seconds == b.outage.busy_link_seconds &&
+         a.placement_levels == b.placement_levels && SameJobs(a.jobs, b.jobs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::FlagSet flags(
+      "perf_suite: sweep / step / allocate hot-path measurements "
+      "(writes BENCH_PERF.json)");
+  bench::CommonOptions common(flags);
+  int64_t& replicas =
+      flags.Int("replicas", 8, "replicated simulations in the sweep grid");
+  int64_t& sweep_jobs =
+      flags.Int("sweep-jobs", 80, "jobs per sweep replica");
+  int64_t& alloc_iters =
+      flags.Int("alloc-iters", 2000, "Allocate() calls to time");
+  std::string& out = flags.String("out", "BENCH_PERF.json", "output path");
+  flags.Parse(argc, argv);
+
+  const topology::Topology topo =
+      topology::BuildThreeTier(common.TopologyConfig());
+
+  // --- Sweep: serial vs parallel, bit-identical by construction. ---------
+  workload::WorkloadConfig sweep_config = common.WorkloadConfig();
+  sweep_config.num_jobs = static_cast<int>(sweep_jobs);
+  auto replica_task = [&](uint64_t index) {
+    return [&, index] {
+      const uint64_t seed = sim::ReplicaSeed(common.seed(), index);
+      workload::WorkloadGenerator gen(sweep_config, seed);
+      return bench::RunBatch(topo, gen.GenerateBatch(),
+                             workload::Abstraction::kSvc,
+                             bench::AllocatorFor(workload::Abstraction::kSvc),
+                             common.epsilon(), seed + 1);
+    };
+  };
+  std::vector<std::function<sim::BatchResult()>> tasks;
+  for (int64_t k = 0; k < replicas; ++k) {
+    tasks.push_back(replica_task(static_cast<uint64_t>(k)));
+  }
+
+  sim::SweepRunner serial(1);
+  const double serial_start = Now();
+  const auto serial_results = serial.Run(tasks);
+  const double serial_seconds = Now() - serial_start;
+
+  sim::SweepRunner parallel(common.threads());
+  const double parallel_start = Now();
+  const auto parallel_results = parallel.Run(tasks);
+  const double parallel_seconds = Now() - parallel_start;
+
+  bool identical = serial_results.size() == parallel_results.size();
+  for (size_t i = 0; identical && i < serial_results.size(); ++i) {
+    identical = SameBatchResult(serial_results[i], parallel_results[i]);
+  }
+  const double speedup =
+      parallel_seconds > 0 ? serial_seconds / parallel_seconds : 0.0;
+  std::printf(
+      "sweep:    %lld replicas  serial %.2fs  parallel %.2fs  (%d threads)  "
+      "speedup %.2fx  identical %s\n",
+      static_cast<long long>(replicas), serial_seconds, parallel_seconds,
+      parallel.num_threads(), speedup, identical ? "yes" : "NO");
+
+  // --- Step: steady (fast path) vs volatile (full solve per tick). -------
+  auto step_rate = [&](double deviation, double* steps_out) {
+    workload::WorkloadConfig wconfig = common.WorkloadConfig();
+    wconfig.num_jobs = static_cast<int>(sweep_jobs);
+    wconfig.fixed_deviation = deviation;
+    workload::WorkloadGenerator gen(wconfig, common.seed());
+    const auto jobs = gen.GenerateBatch();
+    const double start = Now();
+    const auto result = bench::RunBatch(
+        topo, jobs, workload::Abstraction::kSvc,
+        bench::AllocatorFor(workload::Abstraction::kSvc), common.epsilon(),
+        common.seed() + 1);
+    const double wall = Now() - start;
+    *steps_out = result.simulated_seconds;  // time_step = 1 s => steps
+    return wall > 0 ? result.simulated_seconds / wall : 0.0;
+  };
+  double steady_steps = 0, volatile_steps = 0;
+  // deviation 0: every per-second draw repeats bit-for-bit, so after each
+  // admission wave Step() reuses the cached rates and outage counts.
+  const double steady_rate = step_rate(0.0, &steady_steps);
+  const double volatile_rate = step_rate(0.5, &volatile_steps);
+  std::printf(
+      "step:     steady %.0f steps/s (%.0f steps)  volatile %.0f steps/s "
+      "(%.0f steps)\n",
+      steady_rate, steady_steps, volatile_rate, volatile_steps);
+
+  // --- Allocate: calls/sec + heap allocations per call after warm-up. ----
+  core::NetworkManager manager(topo, common.epsilon());
+  {
+    core::HomogeneousDpAllocator loader;
+    stats::Rng rng(7);
+    int64_t id = 1'000'000;
+    while (manager.slots().total_free() > topo.total_slots() * 6 / 10) {
+      const int n = static_cast<int>(rng.UniformInt(2, 60));
+      const double mu = 100.0 * static_cast<double>(rng.UniformInt(1, 5));
+      const core::Request r =
+          core::Request::Homogeneous(id++, n, mu, mu * rng.Uniform(0, 1));
+      if (!manager.Admit(r, loader).ok()) break;
+    }
+  }
+  const core::HomogeneousDpAllocator alloc;
+  const core::Request request = core::Request::Homogeneous(1, 49, 200, 100);
+  // Warm-up sizes the thread-local arena and seeds the buffer pool.
+  if (auto warm = alloc.Allocate(request, manager.ledger(), manager.slots())) {
+    core::RecycleVmBuffer(std::move(warm->vm_machine));
+  }
+  const int64_t allocs_before = svc::bench::AllocationCount();
+  const double alloc_start = Now();
+  for (int64_t i = 0; i < alloc_iters; ++i) {
+    auto result = alloc.Allocate(request, manager.ledger(), manager.slots());
+    if (result.ok()) core::RecycleVmBuffer(std::move(result->vm_machine));
+  }
+  const double alloc_seconds = Now() - alloc_start;
+  const double allocs_per_call =
+      alloc_iters > 0 ? static_cast<double>(svc::bench::AllocationCount() -
+                                            allocs_before) /
+                            alloc_iters
+                      : 0.0;
+  const double calls_per_sec =
+      alloc_seconds > 0 ? alloc_iters / alloc_seconds : 0.0;
+  std::printf("allocate: %.0f calls/s  %.3f heap allocations/call\n",
+              calls_per_sec, allocs_per_call);
+
+  // --- BENCH_PERF.json ---------------------------------------------------
+  util::JsonWriter w;
+  w.BeginObject();
+  w.Key("sweep");
+  w.BeginObject();
+  w.Member("replicas", static_cast<int64_t>(replicas));
+  w.Member("jobs_per_replica", static_cast<int64_t>(sweep_jobs));
+  w.Member("serial_seconds", serial_seconds);
+  w.Member("parallel_seconds", parallel_seconds);
+  w.Member("threads", parallel.num_threads());
+  w.Member("speedup", speedup);
+  w.Member("identical", identical);
+  w.EndObject();
+  std::vector<bench::BenchRecord> records;
+  records.push_back({"step_steady", static_cast<int64_t>(steady_steps),
+                     steady_rate > 0 ? 1e9 / steady_rate : 0.0, 0.0,
+                     {{"steps_per_sec", steady_rate}}});
+  records.push_back({"step_volatile", static_cast<int64_t>(volatile_steps),
+                     volatile_rate > 0 ? 1e9 / volatile_rate : 0.0, 0.0,
+                     {{"steps_per_sec", volatile_rate}}});
+  records.push_back({"allocate_steady", alloc_iters,
+                     calls_per_sec > 0 ? 1e9 / calls_per_sec : 0.0, 0.0,
+                     {{"calls_per_sec", calls_per_sec},
+                      {"allocs_per_call", allocs_per_call}}});
+  bench::AddBenchmarksMember(w, records);
+  w.EndObject();
+  if (!bench::WriteFile(out, w.str() + "\n")) return 1;
+  std::printf("wrote %s\n", out.c_str());
+
+  // Non-zero exit if the parallel sweep diverged — this is the suite's one
+  // hard correctness gate.
+  return identical ? 0 : 2;
+}

@@ -55,6 +55,13 @@ double LinkLedger::MaxOccupancy() const {
   return result;
 }
 
+void LinkLedger::Touch(RequestId req, topology::VertexId v) {
+  std::vector<topology::VertexId>& list = touched_[req];
+  if (std::find(list.begin(), list.end(), v) == list.end()) {
+    list.push_back(v);
+  }
+}
+
 void LinkLedger::AddStochastic(topology::VertexId v, RequestId req,
                                double mean, double variance) {
   assert(v != topo_->root());
@@ -64,7 +71,7 @@ void LinkLedger::AddStochastic(topology::VertexId v, RequestId req,
   s.stochastic.push_back({req, mean, variance});
   s.mean_sum += mean;
   s.var_sum += variance;
-  touched_[req].push_back(v);
+  Touch(req, v);
 }
 
 void LinkLedger::AddDeterministic(topology::VertexId v, RequestId req,
@@ -75,7 +82,7 @@ void LinkLedger::AddDeterministic(topology::VertexId v, RequestId req,
   LinkState& s = links_[v];
   s.reserved.push_back({req, amount});
   s.deterministic += amount;
-  touched_[req].push_back(v);
+  Touch(req, v);
 }
 
 void LinkLedger::RebuildSums(topology::VertexId v) {
@@ -93,17 +100,38 @@ void LinkLedger::RebuildSums(topology::VertexId v) {
 void LinkLedger::RemoveRequest(RequestId req) {
   auto it = touched_.find(req);
   if (it == touched_.end()) return;
-  // A request may appear twice per link (stochastic + deterministic); the
-  // duplicate vertex entries are harmless because erase + rebuild is
-  // idempotent per link.
+  // touched_ lists each link at most once (Touch dedupes on insert), so
+  // this visits every record of the request exactly once.  Sums are
+  // restored by direct subtraction — no scan of the surviving records —
+  // and record order is not preserved (swap-remove); nothing keys on it.
   for (topology::VertexId v : it->second) {
     LinkState& s = links_[v];
-    std::erase_if(s.stochastic,
-                  [req](const StochasticDemand& d) { return d.request == req; });
-    std::erase_if(s.reserved, [req](const DeterministicDemand& d) {
-      return d.request == req;
-    });
-    RebuildSums(v);
+    for (size_t i = 0; i < s.stochastic.size();) {
+      if (s.stochastic[i].request == req) {
+        s.mean_sum -= s.stochastic[i].mean;
+        s.var_sum -= s.stochastic[i].variance;
+        s.stochastic[i] = s.stochastic.back();
+        s.stochastic.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    for (size_t i = 0; i < s.reserved.size();) {
+      if (s.reserved[i].request == req) {
+        s.deterministic -= s.reserved[i].amount;
+        s.reserved[i] = s.reserved.back();
+        s.reserved.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    // Snap empty links to exactly zero so subtraction drift cannot
+    // accumulate across tenant churn on a link that fully drains.
+    if (s.stochastic.empty()) {
+      s.mean_sum = 0;
+      s.var_sum = 0;
+    }
+    if (s.reserved.empty()) s.deterministic = 0;
   }
   touched_.erase(it);
 }

@@ -87,13 +87,15 @@ class LinkLedger {
   // Records a deterministic reservation.
   void AddDeterministic(topology::VertexId v, RequestId req, double amount);
 
-  // Removes every record of `req` and restores the running sums.  Removing
-  // an unknown request is a no-op (idempotent release).
+  // Removes every record of `req` and restores the running sums by direct
+  // subtraction (O(records on touched links), no rebuild scan).  Links
+  // whose record lists drain snap their sums to exactly zero, so drift
+  // cannot accumulate across tenant churn.  Removing an unknown request is
+  // a no-op (idempotent release).
   void RemoveRequest(RequestId req);
 
-  // Recomputes the running sums of every link the request touches from the
-  // remaining records, bounding floating-point drift over long simulations.
-  // Called internally by RemoveRequest.
+  // Recomputes the running sums of a link from its records (diagnostics /
+  // drift audits; the mutation paths maintain the sums directly).
   void RebuildSums(topology::VertexId v);
 
   // Total number of demand records (diagnostics / tests).
@@ -103,8 +105,12 @@ class LinkLedger {
   const topology::Topology* topo_;
   double epsilon_;
   double c_;
+  // Appends v to touched_[req] unless already present (deduplicated list).
+  void Touch(RequestId req, topology::VertexId v);
+
   std::vector<LinkState> links_;  // indexed by vertex id; root unused
-  // Which links each live request touches, for O(records) release.
+  // Which links each live request touches, for O(records) release.  Each
+  // link appears at most once per request (see Touch).
   std::unordered_map<RequestId, std::vector<topology::VertexId>> touched_;
 };
 

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "stats/lognormal.h"
+#include "svc/scratch_arena.h"
 #include "util/logging.h"
 
 namespace svc::sim {
@@ -46,7 +47,7 @@ bool Engine::TryStart(const workload::JobSpec& spec, double now) {
     }
     return false;
   }
-  const core::Placement& placement = *result;
+  core::Placement& placement = *result;
   if (placement.subtree_root != topology::kNoVertex) {
     placement_levels_.push_back(topo_->level(placement.subtree_root));
   }
@@ -115,12 +116,31 @@ bool Engine::TryStart(const workload::JobSpec& spec, double now) {
       meta_.push_back(std::move(meta));
       ++job.flows_left;
     }
+    flows_dirty_ = true;
   }
   active_.emplace(spec.id, std::move(job));
+  // The manager keeps its own copy of the placement; hand this one's
+  // buffer back to the allocator's recycling pool.
+  core::RecycleVmBuffer(std::move(placement.vm_machine));
   if (config_.events != nullptr) {
     config_.events->Record(now, EventKind::kAdmit, spec.id);
   }
   return true;
+}
+
+void Engine::CheckIncrementalRates() {
+  // From-scratch solve on a cold scratch over a copy of the flows; the
+  // incremental path must agree bit for bit.
+  check_flows_ = flows_;
+  MaxMinScratch fresh(static_cast<int>(capacity_.size()));
+  fresh.Allocate(check_flows_, capacity_);
+  for (size_t f = 0; f < flows_.size(); ++f) {
+    if (flows_[f].rate != check_flows_[f].rate) {
+      SVC_LOG(Error) << "incremental max-min mismatch on flow " << f << ": "
+                     << flows_[f].rate << " vs " << check_flows_[f].rate;
+      assert(false && "incremental max-min diverged from full recompute");
+    }
+  }
 }
 
 void Engine::Step(double now, std::vector<int64_t>& completed) {
@@ -128,45 +148,72 @@ void Engine::Step(double now, std::vector<int64_t>& completed) {
   const double end = now + dt;
 
   // Redraw per-source generation rates and apply hypervisor rate limiting.
+  // The draws happen every tick (the RNG stream must not depend on the
+  // fast path below), but a bit-identical redraw — common under hard-cap
+  // enforcement of deterministic reservations, where the cap binds — means
+  // the previous max-min solution is still exact.
   const bool token_bucket =
       config_.enforcement == Enforcement::kTokenBucket;
+  bool desires_changed = false;
   for (size_t f = 0; f < flows_.size(); ++f) {
     FlowMeta& m = meta_[f];
     const double draw =
         m.distribution == workload::RateDistribution::kLogNormal
             ? std::exp(rng_.Normal(m.log_mu, m.log_sigma))
             : std::max(0.0, rng_.Normal(m.rate_mean, m.rate_stddev));
+    double desired;
     if (token_bucket && std::isfinite(m.rate_cap)) {
-      flows_[f].desired = m.bucket.Admit(draw, dt);
+      desired = m.bucket.Admit(draw, dt);
     } else {
-      flows_[f].desired = std::min(draw, m.rate_cap);
+      desired = std::min(draw, m.rate_cap);
+    }
+    if (desired != flows_[f].desired) {
+      flows_[f].desired = desired;
+      desires_changed = true;
     }
   }
+
+  // Steady state: same flows, same desires — the offered loads, the outage
+  // verdicts, and the max-min rates of the previous tick all still hold.
+  const bool steady = !flows_dirty_ && !desires_changed;
 
   if (config_.measure_outage) {
-    // A bandwidth outage (paper constraint (1)) is a loaded link whose
-    // offered demand exceeds its capacity this second.
-    for (const SimFlow& flow : flows_) {
-      for (topology::VertexId link : flow.links) {
-        if (!link_touched_[link]) {
-          link_touched_[link] = 1;
-          loaded_links_.push_back(link);
+    if (steady) {
+      busy_link_seconds_ += cached_busy_links_;
+      outage_link_seconds_ += cached_outage_links_;
+    } else {
+      // A bandwidth outage (paper constraint (1)) is a loaded link whose
+      // offered demand exceeds its capacity this second.
+      for (const SimFlow& flow : flows_) {
+        for (topology::VertexId link : flow.links) {
+          if (!link_touched_[link]) {
+            link_touched_[link] = 1;
+            loaded_links_.push_back(link);
+          }
+          offered_load_[link] += flow.desired;
         }
-        offered_load_[link] += flow.desired;
       }
-    }
-    for (topology::VertexId link : loaded_links_) {
-      ++busy_link_seconds_;
-      if (offered_load_[link] > capacity_[link] * (1 + 1e-9)) {
-        ++outage_link_seconds_;
+      cached_busy_links_ = 0;
+      cached_outage_links_ = 0;
+      for (topology::VertexId link : loaded_links_) {
+        ++cached_busy_links_;
+        if (offered_load_[link] > capacity_[link] * (1 + 1e-9)) {
+          ++cached_outage_links_;
+        }
+        offered_load_[link] = 0.0;
+        link_touched_[link] = 0;
       }
-      offered_load_[link] = 0.0;
-      link_touched_[link] = 0;
+      loaded_links_.clear();
+      busy_link_seconds_ += cached_busy_links_;
+      outage_link_seconds_ += cached_outage_links_;
     }
-    loaded_links_.clear();
   }
 
-  scratch_.Allocate(flows_, capacity_);
+  if (!steady) {
+    scratch_.Allocate(flows_, capacity_, flows_dirty_);
+  }
+  if (config_.check_incremental) CheckIncrementalRates();
+  flows_dirty_ = false;
 
   // Progress transfers; swap-erase finished flows.
   for (size_t f = 0; f < flows_.size();) {
@@ -183,6 +230,7 @@ void Engine::Step(double now, std::vector<int64_t>& completed) {
       flows_.pop_back();
       meta_[f] = meta_.back();
       meta_.pop_back();
+      flows_dirty_ = true;
     } else {
       ++f;
     }

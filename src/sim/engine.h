@@ -74,6 +74,15 @@ struct SimConfig {
   double vc_quantile = 0.95;
   // Optional structured event log (borrowed; must outlive the run).
   EventLog* events = nullptr;
+  // Cross-check the incremental Step() fast path (cached max-min rates and
+  // outage counts) against a from-scratch recompute every tick.  Costs a
+  // full re-solve per step, so it defaults to off except in Debug builds
+  // (see the SVC_SIM_CHECK_INCREMENTAL define in the top-level CMakeLists).
+#ifdef SVC_SIM_CHECK_INCREMENTAL
+  bool check_incremental = true;
+#else
+  bool check_incremental = false;
+#endif
 };
 
 class Engine {
@@ -120,6 +129,10 @@ class Engine {
   // Advances one time step; returns ids of jobs that completed at `now+dt`.
   void Step(double now, std::vector<int64_t>& completed);
 
+  // Asserts that the current flow rates equal a from-scratch max-min solve
+  // (SimConfig.check_incremental).
+  void CheckIncrementalRates();
+
   const topology::Topology* topo_;
   SimConfig config_;
   core::NetworkManager manager_;
@@ -141,6 +154,15 @@ class Engine {
   std::vector<topology::VertexId> loaded_links_;
   int64_t outage_link_seconds_ = 0;
   int64_t busy_link_seconds_ = 0;
+
+  // Incremental-step state: when the flow set and every desired rate are
+  // unchanged since the previous tick, the max-min rates and the per-tick
+  // outage counts are unchanged too, so Step() reuses them instead of
+  // re-solving (the steady-state fast path).
+  bool flows_dirty_ = true;          // flows added/removed since last solve
+  int64_t cached_busy_links_ = 0;    // loaded links in the last outage pass
+  int64_t cached_outage_links_ = 0;  // over-capacity links in that pass
+  std::vector<SimFlow> check_flows_;  // scratch for CheckIncrementalRates
 };
 
 }  // namespace svc::sim

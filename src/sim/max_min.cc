@@ -12,45 +12,91 @@ MaxMinScratch::MaxMinScratch(int num_vertices) {
   flows_on_.resize(num_vertices);
 }
 
+void MaxMinScratch::RebuildTopologyCaches(const std::vector<SimFlow>& flows) {
+  for (topology::VertexId link : active_links_) {
+    flows_on_[link].clear();
+  }
+  active_links_.clear();
+  const int n = static_cast<int>(flows.size());
+  networked_.assign(n, 0);
+  for (int f = 0; f < n; ++f) {
+    if (flows[f].links.empty()) continue;
+    networked_[f] = 1;
+    for (topology::VertexId link : flows[f].links) {
+      if (flows_on_[link].empty()) active_links_.push_back(link);
+      flows_on_[link].push_back(f);
+    }
+  }
+}
+
 void MaxMinScratch::Allocate(std::vector<SimFlow>& flows,
-                             const std::vector<double>& capacity) {
+                             const std::vector<double>& capacity,
+                             bool flows_changed) {
   constexpr double kInf = std::numeric_limits<double>::infinity();
   const int n = static_cast<int>(flows.size());
-  frozen_.assign(n, 0);
-  active_links_.clear();
 
+  if (flows_changed || !have_topology_cache_) {
+    RebuildTopologyCaches(flows);
+    have_topology_cache_ = true;
+    have_order_cache_ = false;
+  }
+
+  // The sorted order depends only on the desires (and the flow set, which
+  // the topology cache already pins): re-sort only when a desire changed.
+  bool desires_same =
+      have_order_cache_ && static_cast<int>(last_desired_.size()) == n;
+  if (desires_same) {
+    for (int f = 0; f < n; ++f) {
+      if (flows[f].desired != last_desired_[f]) {
+        desires_same = false;
+        break;
+      }
+    }
+  }
+  if (!desires_same) {
+    last_desired_.resize(n);
+    for (int f = 0; f < n; ++f) last_desired_[f] = flows[f].desired;
+  }
+
+  frozen_.assign(n, 0);
   int unfrozen = 0;
   for (int f = 0; f < n; ++f) {
     SimFlow& flow = flows[f];
     flow.rate = 0;
-    if (flow.links.empty() || flow.desired <= 0) {
+    if (!networked_[f] || flow.desired <= 0) {
       // No network on the path (or nothing to send): the flow gets its
       // desire outright.
       flow.rate = std::max(0.0, flow.desired);
       frozen_[f] = 1;
-      continue;
-    }
-    ++unfrozen;
-    for (topology::VertexId link : flow.links) {
-      if (count_[link] == 0) {
-        remaining_[link] = capacity[link];
-        flows_on_[link].clear();
-        active_links_.push_back(link);
-      }
-      ++count_[link];
-      flows_on_[link].push_back(f);
+    } else {
+      ++unfrozen;
     }
   }
 
-  // Flow indices ascending by desired rate; the front of this order is the
-  // candidate set for demand-limited freezing.
-  order_.clear();
-  for (int f = 0; f < n; ++f) {
-    if (!frozen_[f]) order_.push_back(f);
+  // Per-call link state.  flows_on_ may include flows frozen above (their
+  // desire dropped to zero since the last rebuild); they simply do not
+  // count toward the link's unfrozen population.
+  for (topology::VertexId link : active_links_) {
+    remaining_[link] = capacity[link];
+    count_[link] = 0;
   }
-  std::sort(order_.begin(), order_.end(), [&](int lhs, int rhs) {
-    return flows[lhs].desired < flows[rhs].desired;
-  });
+  for (int f = 0; f < n; ++f) {
+    if (frozen_[f]) continue;
+    for (topology::VertexId link : flows[f].links) ++count_[link];
+  }
+
+  if (!desires_same) {
+    // Flow indices ascending by desired rate; the front of this order is
+    // the candidate set for demand-limited freezing.
+    order_.clear();
+    for (int f = 0; f < n; ++f) {
+      if (!frozen_[f]) order_.push_back(f);
+    }
+    std::sort(order_.begin(), order_.end(), [&](int lhs, int rhs) {
+      return flows[lhs].desired < flows[rhs].desired;
+    });
+    have_order_cache_ = true;
+  }
   size_t next_demand = 0;
 
   auto freeze = [&](int f, double rate) {
@@ -99,11 +145,6 @@ void MaxMinScratch::Allocate(std::vector<SimFlow>& flows,
     for (int f : flows_on_[bottleneck]) {
       if (!frozen_[f]) freeze(f, level);
     }
-  }
-
-  // Reset per-link state for the next call (only touched links).
-  for (topology::VertexId link : active_links_) {
-    count_[link] = 0;
   }
 }
 

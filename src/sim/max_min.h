@@ -17,6 +17,15 @@
 // Each round freezes at least one flow or saturates one link, so the loop
 // terminates in O(#links + #batches) rounds.  Flows with an empty path
 // (both endpoints on one machine) bypass the network entirely.
+//
+// Incremental reuse: between simulator ticks the flow *set* usually does
+// not change (no admissions or completions), and under deterministic rate
+// enforcement the desires often repeat bit-for-bit.  The scratch therefore
+// caches the per-link flow lists (rebuilt only when the caller signals a
+// set change) and the desire-sorted order (re-sorted only when a desire
+// actually changed).  Both caches are pure memoization: the produced rates
+// are bit-identical to a from-scratch solve — tests/maxmin_incremental_test
+// cross-checks this under randomized churn.
 #pragma once
 
 #include <vector>
@@ -42,16 +51,33 @@ class MaxMinScratch {
 
   // Computes flow.rate for every flow.  `capacity[v]` is the capacity of
   // vertex v's uplink (index 0 / root unused).
+  //
+  // `flows_changed` is the caller's signal that the flow set may differ
+  // from the previous call (membership, order, or any `links` vector).
+  // Pass false ONLY when the flows vector is element-for-element the same
+  // as last time (desires may differ): the scratch then reuses its cached
+  // per-link flow lists, and skips the desire sort too when every desire
+  // is bit-identical.  Passing true is always safe.
   void Allocate(std::vector<SimFlow>& flows,
-                const std::vector<double>& capacity);
+                const std::vector<double>& capacity,
+                bool flows_changed = true);
 
  private:
+  // Rebuilds flows_on_ / active_links_ / order-membership from `flows`.
+  void RebuildTopologyCaches(const std::vector<SimFlow>& flows);
+
   std::vector<double> remaining_;           // per link
   std::vector<int> count_;                  // unfrozen flows per link
-  std::vector<std::vector<int>> flows_on_;  // per link: flow indices
+  std::vector<std::vector<int>> flows_on_;  // per link: flows crossing it
   std::vector<topology::VertexId> active_links_;
-  std::vector<int> order_;  // flow indices sorted by desired
+  std::vector<int> order_;  // networked flow indices sorted by desired
   std::vector<char> frozen_;
+
+  // Incremental-reuse state.
+  std::vector<char> networked_;      // flow has a non-empty path
+  std::vector<double> last_desired_; // desires seen by the last call
+  bool have_topology_cache_ = false;
+  bool have_order_cache_ = false;
 };
 
 }  // namespace svc::sim

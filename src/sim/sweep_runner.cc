@@ -1,0 +1,35 @@
+#include "sim/sweep_runner.h"
+
+namespace svc::sim {
+
+uint64_t ReplicaSeed(uint64_t base, uint64_t index) {
+  // SplitMix64 finalizer (Steele, Lea & Flood), applied to base + index and
+  // then once more so sequential indices diverge in every bit.
+  auto mix = [](uint64_t z) {
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  return mix(mix(base) + index);
+}
+
+SweepRunner::SweepRunner(int threads)
+    : threads_(threads == 0 ? util::ThreadPool::HardwareThreads()
+                            : threads) {
+  if (threads_ < 1) threads_ = 1;
+}
+
+SweepRunner::~SweepRunner() = default;
+
+void SweepRunner::RunAll(const std::vector<std::function<void()>>& tasks) {
+  if (threads_ == 1) {
+    for (const auto& task : tasks) task();
+    return;
+  }
+  if (pool_ == nullptr) pool_ = std::make_unique<util::ThreadPool>(threads_);
+  for (const auto& task : tasks) pool_->Submit(task);
+  pool_->Wait();
+}
+
+}  // namespace svc::sim

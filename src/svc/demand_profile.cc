@@ -38,9 +38,10 @@ stats::Normal SplitDemandFromBelow(const Request& request, double below_mean,
   return SplitDemand(below, above);
 }
 
-HomogeneousProfile::HomogeneousProfile(const Request& request)
-    : n_(request.n()), deterministic_(request.deterministic()) {
+void HomogeneousProfile::Reset(const Request& request) {
   assert(request.homogeneous());
+  n_ = request.n();
+  deterministic_ = request.deterministic();
   const stats::Normal& per_vm = request.demand(0);
   table_.resize(n_ + 1);
   for (int m = 0; m <= n_; ++m) {

@@ -34,8 +34,16 @@ stats::Normal SplitDemandFromBelow(const Request& request, double below_mean,
 
 class HomogeneousProfile {
  public:
+  // Empty profile; call Reset() before use.  Exists so callers can keep a
+  // long-lived (e.g. thread-local) instance whose table capacity is reused
+  // across requests instead of reallocating per Allocate() call.
+  HomogeneousProfile() = default;
+
   // Precondition: request.homogeneous().
-  explicit HomogeneousProfile(const Request& request);
+  explicit HomogeneousProfile(const Request& request) { Reset(request); }
+
+  // Rebuilds the tables for `request`, reusing the existing storage.
+  void Reset(const Request& request);
 
   int n() const { return n_; }
   bool deterministic() const { return deterministic_; }
@@ -54,8 +62,8 @@ class HomogeneousProfile {
   double DetAdd(int m) const { return deterministic_ ? table_[m].mean : 0.0; }
 
  private:
-  int n_;
-  bool deterministic_;
+  int n_ = 0;
+  bool deterministic_ = false;
   std::vector<stats::Normal> table_;  // index m = 0..n
 };
 

@@ -4,22 +4,63 @@
 #include <bit>
 #include <cassert>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "svc/demand_profile.h"
+#include "svc/scratch_arena.h"
 
 namespace svc::core {
 namespace {
 
 constexpr double kInfeasible = std::numeric_limits<double>::infinity();
 
-struct VertexState {
-  // opt[mask]: min-max occupancy over T_v's links plus v's uplink when
-  // exactly the VMs in `mask` are placed in T_v; +inf if impossible.
+// Flattened per-call DP tables, reused across calls (thread-local so a
+// shared allocator instance serves concurrent sweep-runner replicas).
+//
+// opt[v*num_masks + mask]: min-max occupancy over T_v's links plus v's
+// uplink when exactly the VMs in `mask` are placed in T_v; +inf if
+// impossible.  choice rows are keyed by the *child* vertex (each non-root
+// vertex is exactly one child edge): choice[c*num_masks + mask] is the
+// submask handed to child c when its parent's stage receives `mask`.
+struct ExactArena {
   std::vector<double> opt;
-  // choice[i][mask]: submask handed to the i-th child.
-  std::vector<std::vector<uint32_t>> choice;
+  std::vector<uint32_t> choice;
+  std::vector<double> current;
+  std::vector<double> next;
+  std::vector<double> mask_mean;
+  std::vector<double> mask_var;
+  std::vector<std::pair<topology::VertexId, uint32_t>> stack;
+  size_t num_masks = 0;
+
+  void Prepare(int num_vertices, size_t masks) {
+    num_masks = masks;
+    const size_t cells = static_cast<size_t>(num_vertices) * masks;
+    if (opt.size() < cells) opt.resize(cells);
+    if (choice.size() < cells) choice.resize(cells);
+    if (current.size() < masks) {
+      current.resize(masks);
+      next.resize(masks);
+    }
+    if (mask_mean.size() < masks) {
+      mask_mean.resize(masks);
+      mask_var.resize(masks);
+    }
+    stack.clear();
+  }
+
+  double* opt_row(topology::VertexId v) {
+    return opt.data() + static_cast<size_t>(v) * num_masks;
+  }
+  uint32_t* choice_row(topology::VertexId v) {
+    return choice.data() + static_cast<size_t>(v) * num_masks;
+  }
 };
+
+ExactArena& LocalArena() {
+  thread_local ExactArena arena;
+  return arena;
+}
 
 }  // namespace
 
@@ -41,10 +82,15 @@ util::Result<Placement> HeteroExactAllocator::Allocate(
   const uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1);
   const size_t num_masks = static_cast<size_t>(full) + 1;
 
+  ExactArena& arena = LocalArena();
+  arena.Prepare(topo.num_vertices(), num_masks);
+
   // Aggregate demand moments per subset, built incrementally from the
   // lowest set bit.
-  std::vector<double> mask_mean(num_masks, 0.0);
-  std::vector<double> mask_var(num_masks, 0.0);
+  double* mask_mean = arena.mask_mean.data();
+  double* mask_var = arena.mask_var.data();
+  mask_mean[0] = 0.0;
+  mask_var[0] = 0.0;
   for (uint32_t mask = 1; mask <= full; ++mask) {
     const int bit = std::countr_zero(mask);
     const uint32_t rest = mask & (mask - 1);
@@ -64,32 +110,32 @@ util::Result<Placement> HeteroExactAllocator::Allocate(
     return ledger.OccupancyWith(v, mean, var, d);
   };
 
-  std::vector<VertexState> state(topo.num_vertices());
   topology::VertexId best_vertex = topology::kNoVertex;
   double best_value = kInfeasible;
 
   for (int level = 0; level <= topo.height(); ++level) {
     for (topology::VertexId v : topo.vertices_at_level(level)) {
-      VertexState& vs = state[v];
+      double* vopt = arena.opt_row(v);
       if (topo.is_machine(v)) {
         const int cap = slots.free_slots(v);
-        vs.opt.assign(num_masks, kInfeasible);
+        std::fill(vopt, vopt + num_masks, kInfeasible);
         for (uint32_t mask = 0; mask <= full; ++mask) {
           if (std::popcount(mask) > cap) continue;
-          vs.opt[mask] = uplink_cost(v, mask);
+          vopt[mask] = uplink_cost(v, mask);
         }
       } else {
         const auto& children = topo.children(v);
-        std::vector<double> current(num_masks, kInfeasible);
+        double* current = arena.current.data();
+        std::fill(current, current + num_masks, kInfeasible);
         current[0] = 0.0;
-        vs.choice.resize(children.size());
-        for (size_t i = 0; i < children.size(); ++i) {
-          const std::vector<double>& child_opt = state[children[i]].opt;
-          std::vector<double> next(num_masks, kInfeasible);
-          std::vector<uint32_t>& choice = vs.choice[i];
-          choice.assign(num_masks, 0);
+        for (topology::VertexId child_vertex : children) {
+          const double* child_opt = arena.opt_row(child_vertex);
+          double* next = arena.next.data();
+          std::fill(next, next + num_masks, kInfeasible);
+          uint32_t* choice = arena.choice_row(child_vertex);
+          std::fill(choice, choice + num_masks, 0u);
           for (uint32_t mask = 0; mask <= full; ++mask) {
-            // Enumerate submasks `sub` of `mask` given to child i (the
+            // Enumerate submasks `sub` of `mask` given to the child (the
             // standard (sub - 1) & mask walk, including 0).
             uint32_t sub = mask;
             while (true) {
@@ -108,26 +154,28 @@ util::Result<Placement> HeteroExactAllocator::Allocate(
               sub = (sub - 1) & mask;
             }
           }
-          current = std::move(next);
+          std::swap(arena.current, arena.next);
+          current = arena.current.data();
         }
-        vs.opt.assign(num_masks, kInfeasible);
         for (uint32_t mask = 0; mask <= full; ++mask) {
-          if (current[mask] == kInfeasible) continue;
-          if (v == topo.root()) {
-            vs.opt[mask] = current[mask];
+          if (current[mask] == kInfeasible) {
+            vopt[mask] = kInfeasible;
+          } else if (v == topo.root()) {
+            vopt[mask] = current[mask];
           } else {
             const double up = uplink_cost(v, mask);
-            if (up != kInfeasible) vs.opt[mask] = std::max(current[mask], up);
+            vopt[mask] = up == kInfeasible ? kInfeasible
+                                           : std::max(current[mask], up);
           }
         }
       }
 
-      if (vs.opt[full] != kInfeasible) {
-        const bool better = optimize_ ? vs.opt[full] < best_value
+      if (vopt[full] != kInfeasible) {
+        const bool better = optimize_ ? vopt[full] < best_value
                                       : best_vertex == topology::kNoVertex;
         if (better) {
           best_vertex = v;
-          best_value = vs.opt[full];
+          best_value = vopt[full];
         }
       }
     }
@@ -143,9 +191,10 @@ util::Result<Placement> HeteroExactAllocator::Allocate(
   Placement placement;
   placement.subtree_root = best_vertex;
   placement.max_occupancy = best_value;
+  placement.vm_machine = TakeVmBuffer();
   placement.vm_machine.assign(n, topology::kNoVertex);
-  std::vector<std::pair<topology::VertexId, uint32_t>> stack{
-      {best_vertex, full}};
+  auto& stack = arena.stack;
+  stack.emplace_back(best_vertex, full);
   while (!stack.empty()) {
     const auto [v, mask] = stack.back();
     stack.pop_back();
@@ -161,7 +210,7 @@ util::Result<Placement> HeteroExactAllocator::Allocate(
     const auto& children = topo.children(v);
     uint32_t remaining = mask;
     for (size_t i = children.size(); i-- > 0;) {
-      const uint32_t sub = state[v].choice[i][remaining];
+      const uint32_t sub = arena.choice_row(children[i])[remaining];
       if (sub) stack.emplace_back(children[i], sub);
       remaining ^= sub;
     }

@@ -4,9 +4,12 @@
 #include <cassert>
 #include <limits>
 #include <numeric>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "svc/demand_profile.h"
+#include "svc/scratch_arena.h"
 
 namespace svc::core {
 namespace {
@@ -14,29 +17,55 @@ namespace {
 constexpr double kInfeasible = std::numeric_limits<double>::infinity();
 constexpr int kMaxHeuristicVms = 512;  // int16_t split indices + sanity bound
 
-// Dense (a, b) table over substrings of the sorted VM sequence.
-// a in [1, n+1], b in [0, n]; the entry (a, a-1) is the empty assignment.
-class SubstringTable {
- public:
-  explicit SubstringTable(int n)
-      : n_(n), cells_((n + 2) * (n + 1), kInfeasible) {}
+// Flattened per-call DP tables over substrings of the sorted VM sequence,
+// reused across calls (thread-local: one allocator instance can serve
+// concurrent sweep-runner replicas).
+//
+// Each (a, b) table is a dense row of (n+2)*(n+1) cells indexed
+// a*(n+1)+b with a in [1, n+1], b in [a-1, n]; the entry (a, a-1) is the
+// empty assignment.  opt rows are keyed by vertex; choice rows are keyed
+// by the *child* vertex (every non-root vertex is exactly one child edge,
+// so the parent's stage-i row lives at row children[i]).
+struct HeuristicArena {
+  std::vector<double> opt;
+  std::vector<int16_t> choice;
+  std::vector<double> current;
+  std::vector<double> next;
+  std::vector<int> order;
+  std::vector<double> prefix_mean;
+  std::vector<double> prefix_var;
+  std::vector<std::tuple<topology::VertexId, int, int>> stack;
+  size_t table = 0;  // cells per (a, b) table
 
-  double& at(int a, int b) { return cells_[a * (n_ + 1) + b]; }
-  double at(int a, int b) const { return cells_[a * (n_ + 1) + b]; }
+  void Prepare(int num_vertices, int n) {
+    table = static_cast<size_t>(n + 2) * (n + 1);
+    const size_t cells = static_cast<size_t>(num_vertices) * table;
+    if (opt.size() < cells) opt.resize(cells);
+    if (choice.size() < cells) choice.resize(cells);
+    if (current.size() < table) {
+      current.resize(table);
+      next.resize(table);
+    }
+    if (order.size() < static_cast<size_t>(n)) order.resize(n);
+    if (prefix_mean.size() < static_cast<size_t>(n + 1)) {
+      prefix_mean.resize(n + 1);
+      prefix_var.resize(n + 1);
+    }
+    stack.clear();
+  }
 
- private:
-  int n_;
-  std::vector<double> cells_;
+  double* opt_row(topology::VertexId v) {
+    return opt.data() + static_cast<size_t>(v) * table;
+  }
+  int16_t* choice_row(topology::VertexId v) {
+    return choice.data() + static_cast<size_t>(v) * table;
+  }
 };
 
-struct VertexState {
-  SubstringTable opt;  // min-max occupancy incl. own uplink, or +inf
-  // choice[i][(a,b)] = split point k: child i receives <k, b>, earlier
-  // stages keep <a, k-1>.
-  std::vector<std::vector<int16_t>> choice;
-
-  explicit VertexState(int n) : opt(n) {}
-};
+HeuristicArena& LocalArena() {
+  thread_local HeuristicArena arena;
+  return arena;
+}
 
 }  // namespace
 
@@ -54,21 +83,28 @@ util::Result<Placement> HeteroHeuristicAllocator::Allocate(
   }
 
   const topology::Topology& topo = ledger.topo();
+  HeuristicArena& arena = LocalArena();
+  arena.Prepare(topo.num_vertices(), n);
+  const auto idx = [n](int a, int b) {
+    return static_cast<size_t>(a) * (n + 1) + b;
+  };
 
   // Sort VM indices ascending by the 95th percentile of their demand (the
   // paper's ordering for stochastic demands; for deterministic requests the
   // quantile is the constant bandwidth itself).
-  std::vector<int> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](int lhs, int rhs) {
+  int* order = arena.order.data();
+  std::iota(order, order + n, 0);
+  std::stable_sort(order, order + n, [&](int lhs, int rhs) {
     return request.demand(lhs).Quantile(0.95) <
            request.demand(rhs).Quantile(0.95);
   });
 
   // Prefix moments over the sorted order: prefix[k] = aggregate of the
   // first k sorted VMs.
-  std::vector<double> prefix_mean(n + 1, 0.0);
-  std::vector<double> prefix_var(n + 1, 0.0);
+  double* prefix_mean = arena.prefix_mean.data();
+  double* prefix_var = arena.prefix_var.data();
+  prefix_mean[0] = 0.0;
+  prefix_var[0] = 0.0;
   for (int k = 1; k <= n; ++k) {
     const stats::Normal& d = request.demand(order[k - 1]);
     prefix_mean[k] = prefix_mean[k - 1] + d.mean;
@@ -89,42 +125,43 @@ util::Result<Placement> HeteroHeuristicAllocator::Allocate(
     return ledger.OccupancyWith(v, mean, var, d);
   };
 
-  std::vector<VertexState> state(topo.num_vertices(), VertexState(n));
   topology::VertexId best_vertex = topology::kNoVertex;
   double best_value = kInfeasible;
 
   for (int level = 0; level <= topo.height(); ++level) {
     for (topology::VertexId v : topo.vertices_at_level(level)) {
-      VertexState& vs = state[v];
+      double* vopt = arena.opt_row(v);
+      std::fill(vopt, vopt + arena.table, kInfeasible);
       if (topo.is_machine(v)) {
         const int cap = slots.free_slots(v);
         for (int a = 1; a <= n + 1; ++a) {
           const int b_hi = std::min(n, a - 1 + cap);
           for (int b = a - 1; b <= b_hi; ++b) {
-            vs.opt.at(a, b) = uplink_cost(v, a, b);
+            vopt[idx(a, b)] = uplink_cost(v, a, b);
           }
         }
       } else {
         const auto& children = topo.children(v);
         // current = assignments realizable by T_v^[i]; T_v^[0] holds only
         // the empty substring.
-        SubstringTable current(n);
-        for (int a = 1; a <= n + 1; ++a) current.at(a, a - 1) = 0.0;
-        vs.choice.resize(children.size());
-        for (size_t i = 0; i < children.size(); ++i) {
-          const SubstringTable& child_opt = state[children[i]].opt;
-          SubstringTable next(n);
-          std::vector<int16_t>& choice = vs.choice[i];
-          choice.assign((n + 2) * (n + 1), -1);
+        double* current = arena.current.data();
+        std::fill(current, current + arena.table, kInfeasible);
+        for (int a = 1; a <= n + 1; ++a) current[idx(a, a - 1)] = 0.0;
+        for (topology::VertexId child_vertex : children) {
+          const double* child_opt = arena.opt_row(child_vertex);
+          double* next = arena.next.data();
+          std::fill(next, next + arena.table, kInfeasible);
+          int16_t* choice = arena.choice_row(child_vertex);
+          std::fill(choice, choice + arena.table, int16_t{-1});
           for (int a = 1; a <= n + 1; ++a) {
             for (int b = a - 1; b <= n; ++b) {
               double best = kInfeasible;
               int best_k = -1;
-              // Child i takes <k, b>; stages 0..i-1 keep <a, k-1>.
+              // The child takes <k, b>; earlier stages keep <a, k-1>.
               for (int k = a; k <= b + 1; ++k) {
-                const double left = current.at(a, k - 1);
+                const double left = current[idx(a, k - 1)];
                 if (left == kInfeasible) continue;
-                const double right = child_opt.at(k, b);
+                const double right = child_opt[idx(k, b)];
                 if (right == kInfeasible) continue;
                 const double value = std::max(left, right);
                 if (optimize_ ? value < best : best_k < 0) {
@@ -134,28 +171,29 @@ util::Result<Placement> HeteroHeuristicAllocator::Allocate(
                 if (!optimize_ && best_k >= 0) break;
               }
               if (best_k >= 0) {
-                next.at(a, b) = best;
-                choice[a * (n + 1) + b] = static_cast<int16_t>(best_k);
+                next[idx(a, b)] = best;
+                choice[idx(a, b)] = static_cast<int16_t>(best_k);
               }
             }
           }
-          current = std::move(next);
+          std::swap(arena.current, arena.next);
+          current = arena.current.data();
         }
         for (int a = 1; a <= n + 1; ++a) {
           for (int b = a - 1; b <= n; ++b) {
-            const double inner = current.at(a, b);
+            const double inner = current[idx(a, b)];
             if (inner == kInfeasible) continue;
             if (v == topo.root()) {
-              vs.opt.at(a, b) = inner;
+              vopt[idx(a, b)] = inner;
             } else {
               const double up = uplink_cost(v, a, b);
-              if (up != kInfeasible) vs.opt.at(a, b) = std::max(inner, up);
+              if (up != kInfeasible) vopt[idx(a, b)] = std::max(inner, up);
             }
           }
         }
       }
 
-      const double whole = vs.opt.at(1, n);
+      const double whole = vopt[idx(1, n)];
       if (whole != kInfeasible) {
         const bool better =
             optimize_ ? whole < best_value : best_vertex == topology::kNoVertex;
@@ -177,9 +215,10 @@ util::Result<Placement> HeteroHeuristicAllocator::Allocate(
   Placement placement;
   placement.subtree_root = best_vertex;
   placement.max_occupancy = best_value;
+  placement.vm_machine = TakeVmBuffer();
   placement.vm_machine.assign(n, topology::kNoVertex);
-  std::vector<std::tuple<topology::VertexId, int, int>> stack{
-      {best_vertex, 1, n}};
+  auto& stack = arena.stack;
+  stack.emplace_back(best_vertex, 1, n);
   while (!stack.empty()) {
     auto [v, a, b] = stack.back();
     stack.pop_back();
@@ -192,7 +231,7 @@ util::Result<Placement> HeteroHeuristicAllocator::Allocate(
     }
     const auto& children = topo.children(v);
     for (size_t i = children.size(); i-- > 0;) {
-      const int k = state[v].choice[i][a * (n + 1) + b];
+      const int k = arena.choice_row(children[i])[idx(a, b)];
       assert(k >= a && k <= b + 1 && "unreachable choice entry");
       if (k <= b) stack.emplace_back(children[i], k, b);
       b = k - 1;

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "svc/demand_profile.h"
+#include "svc/scratch_arena.h"
 #include "util/logging.h"
 
 namespace svc::core {
@@ -13,21 +15,64 @@ namespace {
 
 constexpr double kInfeasible = std::numeric_limits<double>::infinity();
 
-// Per-vertex DP state.
+// Flattened per-call DP tables, reused across calls.
 //
-// opt[x] is the paper's combination of Opt(T_v, x) and the uplink ratio
-// O_{L_v}(N, x): the minimum achievable value of the maximum occupancy over
-// all links of T_v *plus v's uplink* when x VMs are placed in T_v, or
+// opt[v*(n+1) + x] is the paper's combination of Opt(T_v, x) and the uplink
+// ratio O_{L_v}(N, x): the minimum achievable value of the maximum occupancy
+// over all links of T_v *plus v's uplink* when x VMs are placed in T_v, or
 // +inf when no valid placement of x VMs exists.  Folding the uplink in here
 // is equivalent to the paper's recurrence (11), which maxes O_{L_vi} in at
-// the parent.
+// the parent.  opt_len[v] is the number of valid entries in v's row (the
+// original per-vertex table size); 0 marks a row not computed this call.
 //
-// choice[i][x] is the paper's D_v[i, x]: how many of the x VMs assigned to
-// T_v^[i] (v plus its first i child subtrees) go to the i-th child.
-struct VertexState {
+// The choice table is the paper's D_v[i, x] — how many of the x VMs
+// assigned to T_v^[i] (v plus its first i child subtrees) go to the i-th
+// child — flattened with rows keyed by the *child* vertex: every non-root
+// vertex is exactly one child edge of its parent, so the parent's stage-i
+// row can live at row children[i] without collisions.
+//
+// The arena is thread-local so one allocator instance can serve concurrent
+// sweep-runner replicas without sharing mutable state.  After the first
+// call on a topology/request-size combination no Allocate() call touches
+// the heap (see bench/alloc_microbench's allocation-counter benchmark).
+struct DpArena {
   std::vector<double> opt;
-  std::vector<std::vector<int>> choice;
+  std::vector<int> opt_len;
+  std::vector<int> choice;
+  std::vector<double> current;
+  std::vector<double> next;
+  std::vector<std::pair<topology::VertexId, int>> stack;
+  HomogeneousProfile profile;  // table capacity reused across requests
+  int stride = 0;
+
+  void Prepare(int num_vertices, int n) {
+    stride = n + 1;
+    const size_t cells = static_cast<size_t>(num_vertices) * stride;
+    if (opt.size() < cells) opt.resize(cells);
+    if (choice.size() < cells) choice.resize(cells);
+    if (opt_len.size() < static_cast<size_t>(num_vertices)) {
+      opt_len.resize(num_vertices);
+    }
+    std::fill(opt_len.begin(), opt_len.begin() + num_vertices, 0);
+    if (current.size() < static_cast<size_t>(stride)) {
+      current.resize(stride);
+      next.resize(stride);
+    }
+    stack.clear();
+  }
+
+  double* opt_row(topology::VertexId v) {
+    return opt.data() + static_cast<size_t>(v) * stride;
+  }
+  int* choice_row(topology::VertexId v) {
+    return choice.data() + static_cast<size_t>(v) * stride;
+  }
 };
+
+DpArena& LocalArena() {
+  thread_local DpArena arena;
+  return arena;
+}
 
 }  // namespace
 
@@ -47,9 +92,11 @@ util::Result<Placement> HomogeneousSearchAllocator::Allocate(
   }
 
   const topology::Topology& topo = ledger.topo();
-  const HomogeneousProfile profile(request);
 
-  std::vector<VertexState> state(topo.num_vertices());
+  DpArena& arena = LocalArena();
+  arena.profile.Reset(request);
+  const HomogeneousProfile& profile = arena.profile;
+  arena.Prepare(topo.num_vertices(), n);
 
   // Occupancy of v's uplink if x of the n VMs end up below it; +inf when
   // condition (4) would be violated.
@@ -66,26 +113,28 @@ util::Result<Placement> HomogeneousSearchAllocator::Allocate(
 
   for (int level = 0; level <= topo.height(); ++level) {
     for (topology::VertexId v : topo.vertices_at_level(level)) {
-      VertexState& vs = state[v];
+      double* vopt = arena.opt_row(v);
       if (topo.is_machine(v)) {
         // Leaf: S_v = {0..free slots}; no links inside a machine, so the
         // subtree cost is just the uplink's.
         const int cap = std::min(n, slots.free_slots(v));
-        vs.opt.assign(cap + 1, kInfeasible);
-        for (int x = 0; x <= cap; ++x) vs.opt[x] = uplink_cost(v, x);
+        arena.opt_len[v] = cap + 1;
+        for (int x = 0; x <= cap; ++x) vopt[x] = uplink_cost(v, x);
       } else {
         // Internal vertex: fold children in one at a time (T_v^[i]).
         const auto& children = topo.children(v);
-        std::vector<double> current{0.0};  // T_v^[0] = {v}: zero VMs, no links
-        vs.choice.resize(children.size());
-        for (size_t i = 0; i < children.size(); ++i) {
-          const std::vector<double>& child_opt = state[children[i]].opt;
-          const int prev_max = static_cast<int>(current.size()) - 1;
-          const int child_max = static_cast<int>(child_opt.size()) - 1;
+        double* current = arena.current.data();
+        current[0] = 0.0;  // T_v^[0] = {v}: zero VMs, no links
+        int cur_len = 1;
+        for (topology::VertexId child : children) {
+          const double* child_opt = arena.opt_row(child);
+          const int prev_max = cur_len - 1;
+          const int child_max = arena.opt_len[child] - 1;
           const int next_max = std::min(n, prev_max + child_max);
-          std::vector<double> next(next_max + 1, kInfeasible);
-          std::vector<int>& choice = vs.choice[i];
-          choice.assign(next_max + 1, -1);
+          double* next = arena.next.data();
+          std::fill(next, next + next_max + 1, kInfeasible);
+          int* choice = arena.choice_row(child);
+          std::fill(choice, choice + next_max + 1, -1);
           for (int h = 0; h <= prev_max; ++h) {
             if (current[h] == kInfeasible) continue;
             const int e_limit = std::min(child_max, n - h);
@@ -102,29 +151,33 @@ util::Result<Placement> HomogeneousSearchAllocator::Allocate(
               }
             }
           }
-          current = std::move(next);
+          std::swap(arena.current, arena.next);
+          current = arena.current.data();
+          cur_len = next_max + 1;
         }
         // Apply v's own uplink (root has none).
-        vs.opt.assign(current.size(), kInfeasible);
-        for (int x = 0; x < static_cast<int>(current.size()); ++x) {
-          if (current[x] == kInfeasible) continue;
-          if (v == topo.root()) {
-            vs.opt[x] = current[x];
+        arena.opt_len[v] = cur_len;
+        for (int x = 0; x < cur_len; ++x) {
+          if (current[x] == kInfeasible) {
+            vopt[x] = kInfeasible;
+          } else if (v == topo.root()) {
+            vopt[x] = current[x];
           } else {
             const double up = uplink_cost(v, x);
-            if (up != kInfeasible) vs.opt[x] = std::max(current[x], up);
+            vopt[x] = up == kInfeasible ? kInfeasible
+                                        : std::max(current[x], up);
           }
         }
       }
 
       // Can this subtree host the whole request?
-      if (static_cast<int>(vs.opt.size()) > n && vs.opt[n] != kInfeasible) {
+      if (arena.opt_len[v] > n && vopt[n] != kInfeasible) {
         const bool better = options_.optimize_occupancy
-                                ? vs.opt[n] < best_value
+                                ? vopt[n] < best_value
                                 : best_vertex == topology::kNoVertex;
         if (better) {
           best_vertex = v;
-          best_value = vs.opt[n];
+          best_value = vopt[n];
         }
       }
     }
@@ -143,9 +196,11 @@ util::Result<Placement> HomogeneousSearchAllocator::Allocate(
   Placement placement;
   placement.subtree_root = best_vertex;
   placement.max_occupancy = best_value;
+  placement.vm_machine = TakeVmBuffer();
   placement.vm_machine.reserve(n);
-  // Explicit stack to avoid recursion on deep topologies.
-  std::vector<std::pair<topology::VertexId, int>> stack{{best_vertex, n}};
+  // Explicit stack (arena-owned) to avoid recursion on deep topologies.
+  auto& stack = arena.stack;
+  stack.emplace_back(best_vertex, n);
   while (!stack.empty()) {
     const auto [v, x] = stack.back();
     stack.pop_back();
@@ -157,8 +212,8 @@ util::Result<Placement> HomogeneousSearchAllocator::Allocate(
     const auto& children = topo.children(v);
     int remaining = x;
     for (size_t i = children.size(); i-- > 0;) {
-      assert(remaining < static_cast<int>(state[v].choice[i].size()));
-      const int e = state[v].choice[i][remaining];
+      assert(remaining <= n);
+      const int e = arena.choice_row(children[i])[remaining];
       assert(e >= 0 && "reconstruction hit an unreachable table entry");
       if (e > 0) stack.emplace_back(children[i], e);
       remaining -= e;

@@ -1,6 +1,7 @@
 #include "svc/manager.h"
 
 #include <cassert>
+#include <utility>
 
 #include "svc/demand_profile.h"
 #include "util/logging.h"
@@ -101,7 +102,8 @@ util::Result<Placement> NetworkManager::Admit(const Request& request,
   }
   util::Result<Placement> result = allocator.Allocate(request, ledger_, slots_);
   if (!result) return result;
-  util::Result<Placement> committed = AdmitPlacement(request, *result);
+  util::Result<Placement> committed =
+      AdmitPlacement(request, std::move(*result));
   if (!committed) {
     // The allocator produced an invalid placement — surface it with the
     // allocator's name so the bug is attributable.

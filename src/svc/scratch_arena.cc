@@ -1,0 +1,34 @@
+#include "svc/scratch_arena.h"
+
+#include <utility>
+
+namespace svc::core {
+namespace {
+
+// Enough for any realistic caller (one or two placements in flight per
+// thread); keeps a leaky caller from hoarding memory.
+constexpr size_t kMaxPooledBuffers = 64;
+
+std::vector<std::vector<topology::VertexId>>& Pool() {
+  thread_local std::vector<std::vector<topology::VertexId>> pool;
+  return pool;
+}
+
+}  // namespace
+
+std::vector<topology::VertexId> TakeVmBuffer() {
+  auto& pool = Pool();
+  if (pool.empty()) return {};
+  std::vector<topology::VertexId> buffer = std::move(pool.back());
+  pool.pop_back();
+  buffer.clear();
+  return buffer;
+}
+
+void RecycleVmBuffer(std::vector<topology::VertexId>&& buffer) {
+  auto& pool = Pool();
+  if (pool.size() >= kMaxPooledBuffers) return;  // drop: frees the buffer
+  pool.push_back(std::move(buffer));
+}
+
+}  // namespace svc::core

@@ -1,0 +1,31 @@
+// Per-thread recycling pool for placement result buffers.
+//
+// Allocators return a Placement whose vm_machine vector must be freshly
+// owned by the caller, which normally forces one heap allocation per
+// Allocate() call even when every DP table lives in a reusable arena.  A
+// caller that consumes placements in a loop (the simulator engine, the
+// admission microbenchmarks) can close that loop: recycle the buffer of a
+// placement it has finished reading, and the next Allocate() on the same
+// thread reuses the capacity instead of allocating.
+//
+// The pool is thread-local, so allocators shared across sweep-runner
+// replicas stay data-race free with zero synchronization.  Recycling is
+// strictly optional — allocators fall back to a fresh vector when the pool
+// is empty, so callers that never recycle see the old behavior.
+#pragma once
+
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace svc::core {
+
+// Pops a recycled buffer from the calling thread's pool (cleared, capacity
+// preserved), or returns a fresh empty vector when the pool is empty.
+std::vector<topology::VertexId> TakeVmBuffer();
+
+// Returns a vm_machine buffer to the calling thread's pool.  The pool is
+// bounded; excess buffers are simply freed.
+void RecycleVmBuffer(std::vector<topology::VertexId>&& buffer);
+
+}  // namespace svc::core

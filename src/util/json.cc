@@ -1,0 +1,111 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace svc::util {
+
+void JsonWriter::Separate() {
+  if (pending_key_) {
+    // The comma (if any) was emitted with the key.
+    pending_key_ = false;
+    return;
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_ += ',';
+    has_element_.back() = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  Separate();
+  out_ += '{';
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  has_element_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  Separate();
+  out_ += '[';
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  has_element_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::Key(const std::string& key) {
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_ += ',';
+    has_element_.back() = true;
+  }
+  out_ += Escape(key);
+  out_ += ':';
+  pending_key_ = true;
+}
+
+void JsonWriter::Value(double v) {
+  Separate();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  out_ += buffer;
+}
+
+void JsonWriter::Value(int64_t v) {
+  Separate();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::Value(uint64_t v) {
+  Separate();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::Value(bool v) {
+  Separate();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::Value(const std::string& v) {
+  Separate();
+  out_ += Escape(v);
+}
+
+void JsonWriter::Null() {
+  Separate();
+  out_ += "null";
+}
+
+std::string JsonWriter::Escape(const std::string& text) {
+  std::string result = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"': result += "\\\""; break;
+      case '\\': result += "\\\\"; break;
+      case '\n': result += "\\n"; break;
+      case '\r': result += "\\r"; break;
+      case '\t': result += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          result += buffer;
+        } else {
+          result += c;
+        }
+    }
+  }
+  result += '"';
+  return result;
+}
+
+}  // namespace svc::util
