@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
                                      "trunk widths for ToR/agg uplinks");
   bool& csv = flags.Bool("csv", false, "also print CSV");
   flags.Parse(argc, argv);
+  bench::ObsScope obs(common);
 
   // Each cell builds its own (per-width) topology, so nothing is shared.
   const std::vector<int64_t> width_list = util::ParseIntList(trunks);

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   double& rho = flags.Double("rho", 0.8, "deviation coefficient");
   bool& csv = flags.Bool("csv", false, "also print CSV");
   flags.Parse(argc, argv);
+  bench::ObsScope obs(common);
 
   const topology::Topology topo =
       topology::BuildThreeTier(common.TopologyConfig());

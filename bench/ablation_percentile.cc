@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
                    "reserved percentile sweep");
   bool& csv = flags.Bool("csv", false, "also print CSV");
   flags.Parse(argc, argv);
+  bench::ObsScope obs(common);
 
   const topology::Topology topo =
       topology::BuildThreeTier(common.TopologyConfig());

@@ -14,6 +14,8 @@
 
 #include "alloc_counter.h"
 #include "bench_common.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/rng.h"
 #include "svc/first_fit.h"
 #include "svc/hetero_exact.h"
@@ -197,6 +199,40 @@ void BM_HomogeneousDpSteadyAllocs(benchmark::State& state) {
       calls == 0 ? 0.0 : static_cast<double>(allocations) / calls;
 }
 BENCHMARK(BM_HomogeneousDpSteadyAllocs);
+
+// The same steady-state allocation count with the metrics registry and
+// tracing armed: the obs write path (static handle caches, sharded atomic
+// bumps, ring-buffer spans) must not add a single heap allocation either.
+// The warm-up call registers the metric handles and this thread's trace
+// ring, mirroring a real instrumented process after its first request.
+void BM_HomogeneousDpSteadyAllocsObsOn(benchmark::State& state) {
+  const topology::Topology topo = BenchFabric(50);
+  const core::NetworkManager manager = LoadedManager(topo);
+  const core::HomogeneousDpAllocator alloc;
+  const core::Request r = core::Request::Homogeneous(1, 49, 200, 100);
+  const bool metrics_were_on = obs::MetricsEnabled();
+  const bool trace_was_on = obs::TraceEnabled();
+  obs::SetMetricsEnabled(true);
+  obs::SetTraceEnabled(true);
+  if (auto result = alloc.Allocate(r, manager.ledger(), manager.slots())) {
+    core::RecycleVmBuffer(std::move(result->vm_machine));
+  }
+  int64_t allocations = 0;
+  int64_t calls = 0;
+  for (auto _ : state) {
+    const int64_t before = svc::bench::AllocationCount();
+    auto result = alloc.Allocate(r, manager.ledger(), manager.slots());
+    allocations += svc::bench::AllocationCount() - before;
+    ++calls;
+    benchmark::DoNotOptimize(result);
+    if (result.ok()) core::RecycleVmBuffer(std::move(result->vm_machine));
+  }
+  obs::SetMetricsEnabled(metrics_were_on);
+  obs::SetTraceEnabled(trace_was_on);
+  state.counters["allocs_per_call"] =
+      calls == 0 ? 0.0 : static_cast<double>(allocations) / calls;
+}
+BENCHMARK(BM_HomogeneousDpSteadyAllocsObsOn);
 
 // Console output plus a capture of every run for the --json emitter.
 class CapturingReporter : public benchmark::ConsoleReporter {

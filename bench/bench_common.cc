@@ -4,10 +4,21 @@
 #include <cstdio>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "svc/homogeneous_search.h"
 #include "util/strings.h"
 
 namespace svc::bench {
+namespace {
+
+// Sink of the live ObsScope, attached to every engine RunBatch/RunOnline
+// constructs while the scope exists.  Benches are single-ObsScope programs;
+// concurrent sweep replicas share the sink (it is internally locked).
+obs::TimeSeriesSink* g_active_series = nullptr;
+double g_active_series_period = 100.0;
+
+}  // namespace
 
 CommonOptions::CommonOptions(util::FlagSet& flags)
     : racks_(flags.Int("racks", 50, "number of racks")),
@@ -32,7 +43,19 @@ CommonOptions::CommonOptions(util::FlagSet& flags)
       seed_(flags.Int("seed", 42, "workload / simulation seed")),
       threads_(flags.Int("threads", 0,
                          "sweep worker threads (0 = all cores, 1 = serial); "
-                         "results are identical for every value")) {}
+                         "results are identical for every value")),
+      metrics_out_(flags.String(
+          "metrics-out", "",
+          "write a metrics + time-series JSONL snapshot here (enables the "
+          "metrics registry for the run)")),
+      trace_out_(flags.String(
+          "trace-out", "",
+          "write a Chrome trace-event JSON file here (open in Perfetto); "
+          "enables span/counter tracing for the run")),
+      series_period_(flags.Double(
+          "series-period", 100.0,
+          "simulated seconds between engine time-series samples when "
+          "--metrics-out is set")) {}
 
 topology::ThreeTierConfig CommonOptions::TopologyConfig() const {
   topology::ThreeTierConfig config;
@@ -72,6 +95,8 @@ sim::BatchResult RunBatch(const topology::Topology& topo,
   config.epsilon = epsilon;
   config.seed = seed;
   config.sample_occupancy = false;
+  config.series = g_active_series;
+  config.series_period = g_active_series_period;
   sim::Engine engine(topo, config);
   return engine.RunBatch(jobs);
 }
@@ -86,8 +111,33 @@ sim::OnlineResult RunOnline(const topology::Topology& topo,
   config.allocator = &allocator;
   config.epsilon = epsilon;
   config.seed = seed;
+  config.series = g_active_series;
+  config.series_period = g_active_series_period;
   sim::Engine engine(topo, config);
   return engine.RunOnline(std::move(jobs));
+}
+
+ObsScope::ObsScope(const CommonOptions& options)
+    : metrics_out_(options.metrics_out()), trace_out_(options.trace_out()) {
+  if (!metrics_out_.empty()) {
+    obs::SetMetricsEnabled(true);
+    g_active_series = &sink_;
+    g_active_series_period = options.series_period();
+  }
+  if (!trace_out_.empty()) obs::SetTraceEnabled(true);
+}
+
+ObsScope::~ObsScope() {
+  if (!metrics_out_.empty()) {
+    g_active_series = nullptr;
+    std::string out = sink_.ToJsonl();
+    if (!out.empty() && out.back() != '\n') out.push_back('\n');
+    out += obs::Registry::Global().Collect().ToJsonl();
+    WriteFile(metrics_out_, out);
+  }
+  if (!trace_out_.empty()) {
+    WriteFile(trace_out_, obs::SerializeChromeTrace());
+  }
 }
 
 std::vector<double> RunCells(int threads,

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/time_series.h"
 #include "sim/engine.h"
 #include "sim/sweep_runner.h"
 #include "svc/allocator.h"
@@ -37,6 +38,10 @@ class CommonOptions {
   int64_t jobs() const { return jobs_; }
   // Worker threads for the sweep (0 = all hardware threads, 1 = serial).
   int threads() const { return static_cast<int>(threads_); }
+  // Observability outputs (empty = disabled); see ObsScope below.
+  const std::string& metrics_out() const { return metrics_out_; }
+  const std::string& trace_out() const { return trace_out_; }
+  double series_period() const { return series_period_; }
 
  private:
   int64_t& racks_;
@@ -50,6 +55,37 @@ class CommonOptions {
   double& epsilon_;
   int64_t& seed_;
   int64_t& threads_;
+  std::string& metrics_out_;
+  std::string& trace_out_;
+  double& series_period_;
+};
+
+// Arms the observability layer for one bench run, driven by --metrics-out /
+// --trace-out.  Construct once in main() right after Parse(); when the
+// scope destructs it writes:
+//   metrics_out: JSONL — the engine time-series samples collected through
+//                this scope's sink (RunBatch/RunOnline attach it while the
+//                scope is alive) followed by a full metrics-registry
+//                snapshot (counters, gauges, histogram quantiles).
+//   trace_out:   Chrome trace-event JSON (load in Perfetto / about:tracing)
+//                with the allocator / solver / engine spans and counter
+//                tracks of the run's final ring-buffer window.
+// When neither flag is set construction is a no-op and the instrumented
+// hot paths keep their disabled-branch cost.  Serialization happens in the
+// destructor, after the sweeps' worker threads have quiesced (SweepRunner
+// joins its pool before returning), satisfying the trace reader contract.
+class ObsScope {
+ public:
+  explicit ObsScope(const CommonOptions& options);
+  ~ObsScope();
+
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+
+ private:
+  std::string metrics_out_;
+  std::string trace_out_;
+  obs::TimeSeriesSink sink_;
 };
 
 // Builds the allocator appropriate for the abstraction: the paper's

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
       flags.String("oversubs", "1,2,3,4", "oversubscription sweep");
   bool& csv = flags.Bool("csv", false, "also print CSV");
   flags.Parse(argc, argv);
+  bench::ObsScope obs(common);
 
   // One topology + workload per sweep point, shared read-only by the four
   // abstraction cells; every cell owns its Engine, so the grid fans out

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
       flags.String("rhos", "0.1,0.3,0.5,0.7,0.9", "deviation coefficients");
   bool& csv = flags.Bool("csv", false, "also print CSV");
   flags.Parse(argc, argv);
+  bench::ObsScope obs(common);
 
   const topology::Topology topo =
       topology::BuildThreeTier(common.TopologyConfig());

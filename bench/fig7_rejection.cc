@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
       flags.String("loads", "0.2,0.4,0.6,0.8", "datacenter load sweep");
   bool& csv = flags.Bool("csv", false, "also print CSV");
   flags.Parse(argc, argv);
+  bench::ObsScope obs(common);
 
   const topology::Topology topo =
       topology::BuildThreeTier(common.TopologyConfig());

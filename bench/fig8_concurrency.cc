@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
                               "number of time-series points to print");
   bool& csv = flags.Bool("csv", false, "also print CSV");
   flags.Parse(argc, argv);
+  bench::ObsScope obs(common);
 
   const topology::Topology topo =
       topology::BuildThreeTier(common.TopologyConfig());

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   std::string& loads = flags.String("loads", "0.2,0.6", "load sweep");
   bool& csv = flags.Bool("csv", false, "also print CSV");
   flags.Parse(argc, argv);
+  bench::ObsScope obs(common);
 
   const topology::Topology topo =
       topology::BuildThreeTier(common.TopologyConfig());

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
       flags.String("epsilons", "0.01,0.02,0.05,0.1,0.2", "risk factors");
   bool& csv = flags.Bool("csv", false, "also print CSV");
   flags.Parse(argc, argv);
+  bench::ObsScope obs(common);
 
   const topology::Topology topo =
       topology::BuildThreeTier(common.TopologyConfig());

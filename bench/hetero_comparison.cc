@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   std::string& loads = flags.String("loads", "0.2,0.6", "load sweep");
   bool& csv = flags.Bool("csv", false, "also print CSV");
   flags.Parse(argc, argv);
+  bench::ObsScope obs(common);
 
   // Scaled-down defaults unless the user overrides on the command line.
   topology::ThreeTierConfig tconfig = common.TopologyConfig();

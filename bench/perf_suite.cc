@@ -25,6 +25,8 @@
 
 #include "alloc_counter.h"
 #include "bench_common.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/rng.h"
 #include "svc/homogeneous_search.h"
 #include "svc/manager.h"
@@ -81,6 +83,7 @@ int main(int argc, char** argv) {
       flags.Int("alloc-iters", 2000, "Allocate() calls to time");
   std::string& out = flags.String("out", "BENCH_PERF.json", "output path");
   flags.Parse(argc, argv);
+  bench::ObsScope obs(common);
 
   const topology::Topology topo =
       topology::BuildThreeTier(common.TopologyConfig());
@@ -188,6 +191,49 @@ int main(int argc, char** argv) {
   std::printf("allocate: %.0f calls/s  %.3f heap allocations/call\n",
               calls_per_sec, allocs_per_call);
 
+  // Same loop with the observability layer armed.  The metric/trace write
+  // path is heap-free by design (static handle caches, stack name buffers,
+  // sharded atomics, pre-sized trace ring), so allocs/call must stay zero
+  // here too — this is the regression gate for the obs overhead budget.
+  const bool metrics_were_on = obs::MetricsEnabled();
+  const bool trace_was_on = obs::TraceEnabled();
+  obs::SetMetricsEnabled(true);
+  obs::SetTraceEnabled(true);
+  // A few instrumented admissions populate the manager/ledger metrics so
+  // the snapshot below has real content; the warm-up Allocate registers
+  // the allocator handles and this thread's trace ring.
+  {
+    core::NetworkManager admit_manager(topo, common.epsilon());
+    core::HomogeneousDpAllocator admit_alloc;
+    for (int64_t id = 0; id < 32; ++id) {
+      const core::Request r =
+          core::Request::Homogeneous(2'000'000 + id, 20, 200, 100);
+      if (!admit_manager.Admit(r, admit_alloc).ok()) break;
+    }
+  }
+  if (auto warm = alloc.Allocate(request, manager.ledger(), manager.slots())) {
+    core::RecycleVmBuffer(std::move(warm->vm_machine));
+  }
+  const int64_t obs_allocs_before = svc::bench::AllocationCount();
+  const double obs_start = Now();
+  for (int64_t i = 0; i < alloc_iters; ++i) {
+    auto result = alloc.Allocate(request, manager.ledger(), manager.slots());
+    if (result.ok()) core::RecycleVmBuffer(std::move(result->vm_machine));
+  }
+  const double obs_seconds = Now() - obs_start;
+  obs::SetMetricsEnabled(metrics_were_on);
+  obs::SetTraceEnabled(trace_was_on);
+  const double obs_allocs_per_call =
+      alloc_iters > 0 ? static_cast<double>(svc::bench::AllocationCount() -
+                                            obs_allocs_before) /
+                            alloc_iters
+                      : 0.0;
+  const double obs_calls_per_sec =
+      obs_seconds > 0 ? alloc_iters / obs_seconds : 0.0;
+  std::printf(
+      "allocate: %.0f calls/s  %.3f heap allocations/call  (obs enabled)\n",
+      obs_calls_per_sec, obs_allocs_per_call);
+
   // --- BENCH_PERF.json ---------------------------------------------------
   util::JsonWriter w;
   w.BeginObject();
@@ -212,7 +258,40 @@ int main(int argc, char** argv) {
                      calls_per_sec > 0 ? 1e9 / calls_per_sec : 0.0, 0.0,
                      {{"calls_per_sec", calls_per_sec},
                       {"allocs_per_call", allocs_per_call}}});
+  records.push_back({"allocate_steady_obs", alloc_iters,
+                     obs_calls_per_sec > 0 ? 1e9 / obs_calls_per_sec : 0.0,
+                     0.0,
+                     {{"calls_per_sec", obs_calls_per_sec},
+                      {"allocs_per_call", obs_allocs_per_call}}});
   bench::AddBenchmarksMember(w, records);
+  // Snapshot of everything the instrumented sections recorded, so perf
+  // regressions can be diffed at metric granularity across runs.
+  const obs::MetricsSnapshot snapshot = obs::Registry::Global().Collect();
+  w.Key("metrics");
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& c : snapshot.counters) w.Member(c.name, c.value);
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& g : snapshot.gauges) w.Member(g.name, g.value);
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& h : snapshot.histograms) {
+    w.Key(h.name);
+    w.BeginObject();
+    w.Member("count", h.count);
+    w.Member("sum", h.sum);
+    w.Member("max", h.max);
+    w.Member("p50", h.p50);
+    w.Member("p90", h.p90);
+    w.Member("p99", h.p99);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
   w.EndObject();
   if (!bench::WriteFile(out, w.str() + "\n")) return 1;
   std::printf("wrote %s\n", out.c_str());

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "svc/first_fit.h"
 #include "svc/hetero_exact.h"
 #include "svc/hetero_heuristic.h"
@@ -260,6 +261,37 @@ bool Interpreter::CmdSnapshot(const std::vector<std::string>& args,
   return true;
 }
 
+bool Interpreter::CmdMetrics(const std::vector<std::string>& args,
+                             std::ostream& out) {
+  if (args.size() != 1) {
+    out << "error: metrics takes no arguments\n";
+    return false;
+  }
+  if (!obs::MetricsEnabled()) {
+    out << "metrics: collection disabled (svcctl enables it at startup; "
+           "library embedders call obs::SetMetricsEnabled)\n";
+    return true;
+  }
+  const obs::MetricsSnapshot snapshot = obs::Registry::Global().Collect();
+  if (snapshot.counters.empty() && snapshot.gauges.empty() &&
+      snapshot.histograms.empty()) {
+    out << "metrics: registry empty\n";
+    return true;
+  }
+  for (const auto& c : snapshot.counters) {
+    out << "counter " << c.name << " = " << c.value << "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    out << "gauge " << g.name << " = " << g.value << "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    out << "histogram " << h.name << ": count=" << h.count
+        << " p50=" << h.p50 << " p90=" << h.p90 << " p99=" << h.p99
+        << " max=" << h.max << "\n";
+  }
+  return true;
+}
+
 bool Interpreter::Execute(const std::string& line, std::ostream& out) {
   const std::vector<std::string> args = Tokenize(line);
   if (args.empty()) return true;  // blank / comment
@@ -269,6 +301,7 @@ bool Interpreter::Execute(const std::string& line, std::ostream& out) {
   if (command == "show") return CmdShow(args, out);
   if (command == "assert") return CmdAssert(args, out);
   if (command == "snapshot") return CmdSnapshot(args, out);
+  if (command == "metrics") return CmdMetrics(args, out);
   if (command == "allocator") {
     if (args.size() != 2 || !SelectAllocator(args[1])) {
       out << "error: unknown allocator\n";

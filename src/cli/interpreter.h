@@ -14,6 +14,7 @@
 //   assert valid                        # fail unless condition (4) holds
 //   assert live 2                       # fail unless tenant 2 is admitted
 //   allocator svc-dp                    # switch placement algorithm
+//   metrics                             # dump the obs metrics registry
 //   snapshot save state.txt             # persist live tenants
 //   snapshot load state.txt             # replay into an empty manager
 //
@@ -59,6 +60,7 @@ class Interpreter {
   bool CmdShow(const std::vector<std::string>& args, std::ostream& out);
   bool CmdAssert(const std::vector<std::string>& args, std::ostream& out);
   bool CmdSnapshot(const std::vector<std::string>& args, std::ostream& out);
+  bool CmdMetrics(const std::vector<std::string>& args, std::ostream& out);
 
   core::NetworkManager manager_;
   std::map<std::string, std::unique_ptr<core::Allocator>> allocators_;

@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "cli/interpreter.h"
+#include "obs/metrics.h"
 #include "topology/builders.h"
 #include "util/flags.h"
 
@@ -29,6 +30,10 @@ int main(int argc, char** argv) {
   std::string& script =
       flags.String("script", "", "command file (default: stdin)");
   flags.Parse(argc, argv);
+
+  // An interactive tool is never on a hot path, so collection is always on:
+  // the `metrics` command then reflects whatever the session did.
+  obs::SetMetricsEnabled(true);
 
   topology::ThreeTierConfig config;
   config.racks = static_cast<int>(racks);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace svc::net {
 
 namespace {
@@ -71,6 +73,9 @@ void LinkLedger::AddStochastic(topology::VertexId v, RequestId req,
   s.stochastic.push_back({req, mean, variance});
   s.mean_sum += mean;
   s.var_sum += variance;
+  // Post-admission occupancy ratio of the touched link (Fig. 9's per-link
+  // statistic, here sampled continuously instead of only at arrivals).
+  SVC_METRIC_HIST("net/occupancy_ratio", Occupancy(v));
   Touch(req, v);
 }
 
@@ -82,6 +87,7 @@ void LinkLedger::AddDeterministic(topology::VertexId v, RequestId req,
   LinkState& s = links_[v];
   s.reserved.push_back({req, amount});
   s.deterministic += amount;
+  SVC_METRIC_HIST("net/occupancy_ratio", Occupancy(v));
   Touch(req, v);
 }
 

@@ -1,0 +1,18 @@
+#include "obs/time_series.h"
+
+namespace svc::obs {
+
+std::string TimeSeriesSink::ToJsonl() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  size_t total = 0;
+  for (const std::string& line : lines_) total += line.size() + 1;
+  out.reserve(total);
+  for (const std::string& line : lines_) {
+    out += line;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace svc::obs

@@ -1,0 +1,47 @@
+// Line-oriented (JSONL) time-series sink.
+//
+// The simulation engine appends one JSON object per sampling period (link
+// utilization, outage counts, active jobs — see SimConfig.series); benches
+// drain the sink into the --metrics-out file together with the registry
+// snapshot, so the whole observability layer emits one uniform format:
+// one JSON object per line, distinguished by a "type" member.
+//
+// Append is mutex-guarded: one sink is typically shared by every replica
+// engine of a parallel sweep, and a sample line is rare (default one per
+// 100 simulated seconds per engine) relative to the cost of a simulated
+// tick.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace svc::obs {
+
+class TimeSeriesSink {
+ public:
+  // `line` is one JSON object WITHOUT the trailing newline.
+  void Append(std::string line) {
+    std::lock_guard<std::mutex> lock(mu_);
+    lines_.push_back(std::move(line));
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lines_.size();
+  }
+
+  // All lines joined with '\n' (one trailing newline when non-empty).
+  std::string ToJsonl() const;
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    lines_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> lines_;
+};
+
+}  // namespace svc::obs

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/lognormal.h"
 #include "svc/scratch_arena.h"
 #include "util/logging.h"
@@ -143,7 +146,25 @@ void Engine::CheckIncrementalRates() {
   }
 }
 
+void Engine::AppendSeriesSample(double now) {
+  const int64_t busy = cached_busy_links_;
+  const double util_mean =
+      busy > 0 ? cached_util_sum_ / static_cast<double>(busy) : 0.0;
+  char line[320];
+  std::snprintf(
+      line, sizeof line,
+      "{\"type\":\"sample\",\"t\":%.17g,\"seed\":%llu,\"active_jobs\":%zu,"
+      "\"flows\":%zu,\"busy_links\":%lld,\"outage_links\":%lld,"
+      "\"util_mean\":%.17g,\"util_max\":%.17g,\"max_occupancy\":%.17g}",
+      now, static_cast<unsigned long long>(config_.seed), active_.size(),
+      flows_.size(), static_cast<long long>(busy),
+      static_cast<long long>(cached_outage_links_), util_mean,
+      cached_util_max_, manager_.MaxOccupancy());
+  config_.series->Append(line);
+}
+
 void Engine::Step(double now, std::vector<int64_t>& completed) {
+  SVC_TRACE_SPAN("engine/step");
   const double dt = config_.time_step;
   const double end = now + dt;
 
@@ -184,6 +205,8 @@ void Engine::Step(double now, std::vector<int64_t>& completed) {
     } else {
       // A bandwidth outage (paper constraint (1)) is a loaded link whose
       // offered demand exceeds its capacity this second.
+      const bool metrics = obs::MetricsEnabled();
+      const bool want_util = metrics || config_.series != nullptr;
       for (const SimFlow& flow : flows_) {
         for (topology::VertexId link : flow.links) {
           if (!link_touched_[link]) {
@@ -195,10 +218,22 @@ void Engine::Step(double now, std::vector<int64_t>& completed) {
       }
       cached_busy_links_ = 0;
       cached_outage_links_ = 0;
+      cached_util_sum_ = 0;
+      cached_util_max_ = 0;
       for (topology::VertexId link : loaded_links_) {
         ++cached_busy_links_;
         if (offered_load_[link] > capacity_[link] * (1 + 1e-9)) {
           ++cached_outage_links_;
+        }
+        // Offered utilization of the loaded link this second (may exceed 1
+        // when the link is in outage; max-min then throttles the flows).
+        if (want_util && capacity_[link] > 0) {
+          const double util = offered_load_[link] / capacity_[link];
+          cached_util_sum_ += util;
+          cached_util_max_ = std::max(cached_util_max_, util);
+          if (metrics) {
+            SVC_METRIC_HIST("engine/link_utilization", util);
+          }
         }
         offered_load_[link] = 0.0;
         link_touched_[link] = 0;
@@ -209,8 +244,16 @@ void Engine::Step(double now, std::vector<int64_t>& completed) {
     }
   }
 
-  if (!steady) {
+  if (steady) {
+    SVC_METRIC_INC("engine/steady_ticks");
+  } else {
+    SVC_METRIC_INC("engine/solve_ticks");
     scratch_.Allocate(flows_, capacity_, flows_dirty_);
+  }
+  SVC_METRIC_GAUGE_SET("engine/flows", static_cast<double>(flows_.size()));
+  if (config_.series != nullptr && now >= next_sample_time_) {
+    next_sample_time_ = now + config_.series_period;
+    AppendSeriesSample(now);
   }
   if (config_.check_incremental) CheckIncrementalRates();
   flows_dirty_ = false;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "enforce/token_bucket.h"
+#include "obs/time_series.h"
 #include "sim/event_log.h"
 #include "sim/max_min.h"
 #include "sim/metrics.h"
@@ -74,6 +75,14 @@ struct SimConfig {
   double vc_quantile = 0.95;
   // Optional structured event log (borrowed; must outlive the run).
   EventLog* events = nullptr;
+  // Optional JSONL time-series sink (borrowed; must outlive the run).  Every
+  // `series_period` simulated seconds the engine appends one sample line
+  // with the active-job/flow counts, busy/outage link counts, the mean and
+  // max offered link utilization of that tick (requires measure_outage),
+  // and the ledger's max occupancy.  The sink may be shared by concurrent
+  // sweep replicas; lines carry the engine's seed to tell streams apart.
+  obs::TimeSeriesSink* series = nullptr;
+  double series_period = 100.0;  // simulated seconds between samples
   // Cross-check the incremental Step() fast path (cached max-min rates and
   // outage counts) against a from-scratch recompute every tick.  Costs a
   // full re-solve per step, so it defaults to off except in Debug builds
@@ -163,6 +172,15 @@ class Engine {
   int64_t cached_busy_links_ = 0;    // loaded links in the last outage pass
   int64_t cached_outage_links_ = 0;  // over-capacity links in that pass
   std::vector<SimFlow> check_flows_;  // scratch for CheckIncrementalRates
+
+  // Time-series sampler state (SimConfig.series): utilization aggregates of
+  // the last non-steady outage pass, replayed on steady ticks.
+  double next_sample_time_ = 0;
+  double cached_util_sum_ = 0;
+  double cached_util_max_ = 0;
+
+  // Appends one JSONL sample to config_.series (call once per period).
+  void AppendSeriesSample(double now);
 };
 
 }  // namespace svc::sim

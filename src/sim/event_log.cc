@@ -1,5 +1,6 @@
 #include "sim/event_log.h"
 
+#include <cstdio>
 #include <sstream>
 
 namespace svc::sim {
@@ -22,6 +23,21 @@ std::vector<Event> EventLog::Filter(EventKind kind) const {
     if (event.kind == kind) matching.push_back(event);
   }
   return matching;
+}
+
+std::string EventLog::ToJsonl() const {
+  std::string out;
+  out.reserve(events_.size() * 48);
+  char buf[128];
+  for (const Event& event : events_) {
+    // Kind strings are fixed identifiers (no escaping needed).
+    std::snprintf(buf, sizeof buf,
+                  "{\"type\":\"event\",\"t\":%.17g,\"kind\":\"%s\",\"job\":%lld}\n",
+                  event.time, ToString(event.kind),
+                  static_cast<long long>(event.job_id));
+    out += buf;
+  }
+  return out;
 }
 
 std::string EventLog::ToCsv() const {

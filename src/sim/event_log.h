@@ -6,9 +6,12 @@
 // something better than aggregate metrics to look at.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace svc::sim {
 
@@ -29,15 +32,24 @@ struct Event {
   int64_t job_id = 0;
 };
 
+// Single-owner container: an EventLog belongs to the one engine (and thus
+// the one thread) it is attached to.  Record() is not synchronized — when
+// sweeps run replica engines concurrently, each replica gets its own log
+// (see bench/sweep_runner) rather than sharing one.  A debug-build assert
+// pins the first recording thread and trips if another thread records.
 class EventLog {
  public:
   void Record(double time, EventKind kind, int64_t job_id) {
+    assert(CheckOwner() && "EventLog::Record called from a second thread");
     events_.push_back({time, kind, job_id});
   }
 
   const std::vector<Event>& events() const { return events_; }
   size_t size() const { return events_.size(); }
-  void Clear() { events_.clear(); }
+  void Clear() {
+    events_.clear();
+    owner_ = -1;  // a cleared log may be re-adopted by a different thread
+  }
 
   // Events of one kind, in order.
   std::vector<Event> Filter(EventKind kind) const;
@@ -45,8 +57,20 @@ class EventLog {
   // "time,kind,job" CSV, one event per line, with header.
   std::string ToCsv() const;
 
+  // One JSON object per line: {"t":..,"kind":"..","job":..}.  Appends
+  // cleanly to the bench --metrics-out JSONL stream.
+  std::string ToJsonl() const;
+
  private:
+  // Adopts the calling thread on first use; true iff it still matches.
+  bool CheckOwner() {
+    const int self = obs::ThreadId();
+    if (owner_ == -1) owner_ = self;
+    return owner_ == self;
+  }
+
   std::vector<Event> events_;
+  int owner_ = -1;  // obs::ThreadId() of the recording thread
 };
 
 }  // namespace svc::sim

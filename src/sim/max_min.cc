@@ -4,6 +4,9 @@
 #include <cassert>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace svc::sim {
 
 MaxMinScratch::MaxMinScratch(int num_vertices) {
@@ -32,13 +35,30 @@ void MaxMinScratch::RebuildTopologyCaches(const std::vector<SimFlow>& flows) {
 void MaxMinScratch::Allocate(std::vector<SimFlow>& flows,
                              const std::vector<double>& capacity,
                              bool flows_changed) {
+  SVC_TRACE_SPAN("maxmin/solve");
   constexpr double kInf = std::numeric_limits<double>::infinity();
   const int n = static_cast<int>(flows.size());
 
   if (flows_changed || !have_topology_cache_) {
+    SVC_METRIC_INC("maxmin/cold_solves");
     RebuildTopologyCaches(flows);
     have_topology_cache_ = true;
     have_order_cache_ = false;
+    if (obs::MetricsEnabled()) {
+      // Mean flows crossing an active link — a congestion/sharing signal
+      // the registry exposes alongside the solve counters.
+      size_t incidences = 0;
+      for (topology::VertexId link : active_links_) {
+        incidences += flows_on_[link].size();
+      }
+      SVC_METRIC_GAUGE_SET(
+          "maxmin/flows_per_link",
+          active_links_.empty()
+              ? 0.0
+              : static_cast<double>(incidences) / active_links_.size());
+    }
+  } else {
+    SVC_METRIC_INC("maxmin/incremental_solves");
   }
 
   // The sorted order depends only on the desires (and the flow set, which

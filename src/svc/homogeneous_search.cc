@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "svc/demand_profile.h"
 #include "svc/scratch_arena.h"
 #include "util/logging.h"
@@ -79,6 +80,7 @@ DpArena& LocalArena() {
 util::Result<Placement> HomogeneousSearchAllocator::Allocate(
     const Request& request, const net::LinkLedger& ledger,
     const SlotMap& slots) const {
+  SVC_TRACE_SPAN("alloc/homogeneous_search");
   if (!request.homogeneous()) {
     return {util::ErrorCode::kInvalidArgument,
             std::string(name()) + " handles homogeneous requests only"};

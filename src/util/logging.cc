@@ -3,13 +3,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "obs/metrics.h"
 
 namespace svc::util {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
-std::mutex g_emit_mutex;
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -45,16 +45,30 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << LevelTag(level) << " " << base << ":" << line << "] ";
+  // The thread tag (the obs layer's small dense id, the same id the trace
+  // tid uses) makes interleaved lines from concurrent sweep replicas
+  // attributable — and parseable — in multi-threaded bench logs.
+  stream_ << "[" << LevelTag(level) << " t" << obs::ThreadId() << " " << base
+          << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
+  // The level may have been raised since the SVC_LOG site's check (races on
+  // SetLogLevel are allowed); re-check so the line is dropped rather than
+  // emitted below the current level.
+  if (!LogEnabled(level_)) return;
   const auto now = std::chrono::system_clock::now().time_since_epoch();
   const auto ms =
       std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::fprintf(stderr, "%lld %s\n", static_cast<long long>(ms),
-               stream_.str().c_str());
+  // Assemble the whole line and flush it through a single fwrite: POSIX
+  // locks the stream per call, so concurrent threads' lines cannot
+  // interleave mid-line (the old two-step fprintf needed a process mutex
+  // for the same guarantee).
+  std::string line = std::to_string(static_cast<long long>(ms));
+  line.push_back(' ');
+  line += stream_.str();
+  line.push_back('\n');
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace internal

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace svc::util {
 
 int ThreadPool::HardwareThreads() {
@@ -43,11 +46,13 @@ void ThreadPool::Submit(std::function<void()> task) {
   }
   // The queued_ increment and the notify are both under idle_mu_ so a
   // worker cannot check queued_ == 0 and sleep between them.
+  int64_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(idle_mu_);
-    queued_.fetch_add(1, std::memory_order_release);
+    depth = queued_.fetch_add(1, std::memory_order_release) + 1;
   }
   idle_cv_.notify_one();
+  SVC_TRACE_COUNTER("threadpool/queue_depth", depth);
 }
 
 bool ThreadPool::TryTake(int self, std::function<void()>& out) {
@@ -70,6 +75,7 @@ bool ThreadPool::TryTake(int self, std::function<void()>& out) {
     if (!victim.tasks.empty()) {
       out = std::move(victim.tasks.front());
       victim.tasks.pop_front();
+      SVC_METRIC_INC("threadpool/steals");
       return true;
     }
   }
@@ -80,8 +86,10 @@ void ThreadPool::WorkerLoop(int self) {
   std::function<void()> task;
   while (true) {
     if (TryTake(self, task)) {
-      queued_.fetch_sub(1, std::memory_order_relaxed);
+      const int64_t depth = queued_.fetch_sub(1, std::memory_order_relaxed) - 1;
+      SVC_TRACE_COUNTER("threadpool/queue_depth", depth);
       task();
+      SVC_METRIC_INC("threadpool/tasks_executed");
       task = nullptr;
       if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> lock(done_mu_);

@@ -3,6 +3,7 @@
 #include "sim/event_log.h"
 
 #include <map>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -28,6 +29,45 @@ TEST(EventLog, RecordFilterCsv) {
   log.Clear();
   EXPECT_EQ(log.size(), 0u);
 }
+
+TEST(EventLog, ToJsonlOneObjectPerLine) {
+  EventLog log;
+  log.Record(1.5, EventKind::kArrival, 7);
+  log.Record(2.0, EventKind::kAdmit, 7);
+  const std::string jsonl = log.ToJsonl();
+  EXPECT_NE(
+      jsonl.find("{\"type\":\"event\",\"t\":1.5,\"kind\":\"arrival\",\"job\":7}\n"),
+      std::string::npos);
+  EXPECT_NE(jsonl.find("\"kind\":\"admit\""), std::string::npos);
+  // One line per event, each a JSON object.
+  size_t lines = 0;
+  for (char c : jsonl) lines += c == '\n';
+  EXPECT_EQ(lines, log.size());
+}
+
+TEST(EventLog, ClearAllowsAdoptionByAnotherThread) {
+  EventLog log;
+  log.Record(1.0, EventKind::kArrival, 1);
+  log.Clear();
+  // After Clear() a different thread may become the owner.
+  std::thread other([&log] { log.Record(2.0, EventKind::kAdmit, 2); });
+  other.join();
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.events()[0].job_id, 2);
+}
+
+#if !defined(NDEBUG) && defined(GTEST_HAS_DEATH_TEST)
+TEST(EventLogDeathTest, CrossThreadRecordAsserts) {
+  EventLog log;
+  log.Record(1.0, EventKind::kArrival, 1);  // this thread becomes the owner
+  EXPECT_DEATH(
+      {
+        std::thread second([&log] { log.Record(2.0, EventKind::kAdmit, 2); });
+        second.join();
+      },
+      "second thread");
+}
+#endif
 
 TEST(EventLog, KindNames) {
   EXPECT_STREQ(ToString(EventKind::kArrival), "arrival");

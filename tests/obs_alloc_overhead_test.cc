@@ -1,0 +1,77 @@
+// Regression gate for the observability overhead budget: with the metrics
+// registry and tracing armed, HomogeneousSearchAllocator::Allocate() must
+// stay heap-allocation-free after warm-up (the same guarantee
+// bench/alloc_microbench and perf_suite measure).  The test links the
+// global operator-new counter from bench/alloc_counter.cc.
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "alloc_counter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "stats/rng.h"
+#include "svc/homogeneous_search.h"
+#include "svc/manager.h"
+#include "svc/scratch_arena.h"
+#include "topology/builders.h"
+
+namespace svc {
+namespace {
+
+core::NetworkManager LoadedManager(const topology::Topology& topo) {
+  core::NetworkManager manager(topo, 0.05);
+  core::HomogeneousDpAllocator alloc;
+  stats::Rng rng(7);
+  int64_t id = 1'000'000;
+  while (manager.slots().total_free() > topo.total_slots() * 6 / 10) {
+    const int n = static_cast<int>(rng.UniformInt(2, 60));
+    const double mu = 100.0 * static_cast<double>(rng.UniformInt(1, 5));
+    const core::Request r =
+        core::Request::Homogeneous(id++, n, mu, mu * rng.Uniform(0, 1));
+    if (!manager.Admit(r, alloc).ok()) break;
+  }
+  return manager;
+}
+
+// Runs `iters` warm Allocate() calls and returns the operator-new delta.
+int64_t AllocationsDuringSteadyCalls(int iters) {
+  topology::ThreeTierConfig config;
+  config.racks = 20;
+  config.machines_per_rack = 10;
+  config.racks_per_agg = 4;
+  const topology::Topology topo = topology::BuildThreeTier(config);
+  const core::NetworkManager manager = LoadedManager(topo);
+  const core::HomogeneousDpAllocator alloc;
+  const core::Request r = core::Request::Homogeneous(1, 30, 200, 100);
+  // Warm-up sizes the thread-local DP arena, seeds the VM-buffer pool, and
+  // (with obs on) registers metric handles and this thread's trace ring.
+  if (auto warm = alloc.Allocate(r, manager.ledger(), manager.slots())) {
+    core::RecycleVmBuffer(std::move(warm->vm_machine));
+  }
+  const int64_t before = bench::AllocationCount();
+  for (int i = 0; i < iters; ++i) {
+    auto result = alloc.Allocate(r, manager.ledger(), manager.slots());
+    EXPECT_TRUE(result.ok());
+    if (result.ok()) core::RecycleVmBuffer(std::move(result->vm_machine));
+  }
+  return bench::AllocationCount() - before;
+}
+
+TEST(ObsAllocOverhead, AllocateStaysZeroAllocWithObsDisabled) {
+  obs::SetMetricsEnabled(false);
+  obs::SetTraceEnabled(false);
+  EXPECT_EQ(AllocationsDuringSteadyCalls(200), 0);
+}
+
+TEST(ObsAllocOverhead, AllocateStaysZeroAllocWithObsEnabled) {
+  obs::SetMetricsEnabled(true);
+  obs::SetTraceEnabled(true);
+  const int64_t allocations = AllocationsDuringSteadyCalls(200);
+  obs::SetMetricsEnabled(false);
+  obs::SetTraceEnabled(false);
+  EXPECT_EQ(allocations, 0);
+}
+
+}  // namespace
+}  // namespace svc
