@@ -12,8 +12,13 @@
 //              pre-loaded fabric, plus heap allocations per call after
 //              warm-up (must be zero: thread-local DP arena + recycled
 //              placement buffers; alloc_counter.cc counts operator new).
+//              Also timed: the level-parallel variant (placements must be
+//              bit-identical to serial) and both heterogeneous allocators
+//              on a smaller fabric sized to their complexity.
 //
-// Writes BENCH_PERF.json (override with --out) and prints a summary.
+// Writes BENCH_PERF.json (override with --out) and prints a summary.  The
+// JSON carries the git SHA and thread counts so two snapshots diffed with
+// tools/bench_diff.py identify exactly what ran where.
 // Designed to finish in well under two minutes at the default sizes.
 #include <chrono>
 #include <cmath>
@@ -28,11 +33,14 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/rng.h"
+#include "svc/hetero_exact.h"
+#include "svc/hetero_heuristic.h"
 #include "svc/homogeneous_search.h"
 #include "svc/manager.h"
 #include "svc/scratch_arena.h"
 #include "topology/builders.h"
 #include "util/json.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -42,6 +50,27 @@ double Now() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+// Commit the binary's tree was built from, for snapshot provenance in
+// BENCH_PERF.json.  Best-effort: "unknown" outside a git checkout.
+std::string GitSha() {
+  FILE* pipe = popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (!pipe) return "unknown";
+  char buf[64] = {};
+  const bool got = fgets(buf, sizeof(buf), pipe) != nullptr;
+  pclose(pipe);
+  if (!got) return "unknown";
+  std::string sha(buf);
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+    sha.pop_back();
+  }
+  return sha.empty() ? "unknown" : sha;
+}
+
+bool SamePlacement(const core::Placement& a, const core::Placement& b) {
+  return a.subtree_root == b.subtree_root &&
+         a.max_occupancy == b.max_occupancy && a.vm_machine == b.vm_machine;
 }
 
 bool SameJobs(const std::vector<sim::JobRecord>& a,
@@ -234,9 +263,109 @@ int main(int argc, char** argv) {
       "allocate: %.0f calls/s  %.3f heap allocations/call  (obs enabled)\n",
       obs_calls_per_sec, obs_allocs_per_call);
 
+  // --- Allocate, level-parallel: same fabric and request as the serial ---
+  // loop; placements must be bit-identical (the suite's second hard gate).
+  util::ThreadPool alloc_pool(common.threads());
+  core::HomogeneousSearchOptions parallel_options;
+  parallel_options.pool = &alloc_pool;
+  const core::HomogeneousSearchAllocator parallel_alloc(parallel_options,
+                                                        "svc-dp-par");
+  bool parallel_identical = true;
+  {
+    auto serial_ref = alloc.Allocate(request, manager.ledger(), manager.slots());
+    auto parallel_ref =
+        parallel_alloc.Allocate(request, manager.ledger(), manager.slots());
+    parallel_identical = serial_ref.ok() && parallel_ref.ok() &&
+                         SamePlacement(*serial_ref, *parallel_ref);
+    if (serial_ref.ok()) {
+      core::RecycleVmBuffer(std::move(serial_ref->vm_machine));
+    }
+    if (parallel_ref.ok()) {
+      core::RecycleVmBuffer(std::move(parallel_ref->vm_machine));
+    }
+  }
+  const double par_start = Now();
+  for (int64_t i = 0; i < alloc_iters; ++i) {
+    auto result =
+        parallel_alloc.Allocate(request, manager.ledger(), manager.slots());
+    if (result.ok()) core::RecycleVmBuffer(std::move(result->vm_machine));
+  }
+  const double par_seconds = Now() - par_start;
+  const double par_calls_per_sec =
+      par_seconds > 0 ? alloc_iters / par_seconds : 0.0;
+  std::printf(
+      "allocate: %.0f calls/s  (level-parallel, %d threads)  identical %s\n",
+      par_calls_per_sec, alloc_pool.num_threads(),
+      parallel_identical ? "yes" : "NO");
+
+  // --- Hetero allocators: admit throughput on a fabric sized to their ----
+  // complexity (the heuristic is O(|V| * Delta * N^4), the exact DP
+  // O(|V| * Delta * 3^N); paper-scale fabrics are not where they run).
+  topology::ThreeTierConfig hetero_config;
+  hetero_config.racks = 10;
+  hetero_config.machines_per_rack = 10;
+  hetero_config.racks_per_agg = 5;
+  const topology::Topology hetero_topo =
+      topology::BuildThreeTier(hetero_config);
+  core::NetworkManager hetero_manager(hetero_topo, common.epsilon());
+  {
+    core::HomogeneousDpAllocator loader;
+    stats::Rng rng(7);
+    int64_t id = 3'000'000;
+    while (hetero_manager.slots().total_free() >
+           hetero_topo.total_slots() * 6 / 10) {
+      const int n = static_cast<int>(rng.UniformInt(2, 12));
+      const double mu = 100.0 * static_cast<double>(rng.UniformInt(1, 5));
+      const core::Request r =
+          core::Request::Homogeneous(id++, n, mu, mu * rng.Uniform(0, 1));
+      if (!hetero_manager.Admit(r, loader).ok()) break;
+    }
+  }
+  auto hetero_demands = [](int count) {
+    std::vector<stats::Normal> demands;
+    demands.reserve(count);
+    for (int i = 0; i < count; ++i) {
+      const double mean = 80.0 + 15.0 * (i % 5);
+      const double stddev = mean / 2.0;
+      demands.push_back({mean, stddev * stddev});
+    }
+    return demands;
+  };
+  const int64_t hetero_iters = std::max<int64_t>(1, alloc_iters / 10);
+  auto hetero_rate = [&](const core::Allocator& hetero_alloc,
+                         const core::Request& hetero_request) {
+    if (auto warm = hetero_alloc.Allocate(hetero_request,
+                                          hetero_manager.ledger(),
+                                          hetero_manager.slots())) {
+      core::RecycleVmBuffer(std::move(warm->vm_machine));
+    }
+    const double start = Now();
+    for (int64_t i = 0; i < hetero_iters; ++i) {
+      auto result = hetero_alloc.Allocate(
+          hetero_request, hetero_manager.ledger(), hetero_manager.slots());
+      if (result.ok()) core::RecycleVmBuffer(std::move(result->vm_machine));
+    }
+    const double seconds = Now() - start;
+    return seconds > 0 ? hetero_iters / seconds : 0.0;
+  };
+  const core::HeteroHeuristicAllocator heuristic_alloc;
+  const double heuristic_calls_per_sec = hetero_rate(
+      heuristic_alloc, core::Request::Heterogeneous(2, hetero_demands(16)));
+  const core::HeteroExactAllocator exact_alloc;
+  const double exact_calls_per_sec = hetero_rate(
+      exact_alloc, core::Request::Heterogeneous(3, hetero_demands(10)));
+  std::printf("allocate: %.0f calls/s  (hetero heuristic, n=16)\n",
+              heuristic_calls_per_sec);
+  std::printf("allocate: %.0f calls/s  (hetero exact, n=10)\n",
+              exact_calls_per_sec);
+
   // --- BENCH_PERF.json ---------------------------------------------------
   util::JsonWriter w;
   w.BeginObject();
+  w.Member("git_sha", GitSha());
+  w.Member("hardware_threads", util::ThreadPool::HardwareThreads());
+  w.Member("threads", common.threads());
+  w.Member("parallel_alloc_identical", parallel_identical);
   w.Key("sweep");
   w.BeginObject();
   w.Member("replicas", static_cast<int64_t>(replicas));
@@ -263,6 +392,20 @@ int main(int argc, char** argv) {
                      0.0,
                      {{"calls_per_sec", obs_calls_per_sec},
                       {"allocs_per_call", obs_allocs_per_call}}});
+  records.push_back({"allocate_steady_parallel", alloc_iters,
+                     par_calls_per_sec > 0 ? 1e9 / par_calls_per_sec : 0.0,
+                     0.0,
+                     {{"calls_per_sec", par_calls_per_sec}}});
+  records.push_back({"allocate_hetero_heuristic", hetero_iters,
+                     heuristic_calls_per_sec > 0
+                         ? 1e9 / heuristic_calls_per_sec
+                         : 0.0,
+                     0.0,
+                     {{"calls_per_sec", heuristic_calls_per_sec}}});
+  records.push_back({"allocate_hetero_exact", hetero_iters,
+                     exact_calls_per_sec > 0 ? 1e9 / exact_calls_per_sec : 0.0,
+                     0.0,
+                     {{"calls_per_sec", exact_calls_per_sec}}});
   bench::AddBenchmarksMember(w, records);
   // Snapshot of everything the instrumented sections recorded, so perf
   // regressions can be diffed at metric granularity across runs.
@@ -296,7 +439,7 @@ int main(int argc, char** argv) {
   if (!bench::WriteFile(out, w.str() + "\n")) return 1;
   std::printf("wrote %s\n", out.c_str());
 
-  // Non-zero exit if the parallel sweep diverged — this is the suite's one
-  // hard correctness gate.
-  return identical ? 0 : 2;
+  // Non-zero exit if the parallel sweep or the level-parallel allocator
+  // diverged from serial — the suite's two hard correctness gates.
+  return identical && parallel_identical ? 0 : 2;
 }

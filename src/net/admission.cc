@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 #include "stats/normal.h"
 
@@ -36,6 +37,21 @@ bool SatisfiesGuarantee(double capacity, double deterministic,
   }
   return capacity - deterministic - mean_sum >
          c * std::sqrt(var_sum) - slack;
+}
+
+double OccupancyRatioIfValid(double capacity, double deterministic,
+                             double mean_sum, double var_sum, double c) {
+  assert(capacity > 0);
+  assert(var_sum >= 0);
+  const double slack = 1e-9 * capacity;
+  const double root = c * std::sqrt(var_sum);
+  // Same predicates as SatisfiesGuarantee, with the sqrt hoisted so it is
+  // shared with the occupancy numerator (root == 0 when var_sum == 0).
+  const bool valid = var_sum <= 0
+                         ? deterministic + mean_sum <= capacity + slack
+                         : capacity - deterministic - mean_sum > root - slack;
+  if (!valid) return std::numeric_limits<double>::infinity();
+  return (deterministic + mean_sum + root) / capacity;
 }
 
 }  // namespace svc::net

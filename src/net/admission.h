@@ -35,4 +35,12 @@ double OccupancyRatio(double capacity, double deterministic, double mean_sum,
 bool SatisfiesGuarantee(double capacity, double deterministic,
                         double mean_sum, double var_sum, double c);
 
+// Fused conditions (4) + (6): the occupancy ratio when the guarantee holds,
+// +inf when it does not.  Shares the single sqrt between the two checks, so
+// allocator DP cells pay one quantile evaluation instead of two.  The
+// finite values and the validity verdict are bit-identical to calling
+// SatisfiesGuarantee and OccupancyRatio separately.
+double OccupancyRatioIfValid(double capacity, double deterministic,
+                             double mean_sum, double var_sum, double c);
+
 }  // namespace svc::net

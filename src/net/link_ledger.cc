@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <limits>
 
 #include "obs/metrics.h"
 
@@ -37,8 +39,8 @@ double LinkLedger::OccupancyWith(topology::VertexId v, double mean_add,
                                  double var_add, double det_add) const {
   assert(v != topo_->root());
   const LinkState& s = links_[v];
-  return OccupancyRatio(s.capacity, s.deterministic + det_add,
-                        s.mean_sum + mean_add, s.var_sum + var_add, c_);
+  return OccupancyRatioIfValid(s.capacity, s.deterministic + det_add,
+                               s.mean_sum + mean_add, s.var_sum + var_add, c_);
 }
 
 bool LinkLedger::ValidWith(topology::VertexId v, double mean_add,
@@ -47,6 +49,80 @@ bool LinkLedger::ValidWith(topology::VertexId v, double mean_add,
   const LinkState& s = links_[v];
   return SatisfiesGuarantee(s.capacity, s.deterministic + det_add,
                             s.mean_sum + mean_add, s.var_sum + var_add, c_);
+}
+
+void LinkLedger::OccupancyWithBatch(topology::VertexId v,
+                                    const double* mean_add,
+                                    const double* var_add,
+                                    const double* det_add, int count,
+                                    double* out) const {
+  assert(v != topo_->root());
+  const LinkState& s = links_[v];
+  const double capacity = s.capacity;
+  const double slack = 1e-9 * capacity;
+  const double d0 = s.deterministic;
+  const double m0 = s.mean_sum;
+  const double v0 = s.var_sum;
+  const double c = c_;
+  const double inf = std::numeric_limits<double>::infinity();
+  // Mirrors OccupancyRatioIfValid cell by cell — same operand order, so the
+  // finite values are bit-identical to the scalar path.  No branches, no
+  // loads of shared state inside the loop.
+  for (int i = 0; i < count; ++i) {
+    const double det = d0 + det_add[i];
+    const double mean = m0 + mean_add[i];
+    const double var = v0 + var_add[i];
+    const double root = c * std::sqrt(var);
+    const bool valid = var <= 0 ? det + mean <= capacity + slack
+                                : capacity - det - mean > root - slack;
+    out[i] = valid ? (det + mean + root) / capacity : inf;
+  }
+}
+
+int LinkLedger::FeasibleFrontier(topology::VertexId v, const double* mean_add,
+                                 const double* var_add, const double* det_add,
+                                 int lo, int hi) const {
+  assert(v != topo_->root());
+  const LinkState& s = links_[v];
+  // Invariant: every index < lo is feasible, every index > hi infeasible
+  // (once one candidate violates (4), every larger-moment candidate does:
+  // the slack side shrinks while the quantile side grows).
+  while (lo <= hi) {
+    const int mid = lo + (hi - lo) / 2;
+    const bool valid =
+        SatisfiesGuarantee(s.capacity, s.deterministic + det_add[mid],
+                           s.mean_sum + mean_add[mid],
+                           s.var_sum + var_add[mid], c_);
+    if (valid) {
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+int LinkLedger::FeasibleFrontierDescending(topology::VertexId v,
+                                           const double* mean_add,
+                                           const double* var_add,
+                                           const double* det_add, int lo,
+                                           int hi) const {
+  assert(v != topo_->root());
+  const LinkState& s = links_[v];
+  // Invariant: every index < lo is infeasible, every index > hi feasible.
+  while (lo <= hi) {
+    const int mid = lo + (hi - lo) / 2;
+    const bool valid =
+        SatisfiesGuarantee(s.capacity, s.deterministic + det_add[mid],
+                           s.mean_sum + mean_add[mid],
+                           s.var_sum + var_add[mid], c_);
+    if (valid) {
+      hi = mid - 1;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
 }
 
 double LinkLedger::MaxOccupancy() const {

@@ -65,13 +65,45 @@ class LinkLedger {
   double Occupancy(topology::VertexId v) const;
 
   // Occupancy if a candidate demand (stochastic moments + deterministic
-  // amount) were added.  Used by the allocators' DP inner loop.
+  // amount) were added, or +inf when the candidate would violate condition
+  // (4).  Validity and occupancy share one quantile evaluation, so the
+  // allocators' DP inner loop pays a single sqrt per cell.
   double OccupancyWith(topology::VertexId v, double mean_add, double var_add,
                        double det_add) const;
 
-  // Condition (4) with the candidate included.
+  // Condition (4) with the candidate included.  Thin shim over the fused
+  // OccupancyWith semantics, kept for callers (and tests) that only need
+  // the verdict.
   bool ValidWith(topology::VertexId v, double mean_add, double var_add,
                  double det_add) const;
+
+  // Batch kernel over one link: evaluates the fused OccupancyWith for
+  // `count` candidate demands given as parallel arrays, writing the
+  // occupancy (or +inf on a condition-(4) violation) into out[i].  The
+  // link's running sums are loaded once and the loop body is branch-free
+  // arithmetic plus one sqrt per cell, so the compiler can vectorize the
+  // affine part and batch the sqrts.  Each out[i] is bit-identical to
+  // OccupancyWith(v, mean_add[i], var_add[i], det_add[i]).
+  void OccupancyWithBatch(topology::VertexId v, const double* mean_add,
+                          const double* var_add, const double* det_add,
+                          int count, double* out) const;
+
+  // Binary search of the feasibility frontier over candidates whose
+  // moments are MONOTONE NON-DECREASING on [lo, hi] (all three arrays).
+  // Returns the first index in [lo, hi] whose candidate violates condition
+  // (4), or hi + 1 when every candidate is feasible.  Occupancy is
+  // monotone in each moment, so the feasible candidates form a prefix and
+  // O(log) fused evaluations locate the frontier exactly.
+  int FeasibleFrontier(topology::VertexId v, const double* mean_add,
+                       const double* var_add, const double* det_add, int lo,
+                       int hi) const;
+
+  // Descending counterpart: moments MONOTONE NON-INCREASING on [lo, hi],
+  // so infeasible candidates form a prefix.  Returns the first feasible
+  // index in [lo, hi], or hi + 1 when every candidate violates (4).
+  int FeasibleFrontierDescending(topology::VertexId v, const double* mean_add,
+                                 const double* var_add, const double* det_add,
+                                 int lo, int hi) const;
 
   // Maximum occupancy ratio over all links (the Fig. 9 sample statistic).
   double MaxOccupancy() const;

@@ -44,12 +44,35 @@ void HomogeneousProfile::Reset(const Request& request) {
   deterministic_ = request.deterministic();
   const stats::Normal& per_vm = request.demand(0);
   table_.resize(n_ + 1);
+  mean_add_.resize(n_ + 1);
+  var_add_.resize(n_ + 1);
+  det_add_.resize(n_ + 1);
   for (int m = 0; m <= n_; ++m) {
     const stats::Normal below{per_vm.mean * m, per_vm.variance * m};
     const stats::Normal above{per_vm.mean * (n_ - m),
                               per_vm.variance * (n_ - m)};
     table_[m] = SplitDemand(below, above);
+    mean_add_[m] = MeanAdd(m);
+    var_add_[m] = VarAdd(m);
+    det_add_[m] = DetAdd(m);
   }
+  // Verify (not assume) the unimodal min(m, N-m) shape of the moments at
+  // double precision: rise_end_ is the longest jointly non-decreasing
+  // prefix, fall_begin_ the longest jointly non-increasing suffix.  For a
+  // well-behaved profile both sit at ~n/2; any numerical wiggle simply
+  // shrinks the segments the frontier search may binary-search over.
+  auto non_decreasing_at = [&](int m) {
+    return mean_add_[m] >= mean_add_[m - 1] &&
+           var_add_[m] >= var_add_[m - 1] && det_add_[m] >= det_add_[m - 1];
+  };
+  auto non_increasing_at = [&](int m) {
+    return mean_add_[m] <= mean_add_[m - 1] &&
+           var_add_[m] <= var_add_[m - 1] && det_add_[m] <= det_add_[m - 1];
+  };
+  rise_end_ = 0;
+  while (rise_end_ < n_ && non_decreasing_at(rise_end_ + 1)) ++rise_end_;
+  fall_begin_ = n_;
+  while (fall_begin_ > 0 && non_increasing_at(fall_begin_)) --fall_begin_;
 }
 
 }  // namespace svc::core

@@ -61,10 +61,31 @@ class HomogeneousProfile {
   double VarAdd(int m) const { return deterministic_ ? 0.0 : table_[m].variance; }
   double DetAdd(int m) const { return deterministic_ ? table_[m].mean : 0.0; }
 
+  // The same contributions as flat arrays indexed by m = 0..n, the shape
+  // LinkLedger::OccupancyWithBatch consumes.  Precomputed once per Reset so
+  // the allocator DP evaluates a whole uplink-cost row in one kernel pass.
+  const double* mean_adds() const { return mean_add_.data(); }
+  const double* var_adds() const { return var_add_.data(); }
+  const double* det_adds() const { return det_add_.data(); }
+
+  // Verified monotone segments of the candidate moments: all three arrays
+  // are non-decreasing on [0, rise_end] and non-increasing on
+  // [fall_begin, n] (checked element-wise in Reset, not assumed from the
+  // min-of-normals shape).  Within those segments link feasibility is
+  // monotone, which is what licenses the allocators' frontier binary
+  // search; indices in (rise_end, fall_begin) must be probed directly.
+  int rise_end() const { return rise_end_; }
+  int fall_begin() const { return fall_begin_; }
+
  private:
   int n_ = 0;
   bool deterministic_ = false;
+  int rise_end_ = 0;
+  int fall_begin_ = 0;
   std::vector<stats::Normal> table_;  // index m = 0..n
+  std::vector<double> mean_add_;
+  std::vector<double> var_add_;
+  std::vector<double> det_add_;
 };
 
 }  // namespace svc::core

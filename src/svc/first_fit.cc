@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <numeric>
 #include <unordered_map>
 #include <vector>
@@ -95,7 +96,8 @@ util::Result<Placement> FirstFitAllocator::Allocate(
 
   // Whole-placement re-validation: the incremental checks assumed the
   // not-yet-placed VMs were on the far side of every link, which is not
-  // the final geometry.
+  // the final geometry.  OccupancyWith fuses the validity check (+inf on a
+  // condition-(4) violation), so one call covers both.
   double max_occupancy = 0;
   for (const auto& [link, agg] : below) {
     const stats::Normal demand =
@@ -103,12 +105,12 @@ util::Result<Placement> FirstFitAllocator::Allocate(
     const double mean = det ? 0.0 : demand.mean;
     const double var = det ? 0.0 : demand.variance;
     const double damount = det ? demand.mean : 0.0;
-    if (!ledger.ValidWith(link, mean, var, damount)) {
+    const double occupancy = ledger.OccupancyWith(link, mean, var, damount);
+    if (occupancy == std::numeric_limits<double>::infinity()) {
       return {util::ErrorCode::kInfeasible,
               "first-fit placement failed final validation"};
     }
-    max_occupancy =
-        std::max(max_occupancy, ledger.OccupancyWith(link, mean, var, damount));
+    max_occupancy = std::max(max_occupancy, occupancy);
   }
 
   // Locality witness: lowest common ancestor of the used machines.

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cstdint>
 #include <limits>
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "svc/demand_profile.h"
 #include "svc/scratch_arena.h"
 
@@ -23,6 +26,12 @@ constexpr double kInfeasible = std::numeric_limits<double>::infinity();
 // impossible.  choice rows are keyed by the *child* vertex (each non-root
 // vertex is exactly one child edge): choice[c*num_masks + mask] is the
 // submask handed to child c when its parent's stage receives `mask`.
+//
+// cand_mean/var/det hold the candidate moments per subset — what admitting
+// `mask` below a link adds to its books.  They depend only on the request,
+// never the vertex, so the O(2^n) min-of-normals evaluations happen once
+// per call and the per-vertex uplink costs reduce to the fused occupancy
+// kernel over these arrays.
 struct ExactArena {
   std::vector<double> opt;
   std::vector<uint32_t> choice;
@@ -30,6 +39,10 @@ struct ExactArena {
   std::vector<double> next;
   std::vector<double> mask_mean;
   std::vector<double> mask_var;
+  std::vector<double> cand_mean;
+  std::vector<double> cand_var;
+  std::vector<double> cand_det;
+  std::vector<int> subtree_cap;
   std::vector<std::pair<topology::VertexId, uint32_t>> stack;
   size_t num_masks = 0;
 
@@ -45,6 +58,12 @@ struct ExactArena {
     if (mask_mean.size() < masks) {
       mask_mean.resize(masks);
       mask_var.resize(masks);
+      cand_mean.resize(masks);
+      cand_var.resize(masks);
+      cand_det.resize(masks);
+    }
+    if (subtree_cap.size() < static_cast<size_t>(num_vertices)) {
+      subtree_cap.resize(num_vertices);
     }
     stack.clear();
   }
@@ -67,6 +86,7 @@ ExactArena& LocalArena() {
 util::Result<Placement> HeteroExactAllocator::Allocate(
     const Request& request, const net::LinkLedger& ledger,
     const SlotMap& slots) const {
+  SVC_TRACE_SPAN("alloc/hetero_exact");
   if (util::Status s = request.Validate(); !s.ok()) return s;
   const int n = request.n();
   if (n > kMaxExactVms) {
@@ -99,88 +119,130 @@ util::Result<Placement> HeteroExactAllocator::Allocate(
   }
 
   const bool det = request.deterministic();
-  // Occupancy of v's uplink with subset `mask` below it.
-  auto uplink_cost = [&](topology::VertexId v, uint32_t mask) -> double {
-    const stats::Normal demand =
-        SplitDemandFromBelow(request, mask_mean[mask], mask_var[mask]);
-    const double mean = det ? 0.0 : demand.mean;
-    const double var = det ? 0.0 : demand.variance;
-    const double d = det ? demand.mean : 0.0;
-    if (!ledger.ValidWith(v, mean, var, d)) return kInfeasible;
-    return ledger.OccupancyWith(v, mean, var, d);
-  };
+  // Candidate moments per subset, vertex-independent (see ExactArena).
+  double* cand_mean = arena.cand_mean.data();
+  double* cand_var = arena.cand_var.data();
+  double* cand_det = arena.cand_det.data();
+  {
+    SVC_TRACE_SPAN("alloc/hetero_exact/candidates");
+    for (uint32_t mask = 0; mask <= full; ++mask) {
+      const stats::Normal demand =
+          SplitDemandFromBelow(request, mask_mean[mask], mask_var[mask]);
+      cand_mean[mask] = det ? 0.0 : demand.mean;
+      cand_var[mask] = det ? 0.0 : demand.variance;
+      cand_det[mask] = det ? demand.mean : 0.0;
+    }
+  }
 
   topology::VertexId best_vertex = topology::kNoVertex;
   double best_value = kInfeasible;
+  int64_t kernel_cells = 0;
+  int64_t pruned_cells = 0;
+  int* subtree_cap = arena.subtree_cap.data();
 
-  for (int level = 0; level <= topo.height(); ++level) {
-    for (topology::VertexId v : topo.vertices_at_level(level)) {
-      double* vopt = arena.opt_row(v);
-      if (topo.is_machine(v)) {
-        const int cap = slots.free_slots(v);
-        std::fill(vopt, vopt + num_masks, kInfeasible);
-        for (uint32_t mask = 0; mask <= full; ++mask) {
-          if (std::popcount(mask) > cap) continue;
-          vopt[mask] = uplink_cost(v, mask);
-        }
-      } else {
-        const auto& children = topo.children(v);
-        double* current = arena.current.data();
-        std::fill(current, current + num_masks, kInfeasible);
-        current[0] = 0.0;
-        for (topology::VertexId child_vertex : children) {
-          const double* child_opt = arena.opt_row(child_vertex);
-          double* next = arena.next.data();
-          std::fill(next, next + num_masks, kInfeasible);
-          uint32_t* choice = arena.choice_row(child_vertex);
-          std::fill(choice, choice + num_masks, 0u);
-          for (uint32_t mask = 0; mask <= full; ++mask) {
-            // Enumerate submasks `sub` of `mask` given to the child (the
-            // standard (sub - 1) & mask walk, including 0).
-            uint32_t sub = mask;
-            while (true) {
-              const uint32_t prev = mask ^ sub;
-              if (current[prev] != kInfeasible &&
-                  child_opt[sub] != kInfeasible) {
-                const double value = std::max(current[prev], child_opt[sub]);
-                const bool better = optimize_ ? value < next[mask]
-                                              : next[mask] == kInfeasible;
-                if (better) {
-                  next[mask] = value;
-                  choice[mask] = sub;
-                }
+  {
+    SVC_TRACE_SPAN("alloc/hetero_exact/search");
+    for (int level = 0; level <= topo.height(); ++level) {
+      for (topology::VertexId v : topo.vertices_at_level(level)) {
+        double* vopt = arena.opt_row(v);
+        if (topo.is_machine(v)) {
+          const int cap = std::min(n, slots.free_slots(v));
+          subtree_cap[v] = cap;
+          if (cap >= n) {
+            // Every subset fits: one dense kernel pass over the row.
+            ledger.OccupancyWithBatch(v, cand_mean, cand_var, cand_det,
+                                      static_cast<int>(num_masks), vopt);
+            kernel_cells += static_cast<int64_t>(num_masks);
+          } else {
+            std::fill(vopt, vopt + num_masks, kInfeasible);
+            for (uint32_t mask = 0; mask <= full; ++mask) {
+              if (std::popcount(mask) > cap) {
+                ++pruned_cells;
+                continue;
               }
-              if (sub == 0) break;
-              sub = (sub - 1) & mask;
+              vopt[mask] = ledger.OccupancyWith(v, cand_mean[mask],
+                                                cand_var[mask],
+                                                cand_det[mask]);
+              ++kernel_cells;
             }
           }
-          std::swap(arena.current, arena.next);
-          current = arena.current.data();
+        } else {
+          const auto& children = topo.children(v);
+          double* current = arena.current.data();
+          std::fill(current, current + num_masks, kInfeasible);
+          current[0] = 0.0;
+          // Subsets larger than the slots folded in so far cannot be
+          // realized at this stage, so their submask walks are skipped
+          // outright — the exponential part of the DP only runs on cells
+          // that can actually hold VMs.
+          int cap_so_far = 0;
+          for (topology::VertexId child_vertex : children) {
+            cap_so_far = std::min(n, cap_so_far + subtree_cap[child_vertex]);
+            const double* child_opt = arena.opt_row(child_vertex);
+            double* next = arena.next.data();
+            std::fill(next, next + num_masks, kInfeasible);
+            uint32_t* choice = arena.choice_row(child_vertex);
+            std::fill(choice, choice + num_masks, 0u);
+            for (uint32_t mask = 0; mask <= full; ++mask) {
+              if (std::popcount(mask) > cap_so_far) {
+                ++pruned_cells;
+                continue;
+              }
+              // Enumerate submasks `sub` of `mask` given to the child (the
+              // standard (sub - 1) & mask walk, including 0).
+              uint32_t sub = mask;
+              while (true) {
+                const uint32_t prev = mask ^ sub;
+                if (current[prev] != kInfeasible &&
+                    child_opt[sub] != kInfeasible) {
+                  const double value = std::max(current[prev], child_opt[sub]);
+                  const bool better = optimize_ ? value < next[mask]
+                                                : next[mask] == kInfeasible;
+                  if (better) {
+                    next[mask] = value;
+                    choice[mask] = sub;
+                  }
+                }
+                if (sub == 0) break;
+                sub = (sub - 1) & mask;
+              }
+            }
+            std::swap(arena.current, arena.next);
+            current = arena.current.data();
+          }
+          subtree_cap[v] = cap_so_far;
+          const bool is_root = v == topo.root();
+          for (uint32_t mask = 0; mask <= full; ++mask) {
+            if (current[mask] == kInfeasible) {
+              vopt[mask] = kInfeasible;
+            } else if (is_root) {
+              vopt[mask] = current[mask];
+            } else {
+              const double up = ledger.OccupancyWith(v, cand_mean[mask],
+                                                     cand_var[mask],
+                                                     cand_det[mask]);
+              ++kernel_cells;
+              vopt[mask] = up == kInfeasible ? kInfeasible
+                                             : std::max(current[mask], up);
+            }
+          }
         }
-        for (uint32_t mask = 0; mask <= full; ++mask) {
-          if (current[mask] == kInfeasible) {
-            vopt[mask] = kInfeasible;
-          } else if (v == topo.root()) {
-            vopt[mask] = current[mask];
-          } else {
-            const double up = uplink_cost(v, mask);
-            vopt[mask] = up == kInfeasible ? kInfeasible
-                                           : std::max(current[mask], up);
+
+        if (vopt[full] != kInfeasible) {
+          const bool better = optimize_ ? vopt[full] < best_value
+                                        : best_vertex == topology::kNoVertex;
+          if (better) {
+            best_vertex = v;
+            best_value = vopt[full];
           }
         }
       }
-
-      if (vopt[full] != kInfeasible) {
-        const bool better = optimize_ ? vopt[full] < best_value
-                                      : best_vertex == topology::kNoVertex;
-        if (better) {
-          best_vertex = v;
-          best_value = vopt[full];
-        }
-      }
+      if (best_vertex != topology::kNoVertex) break;  // lowest subtree
     }
-    if (best_vertex != topology::kNoVertex) break;  // lowest subtree
   }
+
+  SVC_METRIC_ADD("alloc/kernel_cells", kernel_cells);
+  SVC_METRIC_ADD("alloc/pruned_cells", pruned_cells);
 
   if (best_vertex == topology::kNoVertex) {
     return {util::ErrorCode::kInfeasible,
@@ -188,6 +250,7 @@ util::Result<Placement> HeteroExactAllocator::Allocate(
                 request.Describe()};
   }
 
+  SVC_TRACE_SPAN("alloc/hetero_exact/reconstruct");
   Placement placement;
   placement.subtree_root = best_vertex;
   placement.max_occupancy = best_value;

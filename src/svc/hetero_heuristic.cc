@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <limits>
 #include <numeric>
 #include <tuple>
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "svc/demand_profile.h"
 #include "svc/scratch_arena.h"
 
@@ -26,6 +29,12 @@ constexpr int kMaxHeuristicVms = 512;  // int16_t split indices + sanity bound
 // empty assignment.  opt rows are keyed by vertex; choice rows are keyed
 // by the *child* vertex (every non-root vertex is exactly one child edge,
 // so the parent's stage-i row lives at row children[i]).
+//
+// cand_mean/var/det hold the candidate moments of every substring — what
+// admitting <a, b> below a link adds to its books.  They depend only on
+// the request's prefix sums, never the vertex, so the O(n^2) min-of-normals
+// evaluations happen once per call and every per-vertex occupancy row is a
+// flat batch kernel over these arrays.
 struct HeuristicArena {
   std::vector<double> opt;
   std::vector<int16_t> choice;
@@ -34,6 +43,11 @@ struct HeuristicArena {
   std::vector<int> order;
   std::vector<double> prefix_mean;
   std::vector<double> prefix_var;
+  std::vector<double> cand_mean;
+  std::vector<double> cand_var;
+  std::vector<double> cand_det;
+  std::vector<double> row;  // uplink occupancy scratch
+  std::vector<int> subtree_cap;
   std::vector<std::tuple<topology::VertexId, int, int>> stack;
   size_t table = 0;  // cells per (a, b) table
 
@@ -45,11 +59,18 @@ struct HeuristicArena {
     if (current.size() < table) {
       current.resize(table);
       next.resize(table);
+      cand_mean.resize(table);
+      cand_var.resize(table);
+      cand_det.resize(table);
+      row.resize(table);
     }
     if (order.size() < static_cast<size_t>(n)) order.resize(n);
     if (prefix_mean.size() < static_cast<size_t>(n + 1)) {
       prefix_mean.resize(n + 1);
       prefix_var.resize(n + 1);
+    }
+    if (subtree_cap.size() < static_cast<size_t>(num_vertices)) {
+      subtree_cap.resize(num_vertices);
     }
     stack.clear();
   }
@@ -72,6 +93,7 @@ HeuristicArena& LocalArena() {
 util::Result<Placement> HeteroHeuristicAllocator::Allocate(
     const Request& request, const net::LinkLedger& ledger,
     const SlotMap& slots) const {
+  SVC_TRACE_SPAN("alloc/hetero_heuristic");
   if (util::Status s = request.Validate(); !s.ok()) return s;
   const int n = request.n();
   if (n > kMaxHeuristicVms) {
@@ -112,99 +134,153 @@ util::Result<Placement> HeteroHeuristicAllocator::Allocate(
   }
 
   const bool det = request.deterministic();
-  // Occupancy of v's uplink when sorted positions a..b sit below it.
-  auto uplink_cost = [&](topology::VertexId v, int a, int b) -> double {
-    const double below_mean = prefix_mean[b] - prefix_mean[a - 1];
-    const double below_var = prefix_var[b] - prefix_var[a - 1];
-    const stats::Normal demand =
-        SplitDemandFromBelow(request, below_mean, below_var);
-    const double mean = det ? 0.0 : demand.mean;
-    const double var = det ? 0.0 : demand.variance;
-    const double d = det ? demand.mean : 0.0;
-    if (!ledger.ValidWith(v, mean, var, d)) return kInfeasible;
-    return ledger.OccupancyWith(v, mean, var, d);
-  };
+  // Candidate moments of every substring <a, b>, vertex-independent (see
+  // HeuristicArena).  The min-of-normals evaluations here dominate the old
+  // per-vertex uplink_cost closure; hoisting them leaves only the fused
+  // occupancy kernel inside the per-vertex loops.
+  double* cand_mean = arena.cand_mean.data();
+  double* cand_var = arena.cand_var.data();
+  double* cand_det = arena.cand_det.data();
+  {
+    SVC_TRACE_SPAN("alloc/hetero_heuristic/candidates");
+    for (int a = 1; a <= n + 1; ++a) {
+      for (int b = a - 1; b <= n; ++b) {
+        const double below_mean = prefix_mean[b] - prefix_mean[a - 1];
+        const double below_var = prefix_var[b] - prefix_var[a - 1];
+        const stats::Normal demand =
+            SplitDemandFromBelow(request, below_mean, below_var);
+        const size_t i = idx(a, b);
+        cand_mean[i] = det ? 0.0 : demand.mean;
+        cand_var[i] = det ? 0.0 : demand.variance;
+        cand_det[i] = det ? demand.mean : 0.0;
+      }
+    }
+  }
 
   topology::VertexId best_vertex = topology::kNoVertex;
   double best_value = kInfeasible;
+  int64_t kernel_cells = 0;
+  int64_t pruned_cells = 0;
+  int* subtree_cap = arena.subtree_cap.data();
 
-  for (int level = 0; level <= topo.height(); ++level) {
-    for (topology::VertexId v : topo.vertices_at_level(level)) {
-      double* vopt = arena.opt_row(v);
-      std::fill(vopt, vopt + arena.table, kInfeasible);
-      if (topo.is_machine(v)) {
-        const int cap = slots.free_slots(v);
-        for (int a = 1; a <= n + 1; ++a) {
-          const int b_hi = std::min(n, a - 1 + cap);
-          for (int b = a - 1; b <= b_hi; ++b) {
-            vopt[idx(a, b)] = uplink_cost(v, a, b);
-          }
-        }
-      } else {
-        const auto& children = topo.children(v);
-        // current = assignments realizable by T_v^[i]; T_v^[0] holds only
-        // the empty substring.
-        double* current = arena.current.data();
-        std::fill(current, current + arena.table, kInfeasible);
-        for (int a = 1; a <= n + 1; ++a) current[idx(a, a - 1)] = 0.0;
-        for (topology::VertexId child_vertex : children) {
-          const double* child_opt = arena.opt_row(child_vertex);
-          double* next = arena.next.data();
-          std::fill(next, next + arena.table, kInfeasible);
-          int16_t* choice = arena.choice_row(child_vertex);
-          std::fill(choice, choice + arena.table, int16_t{-1});
+  {
+    SVC_TRACE_SPAN("alloc/hetero_heuristic/search");
+    for (int level = 0; level <= topo.height(); ++level) {
+      for (topology::VertexId v : topo.vertices_at_level(level)) {
+        double* vopt = arena.opt_row(v);
+        std::fill(vopt, vopt + arena.table, kInfeasible);
+        if (topo.is_machine(v)) {
+          const int cap = std::min(n, slots.free_slots(v));
+          subtree_cap[v] = cap;
           for (int a = 1; a <= n + 1; ++a) {
-            for (int b = a - 1; b <= n; ++b) {
-              double best = kInfeasible;
-              int best_k = -1;
-              // The child takes <k, b>; earlier stages keep <a, k-1>.
-              for (int k = a; k <= b + 1; ++k) {
-                const double left = current[idx(a, k - 1)];
-                if (left == kInfeasible) continue;
-                const double right = child_opt[idx(k, b)];
-                if (right == kInfeasible) continue;
-                const double value = std::max(left, right);
-                if (optimize_ ? value < best : best_k < 0) {
-                  best = value;
-                  best_k = k;
+            const int b_hi = std::min(n, a - 1 + cap);
+            const size_t base = idx(a, a - 1);
+            ledger.OccupancyWithBatch(v, cand_mean + base, cand_var + base,
+                                      cand_det + base, b_hi - (a - 1) + 1,
+                                      vopt + base);
+            kernel_cells += b_hi - (a - 1) + 1;
+            pruned_cells += n - b_hi;
+          }
+        } else {
+          const auto& children = topo.children(v);
+          // Substrings longer than the subtree's free slots can never be
+          // realized by any stage of the fold, so their cells are skipped
+          // outright (they stay at the kInfeasible fill).
+          int cap_v = 0;
+          for (topology::VertexId child_vertex : children) {
+            cap_v += subtree_cap[child_vertex];
+          }
+          cap_v = std::min(cap_v, n);
+          subtree_cap[v] = cap_v;
+          // current = assignments realizable by T_v^[i]; T_v^[0] holds only
+          // the empty substring.
+          double* current = arena.current.data();
+          std::fill(current, current + arena.table, kInfeasible);
+          for (int a = 1; a <= n + 1; ++a) current[idx(a, a - 1)] = 0.0;
+          for (topology::VertexId child_vertex : children) {
+            const double* child_opt = arena.opt_row(child_vertex);
+            double* next = arena.next.data();
+            std::fill(next, next + arena.table, kInfeasible);
+            int16_t* choice = arena.choice_row(child_vertex);
+            std::fill(choice, choice + arena.table, int16_t{-1});
+            for (int a = 1; a <= n + 1; ++a) {
+              const int b_cap = std::min(n, a - 1 + cap_v);
+              pruned_cells += n - b_cap;
+              for (int b = a - 1; b <= b_cap; ++b) {
+                double best = kInfeasible;
+                int best_k = -1;
+                // The child takes <k, b>; earlier stages keep <a, k-1>.
+                for (int k = a; k <= b + 1; ++k) {
+                  const double left = current[idx(a, k - 1)];
+                  if (left == kInfeasible) continue;
+                  const double right = child_opt[idx(k, b)];
+                  if (right == kInfeasible) continue;
+                  const double value = std::max(left, right);
+                  if (optimize_ ? value < best : best_k < 0) {
+                    best = value;
+                    best_k = k;
+                  }
+                  if (!optimize_ && best_k >= 0) break;
                 }
-                if (!optimize_ && best_k >= 0) break;
-              }
-              if (best_k >= 0) {
-                next[idx(a, b)] = best;
-                choice[idx(a, b)] = static_cast<int16_t>(best_k);
+                if (best_k >= 0) {
+                  next[idx(a, b)] = best;
+                  choice[idx(a, b)] = static_cast<int16_t>(best_k);
+                }
               }
             }
+            std::swap(arena.current, arena.next);
+            current = arena.current.data();
           }
-          std::swap(arena.current, arena.next);
-          current = arena.current.data();
-        }
-        for (int a = 1; a <= n + 1; ++a) {
-          for (int b = a - 1; b <= n; ++b) {
-            const double inner = current[idx(a, b)];
-            if (inner == kInfeasible) continue;
+          // Apply v's own uplink (root has none) across each a-row's finite
+          // window; one batch kernel per row instead of a validity +
+          // occupancy call pair per cell.
+          double* up = arena.row.data();
+          for (int a = 1; a <= n + 1; ++a) {
+            int b_lo = a - 1;
+            int b_hi = std::min(n, a - 1 + cap_v);
+            while (b_lo <= b_hi && current[idx(a, b_lo)] == kInfeasible) {
+              ++b_lo;
+            }
+            while (b_hi >= b_lo && current[idx(a, b_hi)] == kInfeasible) {
+              --b_hi;
+            }
+            if (b_lo > b_hi) continue;
             if (v == topo.root()) {
-              vopt[idx(a, b)] = inner;
+              for (int b = b_lo; b <= b_hi; ++b) {
+                vopt[idx(a, b)] = current[idx(a, b)];
+              }
             } else {
-              const double up = uplink_cost(v, a, b);
-              if (up != kInfeasible) vopt[idx(a, b)] = std::max(inner, up);
+              const size_t base = idx(a, b_lo);
+              ledger.OccupancyWithBatch(v, cand_mean + base, cand_var + base,
+                                        cand_det + base, b_hi - b_lo + 1,
+                                        up + base);
+              kernel_cells += b_hi - b_lo + 1;
+              for (int b = b_lo; b <= b_hi; ++b) {
+                const double inner = current[idx(a, b)];
+                if (inner == kInfeasible) continue;
+                const double u = up[idx(a, b)];
+                if (u != kInfeasible) vopt[idx(a, b)] = std::max(inner, u);
+              }
             }
           }
         }
-      }
 
-      const double whole = vopt[idx(1, n)];
-      if (whole != kInfeasible) {
-        const bool better =
-            optimize_ ? whole < best_value : best_vertex == topology::kNoVertex;
-        if (better) {
-          best_vertex = v;
-          best_value = whole;
+        const double whole = vopt[idx(1, n)];
+        if (whole != kInfeasible) {
+          const bool better = optimize_ ? whole < best_value
+                                        : best_vertex == topology::kNoVertex;
+          if (better) {
+            best_vertex = v;
+            best_value = whole;
+          }
         }
       }
+      if (best_vertex != topology::kNoVertex) break;  // lowest subtree
     }
-    if (best_vertex != topology::kNoVertex) break;  // lowest subtree
   }
+
+  SVC_METRIC_ADD("alloc/kernel_cells", kernel_cells);
+  SVC_METRIC_ADD("alloc/pruned_cells", pruned_cells);
 
   if (best_vertex == topology::kNoVertex) {
     return {util::ErrorCode::kInfeasible,
@@ -212,6 +288,7 @@ util::Result<Placement> HeteroHeuristicAllocator::Allocate(
                 request.Describe()};
   }
 
+  SVC_TRACE_SPAN("alloc/hetero_heuristic/reconstruct");
   Placement placement;
   placement.subtree_root = best_vertex;
   placement.max_occupancy = best_value;

@@ -1,8 +1,16 @@
 // Regression gate for the observability overhead budget: with the metrics
-// registry and tracing armed, HomogeneousSearchAllocator::Allocate() must
+// registry and tracing armed, the allocators' Allocate() hot paths must
 // stay heap-allocation-free after warm-up (the same guarantee
 // bench/alloc_microbench and perf_suite measure).  The test links the
 // global operator-new counter from bench/alloc_counter.cc.
+//
+// Covered paths:
+//   * homogeneous serial DP — hard zero, obs on and off;
+//   * hetero exact DP — hard zero (mask tables live in the arena);
+//   * hetero heuristic — bounded (std::stable_sort's temporary buffer is
+//     the one per-call allocation; the DP itself is arena-resident);
+//   * homogeneous level-parallel — bounded (task handoff may touch the
+//     pool's deque chunks; the DP rows and scratch stay arena-resident).
 #include <gtest/gtest.h>
 
 #include <utility>
@@ -11,10 +19,13 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/rng.h"
+#include "svc/hetero_exact.h"
+#include "svc/hetero_heuristic.h"
 #include "svc/homogeneous_search.h"
 #include "svc/manager.h"
 #include "svc/scratch_arena.h"
 #include "topology/builders.h"
+#include "util/thread_pool.h"
 
 namespace svc {
 namespace {
@@ -34,16 +45,10 @@ core::NetworkManager LoadedManager(const topology::Topology& topo) {
   return manager;
 }
 
-// Runs `iters` warm Allocate() calls and returns the operator-new delta.
-int64_t AllocationsDuringSteadyCalls(int iters) {
-  topology::ThreeTierConfig config;
-  config.racks = 20;
-  config.machines_per_rack = 10;
-  config.racks_per_agg = 4;
-  const topology::Topology topo = topology::BuildThreeTier(config);
-  const core::NetworkManager manager = LoadedManager(topo);
-  const core::HomogeneousDpAllocator alloc;
-  const core::Request r = core::Request::Homogeneous(1, 30, 200, 100);
+// Runs `iters` warm Allocate() calls of `alloc` and returns the
+// operator-new delta across the loop.
+int64_t SteadyAllocations(const core::Allocator& alloc, const core::Request& r,
+                          const core::NetworkManager& manager, int iters) {
   // Warm-up sizes the thread-local DP arena, seeds the VM-buffer pool, and
   // (with obs on) registers metric handles and this thread's trace ring.
   if (auto warm = alloc.Allocate(r, manager.ledger(), manager.slots())) {
@@ -56,6 +61,18 @@ int64_t AllocationsDuringSteadyCalls(int iters) {
     if (result.ok()) core::RecycleVmBuffer(std::move(result->vm_machine));
   }
   return bench::AllocationCount() - before;
+}
+
+int64_t AllocationsDuringSteadyCalls(int iters) {
+  topology::ThreeTierConfig config;
+  config.racks = 20;
+  config.machines_per_rack = 10;
+  config.racks_per_agg = 4;
+  const topology::Topology topo = topology::BuildThreeTier(config);
+  const core::NetworkManager manager = LoadedManager(topo);
+  const core::HomogeneousDpAllocator alloc;
+  const core::Request r = core::Request::Homogeneous(1, 30, 200, 100);
+  return SteadyAllocations(alloc, r, manager, iters);
 }
 
 TEST(ObsAllocOverhead, AllocateStaysZeroAllocWithObsDisabled) {
@@ -71,6 +88,72 @@ TEST(ObsAllocOverhead, AllocateStaysZeroAllocWithObsEnabled) {
   obs::SetMetricsEnabled(false);
   obs::SetTraceEnabled(false);
   EXPECT_EQ(allocations, 0);
+}
+
+std::vector<stats::Normal> MixedDemands(int count) {
+  std::vector<stats::Normal> demands;
+  demands.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    const double mean = 60.0 + 25.0 * (i % 4);
+    demands.push_back({mean, mean * mean / 4.0});
+  }
+  return demands;
+}
+
+TEST(ObsAllocOverhead, HeteroExactStaysZeroAllocWithObsEnabled) {
+  obs::SetMetricsEnabled(true);
+  obs::SetTraceEnabled(true);
+  const topology::Topology topo = topology::BuildTwoTier(4, 3, 4, 1000, 2.0);
+  const core::NetworkManager manager = LoadedManager(topo);
+  const core::HeteroExactAllocator alloc;
+  const core::Request r = core::Request::Heterogeneous(1, MixedDemands(8));
+  const int64_t allocations = SteadyAllocations(alloc, r, manager, 50);
+  obs::SetMetricsEnabled(false);
+  obs::SetTraceEnabled(false);
+  EXPECT_EQ(allocations, 0);
+}
+
+TEST(ObsAllocOverhead, HeteroHeuristicStaysBoundedWithObsEnabled) {
+  obs::SetMetricsEnabled(true);
+  obs::SetTraceEnabled(true);
+  const topology::Topology topo = topology::BuildTwoTier(4, 3, 4, 1000, 2.0);
+  const core::NetworkManager manager = LoadedManager(topo);
+  const core::HeteroHeuristicAllocator alloc;
+  const core::Request r = core::Request::Heterogeneous(1, MixedDemands(12));
+  const int iters = 50;
+  const int64_t allocations = SteadyAllocations(alloc, r, manager, iters);
+  obs::SetMetricsEnabled(false);
+  obs::SetTraceEnabled(false);
+  // std::stable_sort's temporary buffer is the only tolerated allocation;
+  // the DP tables, candidate arrays, and placement buffers are recycled.
+  EXPECT_LE(allocations, static_cast<int64_t>(iters) * 2);
+}
+
+TEST(ObsAllocOverhead, ParallelAllocateStaysBoundedWithObsEnabled) {
+  obs::SetMetricsEnabled(true);
+  obs::SetTraceEnabled(true);
+  topology::ThreeTierConfig config;
+  config.racks = 20;
+  config.machines_per_rack = 10;
+  config.racks_per_agg = 4;
+  const topology::Topology topo = topology::BuildThreeTier(config);
+  const core::NetworkManager manager = LoadedManager(topo);
+  util::ThreadPool pool(2);
+  core::HomogeneousSearchOptions options;
+  options.pool = &pool;
+  const core::HomogeneousSearchAllocator alloc(options, "svc-dp-par");
+  const core::Request r = core::Request::Homogeneous(1, 30, 200, 100);
+  const int iters = 50;
+  const int64_t allocations = SteadyAllocations(alloc, r, manager, iters);
+  obs::SetMetricsEnabled(false);
+  obs::SetTraceEnabled(false);
+  // The DP itself allocates nothing (shared rows in the caller's arena,
+  // per-worker scratch in theirs); the only tolerated traffic is the task
+  // handoff — worker-deque chunk churn in the pool, a handful per
+  // submitted task at worst.
+  const int64_t levels_bound = 4;  // levels that can fan out per call
+  EXPECT_LE(allocations,
+            static_cast<int64_t>(iters) * levels_bound * pool.num_threads() * 2);
 }
 
 }  // namespace

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_PERF.json snapshots produced by bench/perf_suite.
+
+Compares the benchmark throughput rates (``*_per_sec``) and the metrics
+counters of a *before* and an *after* snapshot, prints a delta table, and
+exits non-zero when any benchmark regressed by more than the allowed
+threshold — which is what lets CI run it as a perf-smoke gate:
+
+    build/bench/perf_suite BEFORE.json
+    ... apply change, rebuild ...
+    build/bench/perf_suite AFTER.json
+    tools/bench_diff.py BEFORE.json AFTER.json --max-regression 20
+
+``--require-speedup NAME:FACTOR`` additionally fails unless the named
+benchmark got at least FACTOR times faster — used to assert headline
+improvements (e.g. ``--require-speedup allocate_steady:2.0``).
+
+The allocs_per_call field, when present on both sides, is a hard gate:
+any increase fails regardless of the threshold (the zero-allocation
+steady state is a correctness property, not a throughput number).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def rate_of(bench):
+    """The benchmark's throughput field (whatever key ends in _per_sec)."""
+    for key, value in bench.items():
+        if key.endswith("_per_sec"):
+            return key, value
+    return None, None
+
+
+def fmt_rate(value):
+    return f"{value:,.0f}" if value is not None else "-"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("before", help="baseline BENCH_PERF.json")
+    parser.add_argument("after", help="candidate BENCH_PERF.json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="fail if any benchmark slows down by more than PCT%% "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--require-speedup",
+        action="append",
+        default=[],
+        metavar="NAME:FACTOR",
+        help="fail unless benchmark NAME is at least FACTOR times faster",
+    )
+    parser.add_argument(
+        "--show-metrics",
+        action="store_true",
+        help="also print the counter diff (always checked for allocs)",
+    )
+    args = parser.parse_args()
+
+    before = load(args.before)
+    after = load(args.after)
+    before_benches = {b["name"]: b for b in before.get("benchmarks", [])}
+    after_benches = {b["name"]: b for b in after.get("benchmarks", [])}
+
+    required = {}
+    for spec in args.require_speedup:
+        name, _, factor = spec.partition(":")
+        if not factor:
+            parser.error(f"--require-speedup needs NAME:FACTOR, got {spec!r}")
+        required[name] = float(factor)
+
+    failures = []
+    rows = []
+    for name in before_benches.keys() | after_benches.keys():
+        b = before_benches.get(name)
+        a = after_benches.get(name)
+        if b is None or a is None:
+            rows.append((name, rate_of(b or {})[1], rate_of(a or {})[1], None))
+            continue
+        _, b_rate = rate_of(b)
+        _, a_rate = rate_of(a)
+        if not b_rate or a_rate is None:
+            continue
+        speedup = a_rate / b_rate
+        rows.append((name, b_rate, a_rate, speedup))
+        if speedup < 1.0 - args.max_regression / 100.0:
+            failures.append(
+                f"{name}: {(1.0 - speedup) * 100.0:.1f}% slower "
+                f"(allowed {args.max_regression:.1f}%)"
+            )
+        if name in required and speedup < required[name]:
+            failures.append(
+                f"{name}: speedup {speedup:.2f}x below required "
+                f"{required[name]:.2f}x"
+            )
+        b_allocs = b.get("allocs_per_call")
+        a_allocs = a.get("allocs_per_call")
+        if b_allocs is not None and a_allocs is not None and a_allocs > b_allocs:
+            failures.append(
+                f"{name}: allocs_per_call grew {b_allocs} -> {a_allocs}"
+            )
+    for name in required:
+        if name not in before_benches or name not in after_benches:
+            failures.append(f"{name}: required benchmark missing from snapshot")
+
+    width = max((len(r[0]) for r in rows), default=4)
+    print(f"{'benchmark':<{width}}  {'before/s':>14}  {'after/s':>14}  delta")
+    for name, b_rate, a_rate, speedup in sorted(rows):
+        delta = f"{(speedup - 1.0) * 100.0:+.1f}%" if speedup else "(missing)"
+        print(
+            f"{name:<{width}}  {fmt_rate(b_rate):>14}  {fmt_rate(a_rate):>14}  "
+            f"{delta}"
+        )
+
+    if args.show_metrics:
+        b_counters = before.get("metrics", {}).get("counters", {})
+        a_counters = after.get("metrics", {}).get("counters", {})
+        names = sorted(b_counters.keys() | a_counters.keys())
+        if names:
+            cwidth = max(len(n) for n in names)
+            print(f"\n{'counter':<{cwidth}}  {'before':>14}  {'after':>14}")
+            for name in names:
+                print(
+                    f"{name:<{cwidth}}  {b_counters.get(name, '-'):>14}  "
+                    f"{a_counters.get(name, '-'):>14}"
+                )
+
+    if failures:
+        print("\nREGRESSIONS:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nOK: no regression beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
