@@ -1,0 +1,190 @@
+// Fault-recovery sweep (robustness experiment, not a paper figure): runs
+// the online SVC simulation under seeded failure churn, sweeping the
+// machine MTBF against the three recovery policies, and reports for each
+// cell the fault/recovery volume, the tenants recovered vs evicted, the
+// recovery latency percentiles, and the outage rate split into failure
+// and steady epochs.
+//
+// The headline property: the *steady-epoch* outage rate — the fraction of
+// (link, second) pairs over capacity while every element was healthy —
+// must stay within the admission bound epsilon regardless of how hard the
+// fault plane churns.  Outages during failure epochs are expected (a
+// drained link sheds its capacity out from under admitted tenants);
+// outages after recovery would mean HandleFault/HandleRecovery corrupted
+// ledger state.  `--check` turns that property into an exit code for CI.
+//
+// Writes BENCH_FAULT.json (override with --out) in the BENCH_PERF.json
+// schema, so two snapshots diff with tools/bench_diff.py.
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "obs/metrics.h"
+#include "sim/fault_injector.h"
+#include "sim/sweep_runner.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace svc;
+
+// Quantile of an unsorted sample set (nearest-rank); 0 when empty.
+double Percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const size_t rank = static_cast<size_t>(q * (samples.size() - 1) + 0.5);
+  return samples[std::min(rank, samples.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::FlagSet flags(
+      "fault_recovery: failure churn vs recovery policy "
+      "(writes BENCH_FAULT.json)");
+  bench::CommonOptions common(flags);
+  double& load = flags.Double("load", 0.7, "datacenter load");
+  std::string& mtbfs =
+      flags.String("mtbfs", "300,900,2700", "machine MTBF values (seconds)");
+  double& link_mtbf_factor = flags.Double(
+      "link-mtbf-factor", 3.0,
+      "fabric-link MTBF as a multiple of the machine MTBF (0 disables)");
+  double& mttr = flags.Double("mttr", 60, "mean time to repair (seconds)");
+  double& horizon =
+      flags.Double("horizon", 20000, "failure-injection horizon (seconds)");
+  bool& check = flags.Bool(
+      "check", false,
+      "exit non-zero unless every steady-epoch outage rate <= epsilon");
+  bool& csv = flags.Bool("csv", false, "also print CSV");
+  std::string& out = flags.String("out", "BENCH_FAULT.json", "output path");
+  flags.Parse(argc, argv);
+  bench::ObsScope obs(common);
+
+  const topology::Topology topo =
+      topology::BuildThreeTier(common.TopologyConfig());
+  const core::Allocator& allocator =
+      bench::AllocatorFor(workload::Abstraction::kSvc);
+
+  struct Cell {
+    core::RecoveryPolicy policy;
+    double mtbf;
+  };
+  std::vector<Cell> cells;
+  for (const core::RecoveryPolicy policy :
+       {core::RecoveryPolicy::kReallocate, core::RecoveryPolicy::kPatch,
+        core::RecoveryPolicy::kEvict}) {
+    for (const double mtbf : util::ParseDoubleList(mtbfs)) {
+      cells.push_back({policy, mtbf});
+    }
+  }
+
+  // Every cell replays the same workload bytes (same generator seed) under
+  // its own fault schedule, so columns differ only by the fault plane.
+  auto cell_task = [&](const Cell& cell) {
+    return [&, cell] {
+      workload::WorkloadGenerator gen(common.WorkloadConfig(),
+                                      common.seed());
+      auto jobs = gen.GenerateOnline(load, topo.total_slots());
+      sim::SimConfig config;
+      config.abstraction = workload::Abstraction::kSvc;
+      config.epsilon = common.epsilon();
+      config.allocator = &allocator;
+      config.seed = common.seed() + 1;
+      config.max_seconds = 4 * horizon;
+      config.faults.machine_mtbf_seconds = cell.mtbf;
+      config.faults.link_mtbf_seconds =
+          link_mtbf_factor > 0 ? link_mtbf_factor * cell.mtbf : 0;
+      config.faults.mttr_seconds = mttr;
+      config.faults.horizon_seconds = horizon;
+      config.faults.seed = common.seed() + 2;
+      config.faults.policy = cell.policy;
+      sim::Engine engine(topo, config);
+      return engine.RunOnline(std::move(jobs));
+    };
+  };
+  std::vector<std::function<sim::OnlineResult()>> tasks;
+  for (const Cell& cell : cells) tasks.push_back(cell_task(cell));
+  sim::SweepRunner runner(common.threads());
+  const std::vector<sim::OnlineResult> results = runner.Run(std::move(tasks));
+
+  util::Table table({"policy", "mtbf", "faults", "recoveries", "recovered",
+                     "evicted", "steady outage", "failure outage", "p50 us",
+                     "p99 us"});
+  std::vector<bench::BenchRecord> records;
+  bool steady_ok = true;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    const sim::OnlineResult& r = results[i];
+    const sim::OutageStats steady = r.steady_outage();
+    const double steady_rate = steady.OutageRate();
+    const double failure_rate = r.failure_outage.OutageRate();
+    const double p50 = Percentile(r.recovery_latency_us, 0.50);
+    const double p99 = Percentile(r.recovery_latency_us, 0.99);
+    const double faults_per_sec =
+        r.simulated_seconds > 0 ? r.faults_injected / r.simulated_seconds
+                                : 0.0;
+    if (steady_rate > common.epsilon()) steady_ok = false;
+    table.AddRow({core::ToString(cell.policy), util::Table::Num(cell.mtbf, 0),
+                  std::to_string(r.faults_injected),
+                  std::to_string(r.fault_recoveries),
+                  std::to_string(r.tenants_recovered),
+                  std::to_string(r.tenants_evicted),
+                  util::Table::Num(steady_rate, 5),
+                  util::Table::Num(failure_rate, 5),
+                  util::Table::Num(p50, 1), util::Table::Num(p99, 1)});
+    const std::string name = std::string("fault_") +
+                             core::ToString(cell.policy) + "_mtbf" +
+                             util::Table::Num(cell.mtbf, 0);
+    records.push_back({name, r.faults_injected, 0.0, 0.0,
+                       {{"faults_per_sec", faults_per_sec},
+                        {"steady_outage_rate", steady_rate},
+                        {"failure_outage_rate", failure_rate},
+                        {"recovery_p50_us", p50},
+                        {"recovery_p99_us", p99},
+                        {"tenants_recovered",
+                         static_cast<double>(r.tenants_recovered)},
+                        {"tenants_evicted",
+                         static_cast<double>(r.tenants_evicted)}}});
+  }
+  bench::EmitTable("Fault recovery: failure churn vs recovery policy", table,
+                   csv);
+
+  util::JsonWriter w;
+  w.BeginObject();
+  w.Member("hardware_threads", util::ThreadPool::HardwareThreads());
+  w.Member("threads", common.threads());
+  w.Member("seed", static_cast<int64_t>(common.seed()));
+  w.Member("epsilon", common.epsilon());
+  w.Member("mttr_seconds", mttr);
+  w.Member("horizon_seconds", horizon);
+  bench::AddBenchmarksMember(w, records);
+  const obs::MetricsSnapshot snapshot = obs::Registry::Global().Collect();
+  w.Key("metrics");
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& c : snapshot.counters) w.Member(c.name, c.value);
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& g : snapshot.gauges) w.Member(g.name, g.value);
+  w.EndObject();
+  w.EndObject();
+  w.EndObject();
+  if (!bench::WriteFile(out, w.str() + "\n")) return 1;
+  std::printf("wrote %s\n", out.c_str());
+
+  if (check && !steady_ok) {
+    std::fprintf(stderr,
+                 "FAIL: steady-epoch outage rate exceeded epsilon %.4g\n",
+                 common.epsilon());
+    return 1;
+  }
+  if (check) std::printf("check: steady-epoch outage within epsilon\n");
+  return 0;
+}

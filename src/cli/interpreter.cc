@@ -292,6 +292,75 @@ bool Interpreter::CmdMetrics(const std::vector<std::string>& args,
   return true;
 }
 
+bool Interpreter::CmdFail(const std::vector<std::string>& args,
+                          std::ostream& out) {
+  int64_t vertex = 0;
+  if (args.size() != 3 || (args[1] != "machine" && args[1] != "link") ||
+      !ParseInt(args[2], vertex)) {
+    out << "error: fail machine|link <vertex>\n";
+    return false;
+  }
+  const core::FaultKind kind = args[1] == "machine"
+                                   ? core::FaultKind::kMachine
+                                   : core::FaultKind::kLink;
+  auto outcome = manager_.HandleFault(
+      kind, static_cast<topology::VertexId>(vertex), recovery_policy_,
+      *current_allocator_);
+  if (!outcome) {
+    out << "fail " << args[1] << " " << vertex << ": "
+        << outcome.status().ToText() << "\n";
+    return false;
+  }
+  out << "fail " << args[1] << " " << vertex << ": "
+      << outcome->tenants.size() << " affected, " << outcome->recovered()
+      << " recovered, " << outcome->evicted() << " evicted (policy "
+      << core::ToString(recovery_policy_) << ")";
+  for (const core::TenantOutcome& tenant : outcome->tenants) {
+    if (!tenant.recovered) {
+      out << " evict:" << tenant.id << ":"
+          << core::ToString(tenant.evict_reason);
+    }
+  }
+  out << "\n";
+  return true;
+}
+
+bool Interpreter::CmdRecover(const std::vector<std::string>& args,
+                             std::ostream& out) {
+  int64_t vertex = 0;
+  if (args.size() != 2 || !ParseInt(args[1], vertex)) {
+    out << "error: recover <vertex>\n";
+    return false;
+  }
+  const util::Status status =
+      manager_.HandleRecovery(static_cast<topology::VertexId>(vertex));
+  if (!status.ok()) {
+    out << "recover " << vertex << ": " << status.ToText() << "\n";
+    return false;
+  }
+  out << "recover " << vertex << ": done\n";
+  return true;
+}
+
+bool Interpreter::CmdFaults(const std::vector<std::string>& args,
+                            std::ostream& out) {
+  if (args.size() != 1) {
+    out << "error: faults takes no arguments\n";
+    return false;
+  }
+  if (manager_.Faults().empty()) {
+    out << "faults: none\n";
+    return true;
+  }
+  out << "faults:";
+  for (const auto& [vertex, kind] : manager_.Faults()) {
+    out << " " << (kind == core::FaultKind::kMachine ? "machine" : "link")
+        << ":" << vertex;
+  }
+  out << "\n";
+  return true;
+}
+
 bool Interpreter::Execute(const std::string& line, std::ostream& out) {
   const std::vector<std::string> args = Tokenize(line);
   if (args.empty()) return true;  // blank / comment
@@ -302,6 +371,19 @@ bool Interpreter::Execute(const std::string& line, std::ostream& out) {
   if (command == "assert") return CmdAssert(args, out);
   if (command == "snapshot") return CmdSnapshot(args, out);
   if (command == "metrics") return CmdMetrics(args, out);
+  if (command == "fail") return CmdFail(args, out);
+  if (command == "recover") return CmdRecover(args, out);
+  if (command == "faults") return CmdFaults(args, out);
+  if (command == "policy") {
+    core::RecoveryPolicy policy;
+    if (args.size() != 2 || !core::ParseRecoveryPolicy(args[1], &policy)) {
+      out << "error: policy reallocate|patch|evict\n";
+      return false;
+    }
+    recovery_policy_ = policy;
+    out << "policy: " << args[1] << "\n";
+    return true;
+  }
   if (command == "allocator") {
     if (args.size() != 2 || !SelectAllocator(args[1])) {
       out << "error: unknown allocator\n";

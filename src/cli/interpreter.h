@@ -14,6 +14,11 @@
 //   assert valid                        # fail unless condition (4) holds
 //   assert live 2                       # fail unless tenant 2 is admitted
 //   allocator svc-dp                    # switch placement algorithm
+//   policy reallocate|patch|evict       # recovery policy for faults
+//   fail machine 7                      # failure drill: take machine down
+//   fail link 3                         # drain the uplink of vertex 3
+//   recover 7                           # bring a failed element back
+//   faults                              # list currently-failed elements
 //   metrics                             # dump the obs metrics registry
 //   snapshot save state.txt             # persist live tenants
 //   snapshot load state.txt             # replay into an empty manager
@@ -61,11 +66,15 @@ class Interpreter {
   bool CmdAssert(const std::vector<std::string>& args, std::ostream& out);
   bool CmdSnapshot(const std::vector<std::string>& args, std::ostream& out);
   bool CmdMetrics(const std::vector<std::string>& args, std::ostream& out);
+  bool CmdFail(const std::vector<std::string>& args, std::ostream& out);
+  bool CmdRecover(const std::vector<std::string>& args, std::ostream& out);
+  bool CmdFaults(const std::vector<std::string>& args, std::ostream& out);
 
   core::NetworkManager manager_;
   std::map<std::string, std::unique_ptr<core::Allocator>> allocators_;
   core::Allocator* current_allocator_;  // points into allocators_
   std::string current_allocator_name_;
+  core::RecoveryPolicy recovery_policy_ = core::RecoveryPolicy::kReallocate;
 };
 
 }  // namespace svc::cli

@@ -22,8 +22,13 @@ double EffectiveBandwidth(double mu_i, double var_i, double var_total,
 
 double OccupancyRatio(double capacity, double deterministic, double mean_sum,
                       double var_sum, double c) {
-  assert(capacity > 0);
   assert(var_sum >= 0);
+  if (capacity <= 0) {
+    // Failed (drained) link: empty is vacuously fine, any demand overflows.
+    return deterministic + mean_sum + var_sum <= 0
+               ? 0.0
+               : std::numeric_limits<double>::infinity();
+  }
   return (deterministic + mean_sum + c * std::sqrt(var_sum)) / capacity;
 }
 
@@ -41,8 +46,14 @@ bool SatisfiesGuarantee(double capacity, double deterministic,
 
 double OccupancyRatioIfValid(double capacity, double deterministic,
                              double mean_sum, double var_sum, double c) {
-  assert(capacity > 0);
   assert(var_sum >= 0);
+  if (capacity <= 0) {
+    // Failed (drained) link: only the empty link passes condition (4); the
+    // guard sits outside the division so the capacity > 0 path is untouched.
+    return deterministic + mean_sum + var_sum <= 0
+               ? 0.0
+               : std::numeric_limits<double>::infinity();
+  }
   const double slack = 1e-9 * capacity;
   const double root = c * std::sqrt(var_sum);
   // Same predicates as SatisfiesGuarantee, with the sqrt hoisted so it is

@@ -26,7 +26,9 @@ double GuaranteeQuantile(double epsilon);
 double EffectiveBandwidth(double mu_i, double var_i, double var_total,
                           double c);
 
-// Occupancy ratio O (Eq. 6).  Well-defined for capacity > 0.
+// Occupancy ratio O (Eq. 6).  A link drained to capacity <= 0 (failed
+// element, see LinkLedger::SetLinkState) is vacuously empty at zero demand
+// and infinitely occupied otherwise.
 double OccupancyRatio(double capacity, double deterministic, double mean_sum,
                       double var_sum, double c);
 

@@ -65,6 +65,16 @@ void LinkLedger::OccupancyWithBatch(topology::VertexId v,
   const double v0 = s.var_sum;
   const double c = c_;
   const double inf = std::numeric_limits<double>::infinity();
+  if (capacity <= 0) {
+    // Failed (drained) link — hoisted out of the hot loop so the nominal
+    // path stays branch-free.  Matches OccupancyRatioIfValid cell by cell.
+    for (int i = 0; i < count; ++i) {
+      const double demand = d0 + det_add[i] + m0 + mean_add[i] + v0 +
+                            var_add[i];
+      out[i] = demand <= 0 ? 0.0 : inf;
+    }
+    return;
+  }
   // Mirrors OccupancyRatioIfValid cell by cell — same operand order, so the
   // finite values are bit-identical to the scalar path.  No branches, no
   // loads of shared state inside the loop.
@@ -131,6 +141,30 @@ double LinkLedger::MaxOccupancy() const {
     result = std::max(result, Occupancy(v));
   }
   return result;
+}
+
+void LinkLedger::SetLinkState(topology::VertexId v, bool up) {
+  assert(v != topo_->root());
+  LinkState& s = links_[v];
+  if (s.up == up) return;
+  s.up = up;
+  // Transactional drain/restore: the single capacity write is what makes
+  // every subsequent condition-(4) / occupancy-(6) evaluation see the
+  // outage — no per-record rewrite, so it cannot partially apply.
+  s.capacity = up ? topo_->uplink_capacity(v) : 0.0;
+}
+
+std::vector<RequestId> LinkLedger::AffectedRequests(
+    topology::VertexId v) const {
+  assert(v != topo_->root());
+  const LinkState& s = links_[v];
+  std::vector<RequestId> ids;
+  ids.reserve(s.stochastic.size() + s.reserved.size());
+  for (const StochasticDemand& d : s.stochastic) ids.push_back(d.request);
+  for (const DeterministicDemand& d : s.reserved) ids.push_back(d.request);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
 }
 
 void LinkLedger::Touch(RequestId req, topology::VertexId v) {

@@ -37,10 +37,11 @@ struct DeterministicDemand {
 };
 
 struct LinkState {
-  double capacity = 0;       // C_L
+  double capacity = 0;       // C_L (0 while the link is down)
   double deterministic = 0;  // D_L
   double mean_sum = 0;       // sum of stochastic means on the link
   double var_sum = 0;        // sum of stochastic variances on the link
+  bool up = true;            // fault-plane state; capacity drains to 0 down
   std::vector<StochasticDemand> stochastic;
   std::vector<DeterministicDemand> reserved;
 };
@@ -107,6 +108,24 @@ class LinkLedger {
 
   // Maximum occupancy ratio over all links (the Fig. 9 sample statistic).
   double MaxOccupancy() const;
+
+  // --- Fault plane ---
+
+  // Whether the link below vertex v is up (new links start up).
+  bool link_up(topology::VertexId v) const { return links_[v].up; }
+
+  // Transactionally drains or restores the link's capacity: down sets
+  // C_L = 0 (so condition (4) and occupancy (6) immediately reflect the
+  // outage — any remaining demand shows as O_L = +inf), up restores the
+  // topology's nominal capacity.  Existing demand records are NOT removed;
+  // the manager decides what to do with affected tenants (see
+  // AffectedRequests).  Idempotent.
+  void SetLinkState(topology::VertexId v, bool up);
+
+  // Request ids with at least one demand record (stochastic or
+  // deterministic) on link v, sorted ascending and deduplicated — the
+  // tenants whose placements a fault on v strands.
+  std::vector<RequestId> AffectedRequests(topology::VertexId v) const;
 
   // --- Mutations ---
 

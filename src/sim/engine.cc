@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 
@@ -90,7 +91,8 @@ bool Engine::TryStart(const workload::JobSpec& spec, double now) {
       const topology::VertexId dst = placement.vm_machine[dst_of[i]];
       SimFlow flow;
       // Per-flow ECMP: one hash pins the flow to a cable on every trunk.
-      topo_->PathCablesDirected(src, dst, rng_.NextU64(), flow.links);
+      const uint64_t ecmp_hash = rng_.NextU64();
+      topo_->PathCablesDirected(src, dst, ecmp_hash, flow.links);
       flows_.push_back(std::move(flow));
       // Heterogeneous jobs: the source task's own distribution drives the
       // per-second generation-rate draws.
@@ -106,6 +108,9 @@ bool Engine::TryStart(const workload::JobSpec& spec, double now) {
           std::isfinite(cap)) {
         meta.bucket = enforce::TokenBucket(cap, cap * config_.burst_seconds);
       }
+      meta.src_vm = i;
+      meta.dst_vm = dst_of[i];
+      meta.ecmp_hash = ecmp_hash;
       meta.distribution = spec.rate_distribution;
       if (meta.distribution == workload::RateDistribution::kLogNormal &&
           rate_stddev > 0 && rate_mean > 0) {
@@ -242,6 +247,14 @@ void Engine::Step(double now, std::vector<int64_t>& completed) {
       busy_link_seconds_ += cached_busy_links_;
       outage_link_seconds_ += cached_outage_links_;
     }
+    // Epoch split: ticks with any element down are charged to the failure
+    // bucket too, so steady-epoch outage (where epsilon must still hold)
+    // can be reported separately from outage caused by the faults
+    // themselves.
+    if (failure_epoch_) {
+      failure_busy_link_seconds_ += cached_busy_links_;
+      failure_outage_link_seconds_ += cached_outage_links_;
+    }
   }
 
   if (steady) {
@@ -291,6 +304,102 @@ void Engine::Step(double now, std::vector<int64_t>& completed) {
     } else {
       ++it;
     }
+  }
+}
+
+void Engine::SetUplinkCables(topology::VertexId vertex, bool up) {
+  const int width = topo_->trunk_width(vertex);
+  const double cap = up ? topo_->cable_capacity(vertex) : 0.0;
+  for (int cable = 0; cable < width; ++cable) {
+    capacity_[topo_->DirectedCableSlot(vertex, true, cable)] = cap;
+    capacity_[topo_->DirectedCableSlot(vertex, false, cable)] = cap;
+  }
+}
+
+void Engine::EvictJob(int64_t job_id, double now) {
+  for (size_t f = 0; f < flows_.size();) {
+    if (meta_[f].job_id == job_id) {
+      flows_[f] = std::move(flows_.back());
+      flows_.pop_back();
+      meta_[f] = meta_.back();
+      meta_.pop_back();
+    } else {
+      ++f;
+    }
+  }
+  active_.erase(job_id);
+  if (config_.events != nullptr) {
+    config_.events->Record(now, EventKind::kEvict, job_id);
+  }
+}
+
+void Engine::ApplyFaultEvents(double now, OnlineResult& result) {
+  while (next_fault_ < fault_schedule_.size() &&
+         fault_schedule_[next_fault_].time <= now) {
+    const FaultEvent event = fault_schedule_[next_fault_++];
+    if (event.fail) {
+      const auto start = std::chrono::steady_clock::now();
+      util::Result<core::FaultOutcome> outcome = manager_.HandleFault(
+          event.kind, event.vertex, config_.faults.policy,
+          *config_.allocator);
+      if (!outcome) {
+        // Scripted schedules may name an element the random schedule
+        // already took down; skipping keeps the run going.
+        SVC_LOG(Warning) << "fault event at t=" << event.time
+                         << " skipped: " << outcome.status().ToText();
+        continue;
+      }
+      result.recovery_latency_us.push_back(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+      ++result.faults_injected;
+      result.tenants_affected +=
+          static_cast<int64_t>(outcome->tenants.size());
+      SetUplinkCables(event.vertex, false);
+      if (config_.events != nullptr) {
+        config_.events->Record(now, EventKind::kFault, event.vertex);
+      }
+      for (const core::TenantOutcome& tenant : outcome->tenants) {
+        if (tenant.recovered) {
+          ++result.tenants_recovered;
+          const core::Placement* placement =
+              manager_.placement_of(tenant.id);
+          assert(placement != nullptr);
+          // Re-path the tenant's flows onto the recovered placement with
+          // their original ECMP hashes: no fresh RNG draws, so the seed
+          // stream (and everything downstream) is fault-schedule-stable.
+          for (size_t f = 0; f < flows_.size(); ++f) {
+            if (meta_[f].job_id != tenant.id) continue;
+            flows_[f].links.clear();
+            topo_->PathCablesDirected(
+                placement->vm_machine[meta_[f].src_vm],
+                placement->vm_machine[meta_[f].dst_vm],
+                meta_[f].ecmp_hash, flows_[f].links);
+          }
+        } else {
+          ++result.tenants_evicted;
+          EvictJob(tenant.id, now);
+        }
+      }
+    } else {
+      const util::Status status = manager_.HandleRecovery(event.vertex);
+      if (!status.ok()) {
+        SVC_LOG(Warning) << "recovery event at t=" << event.time
+                         << " skipped: " << status.ToText();
+        continue;
+      }
+      ++result.fault_recoveries;
+      SetUplinkCables(event.vertex, true);
+      if (config_.events != nullptr) {
+        config_.events->Record(now, EventKind::kRecover, event.vertex);
+      }
+    }
+    // Any applied event changes link capacities: invalidate the cached
+    // max-min solution (the steady fast path must not replay stale rates)
+    // and re-evaluate which epoch the following ticks belong to.
+    flows_dirty_ = true;
+    failure_epoch_ = !manager_.Faults().empty();
   }
 }
 
@@ -368,11 +477,24 @@ OnlineResult Engine::RunOnline(std::vector<workload::JobSpec> jobs) {
   std::unordered_map<int64_t, double> start_times;
   std::unordered_map<int64_t, double> arrival_times;
 
+  if (config_.faults.enabled()) {
+    FaultConfig faults = config_.faults;
+    if (faults.horizon_seconds <= 0) {
+      faults.horizon_seconds = config_.max_seconds;
+    }
+    fault_schedule_ = BuildFaultSchedule(*topo_, faults);
+  }
+  next_fault_ = 0;
+  failure_epoch_ = false;
+
   while (next < jobs.size() || !active_.empty()) {
     if (now >= config_.max_seconds) {
       SVC_LOG(Error) << "online simulation hit the max_seconds safety stop";
       break;
     }
+    // Faults precede arrivals at the same instant: an arrival at the fault
+    // time already sees the degraded datacenter.
+    ApplyFaultEvents(now, result);
     while (next < jobs.size() && jobs[next].arrival_time <= now) {
       const workload::JobSpec& spec = jobs[next];
       if (config_.events != nullptr) {
@@ -421,6 +543,8 @@ OnlineResult Engine::RunOnline(std::vector<workload::JobSpec> jobs) {
   }
   result.simulated_seconds = now;
   result.outage = {outage_link_seconds_, busy_link_seconds_};
+  result.failure_outage = {failure_outage_link_seconds_,
+                           failure_busy_link_seconds_};
   result.placement_levels = placement_levels_;
   return result;
 }

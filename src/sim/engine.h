@@ -24,6 +24,7 @@
 #include "enforce/token_bucket.h"
 #include "obs/time_series.h"
 #include "sim/event_log.h"
+#include "sim/fault_injector.h"
 #include "sim/max_min.h"
 #include "sim/metrics.h"
 #include "stats/rng.h"
@@ -73,6 +74,11 @@ struct SimConfig {
   double burst_seconds = 5.0;
   // Reserved percentile for Abstraction::kPercentileVc (paper: 0.95).
   double vc_quantile = 0.95;
+  // Fault plane (RunOnline only): seeded failure schedule + recovery
+  // policy.  Horizon defaults to max_seconds when left 0.  Fault events
+  // mark the flow set dirty, so the steady-tick fast path never replays
+  // stale rates across a capacity change.
+  FaultConfig faults;
   // Optional structured event log (borrowed; must outlive the run).
   EventLog* events = nullptr;
   // Optional JSONL time-series sink (borrowed; must outlive the run).  Every
@@ -125,6 +131,12 @@ class Engine {
     // Underlying-normal parameters when distribution == kLogNormal.
     double log_mu = 0;
     double log_sigma = 0;
+    // Endpoint task indices + the flow's ECMP hash, kept so a recovered
+    // tenant's flows can be re-pathed onto its new placement without any
+    // fresh RNG draws (seed-stream stability under faults).
+    int src_vm = 0;
+    int dst_vm = 0;
+    uint64_t ecmp_hash = 0;
   };
 
   // Attempts admission; on success registers flows and the active record.
@@ -141,6 +153,18 @@ class Engine {
   // Asserts that the current flow rates equal a from-scratch max-min solve
   // (SimConfig.check_incremental).
   void CheckIncrementalRates();
+
+  // Applies every scheduled fault/recovery event with time <= now: drives
+  // the manager's HandleFault/HandleRecovery, drains/restores the cable
+  // capacities the max-min solver sees, re-paths the flows of recovered
+  // tenants, and drops the flows and active records of evicted jobs.
+  void ApplyFaultEvents(double now, OnlineResult& result);
+
+  // Drains (up=false) or restores (up=true) every cable of vertex's uplink.
+  void SetUplinkCables(topology::VertexId vertex, bool up);
+
+  // Removes all sim-side state of an evicted job (flows, active record).
+  void EvictJob(int64_t job_id, double now);
 
   const topology::Topology* topo_;
   SimConfig config_;
@@ -172,6 +196,15 @@ class Engine {
   int64_t cached_busy_links_ = 0;    // loaded links in the last outage pass
   int64_t cached_outage_links_ = 0;  // over-capacity links in that pass
   std::vector<SimFlow> check_flows_;  // scratch for CheckIncrementalRates
+
+  // Fault-plane state (RunOnline): the pre-built schedule, a cursor into
+  // it, and whether any element is currently down (failure epoch — outage
+  // accounting is split on this flag).
+  std::vector<FaultEvent> fault_schedule_;
+  size_t next_fault_ = 0;
+  bool failure_epoch_ = false;
+  int64_t failure_outage_link_seconds_ = 0;
+  int64_t failure_busy_link_seconds_ = 0;
 
   // Time-series sampler state (SimConfig.series): utilization aggregates of
   // the last non-steady outage pass, replayed on steady ticks.

@@ -13,6 +13,9 @@ const char* ToString(EventKind kind) {
     case EventKind::kSkipUnallocatable: return "skip-unallocatable";
     case EventKind::kNetworkDone: return "network-done";
     case EventKind::kComplete: return "complete";
+    case EventKind::kFault: return "fault";
+    case EventKind::kRecover: return "recover";
+    case EventKind::kEvict: return "evict";
   }
   return "?";
 }

@@ -22,6 +22,9 @@ enum class EventKind {
   kSkipUnallocatable,  // batch: head job can never fit; skipped
   kNetworkDone,    // the job's last flow finished
   kComplete,       // job released (max(Tc, Tn) reached)
+  kFault,          // fault injected (job_id carries the failed vertex)
+  kRecover,        // element recovered (job_id carries the vertex)
+  kEvict,          // job evicted by fault handling
 };
 
 const char* ToString(EventKind kind);

@@ -1,0 +1,66 @@
+#include "sim/fault_injector.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/sweep_runner.h"
+#include "stats/rng.h"
+
+namespace svc::sim {
+
+namespace {
+
+// Alternating up/down renewal process for one element, emitted until the
+// horizon.  A failure whose repair would land past the horizon still gets
+// its recovery event dropped — the element simply stays down to the end.
+void EmitElementEvents(topology::VertexId vertex, core::FaultKind kind,
+                       double mtbf, double mttr, uint64_t seed, double horizon,
+                       std::vector<FaultEvent>& out) {
+  stats::Rng rng(ReplicaSeed(seed, static_cast<uint64_t>(vertex)));
+  double t = rng.Exponential(mtbf);
+  while (t < horizon) {
+    out.push_back({t, vertex, kind, /*fail=*/true});
+    const double repair = t + rng.Exponential(mttr);
+    if (repair >= horizon) break;
+    out.push_back({repair, vertex, kind, /*fail=*/false});
+    t = repair + rng.Exponential(mtbf);
+  }
+}
+
+}  // namespace
+
+std::vector<FaultEvent> BuildFaultSchedule(const topology::Topology& topo,
+                                           const FaultConfig& config) {
+  assert((config.machine_mtbf_seconds <= 0 && config.link_mtbf_seconds <= 0) ||
+         config.mttr_seconds > 0);
+  std::vector<FaultEvent> schedule;
+  if (config.machine_mtbf_seconds > 0) {
+    for (topology::VertexId machine : topo.machines()) {
+      EmitElementEvents(machine, core::FaultKind::kMachine,
+                        config.machine_mtbf_seconds, config.mttr_seconds,
+                        config.seed, config.horizon_seconds, schedule);
+    }
+  }
+  if (config.link_mtbf_seconds > 0) {
+    for (topology::VertexId v = 1; v < topo.num_vertices(); ++v) {
+      if (topo.is_machine(v)) continue;  // machine faults cover their uplinks
+      EmitElementEvents(v, core::FaultKind::kLink, config.link_mtbf_seconds,
+                        config.mttr_seconds, config.seed,
+                        config.horizon_seconds, schedule);
+    }
+  }
+  schedule.insert(schedule.end(), config.scripted.begin(),
+                  config.scripted.end());
+  // Total order: ties between elements at one instant resolve by vertex id,
+  // and a same-vertex fail sorts before its recovery.  This is what makes
+  // the merged schedule (and everything downstream) replayable.
+  std::sort(schedule.begin(), schedule.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.vertex != b.vertex) return a.vertex < b.vertex;
+              return a.fail > b.fail;
+            });
+  return schedule;
+}
+
+}  // namespace svc::sim

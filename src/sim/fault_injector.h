@@ -1,0 +1,56 @@
+// Seeded failure schedules for the simulator's fault plane.
+//
+// Random faults follow per-element renewal processes: each element draws
+// alternating exponential up-times (mean MTBF) and down-times (mean MTTR)
+// from its OWN rng seeded by ReplicaSeed(seed, vertex).  The per-element
+// streams make the schedule independent of how many other elements churn —
+// and, merged with a total (time, vertex, fail) order, bit-identical across
+// runs and thread counts.  Scripted one-shot events ride on top for
+// targeted drills.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "svc/manager.h"
+#include "topology/topology.h"
+
+namespace svc::sim {
+
+// One scheduled fault-plane event, applied by Engine::RunOnline when
+// simulated time reaches `time`.
+struct FaultEvent {
+  double time = 0;
+  topology::VertexId vertex = topology::kNoVertex;
+  core::FaultKind kind = core::FaultKind::kLink;
+  bool fail = true;  // false = recovery
+};
+
+struct FaultConfig {
+  // Mean up-time (seconds) before a machine / fabric-link failure; 0
+  // disables that element class.  Fabric links are the uplinks of
+  // non-machine vertices (a machine fault already takes its uplink down).
+  double machine_mtbf_seconds = 0;
+  double link_mtbf_seconds = 0;
+  // Mean down-time; must be > 0 when either MTBF is set.
+  double mttr_seconds = 0;
+  // Random events are generated in [0, horizon_seconds).
+  double horizon_seconds = 0;
+  uint64_t seed = 1;
+  core::RecoveryPolicy policy = core::RecoveryPolicy::kReallocate;
+  // Scripted one-shot events, merged into the random schedule.
+  std::vector<FaultEvent> scripted;
+
+  bool enabled() const {
+    return machine_mtbf_seconds > 0 || link_mtbf_seconds > 0 ||
+           !scripted.empty();
+  }
+};
+
+// Expands the config into one time-sorted schedule (ties broken by vertex,
+// failures before recoveries).  Pure function of (topo, config): the same
+// inputs yield the same bytes.
+std::vector<FaultEvent> BuildFaultSchedule(const topology::Topology& topo,
+                                           const FaultConfig& config);
+
+}  // namespace svc::sim

@@ -61,6 +61,25 @@ struct OnlineResult {
   std::vector<int> concurrency_samples;
   std::vector<double> max_occupancy_samples;
 
+  // --- Fault plane (SimConfig.faults) ---
+  int64_t faults_injected = 0;
+  int64_t fault_recoveries = 0;
+  int64_t tenants_affected = 0;   // placements touched by some fault
+  int64_t tenants_recovered = 0;  // re-admitted (reallocated or patched)
+  int64_t tenants_evicted = 0;    // released for good, with a reason code
+  // Outage accounting restricted to ticks where at least one element was
+  // down.  `outage` above keeps the overall totals, so the steady-epoch
+  // share — where the paper's epsilon bound must still hold — is derived.
+  OutageStats failure_outage;
+  OutageStats steady_outage() const {
+    return {outage.outage_link_seconds - failure_outage.outage_link_seconds,
+            outage.busy_link_seconds - failure_outage.busy_link_seconds};
+  }
+  // Wall-clock latency of each HandleFault call, in microseconds.  The one
+  // nondeterministic output of the fault plane; excluded from bit-identical
+  // replay comparisons.
+  std::vector<double> recovery_latency_us;
+
   double RejectionRate() const {
     const int64_t total = accepted + rejected;
     return total == 0 ? 0.0 : static_cast<double>(rejected) / total;

@@ -1,8 +1,11 @@
 #include "svc/manager.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -11,6 +14,48 @@
 #include "util/logging.h"
 
 namespace svc::core {
+
+const char* ToString(RecoveryPolicy policy) {
+  switch (policy) {
+    case RecoveryPolicy::kReallocate: return "reallocate";
+    case RecoveryPolicy::kPatch: return "patch";
+    case RecoveryPolicy::kEvict: return "evict";
+  }
+  return "?";
+}
+
+const char* ToString(EvictReason reason) {
+  switch (reason) {
+    case EvictReason::kNone: return "none";
+    case EvictReason::kPolicy: return "policy";
+    case EvictReason::kReallocationFailed: return "reallocation-failed";
+    case EvictReason::kPatchFailed: return "patch-failed";
+  }
+  return "?";
+}
+
+bool ParseRecoveryPolicy(std::string_view name, RecoveryPolicy* out) {
+  if (name == "reallocate") {
+    *out = RecoveryPolicy::kReallocate;
+  } else if (name == "patch") {
+    *out = RecoveryPolicy::kPatch;
+  } else if (name == "evict") {
+    *out = RecoveryPolicy::kEvict;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int FaultOutcome::recovered() const {
+  int n = 0;
+  for (const TenantOutcome& t : tenants) n += t.recovered;
+  return n;
+}
+
+int FaultOutcome::evicted() const {
+  return static_cast<int>(tenants.size()) - recovered();
+}
 
 namespace {
 
@@ -166,12 +211,225 @@ util::Result<Placement> NetworkManager::Admit(const Request& request,
 
 void NetworkManager::Release(RequestId id) {
   auto it = live_.find(id);
-  if (it == live_.end()) return;
+  if (it == live_.end()) {
+    // Still a no-op (idempotent release keeps departure paths simple), but
+    // loud: a double release usually means a bookkeeping bug upstream.
+    SVC_LOG(Warning) << "Release of unknown request id " << id;
+    SVC_METRIC_INC("manager/release_unknown");
+    return;
+  }
   ledger_.RemoveRequest(id);
   for (const auto& [machine, count] : it->second.placement.MachineCounts()) {
     slots_.Release(machine, count);
   }
   live_.erase(it);
+}
+
+bool NetworkManager::MachineBelow(topology::VertexId machine,
+                                  topology::VertexId vertex) const {
+  for (topology::VertexId v = machine; v != topo_->root();
+       v = topo_->parent(v)) {
+    if (v == vertex) return true;
+  }
+  return false;
+}
+
+util::Result<Placement> NetworkManager::TryPatch(const Request& request,
+                                                 Placement placement,
+                                                 topology::VertexId fault,
+                                                 FaultKind kind) {
+  // Which VMs did the fault strand?  Machine fault: VMs on down machines
+  // (covers overlapping faults, not just `fault` itself).  Link fault: VMs
+  // below the drained link — moving that whole side is what removes the
+  // tenant's demand from the link.
+  std::vector<int> lost;
+  for (int vm = 0; vm < request.n(); ++vm) {
+    const topology::VertexId machine = placement.vm_machine[vm];
+    const bool stranded = kind == FaultKind::kMachine
+                              ? !slots_.machine_up(machine)
+                              : MachineBelow(machine, fault);
+    if (stranded) lost.push_back(vm);
+  }
+  if (lost.empty()) return placement;
+
+  // Candidate machines: up, with free slots, and (for a link fault) not
+  // below the drained link again.  `local_free` tracks slots consumed by
+  // earlier patched VMs; manager state is untouched until AdmitPlacement.
+  std::unordered_map<topology::VertexId, int> local_free;
+  for (topology::VertexId machine : topo_->machines()) {
+    if (kind == FaultKind::kLink && MachineBelow(machine, fault)) continue;
+    const int free = slots_.free_slots(machine);
+    if (free > 0) local_free.emplace(machine, free);
+  }
+
+  const bool det = request.deterministic();
+  for (int vm : lost) {
+    const stats::Normal& d = request.demand(vm);
+    const double mean_add = det ? 0 : d.mean;
+    const double var_add = det ? 0 : d.variance;
+    const double det_add = det ? d.mean : 0;
+    // Greedy score: marginal occupancy of the target machine's uplink if
+    // this VM's demand landed there alone.  Cheap, deterministic
+    // (lowest-id tie-break), and only a heuristic — the real Lemma-1 split
+    // demands are recomputed by AdmitPlacement's re-validation.
+    topology::VertexId best = topology::kNoVertex;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (topology::VertexId machine : topo_->machines()) {
+      auto it = local_free.find(machine);
+      if (it == local_free.end() || it->second <= 0) continue;
+      const double score =
+          ledger_.OccupancyWith(machine, mean_add, var_add, det_add);
+      if (score < best_score ||
+          (score == best_score && machine < best)) {
+        best = machine;
+        best_score = score;
+      }
+    }
+    if (best == topology::kNoVertex) {
+      return {util::ErrorCode::kInfeasible,
+              "patch: no surviving machine with a free slot"};
+    }
+    placement.vm_machine[vm] = best;
+    --local_free[best];
+  }
+
+  // Recompute the locality witness: lowest common ancestor of all hosts.
+  topology::VertexId lca = placement.vm_machine[0];
+  for (topology::VertexId machine : placement.vm_machine) {
+    while (!topo_->IsInSubtree(machine, lca)) lca = topo_->parent(lca);
+  }
+  placement.subtree_root = lca;
+  placement.max_occupancy = std::numeric_limits<double>::quiet_NaN();
+  return placement;
+}
+
+util::Result<FaultOutcome> NetworkManager::HandleFault(
+    FaultKind kind, topology::VertexId vertex, RecoveryPolicy policy,
+    const Allocator& allocator) {
+  SVC_TRACE_SPAN("manager/handle_fault");
+  if (vertex <= 0 || vertex >= topo_->num_vertices() ||
+      vertex == topo_->root()) {
+    return {util::ErrorCode::kInvalidArgument,
+            "fault vertex out of range: " + std::to_string(vertex)};
+  }
+  if (kind == FaultKind::kMachine && !topo_->is_machine(vertex)) {
+    return {util::ErrorCode::kInvalidArgument,
+            "machine fault on non-machine vertex " + std::to_string(vertex)};
+  }
+  if (failed_.count(vertex)) {
+    return {util::ErrorCode::kFailedPrecondition,
+            "vertex already failed: " + std::to_string(vertex)};
+  }
+  const bool metrics = obs::MetricsEnabled();
+  std::chrono::steady_clock::time_point start;
+  if (metrics) start = std::chrono::steady_clock::now();
+
+  // Drain FIRST: once capacity is 0 (and, for machines, free slots are 0),
+  // no allocator or patch below can re-land on the failed element, so each
+  // intermediate state already satisfies StateValid().
+  failed_.emplace(vertex, kind);
+  ledger_.SetLinkState(vertex, false);
+  if (kind == FaultKind::kMachine) slots_.SetMachineState(vertex, false);
+
+  // Affected tenants.  A machine fault strands every tenant with a VM on
+  // the machine (even single-machine tenants with no uplink demand); a
+  // link fault strands exactly the tenants with demand records on it —
+  // tenants entirely below keep all their traffic internal and survive.
+  std::vector<RequestId> affected;
+  if (kind == FaultKind::kMachine) {
+    for (const auto& [id, live] : live_) {
+      for (topology::VertexId machine : live.placement.vm_machine) {
+        if (machine == vertex) {
+          affected.push_back(id);
+          break;
+        }
+      }
+    }
+    std::sort(affected.begin(), affected.end());
+  } else {
+    affected = ledger_.AffectedRequests(vertex);
+  }
+
+  // Phase 1: release every affected tenant, so phase 2's recoveries see
+  // the union of their freed capacity (re-admission in ascending id order
+  // keeps the whole procedure deterministic).
+  std::vector<LiveRequest> stranded;
+  stranded.reserve(affected.size());
+  for (RequestId id : affected) {
+    auto it = live_.find(id);
+    assert(it != live_.end());
+    stranded.push_back(it->second);
+    Release(id);
+  }
+
+  FaultOutcome outcome;
+  outcome.vertex = vertex;
+  outcome.kind = kind;
+  outcome.tenants.reserve(stranded.size());
+  for (LiveRequest& live : stranded) {
+    TenantOutcome tenant;
+    tenant.id = live.request.id();
+    switch (policy) {
+      case RecoveryPolicy::kEvict:
+        tenant.evict_reason = EvictReason::kPolicy;
+        break;
+      case RecoveryPolicy::kReallocate: {
+        if (Admit(live.request, allocator)) {
+          tenant.recovered = true;
+        } else {
+          tenant.evict_reason = EvictReason::kReallocationFailed;
+        }
+        break;
+      }
+      case RecoveryPolicy::kPatch: {
+        util::Result<Placement> patched = TryPatch(
+            live.request, std::move(live.placement), vertex, kind);
+        if (patched &&
+            AdmitPlacement(live.request, std::move(*patched))) {
+          tenant.recovered = true;
+        } else {
+          tenant.evict_reason = EvictReason::kPatchFailed;
+        }
+        break;
+      }
+    }
+    outcome.tenants.push_back(tenant);
+  }
+
+  if (metrics) {
+    SVC_METRIC_INC("fault/events");
+    SVC_METRIC_ADD("fault/affected_tenants",
+                   static_cast<int64_t>(outcome.tenants.size()));
+    SVC_METRIC_ADD("fault/evictions", outcome.evicted());
+    const double micros = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+    SVC_METRIC_HIST("fault/recovery_latency_us", micros);
+  }
+  SVC_LOG(Debug) << "fault on vertex " << vertex << " ("
+                 << (kind == FaultKind::kMachine ? "machine" : "link")
+                 << ", policy " << ToString(policy) << "): "
+                 << outcome.tenants.size() << " affected, "
+                 << outcome.recovered() << " recovered, "
+                 << outcome.evicted() << " evicted";
+  assert(StateValid());
+  return outcome;
+}
+
+util::Status NetworkManager::HandleRecovery(topology::VertexId vertex) {
+  SVC_TRACE_SPAN("manager/handle_recovery");
+  auto it = failed_.find(vertex);
+  if (it == failed_.end()) {
+    return {util::ErrorCode::kFailedPrecondition,
+            "vertex not failed: " + std::to_string(vertex)};
+  }
+  ledger_.SetLinkState(vertex, true);
+  if (it->second == FaultKind::kMachine) slots_.SetMachineState(vertex, true);
+  failed_.erase(it);
+  SVC_METRIC_INC("fault/recoveries");
+  SVC_LOG(Debug) << "recovered vertex " << vertex;
+  assert(StateValid());
+  return util::Status::Ok();
 }
 
 const Placement* NetworkManager::placement_of(RequestId id) const {

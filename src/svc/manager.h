@@ -12,7 +12,9 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -31,6 +33,51 @@ struct LinkDemand {
   double mean;         // stochastic mean (0 for deterministic requests)
   double variance;     // stochastic variance (0 for deterministic requests)
   double deterministic;  // rate-limited reservation (0 for stochastic)
+};
+
+// --- Fault plane ---
+
+// What physically failed.  A machine fault takes the machine's VM slots
+// and its uplink down together; a link fault takes only the uplink of the
+// named vertex down (the subtree below keeps its internal connectivity).
+enum class FaultKind { kMachine, kLink };
+
+// What the manager does with tenants stranded by a fault.
+enum class RecoveryPolicy {
+  kReallocate,  // release and re-admit the whole tenant via the allocator
+  kPatch,       // keep surviving VMs, re-place only the lost ones
+  kEvict,       // release and do not re-admit
+};
+
+// Why a tenant was evicted during fault handling.
+enum class EvictReason {
+  kNone,                 // not evicted (recovered)
+  kPolicy,               // RecoveryPolicy::kEvict
+  kReallocationFailed,   // allocator found no valid placement post-fault
+  kPatchFailed,          // no Lemma-1-consistent patch onto survivors
+};
+
+const char* ToString(RecoveryPolicy policy);
+const char* ToString(EvictReason reason);
+// Parses "reallocate" | "patch" | "evict"; false on unknown names.
+bool ParseRecoveryPolicy(std::string_view name, RecoveryPolicy* out);
+
+// Per-tenant outcome of one fault event.
+struct TenantOutcome {
+  net::RequestId id = 0;
+  bool recovered = false;             // re-admitted (whole or patched)
+  EvictReason evict_reason = EvictReason::kNone;
+};
+
+// Everything one HandleFault call did, in deterministic (ascending
+// request-id) order — replayable byte for byte under a fixed seed.
+struct FaultOutcome {
+  topology::VertexId vertex = topology::kNoVertex;
+  FaultKind kind = FaultKind::kLink;
+  std::vector<TenantOutcome> tenants;
+
+  int recovered() const;
+  int evicted() const;
 };
 
 class NetworkManager {
@@ -55,8 +102,37 @@ class NetworkManager {
                                          Placement placement);
 
   // Releases every slot and demand record of the request.  Unknown ids are
-  // ignored (idempotent).
+  // ignored (idempotent), but logged and counted under
+  // `manager/release_unknown` so double-release bugs surface.
   void Release(RequestId id);
+
+  // --- Fault plane ---
+
+  // Takes the element at `vertex` down, releases every affected tenant
+  // atomically (all releases precede all recoveries, so recovery sees the
+  // full freed capacity), then drives `policy` per tenant in ascending
+  // request-id order.  StateValid() holds on return — and at every point
+  // in between, because the element is drained before anything else
+  // happens, so no re-admission can land on it.  Errors: vertex out of
+  // range / not a machine for kMachine / already failed.
+  util::Result<FaultOutcome> HandleFault(FaultKind kind,
+                                         topology::VertexId vertex,
+                                         RecoveryPolicy policy,
+                                         const Allocator& allocator);
+
+  // Brings a failed element back up (capacity and, for machines, VM slots
+  // are restored).  Surviving tenants are untouched; freed capacity simply
+  // becomes admissible again.  Error if the vertex is not currently failed.
+  util::Status HandleRecovery(topology::VertexId vertex);
+
+  // Whether `vertex` is currently failed (as a machine or a link).
+  bool IsFailed(topology::VertexId vertex) const {
+    return failed_.count(vertex) > 0;
+  }
+  // Currently-failed vertices with their kinds, ascending by vertex id.
+  const std::map<topology::VertexId, FaultKind>& Faults() const {
+    return failed_;
+  }
 
   bool IsLive(RequestId id) const { return live_.count(id) > 0; }
   size_t live_count() const { return live_.size(); }
@@ -87,10 +163,24 @@ class NetworkManager {
     Placement placement;
   };
 
+  // True iff `machine`'s path to the root passes through `vertex`.
+  bool MachineBelow(topology::VertexId machine,
+                    topology::VertexId vertex) const;
+
+  // Patch recovery: re-places only the VMs lost to the fault (machines
+  // down, or below a failed link) onto surviving machines, greedily
+  // minimizing the target machine-uplink occupancy.  The returned placement
+  // still goes through AdmitPlacement, which recomputes the
+  // Lemma-1-consistent split demands and re-validates condition (4).
+  util::Result<Placement> TryPatch(const Request& request, Placement placement,
+                                   topology::VertexId fault, FaultKind kind);
+
   const topology::Topology* topo_;
   net::LinkLedger ledger_;
   SlotMap slots_;
   std::unordered_map<RequestId, LiveRequest> live_;
+  // Fault-plane state; ordered so Faults() listings are deterministic.
+  std::map<topology::VertexId, FaultKind> failed_;
 };
 
 }  // namespace svc::core

@@ -1,6 +1,7 @@
 #include "svc/snapshot.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -87,10 +88,19 @@ util::Status RestoreSnapshot(std::istream& in, NetworkManager& manager) {
     if (!(in >> keyword >> id >> kind >> n) || keyword != "tenant" || n < 1) {
       return fail("bad tenant header at index " + std::to_string(t));
     }
+    // Bound n before it sizes any container: a corrupt header must not be
+    // able to drive a multi-gigabyte resize (no datacenter can host more
+    // VMs than it has slots anyway).
+    if (n > manager.topo().total_slots()) {
+      return fail("tenant " + std::to_string(id) + " claims " +
+                  std::to_string(n) + " VMs but the datacenter has " +
+                  std::to_string(manager.topo().total_slots()) + " slots");
+    }
     std::unique_ptr<Request> request;
     if (kind == "homogeneous") {
       double mean = 0, variance = 0;
-      if (!(in >> mean >> variance) || mean < 0 || variance < 0) {
+      if (!(in >> mean >> variance) || !std::isfinite(mean) ||
+          !std::isfinite(variance) || mean < 0 || variance < 0) {
         return fail("bad homogeneous moments for tenant " +
                     std::to_string(id));
       }
@@ -108,7 +118,15 @@ util::Status RestoreSnapshot(std::istream& in, NetworkManager& manager) {
           return fail("bad demand '" + pair_text + "'");
         }
         try {
-          demands.push_back({std::stod(parts[0]), std::stod(parts[1])});
+          const double mean = std::stod(parts[0]);
+          const double variance = std::stod(parts[1]);
+          // std::stod accepts "nan"/"inf", and NaN slips through ordering
+          // checks — require finite non-negative moments explicitly.
+          if (!std::isfinite(mean) || !std::isfinite(variance) || mean < 0 ||
+              variance < 0) {
+            return fail("non-finite or negative demand '" + pair_text + "'");
+          }
+          demands.push_back({mean, variance});
         } catch (const std::exception&) {
           return fail("unparsable demand '" + pair_text + "'");
         }
@@ -137,6 +155,15 @@ util::Status RestoreSnapshot(std::istream& in, NetworkManager& manager) {
           !topo.is_machine(machine)) {
         return fail("placement of tenant " + std::to_string(id) +
                     " names a non-machine vertex (topology mismatch?)");
+      }
+      // Restoring onto a failed element would re-strand the tenant the
+      // moment the datacenter resumes; refuse up front with a clear
+      // message (AdmitPlacement would reject it too, via the 0 free
+      // slots, but with a generic capacity error).
+      if (!manager.slots().machine_up(machine)) {
+        return fail("placement of tenant " + std::to_string(id) +
+                    " lands on currently-failed machine " +
+                    std::to_string(machine));
       }
       while (!topo.IsInSubtree(machine, root_of_all)) {
         root_of_all = topo.parent(root_of_all);

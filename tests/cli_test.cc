@@ -177,5 +177,81 @@ TEST_F(InterpreterTest, ReleaseUnknownIsNoopSuccess) {
   EXPECT_TRUE(ok);
 }
 
+TEST_F(InterpreterTest, FailRecoverFaultsDrill) {
+  bool ok = false;
+  EXPECT_EQ(Exec("faults", &ok), "faults: none\n");
+  EXPECT_TRUE(ok);
+
+  Exec("admit 1 homogeneous 6 100 40", &ok);
+  ASSERT_TRUE(ok);
+  const topology::VertexId machine =
+      interpreter_.manager().placement_of(1)->vm_machine[0];
+
+  // Default policy is reallocate: the tenant survives the machine fault.
+  std::string out =
+      Exec("fail machine " + std::to_string(machine), &ok);
+  EXPECT_TRUE(ok) << out;
+  EXPECT_NE(out.find("1 recovered"), std::string::npos) << out;
+  EXPECT_NE(out.find("policy reallocate"), std::string::npos) << out;
+  EXPECT_TRUE(interpreter_.manager().IsLive(1));
+  EXPECT_TRUE(interpreter_.manager().IsFailed(machine));
+
+  out = Exec("faults", &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_NE(out.find("machine:" + std::to_string(machine)),
+            std::string::npos)
+      << out;
+
+  // Double fault fails; recovery succeeds exactly once.
+  Exec("fail machine " + std::to_string(machine), &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(Exec("recover " + std::to_string(machine), &ok),
+            "recover " + std::to_string(machine) + ": done\n");
+  EXPECT_TRUE(ok);
+  Exec("recover " + std::to_string(machine), &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(Exec("faults", &ok), "faults: none\n");
+}
+
+TEST_F(InterpreterTest, PolicyEvictReportsReasonCodes) {
+  bool ok = false;
+  EXPECT_EQ(Exec("policy evict", &ok), "policy: evict\n");
+  EXPECT_TRUE(ok);
+  Exec("admit 1 homogeneous 6 100 40", &ok);
+  ASSERT_TRUE(ok);
+  const topology::VertexId machine =
+      interpreter_.manager().placement_of(1)->vm_machine[0];
+  const std::string out =
+      Exec("fail machine " + std::to_string(machine), &ok);
+  EXPECT_TRUE(ok) << out;
+  EXPECT_NE(out.find("1 evicted"), std::string::npos) << out;
+  EXPECT_NE(out.find("evict:1:policy"), std::string::npos) << out;
+  EXPECT_FALSE(interpreter_.manager().IsLive(1));
+  // Failed elements refuse new work until recovered; a drained datacenter
+  // still admits after recovery.
+  Exec("recover " + std::to_string(machine), &ok);
+  EXPECT_TRUE(ok);
+  Exec("assert valid", &ok);
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(InterpreterTest, FaultCommandBadUsage) {
+  bool ok = true;
+  Exec("fail", &ok);
+  EXPECT_FALSE(ok);
+  Exec("fail router 3", &ok);
+  EXPECT_FALSE(ok);
+  Exec("fail machine notanumber", &ok);
+  EXPECT_FALSE(ok);
+  Exec("fail link 0", &ok);  // root has no uplink
+  EXPECT_FALSE(ok);
+  Exec("recover", &ok);
+  EXPECT_FALSE(ok);
+  Exec("faults now", &ok);
+  EXPECT_FALSE(ok);
+  Exec("policy smite", &ok);
+  EXPECT_FALSE(ok);
+}
+
 }  // namespace
 }  // namespace svc::cli

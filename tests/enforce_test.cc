@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sim/engine.h"
 #include "stats/rng.h"
 #include "svc/homogeneous_search.h"
@@ -119,6 +121,65 @@ TEST(EnforcementAblation, SvcUnaffectedByEnforcementMode) {
   ASSERT_EQ(bucket.jobs.size(), 1u);
   EXPECT_DOUBLE_EQ(hard.jobs[0].running_time(),
                    bucket.jobs[0].running_time());
+}
+
+TEST(EnforcementFault, ZeroCapacityLinkFreezesFlowsBothModes) {
+  // A flow crossing a drained (capacity 0) link — the fault plane's state
+  // for a failed element — must get rate exactly 0 under either
+  // enforcement mode: no NaN from 0/0 shares, no negative rates, and no
+  // starvation of flows on healthy links.
+  std::vector<double> capacity = {0.0, 1000.0, 0.0, 1000.0};
+  std::vector<sim::SimFlow> flows;
+  flows.push_back({{1, 2}, 400, 0});  // crosses the dead link 2
+  flows.push_back({{1, 3}, 400, 0});  // healthy path
+  for (const double desire : {400.0, 123.456}) {
+    // Two desire patterns: the token-bucket path hands max-min varying
+    // desires; the dead-link verdict must not depend on them.
+    flows[0].desired = desire;
+    sim::MaxMinScratch scratch(4);
+    scratch.Allocate(flows, capacity);
+    EXPECT_EQ(flows[0].rate, 0.0);
+    EXPECT_FALSE(std::isnan(flows[0].rate));
+    EXPECT_DOUBLE_EQ(flows[1].rate, 400);
+  }
+}
+
+TEST(EnforcementFault, EngineSurvivesMidRunFaultBothModes) {
+  // End to end: a scripted machine fault mid-run, under both hypervisor
+  // enforcement modes.  The run must terminate with finite accounting.
+  const topology::Topology topo = topology::BuildStar(4, 2, 2000);
+  core::HomogeneousDpAllocator alloc;
+  for (const sim::Enforcement enforcement :
+       {sim::Enforcement::kHardCap, sim::Enforcement::kTokenBucket}) {
+    sim::SimConfig config;
+    config.abstraction = workload::Abstraction::kSvc;
+    config.allocator = &alloc;
+    config.seed = 11;
+    config.enforcement = enforcement;
+    config.max_seconds = 5000;
+    config.faults.policy = core::RecoveryPolicy::kReallocate;
+    config.faults.scripted.push_back(
+        {20.0, topo.machines()[0], core::FaultKind::kMachine, true});
+    config.faults.scripted.push_back(
+        {60.0, topo.machines()[0], core::FaultKind::kMachine, false});
+    sim::Engine engine(topo, config);
+    workload::JobSpec job;
+    job.id = 1;
+    job.size = 8;
+    job.compute_time = 10;
+    job.rate_mean = 200;
+    job.rate_stddev = 100;
+    job.flow_mbits = 20000;
+    const auto result = engine.RunOnline({job});
+    EXPECT_EQ(result.faults_injected, 1);
+    EXPECT_TRUE(engine.manager().StateValid());
+    EXPECT_TRUE(std::isfinite(result.simulated_seconds));
+    EXPECT_GE(result.outage.busy_link_seconds, 0);
+    EXPECT_GE(result.steady_outage().outage_link_seconds, 0);
+    for (const sim::JobRecord& record : result.jobs) {
+      EXPECT_TRUE(std::isfinite(record.finish_time));
+    }
+  }
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "svc/homogeneous_search.h"
 #include "topology/builders.h"
 
@@ -271,6 +273,56 @@ TEST(Engine, SvcJobsShareIdleBandwidth) {
   ASSERT_EQ(svc.jobs.size(), 1u);
   ASSERT_EQ(mean_vc.jobs.size(), 1u);
   EXPECT_LT(svc.jobs[0].running_time(), mean_vc.jobs[0].running_time());
+}
+
+TEST(Engine, ZeroCapacityCableYieldsZeroRatesNotNaN) {
+  // Direct max-min check of the fault plane's drained-link state: flows
+  // pinned to capacity-0 cables freeze at exactly 0 (0/count shares must
+  // not produce NaN or negative rates), and flows elsewhere are unharmed.
+  std::vector<double> capacity = {0.0, 0.0, 500.0, 500.0};
+  std::vector<SimFlow> flows;
+  flows.push_back({{1}, 250, 0});        // dead link only
+  flows.push_back({{1, 2}, 250, 0});     // dead + healthy: still 0
+  flows.push_back({{2, 3}, 250, 0});     // healthy path
+  flows.push_back({{3}, 1000, 0});       // shares link 3 with flows[2]
+  MaxMinScratch scratch(4);
+  scratch.Allocate(flows, capacity);
+  EXPECT_EQ(flows[0].rate, 0.0);
+  EXPECT_EQ(flows[1].rate, 0.0);
+  for (const SimFlow& flow : flows) {
+    EXPECT_FALSE(std::isnan(flow.rate));
+    EXPECT_GE(flow.rate, 0.0);
+  }
+  // The healthy bottleneck (link 3) is still fully shared: 250 + 250.
+  EXPECT_DOUBLE_EQ(flows[2].rate, 250);
+  EXPECT_DOUBLE_EQ(flows[3].rate, 250);
+}
+
+TEST(Engine, FaultDirtiesSteadyFastPath) {
+  // A fault event must invalidate the cached max-min rates even when no
+  // flow's desire changed that tick: otherwise flows would keep moving
+  // bits across a drained link.  Scripted link fault on a rack uplink with
+  // deterministic draws (stddev 0) keeps desires bit-identical across
+  // ticks, exercising exactly the steady fast path.
+  const topology::Topology topo = topology::BuildTwoTier(2, 2, 4, 1000, 1.0);
+  core::HomogeneousDpAllocator alloc;
+  SimConfig config;
+  config.abstraction = workload::Abstraction::kSvc;
+  config.allocator = &alloc;
+  config.seed = 5;
+  config.max_seconds = 5000;
+  config.faults.policy = core::RecoveryPolicy::kEvict;
+  const topology::VertexId rack = topo.parent(topo.machines()[0]);
+  config.faults.scripted.push_back({50.0, rack, core::FaultKind::kLink, true});
+  Engine engine(topo, config);
+  // 16 VMs fill the datacenter, so flows must cross the rack uplink.
+  const auto result =
+      engine.RunOnline({MakeJob(1, 16, 10000, 100, 0, 1e9)});
+  EXPECT_EQ(result.accepted, 1);
+  EXPECT_EQ(result.faults_injected, 1);
+  EXPECT_EQ(result.tenants_evicted, 1);
+  EXPECT_TRUE(engine.manager().StateValid());
+  EXPECT_TRUE(engine.manager().IsFailed(rack));
 }
 
 }  // namespace

@@ -114,6 +114,67 @@ TEST(Snapshot, MalformedInputRejectedAndRolledBack) {
   }
 }
 
+TEST(Snapshot, CorruptHeadersAndMomentsRejectedWithoutCrash) {
+  const topology::Topology topo = TestTopo();
+  for (const char* text : {
+           // Absurd VM count: must be bounded before any container resize.
+           "svc-snapshot v1\nepsilon 0.05\ntenants 1\n"
+           "tenant 1 homogeneous 999999999 10 1\nplace 3\n",
+           // Non-finite homogeneous moments (stod/>> accept nan and inf).
+           "svc-snapshot v1\nepsilon 0.05\ntenants 1\n"
+           "tenant 1 homogeneous 2 nan 1\nplace 3 3\n",
+           "svc-snapshot v1\nepsilon 0.05\ntenants 1\n"
+           "tenant 1 homogeneous 2 10 inf\nplace 3 3\n",
+           // Negative variance.
+           "svc-snapshot v1\nepsilon 0.05\ntenants 1\n"
+           "tenant 1 homogeneous 2 10 -5\nplace 3 3\n",
+           // Non-finite heterogeneous demand pair.
+           "svc-snapshot v1\nepsilon 0.05\ntenants 1\n"
+           "tenant 1 heterogeneous 2 nan:1 10:1\nplace 3 3\n",
+           "svc-snapshot v1\nepsilon 0.05\ntenants 1\n"
+           "tenant 1 heterogeneous 2 10:inf 10:1\nplace 3 3\n",
+           // Truncated mid-header.
+           "svc-snapshot v1\nepsilon 0.05\ntenants 1\ntenant 1",
+           "svc-snapshot v1\nepsilon 0.05\ntenants 1\n"
+           "tenant 1 homogeneous 2 10\n",
+       }) {
+    NetworkManager manager(topo, 0.05);
+    std::stringstream buffer(text);
+    const auto status = RestoreSnapshot(buffer, manager);
+    EXPECT_FALSE(status.ok()) << text;
+    EXPECT_EQ(status.code(), util::ErrorCode::kInvalidArgument) << text;
+    EXPECT_EQ(manager.live_count(), 0u) << "rollback failed for: " << text;
+    EXPECT_EQ(manager.slots().total_free(), topo.total_slots());
+  }
+}
+
+TEST(Snapshot, RestoreRefusesPlacementOnFailedMachine) {
+  const topology::Topology topo = TestTopo();
+  NetworkManager manager(topo, 0.05);
+  HomogeneousDpAllocator dp;
+  ASSERT_TRUE(manager.Admit(Request::Homogeneous(1, 4, 80, 30), dp).ok());
+  const topology::VertexId machine = manager.placement_of(1)->vm_machine[0];
+  std::stringstream buffer;
+  SaveSnapshot(manager, buffer);
+
+  NetworkManager target(topo, 0.05);
+  ASSERT_TRUE(
+      target.HandleFault(FaultKind::kMachine, machine, RecoveryPolicy::kEvict, dp)
+          .ok());
+  const auto status = RestoreSnapshot(buffer, target);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::ErrorCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("currently-failed"), std::string::npos)
+      << status.ToText();
+  EXPECT_EQ(target.live_count(), 0u);
+  // After recovery the same snapshot restores cleanly.
+  ASSERT_TRUE(target.HandleRecovery(machine).ok());
+  std::stringstream again;
+  SaveSnapshot(manager, again);
+  EXPECT_TRUE(RestoreSnapshot(again, target).ok());
+  EXPECT_EQ(target.live_count(), 1u);
+}
+
 TEST(Snapshot, TopologyMismatchRejected) {
   const topology::Topology big = TestTopo();
   NetworkManager manager(big, 0.05);

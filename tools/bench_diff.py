@@ -117,13 +117,23 @@ def main():
     width = max((len(r[0]) for r in rows), default=4)
     print(f"{'benchmark':<{width}}  {'before/s':>14}  {'after/s':>14}  delta")
     for name, b_rate, a_rate, speedup in sorted(rows):
-        delta = f"{(speedup - 1.0) * 100.0:+.1f}%" if speedup else "(missing)"
+        if speedup:
+            delta = f"{(speedup - 1.0) * 100.0:+.1f}%"
+        elif name not in before_benches:
+            delta = "(added)"
+        elif name not in after_benches:
+            delta = "(removed)"
+        else:
+            delta = "(missing)"
         print(
             f"{name:<{width}}  {fmt_rate(b_rate):>14}  {fmt_rate(a_rate):>14}  "
             f"{delta}"
         )
 
     if args.show_metrics:
+        # Keys present on only one side (e.g. a counter family introduced by
+        # the candidate build, like fault/*) are reported, never a KeyError:
+        # a new metric must not break the CI perf gate on its first run.
         b_counters = before.get("metrics", {}).get("counters", {})
         a_counters = after.get("metrics", {}).get("counters", {})
         names = sorted(b_counters.keys() | a_counters.keys())
@@ -131,9 +141,15 @@ def main():
             cwidth = max(len(n) for n in names)
             print(f"\n{'counter':<{cwidth}}  {'before':>14}  {'after':>14}")
             for name in names:
+                if name not in b_counters:
+                    note = "  (added)"
+                elif name not in a_counters:
+                    note = "  (removed)"
+                else:
+                    note = ""
                 print(
                     f"{name:<{cwidth}}  {b_counters.get(name, '-'):>14}  "
-                    f"{a_counters.get(name, '-'):>14}"
+                    f"{a_counters.get(name, '-'):>14}{note}"
                 )
 
     if failures:
