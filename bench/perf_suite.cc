@@ -15,6 +15,13 @@
 //              Also timed: the level-parallel variant (placements must be
 //              bit-identical to serial) and both heterogeneous allocators
 //              on a smaller fabric sized to their complexity.
+//   admission — AdmitBatch throughput through core::AdmissionPipeline, one
+//              worker (the serial baseline, record admission_throughput_1w)
+//              vs --pipeline-workers (record admission_throughput), over a
+//              fill/release churn workload.  Verdicts and placements must
+//              be bit-identical across worker counts (deterministic commit
+//              discipline); conflict/retry/fallback counts ride along as
+//              record extras.
 //
 // Writes BENCH_PERF.json (override with --out) and prints a summary.  The
 // JSON carries the git SHA and thread counts so two snapshots diffed with
@@ -33,6 +40,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/rng.h"
+#include "svc/admission_pipeline.h"
 #include "svc/hetero_exact.h"
 #include "svc/hetero_heuristic.h"
 #include "svc/homogeneous_search.h"
@@ -110,6 +118,10 @@ int main(int argc, char** argv) {
       flags.Int("sweep-jobs", 80, "jobs per sweep replica");
   int64_t& alloc_iters =
       flags.Int("alloc-iters", 2000, "Allocate() calls to time");
+  int64_t& admit_iters = flags.Int(
+      "admit-iters", 600, "admission requests per pipeline batch round");
+  int64_t& pipeline_workers = flags.Int(
+      "pipeline-workers", 4, "speculation workers for admission_throughput");
   std::string& out = flags.String("out", "BENCH_PERF.json", "output path");
   flags.Parse(argc, argv);
   bench::ObsScope obs(common);
@@ -359,6 +371,109 @@ int main(int argc, char** argv) {
   std::printf("allocate: %.0f calls/s  (hetero exact, n=10)\n",
               exact_calls_per_sec);
 
+  // --- Admission pipeline: 1 worker (serial Admit loop) vs N-worker ------
+  // speculate/validate/commit over an Oktopus-style online workload under
+  // admission-control pressure: the fabric is pre-loaded to ~90%, then
+  // batches of mixed-size tenants churn against it.  A few admit per round
+  // (commits bump the epoch — the conflict path gets exercised); most are
+  // rejected, and rejections keep the epoch still, so the speculation
+  // workers run the allocator concurrently to real effect — exactly the
+  // regime where an online control plane needs admission throughput.
+  // Everything admitted is released at the end of its round, so every
+  // round (and every worker count) starts from the same books.  The
+  // deterministic discipline makes the decision sequence a hard gate: any
+  // worker count must reproduce the serial verdicts and placements
+  // exactly.
+  std::vector<core::Request> admit_requests;
+  {
+    stats::Rng rng(11);
+    admit_requests.reserve(admit_iters);
+    for (int64_t i = 0; i < admit_iters; ++i) {
+      const int n = static_cast<int>(rng.UniformInt(2, 40));
+      const double mu = 100.0 * static_cast<double>(rng.UniformInt(1, 5));
+      admit_requests.push_back(core::Request::Homogeneous(
+          4'000'000 + i, n, mu, mu * rng.Uniform(0, 1)));
+    }
+  }
+  constexpr int kAdmitRounds = 4;
+  struct AdmissionOutcome {
+    std::vector<char> verdicts;
+    std::vector<topology::VertexId> roots;
+    double seconds = 0;
+    int64_t admitted = 0;
+    core::PipelineStats stats;
+  };
+  const core::HomogeneousDpAllocator admission_alloc;
+  auto run_admission = [&](int workers) {
+    AdmissionOutcome result;
+    core::NetworkManager admission_manager(topo, common.epsilon());
+    {
+      // Deterministic pre-load to ~90% occupancy: both worker counts see
+      // byte-identical books.  Rejections don't end the fill (a large
+      // tenant bouncing off a near-full fabric is expected) — a run of
+      // them does, once even small tenants stop fitting.
+      stats::Rng rng(7);
+      int64_t id = 5'000'000;
+      int consecutive_failures = 0;
+      while (admission_manager.slots().total_free() >
+                 topo.total_slots() / 10 &&
+             consecutive_failures < 64) {
+        const int n = static_cast<int>(rng.UniformInt(2, 60));
+        const double mu = 100.0 * static_cast<double>(rng.UniformInt(1, 5));
+        const core::Request r =
+            core::Request::Homogeneous(id++, n, mu, mu * rng.Uniform(0, 1));
+        if (admission_manager.Admit(r, admission_alloc).ok()) {
+          consecutive_failures = 0;
+        } else {
+          ++consecutive_failures;
+        }
+      }
+    }
+    core::PipelineConfig pipeline_config;
+    pipeline_config.workers = workers;
+    core::AdmissionPipeline pipeline(admission_manager, pipeline_config);
+    const double start = Now();
+    for (int round = 0; round < kAdmitRounds; ++round) {
+      const auto decisions =
+          pipeline.AdmitBatch(admit_requests, admission_alloc);
+      for (size_t i = 0; i < decisions.size(); ++i) {
+        result.verdicts.push_back(decisions[i].ok() ? 1 : 0);
+        if (decisions[i].ok()) {
+          result.roots.push_back(decisions[i]->subtree_root);
+          admission_manager.Release(admit_requests[i].id());
+          ++result.admitted;
+        }
+      }
+    }
+    result.seconds = Now() - start;
+    result.stats = pipeline.stats();
+    return result;
+  };
+  const AdmissionOutcome admit_serial = run_admission(1);
+  const AdmissionOutcome admit_parallel =
+      run_admission(static_cast<int>(pipeline_workers));
+  const bool admission_identical =
+      admit_serial.verdicts == admit_parallel.verdicts &&
+      admit_serial.roots == admit_parallel.roots;
+  const int64_t admit_total = kAdmitRounds * admit_iters;
+  const double admit_serial_rate =
+      admit_serial.seconds > 0 ? admit_total / admit_serial.seconds : 0.0;
+  const double admit_parallel_rate =
+      admit_parallel.seconds > 0 ? admit_total / admit_parallel.seconds : 0.0;
+  const double admit_speedup =
+      admit_parallel.seconds > 0
+          ? admit_serial.seconds / admit_parallel.seconds
+          : 0.0;
+  std::printf(
+      "admission: %.0f req/s serial  %.0f req/s (%d workers)  speedup %.2fx  "
+      "conflicts %lld retries %lld fallbacks %lld  identical %s\n",
+      admit_serial_rate, admit_parallel_rate,
+      static_cast<int>(pipeline_workers), admit_speedup,
+      static_cast<long long>(admit_parallel.stats.conflicts),
+      static_cast<long long>(admit_parallel.stats.retries),
+      static_cast<long long>(admit_parallel.stats.fallbacks),
+      admission_identical ? "yes" : "NO");
+
   // --- BENCH_PERF.json ---------------------------------------------------
   util::JsonWriter w;
   w.BeginObject();
@@ -366,6 +481,7 @@ int main(int argc, char** argv) {
   w.Member("hardware_threads", util::ThreadPool::HardwareThreads());
   w.Member("threads", common.threads());
   w.Member("parallel_alloc_identical", parallel_identical);
+  w.Member("admission_identical", admission_identical);
   w.Key("sweep");
   w.BeginObject();
   w.Member("replicas", static_cast<int64_t>(replicas));
@@ -406,6 +522,21 @@ int main(int argc, char** argv) {
                      exact_calls_per_sec > 0 ? 1e9 / exact_calls_per_sec : 0.0,
                      0.0,
                      {{"calls_per_sec", exact_calls_per_sec}}});
+  records.push_back(
+      {"admission_throughput_1w", admit_total,
+       admit_serial_rate > 0 ? 1e9 / admit_serial_rate : 0.0, 0.0,
+       {{"requests_per_sec", admit_serial_rate},
+        {"admitted", static_cast<double>(admit_serial.admitted)}}});
+  records.push_back(
+      {"admission_throughput", admit_total,
+       admit_parallel_rate > 0 ? 1e9 / admit_parallel_rate : 0.0, 0.0,
+       {{"requests_per_sec", admit_parallel_rate},
+        {"speedup", admit_speedup},
+        {"workers", static_cast<double>(pipeline_workers)},
+        {"admitted", static_cast<double>(admit_parallel.admitted)},
+        {"conflicts", static_cast<double>(admit_parallel.stats.conflicts)},
+        {"retries", static_cast<double>(admit_parallel.stats.retries)},
+        {"fallbacks", static_cast<double>(admit_parallel.stats.fallbacks)}}});
   bench::AddBenchmarksMember(w, records);
   // Snapshot of everything the instrumented sections recorded, so perf
   // regressions can be diffed at metric granularity across runs.
@@ -439,7 +570,8 @@ int main(int argc, char** argv) {
   if (!bench::WriteFile(out, w.str() + "\n")) return 1;
   std::printf("wrote %s\n", out.c_str());
 
-  // Non-zero exit if the parallel sweep or the level-parallel allocator
-  // diverged from serial — the suite's two hard correctness gates.
-  return identical && parallel_identical ? 0 : 2;
+  // Non-zero exit if the parallel sweep, the level-parallel allocator, or
+  // the multi-worker admission pipeline diverged from serial — the suite's
+  // hard correctness gates.
+  return identical && parallel_identical && admission_identical ? 0 : 2;
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "svc/admission_pipeline.h"
 #include "svc/first_fit.h"
 #include "svc/hetero_exact.h"
 #include "svc/hetero_heuristic.h"
@@ -135,6 +136,71 @@ bool Interpreter::CmdAdmit(const std::vector<std::string>& args,
   }
   out << "admit " << id << ": placed " << placement->Describe()
       << " max-occupancy " << placement->max_occupancy << "\n";
+  return true;
+}
+
+bool Interpreter::CmdBatch(const std::vector<std::string>& args,
+                           std::ostream& out) {
+  // batch <workers> <count> <first-id> homogeneous <n> <mu> <sigma>
+  // batch <workers> <count> <first-id> deterministic <n> <B>
+  constexpr const char* kUsage =
+      "error: batch <workers> <count> <first-id> homogeneous <n> <mu> "
+      "<sigma> | deterministic <n> <B>\n";
+  if (args.size() < 5) {
+    out << kUsage;
+    return false;
+  }
+  int64_t workers = 0, count = 0, first_id = 0;
+  if (!ParseInt(args[1], workers) || !ParseInt(args[2], count) ||
+      !ParseInt(args[3], first_id) || workers < 1 || count < 1) {
+    out << kUsage;
+    return false;
+  }
+  const std::string& kind = args[4];
+  std::vector<core::Request> requests;
+  requests.reserve(count);
+  if (kind == "homogeneous" && args.size() == 8) {
+    int64_t n;
+    double mu, sigma;
+    if (!ParseInt(args[5], n) || !ParseDouble(args[6], mu) ||
+        !ParseDouble(args[7], sigma) || n < 1) {
+      out << kUsage;
+      return false;
+    }
+    for (int64_t i = 0; i < count; ++i) {
+      requests.push_back(core::Request::Homogeneous(
+          first_id + i, static_cast<int>(n), mu, sigma));
+    }
+  } else if (kind == "deterministic" && args.size() == 7) {
+    int64_t n;
+    double bandwidth;
+    if (!ParseInt(args[5], n) || !ParseDouble(args[6], bandwidth) || n < 1) {
+      out << kUsage;
+      return false;
+    }
+    for (int64_t i = 0; i < count; ++i) {
+      requests.push_back(core::Request::Deterministic(
+          first_id + i, static_cast<int>(n), bandwidth));
+    }
+  } else {
+    out << kUsage;
+    return false;
+  }
+
+  core::PipelineConfig config;
+  config.workers = static_cast<int>(workers);
+  core::AdmissionPipeline pipeline(manager_, config);
+  const auto decisions =
+      pipeline.AdmitBatch(requests, *current_allocator_);
+  int64_t admitted = 0;
+  for (const auto& decision : decisions) {
+    if (decision.ok()) ++admitted;
+  }
+  const core::PipelineStats& stats = pipeline.stats();
+  out << "batch: " << admitted << " admitted, "
+      << (count - admitted) << " rejected (proposed " << stats.proposed
+      << ", conflicts " << stats.conflicts << ", retries " << stats.retries
+      << ", fallbacks " << stats.fallbacks << ")\n";
   return true;
 }
 
@@ -366,6 +432,7 @@ bool Interpreter::Execute(const std::string& line, std::ostream& out) {
   if (args.empty()) return true;  // blank / comment
   const std::string& command = args[0];
   if (command == "admit") return CmdAdmit(args, out);
+  if (command == "batch") return CmdBatch(args, out);
   if (command == "release") return CmdRelease(args, out);
   if (command == "show") return CmdShow(args, out);
   if (command == "assert") return CmdAssert(args, out);

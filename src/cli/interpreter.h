@@ -6,6 +6,10 @@
 //   admit 1 homogeneous 10 200 120      # <id> <N> <mu> <sigma>
 //   admit 2 deterministic 6 150         # <id> <N> <B>
 //   admit 3 heterogeneous 300:150 20:5  # <id> <mu:sigma>...
+//   batch 4 50 10 homogeneous 8 200 120 # <workers> <count> <first-id>
+//                                       #   <kind args>: admit `count`
+//                                       #   identical tenants through the
+//                                       #   concurrent admission pipeline
 //   release 1
 //   show slots                          # free/total VM slots
 //   show occupancy [k]                  # k worst links (default 5)
@@ -61,6 +65,7 @@ class Interpreter {
 
  private:
   bool CmdAdmit(const std::vector<std::string>& args, std::ostream& out);
+  bool CmdBatch(const std::vector<std::string>& args, std::ostream& out);
   bool CmdRelease(const std::vector<std::string>& args, std::ostream& out);
   bool CmdShow(const std::vector<std::string>& args, std::ostream& out);
   bool CmdAssert(const std::vector<std::string>& args, std::ostream& out);

@@ -1,0 +1,13 @@
+#include "net/ledger_view.h"
+
+namespace svc::net {
+
+LedgerView::LedgerView(const topology::Topology& topo, double epsilon)
+    : shadow_(topo, epsilon) {}
+
+void LedgerView::Capture(const LinkLedger& ledger, uint64_t epoch) {
+  shadow_.AssignAggregatesFrom(ledger);
+  epoch_ = epoch;
+}
+
+}  // namespace svc::net

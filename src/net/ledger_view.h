@@ -1,0 +1,46 @@
+// Epoch-versioned immutable read view of a LinkLedger.
+//
+// The admission pipeline's stage-1 snapshot: the commit thread captures the
+// ledger's per-link aggregates (C_L, D_L, running moment sums, up/down
+// state) into a shadow ledger and stamps it with the books' epoch at
+// capture time.  The per-request demand records are NOT copied — every
+// read-side kernel the allocators use (OccupancyWith / ValidWith /
+// OccupancyWithBatch / FeasibleFrontier) is a pure function of the
+// aggregates, so allocators run unmodified against the view while the
+// authoritative ledger keeps mutating on the commit thread.
+//
+// A captured view never changes, which is what makes it safe to read from
+// any number of speculation workers without locks.  To move a view forward,
+// publish a freshly captured one; never recapture a view other threads may
+// still be reading.
+#pragma once
+
+#include <cstdint>
+
+#include "net/link_ledger.h"
+
+namespace svc::net {
+
+class LedgerView {
+ public:
+  LedgerView(const topology::Topology& topo, double epsilon);
+
+  // Copies `ledger`'s aggregates into the shadow and stamps the view with
+  // `epoch`.  Reuses the shadow's storage, so steady-state captures touch
+  // no heap.  Must not run concurrently with readers of this same view.
+  void Capture(const LinkLedger& ledger, uint64_t epoch);
+
+  // The books' version this view was captured at.
+  uint64_t epoch() const { return epoch_; }
+
+  // Read-only kernel access.  The shadow's record lists are empty by
+  // construction; record-based queries (AffectedRequests, TotalRecords)
+  // are meaningless on a view.
+  const LinkLedger& ledger() const { return shadow_; }
+
+ private:
+  LinkLedger shadow_;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace svc::net

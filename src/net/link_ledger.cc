@@ -213,6 +213,26 @@ void LinkLedger::RebuildSums(topology::VertexId v) {
   for (const auto& d : s.reserved) s.deterministic += d.amount;
 }
 
+void LinkLedger::AssignAggregatesFrom(const LinkLedger& other) {
+  assert(topo_ == other.topo_);
+  assert(links_.size() == other.links_.size());
+  epsilon_ = other.epsilon_;
+  c_ = other.c_;
+  for (size_t v = 0; v < links_.size(); ++v) {
+    LinkState& dst = links_[v];
+    const LinkState& src = other.links_[v];
+    dst.capacity = src.capacity;
+    dst.deterministic = src.deterministic;
+    dst.mean_sum = src.mean_sum;
+    dst.var_sum = src.var_sum;
+    dst.up = src.up;
+    // A view carries no records; clears are free once the lists are empty.
+    dst.stochastic.clear();
+    dst.reserved.clear();
+  }
+  touched_.clear();
+}
+
 void LinkLedger::RemoveRequest(RequestId req) {
   auto it = touched_.find(req);
   if (it == touched_.end()) return;

@@ -149,6 +149,15 @@ class LinkLedger {
   // drift audits; the mutation paths maintain the sums directly).
   void RebuildSums(topology::VertexId v);
 
+  // Overwrites this ledger's per-link aggregates (capacity, D_L, moment
+  // sums, up state) and risk parameters with `other`'s, WITHOUT copying the
+  // per-request demand records — the record lists here are cleared.  Both
+  // ledgers must be over the same topology.  This is the LedgerView capture
+  // primitive: every read-side kernel above depends only on the aggregates,
+  // and reusing this ledger's storage keeps steady-state captures off the
+  // heap.
+  void AssignAggregatesFrom(const LinkLedger& other);
+
   // Total number of demand records (diagnostics / tests).
   size_t TotalRecords() const;
 

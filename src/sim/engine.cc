@@ -23,6 +23,13 @@ Engine::Engine(const topology::Topology& topo, SimConfig config)
       rng_(config.seed) {
   assert(config_.allocator != nullptr && "SimConfig.allocator is required");
   assert(config_.time_step > 0);
+  if (config_.admission_workers > 1) {
+    core::PipelineConfig pipeline;
+    pipeline.workers = config_.admission_workers;
+    pipeline.deterministic = true;  // bit-identical to the serial path
+    pipeline_ =
+        std::make_unique<core::AdmissionPipeline>(manager_, pipeline);
+  }
   // Full-duplex links, one capacity slot per cable and direction; on
   // untrunked fabrics each link simply has one cable per direction.
   topo.FillCableCapacities(capacity_);
@@ -30,20 +37,26 @@ Engine::Engine(const topology::Topology& topo, SimConfig config)
   link_touched_.resize(topo.directed_cable_slots(), 0);
 }
 
+core::Request Engine::MakeRequest(const workload::JobSpec& spec) const {
+  return workload::MakeRequest(spec, config_.abstraction,
+                               config_.vc_quantile);
+}
+
 bool Engine::UnallocatableEvenEmpty(const workload::JobSpec& spec) {
-  const core::Request request =
-      workload::MakeRequest(spec, config_.abstraction, config_.vc_quantile);
   return !config_.allocator
-              ->Allocate(request, empty_manager_.ledger(),
+              ->Allocate(MakeRequest(spec), empty_manager_.ledger(),
                          empty_manager_.slots())
               .ok();
 }
 
 bool Engine::TryStart(const workload::JobSpec& spec, double now) {
-  const core::Request request =
-      workload::MakeRequest(spec, config_.abstraction, config_.vc_quantile);
   util::Result<core::Placement> result =
-      manager_.Admit(request, *config_.allocator);
+      manager_.Admit(MakeRequest(spec), *config_.allocator);
+  return FinishStart(spec, now, result);
+}
+
+bool Engine::FinishStart(const workload::JobSpec& spec, double now,
+                         util::Result<core::Placement>& result) {
   if (!result) {
     if (result.status().code() == util::ErrorCode::kFailedPrecondition) {
       // An allocator bug, not a capacity condition — fail loudly.
@@ -333,7 +346,8 @@ void Engine::EvictJob(int64_t job_id, double now) {
   }
 }
 
-void Engine::ApplyFaultEvents(double now, OnlineResult& result) {
+bool Engine::ApplyFaultEvents(double now) {
+  bool applied = false;
   while (next_fault_ < fault_schedule_.size() &&
          fault_schedule_[next_fault_].time <= now) {
     const FaultEvent event = fault_schedule_[next_fault_++];
@@ -349,20 +363,19 @@ void Engine::ApplyFaultEvents(double now, OnlineResult& result) {
                          << " skipped: " << outcome.status().ToText();
         continue;
       }
-      result.recovery_latency_us.push_back(
+      recovery_latency_us_.push_back(
           std::chrono::duration<double, std::micro>(
               std::chrono::steady_clock::now() - start)
               .count());
-      ++result.faults_injected;
-      result.tenants_affected +=
-          static_cast<int64_t>(outcome->tenants.size());
+      ++faults_injected_;
+      tenants_affected_ += static_cast<int64_t>(outcome->tenants.size());
       SetUplinkCables(event.vertex, false);
       if (config_.events != nullptr) {
         config_.events->Record(now, EventKind::kFault, event.vertex);
       }
       for (const core::TenantOutcome& tenant : outcome->tenants) {
         if (tenant.recovered) {
-          ++result.tenants_recovered;
+          ++tenants_recovered_;
           const core::Placement* placement =
               manager_.placement_of(tenant.id);
           assert(placement != nullptr);
@@ -378,7 +391,7 @@ void Engine::ApplyFaultEvents(double now, OnlineResult& result) {
                 meta_[f].ecmp_hash, flows_[f].links);
           }
         } else {
-          ++result.tenants_evicted;
+          ++tenants_evicted_;
           EvictJob(tenant.id, now);
         }
       }
@@ -389,7 +402,7 @@ void Engine::ApplyFaultEvents(double now, OnlineResult& result) {
                          << " skipped: " << status.ToText();
         continue;
       }
-      ++result.fault_recoveries;
+      ++fault_recoveries_;
       SetUplinkCables(event.vertex, true);
       if (config_.events != nullptr) {
         config_.events->Record(now, EventKind::kRecover, event.vertex);
@@ -398,23 +411,62 @@ void Engine::ApplyFaultEvents(double now, OnlineResult& result) {
     // Any applied event changes link capacities: invalidate the cached
     // max-min solution (the steady fast path must not replay stale rates)
     // and re-evaluate which epoch the following ticks belong to.
+    applied = true;
     flows_dirty_ = true;
     failure_epoch_ = !manager_.Faults().empty();
   }
+  return applied;
 }
 
 BatchResult Engine::RunBatch(const std::vector<workload::JobSpec>& jobs) {
   BatchResult result;
   std::deque<workload::JobSpec> queue(jobs.begin(), jobs.end());
 
+  if (config_.faults.enabled()) {
+    FaultConfig faults = config_.faults;
+    if (faults.horizon_seconds <= 0) {
+      faults.horizon_seconds = config_.max_seconds;
+    }
+    fault_schedule_ = BuildFaultSchedule(*topo_, faults);
+  }
+  next_fault_ = 0;
+  failure_epoch_ = false;
+
   double now = 0;
   std::unordered_map<int64_t, double> start_times;
+  // Strict-FIFO admission of the queue head(s).  With the pipeline on,
+  // whole windows are speculated concurrently and committed in FIFO order
+  // with stop_on_failure, which is exactly the serial head-by-head rule.
   auto admit_fifo = [&] {
     while (!queue.empty()) {
-      if (TryStart(queue.front(), now)) {
-        start_times[queue.front().id] = now;
-        queue.pop_front();
-        continue;
+      if (pipeline_ != nullptr && queue.size() > 1) {
+        const size_t window = std::min(
+            queue.size(),
+            static_cast<size_t>(std::max(config_.admission_window, 1)));
+        std::vector<core::Request> requests;
+        requests.reserve(window);
+        for (size_t i = 0; i < window; ++i) {
+          requests.push_back(MakeRequest(queue[i]));
+        }
+        size_t committed = 0;
+        pipeline_->AdmitBatch(
+            requests, *config_.allocator, /*stop_on_failure=*/true,
+            [&](size_t i, util::Result<core::Placement>& r) {
+              if (FinishStart(queue[i], now, r)) {
+                start_times[queue[i].id] = now;
+                ++committed;
+              }
+            });
+        // stop_on_failure commits exactly the FIFO prefix that fits.
+        queue.erase(queue.begin(),
+                    queue.begin() + static_cast<ptrdiff_t>(committed));
+        if (committed == window) continue;  // whole window admitted
+      } else {
+        if (TryStart(queue.front(), now)) {
+          start_times[queue.front().id] = now;
+          queue.pop_front();
+          continue;
+        }
       }
       if (UnallocatableEvenEmpty(queue.front())) {
         if (config_.events != nullptr) {
@@ -430,21 +482,34 @@ BatchResult Engine::RunBatch(const std::vector<workload::JobSpec>& jobs) {
         queue.pop_front();
         continue;
       }
-      break;  // strict FIFO: wait for completions
+      break;  // strict FIFO: wait for completions (or a recovery)
     }
   };
 
+  // Faults precede admissions at the same instant, as in RunOnline.
+  ApplyFaultEvents(now);
   admit_fifo();
   std::vector<int64_t> completed;
-  while (!active_.empty()) {
+  while (!active_.empty() || !queue.empty()) {
     if (now >= config_.max_seconds) {
       SVC_LOG(Error) << "batch simulation hit the max_seconds safety stop at "
                      << now;
       break;
     }
+    if (active_.empty()) {
+      // Queue blocked with nothing running: only a scheduled recovery (or
+      // an eviction by a later fault — it frees capacity too) can change
+      // the verdict, so jump straight to the next fault event.
+      if (next_fault_ >= fault_schedule_.size()) break;
+      now = std::max(now, fault_schedule_[next_fault_].time);
+      ApplyFaultEvents(now);
+      admit_fifo();
+      continue;
+    }
     completed.clear();
     Step(now, completed);
     now += config_.time_step;
+    const bool capacity_changed = ApplyFaultEvents(now);
     if (!completed.empty()) {
       for (int64_t id : completed) {
         manager_.Release(id);
@@ -456,12 +521,20 @@ BatchResult Engine::RunBatch(const std::vector<workload::JobSpec>& jobs) {
         result.jobs.push_back(record);
         result.total_completion_time = now;
       }
-      admit_fifo();
     }
+    if (!completed.empty() || capacity_changed) admit_fifo();
   }
   result.simulated_seconds = now;
   result.outage = {outage_link_seconds_, busy_link_seconds_};
+  result.failure_outage = {failure_outage_link_seconds_,
+                           failure_busy_link_seconds_};
   result.placement_levels = placement_levels_;
+  result.faults_injected = faults_injected_;
+  result.fault_recoveries = fault_recoveries_;
+  result.tenants_affected = tenants_affected_;
+  result.tenants_recovered = tenants_recovered_;
+  result.tenants_evicted = tenants_evicted_;
+  result.recovery_latency_us = std::move(recovery_latency_us_);
   return result;
 }
 
@@ -494,14 +567,16 @@ OnlineResult Engine::RunOnline(std::vector<workload::JobSpec> jobs) {
     }
     // Faults precede arrivals at the same instant: an arrival at the fault
     // time already sees the degraded datacenter.
-    ApplyFaultEvents(now, result);
-    while (next < jobs.size() && jobs[next].arrival_time <= now) {
-      const workload::JobSpec& spec = jobs[next];
+    ApplyFaultEvents(now);
+    // Per-arrival bookkeeping, in arrival order: the admission decision,
+    // then the samples the paper takes at every arrival.
+    auto settle = [&](const workload::JobSpec& spec,
+                      util::Result<core::Placement>& admitted) {
       if (config_.events != nullptr) {
         config_.events->Record(spec.arrival_time, EventKind::kArrival,
                                spec.id);
       }
-      if (TryStart(spec, now)) {
+      if (FinishStart(spec, now, admitted)) {
         ++result.accepted;
         start_times[spec.id] = now;
         arrival_times[spec.id] = spec.arrival_time;
@@ -511,13 +586,38 @@ OnlineResult Engine::RunOnline(std::vector<workload::JobSpec> jobs) {
           config_.events->Record(now, EventKind::kReject, spec.id);
         }
       }
-      // Samples taken at every arrival, after the admission decision.
       result.concurrency_samples.push_back(
           static_cast<int>(active_.size()));
       if (config_.sample_occupancy) {
         result.max_occupancy_samples.push_back(manager_.MaxOccupancy());
       }
-      ++next;
+    };
+    size_t group_end = next;
+    while (group_end < jobs.size() && jobs[group_end].arrival_time <= now) {
+      ++group_end;
+    }
+    if (pipeline_ != nullptr && group_end - next > 1) {
+      // The arrivals due this instant are admitted as one pipeline batch;
+      // the deterministic discipline settles them in arrival order with
+      // decisions identical to the serial loop below.
+      std::vector<core::Request> requests;
+      requests.reserve(group_end - next);
+      for (size_t j = next; j < group_end; ++j) {
+        requests.push_back(MakeRequest(jobs[j]));
+      }
+      pipeline_->AdmitBatch(requests, *config_.allocator,
+                            /*stop_on_failure=*/false,
+                            [&](size_t i, util::Result<core::Placement>& r) {
+                              settle(jobs[next + i], r);
+                            });
+      next = group_end;
+    } else {
+      while (next < group_end) {
+        util::Result<core::Placement> admitted =
+            manager_.Admit(MakeRequest(jobs[next]), *config_.allocator);
+        settle(jobs[next], admitted);
+        ++next;
+      }
     }
     if (active_.empty()) {
       // Idle period: jump to the next arrival instead of stepping through
@@ -546,6 +646,12 @@ OnlineResult Engine::RunOnline(std::vector<workload::JobSpec> jobs) {
   result.failure_outage = {failure_outage_link_seconds_,
                            failure_busy_link_seconds_};
   result.placement_levels = placement_levels_;
+  result.faults_injected = faults_injected_;
+  result.fault_recoveries = fault_recoveries_;
+  result.tenants_affected = tenants_affected_;
+  result.tenants_recovered = tenants_recovered_;
+  result.tenants_evicted = tenants_evicted_;
+  result.recovery_latency_us = std::move(recovery_latency_us_);
   return result;
 }
 

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "sim/max_min.h"
 #include "sim/metrics.h"
 #include "stats/rng.h"
+#include "svc/admission_pipeline.h"
 #include "svc/allocator.h"
 #include "svc/manager.h"
 #include "topology/topology.h"
@@ -63,6 +65,14 @@ struct SimConfig {
   double time_step = 1.0;          // seconds; the paper redraws rates at 1 s
   double max_seconds = 2e6;        // safety stop, flagged in the result log
   uint64_t seed = 1;
+  // Concurrent admission pipeline (docs/CONCURRENCY.md): > 1 admits
+  // same-instant arrival groups (RunOnline) and FIFO windows (RunBatch)
+  // through core::AdmissionPipeline with that many speculation workers,
+  // under the deterministic commit discipline — every decision, event, RNG
+  // draw, and sample is bit-identical to the serial path (0 or 1).
+  int admission_workers = 0;
+  // Max FIFO window RunBatch hands the pipeline per admission round.
+  int admission_window = 128;
   bool sample_occupancy = true;    // record MaxOccupancy at arrivals
   FlowPattern flow_pattern = FlowPattern::kRandomPermutation;
   // Count bandwidth outages: (link, second) pairs where offered demand
@@ -74,8 +84,9 @@ struct SimConfig {
   double burst_seconds = 5.0;
   // Reserved percentile for Abstraction::kPercentileVc (paper: 0.95).
   double vc_quantile = 0.95;
-  // Fault plane (RunOnline only): seeded failure schedule + recovery
-  // policy.  Horizon defaults to max_seconds when left 0.  Fault events
+  // Fault plane (RunOnline and RunBatch): seeded failure schedule +
+  // recovery policy.  Horizon defaults to max_seconds when left 0.  Fault
+  // events are applied before admissions at the same instant; fault events
   // mark the flow set dirty, so the steady-tick fast path never replays
   // stale rates across a capacity change.
   FaultConfig faults;
@@ -139,8 +150,19 @@ class Engine {
     uint64_t ecmp_hash = 0;
   };
 
+  // The admission request a job spec maps to under the configured
+  // abstraction (pure; shared by the serial and pipelined admit paths).
+  core::Request MakeRequest(const workload::JobSpec& spec) const;
+
   // Attempts admission; on success registers flows and the active record.
   bool TryStart(const workload::JobSpec& spec, double now);
+
+  // Second half of TryStart, shared with the pipeline's decision callback:
+  // consumes an admission decision — on success registers the flows (all
+  // RNG draws happen here, in decision order) and the active record; on
+  // failure logs allocator inconsistencies.  Returns result.ok().
+  bool FinishStart(const workload::JobSpec& spec, double now,
+                   util::Result<core::Placement>& result);
 
   // True if the job could not be placed even on an empty datacenter (e.g.
   // per-VM effective demand above the machine link): such jobs can never
@@ -158,7 +180,10 @@ class Engine {
   // the manager's HandleFault/HandleRecovery, drains/restores the cable
   // capacities the max-min solver sees, re-paths the flows of recovered
   // tenants, and drops the flows and active records of evicted jobs.
-  void ApplyFaultEvents(double now, OnlineResult& result);
+  // Accounting lands in the fault accumulator members (both run modes
+  // share this path).  Returns true iff any event applied — capacity
+  // changed, so queued FIFO admissions are worth retrying.
+  bool ApplyFaultEvents(double now);
 
   // Drains (up=false) or restores (up=true) every cable of vertex's uplink.
   void SetUplinkCables(topology::VertexId vertex, bool up);
@@ -171,6 +196,8 @@ class Engine {
   core::NetworkManager manager_;
   // Pristine state used only for UnallocatableEvenEmpty checks.
   core::NetworkManager empty_manager_;
+  // Non-null iff config_.admission_workers > 1 (deterministic discipline).
+  std::unique_ptr<core::AdmissionPipeline> pipeline_;
   MaxMinScratch scratch_;
   std::vector<double> capacity_;  // uplink capacity per vertex
   stats::Rng rng_;
@@ -205,6 +232,14 @@ class Engine {
   bool failure_epoch_ = false;
   int64_t failure_outage_link_seconds_ = 0;
   int64_t failure_busy_link_seconds_ = 0;
+  // Fault accounting shared by RunOnline and RunBatch (copied into the
+  // result record when the run finishes).
+  int64_t faults_injected_ = 0;
+  int64_t fault_recoveries_ = 0;
+  int64_t tenants_affected_ = 0;
+  int64_t tenants_recovered_ = 0;
+  int64_t tenants_evicted_ = 0;
+  std::vector<double> recovery_latency_us_;
 
   // Time-series sampler state (SimConfig.series): utilization aggregates of
   // the last non-steady outage pass, replayed on steady ticks.

@@ -44,6 +44,19 @@ struct BatchResult {
   // the locality metric the lowest-subtree rule optimizes.
   std::vector<int> placement_levels;
 
+  // --- Fault plane (SimConfig.faults; same semantics as OnlineResult) ---
+  int64_t faults_injected = 0;
+  int64_t fault_recoveries = 0;
+  int64_t tenants_affected = 0;
+  int64_t tenants_recovered = 0;
+  int64_t tenants_evicted = 0;
+  OutageStats failure_outage;
+  OutageStats steady_outage() const {
+    return {outage.outage_link_seconds - failure_outage.outage_link_seconds,
+            outage.busy_link_seconds - failure_outage.busy_link_seconds};
+  }
+  std::vector<double> recovery_latency_us;
+
   // Mean running time per job, the Fig. 6 statistic.
   double MeanRunningTime() const;
   double MeanPlacementLevel() const;

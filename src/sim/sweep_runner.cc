@@ -1,5 +1,10 @@
 #include "sim/sweep_runner.h"
 
+#include <condition_variable>
+#include <mutex>
+
+#include "obs/metrics.h"
+
 namespace svc::sim {
 
 uint64_t ReplicaSeed(uint64_t base, uint64_t index) {
@@ -28,7 +33,33 @@ void SweepRunner::RunAll(const std::vector<std::function<void()>>& tasks) {
     return;
   }
   if (pool_ == nullptr) pool_ = std::make_unique<util::ThreadPool>(threads_);
-  for (const auto& task : tasks) pool_->Submit(task);
+  // Submission backpressure, sized off the pool's own queue-depth signal
+  // (the one the threadpool/queue_depth gauge exports): keep at most a few
+  // tasks queued per worker instead of flooding the pool with the whole
+  // grid.  A 100k-replica sweep then holds ~4*threads closures in flight
+  // rather than 100k, and the gauge stays a meaningful saturation signal.
+  // Pacing cannot change outputs: results are slot-indexed and every
+  // replica's seed is position-derived.
+  const int64_t max_depth = static_cast<int64_t>(threads_) * 4;
+  std::mutex mu;
+  std::condition_variable drained;
+  for (const auto& task : tasks) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      if (pool_->queue_depth() >= max_depth) {
+        SVC_METRIC_INC("sweep/throttled");
+        // Safe to wait: >= 4*threads tasks are queued, so completions (and
+        // their notifies) keep coming until the depth falls below the cap.
+        drained.wait(lock,
+                     [&] { return pool_->queue_depth() < max_depth; });
+      }
+    }
+    pool_->Submit([&task, &mu, &drained] {
+      task();
+      { std::lock_guard<std::mutex> lock(mu); }
+      drained.notify_one();
+    });
+  }
   pool_->Wait();
 }
 

@@ -15,7 +15,10 @@
 //     never depends on scheduling.
 //
 // threads == 1 runs the tasks inline on the calling thread (the serial
-// baseline); threads == 0 uses every hardware thread.
+// baseline); threads == 0 uses every hardware thread.  Submission is
+// throttled off ThreadPool::queue_depth() (the threadpool/queue_depth
+// gauge): at most ~4 queued tasks per worker, so huge grids don't sit
+// materialized in the pool's queues.
 #pragma once
 
 #include <cstdint>

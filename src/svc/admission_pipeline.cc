@@ -1,0 +1,368 @@
+#include "svc/admission_pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace svc::core {
+
+namespace {
+
+util::Result<Placement> NotAttempted() {
+  return {util::ErrorCode::kFailedPrecondition,
+          "not attempted: earlier FIFO admission failed"};
+}
+
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+// Per-batch shared state.  Workers write only proposals[i] for indices they
+// popped from `pending` (handed back through `done`, whose mutex orders the
+// write before the commit thread's read), so no slot is ever touched by two
+// threads at once.
+struct AdmissionPipeline::BatchCtx {
+  BatchCtx(size_t n, size_t pending_capacity)
+      : pending(pending_capacity), done(n), proposals(n), attempts(n, 0) {}
+
+  const std::vector<Request>* requests = nullptr;
+  const Allocator* allocator = nullptr;
+  util::BoundedQueue<size_t> pending;  // indices awaiting speculation
+  util::BoundedQueue<size_t> done;     // indices with a parked proposal
+  std::vector<AdmissionProposal> proposals;
+  std::vector<int> attempts;  // optimistic re-speculation count per index
+};
+
+AdmissionPipeline::AdmissionPipeline(NetworkManager& manager,
+                                     PipelineConfig config)
+    : manager_(manager), config_(config) {
+  if (config_.workers <= 0) {
+    config_.workers = util::ThreadPool::HardwareThreads();
+  }
+  if (config_.queue_capacity <= 0) {
+    config_.queue_capacity = 4 * config_.workers;
+  }
+  if (config_.max_retries < 0) config_.max_retries = 0;
+  if (config_.workers > 1) {
+    if (config_.pool != nullptr) {
+      pool_ = config_.pool;
+    } else {
+      owned_pool_ = std::make_unique<util::ThreadPool>(config_.workers);
+      pool_ = owned_pool_.get();
+    }
+  }
+}
+
+AdmissionPipeline::~AdmissionPipeline() = default;
+
+std::shared_ptr<const AdmissionSnapshot> AdmissionPipeline::CurrentSnapshot() {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+void AdmissionPipeline::RefreshSnapshot() {
+  if (snapshot_ != nullptr && snapshot_->epoch() == manager_.epoch()) return;
+  // Recycle a retired buffer.  Workers obtain references only to the
+  // currently published snapshot (under snapshot_mu_), so a pooled entry
+  // with use_count() == 1 is unreachable from any worker — and stays that
+  // way until we republish it.  Each worker holds at most one snapshot at
+  // a time, so a pool of workers + 2 always has a free buffer and
+  // steady-state refreshes allocate nothing.
+  std::shared_ptr<AdmissionSnapshot> next;
+  for (const std::shared_ptr<AdmissionSnapshot>& s : snapshot_pool_) {
+    if (s.get() != snapshot_.get() && s.use_count() == 1) {
+      next = s;
+      break;
+    }
+  }
+  if (next == nullptr) {
+    next = std::make_shared<AdmissionSnapshot>(manager_.topo(),
+                                               manager_.epsilon());
+    if (snapshot_pool_.size() <
+        static_cast<size_t>(config_.workers) + 2) {
+      snapshot_pool_.push_back(next);
+    }
+  }
+  next->Capture(manager_);
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = next;
+}
+
+void AdmissionPipeline::SpeculateLoop(BatchCtx& ctx) {
+  size_t index = 0;
+  while (ctx.pending.Pop(index)) {
+    const std::shared_ptr<const AdmissionSnapshot> snapshot =
+        CurrentSnapshot();
+    ctx.proposals[index] =
+        manager_.Propose((*ctx.requests)[index], *ctx.allocator, *snapshot);
+    ctx.done.Push(index);
+  }
+}
+
+std::vector<util::Result<Placement>> AdmissionPipeline::AdmitSerial(
+    const std::vector<Request>& requests, const Allocator& allocator,
+    bool stop_on_failure, const DecisionFn& on_decision) {
+  std::vector<util::Result<Placement>> results;
+  results.reserve(requests.size());
+  bool aborted = false;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (aborted) {
+      results.push_back(NotAttempted());
+      continue;
+    }
+    ++stats_.proposed;
+    SVC_METRIC_INC("admission/proposed");
+    util::Result<Placement> r = manager_.Admit(requests[i], allocator);
+    if (r.ok()) {
+      ++stats_.committed;
+      SVC_METRIC_INC("admission/committed");
+    } else {
+      ++stats_.rejected;
+    }
+    if (on_decision) on_decision(i, r);
+    if (stop_on_failure && !r.ok()) aborted = true;
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+util::Result<Placement> AdmissionPipeline::FinalizeDeterministic(
+    const Request& request, const Allocator& allocator,
+    AdmissionProposal&& proposal) {
+  if (proposal.epoch == manager_.epoch()) {
+    if (!proposal.ok) {
+      // A rejection against fresh books IS the serial verdict.  Rejections
+      // do not bump the epoch, so a run of rejections keeps every later
+      // proposal fresh — heavy admission-control pressure pipelines well.
+      ++stats_.rejected;
+      return proposal.status;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    util::Result<Placement> committed =
+        manager_.CommitProposal(request, std::move(proposal));
+    SVC_METRIC_HIST("admission/commit_latency_us", MicrosSince(start));
+    if (committed.ok()) {
+      ++stats_.committed;
+      SVC_METRIC_INC("admission/committed");
+      RefreshSnapshot();
+      return committed;
+    }
+    // Epoch matched and validation still failed: an allocator bug — the
+    // same loud, attributable surface Admit gives it.
+    ++stats_.rejected;
+    return {util::ErrorCode::kFailedPrecondition,
+            std::string(allocator.name()) + ": " +
+                committed.status().message()};
+  }
+  // Stale: the books moved since the speculation read them.  Within a
+  // batch the books only gain tenants (rejections and releases don't bump
+  // the epoch, and the fault plane refuses while proposals are in flight),
+  // so a monotone allocator's rejection against the older, emptier books
+  // is already the verdict the serial path would reach — absorb it without
+  // touching the authoritative books.  This is what lets an admission-
+  // control-pressure workload pipeline: the occasional commit stales the
+  // whole in-flight window, but the window's rejections stay decided.
+  if (!proposal.ok && allocator.monotone_rejections()) {
+    ++stats_.rejected;
+    return proposal.status;
+  }
+  // A stale admit (or a non-monotone allocator's verdict): re-run serially
+  // on the authoritative books — exactly the serial path's decision at
+  // this point in the commit order.
+  ++stats_.conflicts;
+  SVC_METRIC_INC("admission/conflicts");
+  ++stats_.fallbacks;
+  SVC_METRIC_INC("admission/fallbacks");
+  util::Result<Placement> r = manager_.Admit(request, allocator);
+  if (r.ok()) {
+    ++stats_.committed;
+    SVC_METRIC_INC("admission/committed");
+    RefreshSnapshot();
+  } else {
+    ++stats_.rejected;
+  }
+  return r;
+}
+
+std::vector<util::Result<Placement>> AdmissionPipeline::AdmitBatch(
+    const std::vector<Request>& requests, const Allocator& allocator,
+    bool stop_on_failure, const DecisionFn& on_decision) {
+  const size_t n = requests.size();
+  if (n == 0) return {};
+  assert((config_.deterministic || !stop_on_failure) &&
+         "stop_on_failure requires the deterministic commit discipline");
+  if (config_.workers <= 1 || n == 1) {
+    return AdmitSerial(requests, allocator, stop_on_failure, on_decision);
+  }
+  SVC_TRACE_SPAN("pipeline/admit_batch");
+
+  BatchCtx ctx(n, static_cast<size_t>(config_.queue_capacity));
+  ctx.requests = &requests;
+  ctx.allocator = &allocator;
+  RefreshSnapshot();
+
+  const int nworkers =
+      static_cast<int>(std::min<size_t>(config_.workers, n));
+  util::Latch latch(nworkers);
+  for (int w = 0; w < nworkers; ++w) {
+    pool_->Submit([this, &ctx, &latch] {
+      SpeculateLoop(ctx);
+      latch.CountDown();
+    });
+  }
+
+  std::vector<std::optional<util::Result<Placement>>> decided(n);
+  size_t next_submit = 0;
+  bool aborted = false;
+
+  // Keeps the pending queue fed (bounded by its capacity: natural
+  // backpressure when the workers fall behind the feeder).
+  auto feed = [&] {
+    while (!aborted && next_submit < n && ctx.pending.TryPush(next_submit)) {
+      manager_.BeginProposal();
+      ++next_submit;
+    }
+    SVC_METRIC_GAUGE_SET("pipeline/depth",
+                         static_cast<double>(ctx.pending.size()));
+  };
+  auto pop_done = [&]() -> size_t {
+    size_t index = 0;
+    const bool got = ctx.done.Pop(index);
+    (void)got;
+    assert(got && "done queue closed with work outstanding");
+    ++stats_.proposed;
+    SVC_METRIC_INC("admission/proposed");
+    return index;
+  };
+
+  feed();
+  if (config_.deterministic) {
+    std::vector<char> ready(n, 0);
+    size_t commit_cursor = 0;
+    while (commit_cursor < n) {
+      if (commit_cursor >= next_submit) {
+        // The feed stopped on abort before this index was ever speculated.
+        assert(aborted);
+        decided[commit_cursor] = NotAttempted();
+        ++commit_cursor;
+        continue;
+      }
+      if (!ready[commit_cursor]) {
+        ready[pop_done()] = 1;
+        feed();
+        continue;
+      }
+      util::Result<Placement> r =
+          aborted ? NotAttempted()
+                  : FinalizeDeterministic(
+                        requests[commit_cursor], allocator,
+                        std::move(ctx.proposals[commit_cursor]));
+      manager_.EndProposal();
+      if (!aborted) {
+        if (on_decision) on_decision(commit_cursor, r);
+        if (stop_on_failure && !r.ok()) aborted = true;
+      }
+      decided[commit_cursor] = std::move(r);
+      ++commit_cursor;
+      feed();
+    }
+  } else {
+    // Optimistic: commit in completion order; validate-or-retry conflicts.
+    size_t finalized = 0;
+    while (finalized < n) {
+      const size_t idx = pop_done();
+      AdmissionProposal& proposal = ctx.proposals[idx];
+      const bool fresh = proposal.epoch == manager_.epoch();
+      std::optional<util::Result<Placement>> r;
+      if (proposal.ok) {
+        // Validation runs against the authoritative books either way, so a
+        // stale epoch alone is not a conflict until the re-check fails.
+        const auto start = std::chrono::steady_clock::now();
+        util::Result<Placement> committed =
+            manager_.CommitProposal((*ctx.requests)[idx],
+                                    std::move(proposal));
+        SVC_METRIC_HIST("admission/commit_latency_us", MicrosSince(start));
+        if (committed.ok()) {
+          ++stats_.committed;
+          SVC_METRIC_INC("admission/committed");
+          RefreshSnapshot();
+          r = std::move(committed);
+        } else if (fresh) {
+          ++stats_.rejected;
+          r = util::Result<Placement>(
+              util::ErrorCode::kFailedPrecondition,
+              std::string(allocator.name()) + ": " +
+                  committed.status().message());
+        } else {
+          ++stats_.conflicts;
+          SVC_METRIC_INC("admission/conflicts");
+        }
+      } else if (fresh || allocator.monotone_rejections()) {
+        // Fresh rejections are authoritative; stale ones are too for a
+        // monotone allocator, because the books only gained tenants since
+        // the snapshot (nothing releases mid-batch).
+        ++stats_.rejected;
+        r = util::Result<Placement>(proposal.status);
+      } else {
+        // A stale rejection from a greedy allocator: the changed books may
+        // have changed the verdict — treat it as a conflict and
+        // re-speculate.
+        ++stats_.conflicts;
+        SVC_METRIC_INC("admission/conflicts");
+      }
+      if (!r.has_value()) {
+        if (ctx.attempts[idx] < config_.max_retries &&
+            ctx.pending.TryPush(idx)) {
+          ++ctx.attempts[idx];
+          ++stats_.retries;
+          SVC_METRIC_INC("admission/retries");
+          continue;  // still in flight: no EndProposal, not finalized
+        }
+        // Retry budget exhausted (or the queue is saturated): serial
+        // fallback on the commit thread — never worse than the serial path.
+        ++stats_.fallbacks;
+        SVC_METRIC_INC("admission/fallbacks");
+        util::Result<Placement> f =
+            manager_.Admit((*ctx.requests)[idx], allocator);
+        if (f.ok()) {
+          ++stats_.committed;
+          SVC_METRIC_INC("admission/committed");
+          RefreshSnapshot();
+        } else {
+          ++stats_.rejected;
+        }
+        r = std::move(f);
+      }
+      manager_.EndProposal();
+      if (on_decision) on_decision(idx, *r);
+      decided[idx] = std::move(*r);
+      ++finalized;
+      feed();
+    }
+  }
+
+  ctx.pending.Close();
+  latch.Wait();
+  SVC_METRIC_GAUGE_SET("pipeline/depth", 0.0);
+  assert(manager_.InFlightProposals() == 0 &&
+         "batch drained with proposals still registered");
+
+  std::vector<util::Result<Placement>> results;
+  results.reserve(n);
+  for (std::optional<util::Result<Placement>>& d : decided) {
+    assert(d.has_value());
+    results.push_back(std::move(*d));
+  }
+  return results;
+}
+
+}  // namespace svc::core

@@ -1,0 +1,147 @@
+// Three-stage concurrent admission pipeline (docs/CONCURRENCY.md).
+//
+//   1. snapshot  — the commit thread captures an epoch-stamped
+//                  AdmissionSnapshot (ledger aggregates + slot map) and
+//                  publishes it to the workers;
+//   2. speculate — N thread-pool workers run the allocator against the
+//                  snapshot (NetworkManager::Propose — zero writes to
+//                  shared state);
+//   3. commit    — the calling thread alone validates each proposal
+//                  against the authoritative books and commits it
+//                  (NetworkManager::CommitProposal), re-checking condition
+//                  (4) only on the links the placement touches.
+//
+// Two commit disciplines:
+//
+//   deterministic (default) — proposals are committed in request order.  A
+//   proposal whose epoch still matches the books is exactly what a serial
+//   Admit would have produced (allocators are deterministic functions of
+//   (request, books)); a stale admit is re-run serially inline, and a
+//   stale REJECTION from a monotone allocator (see
+//   Allocator::monotone_rejections) is absorbed as-is — the books only
+//   gained tenants since the snapshot, so the rejection still holds.
+//   Either way every decision equals the serial decision, so fixed-seed
+//   simulations are bit-identical to the serial path for ANY worker count.
+//   Rejections do not bump the epoch, so a run of rejections keeps every
+//   later proposal fresh — the pipeline shines exactly where admission
+//   control works hardest.
+//
+//   optimistic — proposals are committed in completion order.  A stale
+//   proposal is first re-validated against the authoritative books and
+//   committed if it still fits (most do: different tenants rarely collide
+//   on the same bottleneck); a conflicting one is re-speculated with the
+//   new epoch up to max_retries times, then falls back to a serial Admit
+//   on the commit thread — so results are never worse than the serial
+//   path.  Decisions can differ from request order, but every committed
+//   placement satisfies condition (4).  This is the throughput mode for a
+//   live control plane.
+//
+// Obs: admission/{proposed,committed,conflicts,retries,fallbacks} counters,
+// the pipeline/depth gauge, and the admission/commit_latency_us histogram.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "svc/manager.h"
+#include "util/bounded_queue.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace svc::core {
+
+struct PipelineConfig {
+  int workers = 0;         // speculation threads; 0 = hardware concurrency
+  int queue_capacity = 0;  // pending-queue bound; 0 = 4 * workers
+  int max_retries = 3;     // optimistic re-speculations before serial fallback
+  bool deterministic = true;
+  // Borrowed pool to speculate on; the pipeline owns a private one if null.
+  util::ThreadPool* pool = nullptr;
+};
+
+// Cumulative across AdmitBatch calls; owned by the commit thread (read it
+// only between batches).
+struct PipelineStats {
+  int64_t proposed = 0;    // speculation runs (includes retries)
+  int64_t committed = 0;   // admissions committed to the books
+  int64_t rejected = 0;    // final negative decisions
+  int64_t conflicts = 0;   // proposals invalidated by a concurrent commit
+  int64_t retries = 0;     // optimistic re-speculations after a conflict
+  int64_t fallbacks = 0;   // serial re-runs on the commit thread
+};
+
+class AdmissionPipeline {
+ public:
+  explicit AdmissionPipeline(NetworkManager& manager,
+                             PipelineConfig config = {});
+  ~AdmissionPipeline();
+
+  AdmissionPipeline(const AdmissionPipeline&) = delete;
+  AdmissionPipeline& operator=(const AdmissionPipeline&) = delete;
+
+  int workers() const { return config_.workers; }
+  bool deterministic() const { return config_.deterministic; }
+
+  // Decision observer: runs on the calling thread immediately after request
+  // `index` is finalized, with a mutable reference to its decision (the
+  // engine moves the placement out to register flows).  Under the
+  // deterministic discipline invocations are in request order.
+  using DecisionFn = std::function<void(size_t, util::Result<Placement>&)>;
+
+  // Runs the batch through the pipeline; returns one decision per request,
+  // in request order.  Synchronous: on return the pipeline is drained (no
+  // in-flight proposals — snapshots and faults are safe again).
+  //
+  // `stop_on_failure` models strict-FIFO admission (deterministic
+  // discipline only): after the first failed request no later request is
+  // committed; their slots report kFailedPrecondition "not attempted" and
+  // `on_decision` is not called for them.
+  std::vector<util::Result<Placement>> AdmitBatch(
+      const std::vector<Request>& requests, const Allocator& allocator,
+      bool stop_on_failure = false, const DecisionFn& on_decision = {});
+
+  const PipelineStats& stats() const { return stats_; }
+
+ private:
+  struct BatchCtx;
+
+  // Worker body: pops request indices, speculates against the latest
+  // published snapshot, parks the proposal in its slot, reports done.
+  void SpeculateLoop(BatchCtx& ctx);
+
+  // The snapshot workers currently speculate against (mutex-guarded clone).
+  std::shared_ptr<const AdmissionSnapshot> CurrentSnapshot();
+  // Commit thread: republishes a fresh snapshot if the books moved.
+  void RefreshSnapshot();
+
+  // Serial degenerate path (workers <= 1): plain Admit calls — this IS the
+  // baseline the pipeline's speedup is measured over.
+  std::vector<util::Result<Placement>> AdmitSerial(
+      const std::vector<Request>& requests, const Allocator& allocator,
+      bool stop_on_failure, const DecisionFn& on_decision);
+
+  // Finalizes one proposal under the deterministic discipline: commit via
+  // CommitProposal when the epoch still matches, serial re-run otherwise.
+  util::Result<Placement> FinalizeDeterministic(const Request& request,
+                                                const Allocator& allocator,
+                                                AdmissionProposal&& proposal);
+
+  NetworkManager& manager_;
+  PipelineConfig config_;
+  std::unique_ptr<util::ThreadPool> owned_pool_;
+  util::ThreadPool* pool_ = nullptr;
+
+  // Snapshot publication: workers clone the shared_ptr under the mutex;
+  // the commit thread swaps in a fresh capture after every epoch change.
+  // Retired snapshots are recycled once no worker holds them.
+  std::mutex snapshot_mu_;
+  std::shared_ptr<const AdmissionSnapshot> snapshot_;
+  std::vector<std::shared_ptr<AdmissionSnapshot>> snapshot_pool_;
+
+  PipelineStats stats_;
+};
+
+}  // namespace svc::core

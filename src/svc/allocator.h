@@ -34,6 +34,22 @@ class Allocator {
   virtual util::Result<Placement> Allocate(const Request& request,
                                            const net::LinkLedger& ledger,
                                            const SlotMap& slots) const = 0;
+
+  // True when this allocator's rejections are monotone in datacenter load:
+  // if Allocate rejects a request against some books, it also rejects it
+  // against any superset of those books (same tenants plus more).  Complete
+  // searches have this property for free — adding load only shrinks the
+  // feasible set, so an empty feasible set stays empty.  Greedy heuristics
+  // generally do NOT: a fuller fabric changes the greedy path, which can
+  // (pathologically) rescue a request the emptier fabric rejected.
+  //
+  // The concurrent admission pipeline uses this to absorb speculative
+  // rejections computed against a stale snapshot without a serial re-run:
+  // within one batch the books only gain tenants, so a monotone rejection
+  // against older books is already the authoritative verdict.  Declaring
+  // true for a non-monotone allocator silently breaks the pipeline's
+  // serial-equivalence guarantee; when in doubt leave the default.
+  virtual bool monotone_rejections() const { return false; }
 };
 
 }  // namespace svc::core

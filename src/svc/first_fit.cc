@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.h"
 #include "svc/demand_profile.h"
 
 namespace svc::core {
@@ -23,6 +24,7 @@ struct BelowAggregate {
 util::Result<Placement> FirstFitAllocator::Allocate(
     const Request& request, const net::LinkLedger& ledger,
     const SlotMap& slots) const {
+  SVC_TRACE_SPAN("alloc/first_fit");
   if (util::Status s = request.Validate(); !s.ok()) return s;
   const int n = request.n();
   if (n > slots.total_free()) {

@@ -109,13 +109,16 @@ util::Result<Placement> HeteroExactAllocator::Allocate(
   // lowest set bit.
   double* mask_mean = arena.mask_mean.data();
   double* mask_var = arena.mask_var.data();
-  mask_mean[0] = 0.0;
-  mask_var[0] = 0.0;
-  for (uint32_t mask = 1; mask <= full; ++mask) {
-    const int bit = std::countr_zero(mask);
-    const uint32_t rest = mask & (mask - 1);
-    mask_mean[mask] = mask_mean[rest] + request.demand(bit).mean;
-    mask_var[mask] = mask_var[rest] + request.demand(bit).variance;
+  {
+    SVC_TRACE_SPAN("alloc/hetero_exact/mask_moments");
+    mask_mean[0] = 0.0;
+    mask_var[0] = 0.0;
+    for (uint32_t mask = 1; mask <= full; ++mask) {
+      const int bit = std::countr_zero(mask);
+      const uint32_t rest = mask & (mask - 1);
+      mask_mean[mask] = mask_mean[rest] + request.demand(bit).mean;
+      mask_var[mask] = mask_var[rest] + request.demand(bit).variance;
+    }
   }
 
   const bool det = request.deterministic();

@@ -34,6 +34,11 @@ class HeteroExactAllocator : public Allocator {
                                    const net::LinkLedger& ledger,
                                    const SlotMap& slots) const override;
 
+  // Exact subset enumeration: a rejection proves no feasible placement
+  // exists, and fuller books only shrink the feasible set.  (The N-cap
+  // kInvalidArgument rejection is load-independent, so it trivially holds.)
+  bool monotone_rejections() const override { return true; }
+
  private:
   bool optimize_;
 };

@@ -115,11 +115,14 @@ util::Result<Placement> HeteroHeuristicAllocator::Allocate(
   // paper's ordering for stochastic demands; for deterministic requests the
   // quantile is the constant bandwidth itself).
   int* order = arena.order.data();
-  std::iota(order, order + n, 0);
-  std::stable_sort(order, order + n, [&](int lhs, int rhs) {
-    return request.demand(lhs).Quantile(0.95) <
-           request.demand(rhs).Quantile(0.95);
-  });
+  {
+    SVC_TRACE_SPAN("alloc/hetero_heuristic/sort");
+    std::iota(order, order + n, 0);
+    std::stable_sort(order, order + n, [&](int lhs, int rhs) {
+      return request.demand(lhs).Quantile(0.95) <
+             request.demand(rhs).Quantile(0.95);
+    });
+  }
 
   // Prefix moments over the sorted order: prefix[k] = aggregate of the
   // first k sorted VMs.

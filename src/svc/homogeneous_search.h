@@ -68,6 +68,11 @@ class HomogeneousSearchAllocator : public Allocator {
                                    const net::LinkLedger& ledger,
                                    const SlotMap& slots) const override;
 
+  // The bottom-up DP is a complete search: a rejection means no vertex's
+  // allocable set contains N, and condition-(4) slack only tightens as
+  // tenants are added, so the rejection holds against any fuller books.
+  bool monotone_rejections() const override { return true; }
+
  private:
   HomogeneousSearchOptions options_;
   std::string name_;

@@ -75,6 +75,15 @@ void BumpAllocatorCounter(std::string_view allocator, const char* outcome) {
 NetworkManager::NetworkManager(const topology::Topology& topo, double epsilon)
     : topo_(&topo), ledger_(topo, epsilon), slots_(topo) {}
 
+AdmissionSnapshot::AdmissionSnapshot(const topology::Topology& topo,
+                                     double epsilon)
+    : view(topo, epsilon), slots(topo) {}
+
+void AdmissionSnapshot::Capture(const NetworkManager& manager) {
+  view.Capture(manager.ledger(), manager.epoch());
+  slots = manager.slots();
+}
+
 std::vector<LinkDemand> NetworkManager::ComputeLinkDemands(
     const Request& request, const Placement& placement) const {
   assert(placement.total_vms() == request.n());
@@ -106,8 +115,8 @@ std::vector<LinkDemand> NetworkManager::ComputeLinkDemands(
   return demands;
 }
 
-util::Result<Placement> NetworkManager::AdmitPlacement(const Request& request,
-                                                       Placement placement) {
+util::Status NetworkManager::CheckPlacementShape(
+    const Request& request, const Placement& placement) const {
   if (live_.count(request.id())) {
     return {util::ErrorCode::kFailedPrecondition,
             "request id already admitted: " + std::to_string(request.id())};
@@ -117,8 +126,6 @@ util::Result<Placement> NetworkManager::AdmitPlacement(const Request& request,
             "placement has " + std::to_string(placement.total_vms()) +
                 " VMs for a request of " + std::to_string(request.n())};
   }
-  // Defense in depth: re-check slots and condition (4) before committing.
-  std::unordered_map<topology::VertexId, int> counts;
   for (topology::VertexId machine : placement.vm_machine) {
     if (machine < 0 || machine >= topo_->num_vertices() ||
         !topo_->is_machine(machine)) {
@@ -126,17 +133,22 @@ util::Result<Placement> NetworkManager::AdmitPlacement(const Request& request,
               "placement names a non-machine vertex " +
                   std::to_string(machine)};
     }
-    ++counts[machine];
   }
-  for (const auto& [machine, count] : counts) {
+  return util::Status::Ok();
+}
+
+util::Status NetworkManager::CheckCapacity(
+    const Placement& placement,
+    const std::vector<LinkDemand>& demands) const {
+  for (const auto& [machine, count] : placement.MachineCounts()) {
     if (slots_.free_slots(machine) < count) {
       return {util::ErrorCode::kFailedPrecondition,
               "placement exceeds free slots on machine " +
                   std::to_string(machine)};
     }
   }
-  const std::vector<LinkDemand> demands =
-      ComputeLinkDemands(request, placement);
+  // Condition (4), re-checked on exactly the links the placement touches —
+  // the validate-and-commit stage pays O(touched links), not O(links).
   for (const LinkDemand& d : demands) {
     if (!ledger_.ValidWith(d.link, d.mean, d.variance, d.deterministic)) {
       return {util::ErrorCode::kFailedPrecondition,
@@ -144,9 +156,15 @@ util::Result<Placement> NetworkManager::AdmitPlacement(const Request& request,
                   std::to_string(d.link)};
     }
   }
+  return util::Status::Ok();
+}
 
-  // Commit.
-  for (const auto& [machine, count] : counts) slots_.Occupy(machine, count);
+void NetworkManager::CommitPrepared(const Request& request,
+                                    const Placement& placement,
+                                    const std::vector<LinkDemand>& demands) {
+  for (const auto& [machine, count] : placement.MachineCounts()) {
+    slots_.Occupy(machine, count);
+  }
   for (const LinkDemand& d : demands) {
     if (d.deterministic > 0) {
       ledger_.AddDeterministic(d.link, request.id(), d.deterministic);
@@ -155,6 +173,57 @@ util::Result<Placement> NetworkManager::AdmitPlacement(const Request& request,
     }
   }
   live_.emplace(request.id(), LiveRequest{request, placement});
+  BumpEpoch();
+}
+
+util::Result<Placement> NetworkManager::AdmitPlacement(const Request& request,
+                                                       Placement placement) {
+  // Defense in depth: re-check shape, slots, and condition (4) before
+  // committing.
+  if (util::Status s = CheckPlacementShape(request, placement); !s.ok()) {
+    return s;
+  }
+  const std::vector<LinkDemand> demands =
+      ComputeLinkDemands(request, placement);
+  if (util::Status s = CheckCapacity(placement, demands); !s.ok()) return s;
+  CommitPrepared(request, placement, demands);
+  return placement;
+}
+
+AdmissionProposal NetworkManager::Propose(
+    const Request& request, const Allocator& allocator,
+    const AdmissionSnapshot& snapshot) const {
+  SVC_TRACE_SPAN("manager/propose");
+  AdmissionProposal proposal;
+  proposal.epoch = snapshot.epoch();
+  util::Result<Placement> result =
+      allocator.Allocate(request, snapshot.view.ledger(), snapshot.slots);
+  if (!result) {
+    proposal.status = result.status();
+    return proposal;
+  }
+  proposal.ok = true;
+  proposal.placement = std::move(*result);
+  // The demands depend only on (topology, request, placement) — never on
+  // ledger state — so computing them here off the commit thread is exact.
+  proposal.demands = ComputeLinkDemands(request, proposal.placement);
+  return proposal;
+}
+
+util::Result<Placement> NetworkManager::CommitProposal(
+    const Request& request, AdmissionProposal&& proposal) {
+  SVC_TRACE_SPAN("manager/commit_proposal");
+  assert(proposal.ok && "only successful proposals can be committed");
+  if (util::Status s = CheckPlacementShape(request, proposal.placement);
+      !s.ok()) {
+    return s;
+  }
+  if (util::Status s = CheckCapacity(proposal.placement, proposal.demands);
+      !s.ok()) {
+    return s;
+  }
+  Placement placement = std::move(proposal.placement);
+  CommitPrepared(request, placement, proposal.demands);
   return placement;
 }
 
@@ -223,6 +292,7 @@ void NetworkManager::Release(RequestId id) {
     slots_.Release(machine, count);
   }
   live_.erase(it);
+  BumpEpoch();
 }
 
 bool NetworkManager::MachineBelow(topology::VertexId machine,
@@ -320,6 +390,16 @@ util::Result<FaultOutcome> NetworkManager::HandleFault(
     return {util::ErrorCode::kFailedPrecondition,
             "vertex already failed: " + std::to_string(vertex)};
   }
+  if (InFlightProposals() != 0) {
+    // Speculation workers read epoch-stamped snapshots, so the drain below
+    // would not corrupt them — but their proposals would validate against
+    // books the fault is about to rewrite.  The pipeline must quiesce
+    // (AdmitBatch returns) before the fault plane runs.
+    return {util::ErrorCode::kFailedPrecondition,
+            "fault handling requires a quiesced admission pipeline (" +
+                std::to_string(InFlightProposals()) +
+                " proposals in flight)"};
+  }
   const bool metrics = obs::MetricsEnabled();
   std::chrono::steady_clock::time_point start;
   if (metrics) start = std::chrono::steady_clock::now();
@@ -330,6 +410,7 @@ util::Result<FaultOutcome> NetworkManager::HandleFault(
   failed_.emplace(vertex, kind);
   ledger_.SetLinkState(vertex, false);
   if (kind == FaultKind::kMachine) slots_.SetMachineState(vertex, false);
+  BumpEpoch();
 
   // Affected tenants.  A machine fault strands every tenant with a VM on
   // the machine (even single-machine tenants with no uplink demand); a
@@ -423,9 +504,16 @@ util::Status NetworkManager::HandleRecovery(topology::VertexId vertex) {
     return {util::ErrorCode::kFailedPrecondition,
             "vertex not failed: " + std::to_string(vertex)};
   }
+  if (InFlightProposals() != 0) {
+    return {util::ErrorCode::kFailedPrecondition,
+            "recovery requires a quiesced admission pipeline (" +
+                std::to_string(InFlightProposals()) +
+                " proposals in flight)"};
+  }
   ledger_.SetLinkState(vertex, true);
   if (it->second == FaultKind::kMachine) slots_.SetMachineState(vertex, true);
   failed_.erase(it);
+  BumpEpoch();
   SVC_METRIC_INC("fault/recoveries");
   SVC_LOG(Debug) << "recovered vertex " << vertex;
   assert(StateValid());

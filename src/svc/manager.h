@@ -11,6 +11,9 @@
 // written in one step, and Release() undoes exactly that step.
 #pragma once
 
+#include <atomic>
+#include <cassert>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -18,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/ledger_view.h"
 #include "net/link_ledger.h"
 #include "svc/allocator.h"
 #include "svc/placement.h"
@@ -33,6 +37,40 @@ struct LinkDemand {
   double mean;         // stochastic mean (0 for deterministic requests)
   double variance;     // stochastic variance (0 for deterministic requests)
   double deterministic;  // rate-limited reservation (0 for stochastic)
+};
+
+// --- Concurrent admission pipeline (docs/CONCURRENCY.md) ---
+
+class NetworkManager;
+
+// Epoch-stamped immutable snapshot of the books an allocator reads: the
+// ledger's per-link aggregates (net::LedgerView) plus a copy of the
+// free-slot map.  Captured on the pipeline's commit thread, read by any
+// number of speculation workers without locks.
+struct AdmissionSnapshot {
+  AdmissionSnapshot(const topology::Topology& topo, double epsilon);
+
+  // Re-captures the manager's current aggregates and epoch.  Reuses the
+  // snapshot's storage; must not run concurrently with readers of this
+  // same snapshot (publish a fresh one instead).
+  void Capture(const NetworkManager& manager);
+
+  uint64_t epoch() const { return view.epoch(); }
+
+  net::LedgerView view;
+  SlotMap slots;
+};
+
+// One speculative admission outcome: what the allocator decided against a
+// snapshot, plus everything the commit stage needs to validate that
+// decision against the authoritative books — the induced per-link demands
+// and the epoch the speculation read.
+struct AdmissionProposal {
+  bool ok = false;       // the allocator returned a placement
+  Placement placement;   // valid when ok
+  util::Status status = util::Status::Ok();  // allocator error when !ok
+  std::vector<LinkDemand> demands;  // induced demands of `placement`
+  uint64_t epoch = 0;    // snapshot epoch the speculation read
 };
 
 // --- Fault plane ---
@@ -84,6 +122,20 @@ class NetworkManager {
  public:
   NetworkManager(const topology::Topology& topo, double epsilon);
 
+  // Movable (benchmarks build a pre-loaded manager and return it by value).
+  // The epoch/in-flight atomics are copied by value: moving a manager with
+  // proposals in flight is not supported.
+  NetworkManager(NetworkManager&& other) noexcept
+      : topo_(other.topo_),
+        ledger_(std::move(other.ledger_)),
+        slots_(std::move(other.slots_)),
+        live_(std::move(other.live_)),
+        failed_(std::move(other.failed_)),
+        epoch_(other.epoch_.load(std::memory_order_acquire)),
+        in_flight_(other.in_flight_.load(std::memory_order_acquire)) {
+    assert(in_flight_.load(std::memory_order_relaxed) == 0);
+  }
+
   const topology::Topology& topo() const { return *topo_; }
   const net::LinkLedger& ledger() const { return ledger_; }
   const SlotMap& slots() const { return slots_; }
@@ -105,6 +157,41 @@ class NetworkManager {
   // ignored (idempotent), but logged and counted under
   // `manager/release_unknown` so double-release bugs surface.
   void Release(RequestId id);
+
+  // --- Propose / commit (the concurrent admission pipeline) ---
+
+  // Monotone version of the authoritative books, bumped by every mutation
+  // (commit, release, fault, recovery).  A proposal whose epoch still
+  // equals epoch() at commit time speculated against fresh state, so its
+  // decision is exactly what a serial Admit would have produced.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  // Stage-2 speculation: runs `allocator` against the snapshot and derives
+  // the induced link demands.  Writes nothing — safe to call from any
+  // thread, concurrently with other Propose calls and with commit-thread
+  // mutations.  Does NOT check for duplicate ids (live_ belongs to the
+  // commit thread); CommitProposal catches those.
+  AdmissionProposal Propose(const Request& request, const Allocator& allocator,
+                            const AdmissionSnapshot& snapshot) const;
+
+  // Stage-3 commit: re-validates the proposal against the authoritative
+  // books — duplicate id, placement shape, slot counts, and condition (4)
+  // on exactly the links the placement touches — and commits on success.
+  // A kFailedPrecondition means the proposal no longer fits: a conflict
+  // when its epoch is stale, an allocator bug when it is current.
+  util::Result<Placement> CommitProposal(const Request& request,
+                                         AdmissionProposal&& proposal);
+
+  // In-flight speculation registration.  While the count is non-zero the
+  // commit thread may keep committing, but checkpointing (snapshot
+  // save/restore) and the fault-plane entry points refuse with
+  // kFailedPrecondition — the pipeline must quiesce first.  Begin/End
+  // pairing is the pipeline's responsibility.
+  void BeginProposal() { in_flight_.fetch_add(1, std::memory_order_acq_rel); }
+  void EndProposal() { in_flight_.fetch_sub(1, std::memory_order_acq_rel); }
+  int64_t InFlightProposals() const {
+    return in_flight_.load(std::memory_order_acquire);
+  }
 
   // --- Fault plane ---
 
@@ -163,6 +250,20 @@ class NetworkManager {
     Placement placement;
   };
 
+  // Structural half of admission validation: duplicate id, VM count, and
+  // machine-vertex validity.  Must pass before ComputeLinkDemands may run.
+  util::Status CheckPlacementShape(const Request& request,
+                                   const Placement& placement) const;
+  // Capacity half: free slots per machine plus condition (4) on each
+  // touched link.  `demands` must be ComputeLinkDemands(request, placement).
+  util::Status CheckCapacity(const Placement& placement,
+                             const std::vector<LinkDemand>& demands) const;
+  // Applies a fully validated placement: occupies slots, writes demand
+  // records, registers the live tenant, bumps the epoch.
+  void CommitPrepared(const Request& request, const Placement& placement,
+                      const std::vector<LinkDemand>& demands);
+  void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
+
   // True iff `machine`'s path to the root passes through `vertex`.
   bool MachineBelow(topology::VertexId machine,
                     topology::VertexId vertex) const;
@@ -181,6 +282,9 @@ class NetworkManager {
   std::unordered_map<RequestId, LiveRequest> live_;
   // Fault-plane state; ordered so Faults() listings are deterministic.
   std::map<topology::VertexId, FaultKind> failed_;
+  // Books version + speculation registration (see epoch()/BeginProposal).
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<int64_t> in_flight_{0};
 };
 
 }  // namespace svc::core

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace svc::core {
 namespace {
 
@@ -23,6 +25,7 @@ int LargestFeasibleCount(const net::LinkLedger& ledger, topology::VertexId v,
 util::Result<Placement> OktopusGreedyAllocator::Allocate(
     const Request& request, const net::LinkLedger& ledger,
     const SlotMap& slots) const {
+  SVC_TRACE_SPAN("alloc/oktopus_greedy");
   if (!request.deterministic() || !request.homogeneous()) {
     return {util::ErrorCode::kInvalidArgument,
             "oktopus-greedy supports deterministic <N, B> requests only"};

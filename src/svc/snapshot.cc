@@ -37,7 +37,13 @@ void WriteTenant(std::ostream& out, const Request& request,
 
 }  // namespace
 
-void SaveSnapshot(const NetworkManager& manager, std::ostream& out) {
+util::Status SaveSnapshot(const NetworkManager& manager, std::ostream& out) {
+  if (manager.InFlightProposals() != 0) {
+    return {util::ErrorCode::kFailedPrecondition,
+            "snapshot save requires a quiesced admission pipeline (" +
+                std::to_string(manager.InFlightProposals()) +
+                " proposals in flight)"};
+  }
   out.precision(17);
   out << kMagic << "\n";
   out << "epsilon " << manager.epsilon() << "\n";
@@ -50,9 +56,16 @@ void SaveSnapshot(const NetworkManager& manager, std::ostream& out) {
   for (const auto& [id, pair] : ordered) {
     WriteTenant(out, *pair.first, *pair.second);
   }
+  return util::Status::Ok();
 }
 
 util::Status RestoreSnapshot(std::istream& in, NetworkManager& manager) {
+  if (manager.InFlightProposals() != 0) {
+    return {util::ErrorCode::kFailedPrecondition,
+            "snapshot restore requires a quiesced admission pipeline (" +
+                std::to_string(manager.InFlightProposals()) +
+                " proposals in flight)"};
+  }
   if (manager.live_count() != 0) {
     return {util::ErrorCode::kFailedPrecondition,
             "restore target must have no live tenants"};
@@ -187,7 +200,9 @@ util::Status SaveSnapshotToFile(const NetworkManager& manager,
   if (!out) {
     return {util::ErrorCode::kInvalidArgument, "cannot open " + path};
   }
-  SaveSnapshot(manager, out);
+  if (util::Status saved = SaveSnapshot(manager, out); !saved.ok()) {
+    return saved;
+  }
   out.flush();
   if (!out) {
     return {util::ErrorCode::kInvalidArgument, "write failed: " + path};

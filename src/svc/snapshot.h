@@ -30,11 +30,17 @@
 namespace svc::core {
 
 // Writes the manager's live tenants.  Deterministic output order (by id).
-void SaveSnapshot(const NetworkManager& manager, std::ostream& out);
+// Refuses with kFailedPrecondition while admission proposals are in flight
+// (NetworkManager::InFlightProposals): a snapshot taken mid-pipeline could
+// miss commits the speculating batch is about to make — drain the
+// AdmissionPipeline first (AdmitBatch is synchronous, so between batches
+// the count is zero).  Nothing is written on refusal.
+util::Status SaveSnapshot(const NetworkManager& manager, std::ostream& out);
 
 // Replays a snapshot into `manager`, which must have no live tenants.
 // On any malformed line or failed admission, restores nothing (the manager
-// is rolled back to empty) and returns the error.
+// is rolled back to empty) and returns the error.  Like SaveSnapshot,
+// refuses with kFailedPrecondition while proposals are in flight.
 util::Status RestoreSnapshot(std::istream& in, NetworkManager& manager);
 
 // File convenience wrappers.

@@ -64,6 +64,7 @@ void ThreadPool::Submit(std::function<void()> task) {
   }
   idle_cv_.notify_one();
   SVC_TRACE_COUNTER("threadpool/queue_depth", depth);
+  SVC_METRIC_GAUGE_SET("threadpool/queue_depth", static_cast<double>(depth));
 }
 
 bool ThreadPool::TryTake(int self, std::function<void()>& out) {
@@ -99,6 +100,8 @@ void ThreadPool::WorkerLoop(int self) {
     if (TryTake(self, task)) {
       const int64_t depth = queued_.fetch_sub(1, std::memory_order_relaxed) - 1;
       SVC_TRACE_COUNTER("threadpool/queue_depth", depth);
+      SVC_METRIC_GAUGE_SET("threadpool/queue_depth",
+                           static_cast<double>(depth));
       task();
       SVC_METRIC_INC("threadpool/tasks_executed");
       task = nullptr;

@@ -70,6 +70,14 @@ class ThreadPool {
   // called from inside a pool task.
   void Wait();
 
+  // Tasks currently sitting in the worker deques (excludes running tasks):
+  // the saturation signal batch submitters throttle on (see
+  // sim::SweepRunner) and the source of the `threadpool/queue_depth`
+  // gauge.  Approximate by nature — workers drain concurrently.
+  int64_t queue_depth() const {
+    return queued_.load(std::memory_order_relaxed);
+  }
+
   // std::thread::hardware_concurrency with a sane floor of 1.
   static int HardwareThreads();
 

@@ -411,6 +411,57 @@ TEST(FaultEngine, ThreadPoolAllocatorReplaysIdenticallyToSerial) {
   EXPECT_EQ(events_serial.ToCsv(), events_pooled.ToCsv());
 }
 
+TEST(FaultEngine, RunBatchAppliesScriptedFaults) {
+  // The fault plane fires in batch mode too: a mid-run machine fault under
+  // the evict policy releases the affected job, and the freed capacity
+  // lets the FIFO continue.  Accounting mirrors RunOnline's.
+  const topology::Topology topo = topology::BuildStar(4, 4, 10000);
+  core::HomogeneousDpAllocator alloc;
+  sim::EventLog events;
+  sim::SimConfig config;
+  config.allocator = &alloc;
+  config.seed = 5;
+  config.max_seconds = 5000;
+  config.events = &events;
+  config.faults.policy = RecoveryPolicy::kEvict;
+  // Job 1 occupies the whole fabric with long flows; job 2 queues behind
+  // it and can only start once job 1 is evicted by the fault.
+  workload::JobSpec big;
+  big.id = 1;
+  big.size = 16;
+  big.compute_time = 2000;
+  big.rate_mean = 100;
+  big.rate_stddev = 10;
+  big.flow_mbits = 1e7;
+  // Compute time long enough to keep the simulation alive through the
+  // t=200 recovery (the engine stops when nothing is pending or active,
+  // which may legitimately be mid-outage).
+  workload::JobSpec small = big;
+  small.id = 2;
+  small.size = 2;
+  small.compute_time = 200;
+  small.flow_mbits = 100;
+  config.faults.scripted.push_back(
+      {100.0, topo.machines()[0], FaultKind::kMachine, /*fail=*/true});
+  config.faults.scripted.push_back(
+      {200.0, topo.machines()[0], FaultKind::kMachine, /*fail=*/false});
+  sim::Engine engine(topo, config);
+  const sim::BatchResult result = engine.RunBatch({big, small});
+  EXPECT_EQ(result.faults_injected, 1);
+  EXPECT_EQ(result.fault_recoveries, 1);
+  EXPECT_EQ(result.tenants_affected, 1);
+  EXPECT_EQ(result.tenants_evicted, 1);
+  EXPECT_EQ(events.Filter(sim::EventKind::kFault).size(), 1u);
+  EXPECT_EQ(events.Filter(sim::EventKind::kRecover).size(), 1u);
+  EXPECT_EQ(events.Filter(sim::EventKind::kEvict).size(), 1u);
+  // Job 2 completed after the fault freed the fabric.
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_EQ(result.jobs[0].id, 2);
+  EXPECT_GE(result.jobs[0].start_time, 100.0);
+  EXPECT_TRUE(engine.manager().StateValid());
+  EXPECT_TRUE(engine.manager().Faults().empty());
+}
+
 TEST(FaultEngine, ScriptedFaultEvictsAndRecovers) {
   const topology::Topology topo = topology::BuildStar(4, 4, 10000);
   core::HomogeneousDpAllocator alloc;

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "svc/admission_pipeline.h"
 #include "svc/hetero_heuristic.h"
 #include "svc/homogeneous_search.h"
 #include "topology/builders.h"
@@ -203,6 +204,69 @@ TEST(Snapshot, TighterEpsilonTargetMayReject) {
   const auto status = RestoreSnapshot(buffer, tight);
   EXPECT_FALSE(status.ok());
   EXPECT_EQ(tight.live_count(), 0u);
+}
+
+TEST(SnapshotPipeline, SaveAndRestoreRefuseWithProposalsInFlight) {
+  // A snapshot taken mid-speculation could capture books a pending
+  // CommitProposal is about to change; both directions demand quiescence.
+  const topology::Topology topo = TestTopo();
+  NetworkManager manager(topo, 0.05);
+  HomogeneousDpAllocator dp;
+  ASSERT_TRUE(manager.Admit(Request::Homogeneous(1, 4, 80, 30), dp).ok());
+
+  manager.BeginProposal();
+  std::stringstream buffer;
+  const util::Status saved = SaveSnapshot(manager, buffer);
+  ASSERT_FALSE(saved.ok());
+  EXPECT_EQ(saved.code(), util::ErrorCode::kFailedPrecondition);
+
+  NetworkManager target(topo, 0.05);
+  std::stringstream empty_snapshot;
+  {
+    NetworkManager empty(topo, 0.05);
+    ASSERT_TRUE(SaveSnapshot(empty, empty_snapshot).ok());
+  }
+  target.BeginProposal();
+  const util::Status restored = RestoreSnapshot(empty_snapshot, target);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.code(), util::ErrorCode::kFailedPrecondition);
+  target.EndProposal();
+  manager.EndProposal();
+}
+
+TEST(SnapshotPipeline, DrainedPipelineRoundTripsBitIdentically) {
+  // Run a real multi-worker batch, then save/restore: AdmitBatch returns
+  // drained (no in-flight proposals), so the snapshot must both succeed
+  // and reproduce the exact books the pipeline produced.
+  const topology::Topology topo = TestTopo();
+  NetworkManager manager(topo, 0.05);
+  HomogeneousDpAllocator dp;
+  PipelineConfig config;
+  config.workers = 4;
+  AdmissionPipeline pipeline(manager, config);
+  std::vector<Request> requests;
+  for (int i = 0; i < 10; ++i) {
+    requests.push_back(
+        Request::Homogeneous(100 + i, 2 + i % 4, 100.0 + 50 * (i % 3), 40));
+  }
+  pipeline.AdmitBatch(requests, dp);
+  ASSERT_EQ(manager.InFlightProposals(), 0);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveSnapshot(manager, buffer).ok());
+  NetworkManager restored(topo, 0.05);
+  ASSERT_TRUE(RestoreSnapshot(buffer, restored).ok());
+  EXPECT_EQ(restored.live_count(), manager.live_count());
+  EXPECT_EQ(restored.slots().total_free(), manager.slots().total_free());
+  EXPECT_EQ(restored.MaxOccupancy(), manager.MaxOccupancy());
+  for (const Request& r : requests) {
+    const Placement* original = manager.placement_of(r.id());
+    const Placement* replayed = restored.placement_of(r.id());
+    ASSERT_EQ(original == nullptr, replayed == nullptr) << r.id();
+    if (original != nullptr) {
+      EXPECT_EQ(replayed->vm_machine, original->vm_machine) << r.id();
+    }
+  }
 }
 
 TEST(Snapshot, FileRoundTrip) {
