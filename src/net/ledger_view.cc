@@ -10,4 +10,11 @@ void LedgerView::Capture(const LinkLedger& ledger, uint64_t epoch) {
   epoch_ = epoch;
 }
 
+void LedgerView::CaptureLinks(const LinkLedger& ledger,
+                              const std::vector<topology::VertexId>& links,
+                              uint64_t epoch) {
+  shadow_.AssignAggregatesFromLinks(ledger, links);
+  epoch_ = epoch;
+}
+
 }  // namespace svc::net

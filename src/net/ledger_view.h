@@ -30,6 +30,15 @@ class LedgerView {
   // no heap.  Must not run concurrently with readers of this same view.
   void Capture(const LinkLedger& ledger, uint64_t epoch);
 
+  // Partial re-capture: refreshes only the listed links' aggregates (rows
+  // outside the list keep their previously captured values) and stamps the
+  // view with `epoch`.  The sharded snapshot refresh calls this once per
+  // stale bucket, skipping the O(links) copy for buckets that did not move.
+  // Same concurrency rule as Capture.
+  void CaptureLinks(const LinkLedger& ledger,
+                    const std::vector<topology::VertexId>& links,
+                    uint64_t epoch);
+
   // The books' version this view was captured at.
   uint64_t epoch() const { return epoch_; }
 

@@ -1,0 +1,42 @@
+#include "net/shard_map.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace svc::net {
+
+ShardMap::ShardMap(const topology::Topology& topo, int num_shards)
+    : topo_(&topo) {
+  assert(topo.finalized());
+  const topology::VertexId root = topo.root();
+  const std::vector<topology::VertexId>& tops = topo.children(root);
+  const int n_tops = static_cast<int>(tops.size());
+  num_shards_ = std::clamp(num_shards, 1, std::max(1, n_tops));
+  num_shards_ = std::min(num_shards_, kMaxShards);
+
+  // Contiguous grouping: top-level subtree i (in child order, which is
+  // construction order, so adjacent subtrees occupy adjacent vertex-id
+  // ranges) goes to group i * S / n.  Group sizes differ by at most one.
+  shard_.assign(topo.num_vertices(), num_shards_);  // root -> core stripe
+  for (int i = 0; i < n_tops; ++i) {
+    shard_[tops[i]] =
+        static_cast<int>(static_cast<int64_t>(i) * num_shards_ / n_tops);
+  }
+  // Children are always added after their parent (AddVertex names an
+  // existing parent), so one ascending pass propagates the labels.
+  for (topology::VertexId v = 1; v < topo.num_vertices(); ++v) {
+    const topology::VertexId p = topo.parent(v);
+    if (p != root) shard_[v] = shard_[p];
+  }
+
+  links_.resize(bucket_count());
+  for (topology::VertexId v = 1; v < topo.num_vertices(); ++v) {
+    links_[bucket_of_link(v)].push_back(v);
+  }
+  machines_.resize(num_shards_);
+  for (topology::VertexId m : topo.machines()) {
+    machines_[shard_[m]].push_back(m);
+  }
+}
+
+}  // namespace svc::net

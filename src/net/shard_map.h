@@ -1,0 +1,86 @@
+// Aggregation-level partition of a finalized topology for sharded commits.
+//
+// The paper's condition (4) is purely per-link, so two committed placements
+// interact only where their touched link sets overlap.  In a tree every
+// link below a given child-of-the-root stays inside that child's subtree,
+// which makes the root's children natural commit shards: bookkeeping for
+// links (and machines) in different top-level subtrees can mutate
+// concurrently, and only the root uplinks — the core stripe — are shared.
+//
+// A ShardMap groups the root's children into `num_shards` contiguous
+// groups (adjacent aggregation switches share a shard, preserving vertex-id
+// locality for range copies) and classifies every vertex and link:
+//
+//   * shard_of_vertex(v) — the shard owning the top-level subtree
+//     containing v.  Machines, ToRs and aggregation switches all map here.
+//   * bucket_of_link(v)  — the *bucket* owning the uplink of v: the core
+//     stripe (a pseudo-shard with its own epoch) when v is a child of the
+//     root, otherwise shard_of_vertex(v).
+//
+// Buckets are numbered 0..num_shards()-1 for the shards plus
+// core_stripe() == num_shards() for the core, so a touched-bucket set fits
+// one uint64_t bit mask (num_shards() is capped at kMaxShards).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace svc::net {
+
+class ShardMap {
+ public:
+  // Bit masks over buckets must fit uint64_t together with the core bit.
+  static constexpr int kMaxShards = 32;
+
+  // Partitions `topo` (which must outlive the map) into at most
+  // `num_shards` shards.  The count is clamped to [1, min(kMaxShards,
+  // number of root children)] — asking for more shards than top-level
+  // subtrees cannot buy more commit parallelism.
+  ShardMap(const topology::Topology& topo, int num_shards);
+
+  const topology::Topology& topo() const { return *topo_; }
+
+  int num_shards() const { return num_shards_; }
+  // The core stripe's bucket id (root uplinks; guarded by its own epoch).
+  int core_stripe() const { return num_shards_; }
+  // Shards plus the core stripe — the size of per-bucket epoch arrays.
+  int bucket_count() const { return num_shards_ + 1; }
+
+  // Shard owning the top-level subtree containing v.  The root itself maps
+  // to the core stripe (it belongs to no subtree).
+  int shard_of_vertex(topology::VertexId v) const { return shard_[v]; }
+
+  // Bucket owning the uplink of v (v must not be the root).
+  int bucket_of_link(topology::VertexId v) const {
+    return topo_->parent(v) == topo_->root() ? num_shards_ : shard_[v];
+  }
+
+  // All link ids (child-vertex ids) in a bucket, ascending.  The union over
+  // buckets is exactly the link set; buckets are disjoint.
+  const std::vector<topology::VertexId>& links_in_bucket(int bucket) const {
+    return links_[bucket];
+  }
+
+  // All machine ids in a shard, ascending.  The core stripe owns no
+  // machines (every machine lives in some top-level subtree).
+  const std::vector<topology::VertexId>& machines_in_shard(int shard) const {
+    return machines_[shard];
+  }
+
+  uint64_t BucketBit(int bucket) const { return uint64_t{1} << bucket; }
+  // Mask with every bucket bit set (shards + core stripe).
+  uint64_t AllBuckets() const {
+    return (uint64_t{1} << bucket_count()) - 1;
+  }
+
+ private:
+  const topology::Topology* topo_;
+  int num_shards_ = 1;
+  std::vector<int> shard_;  // indexed by vertex id
+  std::vector<std::vector<topology::VertexId>> links_;     // per bucket
+  std::vector<std::vector<topology::VertexId>> machines_;  // per shard
+};
+
+}  // namespace svc::net

@@ -27,6 +27,7 @@ Engine::Engine(const topology::Topology& topo, SimConfig config)
     core::PipelineConfig pipeline;
     pipeline.workers = config_.admission_workers;
     pipeline.deterministic = true;  // bit-identical to the serial path
+    pipeline.shards = config_.admission_shards;
     pipeline_ =
         std::make_unique<core::AdmissionPipeline>(manager_, pipeline);
   }
@@ -440,12 +441,17 @@ BatchResult Engine::RunBatch(const std::vector<workload::JobSpec>& jobs) {
   auto admit_fifo = [&] {
     while (!queue.empty()) {
       if (pipeline_ != nullptr && queue.size() > 1) {
-        const size_t window = std::min(
-            queue.size(),
-            static_cast<size_t>(std::max(config_.admission_window, 1)));
+        const size_t window =
+            static_cast<size_t>(std::max(config_.admission_window, 1));
+        const size_t lookahead =
+            static_cast<size_t>(std::max(config_.admission_lookahead, 1));
+        // Cross-window pipelining: hand up to `lookahead` windows in one
+        // AdmitBatch call; the pipeline drains its commit plane at every
+        // window boundary while speculation for the next window runs on.
+        const size_t span = std::min(queue.size(), window * lookahead);
         std::vector<core::Request> requests;
-        requests.reserve(window);
-        for (size_t i = 0; i < window; ++i) {
+        requests.reserve(span);
+        for (size_t i = 0; i < span; ++i) {
           requests.push_back(MakeRequest(queue[i]));
         }
         size_t committed = 0;
@@ -456,11 +462,12 @@ BatchResult Engine::RunBatch(const std::vector<workload::JobSpec>& jobs) {
                 start_times[queue[i].id] = now;
                 ++committed;
               }
-            });
+            },
+            span > window ? static_cast<int>(window) : 0);
         // stop_on_failure commits exactly the FIFO prefix that fits.
         queue.erase(queue.begin(),
                     queue.begin() + static_cast<ptrdiff_t>(committed));
-        if (committed == window) continue;  // whole window admitted
+        if (committed == span) continue;  // whole span admitted
       } else {
         if (TryStart(queue.front(), now)) {
           start_times[queue.front().id] = now;

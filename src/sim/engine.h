@@ -73,6 +73,18 @@ struct SimConfig {
   int admission_workers = 0;
   // Max FIFO window RunBatch hands the pipeline per admission round.
   int admission_window = 128;
+  // Cross-window pipelining: RunBatch hands the pipeline up to
+  // admission_window * admission_lookahead queued requests per AdmitBatch
+  // call, with a commit-plane barrier every admission_window requests —
+  // window N+1's speculation overlaps window N's commit drain.  1 = one
+  // window per call (the PR-5 behavior).  Decisions are identical either
+  // way (every barrier placement yields the serial decision sequence).
+  int admission_lookahead = 1;
+  // Aggregation-level commit shards for the pipeline (see
+  // PipelineConfig::shards): 0 = unsharded; >= 1 installs a ShardMap on
+  // the manager and runs per-shard commit workers when admission_workers
+  // > 1.  Bit-identical to the serial path for any value.
+  int admission_shards = 0;
   bool sample_occupancy = true;    // record MaxOccupancy at arrivals
   FlowPattern flow_pattern = FlowPattern::kRandomPermutation;
   // Count bandwidth outages: (link, second) pairs where offered demand

@@ -1,6 +1,7 @@
 #include "svc/admission_pipeline.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <chrono>
 #include <optional>
@@ -8,6 +9,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/logging.h"
 
 namespace svc::core {
 
@@ -29,10 +31,18 @@ double MicrosSince(std::chrono::steady_clock::time_point start) {
 // Per-batch shared state.  Workers write only proposals[i] for indices they
 // popped from `pending` (handed back through `done`, whose mutex orders the
 // write before the commit thread's read), so no slot is ever touched by two
-// threads at once.
+// threads at once.  Shard commit workers write only decided[i] +
+// apply_ready[i] for indices dispatched to them (distinct vector elements;
+// the release store on apply_ready[i] orders the result before the
+// sequencer's acquire read).
 struct AdmissionPipeline::BatchCtx {
   BatchCtx(size_t n, size_t pending_capacity)
-      : pending(pending_capacity), done(n), proposals(n), attempts(n, 0) {}
+      : pending(pending_capacity),
+        done(n),
+        proposals(n),
+        attempts(n, 0),
+        decided(n),
+        apply_ready(n) {}
 
   const std::vector<Request>* requests = nullptr;
   const Allocator* allocator = nullptr;
@@ -40,6 +50,10 @@ struct AdmissionPipeline::BatchCtx {
   util::BoundedQueue<size_t> done;     // indices with a parked proposal
   std::vector<AdmissionProposal> proposals;
   std::vector<int> attempts;  // optimistic re-speculation count per index
+  // Final decisions, one slot per request: the sequencer fills inline
+  // decisions, shard workers fill dispatched ones (then set apply_ready).
+  std::vector<std::optional<util::Result<Placement>>> decided;
+  std::vector<std::atomic<uint8_t>> apply_ready;
 };
 
 AdmissionPipeline::AdmissionPipeline(NetworkManager& manager,
@@ -60,17 +74,64 @@ AdmissionPipeline::AdmissionPipeline(NetworkManager& manager,
       pool_ = owned_pool_.get();
     }
   }
+  if (config_.shards > 0) {
+    auto shards =
+        std::make_shared<net::ShardMap>(manager_.topo(), config_.shards);
+    const int num_shards = shards->num_shards();
+    manager_.ConfigureSharding(std::move(shards));
+    touched_shards_.assign(static_cast<size_t>(num_shards) + 1, 0);
+    if (config_.deterministic && config_.workers > 1) {
+      committers_.reserve(num_shards);
+      for (int s = 0; s < num_shards; ++s) {
+        auto c = std::make_unique<ShardCommitter>(
+            static_cast<size_t>(config_.queue_capacity));
+        c->depth_gauge = "pipeline/shard_depth/" + std::to_string(s);
+        c->thread = std::thread([this, committer = c.get()] {
+          CommitterLoop(*committer);
+        });
+        committers_.push_back(std::move(c));
+      }
+    }
+  }
 }
 
-AdmissionPipeline::~AdmissionPipeline() = default;
+AdmissionPipeline::~AdmissionPipeline() {
+  for (std::unique_ptr<ShardCommitter>& c : committers_) {
+    c->queue.Close();
+  }
+  for (std::unique_ptr<ShardCommitter>& c : committers_) {
+    if (c->thread.joinable()) c->thread.join();
+  }
+}
 
 std::shared_ptr<const AdmissionSnapshot> AdmissionPipeline::CurrentSnapshot() {
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   return snapshot_;
 }
 
+bool AdmissionPipeline::PendingApplies(uint64_t mask) const {
+  for (size_t s = 0; s < committers_.size(); ++s) {
+    if ((mask & (uint64_t{1} << s)) == 0) continue;
+    const ShardCommitter& c = *committers_[s];
+    if (c.applied.load(std::memory_order_acquire) < c.dispatched) return true;
+  }
+  return false;
+}
+
+void AdmissionPipeline::DrainShards(uint64_t mask) {
+  for (size_t s = 0; s < committers_.size(); ++s) {
+    if ((mask & (uint64_t{1} << s)) == 0) continue;
+    const ShardCommitter& c = *committers_[s];
+    while (c.applied.load(std::memory_order_acquire) < c.dispatched) {
+      std::this_thread::yield();
+    }
+  }
+}
+
 void AdmissionPipeline::RefreshSnapshot() {
-  if (snapshot_ != nullptr && snapshot_->epoch() == manager_.epoch()) return;
+  if (snapshot_ != nullptr && snapshot_->epoch() == manager_.epoch()) {
+    return;
+  }
   // Recycle a retired buffer.  Workers obtain references only to the
   // currently published snapshot (under snapshot_mu_), so a pooled entry
   // with use_count() == 1 is unreachable from any worker — and stays that
@@ -92,7 +153,12 @@ void AdmissionPipeline::RefreshSnapshot() {
       snapshot_pool_.push_back(next);
     }
   }
-  next->Capture(manager_);
+  // The recycled buffer re-captures relative to ITS OWN last capture: only
+  // the buckets that moved since then are copied (a brand-new buffer takes
+  // the full-capture path inside CaptureStale).  Those buckets' rows are
+  // read, so their apply queues must be idle first.
+  DrainShards(next->StaleBuckets(manager_));
+  next->CaptureStale(manager_);
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   snapshot_ = next;
 }
@@ -105,6 +171,19 @@ void AdmissionPipeline::SpeculateLoop(BatchCtx& ctx) {
     ctx.proposals[index] =
         manager_.Propose((*ctx.requests)[index], *ctx.allocator, *snapshot);
     ctx.done.Push(index);
+  }
+}
+
+void AdmissionPipeline::CommitterLoop(ShardCommitter& committer) {
+  CommitTask task;
+  while (committer.queue.Pop(task)) {
+    const auto start = std::chrono::steady_clock::now();
+    util::Result<Placement> r =
+        manager_.ApplyShardCommit(*task.request, std::move(task.proposal));
+    SVC_METRIC_HIST("admission/commit_latency_us", MicrosSince(start));
+    task.ctx->decided[task.index] = std::move(r);
+    task.ctx->apply_ready[task.index].store(1, std::memory_order_release);
+    committer.applied.fetch_add(1, std::memory_order_release);
   }
 }
 
@@ -135,53 +214,8 @@ std::vector<util::Result<Placement>> AdmissionPipeline::AdmitSerial(
   return results;
 }
 
-util::Result<Placement> AdmissionPipeline::FinalizeDeterministic(
-    const Request& request, const Allocator& allocator,
-    AdmissionProposal&& proposal) {
-  if (proposal.epoch == manager_.epoch()) {
-    if (!proposal.ok) {
-      // A rejection against fresh books IS the serial verdict.  Rejections
-      // do not bump the epoch, so a run of rejections keeps every later
-      // proposal fresh — heavy admission-control pressure pipelines well.
-      ++stats_.rejected;
-      return proposal.status;
-    }
-    const auto start = std::chrono::steady_clock::now();
-    util::Result<Placement> committed =
-        manager_.CommitProposal(request, std::move(proposal));
-    SVC_METRIC_HIST("admission/commit_latency_us", MicrosSince(start));
-    if (committed.ok()) {
-      ++stats_.committed;
-      SVC_METRIC_INC("admission/committed");
-      RefreshSnapshot();
-      return committed;
-    }
-    // Epoch matched and validation still failed: an allocator bug — the
-    // same loud, attributable surface Admit gives it.
-    ++stats_.rejected;
-    return {util::ErrorCode::kFailedPrecondition,
-            std::string(allocator.name()) + ": " +
-                committed.status().message()};
-  }
-  // Stale: the books moved since the speculation read them.  Within a
-  // batch the books only gain tenants (rejections and releases don't bump
-  // the epoch, and the fault plane refuses while proposals are in flight),
-  // so a monotone allocator's rejection against the older, emptier books
-  // is already the verdict the serial path would reach — absorb it without
-  // touching the authoritative books.  This is what lets an admission-
-  // control-pressure workload pipeline: the occasional commit stales the
-  // whole in-flight window, but the window's rejections stay decided.
-  if (!proposal.ok && allocator.monotone_rejections()) {
-    ++stats_.rejected;
-    return proposal.status;
-  }
-  // A stale admit (or a non-monotone allocator's verdict): re-run serially
-  // on the authoritative books — exactly the serial path's decision at
-  // this point in the commit order.
-  ++stats_.conflicts;
-  SVC_METRIC_INC("admission/conflicts");
-  ++stats_.fallbacks;
-  SVC_METRIC_INC("admission/fallbacks");
+util::Result<Placement> AdmissionPipeline::SerialRerun(
+    const Request& request, const Allocator& allocator) {
   util::Result<Placement> r = manager_.Admit(request, allocator);
   if (r.ok()) {
     ++stats_.committed;
@@ -193,9 +227,126 @@ util::Result<Placement> AdmissionPipeline::FinalizeDeterministic(
   return r;
 }
 
+int AdmissionPipeline::SingleShardOf(uint64_t touched_mask) const {
+  if (committers_.empty() || std::popcount(touched_mask) != 1) return -1;
+  const int s = std::countr_zero(touched_mask);
+  // The core stripe (bit num_shards) has no dedicated worker: core-touching
+  // commits take the serialized cross-shard path.
+  return s < static_cast<int>(committers_.size()) ? s : -1;
+}
+
+std::optional<util::Result<Placement>> AdmissionPipeline::FinalizeDeterministic(
+    const Request& request, const Allocator& allocator,
+    AdmissionProposal&& proposal, BatchCtx* ctx, size_t index) {
+  const bool fresh = proposal.epoch == manager_.epoch();
+  if (!proposal.ok) {
+    if (fresh || allocator.monotone_rejections()) {
+      // A rejection against fresh books IS the serial verdict — and a stale
+      // one from a monotone allocator still is: within a batch the books
+      // only gain tenants (rejections don't bump the epoch, releases and
+      // faults are quiesced), so the rejection against the older, emptier
+      // books holds a fortiori.  Rejection runs therefore keep every later
+      // proposal fresh — heavy admission-control pressure pipelines well.
+      ++stats_.rejected;
+      return util::Result<Placement>(proposal.status);
+    }
+    // A stale rejection from a greedy allocator: the changed books may have
+    // changed the verdict — serial re-run on the authoritative books.
+    ++stats_.conflicts;
+    SVC_METRIC_INC("admission/conflicts");
+    ++stats_.fallbacks;
+    SVC_METRIC_INC("admission/fallbacks");
+    DrainShards(~uint64_t{0});
+    return SerialRerun(request, allocator);
+  }
+
+  if (!touched_shards_.empty()) {
+    const uint64_t shard_bits =
+        (uint64_t{1} << (touched_shards_.size() - 1)) - 1;
+    ++touched_shards_[static_cast<size_t>(
+        std::popcount(proposal.touched_mask & shard_bits))];
+  }
+
+  const int shard = SingleShardOf(proposal.touched_mask);
+  // Shard-freshness fast path: the epoch moved, but every bucket this
+  // decision read (its touched links/machines plus the core stripe) is
+  // unchanged since the speculation, and the allocator's selection is
+  // monotone — candidates elsewhere only accumulated load, so the winner
+  // the speculation picked is still the serial winner, evaluated against
+  // bit-identical rows.  Restricted to single-shard placements: a
+  // multi-subtree placement's evaluation spans buckets beyond its mask.
+  const bool shard_fresh =
+      shard >= 0 && allocator.monotone_placements() &&
+      manager_.BucketsFresh(proposal.fresh_mask, proposal.shard_epochs);
+  if (fresh || shard_fresh) {
+    if (shard >= 0) {
+      if (util::Status s = manager_.PrepareShardCommit(request, proposal);
+          !s.ok()) {
+        // Shape/duplicate failure on a fresh proposal: an allocator bug —
+        // the same loud, attributable surface Admit gives it.
+        ++stats_.rejected;
+        return util::Result<Placement>(
+            util::ErrorCode::kFailedPrecondition,
+            std::string(allocator.name()) + ": " + s.message());
+      }
+      ShardCommitter& c = *committers_[shard];
+      ++c.dispatched;
+      ++stats_.shard_commits;
+      if (obs::MetricsEnabled()) {
+        obs::Registry::Global().GetGauge(c.depth_gauge).Set(
+            static_cast<double>(c.dispatched -
+                                c.applied.load(std::memory_order_relaxed)));
+      }
+      const bool pushed = c.queue.Push(
+          CommitTask{index, &request, std::move(proposal), ctx});
+      assert(pushed && "shard commit queue closed mid-batch");
+      (void)pushed;
+      RefreshSnapshot();
+      return std::nullopt;  // decision delivered when the apply lands
+    }
+    // Fresh commit on the sequencer: the unsharded path, or a cross-shard /
+    // core-touching placement.  Strict freshness implies every apply queue
+    // is idle (any dispatch would have bumped the epoch), so the inline
+    // commit reads and writes without racing a worker; the drain is
+    // free insurance.
+    DrainShards(proposal.touched_mask);
+    if (!committers_.empty()) {
+      ++stats_.cross_shard_commits;
+      SVC_METRIC_INC("admission/cross_shard_commits");
+    }
+    const auto start = std::chrono::steady_clock::now();
+    util::Result<Placement> committed =
+        manager_.CommitProposal(request, std::move(proposal));
+    SVC_METRIC_HIST("admission/commit_latency_us", MicrosSince(start));
+    if (committed.ok()) {
+      ++stats_.committed;
+      SVC_METRIC_INC("admission/committed");
+      RefreshSnapshot();
+      return committed;
+    }
+    ++stats_.rejected;
+    return util::Result<Placement>(
+        util::ErrorCode::kFailedPrecondition,
+        std::string(allocator.name()) + ": " + committed.status().message());
+  }
+  // Stale admit: the books moved under the buckets this decision depends
+  // on.  Drain everything and re-run serially — exactly the serial path's
+  // decision at this point in the commit order.
+  ++stats_.conflicts;
+  SVC_METRIC_INC("admission/conflicts");
+  if (!committers_.empty()) {
+    ++stats_.shard_conflicts;
+    SVC_METRIC_INC("admission/shard_conflicts");
+  }
+  ++stats_.fallbacks;
+  SVC_METRIC_INC("admission/fallbacks");
+  DrainShards(~uint64_t{0});
+  return SerialRerun(request, allocator);
+}
+
 std::vector<util::Result<Placement>> AdmissionPipeline::AdmitBatch(
     const std::vector<Request>& requests, const Allocator& allocator,
-    bool stop_on_failure, const DecisionFn& on_decision) {
+    bool stop_on_failure, const DecisionFn& on_decision, int window) {
   const size_t n = requests.size();
   if (n == 0) return {};
   assert((config_.deterministic || !stop_on_failure) &&
@@ -220,14 +371,21 @@ std::vector<util::Result<Placement>> AdmissionPipeline::AdmitBatch(
     });
   }
 
-  std::vector<std::optional<util::Result<Placement>>> decided(n);
   size_t next_submit = 0;
+  size_t sequenced = 0;  // commit-front progress, maintained by both loops
   bool aborted = false;
 
-  // Keeps the pending queue fed (bounded by its capacity: natural
-  // backpressure when the workers fall behind the feeder).
+  // Keeps the pending queue fed.  Run-ahead is bounded explicitly by
+  // `inflight_cap`, not just the queue capacity: cheap speculations drain
+  // the pending queue almost instantly and park in `done`, so without the
+  // cap the workers could speculate an arbitrarily long prefix against one
+  // aging snapshot and every later proposal would be stale on arrival.
+  const size_t inflight_cap =
+      static_cast<size_t>(config_.queue_capacity) + nworkers;
   auto feed = [&] {
-    while (!aborted && next_submit < n && ctx.pending.TryPush(next_submit)) {
+    while (!aborted && next_submit < n &&
+           next_submit - sequenced < inflight_cap &&
+           ctx.pending.TryPush(next_submit)) {
       manager_.BeginProposal();
       ++next_submit;
     }
@@ -246,14 +404,69 @@ std::vector<util::Result<Placement>> AdmissionPipeline::AdmitBatch(
 
   feed();
   if (config_.deterministic) {
+    // How each classified index resolves (sequencer-only).
+    enum : uint8_t {
+      kUnclassified = 0,
+      kInline = 1,     // decided[] set by the sequencer; callback due
+      kDelegated = 2,  // apply in flight; shard worker parks decided[]
+      kSilent = 3,     // not attempted (FIFO abort); no callback
+    };
+    std::vector<uint8_t> route(n, kUnclassified);
+    size_t deliver_cursor = 0;
+
+    // In-order decision delivery.  The sequencer may classify (and
+    // dispatch) several requests ahead of the oldest in-flight apply;
+    // callbacks still fire strictly in request order, waiting on the shard
+    // worker only when `block` demands it.
+    auto deliver = [&](bool block) {
+      while (deliver_cursor < n && route[deliver_cursor] != kUnclassified) {
+        const size_t i = deliver_cursor;
+        if (route[i] == kDelegated) {
+          if (!ctx.apply_ready[i].load(std::memory_order_acquire)) {
+            if (!block) return;
+            do {
+              std::this_thread::yield();
+            } while (!ctx.apply_ready[i].load(std::memory_order_acquire));
+          }
+          util::Result<Placement>& r = *ctx.decided[i];
+          if (r.ok()) {
+            ++stats_.committed;
+            SVC_METRIC_INC("admission/committed");
+          } else {
+            // The apply half re-validated bit-identical rows and still
+            // failed: an allocator bug.  Undo the sequencer-side
+            // registration; under FIFO semantics the abort lands here, so
+            // a few already-sequenced successors may have committed.
+            manager_.AbandonShardCommit(requests[i].id());
+            ++stats_.rejected;
+            SVC_LOG(Error) << "shard apply failed for request "
+                           << requests[i].id() << " via " << allocator.name()
+                           << ": " << r.status().message();
+            r = util::Result<Placement>(
+                util::ErrorCode::kFailedPrecondition,
+                std::string(allocator.name()) + ": " + r.status().message());
+            if (stop_on_failure) aborted = true;
+          }
+          manager_.EndProposal();
+        }
+        if (route[i] != kSilent && on_decision) {
+          on_decision(i, *ctx.decided[i]);
+        }
+        ++deliver_cursor;
+      }
+    };
+
     std::vector<char> ready(n, 0);
     size_t commit_cursor = 0;
     while (commit_cursor < n) {
       if (commit_cursor >= next_submit) {
-        // The feed stopped on abort before this index was ever speculated.
+        // The feed stopped on abort before this index was ever speculated
+        // (never registered: no EndProposal due).
         assert(aborted);
-        decided[commit_cursor] = NotAttempted();
-        ++commit_cursor;
+        ctx.decided[commit_cursor] = NotAttempted();
+        route[commit_cursor] = kSilent;
+        sequenced = ++commit_cursor;
+        deliver(/*block=*/false);
         continue;
       }
       if (!ready[commit_cursor]) {
@@ -261,20 +474,41 @@ std::vector<util::Result<Placement>> AdmissionPipeline::AdmitBatch(
         feed();
         continue;
       }
-      util::Result<Placement> r =
-          aborted ? NotAttempted()
-                  : FinalizeDeterministic(
-                        requests[commit_cursor], allocator,
-                        std::move(ctx.proposals[commit_cursor]));
-      manager_.EndProposal();
-      if (!aborted) {
-        if (on_decision) on_decision(commit_cursor, r);
-        if (stop_on_failure && !r.ok()) aborted = true;
+      if (aborted) {
+        ctx.decided[commit_cursor] = NotAttempted();
+        route[commit_cursor] = kSilent;
+        manager_.EndProposal();
+      } else {
+        std::optional<util::Result<Placement>> r = FinalizeDeterministic(
+            requests[commit_cursor], allocator,
+            std::move(ctx.proposals[commit_cursor]), &ctx, commit_cursor);
+        if (r.has_value()) {
+          if (stop_on_failure && !r->ok()) aborted = true;
+          ctx.decided[commit_cursor] = std::move(*r);
+          route[commit_cursor] = kInline;
+          manager_.EndProposal();
+        } else {
+          route[commit_cursor] = kDelegated;  // EndProposal at delivery
+        }
       }
-      decided[commit_cursor] = std::move(r);
-      ++commit_cursor;
+      sequenced = ++commit_cursor;
+      // Cross-window barrier: windows overlap in speculation (the feeder
+      // runs ahead), but the commit plane quiesces — every shard queue
+      // drains, pending decisions deliver, and window N+1's speculations
+      // get window N's final books.
+      if (window > 0 && commit_cursor < n &&
+          commit_cursor % static_cast<size_t>(window) == 0) {
+        DrainShards(~uint64_t{0});
+        deliver(/*block=*/true);
+        RefreshSnapshot();
+      } else {
+        deliver(/*block=*/false);
+      }
       feed();
     }
+    DrainShards(~uint64_t{0});
+    deliver(/*block=*/true);
+    assert(deliver_cursor == n);
   } else {
     // Optimistic: commit in completion order; validate-or-retry conflicts.
     size_t finalized = 0;
@@ -284,6 +518,12 @@ std::vector<util::Result<Placement>> AdmissionPipeline::AdmitBatch(
       const bool fresh = proposal.epoch == manager_.epoch();
       std::optional<util::Result<Placement>> r;
       if (proposal.ok) {
+        if (!touched_shards_.empty()) {
+          const uint64_t shard_bits =
+              (uint64_t{1} << (touched_shards_.size() - 1)) - 1;
+          ++touched_shards_[static_cast<size_t>(
+              std::popcount(proposal.touched_mask & shard_bits))];
+        }
         // Validation runs against the authoritative books either way, so a
         // stale epoch alone is not a conflict until the re-check fails.
         const auto start = std::chrono::steady_clock::now();
@@ -344,8 +584,8 @@ std::vector<util::Result<Placement>> AdmissionPipeline::AdmitBatch(
       }
       manager_.EndProposal();
       if (on_decision) on_decision(idx, *r);
-      decided[idx] = std::move(*r);
-      ++finalized;
+      ctx.decided[idx] = std::move(*r);
+      sequenced = ++finalized;
       feed();
     }
   }
@@ -353,12 +593,17 @@ std::vector<util::Result<Placement>> AdmissionPipeline::AdmitBatch(
   ctx.pending.Close();
   latch.Wait();
   SVC_METRIC_GAUGE_SET("pipeline/depth", 0.0);
+  if (obs::MetricsEnabled()) {
+    for (const std::unique_ptr<ShardCommitter>& c : committers_) {
+      obs::Registry::Global().GetGauge(c->depth_gauge).Set(0.0);
+    }
+  }
   assert(manager_.InFlightProposals() == 0 &&
          "batch drained with proposals still registered");
 
   std::vector<util::Result<Placement>> results;
   results.reserve(n);
-  for (std::optional<util::Result<Placement>>& d : decided) {
+  for (std::optional<util::Result<Placement>>& d : ctx.decided) {
     assert(d.has_value());
     results.push_back(std::move(*d));
   }

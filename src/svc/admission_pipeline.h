@@ -1,49 +1,66 @@
-// Three-stage concurrent admission pipeline (docs/CONCURRENCY.md).
+// Three-stage concurrent admission pipeline with sharded commits
+// (docs/CONCURRENCY.md).
 //
 //   1. snapshot  — the commit thread captures an epoch-stamped
 //                  AdmissionSnapshot (ledger aggregates + slot map) and
-//                  publishes it to the workers;
+//                  publishes it to the workers; on a sharded manager the
+//                  re-capture copies only the stale buckets (CaptureStale);
 //   2. speculate — N thread-pool workers run the allocator against the
 //                  snapshot (NetworkManager::Propose — zero writes to
 //                  shared state);
-//   3. commit    — the calling thread alone validates each proposal
-//                  against the authoritative books and commits it
-//                  (NetworkManager::CommitProposal), re-checking condition
-//                  (4) only on the links the placement touches.
+//   3. commit    — the calling thread alone SEQUENCES proposals in request
+//                  order, but the write half of a single-shard commit
+//                  (capacity re-check + row writes) runs on that shard's
+//                  commit worker (NetworkManager::ApplyShardCommit), so
+//                  commits into different top-level subtrees overlap.
 //
-// Two commit disciplines:
+// Sharded commit discipline (PipelineConfig::shards > 0, deterministic
+// mode): the constructor partitions the fabric at the aggregation level
+// (net::ShardMap) and starts one commit worker per shard.  The sequencer
+// classifies each proposal by its touched-bucket mask:
 //
-//   deterministic (default) — proposals are committed in request order.  A
-//   proposal whose epoch still matches the books is exactly what a serial
-//   Admit would have produced (allocators are deterministic functions of
-//   (request, books)); a stale admit is re-run serially inline, and a
-//   stale REJECTION from a monotone allocator (see
-//   Allocator::monotone_rejections) is absorbed as-is — the books only
-//   gained tenants since the snapshot, so the rejection still holds.
-//   Either way every decision equals the serial decision, so fixed-seed
-//   simulations are bit-identical to the serial path for ANY worker count.
-//   Rejections do not bump the epoch, so a run of rejections keeps every
-//   later proposal fresh — the pipeline shines exactly where admission
-//   control works hardest.
+//   * single-shard, strictly fresh — PrepareShardCommit on the sequencer
+//     (duplicate/shape check, live registration, epoch bump: the commit's
+//     place in request order), then the apply half is queued to the shard's
+//     worker and the sequencer moves on;
+//   * single-shard, shard-fresh    — epoch moved, but every bucket the
+//     decision read (touched + core stripe) is unchanged and the allocator
+//     declares monotone_placements(): candidates elsewhere only got worse,
+//     so the speculated choice IS the serial decision — queued like the
+//     fresh case;
+//   * cross-shard / core-touching  — only taken strictly fresh (which
+//     implies every shard queue is idle); committed inline on the
+//     sequencer, counted under admission/cross_shard_commits;
+//   * anything stale               — the touched shards' queues are
+//     drained and the request re-runs serially on the authoritative books
+//     (admission/shard_conflicts) — the serial decision by definition.
 //
-//   optimistic — proposals are committed in completion order.  A stale
-//   proposal is first re-validated against the authoritative books and
-//   committed if it still fits (most do: different tenants rarely collide
-//   on the same bottleneck); a conflicting one is re-speculated with the
-//   new epoch up to max_retries times, then falls back to a serial Admit
-//   on the commit thread — so results are never worse than the serial
-//   path.  Decisions can differ from request order, but every committed
-//   placement satisfies condition (4).  This is the throughput mode for a
-//   live control plane.
+// Rejections are absorbed as before (fresh, or stale from a
+// monotone_rejections() allocator).  Every decision therefore equals the
+// serial decision, so fixed-seed runs are bit-identical to the serial path
+// for ANY (worker count, shard count) — the determinism tests pin this.
 //
-// Obs: admission/{proposed,committed,conflicts,retries,fallbacks} counters,
-// the pipeline/depth gauge, and the admission/commit_latency_us histogram.
+// Cross-window pipelining: AdmitBatch(window = W) inserts a quiesce
+// barrier every W requests — all shard queues drain and the snapshot is
+// force-refreshed — so speculation for window N+1 proceeds against
+// window N's final books while N's apply tail is still draining.  The
+// batch end is always a full barrier: on return no proposal is in flight
+// and every shard queue is empty (snapshots and faults are safe again).
+//
+// Obs: admission/{proposed,committed,conflicts,retries,fallbacks,
+// shard_conflicts,cross_shard_commits} counters, the pipeline/depth and
+// per-shard pipeline/shard_depth/<s> gauges, and the
+// admission/commit_latency_us histogram.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "svc/manager.h"
@@ -58,6 +75,13 @@ struct PipelineConfig {
   int queue_capacity = 0;  // pending-queue bound; 0 = 4 * workers
   int max_retries = 3;     // optimistic re-speculations before serial fallback
   bool deterministic = true;
+  // Aggregation-level commit shards: 0 leaves the manager unsharded (the
+  // PR-5 single-committer pipeline); >= 1 installs a net::ShardMap on the
+  // manager (clamped to the root's child count) and, under the
+  // deterministic discipline with workers > 1, starts one commit worker
+  // per shard.  1 is a valid degenerate point — one shard plus the core
+  // stripe — and is the baseline the shard-scaling bench compares against.
+  int shards = 0;
   // Borrowed pool to speculate on; the pipeline owns a private one if null.
   util::ThreadPool* pool = nullptr;
 };
@@ -71,6 +95,9 @@ struct PipelineStats {
   int64_t conflicts = 0;   // proposals invalidated by a concurrent commit
   int64_t retries = 0;     // optimistic re-speculations after a conflict
   int64_t fallbacks = 0;   // serial re-runs on the commit thread
+  int64_t shard_commits = 0;       // applies dispatched to shard workers
+  int64_t shard_conflicts = 0;     // admits that failed the shard-fresh check
+  int64_t cross_shard_commits = 0; // fresh multi-bucket inline commits
 };
 
 class AdmissionPipeline {
@@ -84,38 +111,91 @@ class AdmissionPipeline {
 
   int workers() const { return config_.workers; }
   bool deterministic() const { return config_.deterministic; }
+  // Shard commit workers actually running (0 = unsharded single committer).
+  int shard_workers() const { return static_cast<int>(committers_.size()); }
 
-  // Decision observer: runs on the calling thread immediately after request
-  // `index` is finalized, with a mutable reference to its decision (the
-  // engine moves the placement out to register flows).  Under the
-  // deterministic discipline invocations are in request order.
+  // Decision observer: runs on the calling thread with a mutable reference
+  // to the request's decision (the engine moves the placement out to
+  // register flows).  Under the deterministic discipline invocations are in
+  // request order — delivery may lag the sequencer while a shard worker's
+  // apply is in flight, but never reorders.
   using DecisionFn = std::function<void(size_t, util::Result<Placement>&)>;
 
   // Runs the batch through the pipeline; returns one decision per request,
   // in request order.  Synchronous: on return the pipeline is drained (no
-  // in-flight proposals — snapshots and faults are safe again).
+  // in-flight proposals, all shard queues empty — snapshots and faults are
+  // safe again).
   //
   // `stop_on_failure` models strict-FIFO admission (deterministic
   // discipline only): after the first failed request no later request is
   // committed; their slots report kFailedPrecondition "not attempted" and
-  // `on_decision` is not called for them.
+  // `on_decision` is not called for them.  (A shard-worker apply failure —
+  // an allocator bug, never a scheduling artifact — aborts at delivery
+  // time, so a few already-sequenced successors may still have committed.)
+  //
+  // `window` > 0 inserts a cross-window barrier every `window` requests:
+  // shard queues drain, pending decisions deliver, and the snapshot is
+  // force-refreshed.  0 = no interior barriers (one window).
   std::vector<util::Result<Placement>> AdmitBatch(
       const std::vector<Request>& requests, const Allocator& allocator,
-      bool stop_on_failure = false, const DecisionFn& on_decision = {});
+      bool stop_on_failure = false, const DecisionFn& on_decision = {},
+      int window = 0);
 
   const PipelineStats& stats() const { return stats_; }
+
+  // Histogram of how many shards each admit proposal touched (index =
+  // touched-shard count, 0..num_shards; empty when unsharded).  Cumulative;
+  // owned by the commit thread like stats().
+  const std::vector<int64_t>& touched_shard_histogram() const {
+    return touched_shards_;
+  }
 
  private:
   struct BatchCtx;
 
+  // One apply-half work item for a shard commit worker.  `request` points
+  // into the AdmitBatch caller's vector and `ctx` into its stack frame;
+  // both outlive the task because the batch end drains every queue.
+  struct CommitTask {
+    size_t index = 0;
+    const Request* request = nullptr;
+    AdmissionProposal proposal;
+    BatchCtx* ctx = nullptr;
+  };
+
+  // Per-shard commit worker: a FIFO queue (so per-shard apply order equals
+  // request order) plus drain bookkeeping.  `dispatched` is sequencer-only;
+  // `applied` is the worker's release-published progress counter — the
+  // sequencer spins on it to drain (kMaxShards workers make that cheap).
+  struct ShardCommitter {
+    explicit ShardCommitter(size_t capacity) : queue(capacity) {}
+    util::BoundedQueue<CommitTask> queue;
+    std::thread thread;
+    std::string depth_gauge;  // cached "pipeline/shard_depth/<s>"
+    int64_t dispatched = 0;
+    std::atomic<int64_t> applied{0};
+  };
+
   // Worker body: pops request indices, speculates against the latest
   // published snapshot, parks the proposal in its slot, reports done.
   void SpeculateLoop(BatchCtx& ctx);
+  // Shard commit worker body: applies queued single-shard commits in FIFO
+  // order, parks each result in its slot, publishes the ready flag.
+  void CommitterLoop(ShardCommitter& committer);
 
   // The snapshot workers currently speculate against (mutex-guarded clone).
   std::shared_ptr<const AdmissionSnapshot> CurrentSnapshot();
-  // Commit thread: republishes a fresh snapshot if the books moved.
+  // Commit thread: republishes a fresh snapshot if the books moved.  On a
+  // sharded manager the re-capture is partial (stale buckets only); it
+  // drains those buckets' apply queues first — a FIFO apply is microseconds
+  // of row writes, far cheaper than the serial re-runs that speculating
+  // against a stale snapshot would cause.
   void RefreshSnapshot();
+
+  // True iff any committer named in `mask` has queued-but-unapplied work.
+  bool PendingApplies(uint64_t mask) const;
+  // Blocks until every committer named in `mask` has drained its queue.
+  void DrainShards(uint64_t mask);
 
   // Serial degenerate path (workers <= 1): plain Admit calls — this IS the
   // baseline the pipeline's speedup is measured over.
@@ -123,16 +203,29 @@ class AdmissionPipeline {
       const std::vector<Request>& requests, const Allocator& allocator,
       bool stop_on_failure, const DecisionFn& on_decision);
 
-  // Finalizes one proposal under the deterministic discipline: commit via
-  // CommitProposal when the epoch still matches, serial re-run otherwise.
-  util::Result<Placement> FinalizeDeterministic(const Request& request,
-                                                const Allocator& allocator,
-                                                AdmissionProposal&& proposal);
+  // Serial re-run on the authoritative books (all shards drained by the
+  // caller): the fallback that anchors every stale path to the serial
+  // decision.
+  util::Result<Placement> SerialRerun(const Request& request,
+                                      const Allocator& allocator);
+
+  // Finalizes one proposal under the deterministic discipline.  Returns
+  // the decision, or nullopt when the apply half was dispatched to a shard
+  // worker (the decision is delivered later, in request order).
+  std::optional<util::Result<Placement>> FinalizeDeterministic(
+      const Request& request, const Allocator& allocator,
+      AdmissionProposal&& proposal, BatchCtx* ctx, size_t index);
+
+  // The shard committer index for a single-shard touched mask, else -1.
+  int SingleShardOf(uint64_t touched_mask) const;
 
   NetworkManager& manager_;
   PipelineConfig config_;
   std::unique_ptr<util::ThreadPool> owned_pool_;
   util::ThreadPool* pool_ = nullptr;
+
+  // Shard commit workers (empty = unsharded / serial-commit pipeline).
+  std::vector<std::unique_ptr<ShardCommitter>> committers_;
 
   // Snapshot publication: workers clone the shared_ptr under the mutex;
   // the commit thread swaps in a fresh capture after every epoch change.
@@ -142,6 +235,7 @@ class AdmissionPipeline {
   std::vector<std::shared_ptr<AdmissionSnapshot>> snapshot_pool_;
 
   PipelineStats stats_;
+  std::vector<int64_t> touched_shards_;
 };
 
 }  // namespace svc::core

@@ -50,6 +50,20 @@ class Allocator {
   // true for a non-monotone allocator silently breaks the pipeline's
   // serial-equivalence guarantee; when in doubt leave the default.
   virtual bool monotone_rejections() const { return false; }
+
+  // True when this allocator's CHOSEN placement is stable under added load
+  // outside the links it read for that choice: the selection is first-best
+  // (ties keep the earliest candidate in a fixed scan order) over scores
+  // that are monotone non-improving in datacenter load, so a candidate that
+  // lost at speculation time can only lose harder once more tenants commit,
+  // and the winner — whose own evaluation the pipeline verifies is fresh —
+  // stays the winner.  The sharded commit scheduler uses this for its
+  // shard-freshness fast path (docs/CONCURRENCY.md): a proposal whose
+  // touched buckets (plus the core stripe) are unchanged commits without a
+  // serial re-run even though other shards moved on.  The same caveat as
+  // monotone_rejections applies: declaring this for an allocator without
+  // the property silently breaks serial equivalence.
+  virtual bool monotone_placements() const { return false; }
 };
 
 }  // namespace svc::core

@@ -73,6 +73,13 @@ class HomogeneousSearchAllocator : public Allocator {
   // tenants are added, so the rejection holds against any fuller books.
   bool monotone_rejections() const override { return true; }
 
+  // The search scans levels bottom-up and vertices in id order, keeping the
+  // first strict improvement of the min-max occupancy score; occupancy only
+  // rises as tenants are added, so both the lowest feasible level and the
+  // within-level argmin are stable under load added outside the chosen
+  // subtree's links (which the pipeline's shard-freshness check covers).
+  bool monotone_placements() const override { return true; }
+
  private:
   HomogeneousSearchOptions options_;
   std::string name_;

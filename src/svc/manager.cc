@@ -1,6 +1,7 @@
 #include "svc/manager.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <chrono>
 #include <cmath>
@@ -75,6 +76,87 @@ void BumpAllocatorCounter(std::string_view allocator, const char* outcome) {
 NetworkManager::NetworkManager(const topology::Topology& topo, double epsilon)
     : topo_(&topo), ledger_(topo, epsilon), slots_(topo) {}
 
+void NetworkManager::ConfigureSharding(
+    std::shared_ptr<const net::ShardMap> shards) {
+  assert(InFlightProposals() == 0 &&
+         "sharding reconfiguration requires a quiesced pipeline");
+  assert(shards == nullptr || &shards->topo() == topo_);
+  shards_ = std::move(shards);
+  ledger_.SetShardMap(shards_.get());
+  // Every bucket epoch records "global epoch at last mutation"; seeding
+  // with the current global value after the bump makes every pre-existing
+  // snapshot stale under the new layout.
+  const uint64_t e = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  shard_epochs_.assign(shards_ == nullptr ? 1 : shards_->bucket_count(), e);
+}
+
+uint64_t NetworkManager::TouchedBuckets(
+    const Placement& placement, const std::vector<LinkDemand>& demands) const {
+  if (shards_ == nullptr) return 1;
+  uint64_t mask = 0;
+  for (const LinkDemand& d : demands) {
+    mask |= uint64_t{1} << shards_->bucket_of_link(d.link);
+  }
+  for (topology::VertexId machine : placement.vm_machine) {
+    mask |= uint64_t{1} << shards_->shard_of_vertex(machine);
+  }
+  return mask;
+}
+
+bool NetworkManager::BucketsFresh(uint64_t mask,
+                                  const std::vector<uint64_t>& epochs) const {
+  if (epochs.size() != shard_epochs_.size()) return false;
+  for (uint64_t m = mask; m != 0; m &= m - 1) {
+    const size_t b = static_cast<size_t>(std::countr_zero(m));
+    if (b >= epochs.size() || epochs[b] != shard_epochs_[b]) return false;
+  }
+  return true;
+}
+
+void NetworkManager::BumpBuckets(uint64_t mask) {
+  const uint64_t e = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  const uint64_t all = (uint64_t{1} << shard_epochs_.size()) - 1;
+  for (uint64_t m = mask & all; m != 0; m &= m - 1) {
+    shard_epochs_[static_cast<size_t>(std::countr_zero(m))] = e;
+  }
+}
+
+util::Status NetworkManager::PrepareShardCommit(
+    const Request& request, const AdmissionProposal& proposal) {
+  assert(proposal.ok && "only successful proposals can be committed");
+  if (util::Status s = CheckPlacementShape(request, proposal.placement);
+      !s.ok()) {
+    return s;
+  }
+  live_.emplace(request.id(), LiveRequest{request, proposal.placement});
+  // Bumping before the apply half lands is conservative: a later
+  // speculation against these buckets goes stale and re-runs serially,
+  // which is the serial decision by definition.
+  BumpBuckets(proposal.touched_mask);
+  return util::Status::Ok();
+}
+
+util::Result<Placement> NetworkManager::ApplyShardCommit(
+    const Request& request, AdmissionProposal&& proposal) {
+  if (util::Status s = CheckCapacity(proposal.placement, proposal.demands);
+      !s.ok()) {
+    return s;
+  }
+  for (const auto& [machine, count] : proposal.placement.MachineCounts()) {
+    slots_.Occupy(machine, count);
+  }
+  for (const LinkDemand& d : proposal.demands) {
+    if (d.deterministic > 0) {
+      ledger_.AddDeterministic(d.link, request.id(), d.deterministic);
+    } else {
+      ledger_.AddStochastic(d.link, request.id(), d.mean, d.variance);
+    }
+  }
+  return std::move(proposal.placement);
+}
+
+void NetworkManager::AbandonShardCommit(RequestId id) { live_.erase(id); }
+
 AdmissionSnapshot::AdmissionSnapshot(const topology::Topology& topo,
                                      double epsilon)
     : view(topo, epsilon), slots(topo) {}
@@ -82,6 +164,42 @@ AdmissionSnapshot::AdmissionSnapshot(const topology::Topology& topo,
 void AdmissionSnapshot::Capture(const NetworkManager& manager) {
   view.Capture(manager.ledger(), manager.epoch());
   slots = manager.slots();
+  shard_epochs = manager.shard_epochs();
+}
+
+uint64_t AdmissionSnapshot::StaleBuckets(const NetworkManager& manager) const {
+  const std::vector<uint64_t>& current = manager.shard_epochs();
+  if (shard_epochs.size() != current.size()) {
+    return (uint64_t{1} << current.size()) - 1;
+  }
+  uint64_t stale = 0;
+  for (size_t b = 0; b < current.size(); ++b) {
+    if (shard_epochs[b] != current[b]) stale |= uint64_t{1} << b;
+  }
+  return stale;
+}
+
+void AdmissionSnapshot::CaptureStale(const NetworkManager& manager) {
+  const net::ShardMap* shards = manager.shard_map();
+  if (shards == nullptr ||
+      shard_epochs.size() != manager.shard_epochs().size()) {
+    Capture(manager);
+    return;
+  }
+  const uint64_t stale = StaleBuckets(manager);
+  for (uint64_t m = stale; m != 0; m &= m - 1) {
+    const int b = std::countr_zero(m);
+    view.CaptureLinks(manager.ledger(), shards->links_in_bucket(b),
+                      manager.epoch());
+    if (b < shards->num_shards()) {
+      slots.AssignMachinesFrom(manager.slots(), shards->machines_in_shard(b));
+    }
+  }
+  shard_epochs = manager.shard_epochs();
+  // Bucket epochs record the global epoch of the bucket's last mutation, so
+  // buckets all matching implies no mutation since the newest of them — the
+  // re-captured snapshot equals the books exactly.
+  assert(view.epoch() == manager.epoch() || stale != 0);
 }
 
 std::vector<LinkDemand> NetworkManager::ComputeLinkDemands(
@@ -173,7 +291,7 @@ void NetworkManager::CommitPrepared(const Request& request,
     }
   }
   live_.emplace(request.id(), LiveRequest{request, placement});
-  BumpEpoch();
+  BumpBuckets(TouchedBuckets(placement, demands));
 }
 
 util::Result<Placement> NetworkManager::AdmitPlacement(const Request& request,
@@ -207,6 +325,15 @@ AdmissionProposal NetworkManager::Propose(
   // The demands depend only on (topology, request, placement) — never on
   // ledger state — so computing them here off the commit thread is exact.
   proposal.demands = ComputeLinkDemands(request, proposal.placement);
+  proposal.touched_mask = TouchedBuckets(proposal.placement, proposal.demands);
+  // The allocator's evaluation of the CHOSEN placement also read the
+  // zero-demand links on its hosts' root paths; in a tree those live in the
+  // hosts' own buckets (already in touched_mask) or the core stripe.
+  proposal.fresh_mask =
+      shards_ == nullptr
+          ? proposal.touched_mask
+          : proposal.touched_mask | shards_->BucketBit(shards_->core_stripe());
+  proposal.shard_epochs = snapshot.shard_epochs;
   return proposal;
 }
 
@@ -287,12 +414,19 @@ void NetworkManager::Release(RequestId id) {
     SVC_METRIC_INC("manager/release_unknown");
     return;
   }
-  ledger_.RemoveRequest(id);
+  // Scoped invalidation: only the buckets this tenant actually touched
+  // (its demand records' buckets plus its hosts' shards) go stale — an
+  // unrelated shard's in-flight speculation stays fresh across the release.
+  uint64_t mask = 0;
+  ledger_.RemoveRequest(id, &mask);
   for (const auto& [machine, count] : it->second.placement.MachineCounts()) {
     slots_.Release(machine, count);
+    mask |= shards_ == nullptr
+                ? uint64_t{1}
+                : uint64_t{1} << shards_->shard_of_vertex(machine);
   }
   live_.erase(it);
-  BumpEpoch();
+  BumpBuckets(mask);
 }
 
 bool NetworkManager::MachineBelow(topology::VertexId machine,
@@ -410,7 +544,14 @@ util::Result<FaultOutcome> NetworkManager::HandleFault(
   failed_.emplace(vertex, kind);
   ledger_.SetLinkState(vertex, false);
   if (kind == FaultKind::kMachine) slots_.SetMachineState(vertex, false);
-  BumpEpoch();
+  // Scoped drain bump: the failed element's own bucket (plus its shard's
+  // slot state for a machine fault); the releases and re-admissions below
+  // bump whatever they touch themselves.
+  uint64_t drain_mask = uint64_t{1} << ledger_.bucket_of(vertex);
+  if (shards_ != nullptr && kind == FaultKind::kMachine) {
+    drain_mask |= uint64_t{1} << shards_->shard_of_vertex(vertex);
+  }
+  BumpBuckets(drain_mask);
 
   // Affected tenants.  A machine fault strands every tenant with a VM on
   // the machine (even single-machine tenants with no uplink demand); a
@@ -510,10 +651,15 @@ util::Status NetworkManager::HandleRecovery(topology::VertexId vertex) {
                 std::to_string(InFlightProposals()) +
                 " proposals in flight)"};
   }
+  const bool machine = it->second == FaultKind::kMachine;
   ledger_.SetLinkState(vertex, true);
-  if (it->second == FaultKind::kMachine) slots_.SetMachineState(vertex, true);
+  if (machine) slots_.SetMachineState(vertex, true);
   failed_.erase(it);
-  BumpEpoch();
+  uint64_t recover_mask = uint64_t{1} << ledger_.bucket_of(vertex);
+  if (shards_ != nullptr && machine) {
+    recover_mask |= uint64_t{1} << shards_->shard_of_vertex(vertex);
+  }
+  BumpBuckets(recover_mask);
   SVC_METRIC_INC("fault/recoveries");
   SVC_LOG(Debug) << "recovered vertex " << vertex;
   assert(StateValid());

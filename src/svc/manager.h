@@ -23,6 +23,7 @@
 
 #include "net/ledger_view.h"
 #include "net/link_ledger.h"
+#include "net/shard_map.h"
 #include "svc/allocator.h"
 #include "svc/placement.h"
 #include "svc/request.h"
@@ -52,13 +53,29 @@ struct AdmissionSnapshot {
 
   // Re-captures the manager's current aggregates and epoch.  Reuses the
   // snapshot's storage; must not run concurrently with readers of this
-  // same snapshot (publish a fresh one instead).
+  // same snapshot (publish a fresh one instead).  On a sharded manager the
+  // caller must have drained every shard commit queue (the rows of every
+  // bucket are read).
   void Capture(const NetworkManager& manager);
+
+  // Sharded partial re-capture: copies only the buckets whose epoch moved
+  // since this snapshot's own capture (StaleBuckets), leaving the others'
+  // rows as-is — by the per-bucket epoch invariant they are still equal to
+  // the books'.  The caller must have drained the stale buckets' commit
+  // queues.  Falls back to a full Capture when the manager is unsharded or
+  // the bucket layout changed.
+  void CaptureStale(const NetworkManager& manager);
+
+  // Buckets whose epoch differs from this snapshot's recorded one (the
+  // re-capture set), as a bit mask.
+  uint64_t StaleBuckets(const NetworkManager& manager) const;
 
   uint64_t epoch() const { return view.epoch(); }
 
   net::LedgerView view;
   SlotMap slots;
+  // Per-bucket epochs at capture time (one entry when unsharded).
+  std::vector<uint64_t> shard_epochs;
 };
 
 // One speculative admission outcome: what the allocator decided against a
@@ -71,6 +88,17 @@ struct AdmissionProposal {
   util::Status status = util::Status::Ok();  // allocator error when !ok
   std::vector<LinkDemand> demands;  // induced demands of `placement`
   uint64_t epoch = 0;    // snapshot epoch the speculation read
+  // Buckets the placement writes (demand links + host machines' shards);
+  // bit 0 when unsharded.  The conflict-aware scheduler routes single-shard
+  // masks to that shard's commit queue.
+  uint64_t touched_mask = 1;
+  // Buckets whose freshness the decision depends on: touched_mask plus the
+  // core stripe (the zero-demand links on the hosts' root paths live in the
+  // hosts' own buckets or the core).  Used by the monotone-placements
+  // shard-freshness fast path.
+  uint64_t fresh_mask = 1;
+  // Per-bucket epochs the speculation read (filled for ok proposals).
+  std::vector<uint64_t> shard_epochs;
 };
 
 // --- Fault plane ---
@@ -131,6 +159,8 @@ class NetworkManager {
         slots_(std::move(other.slots_)),
         live_(std::move(other.live_)),
         failed_(std::move(other.failed_)),
+        shards_(std::move(other.shards_)),
+        shard_epochs_(std::move(other.shard_epochs_)),
         epoch_(other.epoch_.load(std::memory_order_acquire)),
         in_flight_(other.in_flight_.load(std::memory_order_acquire)) {
     assert(in_flight_.load(std::memory_order_relaxed) == 0);
@@ -157,6 +187,51 @@ class NetworkManager {
   // ignored (idempotent), but logged and counted under
   // `manager/release_unknown` so double-release bugs surface.
   void Release(RequestId id);
+
+  // --- Sharding (docs/CONCURRENCY.md "Sharded fabric commit") ---
+
+  // Installs an aggregation-level shard partition: per-bucket touched-link
+  // bookkeeping in the ledger plus one epoch per bucket here, enabling the
+  // pipeline's per-shard commit workers and scoped invalidation.  Requires
+  // a quiesced pipeline (no in-flight proposals).  nullptr reverts to the
+  // single-bucket layout.  Existing snapshots become stale (global bump).
+  void ConfigureSharding(std::shared_ptr<const net::ShardMap> shards);
+  const net::ShardMap* shard_map() const { return shards_.get(); }
+  int num_shards() const { return shards_ ? shards_->num_shards() : 1; }
+
+  // Per-bucket epochs (shards plus core stripe; one entry when unsharded).
+  // Commit-thread state, like the books themselves: each entry records the
+  // global epoch at the bucket's last mutation, so a bucket whose entry is
+  // unchanged has bit-identical rows to any snapshot of it at that epoch.
+  const std::vector<uint64_t>& shard_epochs() const { return shard_epochs_; }
+
+  // Buckets a placement writes: its demand links' buckets plus its host
+  // machines' shards.  Bit 0 when unsharded.
+  uint64_t TouchedBuckets(const Placement& placement,
+                          const std::vector<LinkDemand>& demands) const;
+
+  // True iff every bucket in `mask` has the same epoch now as `epochs`
+  // recorded (a layout mismatch counts as stale).
+  bool BucketsFresh(uint64_t mask, const std::vector<uint64_t>& epochs) const;
+
+  // --- Split commit (the pipeline's per-shard commit workers) ---
+  //
+  // A single-shard commit is split in two so the apply half can run on the
+  // shard's worker while the sequencer moves on: PrepareShardCommit (commit
+  // thread) does the live_-dependent half — duplicate-id/shape check, live
+  // registration, epoch bumps — establishing the commit's place in request
+  // order; ApplyShardCommit (any thread) re-validates capacity on exactly
+  // the touched links/machines and writes the rows.  ApplyShardCommit is
+  // safe concurrently with other Apply calls whose touched buckets are
+  // disjoint, and with commit-thread work that stays off those buckets'
+  // rows.  If the apply half fails (an allocator bug: epoch-fresh yet
+  // invalid), nothing was written and the sequencer must undo the
+  // registration with AbandonShardCommit.
+  util::Status PrepareShardCommit(const Request& request,
+                                  const AdmissionProposal& proposal);
+  util::Result<Placement> ApplyShardCommit(const Request& request,
+                                           AdmissionProposal&& proposal);
+  void AbandonShardCommit(RequestId id);
 
   // --- Propose / commit (the concurrent admission pipeline) ---
 
@@ -259,10 +334,14 @@ class NetworkManager {
   util::Status CheckCapacity(const Placement& placement,
                              const std::vector<LinkDemand>& demands) const;
   // Applies a fully validated placement: occupies slots, writes demand
-  // records, registers the live tenant, bumps the epoch.
+  // records, registers the live tenant, bumps the touched buckets' epochs.
   void CommitPrepared(const Request& request, const Placement& placement,
                       const std::vector<LinkDemand>& demands);
-  void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
+  // Advances the global epoch and stamps every bucket in `mask` with the
+  // new value — the scoped invalidation that keeps speculations against
+  // untouched shards fresh.
+  void BumpBuckets(uint64_t mask);
+  void BumpEpoch() { BumpBuckets(~uint64_t{0}); }
 
   // True iff `machine`'s path to the root passes through `vertex`.
   bool MachineBelow(topology::VertexId machine,
@@ -282,6 +361,10 @@ class NetworkManager {
   std::unordered_map<RequestId, LiveRequest> live_;
   // Fault-plane state; ordered so Faults() listings are deterministic.
   std::map<topology::VertexId, FaultKind> failed_;
+  // Shard partition (nullptr = unsharded) and per-bucket epochs; see
+  // shard_epochs().  Written only on the commit thread.
+  std::shared_ptr<const net::ShardMap> shards_;
+  std::vector<uint64_t> shard_epochs_{0};
   // Books version + speculation registration (see epoch()/BeginProposal).
   std::atomic<uint64_t> epoch_{0};
   std::atomic<int64_t> in_flight_{0};
