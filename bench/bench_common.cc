@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "obs/decision_log.h"
+#include "obs/exporter.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "svc/homogeneous_search.h"
@@ -55,7 +57,24 @@ CommonOptions::CommonOptions(util::FlagSet& flags)
       series_period_(flags.Double(
           "series-period", 100.0,
           "simulated seconds between engine time-series samples when "
-          "--metrics-out is set")) {}
+          "--metrics-out is set")),
+      decisions_out_(flags.String(
+          "decisions-out", "",
+          "write per-admission decision-provenance records here (JSONL; "
+          "enables decision logging for the run)")),
+      flight_dir_(flags.String(
+          "flight-dir", "",
+          "arm the flight recorder: postmortem bundles (decision ring + "
+          "metrics + trace) are dumped into this directory on faults, "
+          "invariant failures, and SLO breaches")),
+      flight_admit_slo_us_(flags.Double(
+          "flight-admit-slo-us", 0.0,
+          "mean admit latency (us) per SLO window that latches a "
+          "flight-recorder dump (0 = off; needs --flight-dir)")),
+      flight_reject_rate_(flags.Double(
+          "flight-reject-rate", 0.0,
+          "rejection rate per SLO window that latches a flight-recorder "
+          "dump (0 = off; needs --flight-dir)")) {}
 
 topology::ThreeTierConfig CommonOptions::TopologyConfig() const {
   topology::ThreeTierConfig config;
@@ -118,13 +137,24 @@ sim::OnlineResult RunOnline(const topology::Topology& topo,
 }
 
 ObsScope::ObsScope(const CommonOptions& options)
-    : metrics_out_(options.metrics_out()), trace_out_(options.trace_out()) {
+    : metrics_out_(options.metrics_out()),
+      trace_out_(options.trace_out()),
+      decisions_out_(options.decisions_out()),
+      flight_(!options.flight_dir().empty()) {
   if (!metrics_out_.empty()) {
     obs::SetMetricsEnabled(true);
     g_active_series = &sink_;
     g_active_series_period = options.series_period();
   }
   if (!trace_out_.empty()) obs::SetTraceEnabled(true);
+  if (!decisions_out_.empty()) obs::SetDecisionsEnabled(true);
+  if (flight_) {
+    obs::FlightRecorderConfig flight;
+    flight.dir = options.flight_dir();
+    flight.admit_latency_slo_us = options.flight_admit_slo_us();
+    flight.rejection_rate_slo = options.flight_reject_rate();
+    obs::FlightRecorder::Global().Configure(flight);
+  }
 }
 
 ObsScope::~ObsScope() {
@@ -137,6 +167,20 @@ ObsScope::~ObsScope() {
   }
   if (!trace_out_.empty()) {
     WriteFile(trace_out_, obs::SerializeChromeTrace());
+  }
+  if (!decisions_out_.empty()) {
+    std::string out;
+    for (const obs::DecisionRecord& rec : obs::CollectDecisions()) {
+      obs::AppendDecisionJson(out, rec);
+      out.push_back('\n');
+    }
+    WriteFile(decisions_out_, out);
+  }
+  if (flight_) {
+    // Flush an SLO breach latched in the run's tail, then disarm so a later
+    // scope (or test) starts from a clean recorder.
+    obs::FlightRecorder::Global().MaybeTriggerPending();
+    obs::FlightRecorder::Global().Reset();
   }
 }
 

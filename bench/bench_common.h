@@ -42,6 +42,10 @@ class CommonOptions {
   const std::string& metrics_out() const { return metrics_out_; }
   const std::string& trace_out() const { return trace_out_; }
   double series_period() const { return series_period_; }
+  const std::string& decisions_out() const { return decisions_out_; }
+  const std::string& flight_dir() const { return flight_dir_; }
+  double flight_admit_slo_us() const { return flight_admit_slo_us_; }
+  double flight_reject_rate() const { return flight_reject_rate_; }
 
  private:
   int64_t& racks_;
@@ -58,6 +62,10 @@ class CommonOptions {
   std::string& metrics_out_;
   std::string& trace_out_;
   double& series_period_;
+  std::string& decisions_out_;
+  std::string& flight_dir_;
+  double& flight_admit_slo_us_;
+  double& flight_reject_rate_;
 };
 
 // Arms the observability layer for one bench run, driven by --metrics-out /
@@ -70,7 +78,13 @@ class CommonOptions {
 //   trace_out:   Chrome trace-event JSON (load in Perfetto / about:tracing)
 //                with the allocator / solver / engine spans and counter
 //                tracks of the run's final ring-buffer window.
-// When neither flag is set construction is a no-op and the instrumented
+// --decisions-out additionally enables decision provenance and writes the
+// surviving ring contents (seq-ordered JSONL, one record per admission
+// outcome) on destruction.  --flight-dir arms the flight recorder for the
+// run: faults, invariant failures, and SLO breaches (--flight-admit-slo-us /
+// --flight-reject-rate) dump postmortem bundles there; any breach still
+// latched at scope exit is flushed before the recorder is disarmed.
+// When no flag is set construction is a no-op and the instrumented
 // hot paths keep their disabled-branch cost.  Serialization happens in the
 // destructor, after the sweeps' worker threads have quiesced (SweepRunner
 // joins its pool before returning), satisfying the trace reader contract.
@@ -85,6 +99,8 @@ class ObsScope {
  private:
   std::string metrics_out_;
   std::string trace_out_;
+  std::string decisions_out_;
+  bool flight_ = false;
   obs::TimeSeriesSink sink_;
 };
 

@@ -45,6 +45,7 @@
 
 #include "alloc_counter.h"
 #include "bench_common.h"
+#include "obs/decision_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/rng.h"
@@ -161,6 +162,12 @@ int main(int argc, char** argv) {
       "admit-iters", 600, "admission requests per pipeline batch round");
   int64_t& pipeline_workers = flags.Int(
       "pipeline-workers", 4, "speculation workers for admission_throughput");
+  int64_t& decisions_on = flags.Int(
+      "decisions", 1,
+      "record decision provenance (obs/decision_log) through the admission "
+      "and sharded benches, so their throughput numbers carry the logging "
+      "cost the online control plane would pay; 0 measures the "
+      "compiled-in-but-disabled baseline");
   int64_t& admit_shards = flags.Int(
       "admit-shards", 4,
       "aggregation-level commit shards for admission_sharded (1 = the "
@@ -284,14 +291,17 @@ int main(int argc, char** argv) {
   std::printf("allocate: %.0f calls/s  %.3f heap allocations/call\n",
               calls_per_sec, allocs_per_call);
 
-  // Same loop with the observability layer armed.  The metric/trace write
-  // path is heap-free by design (static handle caches, stack name buffers,
-  // sharded atomics, pre-sized trace ring), so allocs/call must stay zero
-  // here too — this is the regression gate for the obs overhead budget.
+  // Same loop with the observability layer armed.  The metric/trace/decision
+  // write path is heap-free by design (static handle caches, stack name
+  // buffers, sharded atomics, pre-sized trace ring, fixed per-thread
+  // decision rings), so allocs/call must stay zero here too — this is the
+  // regression gate for the obs overhead budget.
   const bool metrics_were_on = obs::MetricsEnabled();
   const bool trace_was_on = obs::TraceEnabled();
+  const bool decisions_were_on = obs::DecisionsEnabled();
   obs::SetMetricsEnabled(true);
   obs::SetTraceEnabled(true);
+  obs::SetDecisionsEnabled(true);
   // A few instrumented admissions populate the manager/ledger metrics so
   // the snapshot below has real content; the warm-up Allocate registers
   // the allocator handles and this thread's trace ring.
@@ -316,6 +326,7 @@ int main(int argc, char** argv) {
   const double obs_seconds = Now() - obs_start;
   obs::SetMetricsEnabled(metrics_were_on);
   obs::SetTraceEnabled(trace_was_on);
+  obs::SetDecisionsEnabled(decisions_were_on);
   const double obs_allocs_per_call =
       alloc_iters > 0 ? static_cast<double>(svc::bench::AllocationCount() -
                                             obs_allocs_before) /
@@ -436,6 +447,11 @@ int main(int argc, char** argv) {
   // deterministic discipline makes the decision sequence a hard gate: any
   // worker count must reproduce the serial verdicts and placements
   // exactly.
+  // With --decisions (the default) the admission and sharded benches run
+  // with decision provenance armed, so their throughput records — and the
+  // CI speedup gates downstream of them — include the per-outcome logging
+  // cost an online control plane would actually pay.
+  if (decisions_on != 0) obs::SetDecisionsEnabled(true);
   std::vector<core::Request> admit_requests;
   {
     stats::Rng rng(11);
@@ -694,6 +710,12 @@ int main(int argc, char** argv) {
       static_cast<long long>(sharded.stats.cross_shard_commits),
       static_cast<long long>(sharded.stats.shard_conflicts),
       sharded_identical ? "yes" : "NO");
+  if (decisions_on != 0) {
+    obs::SetDecisionsEnabled(false);
+    std::printf("decisions: %llu records logged (ring keeps last %zu/thread)\n",
+                static_cast<unsigned long long>(obs::DecisionCount()),
+                obs::DecisionRingCapacity());
+  }
 
   // --- BENCH_PERF.json ---------------------------------------------------
   util::JsonWriter w;

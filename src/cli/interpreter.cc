@@ -5,6 +5,8 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/decision_log.h"
+#include "obs/exporter.h"
 #include "obs/metrics.h"
 #include "svc/admission_pipeline.h"
 #include "svc/first_fit.h"
@@ -427,6 +429,69 @@ bool Interpreter::CmdFaults(const std::vector<std::string>& args,
   return true;
 }
 
+bool Interpreter::CmdHealth(const std::vector<std::string>& args,
+                            std::ostream& out) {
+  if (args.size() != 1) {
+    out << "error: health takes no arguments\n";
+    return false;
+  }
+  out << "health: " << manager_.live_count() << " tenant(s) live, "
+      << manager_.slots().total_free() << "/" << manager_.topo().total_slots()
+      << " slots free, max-occupancy " << manager_.MaxOccupancy()
+      << ", faults " << manager_.Faults().size() << ", decisions "
+      << obs::DecisionCount() << ", flight-bundles "
+      << obs::FlightRecorder::Global().bundles_written() << ", state "
+      << (manager_.StateValid() ? "valid" : "INVALID") << "\n";
+  // Prometheus-style exposition of everything the session recorded so far
+  // (metrics registry including the per-shard pipeline gauges).
+  if (obs::MetricsEnabled()) out << obs::ExportPrometheus();
+  return manager_.StateValid();
+}
+
+bool Interpreter::CmdTail(const std::vector<std::string>& args,
+                          std::ostream& out) {
+  int64_t n = 10;
+  if (args.size() > 2 || (args.size() == 2 && (!ParseInt(args[1], n) ||
+                                               n < 1))) {
+    out << "error: tail [n]\n";
+    return false;
+  }
+  if (!obs::DecisionsEnabled()) {
+    out << "tail: decision logging disabled (svcctl enables it at startup; "
+           "library embedders call obs::SetDecisionsEnabled)\n";
+    return true;
+  }
+  const std::vector<obs::DecisionRecord> decisions = obs::CollectDecisions();
+  if (decisions.empty()) {
+    out << "tail: no decisions recorded\n";
+    return true;
+  }
+  const size_t start = decisions.size() > static_cast<size_t>(n)
+                           ? decisions.size() - static_cast<size_t>(n)
+                           : 0;
+  for (size_t i = start; i < decisions.size(); ++i) {
+    out << obs::FormatDecision(decisions[i]) << "\n";
+  }
+  return true;
+}
+
+bool Interpreter::CmdExplain(const std::vector<std::string>& args,
+                             std::ostream& out) {
+  int64_t id = 0;
+  if (args.size() != 2 || !ParseInt(args[1], id)) {
+    out << "error: explain <tenant>\n";
+    return false;
+  }
+  obs::DecisionRecord record;
+  if (!obs::FindDecision(id, &record)) {
+    out << "explain " << id << ": no decision recorded (ring may have "
+        << "wrapped, or decision logging was off)\n";
+    return false;
+  }
+  out << "explain " << obs::FormatDecision(record) << "\n";
+  return true;
+}
+
 bool Interpreter::Execute(const std::string& line, std::ostream& out) {
   const std::vector<std::string> args = Tokenize(line);
   if (args.empty()) return true;  // blank / comment
@@ -441,6 +506,9 @@ bool Interpreter::Execute(const std::string& line, std::ostream& out) {
   if (command == "fail") return CmdFail(args, out);
   if (command == "recover") return CmdRecover(args, out);
   if (command == "faults") return CmdFaults(args, out);
+  if (command == "health") return CmdHealth(args, out);
+  if (command == "tail") return CmdTail(args, out);
+  if (command == "explain") return CmdExplain(args, out);
   if (command == "policy") {
     core::RecoveryPolicy policy;
     if (args.size() != 2 || !core::ParseRecoveryPolicy(args[1], &policy)) {

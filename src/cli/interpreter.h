@@ -24,6 +24,12 @@
 //   recover 7                           # bring a failed element back
 //   faults                              # list currently-failed elements
 //   metrics                             # dump the obs metrics registry
+//   health                              # one-line summary + Prometheus
+//                                       #   exposition of the registry
+//   tail [n]                            # last n decision records (def. 10)
+//   explain 2                           # newest decision record for the
+//                                       #   tenant: outcome, commit path,
+//                                       #   binding links with (4)-slack
 //   snapshot save state.txt             # persist live tenants
 //   snapshot load state.txt             # replay into an empty manager
 //
@@ -74,6 +80,9 @@ class Interpreter {
   bool CmdFail(const std::vector<std::string>& args, std::ostream& out);
   bool CmdRecover(const std::vector<std::string>& args, std::ostream& out);
   bool CmdFaults(const std::vector<std::string>& args, std::ostream& out);
+  bool CmdHealth(const std::vector<std::string>& args, std::ostream& out);
+  bool CmdTail(const std::vector<std::string>& args, std::ostream& out);
+  bool CmdExplain(const std::vector<std::string>& args, std::ostream& out);
 
   core::NetworkManager manager_;
   std::map<std::string, std::unique_ptr<core::Allocator>> allocators_;

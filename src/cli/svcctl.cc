@@ -11,6 +11,8 @@
 #include <iostream>
 
 #include "cli/interpreter.h"
+#include "obs/decision_log.h"
+#include "obs/exporter.h"
 #include "obs/metrics.h"
 #include "topology/builders.h"
 #include "util/flags.h"
@@ -29,11 +31,20 @@ int main(int argc, char** argv) {
                    "hetero-heuristic | first-fit");
   std::string& script =
       flags.String("script", "", "command file (default: stdin)");
+  std::string& flight_dir = flags.String(
+      "flight-dir", "", "arm the flight recorder to dump bundles here");
   flags.Parse(argc, argv);
 
   // An interactive tool is never on a hot path, so collection is always on:
-  // the `metrics` command then reflects whatever the session did.
+  // the `metrics`/`health`/`tail`/`explain` commands then reflect whatever
+  // the session did.
   obs::SetMetricsEnabled(true);
+  obs::SetDecisionsEnabled(true);
+  if (!flight_dir.empty()) {
+    obs::FlightRecorderConfig flight;
+    flight.dir = flight_dir;
+    obs::FlightRecorder::Global().Configure(flight);
+  }
 
   topology::ThreeTierConfig config;
   config.racks = static_cast<int>(racks);

@@ -50,6 +50,10 @@ double LinkLedger::Occupancy(topology::VertexId v) const {
                         c_);
 }
 
+double LinkLedger::Slack(topology::VertexId v) const {
+  return std::max(-1.0, 1.0 - Occupancy(v));
+}
+
 double LinkLedger::OccupancyWith(topology::VertexId v, double mean_add,
                                  double var_add, double det_add) const {
   assert(v != topo_->root());

@@ -82,6 +82,13 @@ class LinkLedger {
   // Occupancy ratio O_L of the link under current state (Eq. 6).
   double Occupancy(topology::VertexId v) const;
 
+  // Condition-(4) occupancy slack of the link under current state:
+  // 1 - O_L.  0 means the link sits exactly at its admissible stochastic
+  // load; clamped below at -1 so drained links (O_L = +inf once capacity
+  // is zero) stay finite — the decision log serializes this per binding
+  // link (docs/OBSERVABILITY.md "Decision records").
+  double Slack(topology::VertexId v) const;
+
   // Occupancy if a candidate demand (stochastic moments + deterministic
   // amount) were added, or +inf when the candidate would violate condition
   // (4).  Validity and occupancy share one quantile evaluation, so the

@@ -1,0 +1,307 @@
+#include "obs/exporter.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/decision_log.h"
+#include "obs/trace.h"
+
+namespace svc::obs {
+
+namespace {
+
+void AppendSanitized(std::string& out, std::string_view name) {
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+}
+
+void AppendJsonString(std::string& out, const char* s) {
+  out.push_back('"');
+  for (const char* p = s; *p; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  char buf[128];
+  auto emit_name = [&out](std::string_view name) {
+    out += "svc_";
+    AppendSanitized(out, name);
+  };
+  for (const auto& c : snapshot.counters) {
+    out += "# TYPE svc_";
+    AppendSanitized(out, c.name);
+    out += " counter\n";
+    emit_name(c.name);
+    std::snprintf(buf, sizeof buf, " %lld\n",
+                  static_cast<long long>(c.value));
+    out += buf;
+  }
+  for (const auto& g : snapshot.gauges) {
+    out += "# TYPE svc_";
+    AppendSanitized(out, g.name);
+    out += " gauge\n";
+    emit_name(g.name);
+    std::snprintf(buf, sizeof buf, " %.17g\n", g.value);
+    out += buf;
+  }
+  for (const auto& h : snapshot.histograms) {
+    out += "# TYPE svc_";
+    AppendSanitized(out, h.name);
+    out += " histogram\n";
+    int64_t cumulative = 0;
+    for (const HistogramBucket& b : h.buckets) {
+      cumulative += b.count;
+      emit_name(h.name);
+      std::snprintf(buf, sizeof buf, "_bucket{le=\"%.9g\"} %lld\n", b.upper,
+                    static_cast<long long>(cumulative));
+      out += buf;
+    }
+    emit_name(h.name);
+    std::snprintf(buf, sizeof buf, "_bucket{le=\"+Inf\"} %lld\n",
+                  static_cast<long long>(h.count));
+    out += buf;
+    emit_name(h.name);
+    std::snprintf(buf, sizeof buf, "_sum %.17g\n", h.sum);
+    out += buf;
+    emit_name(h.name);
+    std::snprintf(buf, sizeof buf, "_count %lld\n",
+                  static_cast<long long>(h.count));
+    out += buf;
+  }
+  return out;
+}
+
+std::string ExportPrometheus() {
+  return ExportPrometheus(Registry::Global().Collect());
+}
+
+namespace {
+
+// All recorder state lives here (the FlightRecorder class is a stateless
+// facade over the process-wide instance, like Registry::Global()).
+struct RecorderState {
+  std::mutex mu;
+  FlightRecorderConfig config;        // guarded by mu
+  std::atomic<bool> enabled{false};   // mirrors !config.dir.empty()
+  std::atomic<bool> pending{false};   // latched SLO breach awaiting dump
+  char pending_cause[32] = {};        // guarded by mu
+  char pending_detail[96] = {};       // guarded by mu
+  int64_t bundle_seq = 0;             // guarded by mu
+  std::atomic<int64_t> bundles{0};
+  // Sliding SLO window, guarded by mu.
+  size_t window_n = 0;
+  size_t window_rejected = 0;
+  double window_latency_sum = 0;
+};
+
+RecorderState& State() {
+  static auto* state = new RecorderState();
+  return *state;
+}
+
+bool WriteWholeFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = written == content.size() && std::fclose(f) == 0;
+  if (!ok && written != content.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Global() {
+  static auto* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::Configure(FlightRecorderConfig config) {
+  RecorderState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.config = std::move(config);
+  s.window_n = 0;
+  s.window_rejected = 0;
+  s.window_latency_sum = 0;
+  s.pending.store(false, std::memory_order_relaxed);
+  s.enabled.store(!s.config.dir.empty(), std::memory_order_relaxed);
+}
+
+bool FlightRecorder::enabled() const {
+  return State().enabled.load(std::memory_order_relaxed);
+}
+
+std::string FlightRecorder::Trigger(const char* cause, const char* detail) {
+  RecorderState& s = State();
+  if (!s.enabled.load(std::memory_order_relaxed)) return "";
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.config.dir.empty()) return "";
+  std::error_code ec;
+  std::filesystem::create_directories(s.config.dir, ec);
+
+  // Filename-safe cause tag.
+  char tag[32] = {};
+  size_t t = 0;
+  for (const char* p = cause; *p && t + 1 < sizeof tag; ++p) {
+    const char c = *p;
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    tag[t++] = ok ? c : '-';
+  }
+  const int64_t seq = ++s.bundle_seq;
+  char stem[64];
+  std::snprintf(stem, sizeof stem, "flight-%lld-%s",
+                static_cast<long long>(seq), tag[0] ? tag : "manual");
+  const std::string base = s.config.dir + "/" + stem;
+
+  std::string body;
+  body.reserve(1u << 16);
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "{\"type\":\"flight\",\"seq\":%lld,\"ts_ns\":%llu,",
+                static_cast<long long>(seq),
+                static_cast<unsigned long long>(NowNs()));
+  body += buf;
+  body += "\"cause\":";
+  AppendJsonString(body, cause);
+  body += ",\"detail\":";
+  AppendJsonString(body, detail != nullptr ? detail : "");
+  std::snprintf(buf, sizeof buf,
+                ",\"decisions_total\":%llu,\"trace_dropped\":%llu}\n",
+                static_cast<unsigned long long>(DecisionCount()),
+                static_cast<unsigned long long>(TraceDroppedTotal()));
+  body += buf;
+
+  // Last max_records decisions, oldest first (publication order).
+  const std::vector<DecisionRecord> decisions = CollectDecisions();
+  const size_t start = decisions.size() > s.config.max_records
+                           ? decisions.size() - s.config.max_records
+                           : 0;
+  for (size_t i = start; i < decisions.size(); ++i) {
+    AppendDecisionJson(body, decisions[i]);
+    body.push_back('\n');
+  }
+  body += Registry::Global().Collect().ToJsonl();
+
+  const std::string path = base + ".jsonl";
+  if (!WriteWholeFile(path, body)) return "";
+  if (s.config.include_trace) {
+    WriteWholeFile(base + ".trace.json", SerializeChromeTrace());
+  }
+  s.bundles.fetch_add(1, std::memory_order_relaxed);
+  if (MetricsEnabled()) {
+    Registry::Global().GetCounter("obs/flight_bundles").Increment();
+    Registry::Global()
+        .GetGauge("obs/trace_dropped")
+        .Set(static_cast<double>(TraceDroppedTotal()));
+  }
+  return path;
+}
+
+void FlightRecorder::ObserveAdmission(bool admitted, double latency_us) {
+  RecorderState& s = State();
+  if (!s.enabled.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(s.mu);
+  const FlightRecorderConfig& c = s.config;
+  if (c.admit_latency_slo_us <= 0 && c.rejection_rate_slo <= 0) return;
+  ++s.window_n;
+  if (!admitted) ++s.window_rejected;
+  s.window_latency_sum += latency_us;
+  const size_t window = std::max<size_t>(1, c.slo_window);
+  if (s.window_n < window) return;
+  const double mean_latency = s.window_latency_sum / s.window_n;
+  const double reject_rate =
+      static_cast<double>(s.window_rejected) / s.window_n;
+  const bool latency_breach =
+      c.admit_latency_slo_us > 0 && mean_latency > c.admit_latency_slo_us;
+  const bool reject_breach =
+      c.rejection_rate_slo > 0 && reject_rate > c.rejection_rate_slo;
+  if ((latency_breach || reject_breach) &&
+      !s.pending.load(std::memory_order_relaxed)) {
+    std::snprintf(s.pending_cause, sizeof s.pending_cause, "slo-%s",
+                  latency_breach ? "latency" : "rejection");
+    std::snprintf(s.pending_detail, sizeof s.pending_detail,
+                  "window=%zu mean_latency_us=%.1f reject_rate=%.3f",
+                  s.window_n, mean_latency, reject_rate);
+    s.pending.store(true, std::memory_order_relaxed);
+  }
+  s.window_n = 0;
+  s.window_rejected = 0;
+  s.window_latency_sum = 0;
+}
+
+void FlightRecorder::LatchTrigger(const char* cause, const char* detail) {
+  RecorderState& s = State();
+  if (!s.enabled.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.pending.load(std::memory_order_relaxed)) return;  // first latch wins
+  std::snprintf(s.pending_cause, sizeof s.pending_cause, "%s", cause);
+  std::snprintf(s.pending_detail, sizeof s.pending_detail, "%s",
+                detail != nullptr ? detail : "");
+  s.pending.store(true, std::memory_order_relaxed);
+}
+
+std::string FlightRecorder::MaybeTriggerPending() {
+  RecorderState& s = State();
+  if (!s.pending.load(std::memory_order_relaxed)) return "";
+  char cause[32];
+  char detail[96];
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (!s.pending.load(std::memory_order_relaxed)) return "";
+    std::memcpy(cause, s.pending_cause, sizeof cause);
+    std::memcpy(detail, s.pending_detail, sizeof detail);
+    s.pending.store(false, std::memory_order_relaxed);
+  }
+  return Trigger(cause, detail);
+}
+
+int64_t FlightRecorder::bundles_written() const {
+  return State().bundles.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::Reset() {
+  RecorderState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.config = FlightRecorderConfig{};
+  s.enabled.store(false, std::memory_order_relaxed);
+  s.pending.store(false, std::memory_order_relaxed);
+  s.bundle_seq = 0;
+  s.bundles.store(0, std::memory_order_relaxed);
+  s.window_n = 0;
+  s.window_rejected = 0;
+  s.window_latency_sum = 0;
+}
+
+}  // namespace svc::obs

@@ -126,11 +126,53 @@ std::vector<TraceEvent> CollectTraceEvents() {
   return events;
 }
 
+uint64_t TraceDroppedTotal() {
+  uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(g_rings_mu);
+  for (const auto& ring : GlobalRings()) {
+    const uint64_t head = ring->head.load(std::memory_order_acquire);
+    if (head > kRingCapacity) total += head - kRingCapacity;
+  }
+  return total;
+}
+
 std::string SerializeChromeTrace() {
+  // Per-thread drop markers: a ring whose head ran past the capacity has
+  // overwritten its oldest events, so the serialized window is truncated.
+  // Emit one `obs/trace_dropped` counter sample per affected thread at the
+  // timestamp of its oldest *retained* event, so the viewer shows exactly
+  // where the record begins and how much history is missing before it.
+  struct DropMark {
+    uint32_t tid = 0;
+    uint64_t dropped = 0;
+    uint64_t ts_ns = 0;
+  };
+  std::vector<DropMark> drops;
+  {
+    std::lock_guard<std::mutex> lock(g_rings_mu);
+    for (const auto& ring : GlobalRings()) {
+      const uint64_t head = ring->head.load(std::memory_order_acquire);
+      if (head > kRingCapacity) {
+        const TraceEvent& oldest = ring->slots[head % kRingCapacity];
+        drops.push_back({ring->tid, head - kRingCapacity, oldest.ts_ns});
+      }
+    }
+  }
   const std::vector<TraceEvent> events = CollectTraceEvents();
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
-  char buf[96];
+  char buf[128];
+  for (const DropMark& d : drops) {
+    if (!first) out.push_back(',');
+    first = false;
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"obs/trace_dropped\",\"cat\":\"svc\","
+                  "\"ph\":\"C\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+                  "\"args\":{\"value\":%llu}}",
+                  d.tid, static_cast<double>(d.ts_ns) / 1000.0,
+                  static_cast<unsigned long long>(d.dropped));
+    out += buf;
+  }
   for (const TraceEvent& e : events) {
     if (e.name == nullptr) continue;
     if (!first) out.push_back(',');

@@ -64,6 +64,14 @@ void TraceCounter(const char* name, double value);
 // contract above.
 std::vector<TraceEvent> CollectTraceEvents();
 
+// Events lost to ring wraparound across all threads: each ring retains the
+// last 64K events, so anything older has been overwritten.  Derived from
+// the ring heads (no extra work on the record path); resets with
+// ClearTrace().  Quiesced-threads contract above.  Surfaced as the
+// `obs/trace_dropped` gauge and as per-thread counter-track markers in
+// SerializeChromeTrace(), so a truncated postmortem bundle is detectable.
+uint64_t TraceDroppedTotal();
+
 // Chrome trace-event JSON ({"traceEvents":[...]}).  Load in Perfetto or
 // chrome://tracing.  Quiesced-threads contract above.
 std::string SerializeChromeTrace();

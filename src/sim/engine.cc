@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/exporter.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/lognormal.h"
@@ -60,8 +61,15 @@ bool Engine::FinishStart(const workload::JobSpec& spec, double now,
                          util::Result<core::Placement>& result) {
   if (!result) {
     if (result.status().code() == util::ErrorCode::kFailedPrecondition) {
-      // An allocator bug, not a capacity condition — fail loudly.
+      // An allocator bug, not a capacity condition — fail loudly.  This may
+      // run inside a pipeline decision callback (workers still recording),
+      // so the flight-recorder dump is latched, not taken inline.
       SVC_LOG(Error) << "admission inconsistency: " << result.status().ToText();
+      char detail[96];
+      std::snprintf(detail, sizeof detail, "job=%lld",
+                    static_cast<long long>(spec.id));
+      obs::FlightRecorder::Global().LatchTrigger("admission-inconsistency",
+                                                 detail);
     }
     return false;
   }
@@ -496,6 +504,9 @@ BatchResult Engine::RunBatch(const std::vector<workload::JobSpec>& jobs) {
   // Faults precede admissions at the same instant, as in RunOnline.
   ApplyFaultEvents(now);
   admit_fifo();
+  // Quiesced here and at every loop bottom: AdmitBatch is synchronous, so
+  // an SLO breach latched mid-batch dumps with no speculation in flight.
+  obs::FlightRecorder::Global().MaybeTriggerPending();
   std::vector<int64_t> completed;
   while (!active_.empty() || !queue.empty()) {
     if (now >= config_.max_seconds) {
@@ -530,7 +541,9 @@ BatchResult Engine::RunBatch(const std::vector<workload::JobSpec>& jobs) {
       }
     }
     if (!completed.empty() || capacity_changed) admit_fifo();
+    obs::FlightRecorder::Global().MaybeTriggerPending();
   }
+  obs::FlightRecorder::Global().MaybeTriggerPending();
   result.simulated_seconds = now;
   result.outage = {outage_link_seconds_, busy_link_seconds_};
   result.failure_outage = {failure_outage_link_seconds_,
@@ -626,6 +639,9 @@ OnlineResult Engine::RunOnline(std::vector<workload::JobSpec> jobs) {
         ++next;
       }
     }
+    // The admission group settled (AdmitBatch is synchronous), so a latched
+    // SLO breach or inconsistency dumps here with the pipeline drained.
+    obs::FlightRecorder::Global().MaybeTriggerPending();
     if (active_.empty()) {
       // Idle period: jump to the next arrival instead of stepping through
       // empty seconds.
@@ -648,6 +664,7 @@ OnlineResult Engine::RunOnline(std::vector<workload::JobSpec> jobs) {
       result.jobs.push_back(record);
     }
   }
+  obs::FlightRecorder::Global().MaybeTriggerPending();
   result.simulated_seconds = now;
   result.outage = {outage_link_seconds_, busy_link_seconds_};
   result.failure_outage = {failure_outage_link_seconds_,

@@ -7,6 +7,7 @@
 #include <optional>
 #include <utility>
 
+#include "obs/exporter.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -24,6 +25,29 @@ double MicrosSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::micro>(
              std::chrono::steady_clock::now() - start)
       .count();
+}
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+float MicrosBetween(int64_t from_ns, int64_t to_ns) {
+  return from_ns == 0 ? 0.0f : static_cast<float>(to_ns - from_ns) * 1e-3f;
+}
+
+// Short reason code for decision records (mirrors manager.cc).
+const char* ReasonCode(util::ErrorCode code) {
+  switch (code) {
+    case util::ErrorCode::kOk: return "ok";
+    case util::ErrorCode::kInvalidArgument: return "invalid-argument";
+    case util::ErrorCode::kInfeasible: return "infeasible";
+    case util::ErrorCode::kCapacity: return "capacity";
+    case util::ErrorCode::kNotFound: return "not-found";
+    case util::ErrorCode::kFailedPrecondition: return "precondition";
+  }
+  return "unknown";
 }
 
 }  // namespace
@@ -54,6 +78,15 @@ struct AdmissionPipeline::BatchCtx {
   // decisions, shard workers fill dispatched ones (then set apply_ready).
   std::vector<std::optional<util::Result<Placement>>> decided;
   std::vector<std::atomic<uint8_t>> apply_ready;
+  // Decision-provenance stage clocks (empty unless decision logging is on
+  // at batch start; sized at batch setup, so the speculation hot loop
+  // never allocates).  Same single-writer-per-index discipline as
+  // `proposals`: the feeder stamps submit_ns[i], the speculating worker
+  // fills stages[i]'s front half + spec_end_ns[i], the sequencer the rest.
+  bool decisions = false;
+  std::vector<int64_t> submit_ns;
+  std::vector<int64_t> spec_end_ns;
+  std::vector<obs::DecisionRecord::StageLatencies> stages;
 };
 
 AdmissionPipeline::AdmissionPipeline(NetworkManager& manager,
@@ -166,10 +199,25 @@ void AdmissionPipeline::RefreshSnapshot() {
 void AdmissionPipeline::SpeculateLoop(BatchCtx& ctx) {
   size_t index = 0;
   while (ctx.pending.Pop(index)) {
-    const std::shared_ptr<const AdmissionSnapshot> snapshot =
-        CurrentSnapshot();
-    ctx.proposals[index] =
-        manager_.Propose((*ctx.requests)[index], *ctx.allocator, *snapshot);
+    if (ctx.decisions) {
+      const int64_t popped = NowNs();
+      ctx.stages[index].queue_wait_us =
+          MicrosBetween(ctx.submit_ns[index], popped);
+      const std::shared_ptr<const AdmissionSnapshot> snapshot =
+          CurrentSnapshot();
+      const int64_t captured = NowNs();
+      ctx.stages[index].snapshot_us = MicrosBetween(popped, captured);
+      ctx.proposals[index] =
+          manager_.Propose((*ctx.requests)[index], *ctx.allocator, *snapshot);
+      ctx.spec_end_ns[index] = NowNs();
+      ctx.stages[index].speculate_us =
+          MicrosBetween(captured, ctx.spec_end_ns[index]);
+    } else {
+      const std::shared_ptr<const AdmissionSnapshot> snapshot =
+          CurrentSnapshot();
+      ctx.proposals[index] =
+          manager_.Propose((*ctx.requests)[index], *ctx.allocator, *snapshot);
+    }
     ctx.done.Push(index);
   }
 }
@@ -180,7 +228,26 @@ void AdmissionPipeline::CommitterLoop(ShardCommitter& committer) {
     const auto start = std::chrono::steady_clock::now();
     util::Result<Placement> r =
         manager_.ApplyShardCommit(*task.request, std::move(task.proposal));
-    SVC_METRIC_HIST("admission/commit_latency_us", MicrosSince(start));
+    const double apply_us = MicrosSince(start);
+    SVC_METRIC_HIST("admission/commit_latency_us", apply_us);
+    if (obs::DecisionsEnabled()) {
+      // Complete the sequencer-started record on the worker: a dispatched
+      // task is single-shard, so its demand links (left intact by the
+      // apply's placement move) are all in this worker's bucket — the
+      // post-apply slack reads race with nothing.
+      task.stages.apply_us = static_cast<float>(apply_us);
+      const int shard = task.proposal.touched_mask == 0
+                            ? -1
+                            : std::countr_zero(task.proposal.touched_mask);
+      manager_.RecordAdmissionDecision(
+          *task.request, task.ctx->allocator->name(), r.ok(),
+          r.ok() ? "ok" : ReasonCode(r.status().code()), task.path, shard,
+          task.epoch_delta, manager_.ledger(), &task.proposal.demands,
+          task.stages);
+    }
+    if (obs::FlightRecorder::Global().enabled()) {
+      obs::FlightRecorder::Global().ObserveAdmission(r.ok(), apply_us);
+    }
     task.ctx->decided[task.index] = std::move(r);
     task.ctx->apply_ready[task.index].store(1, std::memory_order_release);
     committer.applied.fetch_add(1, std::memory_order_release);
@@ -216,7 +283,8 @@ std::vector<util::Result<Placement>> AdmissionPipeline::AdmitSerial(
 
 util::Result<Placement> AdmissionPipeline::SerialRerun(
     const Request& request, const Allocator& allocator) {
-  util::Result<Placement> r = manager_.Admit(request, allocator);
+  util::Result<Placement> r =
+      manager_.Admit(request, allocator, obs::CommitPath::kStaleRerun);
   if (r.ok()) {
     ++stats_.committed;
     SVC_METRIC_INC("admission/committed");
@@ -239,6 +307,34 @@ std::optional<util::Result<Placement>> AdmissionPipeline::FinalizeDeterministic(
     const Request& request, const Allocator& allocator,
     AdmissionProposal&& proposal, BatchCtx* ctx, size_t index) {
   const bool fresh = proposal.epoch == manager_.epoch();
+  const bool decisions = ctx->decisions;
+  const uint32_t epoch_delta =
+      static_cast<uint32_t>(manager_.epoch() - proposal.epoch);
+  if (decisions) {
+    // Park-plus-sequencer-wait time; the sequencer fills it here once so
+    // every downstream branch (inline, dispatch, rerun) inherits it.
+    ctx->stages[index].sequence_us =
+        MicrosBetween(ctx->spec_end_ns[index], NowNs());
+  }
+  obs::FlightRecorder& flight = obs::FlightRecorder::Global();
+  // Provenance for a rejection decided on the sequencer.  Binding links
+  // descend the CURRENT PUBLISHED SNAPSHOT's ledger, not the authoritative
+  // books: shard appliers may be writing their buckets' rows right now,
+  // and the snapshot is immutable once published.
+  auto record_reject = [&](obs::CommitPath path, const char* reason) {
+    if (decisions) {
+      const std::shared_ptr<const AdmissionSnapshot> snap = CurrentSnapshot();
+      manager_.RecordAdmissionDecision(request, allocator.name(),
+                                       /*admitted=*/false, reason, path,
+                                       /*shard=*/-1, epoch_delta,
+                                       snap->view.ledger(), nullptr,
+                                       ctx->stages[index]);
+    }
+    if (flight.enabled()) {
+      flight.ObserveAdmission(
+          false, decisions ? ctx->stages[index].sequence_us : 0.0);
+    }
+  };
   if (!proposal.ok) {
     if (fresh || allocator.monotone_rejections()) {
       // A rejection against fresh books IS the serial verdict — and a stale
@@ -248,6 +344,9 @@ std::optional<util::Result<Placement>> AdmissionPipeline::FinalizeDeterministic(
       // books holds a fortiori.  Rejection runs therefore keep every later
       // proposal fresh — heavy admission-control pressure pipelines well.
       ++stats_.rejected;
+      record_reject(fresh ? obs::CommitPath::kFresh
+                          : obs::CommitPath::kShardFresh,
+                    ReasonCode(proposal.status.code()));
       return util::Result<Placement>(proposal.status);
     }
     // A stale rejection from a greedy allocator: the changed books may have
@@ -279,12 +378,17 @@ std::optional<util::Result<Placement>> AdmissionPipeline::FinalizeDeterministic(
       shard >= 0 && allocator.monotone_placements() &&
       manager_.BucketsFresh(proposal.fresh_mask, proposal.shard_epochs);
   if (fresh || shard_fresh) {
+    const obs::CommitPath commit_path =
+        fresh ? (shard >= 0 ? obs::CommitPath::kShardDispatch
+                            : obs::CommitPath::kFresh)
+              : obs::CommitPath::kShardFresh;
     if (shard >= 0) {
       if (util::Status s = manager_.PrepareShardCommit(request, proposal);
           !s.ok()) {
         // Shape/duplicate failure on a fresh proposal: an allocator bug —
         // the same loud, attributable surface Admit gives it.
         ++stats_.rejected;
+        record_reject(commit_path, ReasonCode(s.code()));
         return util::Result<Placement>(
             util::ErrorCode::kFailedPrecondition,
             std::string(allocator.name()) + ": " + s.message());
@@ -297,8 +401,17 @@ std::optional<util::Result<Placement>> AdmissionPipeline::FinalizeDeterministic(
             static_cast<double>(c.dispatched -
                                 c.applied.load(std::memory_order_relaxed)));
       }
-      const bool pushed = c.queue.Push(
-          CommitTask{index, &request, std::move(proposal), ctx});
+      CommitTask task;
+      task.index = index;
+      task.request = &request;
+      task.proposal = std::move(proposal);
+      task.ctx = ctx;
+      if (decisions) {
+        task.path = commit_path;
+        task.epoch_delta = epoch_delta;
+        task.stages = ctx->stages[index];
+      }
+      const bool pushed = c.queue.Push(std::move(task));
       assert(pushed && "shard commit queue closed mid-batch");
       (void)pushed;
       RefreshSnapshot();
@@ -317,7 +430,20 @@ std::optional<util::Result<Placement>> AdmissionPipeline::FinalizeDeterministic(
     const auto start = std::chrono::steady_clock::now();
     util::Result<Placement> committed =
         manager_.CommitProposal(request, std::move(proposal));
-    SVC_METRIC_HIST("admission/commit_latency_us", MicrosSince(start));
+    const double commit_us = MicrosSince(start);
+    SVC_METRIC_HIST("admission/commit_latency_us", commit_us);
+    if (decisions) {
+      // Strict freshness implies every apply queue is idle, so reading the
+      // authoritative books for the binding-link slack is race-free here;
+      // CommitProposal moved only the placement, the demands survive.
+      ctx->stages[index].apply_us = static_cast<float>(commit_us);
+      manager_.RecordAdmissionDecision(
+          request, allocator.name(), committed.ok(),
+          committed.ok() ? "ok" : ReasonCode(committed.status().code()),
+          commit_path, /*shard=*/-1, epoch_delta, manager_.ledger(),
+          &proposal.demands, ctx->stages[index]);
+    }
+    if (flight.enabled()) flight.ObserveAdmission(committed.ok(), commit_us);
     if (committed.ok()) {
       ++stats_.committed;
       SVC_METRIC_INC("admission/committed");
@@ -359,6 +485,14 @@ std::vector<util::Result<Placement>> AdmissionPipeline::AdmitBatch(
   BatchCtx ctx(n, static_cast<size_t>(config_.queue_capacity));
   ctx.requests = &requests;
   ctx.allocator = &allocator;
+  // Latched once per batch: all stage-clock storage is sized here, so the
+  // speculation and sequencing hot loops never allocate for provenance.
+  ctx.decisions = obs::DecisionsEnabled();
+  if (ctx.decisions) {
+    ctx.submit_ns.assign(n, 0);
+    ctx.spec_end_ns.assign(n, 0);
+    ctx.stages.assign(n, obs::DecisionRecord::StageLatencies{});
+  }
   RefreshSnapshot();
 
   const int nworkers =
@@ -384,8 +518,9 @@ std::vector<util::Result<Placement>> AdmissionPipeline::AdmitBatch(
       static_cast<size_t>(config_.queue_capacity) + nworkers;
   auto feed = [&] {
     while (!aborted && next_submit < n &&
-           next_submit - sequenced < inflight_cap &&
-           ctx.pending.TryPush(next_submit)) {
+           next_submit - sequenced < inflight_cap) {
+      if (ctx.decisions) ctx.submit_ns[next_submit] = NowNs();
+      if (!ctx.pending.TryPush(next_submit)) break;
       manager_.BeginProposal();
       ++next_submit;
     }
@@ -516,6 +651,18 @@ std::vector<util::Result<Placement>> AdmissionPipeline::AdmitBatch(
       const size_t idx = pop_done();
       AdmissionProposal& proposal = ctx.proposals[idx];
       const bool fresh = proposal.epoch == manager_.epoch();
+      // Optimistic mode runs no shard committers: the sequencer is the
+      // only books writer, so decision-record slack reads use the
+      // authoritative ledger directly.
+      const obs::CommitPath opt_path = ctx.attempts[idx] > 0
+                                           ? obs::CommitPath::kOptimisticRetry
+                                           : obs::CommitPath::kOptimistic;
+      const uint32_t epoch_delta =
+          static_cast<uint32_t>(manager_.epoch() - proposal.epoch);
+      if (ctx.decisions) {
+        ctx.stages[idx].sequence_us =
+            MicrosBetween(ctx.spec_end_ns[idx], NowNs());
+      }
       std::optional<util::Result<Placement>> r;
       if (proposal.ok) {
         if (!touched_shards_.empty()) {
@@ -530,13 +677,35 @@ std::vector<util::Result<Placement>> AdmissionPipeline::AdmitBatch(
         util::Result<Placement> committed =
             manager_.CommitProposal((*ctx.requests)[idx],
                                     std::move(proposal));
-        SVC_METRIC_HIST("admission/commit_latency_us", MicrosSince(start));
+        const double commit_us = MicrosSince(start);
+        SVC_METRIC_HIST("admission/commit_latency_us", commit_us);
         if (committed.ok()) {
+          if (ctx.decisions) {
+            ctx.stages[idx].apply_us = static_cast<float>(commit_us);
+            manager_.RecordAdmissionDecision(
+                (*ctx.requests)[idx], allocator.name(), /*admitted=*/true,
+                "ok", opt_path, /*shard=*/-1, epoch_delta, manager_.ledger(),
+                &proposal.demands, ctx.stages[idx]);
+          }
+          if (obs::FlightRecorder::Global().enabled()) {
+            obs::FlightRecorder::Global().ObserveAdmission(true, commit_us);
+          }
           ++stats_.committed;
           SVC_METRIC_INC("admission/committed");
           RefreshSnapshot();
           r = std::move(committed);
         } else if (fresh) {
+          if (ctx.decisions) {
+            ctx.stages[idx].apply_us = static_cast<float>(commit_us);
+            manager_.RecordAdmissionDecision(
+                (*ctx.requests)[idx], allocator.name(), /*admitted=*/false,
+                ReasonCode(committed.status().code()), opt_path,
+                /*shard=*/-1, epoch_delta, manager_.ledger(),
+                &proposal.demands, ctx.stages[idx]);
+          }
+          if (obs::FlightRecorder::Global().enabled()) {
+            obs::FlightRecorder::Global().ObserveAdmission(false, commit_us);
+          }
           ++stats_.rejected;
           r = util::Result<Placement>(
               util::ErrorCode::kFailedPrecondition,
@@ -550,6 +719,16 @@ std::vector<util::Result<Placement>> AdmissionPipeline::AdmitBatch(
         // Fresh rejections are authoritative; stale ones are too for a
         // monotone allocator, because the books only gained tenants since
         // the snapshot (nothing releases mid-batch).
+        if (ctx.decisions) {
+          manager_.RecordAdmissionDecision(
+              (*ctx.requests)[idx], allocator.name(), /*admitted=*/false,
+              ReasonCode(proposal.status.code()), opt_path, /*shard=*/-1,
+              epoch_delta, manager_.ledger(), nullptr, ctx.stages[idx]);
+        }
+        if (obs::FlightRecorder::Global().enabled()) {
+          obs::FlightRecorder::Global().ObserveAdmission(
+              false, ctx.decisions ? ctx.stages[idx].sequence_us : 0.0);
+        }
         ++stats_.rejected;
         r = util::Result<Placement>(proposal.status);
       } else {
@@ -571,8 +750,8 @@ std::vector<util::Result<Placement>> AdmissionPipeline::AdmitBatch(
         // fallback on the commit thread — never worse than the serial path.
         ++stats_.fallbacks;
         SVC_METRIC_INC("admission/fallbacks");
-        util::Result<Placement> f =
-            manager_.Admit((*ctx.requests)[idx], allocator);
+        util::Result<Placement> f = manager_.Admit(
+            (*ctx.requests)[idx], allocator, obs::CommitPath::kStaleRerun);
         if (f.ok()) {
           ++stats_.committed;
           SVC_METRIC_INC("admission/committed");

@@ -156,11 +156,19 @@ class AdmissionPipeline {
   // One apply-half work item for a shard commit worker.  `request` points
   // into the AdmitBatch caller's vector and `ctx` into its stack frame;
   // both outlive the task because the batch end drains every queue.
+  // The decision-provenance fields (path, epoch_delta, stages) are filled
+  // by the sequencer when decision logging is on; the worker completes the
+  // record with the apply latency and the post-apply binding-link slack —
+  // a single-shard task's demand links all live in the worker's own
+  // bucket, so those reads race with nothing.
   struct CommitTask {
     size_t index = 0;
     const Request* request = nullptr;
     AdmissionProposal proposal;
     BatchCtx* ctx = nullptr;
+    obs::CommitPath path = obs::CommitPath::kShardDispatch;
+    uint32_t epoch_delta = 0;
+    obs::DecisionRecord::StageLatencies stages;
   };
 
   // Per-shard commit worker: a FIFO queue (so per-shard apply order equals

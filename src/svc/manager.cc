@@ -9,6 +9,7 @@
 #include <limits>
 #include <utility>
 
+#include "obs/exporter.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "svc/demand_profile.h"
@@ -69,6 +70,19 @@ void BumpAllocatorCounter(std::string_view allocator, const char* outcome) {
   std::snprintf(name, sizeof name, "alloc/%.*s/%s",
                 static_cast<int>(allocator.size()), allocator.data(), outcome);
   obs::Registry::Global().GetCounter(name).Increment();
+}
+
+// Short reason code for decision records (fits DecisionRecord::reason).
+const char* ReasonCode(util::ErrorCode code) {
+  switch (code) {
+    case util::ErrorCode::kOk: return "ok";
+    case util::ErrorCode::kInvalidArgument: return "invalid-argument";
+    case util::ErrorCode::kInfeasible: return "infeasible";
+    case util::ErrorCode::kCapacity: return "capacity";
+    case util::ErrorCode::kNotFound: return "not-found";
+    case util::ErrorCode::kFailedPrecondition: return "precondition";
+  }
+  return "unknown";
 }
 
 }  // namespace
@@ -354,47 +368,129 @@ util::Result<Placement> NetworkManager::CommitProposal(
   return placement;
 }
 
+void NetworkManager::RecordAdmissionDecision(
+    const Request& request, std::string_view allocator_name, bool admitted,
+    std::string_view reason, obs::CommitPath path, int shard,
+    uint64_t epoch_delta, const net::LinkLedger& books,
+    const std::vector<LinkDemand>* demands,
+    const obs::DecisionRecord::StageLatencies& stages) const {
+  if (!obs::DecisionsEnabled()) return;
+  obs::DecisionRecord rec;
+  rec.tenant_id = request.id();
+  rec.outcome =
+      admitted ? obs::DecisionOutcome::kAdmit : obs::DecisionOutcome::kReject;
+  if (path == obs::CommitPath::kFaultEvict) {
+    rec.outcome = obs::DecisionOutcome::kEvict;
+  }
+  rec.path = path;
+  rec.shard = static_cast<int16_t>(shard);
+  rec.epoch_delta = static_cast<uint32_t>(
+      std::min<uint64_t>(epoch_delta, std::numeric_limits<uint32_t>::max()));
+  rec.set_allocator(allocator_name);
+  rec.set_reason(reason);
+  rec.stages = stages;
+  if (demands != nullptr && !demands->empty()) {
+    // Admitted (or validated) placement: the binding links are exactly the
+    // links the placement's demand lands on; keep the k tightest by
+    // condition-(4) slack at commit time.
+    for (const LinkDemand& d : *demands) {
+      rec.AddBindingLink(static_cast<int32_t>(d.link), books.Slack(d.link));
+    }
+  } else {
+    // Rejection (no placement to attribute): greedy tightest-child descent
+    // from the root records the most-loaded root-to-leaf path — O(fanout
+    // along one path), never an O(V) scan, so the sharded-admission gate
+    // survives with decisions enabled.
+    topology::VertexId v = topo_->root();
+    while (!topo_->is_machine(v)) {
+      const std::vector<topology::VertexId>& kids = topo_->children(v);
+      if (kids.empty()) break;
+      topology::VertexId tightest = kids.front();
+      double tightest_slack = books.Slack(tightest);
+      for (size_t i = 1; i < kids.size(); ++i) {
+        const double s = books.Slack(kids[i]);
+        if (s < tightest_slack) {
+          tightest = kids[i];
+          tightest_slack = s;
+        }
+      }
+      rec.AddBindingLink(static_cast<int32_t>(tightest), tightest_slack);
+      v = tightest;
+    }
+  }
+  obs::RecordDecision(rec);
+}
+
 util::Result<Placement> NetworkManager::Admit(const Request& request,
-                                              const Allocator& allocator) {
+                                              const Allocator& allocator,
+                                              obs::CommitPath decision_path) {
   SVC_TRACE_SPAN("manager/admit");
   const bool metrics = obs::MetricsEnabled();
+  const bool decisions = obs::DecisionsEnabled();
+  const bool flight = obs::FlightRecorder::Global().enabled();
+  const bool timed = metrics || decisions || flight;
   std::chrono::steady_clock::time_point start;
-  if (metrics) {
-    BumpAllocatorCounter(allocator.name(), "attempt");
-    start = std::chrono::steady_clock::now();
-  }
+  if (metrics) BumpAllocatorCounter(allocator.name(), "attempt");
+  if (timed) start = std::chrono::steady_clock::now();
+  double alloc_us = 0;  // Allocate share of the end-to-end latency.
   // Records the outcome counter plus the allocation-latency histogram (the
-  // paper's allocation-time comparison, measured end to end per Admit).
-  auto finish = [&](const char* outcome) {
-    if (!metrics) return;
-    BumpAllocatorCounter(allocator.name(), outcome);
-    const double micros =
-        std::chrono::duration<double, std::micro>(
-            std::chrono::steady_clock::now() - start)
-            .count();
-    SVC_METRIC_HIST("manager/admit_latency_us", micros);
+  // paper's allocation-time comparison, measured end to end per Admit),
+  // the decision-provenance record, and the flight recorder's SLO window.
+  auto finish = [&](const char* outcome, bool admitted, const char* reason,
+                    const std::vector<LinkDemand>* demands) {
+    double micros = 0;
+    if (timed) {
+      micros = std::chrono::duration<double, std::micro>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+    }
+    if (metrics) {
+      BumpAllocatorCounter(allocator.name(), outcome);
+      SVC_METRIC_HIST("manager/admit_latency_us", micros);
+    }
+    if (decisions) {
+      obs::DecisionRecord::StageLatencies stages;
+      stages.speculate_us = static_cast<float>(alloc_us);
+      stages.apply_us = static_cast<float>(micros - alloc_us);
+      RecordAdmissionDecision(request, allocator.name(), admitted, reason,
+                              decision_path, /*shard=*/-1, /*epoch_delta=*/0,
+                              ledger_, demands, stages);
+    }
+    if (flight) {
+      obs::FlightRecorder::Global().ObserveAdmission(admitted, micros);
+    }
   };
   if (live_.count(request.id())) {
-    finish("fail");
+    finish("fail", false, "duplicate-id", nullptr);
     return {util::ErrorCode::kFailedPrecondition,
             "request id already admitted: " + std::to_string(request.id())};
   }
   util::Result<Placement> result = allocator.Allocate(request, ledger_, slots_);
+  if (timed) {
+    alloc_us = std::chrono::duration<double, std::micro>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+  }
   if (!result) {
-    finish("fail");
+    finish("fail", false, ReasonCode(result.status().code()), nullptr);
     return result;
   }
+  // The demand recomputation below is only for provenance; AdmitPlacement
+  // recomputes its own copy for the actual capacity re-check.
+  std::vector<LinkDemand> demands;
+  if (decisions) demands = ComputeLinkDemands(request, *result);
   util::Result<Placement> committed =
       AdmitPlacement(request, std::move(*result));
   if (!committed) {
-    finish("fail");
+    finish("fail", false, ReasonCode(committed.status().code()),
+           decisions ? &demands : nullptr);
     // The allocator produced an invalid placement — surface it with the
     // allocator's name so the bug is attributable.
     return {util::ErrorCode::kFailedPrecondition,
             std::string(allocator.name()) + ": " +
                 committed.status().message()};
   }
-  finish("success");
+  finish("success", true, "ok", decisions ? &demands : nullptr);
   if (metrics && committed->subtree_root != topology::kNoVertex) {
     // Locality of the accepted placement (0 = a single machine's subtree).
     SVC_METRIC_HIST("manager/subtree_level",
@@ -615,6 +711,18 @@ util::Result<FaultOutcome> NetworkManager::HandleFault(
         break;
       }
     }
+    if (tenant.evict_reason != EvictReason::kNone &&
+        obs::DecisionsEnabled()) {
+      // Eviction provenance: the faulted element itself is the binding
+      // link (drained capacity ⇒ slack pinned at -1).
+      const std::vector<LinkDemand> fault_link{{vertex, 0, 0, 0}};
+      obs::DecisionRecord::StageLatencies stages;
+      RecordAdmissionDecision(live.request, allocator.name(),
+                              /*admitted=*/false,
+                              ToString(tenant.evict_reason),
+                              obs::CommitPath::kFaultEvict, /*shard=*/-1,
+                              /*epoch_delta=*/0, ledger_, &fault_link, stages);
+    }
     outcome.tenants.push_back(tenant);
   }
 
@@ -634,6 +742,23 @@ util::Result<FaultOutcome> NetworkManager::HandleFault(
                  << outcome.tenants.size() << " affected, "
                  << outcome.recovered() << " recovered, "
                  << outcome.evicted() << " evicted";
+  if (obs::FlightRecorder::Global().enabled()) {
+    // Quiesced by construction here (InFlightProposals() == 0 was checked
+    // above and the pipeline cannot restart mid-call), so freezing the
+    // decision/trace rings races with nothing.
+    if (!StateValid()) {
+      char detail[96];
+      std::snprintf(detail, sizeof detail, "vertex=%d post-fault", vertex);
+      obs::FlightRecorder::Global().Trigger("state-invalid", detail);
+    } else if (outcome.evicted() > 0) {
+      char detail[96];
+      std::snprintf(detail, sizeof detail,
+                    "vertex=%d kind=%s affected=%zu evicted=%d", vertex,
+                    kind == FaultKind::kMachine ? "machine" : "link",
+                    outcome.tenants.size(), outcome.evicted());
+      obs::FlightRecorder::Global().Trigger("fault", detail);
+    }
+  }
   assert(StateValid());
   return outcome;
 }

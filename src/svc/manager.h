@@ -24,6 +24,7 @@
 #include "net/ledger_view.h"
 #include "net/link_ledger.h"
 #include "net/shard_map.h"
+#include "obs/decision_log.h"
 #include "svc/allocator.h"
 #include "svc/placement.h"
 #include "svc/request.h"
@@ -174,8 +175,12 @@ class NetworkManager {
   // Runs the allocator and, on success, commits the placement.  Errors pass
   // through from the allocator; a placement that fails re-validation is
   // reported as kFailedPrecondition (an allocator bug, surfaced loudly).
-  util::Result<Placement> Admit(const Request& request,
-                                const Allocator& allocator);
+  // `decision_path` tags the decision-provenance record this call publishes
+  // when obs::DecisionsEnabled() — kSerial for direct callers; the pipeline
+  // passes kStaleRerun for its drained serial re-runs.
+  util::Result<Placement> Admit(
+      const Request& request, const Allocator& allocator,
+      obs::CommitPath decision_path = obs::CommitPath::kSerial);
 
   // Validates and commits an externally produced placement (snapshot
   // restore, external placement services).  Same checks as Admit's
@@ -311,6 +316,25 @@ class NetworkManager {
   // callers that want to inspect a placement without committing it.
   std::vector<LinkDemand> ComputeLinkDemands(const Request& request,
                                              const Placement& placement) const;
+
+  // Decision provenance (docs/OBSERVABILITY.md "Decision records"): builds
+  // and publishes one obs::DecisionRecord for an admission decision.  When
+  // the placement is known, binding links are the `demands` links with the
+  // lowest condition-(4) slack evaluated on `books` at call time; for
+  // rejections (`demands` null or empty) the record instead carries the
+  // most-loaded root-to-leaf path of `books` — a greedy descent picking
+  // the tightest child link per level, O(fanout along one path), so
+  // recording a rejection never scans the fabric.  `books` is the ledger
+  // the decision was taken against: the authoritative one for serial
+  // admits and commits, the speculation snapshot's for pipeline
+  // rejections (reading the authoritative rows there could race shard
+  // appliers).  No-op unless obs::DecisionsEnabled().
+  void RecordAdmissionDecision(
+      const Request& request, std::string_view allocator_name, bool admitted,
+      std::string_view reason, obs::CommitPath path, int shard,
+      uint64_t epoch_delta, const net::LinkLedger& books,
+      const std::vector<LinkDemand>* demands,
+      const obs::DecisionRecord::StageLatencies& stages) const;
 
   // True iff condition (4) holds on every link with no additions — the
   // global invariant Admit/Release maintain.

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/decision_log.h"
 #include "topology/builders.h"
 
 namespace svc::cli {
@@ -250,6 +251,71 @@ TEST_F(InterpreterTest, FaultCommandBadUsage) {
   Exec("faults now", &ok);
   EXPECT_FALSE(ok);
   Exec("policy smite", &ok);
+  EXPECT_FALSE(ok);
+}
+
+// --- The introspection plane: health / tail / explain ---
+
+TEST_F(InterpreterTest, HealthTailExplainReportDecisionProvenance) {
+  obs::SetDecisionsEnabled(true);
+  obs::ClearDecisions();
+  bool ok = false;
+  Exec("admit 1 homogeneous 6 100 40", &ok);
+  ASSERT_TRUE(ok);
+  Exec("admit 2 homogeneous 100 100 40", &ok);  // 100 VMs > 24 slots
+  EXPECT_FALSE(ok);
+
+  const std::string health = Exec("health", &ok);
+  EXPECT_TRUE(ok) << health;
+  EXPECT_NE(health.find("1 tenant(s) live"), std::string::npos) << health;
+  EXPECT_NE(health.find("state valid"), std::string::npos) << health;
+
+  const std::string tail = Exec("tail 5", &ok);
+  EXPECT_TRUE(ok) << tail;
+  EXPECT_NE(tail.find("tenant 1"), std::string::npos) << tail;
+  EXPECT_NE(tail.find("tenant 2"), std::string::npos) << tail;
+
+  // `explain` answers the paper's question for a specific tenant: outcome,
+  // commit path, and the binding links with their condition-(4) slack.
+  const std::string admitted = Exec("explain 1", &ok);
+  EXPECT_TRUE(ok) << admitted;
+  EXPECT_NE(admitted.find("admit"), std::string::npos) << admitted;
+  EXPECT_NE(admitted.find("serial"), std::string::npos) << admitted;
+  EXPECT_NE(admitted.find("slack"), std::string::npos) << admitted;
+
+  const std::string rejected = Exec("explain 2", &ok);
+  EXPECT_TRUE(ok) << rejected;
+  EXPECT_NE(rejected.find("reject"), std::string::npos) << rejected;
+  EXPECT_NE(rejected.find("capacity"), std::string::npos) << rejected;
+  EXPECT_NE(rejected.find("slack"), std::string::npos) << rejected;
+  obs::SetDecisionsEnabled(false);
+}
+
+TEST_F(InterpreterTest, ExplainWithoutRecordFails) {
+  obs::SetDecisionsEnabled(true);
+  obs::ClearDecisions();
+  bool ok = true;
+  const std::string out = Exec("explain 99", &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_NE(out.find("no decision recorded"), std::string::npos) << out;
+  Exec("explain", &ok);
+  EXPECT_FALSE(ok);
+  Exec("explain notanumber", &ok);
+  EXPECT_FALSE(ok);
+  obs::SetDecisionsEnabled(false);
+}
+
+TEST_F(InterpreterTest, TailNotesDisabledLoggingAndBadUsage) {
+  obs::SetDecisionsEnabled(false);
+  bool ok = false;
+  const std::string out = Exec("tail", &ok);
+  EXPECT_TRUE(ok) << out;
+  EXPECT_NE(out.find("disabled"), std::string::npos) << out;
+  Exec("tail zero", &ok);
+  EXPECT_FALSE(ok);
+  Exec("tail 0", &ok);
+  EXPECT_FALSE(ok);
+  Exec("health now", &ok);
   EXPECT_FALSE(ok);
 }
 

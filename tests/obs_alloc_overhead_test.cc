@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "alloc_counter.h"
+#include "obs/decision_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/rng.h"
@@ -87,6 +88,48 @@ TEST(ObsAllocOverhead, AllocateStaysZeroAllocWithObsEnabled) {
   const int64_t allocations = AllocationsDuringSteadyCalls(200);
   obs::SetMetricsEnabled(false);
   obs::SetTraceEnabled(false);
+  EXPECT_EQ(allocations, 0);
+}
+
+// Decision logging rides the same budget: arming it on top of metrics +
+// tracing must not add heap traffic to the allocator hot path (Allocate
+// itself records nothing — the decision is the *admission's* — but the
+// enabled-flag checks it introduces must stay free).
+TEST(ObsAllocOverhead, AllocateStaysZeroAllocWithDecisionsEnabled) {
+  obs::SetMetricsEnabled(true);
+  obs::SetTraceEnabled(true);
+  obs::SetDecisionsEnabled(true);
+  const int64_t allocations = AllocationsDuringSteadyCalls(200);
+  obs::SetMetricsEnabled(false);
+  obs::SetTraceEnabled(false);
+  obs::SetDecisionsEnabled(false);
+  EXPECT_EQ(allocations, 0);
+}
+
+// The decision write path itself: after the first record materializes this
+// thread's ring, every further RecordDecision (including binding-link
+// insertion and stage stamps) is a fixed-size copy — hard zero heap.
+TEST(ObsAllocOverhead, RecordDecisionStaysZeroAllocAfterWarmup) {
+  obs::SetDecisionsEnabled(true);
+  obs::DecisionRecord rec;
+  rec.tenant_id = 42;
+  rec.outcome = obs::DecisionOutcome::kAdmit;
+  rec.path = obs::CommitPath::kShardDispatch;
+  rec.shard = 2;
+  rec.set_allocator("svc-dp");
+  rec.set_reason("ok");
+  rec.AddBindingLink(3, 0.25);
+  rec.AddBindingLink(7, 0.10);
+  obs::RecordDecision(rec);  // warm-up: registers this thread's ring
+  const int64_t before = bench::AllocationCount();
+  for (int i = 0; i < 5000; ++i) {
+    obs::DecisionRecord r = rec;
+    r.tenant_id = i;
+    r.AddBindingLink(i, 0.5 + i * 1e-6);
+    obs::RecordDecision(r);
+  }
+  const int64_t allocations = bench::AllocationCount() - before;
+  obs::SetDecisionsEnabled(false);
   EXPECT_EQ(allocations, 0);
 }
 

@@ -172,5 +172,25 @@ TEST(Trace, DisabledRecordsNothingAndClearDrops) {
   EXPECT_TRUE(CollectTraceEvents().empty());
 }
 
+TEST(Trace, WraparoundIsCountedAndMarkedInSerialization) {
+  TraceOn on;
+  EXPECT_EQ(TraceDroppedTotal(), 0u);
+  // Overrun this thread's 64K-event ring; the overwritten prefix must be
+  // accounted (so a truncated postmortem bundle is detectable), and the
+  // Chrome serialization must carry the drop marker counter track.
+  constexpr uint64_t kOverflow = 1000;
+  constexpr uint64_t kTotal = (1u << 16) + kOverflow;
+  for (uint64_t i = 0; i < kTotal; ++i) {
+    TraceCounter("test/wrap_filler", static_cast<double>(i));
+  }
+  EXPECT_EQ(TraceDroppedTotal(), kOverflow);
+  const std::string json = SerializeChromeTrace();
+  EXPECT_TRUE(StructurallyValidJson(json)) << json.substr(0, 200);
+  EXPECT_NE(json.find("obs/trace_dropped"), std::string::npos);
+  // ClearTrace resets the drop accounting with the rings.
+  ClearTrace();
+  EXPECT_EQ(TraceDroppedTotal(), 0u);
+}
+
 }  // namespace
 }  // namespace svc::obs

@@ -18,6 +18,15 @@ improvements (e.g. ``--require-speedup allocate_steady:2.0``).
 The allocs_per_call field, when present on both sides, is a hard gate:
 any increase fails regardless of the threshold (the zero-allocation
 steady state is a correctness property, not a throughput number).
+
+Latency histograms (every ``metrics.histograms`` entry whose name ends in
+``_latency_us``) are diffed at p50/p99 for the eye — informational only,
+never a failure condition: tail latency at bench scale is too noisy to
+gate on, and adding a gate here would change the tool's exit-code
+contract.
+
+``--list`` prints the benchmark and latency-histogram names a snapshot
+carries (useful for picking --require-speedup targets) and exits 0.
 """
 
 import argparse
@@ -42,10 +51,40 @@ def fmt_rate(value):
     return f"{value:,.0f}" if value is not None else "-"
 
 
+def latency_histograms(snapshot):
+    """name -> histogram dict for the *_latency_us metrics histograms."""
+    histograms = snapshot.get("metrics", {}).get("histograms", {})
+    return {
+        name: h
+        for name, h in histograms.items()
+        if name.endswith("_latency_us")
+    }
+
+
+def list_snapshot(path, snapshot):
+    print(f"{path}:")
+    benches = snapshot.get("benchmarks", [])
+    for bench in benches:
+        key, rate = rate_of(bench)
+        rate_note = f"  {key}={fmt_rate(rate)}" if key else ""
+        print(f"  bench      {bench['name']}{rate_note}")
+    for name, h in sorted(latency_histograms(snapshot).items()):
+        print(
+            f"  histogram  {name}  count={h.get('count', 0)}  "
+            f"p50={h.get('p50', 0):.1f}us  p99={h.get('p99', 0):.1f}us"
+        )
+    if not benches:
+        print("  (no benchmarks)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("before", help="baseline BENCH_PERF.json")
-    parser.add_argument("after", help="candidate BENCH_PERF.json")
+    parser.add_argument(
+        "after",
+        nargs="?",
+        help="candidate BENCH_PERF.json (optional with --list)",
+    )
     parser.add_argument(
         "--max-regression",
         type=float,
@@ -66,7 +105,21 @@ def main():
         action="store_true",
         help="also print the counter diff (always checked for allocs)",
     )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list the benchmarks and latency histograms in the snapshot(s) "
+        "and exit",
+    )
     args = parser.parse_args()
+
+    if args.list:
+        list_snapshot(args.before, load(args.before))
+        if args.after:
+            list_snapshot(args.after, load(args.after))
+        return 0
+    if args.after is None:
+        parser.error("after snapshot is required unless --list is given")
 
     before = load(args.before)
     after = load(args.after)
@@ -129,6 +182,24 @@ def main():
             f"{name:<{width}}  {fmt_rate(b_rate):>14}  {fmt_rate(a_rate):>14}  "
             f"{delta}"
         )
+
+    b_hists = latency_histograms(before)
+    a_hists = latency_histograms(after)
+    shared_hists = sorted(b_hists.keys() & a_hists.keys())
+    if shared_hists:
+        hwidth = max(len(n) for n in shared_hists)
+        print(
+            f"\n{'latency histogram':<{hwidth}}  "
+            f"{'p50 before':>10}  {'p50 after':>10}  "
+            f"{'p99 before':>10}  {'p99 after':>10}"
+        )
+        for name in shared_hists:
+            b_h, a_h = b_hists[name], a_hists[name]
+            print(
+                f"{name:<{hwidth}}  "
+                f"{b_h.get('p50', 0):>9.1f}u  {a_h.get('p50', 0):>9.1f}u  "
+                f"{b_h.get('p99', 0):>9.1f}u  {a_h.get('p99', 0):>9.1f}u"
+            )
 
     if args.show_metrics:
         # Keys present on only one side (e.g. a counter family introduced by

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Lint the metric namespace: every metric name registered in src/ must
+follow the ``<component>/<what>[_<unit>]`` convention and be documented in
+docs/OBSERVABILITY.md.
+
+Extracts every string literal passed to the ``SVC_METRIC_*`` macros and to
+direct ``Registry::Get{Counter,Gauge,Histogram}("...")`` calls.  Dynamic
+names (printf patterns like ``alloc/%.*s/%s``, or prefixes composed at
+runtime) are skipped — the *pattern families* they expand to are expected
+to be documented by hand (``alloc/<allocator-name>/attempt`` etc.), which
+this lint cannot check mechanically.
+
+The documentation check expands brace groups, so a doc line like
+``admission/{proposed,committed}`` documents both names.
+
+Exit status: 0 when every name is well-formed and documented, 1 otherwise
+(CI runs this next to the build).
+
+    tools/metrics_lint.py            # lint
+    tools/metrics_lint.py --list     # print the extracted inventory
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+DOC = REPO / "docs" / "OBSERVABILITY.md"
+
+MACRO_RE = re.compile(
+    r'SVC_METRIC_(?:INC|ADD|HIST|GAUGE_SET)\s*\(\s*"([^"]+)"'
+)
+DIRECT_RE = re.compile(r'Get(?:Counter|Gauge|Histogram)\s*\(\s*"([^"]+)"')
+# <component>/<what>[/<more>]: lower-case, digits, underscores; at least
+# one slash (the area prefix is mandatory).
+NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(?:/[a-z][a-z0-9_]*)+$")
+# Doc shorthand: prefix/{a,b,c} documents prefix/a, prefix/b, prefix/c.
+BRACE_RE = re.compile(r"([A-Za-z0-9_/]+)/\{([^}]+)\}")
+
+
+def extract(path):
+    """Yields (name, line_number) for every metric literal in the file."""
+    text = path.read_text()
+    for regex in (MACRO_RE, DIRECT_RE):
+        for match in regex.finditer(text):
+            yield match.group(1), text.count("\n", 0, match.start()) + 1
+
+
+def documented_names(doc_text):
+    names = set()
+    for match in BRACE_RE.finditer(doc_text):
+        prefix = match.group(1)
+        for member in match.group(2).split(","):
+            names.add(f"{prefix}/{member.strip()}")
+    return names
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--list", action="store_true", help="print the inventory and exit"
+    )
+    args = parser.parse_args()
+
+    inventory = {}  # name -> first "file:line" seen
+    for path in sorted(SRC.rglob("*.cc")) + sorted(SRC.rglob("*.h")):
+        for name, line in extract(path):
+            site = f"{path.relative_to(REPO)}:{line}"
+            if "%" in name:
+                continue  # printf pattern: a dynamic-name family
+            inventory.setdefault(name, site)
+
+    if args.list:
+        for name in sorted(inventory):
+            print(f"{name:<32} {inventory[name]}")
+        return 0
+
+    doc_text = DOC.read_text()
+    documented = documented_names(doc_text)
+    errors = []
+    for name, site in sorted(inventory.items()):
+        if not NAME_RE.match(name):
+            errors.append(
+                f"{site}: metric '{name}' violates the "
+                "<component>/<what>[_<unit>] naming convention"
+            )
+        if name not in doc_text and name not in documented:
+            errors.append(
+                f"{site}: metric '{name}' is not documented in "
+                f"{DOC.relative_to(REPO)}"
+            )
+
+    if errors:
+        print(f"metrics_lint: {len(errors)} problem(s)", file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    print(f"metrics_lint: {len(inventory)} metric names OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
