@@ -19,9 +19,106 @@ LinkLedger::LinkLedger(const topology::Topology& topo, double epsilon)
       touched_(1) {
   assert(topo.finalized());
   links_.resize(topo.num_vertices());
+  rows_ = links_.data();
+  num_rows_ = links_.size();
   for (topology::VertexId v = 1; v < topo.num_vertices(); ++v) {
-    links_[v].capacity = topo.uplink_capacity(v);
+    rows_[v].capacity = topo.uplink_capacity(v);
   }
+}
+
+LinkLedger::~LinkLedger() { DestroyRehomedRows(); }
+
+void LinkLedger::DestroyRehomedRows() {
+  if (!rehomed_) return;
+  for (size_t v = 0; v < num_rows_; ++v) rows_[v].~LinkState();
+}
+
+LinkLedger::LinkLedger(const LinkLedger& other)
+    : topo_(other.topo_), epsilon_(other.epsilon_), c_(other.c_),
+      shards_(other.shards_), touched_(other.touched_) {
+  links_.assign(other.rows_, other.rows_ + other.num_rows_);
+  rows_ = links_.data();
+  num_rows_ = links_.size();
+}
+
+LinkLedger& LinkLedger::operator=(const LinkLedger& other) {
+  if (this == &other) return *this;
+  DestroyRehomedRows();
+  rehomed_.Reset();
+  topo_ = other.topo_;
+  epsilon_ = other.epsilon_;
+  c_ = other.c_;
+  shards_ = other.shards_;
+  touched_ = other.touched_;
+  links_.assign(other.rows_, other.rows_ + other.num_rows_);
+  rows_ = links_.data();
+  num_rows_ = links_.size();
+  return *this;
+}
+
+LinkLedger::LinkLedger(LinkLedger&& other) noexcept
+    : topo_(other.topo_), epsilon_(other.epsilon_), c_(other.c_),
+      shards_(other.shards_), links_(std::move(other.links_)),
+      rehomed_(std::move(other.rehomed_)), rows_(other.rows_),
+      num_rows_(other.num_rows_), touched_(std::move(other.touched_)) {
+  // rows_ stays valid across the move: a vector move keeps its heap block
+  // and a FirstTouchBuffer move keeps its mapping.
+  other.rows_ = nullptr;
+  other.num_rows_ = 0;
+}
+
+LinkLedger& LinkLedger::operator=(LinkLedger&& other) noexcept {
+  if (this == &other) return *this;
+  DestroyRehomedRows();
+  topo_ = other.topo_;
+  epsilon_ = other.epsilon_;
+  c_ = other.c_;
+  shards_ = other.shards_;
+  links_ = std::move(other.links_);
+  rehomed_ = std::move(other.rehomed_);
+  rows_ = other.rows_;
+  num_rows_ = other.num_rows_;
+  touched_ = std::move(other.touched_);
+  other.rows_ = nullptr;
+  other.num_rows_ = 0;
+  return *this;
+}
+
+void LinkLedger::RehomeRows(const RowToucher& touch) {
+  util::FirstTouchBuffer fresh(num_rows_ * sizeof(LinkState));
+  LinkState* dst = static_cast<LinkState*>(fresh.data());
+  LinkState* src = rows_;
+  // Bucket by bucket, the owning worker faults the bucket's pages in by
+  // move-constructing its rows (touch runs init on that worker and waits).
+  // Bucket row ranges are contiguous-ish by construction (ShardMap groups
+  // each aggregation subtree's vertex-id range), so per-bucket touches
+  // mostly fault whole pages, not interleaved cache lines.
+  std::vector<char> moved(num_rows_, 0);
+  if (shards_ != nullptr) {
+    for (int b = 0; b < shards_->bucket_count(); ++b) {
+      const std::vector<topology::VertexId>& links = shards_->links_in_bucket(b);
+      touch(b, [&] {
+        for (topology::VertexId v : links) {
+          ::new (dst + v) LinkState(std::move(src[v]));
+          moved[v] = 1;
+        }
+      });
+    }
+  }
+  // Rows no bucket owns — the root row, every row when unsharded — belong
+  // to the calling (sequencer) thread.
+  for (size_t v = 0; v < num_rows_; ++v) {
+    if (!moved[v]) ::new (dst + v) LinkState(std::move(src[v]));
+  }
+  // Swap the new storage in and dispose of the moved-from husks.
+  if (rehomed_) {
+    for (size_t v = 0; v < num_rows_; ++v) src[v].~LinkState();
+  } else {
+    links_.clear();
+    links_.shrink_to_fit();
+  }
+  rehomed_ = std::move(fresh);
+  rows_ = dst;
 }
 
 void LinkLedger::SetShardMap(const ShardMap* shards) {
@@ -40,12 +137,12 @@ void LinkLedger::SetShardMap(const ShardMap* shards) {
 
 double LinkLedger::SharingBandwidth(topology::VertexId v) const {
   assert(v != topo_->root());
-  return links_[v].capacity - links_[v].deterministic;
+  return rows_[v].capacity - rows_[v].deterministic;
 }
 
 double LinkLedger::Occupancy(topology::VertexId v) const {
   assert(v != topo_->root());
-  const LinkState& s = links_[v];
+  const LinkState& s = rows_[v];
   return OccupancyRatio(s.capacity, s.deterministic, s.mean_sum, s.var_sum,
                         c_);
 }
@@ -57,7 +154,7 @@ double LinkLedger::Slack(topology::VertexId v) const {
 double LinkLedger::OccupancyWith(topology::VertexId v, double mean_add,
                                  double var_add, double det_add) const {
   assert(v != topo_->root());
-  const LinkState& s = links_[v];
+  const LinkState& s = rows_[v];
   return OccupancyRatioIfValid(s.capacity, s.deterministic + det_add,
                                s.mean_sum + mean_add, s.var_sum + var_add, c_);
 }
@@ -65,7 +162,7 @@ double LinkLedger::OccupancyWith(topology::VertexId v, double mean_add,
 bool LinkLedger::ValidWith(topology::VertexId v, double mean_add,
                            double var_add, double det_add) const {
   assert(v != topo_->root());
-  const LinkState& s = links_[v];
+  const LinkState& s = rows_[v];
   return SatisfiesGuarantee(s.capacity, s.deterministic + det_add,
                             s.mean_sum + mean_add, s.var_sum + var_add, c_);
 }
@@ -76,7 +173,7 @@ void LinkLedger::OccupancyWithBatch(topology::VertexId v,
                                     const double* det_add, int count,
                                     double* out) const {
   assert(v != topo_->root());
-  const LinkState& s = links_[v];
+  const LinkState& s = rows_[v];
   const double capacity = s.capacity;
   const double slack = 1e-9 * capacity;
   const double d0 = s.deterministic;
@@ -112,7 +209,7 @@ int LinkLedger::FeasibleFrontier(topology::VertexId v, const double* mean_add,
                                  const double* var_add, const double* det_add,
                                  int lo, int hi) const {
   assert(v != topo_->root());
-  const LinkState& s = links_[v];
+  const LinkState& s = rows_[v];
   // Invariant: every index < lo is feasible, every index > hi infeasible
   // (once one candidate violates (4), every larger-moment candidate does:
   // the slack side shrinks while the quantile side grows).
@@ -137,7 +234,7 @@ int LinkLedger::FeasibleFrontierDescending(topology::VertexId v,
                                            const double* det_add, int lo,
                                            int hi) const {
   assert(v != topo_->root());
-  const LinkState& s = links_[v];
+  const LinkState& s = rows_[v];
   // Invariant: every index < lo is infeasible, every index > hi feasible.
   while (lo <= hi) {
     const int mid = lo + (hi - lo) / 2;
@@ -164,7 +261,7 @@ double LinkLedger::MaxOccupancy() const {
 
 void LinkLedger::SetLinkState(topology::VertexId v, bool up) {
   assert(v != topo_->root());
-  LinkState& s = links_[v];
+  LinkState& s = rows_[v];
   if (s.up == up) return;
   s.up = up;
   // Transactional drain/restore: the single capacity write is what makes
@@ -176,7 +273,7 @@ void LinkLedger::SetLinkState(topology::VertexId v, bool up) {
 std::vector<RequestId> LinkLedger::AffectedRequests(
     topology::VertexId v) const {
   assert(v != topo_->root());
-  const LinkState& s = links_[v];
+  const LinkState& s = rows_[v];
   std::vector<RequestId> ids;
   ids.reserve(s.stochastic.size() + s.reserved.size());
   for (const StochasticDemand& d : s.stochastic) ids.push_back(d.request);
@@ -198,7 +295,7 @@ void LinkLedger::AddStochastic(topology::VertexId v, RequestId req,
   assert(v != topo_->root());
   assert(mean >= 0 && variance >= 0);
   if (mean < kNegligible && variance < kNegligible) return;
-  LinkState& s = links_[v];
+  LinkState& s = rows_[v];
   s.stochastic.push_back({req, mean, variance});
   s.mean_sum += mean;
   s.var_sum += variance;
@@ -213,7 +310,7 @@ void LinkLedger::AddDeterministic(topology::VertexId v, RequestId req,
   assert(v != topo_->root());
   assert(amount >= 0);
   if (amount < kNegligible) return;
-  LinkState& s = links_[v];
+  LinkState& s = rows_[v];
   s.reserved.push_back({req, amount});
   s.deterministic += amount;
   SVC_METRIC_HIST("net/occupancy_ratio", Occupancy(v));
@@ -221,7 +318,7 @@ void LinkLedger::AddDeterministic(topology::VertexId v, RequestId req,
 }
 
 void LinkLedger::RebuildSums(topology::VertexId v) {
-  LinkState& s = links_[v];
+  LinkState& s = rows_[v];
   s.mean_sum = 0;
   s.var_sum = 0;
   s.deterministic = 0;
@@ -234,12 +331,12 @@ void LinkLedger::RebuildSums(topology::VertexId v) {
 
 void LinkLedger::AssignAggregatesFrom(const LinkLedger& other) {
   assert(topo_ == other.topo_);
-  assert(links_.size() == other.links_.size());
+  assert(num_rows_ == other.num_rows_);
   epsilon_ = other.epsilon_;
   c_ = other.c_;
-  for (size_t v = 0; v < links_.size(); ++v) {
-    LinkState& dst = links_[v];
-    const LinkState& src = other.links_[v];
+  for (size_t v = 0; v < num_rows_; ++v) {
+    LinkState& dst = rows_[v];
+    const LinkState& src = other.rows_[v];
     dst.capacity = src.capacity;
     dst.deterministic = src.deterministic;
     dst.mean_sum = src.mean_sum;
@@ -256,8 +353,8 @@ void LinkLedger::AssignAggregatesFromLinks(
     const LinkLedger& other, const std::vector<topology::VertexId>& links) {
   assert(topo_ == other.topo_);
   for (topology::VertexId v : links) {
-    LinkState& dst = links_[v];
-    const LinkState& src = other.links_[v];
+    LinkState& dst = rows_[v];
+    const LinkState& src = other.rows_[v];
     assert(dst.stochastic.empty() && dst.reserved.empty() &&
            "partial capture is a shadow-ledger operation");
     dst.capacity = src.capacity;
@@ -287,7 +384,7 @@ void LinkLedger::RemoveRecords(RequestId req,
   // restored by direct subtraction — no scan of the surviving records —
   // and record order is not preserved (swap-remove); nothing keys on it.
   for (topology::VertexId v : links) {
-    LinkState& s = links_[v];
+    LinkState& s = rows_[v];
     for (size_t i = 0; i < s.stochastic.size();) {
       if (s.stochastic[i].request == req) {
         s.mean_sum -= s.stochastic[i].mean;
@@ -319,8 +416,8 @@ void LinkLedger::RemoveRecords(RequestId req,
 
 size_t LinkLedger::TotalRecords() const {
   size_t total = 0;
-  for (const auto& s : links_) {
-    total += s.stochastic.size() + s.reserved.size();
+  for (size_t v = 0; v < num_rows_; ++v) {
+    total += rows_[v].stochastic.size() + rows_[v].reserved.size();
   }
   return total;
 }

@@ -1,0 +1,200 @@
+#include "util/affinity.h"
+
+#include <cstring>
+#include <new>
+#include <string>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+namespace svc::util {
+
+const char* PlacementPolicyName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kNone:
+      return "none";
+    case PlacementPolicy::kCompact:
+      return "compact";
+    case PlacementPolicy::kScatter:
+      return "scatter";
+    case PlacementPolicy::kShardNode:
+      return "shard_node";
+  }
+  return "none";
+}
+
+bool ParsePlacementPolicy(std::string_view name, PlacementPolicy* out) {
+  if (name == "none") {
+    *out = PlacementPolicy::kNone;
+  } else if (name == "compact") {
+    *out = PlacementPolicy::kCompact;
+  } else if (name == "scatter") {
+    *out = PlacementPolicy::kScatter;
+  } else if (name == "shard_node") {
+    *out = PlacementPolicy::kShardNode;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool PinCurrentThreadToCpu(int cpu) {
+  if (cpu < 0) return false;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+// The cpus of `topo` in the order a policy consumes them.  kCompact packs
+// node by node (primaries before SMT within a node, the cpus_on_node
+// order); kScatter deals one cpu per node round-robin.  kShardNode uses
+// kCompact order here — its shard-specific mapping lives in PlanShardCpus.
+std::vector<int> PolicyOrder(const CpuTopology& topo, PlacementPolicy policy) {
+  std::vector<int> order;
+  order.reserve(topo.num_cpus());
+  if (policy == PlacementPolicy::kScatter) {
+    std::vector<size_t> cursor(topo.num_nodes(), 0);
+    for (int remaining = topo.num_cpus(); remaining > 0;) {
+      for (int node = 0; node < topo.num_nodes(); ++node) {
+        const std::vector<int>& cpus = topo.cpus_on_node(node);
+        if (cursor[node] < cpus.size()) {
+          order.push_back(cpus[cursor[node]++]);
+          --remaining;
+        }
+      }
+    }
+  } else {
+    for (int node = 0; node < topo.num_nodes(); ++node) {
+      const std::vector<int>& cpus = topo.cpus_on_node(node);
+      order.insert(order.end(), cpus.begin(), cpus.end());
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<CpuSlot> PlanWorkerCpus(const CpuTopology& topo,
+                                    PlacementPolicy policy, int count,
+                                    const std::vector<CpuSlot>& reserved) {
+  if (count <= 0) return {};
+  std::vector<CpuSlot> plan(count);  // default: all unpinned
+  // One usable cpu means pinning could only serialize the workers.
+  if (policy == PlacementPolicy::kNone || topo.num_cpus() <= 1) return plan;
+
+  std::vector<int> order = PolicyOrder(topo, policy);
+  // Reserved cpus (pinned shard workers) move to the back: auxiliary
+  // workers fill the remaining cores first and only double up once every
+  // free cpu is taken.
+  std::vector<int> free_cpus, reserved_cpus;
+  for (int cpu : order) {
+    bool is_reserved = false;
+    for (const CpuSlot& slot : reserved) {
+      if (slot.cpu == cpu) is_reserved = true;
+    }
+    (is_reserved ? reserved_cpus : free_cpus).push_back(cpu);
+  }
+  free_cpus.insert(free_cpus.end(), reserved_cpus.begin(), reserved_cpus.end());
+  if (free_cpus.empty()) return plan;
+
+  for (int i = 0; i < count; ++i) {
+    const int cpu = free_cpus[i % free_cpus.size()];
+    plan[i] = {cpu, topo.node_of_cpu(cpu)};
+  }
+  return plan;
+}
+
+std::vector<CpuSlot> PlanShardCpus(const CpuTopology& topo,
+                                   PlacementPolicy policy, int shards) {
+  if (shards <= 0) return {};
+  if (policy != PlacementPolicy::kShardNode)
+    return PlanWorkerCpus(topo, policy, shards);
+
+  std::vector<CpuSlot> plan(shards);
+  if (topo.num_cpus() <= 1 || topo.num_nodes() < 1) return plan;
+  // Shard s belongs to node (s % nodes): the first-touch protocol re-homes
+  // bucket s's ledger rows via shard worker s, so this line *defines* which
+  // node owns which bucket — the plan and the page placement cannot
+  // disagree.  Within a node, distinct primary cores while they last
+  // (cpus_on_node lists primaries first), then wrap onto SMT siblings.
+  std::vector<size_t> cursor(topo.num_nodes(), 0);
+  for (int s = 0; s < shards; ++s) {
+    const int node = s % topo.num_nodes();
+    const std::vector<int>& cpus = topo.cpus_on_node(node);
+    if (cpus.empty()) continue;  // slot stays unpinned
+    const int cpu = cpus[cursor[node]++ % cpus.size()];
+    plan[s] = {cpu, node};
+  }
+  return plan;
+}
+
+FirstTouchBuffer::FirstTouchBuffer(std::size_t bytes) {
+  if (bytes == 0) return;
+#if defined(__linux__)
+  const std::size_t page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  const std::size_t rounded = (bytes + page - 1) / page * page;
+  void* mem = ::mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (mem != MAP_FAILED) {
+    data_ = mem;
+    size_ = rounded;
+    mapped_ = true;
+    return;
+  }
+#endif
+  data_ = ::operator new(bytes, std::align_val_t{kCacheLineSize});
+  size_ = bytes;
+  mapped_ = false;
+}
+
+FirstTouchBuffer::~FirstTouchBuffer() { Reset(); }
+
+FirstTouchBuffer::FirstTouchBuffer(FirstTouchBuffer&& other) noexcept
+    : data_(other.data_), size_(other.size_), mapped_(other.mapped_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+}
+
+FirstTouchBuffer& FirstTouchBuffer::operator=(
+    FirstTouchBuffer&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+  }
+  return *this;
+}
+
+void FirstTouchBuffer::Reset() {
+  if (data_ == nullptr) return;
+#if defined(__linux__)
+  if (mapped_) {
+    ::munmap(data_, size_);
+    data_ = nullptr;
+    size_ = 0;
+    mapped_ = false;
+    return;
+  }
+#endif
+  ::operator delete(data_, std::align_val_t{kCacheLineSize});
+  data_ = nullptr;
+  size_ = 0;
+}
+
+}  // namespace svc::util

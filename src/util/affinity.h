@@ -1,0 +1,102 @@
+// Thread-to-core placement policies and first-touch memory placement.
+//
+// This is the mechanism layer under the NUMA-aware pipeline (see
+// docs/PERFORMANCE.md §7): deterministic worker→cpu plans computed from a
+// `CpuTopology`, a pin primitive (`pthread_setaffinity_np` on Linux, no-op
+// elsewhere), and `FirstTouchBuffer` — page-aligned storage whose physical
+// pages are *not* allocated until written, so whichever pinned thread
+// touches a range first decides which NUMA node its pages land on.
+//
+// All plans are pure functions of (topology, policy, count): the same
+// inputs always produce the same placement, which keeps the pipeline's
+// bit-identical-to-serial guarantee independent of where threads run.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "util/cpu_topology.h"
+
+namespace svc::util {
+
+// Destructive-interference granularity used for the alignas() padding on
+// cross-thread counters and queue cursors.  64 bytes covers x86 and most
+// AArch64 parts; std::hardware_destructive_interference_size is avoided on
+// purpose (its value is ABI-fragile across GCC versions).
+inline constexpr std::size_t kCacheLineSize = 64;
+
+// How a pool / pipeline maps its workers onto the topology:
+//   kNone      — no pinning; the OS scheduler migrates freely.
+//   kCompact   — pack workers onto the fewest nodes (node 0's cores first,
+//                SMT siblings after all primaries of that node).
+//   kScatter   — round-robin workers across nodes, one core at a time.
+//   kShardNode — shard worker s runs on node (s % nodes) — the node that
+//                first-touch re-homing makes own shard s's ledger rows —
+//                and auxiliary workers fill the remaining cores.
+enum class PlacementPolicy { kNone, kCompact, kScatter, kShardNode };
+
+// "none" / "compact" / "scatter" / "shard_node".
+const char* PlacementPolicyName(PlacementPolicy policy);
+// Inverse of PlacementPolicyName; false (and *out untouched) on junk.
+bool ParsePlacementPolicy(std::string_view name, PlacementPolicy* out);
+
+// One planned pin: `cpu == -1` means "leave this worker unpinned" (used by
+// kNone and by fallback topologies with nothing to gain from pinning).
+struct CpuSlot {
+  int cpu = -1;
+  int node = 0;
+};
+
+// Pins the calling thread to one logical cpu.  Returns false on non-Linux
+// builds, cpu == -1, or a rejected affinity call (cpu offline / cgroup
+// restricted) — callers treat a failed pin as "run unpinned", never fatal.
+bool PinCurrentThreadToCpu(int cpu);
+
+// Plans `count` workers under `policy`.  Cpus named in `reserved` are used
+// only after every other cpu (this is how speculation workers "fill the
+// remaining cores" around pinned shard workers).  More workers than cpus
+// wraps around — workers then share cpus, which is still deterministic.
+// kNone, an empty topology, or a single-cpu host yields all-unpinned slots
+// (pinning everything onto one cpu would serialize the pool).
+std::vector<CpuSlot> PlanWorkerCpus(const CpuTopology& topo,
+                                    PlacementPolicy policy, int count,
+                                    const std::vector<CpuSlot>& reserved = {});
+
+// Plans the per-shard commit workers for kShardNode: shard s gets a
+// primary core on node (s % num_nodes), distinct cores while they last.
+// Other policies delegate to PlanWorkerCpus so one entry point serves the
+// pipeline.  Single-cpu hosts yield all-unpinned slots.
+std::vector<CpuSlot> PlanShardCpus(const CpuTopology& topo,
+                                   PlacementPolicy policy, int shards);
+
+// Page-aligned raw storage carved out with mmap(MAP_ANONYMOUS|MAP_NORESERVE)
+// so no physical page exists until first written: writing a range from a
+// pinned thread places those pages on that thread's NUMA node (Linux
+// first-touch policy).  Non-Linux builds fall back to ::operator new —
+// correct, just without the placement property.  The buffer never runs
+// constructors or destructors; callers placement-new into it.
+class FirstTouchBuffer {
+ public:
+  FirstTouchBuffer() = default;
+  explicit FirstTouchBuffer(std::size_t bytes);
+  ~FirstTouchBuffer();
+
+  FirstTouchBuffer(FirstTouchBuffer&& other) noexcept;
+  FirstTouchBuffer& operator=(FirstTouchBuffer&& other) noexcept;
+  FirstTouchBuffer(const FirstTouchBuffer&) = delete;
+  FirstTouchBuffer& operator=(const FirstTouchBuffer&) = delete;
+
+  void* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  explicit operator bool() const { return data_ != nullptr; }
+
+  void Reset();
+
+ private:
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+};
+
+}  // namespace svc::util

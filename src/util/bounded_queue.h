@@ -6,13 +6,22 @@
 // contract — Push blocks while full, TryPush never blocks — and a clean
 // close protocol so consumers drain the remaining items and exit without
 // sentinel values.
+//
+// Storage is a fixed ring of unconstructed slots (placement-new on push,
+// destroy on pop) carved from a FirstTouchBuffer: physical pages appear
+// only when a slot is first written, so a consumer that calls
+// PrefaultStorage() from its own (pinned) thread before traffic starts
+// owns the ring's pages on its NUMA node — see docs/PERFORMANCE.md §7.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
+#include <cstring>
 #include <mutex>
+#include <new>
 #include <utility>
+
+#include "util/affinity.h"
 
 namespace svc::util {
 
@@ -20,7 +29,16 @@ template <typename T>
 class BoundedQueue {
  public:
   explicit BoundedQueue(size_t capacity)
-      : capacity_(capacity == 0 ? 1 : capacity) {}
+      : capacity_(capacity == 0 ? 1 : capacity),
+        storage_(capacity_ * sizeof(T)) {
+    static_assert(alignof(T) <= kCacheLineSize,
+                  "ring storage is only cache-line aligned");
+  }
+
+  ~BoundedQueue() {
+    // Destroy whatever the consumers never drained.
+    for (size_t i = head_; i != tail_; ++i) slot(i)->~T();
+  }
 
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
@@ -29,10 +47,10 @@ class BoundedQueue {
   // the queue was closed.
   bool Push(T item) {
     std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
+    not_full_.wait(lock, [this] { return closed_ || Size() < capacity_; });
     if (closed_) return false;
-    items_.push_back(std::move(item));
+    ::new (slot(tail_)) T(std::move(item));
+    ++tail_;
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -42,8 +60,9 @@ class BoundedQueue {
   bool TryPush(T item) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (closed_ || items_.size() >= capacity_) return false;
-      items_.push_back(std::move(item));
+      if (closed_ || Size() >= capacity_) return false;
+      ::new (slot(tail_)) T(std::move(item));
+      ++tail_;
     }
     not_empty_.notify_one();
     return true;
@@ -53,10 +72,12 @@ class BoundedQueue {
   // Returns false only on closed-and-drained — the consumer exit signal.
   bool Pop(T& out) {
     std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return false;
-    out = std::move(items_.front());
-    items_.pop_front();
+    not_empty_.wait(lock, [this] { return closed_ || Size() > 0; });
+    if (Size() == 0) return false;
+    T* item = slot(head_);
+    out = std::move(*item);
+    item->~T();
+    ++head_;
     lock.unlock();
     not_full_.notify_one();
     return true;
@@ -65,9 +86,11 @@ class BoundedQueue {
   // Non-blocking pop: false when currently empty (closed or not).
   bool TryPop(T& out) {
     std::unique_lock<std::mutex> lock(mu_);
-    if (items_.empty()) return false;
-    out = std::move(items_.front());
-    items_.pop_front();
+    if (Size() == 0) return false;
+    T* item = slot(head_);
+    out = std::move(*item);
+    item->~T();
+    ++head_;
     lock.unlock();
     not_full_.notify_one();
     return true;
@@ -84,22 +107,48 @@ class BoundedQueue {
     not_full_.notify_all();
   }
 
+  // Faults every page of the ring's slot storage in from the calling
+  // thread (first-touch placement: call from the pinned consumer before
+  // producers start pushing).  A no-op once any push has happened — the
+  // producers own the pages then and zeroing live slots would corrupt
+  // them.
+  void PrefaultStorage() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (head_ != 0 || tail_ != 0) return;
+    std::memset(storage_.data(), 0, capacity_ * sizeof(T));
+  }
+
   // Instantaneous depth (racy by nature; for gauges and backpressure
   // hints, not for control flow).
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return items_.size();
+    return Size();
   }
 
   size_t capacity() const { return capacity_; }
 
  private:
+  // Monotonic cursors; the live window is [head_, tail_).
+  size_t Size() const { return tail_ - head_; }
+
+  T* slot(size_t i) {
+    return std::launder(reinterpret_cast<T*>(
+        static_cast<std::byte*>(storage_.data()) + (i % capacity_) * sizeof(T)));
+  }
+
+  const size_t capacity_;
+  FirstTouchBuffer storage_;  // capacity_ raw slots; no ctors/dtors run here
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<T> items_;
-  const size_t capacity_;
   bool closed_ = false;
+  // False-sharing constraint: head_ is advanced by consumers while tail_ is
+  // advanced by producers; on separate cache lines a pop's invalidation
+  // does not stall a concurrent push's line (and vice versa) even though
+  // both sides hold mu_ — the *mutex* serializes, the padding keeps the
+  // cursor lines from ping-ponging between the cores in between.
+  alignas(kCacheLineSize) size_t head_ = 0;
+  alignas(kCacheLineSize) size_t tail_ = 0;
 };
 
 }  // namespace svc::util

@@ -1,0 +1,196 @@
+#include "util/cpu_topology.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+namespace svc::util {
+
+namespace {
+
+// Reads a whole small sysfs file; empty string when absent/unreadable.
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Reads a sysfs file holding one small integer; `fallback` when absent or
+// malformed (some kernels report physical_package_id == -1; treat that as
+// absent too).
+int ReadIntOr(const std::string& path, int fallback) {
+  const std::string text = ReadFileOrEmpty(path);
+  if (text.empty()) return fallback;
+  try {
+    const int value = std::stoi(text);
+    return value < 0 ? fallback : value;
+  } catch (...) {
+    return fallback;
+  }
+}
+
+}  // namespace
+
+std::vector<int> CpuTopology::ParseCpuList(const std::string& text) {
+  std::vector<int> cpus;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() &&
+           !std::isdigit(static_cast<unsigned char>(text[i]))) {
+      // Anything but separators/whitespace between entries is malformed.
+      if (text[i] != ',' && !std::isspace(static_cast<unsigned char>(text[i])))
+        return {};
+      ++i;
+    }
+    if (i >= text.size()) break;
+    size_t end = i;
+    const long lo = std::strtol(text.c_str() + i, nullptr, 10);
+    while (end < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[end])))
+      ++end;
+    long hi = lo;
+    if (end < text.size() && text[end] == '-') {
+      size_t hi_start = end + 1;
+      if (hi_start >= text.size() ||
+          !std::isdigit(static_cast<unsigned char>(text[hi_start])))
+        return {};
+      hi = std::strtol(text.c_str() + hi_start, nullptr, 10);
+      end = hi_start;
+      while (end < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[end])))
+        ++end;
+    }
+    if (hi < lo) return {};
+    for (long c = lo; c <= hi; ++c) cpus.push_back(static_cast<int>(c));
+    i = end;
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+CpuTopology CpuTopology::SingleNode(int cpus) {
+  if (cpus < 1) cpus = 1;
+  CpuTopology topo;
+  topo.cpus_.resize(cpus);
+  for (int c = 0; c < cpus; ++c) {
+    topo.cpus_[c].cpu = c;
+    topo.cpus_[c].core = c;
+  }
+  topo.num_cores_ = cpus;
+  topo.num_packages_ = 1;
+  topo.detected_ = false;
+  topo.IndexNodes();
+  return topo;
+}
+
+CpuTopology CpuTopology::FromSysfs(const std::string& root) {
+  const std::string cpu_dir = root + "/devices/system/cpu";
+
+  // `online` is the authoritative list; `present` is the fallback for
+  // fixture trees that omit it.
+  std::vector<int> online = ParseCpuList(ReadFileOrEmpty(cpu_dir + "/online"));
+  if (online.empty())
+    online = ParseCpuList(ReadFileOrEmpty(cpu_dir + "/present"));
+  if (online.empty()) return SingleNode(0);  // hardware_concurrency-free: 1 cpu
+
+  CpuTopology topo;
+  topo.detected_ = true;
+  topo.cpus_.reserve(online.size());
+  for (int cpu : online) {
+    const std::string topo_dir =
+        cpu_dir + "/cpu" + std::to_string(cpu) + "/topology";
+    CpuInfo info;
+    info.cpu = cpu;
+    // Raw kernel ids for now; densified below.  Missing files degrade to
+    // "own package 0 / own core": still a usable pinning target.
+    info.package = ReadIntOr(topo_dir + "/physical_package_id", 0);
+    info.core = ReadIntOr(topo_dir + "/core_id", cpu);
+    topo.cpus_.push_back(info);
+  }
+
+  // Densify (package, core_id) pairs into global core ranks and mark every
+  // sibling after the first on a core as SMT.
+  std::map<std::pair<int, int>, int> core_rank;
+  std::map<int, int> package_rank;
+  for (CpuInfo& info : topo.cpus_) {
+    const auto pkg = package_rank.emplace(
+        info.package, static_cast<int>(package_rank.size()));
+    const auto core = core_rank.emplace(
+        std::make_pair(info.package, info.core),
+        static_cast<int>(core_rank.size()));
+    info.smt = !core.second;
+    info.package = pkg.first->second;
+    info.core = core.first->second;
+  }
+  topo.num_cores_ = static_cast<int>(core_rank.size());
+  topo.num_packages_ = static_cast<int>(package_rank.size());
+
+  // NUMA nodes: each node directory names its cpus.  No node tree (common
+  // in containers) leaves every cpu on node 0.
+  const std::string node_dir = root + "/devices/system/node";
+  for (int node = 0;; ++node) {
+    const std::string cpulist =
+        ReadFileOrEmpty(node_dir + "/node" + std::to_string(node) + "/cpulist");
+    if (cpulist.empty()) break;
+    for (int cpu : ParseCpuList(cpulist)) {
+      for (CpuInfo& info : topo.cpus_) {
+        if (info.cpu == cpu) info.node = node;
+      }
+    }
+  }
+
+  topo.IndexNodes();
+  return topo;
+}
+
+CpuTopology CpuTopology::Detect() {
+#if defined(__linux__)
+  CpuTopology topo = FromSysfs("/sys");
+  if (topo.detected_) return topo;
+#endif
+  return SingleNode(static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+void CpuTopology::IndexNodes() {
+  int max_node = 0;
+  for (const CpuInfo& info : cpus_) max_node = std::max(max_node, info.node);
+  node_cpus_.assign(max_node + 1, {});
+  // Primaries first, then SMT siblings, ascending cpu id within each class:
+  // placement plans fill real cores before hyperthreads.
+  for (const CpuInfo& info : cpus_) {
+    if (!info.smt) node_cpus_[info.node].push_back(info.cpu);
+  }
+  for (const CpuInfo& info : cpus_) {
+    if (info.smt) node_cpus_[info.node].push_back(info.cpu);
+  }
+}
+
+const std::vector<int>& CpuTopology::cpus_on_node(int node) const {
+  static const std::vector<int> kEmpty;
+  if (node < 0 || node >= static_cast<int>(node_cpus_.size())) return kEmpty;
+  return node_cpus_[node];
+}
+
+int CpuTopology::node_of_cpu(int cpu) const {
+  for (const CpuInfo& info : cpus_) {
+    if (info.cpu == cpu) return info.node;
+  }
+  return 0;
+}
+
+std::string CpuTopology::Summary() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%d packages / %d nodes / %d cores / %d cpus",
+                num_packages_, num_nodes(), num_cores_, num_cpus());
+  return buf;
+}
+
+}  // namespace svc::util

@@ -1,0 +1,86 @@
+// CPU / NUMA topology detection for thread and memory placement.
+//
+// `CpuTopology` answers the questions the placement layer (util/affinity.h)
+// asks: how many packages, NUMA nodes, physical cores and logical CPUs does
+// this host have, which CPUs sit on which node, and which logical CPUs are
+// SMT siblings of an already-counted core.  On Linux the answers come from
+// sysfs (`/sys/devices/system/cpu`, `/sys/devices/system/node`); everywhere
+// else — and on hosts where sysfs is absent or unreadable, e.g. locked-down
+// containers — detection degrades to a single-node fallback sized by
+// `std::thread::hardware_concurrency()`, so callers never have to special
+// case "no topology".
+//
+// For tests, `FromSysfs(root)` parses a fixture directory laid out like the
+// real sysfs tree (`<root>/devices/system/cpu/...`), which makes multi-node
+// and SMT shapes testable on any build host.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace svc::util {
+
+// One logical CPU as the kernel numbers them.
+struct CpuInfo {
+  int cpu = -1;      // logical cpu id (the sched_setaffinity id)
+  int package = 0;   // dense physical-package rank
+  int core = 0;      // dense physical-core rank (global across packages)
+  int node = 0;      // NUMA node owning this cpu's local memory
+  bool smt = false;  // true for every sibling after the first on its core
+};
+
+class CpuTopology {
+ public:
+  // Empty topology; `num_cpus() == 0`.  Use Detect()/FromSysfs()/SingleNode.
+  CpuTopology() = default;
+
+  // Detects the host topology.  Linux: parses /sys; other platforms or a
+  // missing/unreadable sysfs: SingleNode(hardware_concurrency) fallback
+  // with `detected() == false`.
+  static CpuTopology Detect();
+
+  // Parses a sysfs tree rooted at `root` (so the real root is "/sys" and a
+  // test fixture is any directory with the same layout).  Missing per-cpu
+  // topology files degrade per-cpu (package 0, core == cpu); a missing cpu
+  // list entirely yields the SingleNode fallback.
+  static CpuTopology FromSysfs(const std::string& root);
+
+  // Flat fallback: `cpus` logical CPUs (floor 1), each its own core, one
+  // package, one node.
+  static CpuTopology SingleNode(int cpus);
+
+  // Parses a kernel cpu range list ("0-3,8,10-11") into ascending ids.
+  // Malformed input yields an empty vector.  Exposed for tests.
+  static std::vector<int> ParseCpuList(const std::string& text);
+
+  int num_cpus() const { return static_cast<int>(cpus_.size()); }
+  int num_nodes() const { return static_cast<int>(node_cpus_.size()); }
+  int num_cores() const { return num_cores_; }
+  int num_packages() const { return num_packages_; }
+
+  // True when the numbers came from sysfs, false for the fallback shape.
+  bool detected() const { return detected_; }
+
+  const std::vector<CpuInfo>& cpus() const { return cpus_; }
+
+  // Logical cpu ids on `node`, ascending, non-SMT siblings first.  Empty
+  // for out-of-range nodes.
+  const std::vector<int>& cpus_on_node(int node) const;
+
+  // Node owning `cpu`'s local memory; 0 when the cpu is unknown.
+  int node_of_cpu(int cpu) const;
+
+  // "2 packages / 2 nodes / 16 cores / 32 cpus" — bench snapshot headers.
+  std::string Summary() const;
+
+ private:
+  void IndexNodes();
+
+  std::vector<CpuInfo> cpus_;             // ascending by logical cpu id
+  std::vector<std::vector<int>> node_cpus_;  // node -> cpu ids (primaries first)
+  int num_cores_ = 0;
+  int num_packages_ = 0;
+  bool detected_ = false;
+};
+
+}  // namespace svc::util

@@ -1,0 +1,290 @@
+// CpuTopology sysfs parsing against fixture directory trees (multi-node,
+// single-node, SMT, degraded/missing files) plus the placement plans built
+// on top of it (util/affinity.h): determinism, kShardNode's shard→node
+// ownership rule, reserved-cpu avoidance, and single-cpu fallback.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/affinity.h"
+#include "util/cpu_topology.h"
+
+namespace svc::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Builds sysfs fixture trees under a per-test temp root.
+class SysfsFixture {
+ public:
+  explicit SysfsFixture(const std::string& name)
+      : root_(fs::path(::testing::TempDir()) / ("cpu_topology_" + name)) {
+    fs::remove_all(root_);
+    fs::create_directories(root_ / "devices/system/cpu");
+  }
+  ~SysfsFixture() { fs::remove_all(root_); }
+
+  void WriteFile(const std::string& rel, const std::string& text) {
+    const fs::path path = root_ / rel;
+    fs::create_directories(path.parent_path());
+    std::ofstream(path) << text;
+  }
+
+  void AddCpu(int cpu, int package_id, int core_id) {
+    const std::string dir =
+        "devices/system/cpu/cpu" + std::to_string(cpu) + "/topology/";
+    WriteFile(dir + "physical_package_id", std::to_string(package_id) + "\n");
+    WriteFile(dir + "core_id", std::to_string(core_id) + "\n");
+  }
+
+  void AddNode(int node, const std::string& cpulist) {
+    WriteFile("devices/system/node/node" + std::to_string(node) + "/cpulist",
+              cpulist + "\n");
+  }
+
+  std::string root() const { return root_.string(); }
+
+ private:
+  fs::path root_;
+};
+
+// A 2-package / 2-node / 4-core / 8-cpu SMT host: cpus 0-3 are the core
+// primaries (two per package), cpus 4-7 their hyperthread siblings, node K
+// owns package K.
+void PopulateTwoNodeSmt(SysfsFixture& fix) {
+  fix.WriteFile("devices/system/cpu/online", "0-7\n");
+  fix.AddCpu(0, 0, 0);
+  fix.AddCpu(1, 0, 1);
+  fix.AddCpu(2, 1, 0);
+  fix.AddCpu(3, 1, 1);
+  fix.AddCpu(4, 0, 0);  // SMT sibling of cpu 0
+  fix.AddCpu(5, 0, 1);  // ... of cpu 1
+  fix.AddCpu(6, 1, 0);  // ... of cpu 2
+  fix.AddCpu(7, 1, 1);  // ... of cpu 3
+  fix.AddNode(0, "0-1,4-5");
+  fix.AddNode(1, "2-3,6-7");
+}
+
+// --- ParseCpuList -----------------------------------------------------------
+
+TEST(CpuTopologyParse, RangesCommasAndSingles) {
+  EXPECT_EQ(CpuTopology::ParseCpuList("0-3"),
+            (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(CpuTopology::ParseCpuList("0-2,8,10-11\n"),
+            (std::vector<int>{0, 1, 2, 8, 10, 11}));
+  EXPECT_EQ(CpuTopology::ParseCpuList("5"), (std::vector<int>{5}));
+  // Duplicates collapse, order normalizes ascending.
+  EXPECT_EQ(CpuTopology::ParseCpuList("3,1,1-2"),
+            (std::vector<int>{1, 2, 3}));
+}
+
+TEST(CpuTopologyParse, MalformedYieldsEmpty) {
+  EXPECT_TRUE(CpuTopology::ParseCpuList("").empty());
+  EXPECT_TRUE(CpuTopology::ParseCpuList("abc").empty());
+  EXPECT_TRUE(CpuTopology::ParseCpuList("3-1").empty());  // inverted range
+  EXPECT_TRUE(CpuTopology::ParseCpuList("1-").empty());
+  EXPECT_TRUE(CpuTopology::ParseCpuList("0-2;4").empty());
+}
+
+// --- Fixture-directory parsing ----------------------------------------------
+
+TEST(CpuTopologyFixture, MultiNodeSmtShape) {
+  SysfsFixture fix("multi");
+  PopulateTwoNodeSmt(fix);
+  const CpuTopology topo = CpuTopology::FromSysfs(fix.root());
+  EXPECT_TRUE(topo.detected());
+  EXPECT_EQ(topo.num_cpus(), 8);
+  EXPECT_EQ(topo.num_packages(), 2);
+  EXPECT_EQ(topo.num_nodes(), 2);
+  EXPECT_EQ(topo.num_cores(), 4);
+  EXPECT_EQ(topo.Summary(), "2 packages / 2 nodes / 4 cores / 8 cpus");
+
+  // Primaries first within each node, SMT siblings after.
+  EXPECT_EQ(topo.cpus_on_node(0), (std::vector<int>{0, 1, 4, 5}));
+  EXPECT_EQ(topo.cpus_on_node(1), (std::vector<int>{2, 3, 6, 7}));
+  EXPECT_TRUE(topo.cpus_on_node(2).empty());
+  EXPECT_TRUE(topo.cpus_on_node(-1).empty());
+  EXPECT_EQ(topo.node_of_cpu(5), 0);
+  EXPECT_EQ(topo.node_of_cpu(6), 1);
+
+  // Sibling pairs share a dense core rank; the second sibling is SMT.
+  ASSERT_EQ(topo.cpus().size(), 8u);
+  EXPECT_FALSE(topo.cpus()[0].smt);
+  EXPECT_TRUE(topo.cpus()[4].smt);
+  EXPECT_EQ(topo.cpus()[0].core, topo.cpus()[4].core);
+  EXPECT_NE(topo.cpus()[0].core, topo.cpus()[2].core);
+}
+
+TEST(CpuTopologyFixture, NoNodeTreeCollapsesToOneNode) {
+  SysfsFixture fix("nonodes");
+  fix.WriteFile("devices/system/cpu/online", "0-3\n");
+  for (int c = 0; c < 4; ++c) fix.AddCpu(c, 0, c);
+  const CpuTopology topo = CpuTopology::FromSysfs(fix.root());
+  EXPECT_TRUE(topo.detected());
+  EXPECT_EQ(topo.num_nodes(), 1);
+  EXPECT_EQ(topo.num_cores(), 4);
+  EXPECT_EQ(topo.cpus_on_node(0), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(CpuTopologyFixture, MissingPerCpuTopologyDegradesPerCpu) {
+  // Only the cpu list exists: each cpu becomes its own core on package 0 —
+  // still a usable pinning target.
+  SysfsFixture fix("degraded");
+  fix.WriteFile("devices/system/cpu/online", "0-1\n");
+  const CpuTopology topo = CpuTopology::FromSysfs(fix.root());
+  EXPECT_TRUE(topo.detected());
+  EXPECT_EQ(topo.num_cpus(), 2);
+  EXPECT_EQ(topo.num_packages(), 1);
+  EXPECT_EQ(topo.num_cores(), 2);
+  EXPECT_FALSE(topo.cpus()[1].smt);
+}
+
+TEST(CpuTopologyFixture, PresentIsTheFallbackCpuList) {
+  SysfsFixture fix("present");
+  fix.WriteFile("devices/system/cpu/present", "0-2\n");
+  const CpuTopology topo = CpuTopology::FromSysfs(fix.root());
+  EXPECT_TRUE(topo.detected());
+  EXPECT_EQ(topo.num_cpus(), 3);
+}
+
+TEST(CpuTopologyFixture, MissingCpuListFallsBackToSingleCpu) {
+  SysfsFixture fix("empty");  // tree exists but has no online/present files
+  const CpuTopology topo = CpuTopology::FromSysfs(fix.root());
+  EXPECT_FALSE(topo.detected());
+  EXPECT_EQ(topo.num_cpus(), 1);
+  EXPECT_EQ(topo.num_nodes(), 1);
+}
+
+TEST(CpuTopologyFixture, NegativePackageIdTreatedAsAbsent) {
+  // Some kernels report physical_package_id == -1.
+  SysfsFixture fix("negpkg");
+  fix.WriteFile("devices/system/cpu/online", "0-1\n");
+  fix.AddCpu(0, -1, 0);
+  fix.AddCpu(1, -1, 1);
+  const CpuTopology topo = CpuTopology::FromSysfs(fix.root());
+  EXPECT_EQ(topo.num_packages(), 1);
+  EXPECT_EQ(topo.num_cores(), 2);
+}
+
+TEST(CpuTopologySingleNode, FloorsAtOneCpu) {
+  const CpuTopology topo = CpuTopology::SingleNode(0);
+  EXPECT_EQ(topo.num_cpus(), 1);
+  EXPECT_EQ(topo.num_nodes(), 1);
+  EXPECT_FALSE(topo.detected());
+  EXPECT_GE(CpuTopology::Detect().num_cpus(), 1);
+}
+
+// --- Placement plans --------------------------------------------------------
+
+TEST(PlacementPlan, PolicyNamesRoundTrip) {
+  for (PlacementPolicy policy :
+       {PlacementPolicy::kNone, PlacementPolicy::kCompact,
+        PlacementPolicy::kScatter, PlacementPolicy::kShardNode}) {
+    PlacementPolicy parsed;
+    ASSERT_TRUE(ParsePlacementPolicy(PlacementPolicyName(policy), &parsed));
+    EXPECT_EQ(parsed, policy);
+  }
+  PlacementPolicy out = PlacementPolicy::kCompact;
+  EXPECT_FALSE(ParsePlacementPolicy("numa", &out));
+  EXPECT_EQ(out, PlacementPolicy::kCompact);  // untouched on junk
+}
+
+TEST(PlacementPlan, CompactPacksNodeZeroPrimariesFirst) {
+  SysfsFixture fix("compact");
+  PopulateTwoNodeSmt(fix);
+  const CpuTopology topo = CpuTopology::FromSysfs(fix.root());
+  const auto plan = PlanWorkerCpus(topo, PlacementPolicy::kCompact, 5);
+  ASSERT_EQ(plan.size(), 5u);
+  EXPECT_EQ(plan[0].cpu, 0);
+  EXPECT_EQ(plan[1].cpu, 1);
+  EXPECT_EQ(plan[2].cpu, 4);  // node 0's SMT siblings before node 1
+  EXPECT_EQ(plan[3].cpu, 5);
+  EXPECT_EQ(plan[4].cpu, 2);
+  EXPECT_EQ(plan[4].node, 1);
+}
+
+TEST(PlacementPlan, ScatterDealsAcrossNodes) {
+  SysfsFixture fix("scatter");
+  PopulateTwoNodeSmt(fix);
+  const CpuTopology topo = CpuTopology::FromSysfs(fix.root());
+  const auto plan = PlanWorkerCpus(topo, PlacementPolicy::kScatter, 4);
+  ASSERT_EQ(plan.size(), 4u);
+  EXPECT_EQ(plan[0].node, 0);
+  EXPECT_EQ(plan[1].node, 1);
+  EXPECT_EQ(plan[2].node, 0);
+  EXPECT_EQ(plan[3].node, 1);
+}
+
+TEST(PlacementPlan, ShardNodeOwnsNodeByShardModulo) {
+  SysfsFixture fix("shardnode");
+  PopulateTwoNodeSmt(fix);
+  const CpuTopology topo = CpuTopology::FromSysfs(fix.root());
+  const auto plan = PlanShardCpus(topo, PlacementPolicy::kShardNode, 4);
+  ASSERT_EQ(plan.size(), 4u);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(plan[s].node, s % 2) << "shard " << s;
+    EXPECT_EQ(topo.node_of_cpu(plan[s].cpu), s % 2) << "shard " << s;
+  }
+  // Distinct primary cores while they last.
+  EXPECT_EQ(plan[0].cpu, 0);
+  EXPECT_EQ(plan[1].cpu, 2);
+  EXPECT_EQ(plan[2].cpu, 1);
+  EXPECT_EQ(plan[3].cpu, 3);
+}
+
+TEST(PlacementPlan, ReservedCpusFillLast) {
+  SysfsFixture fix("reserved");
+  PopulateTwoNodeSmt(fix);
+  const CpuTopology topo = CpuTopology::FromSysfs(fix.root());
+  const auto shard_plan = PlanShardCpus(topo, PlacementPolicy::kShardNode, 2);
+  const auto aux =
+      PlanWorkerCpus(topo, PlacementPolicy::kCompact, 8, shard_plan);
+  // Shard workers hold cpus 0 and 2; aux workers take the 6 free cpus
+  // first and only the last two double up on the reserved ones.
+  for (int i = 0; i < 8; ++i) {
+    const bool reserved = aux[i].cpu == 0 || aux[i].cpu == 2;
+    EXPECT_EQ(reserved, i >= 6) << "aux worker " << i;
+  }
+}
+
+TEST(PlacementPlan, DeterministicAndWrapsWhenOversubscribed) {
+  SysfsFixture fix("determ");
+  PopulateTwoNodeSmt(fix);
+  const CpuTopology topo = CpuTopology::FromSysfs(fix.root());
+  for (PlacementPolicy policy :
+       {PlacementPolicy::kCompact, PlacementPolicy::kScatter,
+        PlacementPolicy::kShardNode}) {
+    const auto a = PlanShardCpus(topo, policy, 20);
+    const auto b = PlanShardCpus(topo, policy, 20);
+    ASSERT_EQ(a.size(), 20u);
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].cpu, b[i].cpu) << PlacementPolicyName(policy) << " " << i;
+      EXPECT_GE(a[i].cpu, 0) << "oversubscription must wrap, not unpin";
+    }
+  }
+}
+
+TEST(PlacementPlan, SingleCpuAndNoneStayUnpinned) {
+  const CpuTopology one = CpuTopology::SingleNode(1);
+  for (const CpuSlot& slot :
+       PlanWorkerCpus(one, PlacementPolicy::kCompact, 4)) {
+    EXPECT_EQ(slot.cpu, -1);
+  }
+  for (const CpuSlot& slot :
+       PlanShardCpus(one, PlacementPolicy::kShardNode, 4)) {
+    EXPECT_EQ(slot.cpu, -1);
+  }
+  SysfsFixture fix("none");
+  PopulateTwoNodeSmt(fix);
+  const CpuTopology topo = CpuTopology::FromSysfs(fix.root());
+  for (const CpuSlot& slot : PlanWorkerCpus(topo, PlacementPolicy::kNone, 4)) {
+    EXPECT_EQ(slot.cpu, -1);
+  }
+  EXPECT_TRUE(PlanWorkerCpus(topo, PlacementPolicy::kCompact, 0).empty());
+}
+
+}  // namespace
+}  // namespace svc::util

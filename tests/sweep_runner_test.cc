@@ -49,6 +49,38 @@ TEST(ThreadPool, RunsEverySubmittedTask) {
   EXPECT_EQ(count.load(), 1010);
 }
 
+TEST(ThreadPool, ZeroThreadsClampsToAtLeastOne) {
+  // ThreadPool(0) means "size to the host"; even when
+  // hardware_concurrency() reports 0 (unknown), the pool must still have a
+  // worker — an empty pool would deadlock the first Submit+Wait.
+  util::ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, PlacementOptionsRunAndExposeThePlan) {
+  // A pinned pool must run tasks exactly like an unpinned one; on hosts
+  // where pinning is unavailable (single cpu) the plan degrades to
+  // all-unpinned slots but keeps one entry per worker.
+  util::ThreadPoolOptions options;
+  options.num_threads = 3;
+  options.placement = util::PlacementPolicy::kCompact;
+  util::ThreadPool pool(options);
+  EXPECT_EQ(pool.num_threads(), 3);
+  ASSERT_EQ(pool.worker_cpus().size(), 3u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
 TEST(ThreadPool, SubmitFromWorkerIsAllowed) {
   util::ThreadPool pool(2);
   std::atomic<int> count{0};

@@ -126,6 +126,22 @@ def main():
     before_benches = {b["name"]: b for b in before.get("benchmarks", [])}
     after_benches = {b["name"]: b for b in after.get("benchmarks", [])}
 
+    # Placement-sensitive numbers (admission_sharded under --placement) are
+    # only comparable between machines with the same package/node/core
+    # shape.  A shape mismatch is a warning, not a failure: diffing across
+    # hosts is sometimes exactly what the user wants to do.
+    b_topo = before.get("topology")
+    a_topo = after.get("topology")
+    if b_topo and a_topo and b_topo != a_topo:
+        print(
+            "WARNING: topology differs between snapshots "
+            f"(before: {b_topo.get('summary', '?')}, "
+            f"after: {a_topo.get('summary', '?')}); "
+            "placement-sensitive deltas may reflect the hardware, "
+            "not the change",
+            file=sys.stderr,
+        )
+
     required = {}
     for spec in args.require_speedup:
         name, _, factor = spec.partition(":")
