@@ -13,6 +13,18 @@
 // outages after recovery would mean HandleFault/HandleRecovery corrupted
 // ledger state.  `--check` turns that property into an exit code for CI.
 //
+// Survivability (docs/ROBUSTNESS.md): two extra cell families run with
+// survivable admission on — kReallocate (pay the protection tax, recover
+// reactively) and kSwitchover (activate the pre-reserved backup groups) —
+// so one report shows the tax (rejection-rate delta, reserved backup
+// share) against the payoff (switchovers, recovery latency).  A
+// deterministic sigma=0 drill (`fault_drill_switchover`) injects one
+// backup-covered machine failure; its steady-epoch outage must be exactly
+// 0 and every affected tenant must switch over, which `--check` enforces
+// along with a bit-identical replay of a survivable cell through the
+// sharded admission pipeline.  --correlated adds scripted multi-element
+// groups (rack power, ToR loss, planned drain) to every cell.
+//
 // Writes BENCH_FAULT.json (override with --out) in the BENCH_PERF.json
 // schema, so two snapshots diff with tools/bench_diff.py.
 #include <algorithm>
@@ -41,6 +53,19 @@ double Percentile(std::vector<double> samples, double q) {
   return samples[std::min(rank, samples.size() - 1)];
 }
 
+double Mean(const std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  double sum = 0;
+  for (double s : samples) sum += s;
+  return sum / static_cast<double>(samples.size());
+}
+
+double Max(const std::vector<double>& samples) {
+  double max = 0;
+  for (double s : samples) max = std::max(max, s);
+  return max;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -59,7 +84,13 @@ int main(int argc, char** argv) {
       flags.Double("horizon", 20000, "failure-injection horizon (seconds)");
   bool& check = flags.Bool(
       "check", false,
-      "exit non-zero unless every steady-epoch outage rate <= epsilon");
+      "exit non-zero unless every steady-epoch outage rate <= epsilon, the "
+      "switchover drill has zero steady outage, and a survivable cell "
+      "replays bit-identically through the sharded pipeline");
+  bool& correlated = flags.Bool(
+      "correlated", false,
+      "add scripted correlated events to every cell: rack power at "
+      "0.25*horizon, ToR loss at 0.5*horizon, planned drain at 0.75*horizon");
   bool& csv = flags.Bool("csv", false, "also print CSV");
   std::string& out = flags.String("out", "BENCH_FAULT.json", "output path");
   flags.Parse(argc, argv);
@@ -73,6 +104,7 @@ int main(int argc, char** argv) {
   struct Cell {
     core::RecoveryPolicy policy;
     double mtbf;
+    bool survivable = false;
   };
   std::vector<Cell> cells;
   for (const core::RecoveryPolicy policy :
@@ -82,28 +114,54 @@ int main(int argc, char** argv) {
       cells.push_back({policy, mtbf});
     }
   }
+  // Survivable cells: the protection tax with reactive recovery, then the
+  // payoff with proactive backup activation.
+  for (const core::RecoveryPolicy policy :
+       {core::RecoveryPolicy::kReallocate,
+        core::RecoveryPolicy::kSwitchover}) {
+    for (const double mtbf : util::ParseDoubleList(mtbfs)) {
+      cells.push_back({policy, mtbf, /*survivable=*/true});
+    }
+  }
+
+  // Scripted correlated events layered onto a cell's fault schedule.
+  auto add_correlated = [&](sim::FaultConfig& faults) {
+    const auto& tors = topo.vertices_at_level(1);
+    if (tors.empty()) return;
+    sim::AppendRackPowerEvent(topo, tors.front(), 0.25 * horizon, mttr,
+                              &faults.scripted);
+    sim::AppendTorLossEvent(tors.size() > 1 ? tors[1] : tors.front(),
+                            0.5 * horizon, mttr, &faults.scripted);
+    sim::AppendPlannedDrain(topo.machines().front(), 0.75 * horizon, mttr,
+                            &faults.scripted);
+  };
 
   // Every cell replays the same workload bytes (same generator seed) under
   // its own fault schedule, so columns differ only by the fault plane.
+  auto make_config = [&](const Cell& cell) {
+    sim::SimConfig config;
+    config.abstraction = workload::Abstraction::kSvc;
+    config.epsilon = common.epsilon();
+    config.allocator = &allocator;
+    config.seed = common.seed() + 1;
+    config.max_seconds = 4 * horizon;
+    config.admission.survivability = cell.survivable;
+    config.faults.machine_mtbf_seconds = cell.mtbf;
+    config.faults.link_mtbf_seconds =
+        link_mtbf_factor > 0 ? link_mtbf_factor * cell.mtbf : 0;
+    config.faults.mttr_seconds = mttr;
+    config.faults.horizon_seconds = horizon;
+    config.faults.seed = common.seed() + 2;
+    config.faults.policy = cell.policy;
+    if (correlated) add_correlated(config.faults);
+    return config;
+  };
   auto cell_task = [&](const Cell& cell) {
     return [&, cell] {
       workload::WorkloadGenerator gen(common.WorkloadConfig(),
                                       common.seed());
       auto jobs = gen.GenerateOnline(load, topo.total_slots());
-      sim::SimConfig config;
-      config.abstraction = workload::Abstraction::kSvc;
-      config.epsilon = common.epsilon();
-      config.allocator = &allocator;
-      config.seed = common.seed() + 1;
-      config.max_seconds = 4 * horizon;
-      config.faults.machine_mtbf_seconds = cell.mtbf;
-      config.faults.link_mtbf_seconds =
-          link_mtbf_factor > 0 ? link_mtbf_factor * cell.mtbf : 0;
-      config.faults.mttr_seconds = mttr;
-      config.faults.horizon_seconds = horizon;
-      config.faults.seed = common.seed() + 2;
-      config.faults.policy = cell.policy;
-      sim::Engine engine(topo, config);
+      sim::Engine engine(topo, make_config(cell));
       return engine.RunOnline(std::move(jobs));
     };
   };
@@ -112,9 +170,9 @@ int main(int argc, char** argv) {
   sim::SweepRunner runner(common.threads());
   const std::vector<sim::OnlineResult> results = runner.Run(std::move(tasks));
 
-  util::Table table({"policy", "mtbf", "faults", "recoveries", "recovered",
-                     "evicted", "steady outage", "failure outage", "p50 us",
-                     "p99 us"});
+  util::Table table({"policy", "surv", "mtbf", "faults", "recovered",
+                     "switched", "evicted", "rej rate", "steady outage",
+                     "failure outage", "p50 us", "p99 us"});
   std::vector<bench::BenchRecord> records;
   bool steady_ok = true;
   for (size_t i = 0; i < cells.size(); ++i) {
@@ -128,17 +186,34 @@ int main(int argc, char** argv) {
     const double faults_per_sec =
         r.simulated_seconds > 0 ? r.faults_injected / r.simulated_seconds
                                 : 0.0;
+    // Reserved-vs-used protection: the share of backup bandwidth actually
+    // held (worst link, sampled at arrivals) against the fraction of
+    // affected tenants whose recovery came from a backup activation.
+    const double backup_share_mean = Mean(r.backup_share_samples);
+    const double backup_share_max = Max(r.backup_share_samples);
+    const double backup_used_fraction =
+        r.tenants_affected > 0
+            ? static_cast<double>(r.tenants_switched) / r.tenants_affected
+            : 0.0;
     if (steady_rate > common.epsilon()) steady_ok = false;
-    table.AddRow({core::ToString(cell.policy), util::Table::Num(cell.mtbf, 0),
+    table.AddRow({core::ToString(cell.policy), cell.survivable ? "on" : "off",
+                  util::Table::Num(cell.mtbf, 0),
                   std::to_string(r.faults_injected),
-                  std::to_string(r.fault_recoveries),
                   std::to_string(r.tenants_recovered),
+                  std::to_string(r.tenants_switched),
                   std::to_string(r.tenants_evicted),
+                  util::Table::Num(r.RejectionRate(), 4),
                   util::Table::Num(steady_rate, 5),
                   util::Table::Num(failure_rate, 5),
                   util::Table::Num(p50, 1), util::Table::Num(p99, 1)});
-    const std::string name = std::string("fault_") +
-                             core::ToString(cell.policy) + "_mtbf" +
+    // Legacy cell names are unchanged; the survivable-reallocate family is
+    // distinguished from the plain one by prefix (switchover implies
+    // survivable admission already).
+    const std::string policy_tag =
+        cell.survivable && cell.policy == core::RecoveryPolicy::kReallocate
+            ? std::string("survivable_reallocate")
+            : std::string(core::ToString(cell.policy));
+    const std::string name = std::string("fault_") + policy_tag + "_mtbf" +
                              util::Table::Num(cell.mtbf, 0);
     records.push_back({name, r.faults_injected, 0.0, 0.0,
                        {{"faults_per_sec", faults_per_sec},
@@ -146,13 +221,140 @@ int main(int argc, char** argv) {
                         {"failure_outage_rate", failure_rate},
                         {"recovery_p50_us", p50},
                         {"recovery_p99_us", p99},
+                        {"rejection_rate", r.RejectionRate()},
                         {"tenants_recovered",
                          static_cast<double>(r.tenants_recovered)},
                         {"tenants_evicted",
-                         static_cast<double>(r.tenants_evicted)}}});
+                         static_cast<double>(r.tenants_evicted)},
+                        {"switchovers",
+                         static_cast<double>(r.tenants_switched)},
+                        {"planned_drains",
+                         static_cast<double>(r.planned_drains)},
+                        {"tenants_migrated",
+                         static_cast<double>(r.tenants_migrated)},
+                        {"backup_share_mean", backup_share_mean},
+                        {"backup_share_max", backup_share_max},
+                        {"backup_used_fraction", backup_used_fraction}}});
   }
   bench::EmitTable("Fault recovery: failure churn vs recovery policy", table,
                    csv);
+
+  // --- Deterministic switchover drill ---
+  //
+  // sigma = 0 jobs: every flow offers exactly mu, and since a permutation
+  // pairing sends at most min(m, N-m) flows across any link cut (each
+  // destination receives exactly one flow), the offered load per direction
+  // never exceeds the hose reservation.  One scripted machine failure is
+  // covered by the pre-reserved backup groups, so the run must finish with
+  // steady-epoch outage EXACTLY 0, every affected tenant switched over,
+  // and no evictions.
+  bool drill_ok = true;
+  {
+    std::vector<workload::JobSpec> jobs;
+    for (int i = 0; i < 8; ++i) {
+      workload::JobSpec job;
+      job.id = i + 1;
+      job.size = 4;
+      job.compute_time = 3000;
+      job.rate_mean = 100;
+      job.rate_stddev = 0;
+      job.flow_mbits = 100.0 * 2000;
+      job.arrival_time = 0;
+      jobs.push_back(job);
+    }
+    // Probe pass: admissions are deterministic, so the engine reproduces
+    // these placements — pick a machine that actually hosts a VM as the
+    // fault target.
+    topology::VertexId target = topology::kNoVertex;
+    {
+      core::NetworkManager probe(topo, common.epsilon());
+      core::AdmissionOptions options;
+      options.survivability = true;
+      probe.set_admission_options(options);
+      for (const workload::JobSpec& job : jobs) {
+        auto placed = probe.Admit(
+            workload::MakeRequest(job, workload::Abstraction::kSvc),
+            allocator);
+        if (placed && target == topology::kNoVertex) {
+          target = placed->vm_machine[0];
+        }
+      }
+    }
+    if (target == topology::kNoVertex) {
+      std::fprintf(stderr, "drill: no job admitted on an empty fabric\n");
+      drill_ok = false;
+    } else {
+      sim::SimConfig config;
+      config.abstraction = workload::Abstraction::kSvc;
+      config.epsilon = common.epsilon();
+      config.allocator = &allocator;
+      config.seed = common.seed() + 1;
+      config.max_seconds = 4000;
+      config.admission.survivability = true;
+      config.faults.policy = core::RecoveryPolicy::kSwitchover;
+      config.faults.scripted.push_back(
+          {500.0, target, core::FaultKind::kMachine, /*fail=*/true});
+      config.faults.scripted.push_back(
+          {500.0 + mttr, target, core::FaultKind::kMachine, /*fail=*/false});
+      sim::Engine engine(topo, config);
+      const sim::OnlineResult r = engine.RunOnline(jobs);
+      const double steady_rate = r.steady_outage().OutageRate();
+      drill_ok = steady_rate == 0.0 && r.tenants_switched > 0 &&
+                 r.tenants_evicted == 0 &&
+                 r.tenants_switched == r.tenants_affected;
+      std::printf(
+          "drill: machine %d failed, %lld affected, %lld switched over, "
+          "%lld evicted, steady outage %.6g (%s)\n",
+          target, static_cast<long long>(r.tenants_affected),
+          static_cast<long long>(r.tenants_switched),
+          static_cast<long long>(r.tenants_evicted), steady_rate,
+          drill_ok ? "ok" : "FAIL");
+      records.push_back(
+          {"fault_drill_switchover", r.tenants_affected, 0.0, 0.0,
+           {{"steady_outage_rate", steady_rate},
+            {"failure_outage_rate", r.failure_outage.OutageRate()},
+            {"switchovers", static_cast<double>(r.tenants_switched)},
+            {"tenants_evicted", static_cast<double>(r.tenants_evicted)},
+            {"backup_share_max", Max(r.backup_share_samples)}}});
+    }
+  }
+
+  // --- Bit-identical replay across thread counts ---
+  //
+  // The first survivable-switchover cell re-run through the sharded
+  // admission pipeline (4 workers x 4 shards) must reproduce the serial
+  // decision and sample streams byte for byte.
+  bool replay_ok = true;
+  if (check) {
+    Cell probe_cell{core::RecoveryPolicy::kSwitchover,
+                    util::ParseDoubleList(mtbfs).front(),
+                    /*survivable=*/true};
+    auto run_with = [&](int workers, int shards) {
+      workload::WorkloadGenerator gen(common.WorkloadConfig(),
+                                      common.seed());
+      auto jobs = gen.GenerateOnline(load, topo.total_slots());
+      sim::SimConfig config = make_config(probe_cell);
+      config.admission_workers = workers;
+      config.admission_shards = shards;
+      sim::Engine engine(topo, config);
+      return engine.RunOnline(std::move(jobs));
+    };
+    const sim::OnlineResult serial = run_with(0, 0);
+    const sim::OnlineResult piped = run_with(4, 4);
+    replay_ok =
+        serial.accepted == piped.accepted &&
+        serial.rejected == piped.rejected &&
+        serial.faults_injected == piped.faults_injected &&
+        serial.tenants_switched == piped.tenants_switched &&
+        serial.tenants_evicted == piped.tenants_evicted &&
+        serial.outage.outage_link_seconds ==
+            piped.outage.outage_link_seconds &&
+        serial.outage.busy_link_seconds == piped.outage.busy_link_seconds &&
+        serial.max_occupancy_samples == piped.max_occupancy_samples &&
+        serial.backup_share_samples == piped.backup_share_samples;
+    std::printf("replay: serial vs 4x4 pipeline %s\n",
+                replay_ok ? "bit-identical" : "DIVERGED");
+  }
 
   util::JsonWriter w;
   w.BeginObject();
@@ -185,6 +387,20 @@ int main(int argc, char** argv) {
                  common.epsilon());
     return 1;
   }
-  if (check) std::printf("check: steady-epoch outage within epsilon\n");
+  if (check && !drill_ok) {
+    std::fprintf(stderr,
+                 "FAIL: switchover drill had steady outage or evictions\n");
+    return 1;
+  }
+  if (check && !replay_ok) {
+    std::fprintf(stderr,
+                 "FAIL: survivable cell diverged across thread counts\n");
+    return 1;
+  }
+  if (check) {
+    std::printf(
+        "check: steady-epoch outage within epsilon; drill clean; replay "
+        "bit-identical\n");
+  }
   return 0;
 }

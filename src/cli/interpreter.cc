@@ -393,6 +393,64 @@ bool Interpreter::CmdFail(const std::vector<std::string>& args,
   return true;
 }
 
+bool Interpreter::CmdDrill(const std::vector<std::string>& args,
+                           std::ostream& out) {
+  // drill rack <vertex>: correlated failure drill — fail every machine
+  // under the ToR (ascending id, like a rack power event), report how the
+  // current policy fared, then recover everything.
+  int64_t vertex = 0;
+  if (args.size() != 3 || args[1] != "rack" || !ParseInt(args[2], vertex)) {
+    out << "error: drill rack <vertex>\n";
+    return false;
+  }
+  const auto& topo = manager_.topo();
+  if (vertex <= 0 || vertex >= topo.num_vertices() ||
+      topo.is_machine(static_cast<topology::VertexId>(vertex))) {
+    out << "error: drill rack needs a non-root switch vertex\n";
+    return false;
+  }
+  std::vector<topology::VertexId> machines =
+      topo.MachinesUnder(static_cast<topology::VertexId>(vertex));
+  std::sort(machines.begin(), machines.end());
+  int64_t affected = 0, switched = 0, reactive = 0, evicted = 0;
+  std::vector<topology::VertexId> downed;
+  for (topology::VertexId machine : machines) {
+    auto outcome = manager_.HandleFault(core::FaultKind::kMachine, machine,
+                                        recovery_policy_,
+                                        *current_allocator_);
+    if (!outcome) {
+      out << "drill: machine " << machine << " skipped ("
+          << outcome.status().ToText() << ")\n";
+      continue;
+    }
+    downed.push_back(machine);
+    affected += static_cast<int64_t>(outcome->tenants.size());
+    for (const core::TenantOutcome& tenant : outcome->tenants) {
+      if (!tenant.recovered) {
+        ++evicted;
+      } else if (tenant.switched_over) {
+        ++switched;
+      } else {
+        ++reactive;
+      }
+    }
+  }
+  for (topology::VertexId machine : downed) {
+    const util::Status status = manager_.HandleRecovery(machine);
+    if (!status.ok()) {
+      out << "drill: recover " << machine << " failed ("
+          << status.ToText() << ")\n";
+    }
+  }
+  out << "drill rack " << vertex << ": " << downed.size() << " machine(s) "
+      << "failed, " << affected << " tenant-fault(s), " << switched
+      << " switchover, " << reactive << " reactive, " << evicted
+      << " evicted (policy " << core::ToString(recovery_policy_)
+      << "), state " << (manager_.StateValid() ? "valid" : "INVALID")
+      << "\n";
+  return manager_.StateValid();
+}
+
 bool Interpreter::CmdRecover(const std::vector<std::string>& args,
                              std::ostream& out) {
   int64_t vertex = 0;
@@ -505,6 +563,7 @@ bool Interpreter::Execute(const std::string& line, std::ostream& out) {
   if (command == "metrics") return CmdMetrics(args, out);
   if (command == "fail") return CmdFail(args, out);
   if (command == "recover") return CmdRecover(args, out);
+  if (command == "drill") return CmdDrill(args, out);
   if (command == "faults") return CmdFaults(args, out);
   if (command == "health") return CmdHealth(args, out);
   if (command == "tail") return CmdTail(args, out);
@@ -512,11 +571,22 @@ bool Interpreter::Execute(const std::string& line, std::ostream& out) {
   if (command == "policy") {
     core::RecoveryPolicy policy;
     if (args.size() != 2 || !core::ParseRecoveryPolicy(args[1], &policy)) {
-      out << "error: policy reallocate|patch|evict\n";
+      out << "error: policy reallocate|patch|evict|switchover\n";
       return false;
     }
     recovery_policy_ = policy;
     out << "policy: " << args[1] << "\n";
+    return true;
+  }
+  if (command == "survivable") {
+    if (args.size() != 2 || (args[1] != "on" && args[1] != "off")) {
+      out << "error: survivable on|off\n";
+      return false;
+    }
+    core::AdmissionOptions options = manager_.admission_options();
+    options.survivability = args[1] == "on";
+    manager_.set_admission_options(options);
+    out << "survivable: " << args[1] << "\n";
     return true;
   }
   if (command == "allocator") {

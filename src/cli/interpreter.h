@@ -18,10 +18,15 @@
 //   assert valid                        # fail unless condition (4) holds
 //   assert live 2                       # fail unless tenant 2 is admitted
 //   allocator svc-dp                    # switch placement algorithm
-//   policy reallocate|patch|evict       # recovery policy for faults
+//   policy reallocate|patch|evict|switchover  # recovery policy for faults
+//   survivable on|off                   # survivable admission (backups)
 //   fail machine 7                      # failure drill: take machine down
 //   fail link 3                         # drain the uplink of vertex 3
 //   recover 7                           # bring a failed element back
+//   drill rack 2                        # correlated drill: fail every
+//                                       #   machine under the ToR, report
+//                                       #   switchover vs reactive vs
+//                                       #   evicted, then recover all
 //   faults                              # list currently-failed elements
 //   metrics                             # dump the obs metrics registry
 //   health                              # one-line summary + Prometheus
@@ -79,6 +84,7 @@ class Interpreter {
   bool CmdMetrics(const std::vector<std::string>& args, std::ostream& out);
   bool CmdFail(const std::vector<std::string>& args, std::ostream& out);
   bool CmdRecover(const std::vector<std::string>& args, std::ostream& out);
+  bool CmdDrill(const std::vector<std::string>& args, std::ostream& out);
   bool CmdFaults(const std::vector<std::string>& args, std::ostream& out);
   bool CmdHealth(const std::vector<std::string>& args, std::ostream& out);
   bool CmdTail(const std::vector<std::string>& args, std::ostream& out);

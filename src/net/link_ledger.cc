@@ -12,6 +12,62 @@ namespace svc::net {
 namespace {
 // Demands smaller than this (Mbps / Mbps^2) are treated as absent.
 constexpr double kNegligible = 1e-12;
+
+// Condition (4) across the no-failure state and every post-failure (domain)
+// state of the link.  Domain states are only enforced on up links: a drained
+// link's backup records are unenforceable until switchover re-validates them.
+bool ValidAllStates(const LinkState& s, double mean_add, double var_add,
+                    double det_add, double c) {
+  if (!SatisfiesGuarantee(s.capacity, s.deterministic + det_add,
+                          s.mean_sum + mean_add, s.var_sum + var_add, c)) {
+    return false;
+  }
+  if (s.capacity <= 0) return true;
+  for (const BackupDomainSums& g : s.backup_domains) {
+    if (!SatisfiesGuarantee(s.capacity, s.deterministic + det_add + g.det_sum,
+                            s.mean_sum + mean_add + g.mean_sum,
+                            s.var_sum + var_add + g.var_sum, c)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Fused worst-case kernel: max occupancy over the no-failure state and every
+// post-failure state (the max propagates a condition-(4) violation's +inf).
+double WorstOccupancyIfValid(const LinkState& s, double mean_add,
+                             double var_add, double det_add, double c) {
+  double worst =
+      OccupancyRatioIfValid(s.capacity, s.deterministic + det_add,
+                            s.mean_sum + mean_add, s.var_sum + var_add, c);
+  if (s.capacity <= 0) return worst;
+  for (const BackupDomainSums& g : s.backup_domains) {
+    worst = std::max(
+        worst, OccupancyRatioIfValid(s.capacity,
+                                     s.deterministic + det_add + g.det_sum,
+                                     s.mean_sum + mean_add + g.mean_sum,
+                                     s.var_sum + var_add + g.var_sum, c));
+  }
+  return worst;
+}
+
+// Adds one backup record's moments into the per-domain sums, keeping the
+// vector sorted by domain id.
+void AccumulateDomain(std::vector<BackupDomainSums>& sums,
+                      topology::VertexId domain, double mean, double variance,
+                      double deterministic) {
+  auto it = std::lower_bound(
+      sums.begin(), sums.end(), domain,
+      [](const BackupDomainSums& g, topology::VertexId d) {
+        return g.domain < d;
+      });
+  if (it == sums.end() || it->domain != domain) {
+    it = sums.insert(it, BackupDomainSums{domain, 0, 0, 0});
+  }
+  it->mean_sum += mean;
+  it->var_sum += variance;
+  it->det_sum += deterministic;
+}
 }  // namespace
 
 LinkLedger::LinkLedger(const topology::Topology& topo, double epsilon)
@@ -155,16 +211,76 @@ double LinkLedger::OccupancyWith(topology::VertexId v, double mean_add,
                                  double var_add, double det_add) const {
   assert(v != topo_->root());
   const LinkState& s = rows_[v];
-  return OccupancyRatioIfValid(s.capacity, s.deterministic + det_add,
-                               s.mean_sum + mean_add, s.var_sum + var_add, c_);
+  if (s.backup_domains.empty()) {
+    return OccupancyRatioIfValid(s.capacity, s.deterministic + det_add,
+                                 s.mean_sum + mean_add, s.var_sum + var_add,
+                                 c_);
+  }
+  return WorstOccupancyIfValid(s, mean_add, var_add, det_add, c_);
 }
 
 bool LinkLedger::ValidWith(topology::VertexId v, double mean_add,
                            double var_add, double det_add) const {
   assert(v != topo_->root());
   const LinkState& s = rows_[v];
-  return SatisfiesGuarantee(s.capacity, s.deterministic + det_add,
-                            s.mean_sum + mean_add, s.var_sum + var_add, c_);
+  if (s.backup_domains.empty()) {
+    return SatisfiesGuarantee(s.capacity, s.deterministic + det_add,
+                              s.mean_sum + mean_add, s.var_sum + var_add, c_);
+  }
+  return ValidAllStates(s, mean_add, var_add, det_add, c_);
+}
+
+double LinkLedger::OccupancyWithDomain(topology::VertexId v,
+                                       topology::VertexId domain,
+                                       double mean_add, double var_add,
+                                       double det_add) const {
+  assert(v != topo_->root());
+  const LinkState& s = rows_[v];
+  double gm = 0, gv = 0, gd = 0;
+  for (const BackupDomainSums& g : s.backup_domains) {
+    if (g.domain == domain) {
+      gm = g.mean_sum;
+      gv = g.var_sum;
+      gd = g.det_sum;
+      break;
+    }
+    if (g.domain > domain) break;  // sorted by domain id
+  }
+  return OccupancyRatioIfValid(s.capacity, s.deterministic + det_add + gd,
+                               s.mean_sum + mean_add + gm,
+                               s.var_sum + var_add + gv, c_);
+}
+
+bool LinkLedger::ValidWithDomain(topology::VertexId v,
+                                 topology::VertexId domain, double mean_add,
+                                 double var_add, double det_add) const {
+  return OccupancyWithDomain(v, domain, mean_add, var_add, det_add) !=
+         std::numeric_limits<double>::infinity();
+}
+
+double LinkLedger::BackupShare(topology::VertexId v) const {
+  assert(v != topo_->root());
+  const LinkState& s = rows_[v];
+  if (s.backup_domains.empty() || s.capacity <= 0) return 0;
+  const double base =
+      OccupancyRatio(s.capacity, s.deterministic, s.mean_sum, s.var_sum, c_);
+  double worst = base;
+  for (const BackupDomainSums& g : s.backup_domains) {
+    worst = std::max(worst,
+                     OccupancyRatio(s.capacity, s.deterministic + g.det_sum,
+                                    s.mean_sum + g.mean_sum,
+                                    s.var_sum + g.var_sum, c_));
+  }
+  if (!std::isfinite(worst) || !std::isfinite(base)) return 0;
+  return std::clamp(worst - base, 0.0, 1.0);
+}
+
+double LinkLedger::MaxBackupShare() const {
+  double result = 0;
+  for (topology::VertexId v = 1; v < topo_->num_vertices(); ++v) {
+    result = std::max(result, BackupShare(v));
+  }
+  return result;
 }
 
 void LinkLedger::OccupancyWithBatch(topology::VertexId v,
@@ -203,6 +319,17 @@ void LinkLedger::OccupancyWithBatch(topology::VertexId v,
                                 : capacity - det - mean > root - slack;
     out[i] = valid ? (det + mean + root) / capacity : inf;
   }
+  // Shared-backup class: fold in each post-failure state.  Links without
+  // backup records (every link unless survivability is on) skip this pass,
+  // keeping the legacy loop's output bit-identical.
+  for (const BackupDomainSums& g : s.backup_domains) {
+    for (int i = 0; i < count; ++i) {
+      out[i] = std::max(
+          out[i], OccupancyRatioIfValid(capacity, d0 + det_add[i] + g.det_sum,
+                                        m0 + mean_add[i] + g.mean_sum,
+                                        v0 + var_add[i] + g.var_sum, c));
+    }
+  }
 }
 
 int LinkLedger::FeasibleFrontier(topology::VertexId v, const double* mean_add,
@@ -212,13 +339,18 @@ int LinkLedger::FeasibleFrontier(topology::VertexId v, const double* mean_add,
   const LinkState& s = rows_[v];
   // Invariant: every index < lo is feasible, every index > hi infeasible
   // (once one candidate violates (4), every larger-moment candidate does:
-  // the slack side shrinks while the quantile side grows).
+  // the slack side shrinks while the quantile side grows; an AND over the
+  // link's post-failure states preserves this, since each state's verdict
+  // is monotone in the candidate's moments).
   while (lo <= hi) {
     const int mid = lo + (hi - lo) / 2;
-    const bool valid =
-        SatisfiesGuarantee(s.capacity, s.deterministic + det_add[mid],
-                           s.mean_sum + mean_add[mid],
-                           s.var_sum + var_add[mid], c_);
+    const bool valid = s.backup_domains.empty()
+                           ? SatisfiesGuarantee(
+                                 s.capacity, s.deterministic + det_add[mid],
+                                 s.mean_sum + mean_add[mid],
+                                 s.var_sum + var_add[mid], c_)
+                           : ValidAllStates(s, mean_add[mid], var_add[mid],
+                                            det_add[mid], c_);
     if (valid) {
       lo = mid + 1;
     } else {
@@ -238,10 +370,13 @@ int LinkLedger::FeasibleFrontierDescending(topology::VertexId v,
   // Invariant: every index < lo is infeasible, every index > hi feasible.
   while (lo <= hi) {
     const int mid = lo + (hi - lo) / 2;
-    const bool valid =
-        SatisfiesGuarantee(s.capacity, s.deterministic + det_add[mid],
-                           s.mean_sum + mean_add[mid],
-                           s.var_sum + var_add[mid], c_);
+    const bool valid = s.backup_domains.empty()
+                           ? SatisfiesGuarantee(
+                                 s.capacity, s.deterministic + det_add[mid],
+                                 s.mean_sum + mean_add[mid],
+                                 s.var_sum + var_add[mid], c_)
+                           : ValidAllStates(s, mean_add[mid], var_add[mid],
+                                            det_add[mid], c_);
     if (valid) {
       hi = mid - 1;
     } else {
@@ -278,6 +413,9 @@ std::vector<RequestId> LinkLedger::AffectedRequests(
   ids.reserve(s.stochastic.size() + s.reserved.size());
   for (const StochasticDemand& d : s.stochastic) ids.push_back(d.request);
   for (const DeterministicDemand& d : s.reserved) ids.push_back(d.request);
+  // Backup records deliberately excluded: a tenant whose BACKUP routes
+  // through v keeps its primary placement intact — its protection is
+  // degraded, not its service, and switchover re-validates before use.
   std::sort(ids.begin(), ids.end());
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
   return ids;
@@ -317,6 +455,22 @@ void LinkLedger::AddDeterministic(topology::VertexId v, RequestId req,
   Touch(req, v);
 }
 
+void LinkLedger::AddBackup(topology::VertexId v, RequestId req,
+                           topology::VertexId domain, double mean,
+                           double variance, double deterministic) {
+  assert(v != topo_->root());
+  assert(domain != topology::kNoVertex);
+  assert(mean >= 0 && variance >= 0 && deterministic >= 0);
+  if (mean < kNegligible && variance < kNegligible &&
+      deterministic < kNegligible) {
+    return;
+  }
+  LinkState& s = rows_[v];
+  s.backup.push_back({req, domain, mean, variance, deterministic});
+  AccumulateDomain(s.backup_domains, domain, mean, variance, deterministic);
+  Touch(req, v);
+}
+
 void LinkLedger::RebuildSums(topology::VertexId v) {
   LinkState& s = rows_[v];
   s.mean_sum = 0;
@@ -327,6 +481,11 @@ void LinkLedger::RebuildSums(topology::VertexId v) {
     s.var_sum += d.variance;
   }
   for (const auto& d : s.reserved) s.deterministic += d.amount;
+  s.backup_domains.clear();
+  for (const auto& b : s.backup) {
+    AccumulateDomain(s.backup_domains, b.domain, b.mean, b.variance,
+                     b.deterministic);
+  }
 }
 
 void LinkLedger::AssignAggregatesFrom(const LinkLedger& other) {
@@ -342,9 +501,17 @@ void LinkLedger::AssignAggregatesFrom(const LinkLedger& other) {
     dst.mean_sum = src.mean_sum;
     dst.var_sum = src.var_sum;
     dst.up = src.up;
+    // Backup-domain sums are aggregates too: snapshots must see reserved
+    // backup bandwidth or speculative admission would over-commit the
+    // post-failure states.  The emptiness guard keeps the legacy
+    // (no-survivability) capture allocation-free.
+    if (!src.backup_domains.empty() || !dst.backup_domains.empty()) {
+      dst.backup_domains = src.backup_domains;
+    }
     // A view carries no records; clears are free once the lists are empty.
     dst.stochastic.clear();
     dst.reserved.clear();
+    dst.backup.clear();
   }
   for (TouchedMap& map : touched_) map.clear();
 }
@@ -356,12 +523,16 @@ void LinkLedger::AssignAggregatesFromLinks(
     LinkState& dst = rows_[v];
     const LinkState& src = other.rows_[v];
     assert(dst.stochastic.empty() && dst.reserved.empty() &&
+           dst.backup.empty() &&
            "partial capture is a shadow-ledger operation");
     dst.capacity = src.capacity;
     dst.deterministic = src.deterministic;
     dst.mean_sum = src.mean_sum;
     dst.var_sum = src.var_sum;
     dst.up = src.up;
+    if (!src.backup_domains.empty() || !dst.backup_domains.empty()) {
+      dst.backup_domains = src.backup_domains;
+    }
   }
 }
 
@@ -411,13 +582,34 @@ void LinkLedger::RemoveRecords(RequestId req,
       s.var_sum = 0;
     }
     if (s.reserved.empty()) s.deterministic = 0;
+    bool backup_removed = false;
+    for (size_t i = 0; i < s.backup.size();) {
+      if (s.backup[i].request == req) {
+        s.backup[i] = s.backup.back();
+        s.backup.pop_back();
+        backup_removed = true;
+      } else {
+        ++i;
+      }
+    }
+    if (backup_removed) {
+      // Rebuild the per-domain sums from the surviving records: exact (a
+      // domain whose records drain disappears entirely, so stale near-zero
+      // sums cannot linger in the worst-case kernels) and O(records).
+      s.backup_domains.clear();
+      for (const BackupDemand& b : s.backup) {
+        AccumulateDomain(s.backup_domains, b.domain, b.mean, b.variance,
+                         b.deterministic);
+      }
+    }
   }
 }
 
 size_t LinkLedger::TotalRecords() const {
   size_t total = 0;
   for (size_t v = 0; v < num_rows_; ++v) {
-    total += rows_[v].stochastic.size() + rows_[v].reserved.size();
+    total += rows_[v].stochastic.size() + rows_[v].reserved.size() +
+             rows_[v].backup.size();
   }
   return total;
 }

@@ -39,6 +39,30 @@ struct DeterministicDemand {
   double amount;
 };
 
+// One shared-backup demand record (docs/ROBUSTNESS.md "Survivability"): the
+// demand request r's backup group adds to the link, but only in the
+// post-failure state of `domain` (the protected primary machine).  Backups
+// protecting different domains never activate together under the
+// single-failure assumption, so records of distinct domains SHARE the
+// link's headroom instead of summing.
+struct BackupDemand {
+  RequestId request;
+  topology::VertexId domain;
+  double mean;
+  double variance;
+  double deterministic;
+};
+
+// Running sums of one domain's backup records on one link — the post-failure
+// state of that domain is the link's base sums plus these.  Kept sorted by
+// domain id (a handful of entries per link in practice).
+struct BackupDomainSums {
+  topology::VertexId domain = topology::kNoVertex;
+  double mean_sum = 0;
+  double var_sum = 0;
+  double det_sum = 0;
+};
+
 struct LinkState {
   double capacity = 0;       // C_L (0 while the link is down)
   double deterministic = 0;  // D_L
@@ -47,6 +71,11 @@ struct LinkState {
   bool up = true;            // fault-plane state; capacity drains to 0 down
   std::vector<StochasticDemand> stochastic;
   std::vector<DeterministicDemand> reserved;
+  // Shared-backup class: per-record bookkeeping plus per-domain sums.  Both
+  // stay empty unless survivable admission is on, so the legacy read paths
+  // below cost one emptiness test.
+  std::vector<BackupDemand> backup;
+  std::vector<BackupDomainSums> backup_domains;
 };
 
 class LinkLedger {
@@ -168,6 +197,39 @@ class LinkLedger {
   // Maximum occupancy ratio over all links (the Fig. 9 sample statistic).
   double MaxOccupancy() const;
 
+  // --- Shared-backup class (survivable admission) ---
+  //
+  // Every read kernel above (OccupancyWith / ValidWith / the batch and
+  // frontier variants) evaluates the WORST post-failure state of the link:
+  // the no-failure state plus, for each protected domain d with backup
+  // records here, the state with d's backup sums activated.  Links without
+  // backup records take the legacy single-state path bit-identically.
+  // Post-failure states are only enforced on up links — a drained link's
+  // backup records are unenforceable until switchover re-validates them
+  // through AdmitPlacement.
+
+  // Occupancy of link v in the post-failure state of `domain` with a
+  // candidate demand added (the candidate is the backup group's own demand
+  // plus any primary demand the same placement puts on this link), or +inf
+  // when that state would violate condition (4).  Domains with no backup
+  // records on v degrade to the plain fused kernel.
+  double OccupancyWithDomain(topology::VertexId v, topology::VertexId domain,
+                             double mean_add, double var_add,
+                             double det_add) const;
+
+  // Verdict-only shim over OccupancyWithDomain.
+  bool ValidWithDomain(topology::VertexId v, topology::VertexId domain,
+                       double mean_add, double var_add, double det_add) const;
+
+  // Fraction of link v's occupancy held by backup reservations: worst-case
+  // occupancy minus no-failure occupancy, clamped to [0, 1] and 0 when
+  // either side is non-finite (drained link).  The "backup bandwidth tax"
+  // statistic for bench/fault_recovery.
+  double BackupShare(topology::VertexId v) const;
+
+  // Maximum BackupShare over all links.
+  double MaxBackupShare() const;
+
   // --- Fault plane ---
 
   // Whether the link below vertex v is up (new links start up).
@@ -196,6 +258,13 @@ class LinkLedger {
 
   // Records a deterministic reservation.
   void AddDeterministic(topology::VertexId v, RequestId req, double amount);
+
+  // Records a shared-backup demand of request `req` on link v, active only
+  // in the post-failure state of `domain` (a protected primary machine of
+  // the request).  Negligible demands are skipped like AddStochastic.
+  void AddBackup(topology::VertexId v, RequestId req,
+                 topology::VertexId domain, double mean, double variance,
+                 double deterministic);
 
   // Removes every record of `req` and restores the running sums by direct
   // subtraction (O(records on touched links), no rebuild scan).  Links

@@ -11,6 +11,7 @@
 #include "obs/trace.h"
 #include "stats/lognormal.h"
 #include "svc/scratch_arena.h"
+#include "svc/survivable.h"
 #include "util/logging.h"
 
 namespace svc::sim {
@@ -24,6 +25,8 @@ Engine::Engine(const topology::Topology& topo, SimConfig config)
       rng_(config.seed) {
   assert(config_.allocator != nullptr && "SimConfig.allocator is required");
   assert(config_.time_step > 0);
+  manager_.set_admission_options(config_.admission);
+  empty_manager_.set_admission_options(config_.admission);
   if (config_.admission_workers > 1) {
     core::PipelineConfig pipeline;
     pipeline.workers = config_.admission_workers;
@@ -45,10 +48,18 @@ core::Request Engine::MakeRequest(const workload::JobSpec& spec) const {
 }
 
 bool Engine::UnallocatableEvenEmpty(const workload::JobSpec& spec) {
-  return !config_.allocator
-              ->Allocate(MakeRequest(spec), empty_manager_.ledger(),
-                         empty_manager_.slots())
-              .ok();
+  const core::Request request = MakeRequest(spec);
+  util::Result<core::Placement> placed = config_.allocator->Allocate(
+      request, empty_manager_.ledger(), empty_manager_.slots());
+  if (!placed) return true;
+  if (config_.admission.survivability) {
+    // Survivable admission also needs a backup group; a job whose backup
+    // cannot fit even in an empty datacenter can never be admitted either.
+    return !core::PlanBackup(*topo_, request, *std::move(placed),
+                             empty_manager_.ledger(), empty_manager_.slots())
+                .ok();
+  }
+  return false;
 }
 
 bool Engine::TryStart(const workload::JobSpec& spec, double now) {
@@ -355,11 +366,47 @@ void Engine::EvictJob(int64_t job_id, double now) {
   }
 }
 
+void Engine::RepathJob(int64_t job_id) {
+  const core::Placement* placement = manager_.placement_of(job_id);
+  assert(placement != nullptr);
+  // Re-path the tenant's flows onto the current placement with their
+  // original ECMP hashes: no fresh RNG draws, so the seed stream (and
+  // everything downstream) is fault-schedule-stable.
+  for (size_t f = 0; f < flows_.size(); ++f) {
+    if (meta_[f].job_id != job_id) continue;
+    flows_[f].links.clear();
+    topo_->PathCablesDirected(placement->vm_machine[meta_[f].src_vm],
+                              placement->vm_machine[meta_[f].dst_vm],
+                              meta_[f].ecmp_hash, flows_[f].links);
+  }
+}
+
 bool Engine::ApplyFaultEvents(double now) {
   bool applied = false;
   while (next_fault_ < fault_schedule_.size() &&
          fault_schedule_[next_fault_].time <= now) {
     const FaultEvent event = fault_schedule_[next_fault_++];
+    if (event.fail && event.drain) {
+      // Planned drain: migrate the machine's tenants off (switchover
+      // preferred) BEFORE the teardown below takes it down.  Tenants the
+      // drain could not move are restored in place and handled reactively
+      // by the machine failure that follows.
+      util::Result<core::FaultOutcome> drained =
+          manager_.DrainMachine(event.vertex, *config_.allocator);
+      if (drained) {
+        ++planned_drains_;
+        for (const core::TenantOutcome& tenant : drained->tenants) {
+          if (!tenant.recovered) continue;
+          ++tenants_migrated_;
+          if (tenant.switched_over) ++tenants_switched_;
+          RepathJob(tenant.id);
+        }
+        if (!drained->tenants.empty()) flows_dirty_ = true;
+      } else {
+        SVC_LOG(Warning) << "drain event at t=" << event.time
+                         << " skipped: " << drained.status().ToText();
+      }
+    }
     if (event.fail) {
       const auto start = std::chrono::steady_clock::now();
       util::Result<core::FaultOutcome> outcome = manager_.HandleFault(
@@ -385,20 +432,8 @@ bool Engine::ApplyFaultEvents(double now) {
       for (const core::TenantOutcome& tenant : outcome->tenants) {
         if (tenant.recovered) {
           ++tenants_recovered_;
-          const core::Placement* placement =
-              manager_.placement_of(tenant.id);
-          assert(placement != nullptr);
-          // Re-path the tenant's flows onto the recovered placement with
-          // their original ECMP hashes: no fresh RNG draws, so the seed
-          // stream (and everything downstream) is fault-schedule-stable.
-          for (size_t f = 0; f < flows_.size(); ++f) {
-            if (meta_[f].job_id != tenant.id) continue;
-            flows_[f].links.clear();
-            topo_->PathCablesDirected(
-                placement->vm_machine[meta_[f].src_vm],
-                placement->vm_machine[meta_[f].dst_vm],
-                meta_[f].ecmp_hash, flows_[f].links);
-          }
+          if (tenant.switched_over) ++tenants_switched_;
+          RepathJob(tenant.id);
         } else {
           ++tenants_evicted_;
           EvictJob(tenant.id, now);
@@ -554,6 +589,9 @@ BatchResult Engine::RunBatch(const std::vector<workload::JobSpec>& jobs) {
   result.tenants_affected = tenants_affected_;
   result.tenants_recovered = tenants_recovered_;
   result.tenants_evicted = tenants_evicted_;
+  result.tenants_switched = tenants_switched_;
+  result.planned_drains = planned_drains_;
+  result.tenants_migrated = tenants_migrated_;
   result.recovery_latency_us = std::move(recovery_latency_us_);
   return result;
 }
@@ -610,6 +648,10 @@ OnlineResult Engine::RunOnline(std::vector<workload::JobSpec> jobs) {
           static_cast<int>(active_.size()));
       if (config_.sample_occupancy) {
         result.max_occupancy_samples.push_back(manager_.MaxOccupancy());
+        if (config_.admission.survivability) {
+          result.backup_share_samples.push_back(
+              manager_.ledger().MaxBackupShare());
+        }
       }
     };
     size_t group_end = next;
@@ -675,6 +717,9 @@ OnlineResult Engine::RunOnline(std::vector<workload::JobSpec> jobs) {
   result.tenants_affected = tenants_affected_;
   result.tenants_recovered = tenants_recovered_;
   result.tenants_evicted = tenants_evicted_;
+  result.tenants_switched = tenants_switched_;
+  result.planned_drains = planned_drains_;
+  result.tenants_migrated = tenants_migrated_;
   result.recovery_latency_us = std::move(recovery_latency_us_);
   return result;
 }

@@ -62,6 +62,9 @@ struct SimConfig {
   workload::Abstraction abstraction = workload::Abstraction::kSvc;
   double epsilon = 0.05;           // SVC risk factor
   const core::Allocator* allocator = nullptr;  // required
+  // Admission-wide policy knobs installed on the manager (survivable
+  // admission etc., see core::AdmissionOptions).
+  core::AdmissionOptions admission;
   double time_step = 1.0;          // seconds; the paper redraws rates at 1 s
   double max_seconds = 2e6;        // safety stop, flagged in the result log
   uint64_t seed = 1;
@@ -251,7 +254,14 @@ class Engine {
   int64_t tenants_affected_ = 0;
   int64_t tenants_recovered_ = 0;
   int64_t tenants_evicted_ = 0;
+  int64_t tenants_switched_ = 0;
+  int64_t planned_drains_ = 0;
+  int64_t tenants_migrated_ = 0;
   std::vector<double> recovery_latency_us_;
+
+  // Re-paths every flow of `job_id` onto the tenant's current placement
+  // with the original ECMP hashes (no fresh RNG draws).
+  void RepathJob(int64_t job_id);
 
   // Time-series sampler state (SimConfig.series): utilization aggregates of
   // the last non-steady outage pass, replayed on steady ticks.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 #include "sim/sweep_runner.h"
 #include "stats/rng.h"
@@ -9,6 +10,29 @@
 namespace svc::sim {
 
 namespace {
+
+std::string Num(double v) {
+  std::string s = std::to_string(v);
+  // Trim trailing zeros for readable error messages (std::to_string pads to
+  // six decimals).
+  while (s.size() > 1 && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+// True when the element named by a scripted event also has a random renewal
+// stream under this config, i.e. it can fail even without a scripted
+// failure.
+bool HasRandomStream(const topology::Topology& topo, const FaultConfig& config,
+                     const FaultEvent& e) {
+  if (e.kind == core::FaultKind::kMachine) {
+    return config.machine_mtbf_seconds > 0;
+  }
+  // Random link faults are only generated for non-machine, non-root
+  // vertices (machine faults cover machine uplinks).
+  return config.link_mtbf_seconds > 0 && e.vertex != topo.root() &&
+         !topo.is_machine(e.vertex);
+}
 
 // Alternating up/down renewal process for one element, emitted until the
 // horizon.  A failure whose repair would land past the horizon still gets
@@ -29,10 +53,75 @@ void EmitElementEvents(topology::VertexId vertex, core::FaultKind kind,
 
 }  // namespace
 
+util::Status ValidateFaultConfig(const topology::Topology& topo,
+                                 const FaultConfig& config) {
+  if (config.machine_mtbf_seconds < 0 || config.link_mtbf_seconds < 0) {
+    return {util::ErrorCode::kInvalidArgument,
+            "MTBF must be >= 0 (machine_mtbf_seconds=" +
+                Num(config.machine_mtbf_seconds) + ", link_mtbf_seconds=" +
+                Num(config.link_mtbf_seconds) + ")"};
+  }
+  if ((config.machine_mtbf_seconds > 0 || config.link_mtbf_seconds > 0) &&
+      config.mttr_seconds <= 0) {
+    return {util::ErrorCode::kInvalidArgument,
+            "mttr_seconds must be > 0 when an MTBF is set (mttr_seconds=" +
+                Num(config.mttr_seconds) + ")"};
+  }
+  if (config.horizon_seconds < 0) {
+    return {util::ErrorCode::kInvalidArgument,
+            "horizon_seconds must be >= 0 (got " +
+                Num(config.horizon_seconds) + ")"};
+  }
+  for (size_t i = 0; i < config.scripted.size(); ++i) {
+    const FaultEvent& e = config.scripted[i];
+    const std::string where = "scripted event " + std::to_string(i);
+    if (e.vertex <= topo.root() || e.vertex >= topo.num_vertices()) {
+      return {util::ErrorCode::kInvalidArgument,
+              where + " names invalid vertex " + std::to_string(e.vertex) +
+                  " (must be a non-root vertex < " +
+                  std::to_string(topo.num_vertices()) + ")"};
+    }
+    if (e.kind == core::FaultKind::kMachine && !topo.is_machine(e.vertex)) {
+      return {util::ErrorCode::kInvalidArgument,
+              where + " is a machine fault on non-machine vertex " +
+                  std::to_string(e.vertex)};
+    }
+    if (e.drain && (e.kind != core::FaultKind::kMachine || !e.fail)) {
+      return {util::ErrorCode::kInvalidArgument,
+              where + " sets drain on a " +
+                  (e.fail ? std::string("link event")
+                          : std::string("recovery event")) +
+                  "; drains only apply to machine failures"};
+    }
+    if (!e.fail && !HasRandomStream(topo, config, e)) {
+      // A recovery only makes sense for an element that failed: require an
+      // earlier-or-simultaneous scripted failure of the same element (the
+      // tie case is legal because failures sort before recoveries).
+      bool failed_before = false;
+      for (const FaultEvent& f : config.scripted) {
+        if (f.fail && f.vertex == e.vertex && f.kind == e.kind &&
+            f.time <= e.time) {
+          failed_before = true;
+          break;
+        }
+      }
+      if (!failed_before) {
+        return {util::ErrorCode::kInvalidArgument,
+                where + " is a scripted recovery for vertex " +
+                    std::to_string(e.vertex) + " which never failed"};
+      }
+    }
+  }
+  return util::Status::Ok();
+}
+
 std::vector<FaultEvent> BuildFaultSchedule(const topology::Topology& topo,
                                            const FaultConfig& config) {
-  assert((config.machine_mtbf_seconds <= 0 && config.link_mtbf_seconds <= 0) ||
-         config.mttr_seconds > 0);
+  const util::Status valid = ValidateFaultConfig(topo, config);
+  if (!valid.ok()) {
+    assert(false && "invalid FaultConfig passed to BuildFaultSchedule");
+    return {};
+  }
   std::vector<FaultEvent> schedule;
   if (config.machine_mtbf_seconds > 0) {
     for (topology::VertexId machine : topo.machines()) {
@@ -61,6 +150,39 @@ std::vector<FaultEvent> BuildFaultSchedule(const topology::Topology& topo,
               return a.fail > b.fail;
             });
   return schedule;
+}
+
+void AppendRackPowerEvent(const topology::Topology& topo,
+                          topology::VertexId rack, double time,
+                          double outage_seconds,
+                          std::vector<FaultEvent>* out) {
+  for (topology::VertexId m : topo.MachinesUnder(rack)) {
+    out->push_back({time, m, core::FaultKind::kMachine, /*fail=*/true});
+    if (outage_seconds > 0) {
+      out->push_back(
+          {time + outage_seconds, m, core::FaultKind::kMachine,
+           /*fail=*/false});
+    }
+  }
+}
+
+void AppendTorLossEvent(topology::VertexId rack, double time,
+                        double outage_seconds, std::vector<FaultEvent>* out) {
+  out->push_back({time, rack, core::FaultKind::kLink, /*fail=*/true});
+  if (outage_seconds > 0) {
+    out->push_back(
+        {time + outage_seconds, rack, core::FaultKind::kLink, /*fail=*/false});
+  }
+}
+
+void AppendPlannedDrain(topology::VertexId machine, double time,
+                        double outage_seconds, std::vector<FaultEvent>* out) {
+  out->push_back({time, machine, core::FaultKind::kMachine, /*fail=*/true,
+                  /*drain=*/true});
+  if (outage_seconds > 0) {
+    out->push_back({time + outage_seconds, machine, core::FaultKind::kMachine,
+                    /*fail=*/false});
+  }
 }
 
 }  // namespace svc::sim

@@ -14,6 +14,7 @@
 
 #include "svc/manager.h"
 #include "topology/topology.h"
+#include "util/result.h"
 
 namespace svc::sim {
 
@@ -23,7 +24,11 @@ struct FaultEvent {
   double time = 0;
   topology::VertexId vertex = topology::kNoVertex;
   core::FaultKind kind = core::FaultKind::kLink;
-  bool fail = true;  // false = recovery
+  bool fail = true;   // false = recovery
+  // Planned drain (machine fail events only): migrate the machine's tenants
+  // off — switchover preferred — BEFORE taking it down, so a covered drain
+  // causes no outage.  The recovery event reopens the machine as usual.
+  bool drain = false;
 };
 
 struct FaultConfig {
@@ -47,10 +52,43 @@ struct FaultConfig {
   }
 };
 
+// Validates a FaultConfig against a topology.  Errors (with messages naming
+// the offending field/event) instead of silent misbehavior for: an MTBF set
+// with mttr_seconds <= 0; negative rates or horizon; scripted events naming
+// out-of-range or root vertices; machine-kind events on non-machine
+// vertices; drains on non-machine or recovery events; and scripted
+// recoveries for elements that never failed (no earlier-or-simultaneous
+// scripted failure, and the element's random stream disabled).
+util::Status ValidateFaultConfig(const topology::Topology& topo,
+                                 const FaultConfig& config);
+
 // Expands the config into one time-sorted schedule (ties broken by vertex,
 // failures before recoveries).  Pure function of (topo, config): the same
-// inputs yield the same bytes.
+// inputs yield the same bytes.  The config must pass ValidateFaultConfig.
 std::vector<FaultEvent> BuildFaultSchedule(const topology::Topology& topo,
                                            const FaultConfig& config);
+
+// --- Correlated failure scenarios (scripted multi-element groups) ---
+//
+// Each helper appends deterministic scripted events to `out`; merge order is
+// irrelevant because BuildFaultSchedule re-sorts into the documented
+// (time, vertex, fail) total order.  `outage_seconds <= 0` means the
+// elements stay down for the rest of the run.
+
+// Whole-rack power event: every machine under `rack` fails at `time` and
+// (optionally) recovers together at time + outage_seconds.
+void AppendRackPowerEvent(const topology::Topology& topo,
+                          topology::VertexId rack, double time,
+                          double outage_seconds, std::vector<FaultEvent>* out);
+
+// ToR loss: the uplink of `rack` fails — machines below keep their
+// intra-rack connectivity but lose the core.
+void AppendTorLossEvent(topology::VertexId rack, double time,
+                        double outage_seconds, std::vector<FaultEvent>* out);
+
+// Planned drain: migrate tenants off `machine` at `time`, then take it
+// down; recovery after outage_seconds reopens it.
+void AppendPlannedDrain(topology::VertexId machine, double time,
+                        double outage_seconds, std::vector<FaultEvent>* out);
 
 }  // namespace svc::sim

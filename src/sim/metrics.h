@@ -50,6 +50,9 @@ struct BatchResult {
   int64_t tenants_affected = 0;
   int64_t tenants_recovered = 0;
   int64_t tenants_evicted = 0;
+  int64_t tenants_switched = 0;  // recovered by activating a backup group
+  int64_t planned_drains = 0;    // drain events applied
+  int64_t tenants_migrated = 0;  // moved off a machine by a planned drain
   OutageStats failure_outage;
   OutageStats steady_outage() const {
     return {outage.outage_link_seconds - failure_outage.outage_link_seconds,
@@ -73,6 +76,10 @@ struct OnlineResult {
   // Sampled at every job arrival (paper Sections VI-B2/B3).
   std::vector<int> concurrency_samples;
   std::vector<double> max_occupancy_samples;
+  // Worst reserved-but-idle backup fraction across links, sampled at every
+  // arrival when survivable admission is on: the protection tax actually
+  // held in reserve (0 when no backups exist).
+  std::vector<double> backup_share_samples;
 
   // --- Fault plane (SimConfig.faults) ---
   int64_t faults_injected = 0;
@@ -80,6 +87,9 @@ struct OnlineResult {
   int64_t tenants_affected = 0;   // placements touched by some fault
   int64_t tenants_recovered = 0;  // re-admitted (reallocated or patched)
   int64_t tenants_evicted = 0;    // released for good, with a reason code
+  int64_t tenants_switched = 0;   // recovered by activating a backup group
+  int64_t planned_drains = 0;     // drain events applied
+  int64_t tenants_migrated = 0;   // moved off a machine by a planned drain
   // Outage accounting restricted to ticks where at least one element was
   // down.  `outage` above keeps the overall totals, so the steady-epoch
   // share — where the paper's epsilon bound must still hold — is derived.

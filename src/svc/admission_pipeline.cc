@@ -447,7 +447,7 @@ std::optional<util::Result<Placement>> AdmissionPipeline::FinalizeDeterministic(
     }
   };
   if (!proposal.ok) {
-    if (fresh || allocator.monotone_rejections()) {
+    if (fresh || proposal.rejection_monotone) {
       // A rejection against fresh books IS the serial verdict — and a stale
       // one from a monotone allocator still is: within a batch the books
       // only gain tenants (rejections don't bump the epoch, releases and
@@ -826,7 +826,7 @@ std::vector<util::Result<Placement>> AdmissionPipeline::AdmitBatch(
           ++stats_.conflicts;
           SVC_METRIC_INC("admission/conflicts");
         }
-      } else if (fresh || allocator.monotone_rejections()) {
+      } else if (fresh || proposal.rejection_monotone) {
         // Fresh rejections are authoritative; stale ones are too for a
         // monotone allocator, because the books only gained tenants since
         // the snapshot (nothing releases mid-batch).

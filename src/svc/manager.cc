@@ -13,6 +13,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "svc/demand_profile.h"
+#include "svc/survivable.h"
 #include "util/logging.h"
 
 namespace svc::core {
@@ -22,6 +23,7 @@ const char* ToString(RecoveryPolicy policy) {
     case RecoveryPolicy::kReallocate: return "reallocate";
     case RecoveryPolicy::kPatch: return "patch";
     case RecoveryPolicy::kEvict: return "evict";
+    case RecoveryPolicy::kSwitchover: return "switchover";
   }
   return "?";
 }
@@ -43,6 +45,8 @@ bool ParseRecoveryPolicy(std::string_view name, RecoveryPolicy* out) {
     *out = RecoveryPolicy::kPatch;
   } else if (name == "evict") {
     *out = RecoveryPolicy::kEvict;
+  } else if (name == "switchover") {
+    *out = RecoveryPolicy::kSwitchover;
   } else {
     return false;
   }
@@ -56,7 +60,19 @@ int FaultOutcome::recovered() const {
 }
 
 int FaultOutcome::evicted() const {
-  return static_cast<int>(tenants.size()) - recovered();
+  // Counted by reason, not by complement: a drain can leave a tenant in
+  // place (unrecovered yet not evicted, EvictReason::kNone).  For faults
+  // every unrecovered tenant carries a reason, so this matches the old
+  // size() - recovered() there.
+  int n = 0;
+  for (const TenantOutcome& t : tenants) n += t.evict_reason != EvictReason::kNone;
+  return n;
+}
+
+int FaultOutcome::switched() const {
+  int n = 0;
+  for (const TenantOutcome& t : tenants) n += t.switched_over;
+  return n;
 }
 
 namespace {
@@ -114,6 +130,9 @@ uint64_t NetworkManager::TouchedBuckets(
   for (topology::VertexId machine : placement.vm_machine) {
     mask |= uint64_t{1} << shards_->shard_of_vertex(machine);
   }
+  if (placement.survivable()) {
+    mask |= uint64_t{1} << shards_->shard_of_vertex(placement.backup_machine);
+  }
   return mask;
 }
 
@@ -160,7 +179,10 @@ util::Result<Placement> NetworkManager::ApplyShardCommit(
     slots_.Occupy(machine, count);
   }
   for (const LinkDemand& d : proposal.demands) {
-    if (d.deterministic > 0) {
+    if (d.domain != topology::kNoVertex) {
+      ledger_.AddBackup(d.link, request.id(), d.domain, d.mean, d.variance,
+                        d.deterministic);
+    } else if (d.deterministic > 0) {
       ledger_.AddDeterministic(d.link, request.id(), d.deterministic);
     } else {
       ledger_.AddStochastic(d.link, request.id(), d.mean, d.variance);
@@ -218,33 +240,9 @@ void AdmissionSnapshot::CaptureStale(const NetworkManager& manager) {
 
 std::vector<LinkDemand> NetworkManager::ComputeLinkDemands(
     const Request& request, const Placement& placement) const {
-  assert(placement.total_vms() == request.n());
-  // Aggregate the per-VM moments below every link the placement touches by
-  // walking each VM's machine up to the root.
-  std::unordered_map<topology::VertexId, stats::Normal> below;
-  for (int vm = 0; vm < request.n(); ++vm) {
-    const stats::Normal& d = request.demand(vm);
-    for (topology::VertexId link = placement.vm_machine[vm];
-         link != topo_->root(); link = topo_->parent(link)) {
-      stats::Normal& agg = below[link];
-      agg.mean += d.mean;
-      agg.variance += d.variance;
-    }
-  }
-  const bool det = request.deterministic();
-  std::vector<LinkDemand> demands;
-  demands.reserve(below.size());
-  for (const auto& [link, agg] : below) {
-    const stats::Normal demand =
-        SplitDemandFromBelow(request, agg.mean, agg.variance);
-    if (demand.mean == 0 && demand.variance == 0) continue;  // all on one side
-    if (det) {
-      demands.push_back({link, 0, 0, demand.mean});
-    } else {
-      demands.push_back({link, demand.mean, demand.variance, 0});
-    }
-  }
-  return demands;
+  // The primary computation (and, for survivable placements, the per-domain
+  // backup deltas) lives in svc/survivable.cc so PlanBackup can reuse it.
+  return ComputeSurvivableLinkDemands(*topo_, request, placement);
 }
 
 util::Status NetworkManager::CheckPlacementShape(
@@ -266,6 +264,27 @@ util::Status NetworkManager::CheckPlacementShape(
                   std::to_string(machine)};
     }
   }
+  if (placement.survivable()) {
+    const topology::VertexId b = placement.backup_machine;
+    if (b < 0 || b >= topo_->num_vertices() || !topo_->is_machine(b)) {
+      return {util::ErrorCode::kFailedPrecondition,
+              "backup group names a non-machine vertex " + std::to_string(b)};
+    }
+    if (placement.backup_slots <= 0) {
+      return {util::ErrorCode::kFailedPrecondition,
+              "survivable placement with an empty backup group"};
+    }
+    for (topology::VertexId machine : placement.vm_machine) {
+      if (machine == b) {
+        return {util::ErrorCode::kFailedPrecondition,
+                "backup machine " + std::to_string(b) +
+                    " overlaps a primary machine"};
+      }
+    }
+  } else if (placement.backup_slots != 0) {
+    return {util::ErrorCode::kFailedPrecondition,
+            "backup slots without a backup machine"};
+  }
   return util::Status::Ok();
 }
 
@@ -281,6 +300,11 @@ util::Status NetworkManager::CheckCapacity(
   }
   // Condition (4), re-checked on exactly the links the placement touches —
   // the validate-and-commit stage pays O(touched links), not O(links).
+  // Survivable demand sets group primary and backup rows per link, so their
+  // check pairs each backup row with the primary addition on its link.
+  if (placement.survivable()) {
+    return CheckSurvivableCapacity(ledger_, demands);
+  }
   for (const LinkDemand& d : demands) {
     if (!ledger_.ValidWith(d.link, d.mean, d.variance, d.deterministic)) {
       return {util::ErrorCode::kFailedPrecondition,
@@ -298,7 +322,10 @@ void NetworkManager::CommitPrepared(const Request& request,
     slots_.Occupy(machine, count);
   }
   for (const LinkDemand& d : demands) {
-    if (d.deterministic > 0) {
+    if (d.domain != topology::kNoVertex) {
+      ledger_.AddBackup(d.link, request.id(), d.domain, d.mean, d.variance,
+                        d.deterministic);
+    } else if (d.deterministic > 0) {
       ledger_.AddDeterministic(d.link, request.id(), d.deterministic);
     } else {
       ledger_.AddStochastic(d.link, request.id(), d.mean, d.variance);
@@ -332,7 +359,20 @@ AdmissionProposal NetworkManager::Propose(
       allocator.Allocate(request, snapshot.view.ledger(), snapshot.slots);
   if (!result) {
     proposal.status = result.status();
+    proposal.rejection_monotone = allocator.monotone_rejections();
     return proposal;
+  }
+  if (options_.survivability && !result->survivable()) {
+    result = PlanBackup(*topo_, request, std::move(*result),
+                        snapshot.view.ledger(), snapshot.slots);
+    if (!result) {
+      proposal.status = result.status();
+      // Never monotone: against fuller books the allocator can pick a
+      // DIFFERENT primary whose backup does fit, so this rejection must be
+      // re-run serially rather than absorbed.
+      proposal.rejection_monotone = false;
+      return proposal;
+    }
   }
   proposal.ok = true;
   proposal.placement = std::move(*result);
@@ -343,10 +383,16 @@ AdmissionProposal NetworkManager::Propose(
   // The allocator's evaluation of the CHOSEN placement also read the
   // zero-demand links on its hosts' root paths; in a tree those live in the
   // hosts' own buckets (already in touched_mask) or the core stripe.
+  // Backup planning scans the whole fabric, so a survivable decision
+  // depends on EVERY bucket's freshness: an all-ones mask disables the
+  // shard-freshness fast path and falls back to exact epoch equality.
   proposal.fresh_mask =
-      shards_ == nullptr
-          ? proposal.touched_mask
-          : proposal.touched_mask | shards_->BucketBit(shards_->core_stripe());
+      proposal.placement.survivable()
+          ? ~uint64_t{0}
+          : (shards_ == nullptr
+                 ? proposal.touched_mask
+                 : proposal.touched_mask |
+                       shards_->BucketBit(shards_->core_stripe()));
   proposal.shard_epochs = snapshot.shard_epochs;
   return proposal;
 }
@@ -474,6 +520,18 @@ util::Result<Placement> NetworkManager::Admit(const Request& request,
   if (!result) {
     finish("fail", false, ReasonCode(result.status().code()), nullptr);
     return result;
+  }
+  if (options_.survivability && !result->survivable()) {
+    // Survivable admission: the request is only admitted if a backup group
+    // covering every failure domain of the chosen primary also fits.
+    util::Result<Placement> protectable =
+        PlanBackup(*topo_, request, std::move(*result), ledger_, slots_);
+    if (!protectable) {
+      if (metrics) SVC_METRIC_INC("manager/backup_plan_fail");
+      finish("fail", false, ReasonCode(protectable.status().code()), nullptr);
+      return protectable;
+    }
+    result = std::move(protectable);
   }
   // The demand recomputation below is only for provenance; AdmitPlacement
   // recomputes its own copy for the actual capacity re-check.
@@ -603,6 +661,61 @@ util::Result<Placement> NetworkManager::TryPatch(const Request& request,
   return placement;
 }
 
+util::Result<Placement> NetworkManager::TrySwitchover(
+    const Request& request, const Placement& placement,
+    topology::VertexId fault, FaultKind kind) const {
+  if (!placement.survivable()) {
+    return {util::ErrorCode::kInfeasible, "tenant has no backup group"};
+  }
+  const topology::VertexId backup = placement.backup_machine;
+  if (!slots_.machine_up(backup) ||
+      (kind == FaultKind::kLink && MachineBelow(backup, fault))) {
+    return {util::ErrorCode::kInfeasible,
+            "backup machine is down or behind the failed link"};
+  }
+  // VMs lost to the fault (same stranding rule as TryPatch).  The backup
+  // group covers exactly one failure domain; overlapping faults that
+  // strand VMs of several machines fall back to reactive recovery.
+  std::vector<int> lost;
+  topology::VertexId domain = topology::kNoVertex;
+  for (int vm = 0; vm < request.n(); ++vm) {
+    const topology::VertexId machine = placement.vm_machine[vm];
+    const bool stranded = kind == FaultKind::kMachine
+                              ? !slots_.machine_up(machine)
+                              : MachineBelow(machine, fault);
+    if (!stranded) continue;
+    if (domain == topology::kNoVertex) domain = machine;
+    if (machine != domain) {
+      return {util::ErrorCode::kInfeasible,
+              "lost VMs span multiple failure domains"};
+    }
+    lost.push_back(vm);
+  }
+  if (lost.empty()) return placement;
+  if (static_cast<int>(lost.size()) > placement.backup_slots) {
+    return {util::ErrorCode::kInfeasible, "backup group too small"};
+  }
+  Placement switched = placement;
+  for (int vm : lost) switched.vm_machine[vm] = backup;
+  switched.backup_machine = topology::kNoVertex;
+  switched.backup_slots = 0;
+  topology::VertexId lca = switched.vm_machine[0];
+  for (topology::VertexId machine : switched.vm_machine) {
+    while (!topo_->IsInSubtree(machine, lca)) lca = topo_->parent(lca);
+  }
+  switched.subtree_root = lca;
+  switched.max_occupancy = std::numeric_limits<double>::quiet_NaN();
+  // Re-protect the switched placement when a fresh backup fits; activate
+  // unprotected otherwise (activation must not fail just because the
+  // NEXT failure could not also be covered).
+  if (options_.survivability) {
+    util::Result<Placement> reprotected =
+        PlanBackup(*topo_, request, switched, ledger_, slots_);
+    if (reprotected) return *reprotected;
+  }
+  return switched;
+}
+
 util::Result<FaultOutcome> NetworkManager::HandleFault(
     FaultKind kind, topology::VertexId vertex, RecoveryPolicy policy,
     const Allocator& allocator) {
@@ -710,6 +823,28 @@ util::Result<FaultOutcome> NetworkManager::HandleFault(
         }
         break;
       }
+      case RecoveryPolicy::kSwitchover: {
+        // Activate the pre-reserved backup group.  The activation is
+        // transactional — AdmitPlacement re-validates shape, slots and
+        // condition (4) before anything is written — and for a single
+        // backup-covered failure it cannot fail: the pre-fault worst-case
+        // state already reserved this exact post-failure demand.
+        util::Result<Placement> switched =
+            TrySwitchover(live.request, live.placement, vertex, kind);
+        if (switched && AdmitPlacement(live.request, std::move(*switched))) {
+          tenant.recovered = true;
+          tenant.switched_over = true;
+          break;
+        }
+        // No covering backup (unprotected tenant, overlapping failures,
+        // backup itself down): reactive reallocate fallback.
+        if (Admit(live.request, allocator)) {
+          tenant.recovered = true;
+        } else {
+          tenant.evict_reason = EvictReason::kReallocationFailed;
+        }
+        break;
+      }
     }
     if (tenant.evict_reason != EvictReason::kNone &&
         obs::DecisionsEnabled()) {
@@ -731,6 +866,7 @@ util::Result<FaultOutcome> NetworkManager::HandleFault(
     SVC_METRIC_ADD("fault/affected_tenants",
                    static_cast<int64_t>(outcome.tenants.size()));
     SVC_METRIC_ADD("fault/evictions", outcome.evicted());
+    SVC_METRIC_ADD("fault/switchovers", outcome.switched());
     const double micros = std::chrono::duration<double, std::micro>(
                               std::chrono::steady_clock::now() - start)
                               .count();
@@ -788,6 +924,143 @@ util::Status NetworkManager::HandleRecovery(topology::VertexId vertex) {
   SVC_METRIC_INC("fault/recoveries");
   SVC_LOG(Debug) << "recovered vertex " << vertex;
   assert(StateValid());
+  return util::Status::Ok();
+}
+
+util::Result<FaultOutcome> NetworkManager::DrainMachine(
+    topology::VertexId machine, const Allocator& allocator) {
+  SVC_TRACE_SPAN("manager/drain_machine");
+  if (machine <= 0 || machine >= topo_->num_vertices() ||
+      !topo_->is_machine(machine)) {
+    return {util::ErrorCode::kInvalidArgument,
+            "drain vertex is not a machine: " + std::to_string(machine)};
+  }
+  if (failed_.count(machine)) {
+    return {util::ErrorCode::kFailedPrecondition,
+            "vertex already failed: " + std::to_string(machine)};
+  }
+  if (InFlightProposals() != 0) {
+    return {util::ErrorCode::kFailedPrecondition,
+            "drain requires a quiesced admission pipeline (" +
+                std::to_string(InFlightProposals()) + " proposals in flight)"};
+  }
+  // Cordon FIRST: free slots read as 0, so no migration target or
+  // re-protection below can land back on this machine.  The uplink stays
+  // up — tenants keep their bandwidth until their own move commits, which
+  // is what makes a drain outage-free.
+  slots_.SetMachineState(machine, false);
+  uint64_t cordon_mask = uint64_t{1} << ledger_.bucket_of(machine);
+  if (shards_ != nullptr) {
+    cordon_mask |= uint64_t{1} << shards_->shard_of_vertex(machine);
+  }
+  BumpBuckets(cordon_mask);
+
+  // Tenants to move: anyone with a primary VM here, plus anyone whose
+  // BACKUP group lives here (leaving it would silently void their coverage
+  // once the machine goes down).
+  std::vector<RequestId> affected;
+  for (const auto& [id, live] : live_) {
+    if (live.placement.backup_machine == machine) {
+      affected.push_back(id);
+      continue;
+    }
+    for (topology::VertexId m : live.placement.vm_machine) {
+      if (m == machine) {
+        affected.push_back(id);
+        break;
+      }
+    }
+  }
+  std::sort(affected.begin(), affected.end());
+
+  FaultOutcome outcome;
+  outcome.vertex = machine;
+  outcome.kind = FaultKind::kMachine;
+  outcome.tenants.reserve(affected.size());
+  for (RequestId id : affected) {
+    auto it = live_.find(id);
+    assert(it != live_.end());
+    LiveRequest live = it->second;
+    Release(id);
+    TenantOutcome tenant;
+    tenant.id = id;
+    bool done = false;
+    // Preferred move: activate the pre-reserved backup (primary VMs on the
+    // drained machine read as stranded because the cordon closed it).
+    util::Result<Placement> switched =
+        TrySwitchover(live.request, live.placement, machine,
+                      FaultKind::kMachine);
+    if (switched && !std::equal(switched->vm_machine.begin(),
+                                switched->vm_machine.end(),
+                                live.placement.vm_machine.begin()) &&
+        AdmitPlacement(live.request, *switched)) {
+      tenant.recovered = true;
+      tenant.switched_over = true;
+      done = true;
+    }
+    if (!done && live.placement.backup_machine == machine) {
+      // Backup-only occupant: keep the primary placement, re-home the
+      // backup group elsewhere.
+      Placement keep = live.placement;
+      keep.backup_machine = topology::kNoVertex;
+      keep.backup_slots = 0;
+      util::Result<Placement> replanned =
+          PlanBackup(*topo_, live.request, std::move(keep), ledger_, slots_);
+      if (replanned && AdmitPlacement(live.request, std::move(*replanned))) {
+        tenant.recovered = true;
+        done = true;
+      }
+    }
+    if (!done && Admit(live.request, allocator)) {
+      tenant.recovered = true;
+      done = true;
+    }
+    if (!done) {
+      // Nowhere to go: restore the tenant in place (reopen the machine
+      // just long enough to re-admit the original placement) and report it
+      // unrecovered with no evict reason — the operator decides whether to
+      // proceed with the teardown, which would then strand it.
+      slots_.SetMachineState(machine, true);
+      if (!AdmitPlacement(live.request, live.placement)) {
+        tenant.evict_reason = EvictReason::kReallocationFailed;
+      }
+      slots_.SetMachineState(machine, false);
+      BumpBuckets(cordon_mask);
+    }
+    outcome.tenants.push_back(tenant);
+  }
+
+  if (obs::MetricsEnabled()) {
+    SVC_METRIC_INC("fault/drains");
+    SVC_METRIC_ADD("fault/drain_migrated", outcome.recovered());
+    SVC_METRIC_ADD("fault/switchovers", outcome.switched());
+  }
+  SVC_LOG(Debug) << "drained machine " << machine << ": "
+                 << outcome.tenants.size() << " tenants, "
+                 << outcome.recovered() << " migrated ("
+                 << outcome.switched() << " via backup), "
+                 << outcome.evicted() << " evicted";
+  assert(StateValid());
+  return outcome;
+}
+
+util::Status NetworkManager::UncordonMachine(topology::VertexId machine) {
+  if (machine <= 0 || machine >= topo_->num_vertices() ||
+      !topo_->is_machine(machine)) {
+    return {util::ErrorCode::kInvalidArgument,
+            "uncordon vertex is not a machine: " + std::to_string(machine)};
+  }
+  if (failed_.count(machine)) {
+    return {util::ErrorCode::kFailedPrecondition,
+            "machine is failed, not cordoned: " + std::to_string(machine)};
+  }
+  if (slots_.machine_up(machine)) return util::Status::Ok();
+  slots_.SetMachineState(machine, true);
+  uint64_t mask = uint64_t{1} << ledger_.bucket_of(machine);
+  if (shards_ != nullptr) {
+    mask |= uint64_t{1} << shards_->shard_of_vertex(machine);
+  }
+  BumpBuckets(mask);
   return util::Status::Ok();
 }
 

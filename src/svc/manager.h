@@ -39,6 +39,18 @@ struct LinkDemand {
   double mean;         // stochastic mean (0 for deterministic requests)
   double variance;     // stochastic variance (0 for deterministic requests)
   double deterministic;  // rate-limited reservation (0 for stochastic)
+  // kNoVertex: an always-on primary demand.  Otherwise a shared-backup
+  // demand active only in the post-failure state of this machine
+  // (docs/ROBUSTNESS.md "Survivability").
+  topology::VertexId domain = topology::kNoVertex;
+};
+
+// Admission-wide policy knobs (NetworkManager::set_admission_options).
+struct AdmissionOptions {
+  // Survivable admission: every admitted placement must carry a backup slot
+  // group plus shared backup bandwidth covering the failure of any single
+  // primary machine; requests for which no backup fits are rejected.
+  bool survivability = false;
 };
 
 // --- Concurrent admission pipeline (docs/CONCURRENCY.md) ---
@@ -100,6 +112,13 @@ struct AdmissionProposal {
   uint64_t fresh_mask = 1;
   // Per-bucket epochs the speculation read (filled for ok proposals).
   std::vector<uint64_t> shard_epochs;
+  // For !ok proposals: whether this rejection is monotone in load — i.e.
+  // guaranteed to repeat against any MORE-loaded books — so the pipeline may
+  // absorb it without a serial re-run.  Allocator rejections inherit
+  // Allocator::monotone_rejections(); survivable backup-planning rejections
+  // are never monotone (a different primary on fuller books can rescue the
+  // backup).
+  bool rejection_monotone = false;
 };
 
 // --- Fault plane ---
@@ -114,6 +133,8 @@ enum class RecoveryPolicy {
   kReallocate,  // release and re-admit the whole tenant via the allocator
   kPatch,       // keep surviving VMs, re-place only the lost ones
   kEvict,       // release and do not re-admit
+  kSwitchover,  // activate the tenant's pre-reserved backup group; falls
+                // back to kReallocate when no backup covers the fault
 };
 
 // Why a tenant was evicted during fault handling.
@@ -126,13 +147,15 @@ enum class EvictReason {
 
 const char* ToString(RecoveryPolicy policy);
 const char* ToString(EvictReason reason);
-// Parses "reallocate" | "patch" | "evict"; false on unknown names.
+// Parses "reallocate" | "patch" | "evict" | "switchover"; false on unknown
+// names.
 bool ParseRecoveryPolicy(std::string_view name, RecoveryPolicy* out);
 
 // Per-tenant outcome of one fault event.
 struct TenantOutcome {
   net::RequestId id = 0;
   bool recovered = false;             // re-admitted (whole or patched)
+  bool switched_over = false;         // recovered via its backup group
   EvictReason evict_reason = EvictReason::kNone;
 };
 
@@ -145,6 +168,7 @@ struct FaultOutcome {
 
   int recovered() const;
   int evicted() const;
+  int switched() const;
 };
 
 class NetworkManager {
@@ -163,7 +187,8 @@ class NetworkManager {
         shards_(std::move(other.shards_)),
         shard_epochs_(std::move(other.shard_epochs_)),
         epoch_(other.epoch_.load(std::memory_order_acquire)),
-        in_flight_(other.in_flight_.load(std::memory_order_acquire)) {
+        in_flight_(other.in_flight_.load(std::memory_order_acquire)),
+        options_(other.options_) {
     assert(in_flight_.load(std::memory_order_relaxed) == 0);
   }
 
@@ -171,6 +196,14 @@ class NetworkManager {
   const net::LinkLedger& ledger() const { return ledger_; }
   const SlotMap& slots() const { return slots_; }
   double epsilon() const { return ledger_.epsilon(); }
+
+  // Admission-wide policy knobs.  Changing them does not touch committed
+  // state; with a pipeline running, change only between windows (the knobs
+  // are read during Propose/Admit).
+  void set_admission_options(const AdmissionOptions& options) {
+    options_ = options;
+  }
+  const AdmissionOptions& admission_options() const { return options_; }
 
   // Runs the allocator and, on success, commits the placement.  Errors pass
   // through from the allocator; a placement that fails re-validation is
@@ -302,6 +335,22 @@ class NetworkManager {
   // becomes admissible again.  Error if the vertex is not currently failed.
   util::Status HandleRecovery(topology::VertexId vertex);
 
+  // Planned drain: cordons `machine` (slots close, link stays up — no
+  // outage) and migrates its tenants off in ascending request-id order,
+  // preferring a backup switchover when one covers the machine, else a full
+  // reallocation.  A tenant that can move nowhere is restored in place and
+  // reported unrecovered with EvictReason::kNone — the caller decides
+  // whether to proceed with the teardown (which then strands it).  The
+  // machine stays cordoned on return; follow with HandleFault to take it
+  // down or UncordonMachine to reopen it.  Errors mirror HandleFault's
+  // guards (range / kind / already failed / pipeline not quiesced).
+  util::Result<FaultOutcome> DrainMachine(topology::VertexId machine,
+                                          const Allocator& allocator);
+
+  // Reopens a machine cordoned by DrainMachine (no-op if it is open; error
+  // if it is actually failed).
+  util::Status UncordonMachine(topology::VertexId machine);
+
   // Whether `vertex` is currently failed (as a machine or a link).
   bool IsFailed(topology::VertexId vertex) const {
     return failed_.count(vertex) > 0;
@@ -389,6 +438,17 @@ class NetworkManager {
   util::Result<Placement> TryPatch(const Request& request, Placement placement,
                                    topology::VertexId fault, FaultKind kind);
 
+  // Switchover recovery: moves the VMs lost to the fault onto the tenant's
+  // pre-reserved backup group, then re-protects the switched placement with
+  // a fresh backup when one fits (returned unprotected otherwise).  Errors
+  // when the tenant has no backup, the backup itself is down or lost to the
+  // same fault, or the lost VMs span more than one machine (a backup group
+  // covers exactly one failure domain).
+  util::Result<Placement> TrySwitchover(const Request& request,
+                                        const Placement& placement,
+                                        topology::VertexId fault,
+                                        FaultKind kind) const;
+
   const topology::Topology* topo_;
   net::LinkLedger ledger_;
   SlotMap slots_;
@@ -402,6 +462,7 @@ class NetworkManager {
   // Books version + speculation registration (see epoch()/BeginProposal).
   std::atomic<uint64_t> epoch_{0};
   std::atomic<int64_t> in_flight_{0};
+  AdmissionOptions options_;
 };
 
 }  // namespace svc::core

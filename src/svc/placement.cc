@@ -10,6 +10,7 @@ std::vector<std::pair<topology::VertexId, int>> Placement::MachineCounts()
     const {
   std::map<topology::VertexId, int> counts;
   for (topology::VertexId machine : vm_machine) ++counts[machine];
+  if (survivable()) counts[backup_machine] += backup_slots;
   return {counts.begin(), counts.end()};
 }
 
@@ -23,6 +24,9 @@ std::string Placement::Describe() const {
     first = false;
   }
   out << "}";
+  if (survivable()) {
+    out << " backup m" << backup_machine << ":" << backup_slots;
+  }
   return out.str();
 }
 

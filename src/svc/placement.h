@@ -21,9 +21,21 @@ struct Placement {
   // optimizing allocators; NaN for allocators that do not track it.
   double max_occupancy = 0;
 
+  // Survivable admission (docs/ROBUSTNESS.md "Survivability"): a backup slot
+  // group of `backup_slots` empty slots on `backup_machine`, sized to absorb
+  // the largest per-machine VM group of the primary placement, plus the
+  // shared backup bandwidth the manager derives from it.  kNoVertex when the
+  // placement carries no protection.
+  topology::VertexId backup_machine = topology::kNoVertex;
+  int backup_slots = 0;
+
+  bool survivable() const { return backup_machine != topology::kNoVertex; }
+
   int total_vms() const { return static_cast<int>(vm_machine.size()); }
 
-  // VMs per machine, in machine order (for tests and diagnostics).
+  // Slots per machine, in machine order, INCLUDING the backup slot group —
+  // this is what slot occupancy / release and shard-touch computations key
+  // on.  Primary-only counts come from iterating vm_machine.
   std::vector<std::pair<topology::VertexId, int>> MachineCounts() const;
 
   std::string Describe() const;

@@ -1,0 +1,264 @@
+#include "svc/survivable.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "stats/normal.h"
+#include "svc/demand_profile.h"
+
+namespace svc::core {
+
+namespace {
+
+// The per-link below-side aggregates of the PRIMARY placement plus its
+// primary demand rows — candidate-independent, so PlanBackup builds it once
+// and reuses it across every backup-machine candidate.
+struct PrimaryDemands {
+  std::unordered_map<topology::VertexId, stats::Normal> below;
+  std::vector<LinkDemand> rows;
+};
+
+PrimaryDemands BuildPrimaryDemands(const topology::Topology& topo,
+                                   const Request& request,
+                                   const Placement& placement) {
+  assert(placement.total_vms() == request.n());
+  PrimaryDemands out;
+  // Aggregate the per-VM moments below every link the placement touches by
+  // walking each VM's machine up to the root (the legacy ComputeLinkDemands
+  // body verbatim, so primary rows come out in the identical order).
+  for (int vm = 0; vm < request.n(); ++vm) {
+    const stats::Normal& d = request.demand(vm);
+    for (topology::VertexId link = placement.vm_machine[vm];
+         link != topo.root(); link = topo.parent(link)) {
+      stats::Normal& agg = out.below[link];
+      agg.mean += d.mean;
+      agg.variance += d.variance;
+    }
+  }
+  const bool det = request.deterministic();
+  out.rows.reserve(out.below.size());
+  for (const auto& [link, agg] : out.below) {
+    const stats::Normal demand =
+        SplitDemandFromBelow(request, agg.mean, agg.variance);
+    if (demand.mean == 0 && demand.variance == 0) continue;  // all on one side
+    if (det) {
+      out.rows.push_back({link, 0, 0, demand.mean});
+    } else {
+      out.rows.push_back({link, demand.mean, demand.variance, 0});
+    }
+  }
+  return out;
+}
+
+// Lowest common ancestor of two vertices (walks `a` up until `b` is in its
+// subtree; O(depth) in a tree).
+topology::VertexId Lca(const topology::Topology& topo, topology::VertexId a,
+                       topology::VertexId b) {
+  topology::VertexId lca = a;
+  while (!topo.IsInSubtree(b, lca)) lca = topo.parent(lca);
+  return lca;
+}
+
+// Appends the domain-tagged backup rows of `placement` (which must be
+// survivable): for each failure domain f, the post-failure placement moves
+// f's VMs onto the backup machine, which changes the below-side aggregate
+// only along the f→lca and backup→lca paths; each moment's demand increase
+// over the primary reservation (clamped at 0) becomes a backup row.
+void AppendBackupRows(const topology::Topology& topo, const Request& request,
+                      const Placement& placement, const PrimaryDemands& primary,
+                      std::vector<LinkDemand>* rows) {
+  assert(placement.survivable());
+  const bool det = request.deterministic();
+  const topology::VertexId backup = placement.backup_machine;
+
+  // Per-domain aggregates of the primary placement, ascending machine id so
+  // the emitted row order (and thus every downstream float reduction) is
+  // deterministic.
+  std::map<topology::VertexId, stats::Normal> domains;
+  for (int vm = 0; vm < request.n(); ++vm) {
+    stats::Normal& agg = domains[placement.vm_machine[vm]];
+    const stats::Normal& d = request.demand(vm);
+    agg.mean += d.mean;
+    agg.variance += d.variance;
+  }
+
+  auto emit = [&](topology::VertexId link, topology::VertexId domain,
+                  double below_mean, double below_var) {
+    auto it = primary.below.find(link);
+    const stats::Normal base =
+        it == primary.below.end()
+            ? stats::Normal{0, 0}
+            : SplitDemandFromBelow(request, it->second.mean,
+                                   it->second.variance);
+    const stats::Normal patched =
+        SplitDemandFromBelow(request, std::max(0.0, below_mean),
+                             std::max(0.0, below_var));
+    const double dm = std::max(0.0, patched.mean - base.mean);
+    const double dv = std::max(0.0, patched.variance - base.variance);
+    if (dm == 0 && dv == 0) return;
+    if (det) {
+      rows->push_back({link, 0, 0, dm, domain});
+    } else {
+      rows->push_back({link, dm, dv, 0, domain});
+    }
+  };
+
+  for (const auto& [f, moved] : domains) {
+    const topology::VertexId lca = Lca(topo, f, backup);
+    // f-side path: the domain's VMs leave, so the below aggregate drops by
+    // `moved` — yet the hose-model demand min(m, N-m) can INCREASE when the
+    // below side held more than half of the request.
+    for (topology::VertexId link = f; link != lca; link = topo.parent(link)) {
+      auto it = primary.below.find(link);
+      assert(it != primary.below.end());
+      emit(link, f, it->second.mean - moved.mean,
+           it->second.variance - moved.variance);
+    }
+    // backup-side path: the domain's VMs arrive.
+    for (topology::VertexId link = backup; link != lca;
+         link = topo.parent(link)) {
+      auto it = primary.below.find(link);
+      const stats::Normal base =
+          it == primary.below.end() ? stats::Normal{0, 0} : it->second;
+      emit(link, f, base.mean + moved.mean, base.variance + moved.variance);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<LinkDemand> ComputeSurvivableLinkDemands(
+    const topology::Topology& topo, const Request& request,
+    const Placement& placement) {
+  PrimaryDemands primary = BuildPrimaryDemands(topo, request, placement);
+  std::vector<LinkDemand> rows = std::move(primary.rows);
+  if (placement.survivable()) {
+    AppendBackupRows(topo, request, placement, primary, &rows);
+  }
+  return rows;
+}
+
+util::Status CheckSurvivableCapacity(const net::LinkLedger& ledger,
+                                     const std::vector<LinkDemand>& demands) {
+  // Primary rows: condition (4) in every state of the link (the ledger's
+  // worst-case kernel covers existing tenants' post-failure states).
+  for (const LinkDemand& d : demands) {
+    if (d.domain != topology::kNoVertex) continue;
+    if (!ledger.ValidWith(d.link, d.mean, d.variance, d.deterministic)) {
+      return {util::ErrorCode::kFailedPrecondition,
+              "placement violates condition (4) on link " +
+                  std::to_string(d.link)};
+    }
+  }
+  // Backup rows: condition (4) in the row's own domain state, combined with
+  // the primary addition on the same link (demand sets are small — O(depth
+  // x domains) rows — so the quadratic pairing is cheap).
+  for (const LinkDemand& d : demands) {
+    if (d.domain == topology::kNoVertex) continue;
+    double pm = 0, pv = 0, pd = 0;
+    for (const LinkDemand& p : demands) {
+      if (p.domain == topology::kNoVertex && p.link == d.link) {
+        pm = p.mean;
+        pv = p.variance;
+        pd = p.deterministic;
+        break;
+      }
+    }
+    if (!ledger.ValidWithDomain(d.link, d.domain, pm + d.mean,
+                                pv + d.variance, pd + d.deterministic)) {
+      return {util::ErrorCode::kFailedPrecondition,
+              "backup for domain " + std::to_string(d.domain) +
+                  " violates post-failure condition (4) on link " +
+                  std::to_string(d.link)};
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Result<Placement> PlanBackup(const topology::Topology& topo,
+                                   const Request& request, Placement placement,
+                                   const net::LinkLedger& ledger,
+                                   const SlotMap& slots) {
+  placement.backup_machine = topology::kNoVertex;
+  placement.backup_slots = 0;
+  if (placement.total_vms() == 0) {
+    return {util::ErrorCode::kInvalidArgument,
+            "cannot protect an empty placement"};
+  }
+
+  // The backup group must absorb the largest per-machine VM group.
+  std::map<topology::VertexId, int> counts;
+  for (topology::VertexId m : placement.vm_machine) ++counts[m];
+  int needed = 0;
+  for (const auto& [m, c] : counts) needed = std::max(needed, c);
+
+  const PrimaryDemands primary = BuildPrimaryDemands(topo, request, placement);
+
+  // Primary rows score the same against every candidate (the worst-case
+  // kernel already folds in existing tenants' backups).
+  double primary_score = 0;
+  for (const LinkDemand& d : primary.rows) {
+    primary_score = std::max(primary_score, ledger.OccupancyWith(
+                                                d.link, d.mean, d.variance,
+                                                d.deterministic));
+  }
+  if (primary_score == std::numeric_limits<double>::infinity()) {
+    return {util::ErrorCode::kInfeasible,
+            "primary placement no longer satisfies condition (4)"};
+  }
+  std::unordered_map<topology::VertexId, stats::Normal> primary_by_link;
+  std::unordered_map<topology::VertexId, double> primary_det_by_link;
+  for (const LinkDemand& d : primary.rows) {
+    primary_by_link.emplace(d.link, stats::Normal{d.mean, d.variance});
+    primary_det_by_link.emplace(d.link, d.deterministic);
+  }
+
+  topology::VertexId best = topology::kNoVertex;
+  double best_score = std::numeric_limits<double>::infinity();
+  std::vector<LinkDemand> scratch;
+  Placement candidate = placement;
+  candidate.backup_slots = needed;
+  for (topology::VertexId m : topo.machines()) {
+    if (counts.count(m)) continue;  // backup must be off every domain
+    if (!slots.machine_up(m) || slots.free_slots(m) < needed) continue;
+    candidate.backup_machine = m;
+    scratch.clear();
+    AppendBackupRows(topo, request, candidate, primary, &scratch);
+    double score = primary_score;
+    bool ok = true;
+    for (const LinkDemand& d : scratch) {
+      auto it = primary_by_link.find(d.link);
+      const double pm = it == primary_by_link.end() ? 0 : it->second.mean;
+      const double pv = it == primary_by_link.end() ? 0 : it->second.variance;
+      auto dit = primary_det_by_link.find(d.link);
+      const double pd = dit == primary_det_by_link.end() ? 0 : dit->second;
+      const double occ = ledger.OccupancyWithDomain(
+          d.link, d.domain, pm + d.mean, pv + d.variance,
+          pd + d.deterministic);
+      if (occ == std::numeric_limits<double>::infinity()) {
+        ok = false;
+        break;
+      }
+      score = std::max(score, occ);
+    }
+    if (!ok) continue;
+    if (score < best_score || (score == best_score && m < best)) {
+      best = m;
+      best_score = score;
+    }
+  }
+  if (best == topology::kNoVertex) {
+    return {util::ErrorCode::kInfeasible,
+            "no machine can host a backup group of " +
+                std::to_string(needed) + " slots under condition (4)"};
+  }
+  placement.backup_machine = best;
+  placement.backup_slots = needed;
+  return placement;
+}
+
+}  // namespace svc::core

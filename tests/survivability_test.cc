@@ -1,0 +1,728 @@
+// Survivable admission (docs/ROBUSTNESS.md "Survivability"): the ledger's
+// shared-backup demand class, backup planning, switchover recovery, planned
+// drains, fault-config validation, scripted-schedule ordering, and the
+// engine's bit-identical replay of a survivable run through the concurrent
+// admission pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/interpreter.h"
+#include "net/link_ledger.h"
+#include "sim/engine.h"
+#include "sim/event_log.h"
+#include "sim/fault_injector.h"
+#include "svc/homogeneous_search.h"
+#include "svc/manager.h"
+#include "svc/slot_map.h"
+#include "svc/survivable.h"
+#include "topology/builders.h"
+#include "workload/workload.h"
+
+namespace svc {
+namespace {
+
+using core::AdmissionOptions;
+using core::EvictReason;
+using core::FaultKind;
+using core::NetworkManager;
+using core::Placement;
+using core::RecoveryPolicy;
+using core::Request;
+
+AdmissionOptions Survivable() {
+  AdmissionOptions options;
+  options.survivability = true;
+  return options;
+}
+
+// --- Ledger shared-backup class ---
+
+TEST(SurvivableLedger, DisjointDomainsShareHeadroomSameDomainSums) {
+  const topology::Topology topo = topology::BuildStar(4, 4, 1000);
+  const topology::VertexId v = topo.machines()[0];
+  const topology::VertexId d1 = topo.machines()[1];
+  const topology::VertexId d2 = topo.machines()[2];
+
+  net::LinkLedger disjoint(topo, 0.05);
+  disjoint.AddStochastic(v, 1, 400, 100);
+  disjoint.AddBackup(v, 2, d1, 200, 0, 0);
+  disjoint.AddBackup(v, 3, d2, 200, 0, 0);
+
+  net::LinkLedger stacked(topo, 0.05);
+  stacked.AddStochastic(v, 1, 400, 100);
+  stacked.AddBackup(v, 2, d1, 200, 0, 0);
+  stacked.AddBackup(v, 3, d1, 200, 0, 0);
+
+  // Both states are admissible at zero extra demand, but the same-domain
+  // ledger's worst post-failure state carries both backups (mean 800) while
+  // the disjoint one carries only the larger single domain (mean 600).
+  ASSERT_TRUE(disjoint.ValidWith(v, 0, 0, 0));
+  ASSERT_TRUE(stacked.ValidWith(v, 0, 0, 0));
+  EXPECT_LT(disjoint.OccupancyWith(v, 0, 0, 0),
+            stacked.OccupancyWith(v, 0, 0, 0));
+
+  // A candidate of mean 250 fits beside disjoint backups (worst state mean
+  // 850 of 1000) but not beside stacked ones (1050 of 1000).
+  EXPECT_TRUE(disjoint.ValidWith(v, 250, 0, 0));
+  EXPECT_FALSE(stacked.ValidWith(v, 250, 0, 0));
+
+  // The fused worst-case kernel equals the explicit per-domain evaluation
+  // of the binding domain, bit for bit.
+  EXPECT_EQ(disjoint.OccupancyWith(v, 0, 0, 0),
+            disjoint.OccupancyWithDomain(v, d1, 0, 0, 0));
+  // A domain with no records on the link degrades to the base state.
+  net::LinkLedger base_only(topo, 0.05);
+  base_only.AddStochastic(v, 1, 400, 100);
+  EXPECT_EQ(disjoint.OccupancyWithDomain(v, topo.machines()[3], 0, 0, 0),
+            base_only.OccupancyWith(v, 0, 0, 0));
+
+  // Backup share: the disjoint worst state adds 200 of 1000 capacity.
+  EXPECT_NEAR(disjoint.BackupShare(v), 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(disjoint.MaxBackupShare(), disjoint.BackupShare(v));
+  EXPECT_EQ(base_only.BackupShare(v), 0.0);
+
+  // The batch kernel agrees with the scalar worst-case path cell by cell.
+  const double mean[3] = {0, 250, 10};
+  const double var[3] = {0, 0, 4};
+  const double det[3] = {0, 0, 30};
+  double out[3];
+  disjoint.OccupancyWithBatch(v, mean, var, det, 3, out);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(out[i], disjoint.OccupancyWith(v, mean[i], var[i], det[i]))
+        << i;
+  }
+}
+
+TEST(SurvivableLedger, RemovingBackupsRestoresLegacyKernelExactly) {
+  const topology::Topology topo = topology::BuildStar(4, 4, 1000);
+  const topology::VertexId v = topo.machines()[0];
+  net::LinkLedger ledger(topo, 0.05);
+  ledger.AddStochastic(v, 1, 300, 64);
+  ledger.AddBackup(v, 2, topo.machines()[1], 150, 25, 0);
+  ledger.AddBackup(v, 3, topo.machines()[2], 0, 0, 120);
+  EXPECT_GT(ledger.BackupShare(v), 0.0);
+  EXPECT_EQ(ledger.TotalRecords(), 3u);
+
+  ledger.RemoveRequest(2);
+  ledger.RemoveRequest(3);
+  EXPECT_EQ(ledger.BackupShare(v), 0.0);
+  EXPECT_EQ(ledger.TotalRecords(), 1u);
+
+  // Bit-identical to a ledger that never saw a backup record.
+  net::LinkLedger twin(topo, 0.05);
+  twin.AddStochastic(v, 1, 300, 64);
+  EXPECT_EQ(ledger.Occupancy(v), twin.Occupancy(v));
+  EXPECT_EQ(ledger.OccupancyWith(v, 10, 4, 0), twin.OccupancyWith(v, 10, 4, 0));
+  EXPECT_EQ(ledger.OccupancyWith(v, 0, 0, 50), twin.OccupancyWith(v, 0, 0, 50));
+}
+
+TEST(SurvivableLedger, DrainedLinkSuspendsPostFailureStates) {
+  const topology::Topology topo = topology::BuildStar(4, 4, 1000);
+  const topology::VertexId v = topo.machines()[0];
+  net::LinkLedger ledger(topo, 0.05);
+  ledger.AddBackup(v, 2, topo.machines()[1], 300, 0, 0);
+  EXPECT_GT(ledger.BackupShare(v), 0.0);
+
+  // Down: the empty base state is vacuously valid and the backup share is
+  // not counted (unenforceable until switchover re-validates it).
+  ledger.SetLinkState(v, false);
+  EXPECT_TRUE(ledger.ValidWith(v, 0, 0, 0));
+  EXPECT_EQ(ledger.BackupShare(v), 0.0);
+
+  ledger.SetLinkState(v, true);
+  EXPECT_GT(ledger.BackupShare(v), 0.0);
+}
+
+// --- Backup planning ---
+
+TEST(SurvivablePlanBackup, PicksOffDomainMachineDeterministically) {
+  const topology::Topology topo = topology::BuildStar(4, 4, 1000);
+  net::LinkLedger ledger(topo, 0.05);
+  core::SlotMap slots(topo);
+  const Request request = Request::Homogeneous(1, 4, 100, 30);
+  Placement placement;
+  placement.vm_machine = {topo.machines()[0], topo.machines()[0],
+                          topo.machines()[1], topo.machines()[1]};
+  placement.subtree_root = topo.root();
+
+  const auto planned = core::PlanBackup(topo, request, placement, ledger,
+                                        slots);
+  ASSERT_TRUE(planned.ok()) << planned.status().ToText();
+  // The largest primary group is 2 VMs; the lowest-id non-primary machine
+  // wins the (symmetric) score tie.
+  EXPECT_EQ(planned->backup_machine, topo.machines()[2]);
+  EXPECT_EQ(planned->backup_slots, 2);
+  EXPECT_TRUE(planned->survivable());
+  EXPECT_EQ(planned->vm_machine, placement.vm_machine);
+
+  const auto again = core::PlanBackup(topo, request, placement, ledger,
+                                      slots);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->backup_machine, planned->backup_machine);
+  EXPECT_EQ(again->backup_slots, planned->backup_slots);
+}
+
+TEST(SurvivablePlanBackup, RequiresSlotsAndUpMachineOffDomain) {
+  const topology::Topology topo = topology::BuildStar(4, 4, 1000);
+  net::LinkLedger ledger(topo, 0.05);
+  const Request request = Request::Homogeneous(1, 4, 100, 30);
+  Placement placement;
+  placement.vm_machine = {topo.machines()[0], topo.machines()[0],
+                          topo.machines()[1], topo.machines()[1]};
+  placement.subtree_root = topo.root();
+
+  // machines()[2] has too few free slots: the plan moves to machines()[3].
+  core::SlotMap slots(topo);
+  slots.Occupy(topo.machines()[2], 3);
+  auto planned = core::PlanBackup(topo, request, placement, ledger, slots);
+  ASSERT_TRUE(planned.ok());
+  EXPECT_EQ(planned->backup_machine, topo.machines()[3]);
+
+  // machines()[3] down too: no off-domain machine can host the group, even
+  // though the primary machines each have 2 free slots.
+  slots.SetMachineState(topo.machines()[3], false);
+  planned = core::PlanBackup(topo, request, placement, ledger, slots);
+  ASSERT_FALSE(planned.ok());
+  EXPECT_EQ(planned.status().code(), util::ErrorCode::kInfeasible);
+}
+
+// --- Survivable admission through the manager ---
+
+TEST(SurvivableAdmission, AdmitReservesBackupGroupAndReleaseFreesIt) {
+  const topology::Topology topo = topology::BuildStar(4, 4, 10000);
+  NetworkManager manager(topo, 0.05);
+  manager.set_admission_options(Survivable());
+  core::HomogeneousDpAllocator alloc;
+
+  const int total = manager.slots().total_free();
+  const auto admitted = manager.Admit(Request::Homogeneous(1, 4, 100, 30),
+                                      alloc);
+  ASSERT_TRUE(admitted.ok()) << admitted.status().ToText();
+  ASSERT_TRUE(admitted->survivable());
+  EXPECT_GT(admitted->backup_slots, 0);
+  for (topology::VertexId m : admitted->vm_machine) {
+    EXPECT_NE(m, admitted->backup_machine);
+  }
+  // The backup group occupies real slots next to the 4 primary ones.
+  EXPECT_EQ(manager.slots().total_free(),
+            total - 4 - admitted->backup_slots);
+  EXPECT_TRUE(manager.StateValid());
+
+  manager.Release(1);
+  EXPECT_EQ(manager.slots().total_free(), total);
+  EXPECT_EQ(manager.ledger().TotalRecords(), 0u);
+  EXPECT_TRUE(manager.StateValid());
+}
+
+TEST(SurvivableAdmission, RejectsWhenNoBackupFitsButPlainAdmissionPasses) {
+  // Two machines, request spans both: no off-domain machine exists for the
+  // backup group, so survivable admission must reject what plain admission
+  // accepts.
+  const topology::Topology topo = topology::BuildStar(2, 4, 10000);
+  core::HomogeneousDpAllocator alloc;
+  const Request request = Request::Homogeneous(1, 8, 100, 30);
+
+  NetworkManager plain(topo, 0.05);
+  EXPECT_TRUE(plain.Admit(request, alloc).ok());
+
+  NetworkManager survivable(topo, 0.05);
+  survivable.set_admission_options(Survivable());
+  const auto rejected = survivable.Admit(request, alloc);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(survivable.slots().total_free(), topo.total_slots());
+  EXPECT_EQ(survivable.ledger().TotalRecords(), 0u);
+}
+
+// --- Switchover recovery ---
+
+TEST(SurvivableSwitchover, CoveredFailureActivatesBackupWithoutEviction) {
+  const topology::Topology topo = topology::BuildStar(4, 4, 10000);
+  NetworkManager manager(topo, 0.05);
+  manager.set_admission_options(Survivable());
+  core::HomogeneousDpAllocator alloc;
+  const auto admitted = manager.Admit(Request::Homogeneous(1, 4, 100, 30),
+                                      alloc);
+  ASSERT_TRUE(admitted.ok());
+  const topology::VertexId primary = admitted->vm_machine[0];
+  const topology::VertexId backup = admitted->backup_machine;
+
+  const auto outcome = manager.HandleFault(FaultKind::kMachine, primary,
+                                           RecoveryPolicy::kSwitchover, alloc);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToText();
+  ASSERT_EQ(outcome->tenants.size(), 1u);
+  EXPECT_TRUE(outcome->tenants[0].recovered);
+  EXPECT_TRUE(outcome->tenants[0].switched_over);
+  EXPECT_EQ(outcome->tenants[0].evict_reason, EvictReason::kNone);
+  EXPECT_EQ(outcome->switched(), 1);
+  EXPECT_EQ(outcome->evicted(), 0);
+  EXPECT_TRUE(manager.StateValid());
+
+  // The lost VMs now run on the pre-reserved backup machine, and the
+  // switched placement was re-protected with a fresh backup elsewhere.
+  const Placement* moved = manager.placement_of(1);
+  ASSERT_NE(moved, nullptr);
+  for (topology::VertexId m : moved->vm_machine) {
+    EXPECT_EQ(m, backup);
+  }
+  ASSERT_TRUE(moved->survivable());
+  EXPECT_NE(moved->backup_machine, primary);
+  EXPECT_NE(moved->backup_machine, backup);
+
+  ASSERT_TRUE(manager.HandleRecovery(primary).ok());
+  EXPECT_TRUE(manager.StateValid());
+}
+
+TEST(SurvivableSwitchover, FallsBackToReallocationWithoutBackup) {
+  const topology::Topology topo = topology::BuildStar(4, 4, 10000);
+  NetworkManager manager(topo, 0.05);  // survivability off: no backups
+  core::HomogeneousDpAllocator alloc;
+  ASSERT_TRUE(manager.Admit(Request::Homogeneous(1, 8, 100, 30), alloc).ok());
+  const topology::VertexId failed = manager.placement_of(1)->vm_machine[0];
+
+  const auto outcome = manager.HandleFault(FaultKind::kMachine, failed,
+                                           RecoveryPolicy::kSwitchover, alloc);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToText();
+  EXPECT_EQ(outcome->recovered(), 1);
+  EXPECT_EQ(outcome->switched(), 0);  // reactive reallocation, not a backup
+  EXPECT_EQ(outcome->evicted(), 0);
+  EXPECT_TRUE(manager.IsLive(1));
+  EXPECT_TRUE(manager.StateValid());
+}
+
+// --- Planned drains ---
+
+TEST(SurvivableDrain, MigratesViaSwitchoverAndCordonsTheMachine) {
+  const topology::Topology topo = topology::BuildStar(4, 4, 10000);
+  NetworkManager manager(topo, 0.05);
+  manager.set_admission_options(Survivable());
+  core::HomogeneousDpAllocator alloc;
+  const auto admitted = manager.Admit(Request::Homogeneous(1, 4, 100, 30),
+                                      alloc);
+  ASSERT_TRUE(admitted.ok());
+  const topology::VertexId primary = admitted->vm_machine[0];
+
+  const auto outcome = manager.DrainMachine(primary, alloc);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToText();
+  ASSERT_EQ(outcome->tenants.size(), 1u);
+  EXPECT_TRUE(outcome->tenants[0].recovered);
+  EXPECT_TRUE(outcome->tenants[0].switched_over);
+  EXPECT_EQ(outcome->evicted(), 0);
+
+  // Cordoned, not failed: slots closed, the uplink stays up (no outage),
+  // and the fault list is untouched.
+  EXPECT_FALSE(manager.slots().machine_up(primary));
+  EXPECT_EQ(manager.slots().free_slots(primary), 0);
+  EXPECT_TRUE(manager.ledger().link_up(primary));
+  EXPECT_FALSE(manager.IsFailed(primary));
+  EXPECT_TRUE(manager.Faults().empty());
+  EXPECT_TRUE(manager.StateValid());
+  const Placement* moved = manager.placement_of(1);
+  ASSERT_NE(moved, nullptr);
+  for (topology::VertexId m : moved->vm_machine) {
+    EXPECT_NE(m, primary);
+  }
+  EXPECT_NE(moved->backup_machine, primary);
+
+  ASSERT_TRUE(manager.UncordonMachine(primary).ok());
+  EXPECT_TRUE(manager.slots().machine_up(primary));
+  EXPECT_EQ(manager.slots().free_slots(primary), topo.vm_slots(primary));
+}
+
+TEST(SurvivableDrain, StuckTenantIsRestoredInPlaceWithoutEviction) {
+  // The tenant fills both machines: the drain can move it nowhere, so it is
+  // restored in place, reported unrecovered with no evict reason, and the
+  // machine still ends up cordoned (the operator decides what happens next).
+  const topology::Topology topo = topology::BuildStar(2, 4, 10000);
+  NetworkManager manager(topo, 0.05);
+  core::HomogeneousDpAllocator alloc;
+  ASSERT_TRUE(manager.Admit(Request::Homogeneous(1, 8, 100, 30), alloc).ok());
+  const topology::VertexId target = topo.machines()[0];
+
+  const auto outcome = manager.DrainMachine(target, alloc);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToText();
+  ASSERT_EQ(outcome->tenants.size(), 1u);
+  EXPECT_FALSE(outcome->tenants[0].recovered);
+  EXPECT_EQ(outcome->tenants[0].evict_reason, EvictReason::kNone);
+  EXPECT_EQ(outcome->evicted(), 0);
+  EXPECT_TRUE(manager.IsLive(1));
+  EXPECT_FALSE(manager.slots().machine_up(target));
+  EXPECT_TRUE(manager.StateValid());
+  // The placement still occupies the cordoned machine.
+  bool on_target = false;
+  for (topology::VertexId m : manager.placement_of(1)->vm_machine) {
+    on_target = on_target || m == target;
+  }
+  EXPECT_TRUE(on_target);
+  EXPECT_TRUE(manager.UncordonMachine(target).ok());
+}
+
+TEST(SurvivableDrain, GuardsMirrorTheFaultPlane) {
+  const topology::Topology topo = topology::BuildStar(3, 4, 10000);
+  NetworkManager manager(topo, 0.05);
+  core::HomogeneousDpAllocator alloc;
+
+  // Root is not a machine.
+  EXPECT_FALSE(manager.DrainMachine(topo.root(), alloc).ok());
+
+  // An actually-failed machine cannot be drained or uncordoned.
+  const topology::VertexId m = topo.machines()[0];
+  ASSERT_TRUE(
+      manager.HandleFault(FaultKind::kMachine, m, RecoveryPolicy::kEvict,
+                          alloc)
+          .ok());
+  const auto drained = manager.DrainMachine(m, alloc);
+  ASSERT_FALSE(drained.ok());
+  EXPECT_EQ(drained.status().code(), util::ErrorCode::kFailedPrecondition);
+  EXPECT_FALSE(manager.UncordonMachine(m).ok());
+  ASSERT_TRUE(manager.HandleRecovery(m).ok());
+  // Uncordoning an open machine is a no-op.
+  EXPECT_TRUE(manager.UncordonMachine(m).ok());
+}
+
+// --- FaultConfig validation (fail-fast error messages) ---
+
+TEST(FaultConfigValidation, RejectsMtbfWithoutPositiveMttr) {
+  const topology::Topology topo = topology::BuildStar(3, 4, 1000);
+  sim::FaultConfig config;
+  config.machine_mtbf_seconds = 100;
+  config.mttr_seconds = 0;
+  const util::Status status = sim::ValidateFaultConfig(topo, config);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToText().find("mttr_seconds"), std::string::npos)
+      << status.ToText();
+
+  config.mttr_seconds = -5;
+  EXPECT_FALSE(sim::ValidateFaultConfig(topo, config).ok());
+  config.mttr_seconds = 10;
+  EXPECT_TRUE(sim::ValidateFaultConfig(topo, config).ok());
+
+  // Link MTBF alone trips the same check.
+  sim::FaultConfig link_only;
+  link_only.link_mtbf_seconds = 50;
+  EXPECT_FALSE(sim::ValidateFaultConfig(topo, link_only).ok());
+}
+
+TEST(FaultConfigValidation, RejectsMalformedRatesAndScriptedVertices) {
+  const topology::Topology topo = topology::BuildTwoTier(2, 2, 4, 1000, 2.0);
+  const topology::VertexId rack = topo.vertices_at_level(1)[0];
+  const topology::VertexId machine = topo.MachinesUnder(rack)[0];
+
+  sim::FaultConfig config;
+  config.machine_mtbf_seconds = -1;
+  EXPECT_FALSE(sim::ValidateFaultConfig(topo, config).ok());
+
+  config = {};
+  config.horizon_seconds = -10;
+  EXPECT_FALSE(sim::ValidateFaultConfig(topo, config).ok());
+
+  // Out-of-range and root vertices.
+  config = {};
+  config.scripted.push_back(
+      {10.0, topo.num_vertices(), FaultKind::kMachine, true});
+  EXPECT_FALSE(sim::ValidateFaultConfig(topo, config).ok());
+  config.scripted[0].vertex = topo.root();
+  EXPECT_FALSE(sim::ValidateFaultConfig(topo, config).ok());
+
+  // Machine-kind event on a switch vertex.
+  config = {};
+  config.scripted.push_back({10.0, rack, FaultKind::kMachine, true});
+  EXPECT_FALSE(sim::ValidateFaultConfig(topo, config).ok());
+
+  // Drains only make sense on machine failure events.
+  config = {};
+  config.scripted.push_back({10.0, rack, FaultKind::kLink, true, true});
+  EXPECT_FALSE(sim::ValidateFaultConfig(topo, config).ok());
+  config = {};
+  config.scripted.push_back({10.0, machine, FaultKind::kMachine, false, true});
+  EXPECT_FALSE(sim::ValidateFaultConfig(topo, config).ok());
+}
+
+TEST(FaultConfigValidation, RejectsRecoveryOfElementThatNeverFailed) {
+  const topology::Topology topo = topology::BuildTwoTier(2, 2, 4, 1000, 2.0);
+  const topology::VertexId rack = topo.vertices_at_level(1)[0];
+  const topology::VertexId machine = topo.MachinesUnder(rack)[0];
+
+  sim::FaultConfig config;
+  config.scripted.push_back({100.0, machine, FaultKind::kMachine, false});
+  const util::Status status = sim::ValidateFaultConfig(topo, config);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToText().find("never failed"), std::string::npos)
+      << status.ToText();
+
+  // An earlier (or simultaneous) scripted failure legitimizes it.
+  config.scripted.push_back({50.0, machine, FaultKind::kMachine, true});
+  EXPECT_TRUE(sim::ValidateFaultConfig(topo, config).ok());
+  config.scripted[1].time = 100.0;
+  EXPECT_TRUE(sim::ValidateFaultConfig(topo, config).ok());
+  config.scripted[1].time = 200.0;
+  EXPECT_FALSE(sim::ValidateFaultConfig(topo, config).ok());
+
+  // So does a random stream covering the element class...
+  sim::FaultConfig random_machines;
+  random_machines.machine_mtbf_seconds = 100;
+  random_machines.mttr_seconds = 10;
+  random_machines.horizon_seconds = 1000;
+  random_machines.scripted.push_back(
+      {100.0, machine, FaultKind::kMachine, false});
+  EXPECT_TRUE(sim::ValidateFaultConfig(topo, random_machines).ok());
+  // ...but only the matching class: machine churn does not explain a
+  // fabric-link recovery.
+  random_machines.scripted.push_back({100.0, rack, FaultKind::kLink, false});
+  EXPECT_FALSE(sim::ValidateFaultConfig(topo, random_machines).ok());
+}
+
+// --- Scripted schedule: total (time, vertex, fail) order ---
+
+TEST(FaultSchedule, SimultaneousCorrelatedEventsSortDeterministically) {
+  const topology::Topology topo = topology::BuildTwoTier(2, 2, 4, 1000, 2.0);
+  const topology::VertexId rack0 = topo.vertices_at_level(1)[0];
+  const topology::VertexId rack1 = topo.vertices_at_level(1)[1];
+  const topology::VertexId x = topo.MachinesUnder(rack0)[0];
+
+  sim::FaultConfig config;
+  // Deliberately appended out of order; BuildFaultSchedule re-sorts.
+  sim::AppendRackPowerEvent(topo, rack1, 100.0, 60.0, &config.scripted);
+  config.scripted.push_back({100.0, x, FaultKind::kMachine, false});
+  config.scripted.push_back({50.0, x, FaultKind::kMachine, true});
+  sim::AppendTorLossEvent(rack0, 100.0, 60.0, &config.scripted);
+  config.scripted.push_back({100.0, x, FaultKind::kMachine, true});
+  ASSERT_TRUE(sim::ValidateFaultConfig(topo, config).ok());
+
+  const std::vector<sim::FaultEvent> schedule =
+      sim::BuildFaultSchedule(topo, config);
+  const size_t rack1_machines = topo.MachinesUnder(rack1).size();
+  ASSERT_EQ(schedule.size(), 5u + 2u * rack1_machines);
+
+  // Lexicographic (time, vertex, failures-before-recoveries) everywhere.
+  for (size_t i = 1; i < schedule.size(); ++i) {
+    const sim::FaultEvent& a = schedule[i - 1];
+    const sim::FaultEvent& b = schedule[i];
+    ASSERT_LE(a.time, b.time) << i;
+    if (a.time == b.time) {
+      ASSERT_LE(a.vertex, b.vertex) << i;
+      if (a.vertex == b.vertex) {
+        // fail sorts before recovery at the same (time, vertex).
+        EXPECT_TRUE(a.fail && !b.fail) << i;
+      }
+    }
+  }
+
+  // Machine x at t=100 carries both a re-failure and a recovery: the
+  // failure must come first.
+  int x_fail = -1, x_recover = -1;
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    if (schedule[i].time == 100.0 && schedule[i].vertex == x) {
+      (schedule[i].fail ? x_fail : x_recover) = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(x_fail, 0);
+  ASSERT_GE(x_recover, 0);
+  EXPECT_LT(x_fail, x_recover);
+
+  // The rack power group fails every machine under rack1 at t=100 and
+  // recovers them together at t=160.
+  for (topology::VertexId m : topo.MachinesUnder(rack1)) {
+    int fails = 0, recovers = 0;
+    for (const sim::FaultEvent& e : schedule) {
+      if (e.vertex != m) continue;
+      if (e.fail) {
+        EXPECT_EQ(e.time, 100.0);
+        ++fails;
+      } else {
+        EXPECT_EQ(e.time, 160.0);
+        ++recovers;
+      }
+    }
+    EXPECT_EQ(fails, 1);
+    EXPECT_EQ(recovers, 1);
+  }
+}
+
+// --- Engine: planned drain end to end ---
+
+TEST(SurvivableEngine, PlannedDrainMigratesWithoutEviction) {
+  const topology::Topology topo = topology::BuildStar(4, 4, 10000);
+  core::HomogeneousDpAllocator alloc;
+
+  workload::JobSpec job;
+  job.id = 1;
+  job.size = 4;
+  job.compute_time = 600;
+  job.rate_mean = 100;
+  job.rate_stddev = 20;
+  job.flow_mbits = 1e7;  // long-lived flows: alive at the drain instant
+  job.arrival_time = 0;
+  workload::JobSpec late = job;  // keeps the sim alive through recovery
+  late.id = 2;
+  late.arrival_time = 300;
+  late.compute_time = 50;
+  late.flow_mbits = 100;
+
+  // Probe where the engine's deterministic admission will place job 1, so
+  // the scripted drain hits the tenant's actual machine.
+  topology::VertexId target;
+  {
+    NetworkManager probe(topo, 0.05);
+    probe.set_admission_options(Survivable());
+    const auto placed = probe.Admit(
+        workload::MakeRequest(job, workload::Abstraction::kSvc), alloc);
+    ASSERT_TRUE(placed.ok()) << placed.status().ToText();
+    target = placed->vm_machine[0];
+  }
+
+  sim::SimConfig config;
+  config.allocator = &alloc;
+  config.seed = 3;
+  config.max_seconds = 5000;
+  config.admission = Survivable();
+  config.faults.policy = RecoveryPolicy::kSwitchover;
+  sim::AppendPlannedDrain(target, 100.0, 150.0, &config.faults.scripted);
+
+  sim::Engine engine(topo, config);
+  const sim::OnlineResult result = engine.RunOnline({job, late});
+  EXPECT_EQ(result.accepted, 2);
+  EXPECT_EQ(result.planned_drains, 1);
+  EXPECT_EQ(result.tenants_migrated, 1);
+  EXPECT_EQ(result.tenants_switched, 1);  // switchover-preferred migration
+  EXPECT_EQ(result.tenants_evicted, 0);
+  EXPECT_EQ(result.faults_injected, 1);   // the post-drain teardown
+  EXPECT_EQ(result.fault_recoveries, 1);
+  EXPECT_TRUE(engine.manager().StateValid());
+  EXPECT_TRUE(engine.manager().Faults().empty());
+}
+
+// --- Engine: switchover churn through the concurrent pipeline ---
+
+sim::OnlineResult RunSurvivableChurn(const topology::Topology& topo,
+                                     const core::Allocator& alloc, int workers,
+                                     int shards, sim::EventLog* events) {
+  sim::SimConfig config;
+  config.allocator = &alloc;
+  config.seed = 7;
+  config.max_seconds = 20000;
+  config.admission = Survivable();
+  config.admission_workers = workers;
+  config.admission_shards = shards;
+  config.events = events;
+  config.faults.machine_mtbf_seconds = 500;
+  config.faults.mttr_seconds = 80;
+  config.faults.horizon_seconds = 3000;
+  config.faults.seed = 11;
+  config.faults.policy = RecoveryPolicy::kSwitchover;
+  // Correlated mid-run events on top of the random churn: a rack power
+  // failure, a ToR loss, and a planned drain.
+  const std::vector<topology::VertexId>& racks = topo.vertices_at_level(1);
+  sim::AppendRackPowerEvent(topo, racks.front(), 400.0, 120.0,
+                            &config.faults.scripted);
+  sim::AppendTorLossEvent(racks.back(), 700.0, 120.0,
+                          &config.faults.scripted);
+  sim::AppendPlannedDrain(topo.machines().front(), 1000.0, 150.0,
+                          &config.faults.scripted);
+
+  workload::WorkloadConfig wl;
+  wl.num_jobs = 60;
+  wl.mean_job_size = 5;
+  wl.min_job_size = 2;
+  wl.max_job_size = 10;
+  wl.compute_time_lo = 50;
+  wl.compute_time_hi = 150;
+  wl.flow_time_lo = 20;
+  wl.flow_time_hi = 60;
+  workload::WorkloadGenerator gen(wl, 99);
+  std::vector<workload::JobSpec> jobs =
+      gen.GenerateOnline(0.7, topo.total_slots());
+
+  sim::Engine engine(topo, config);
+  sim::OnlineResult result = engine.RunOnline(std::move(jobs));
+  EXPECT_TRUE(engine.manager().StateValid());
+  return result;
+}
+
+TEST(SurvivableEngine, SwitchoverChurnBitIdenticalAcrossPipelineShapes) {
+  const topology::Topology topo = topology::BuildTwoTier(4, 4, 4, 2000, 2.0);
+  core::HomogeneousDpAllocator alloc;
+  sim::EventLog serial_events;
+  const sim::OnlineResult serial =
+      RunSurvivableChurn(topo, alloc, /*workers=*/0, /*shards=*/0,
+                         &serial_events);
+  ASSERT_GT(serial.faults_injected, 0);
+  EXPECT_GT(serial.tenants_switched, 0);
+  EXPECT_FALSE(serial.backup_share_samples.empty());
+
+  struct Shape {
+    int workers;
+    int shards;
+  };
+  for (const Shape shape : {Shape{1, 1}, Shape{1, 4}, Shape{4, 1},
+                            Shape{4, 4}}) {
+    sim::EventLog events;
+    const sim::OnlineResult run = RunSurvivableChurn(
+        topo, alloc, shape.workers, shape.shards, &events);
+    SCOPED_TRACE("workers=" + std::to_string(shape.workers) +
+                 " shards=" + std::to_string(shape.shards));
+    EXPECT_EQ(run.accepted, serial.accepted);
+    EXPECT_EQ(run.rejected, serial.rejected);
+    EXPECT_EQ(run.faults_injected, serial.faults_injected);
+    EXPECT_EQ(run.fault_recoveries, serial.fault_recoveries);
+    EXPECT_EQ(run.tenants_affected, serial.tenants_affected);
+    EXPECT_EQ(run.tenants_recovered, serial.tenants_recovered);
+    EXPECT_EQ(run.tenants_switched, serial.tenants_switched);
+    EXPECT_EQ(run.tenants_evicted, serial.tenants_evicted);
+    EXPECT_EQ(run.planned_drains, serial.planned_drains);
+    EXPECT_EQ(run.tenants_migrated, serial.tenants_migrated);
+    EXPECT_EQ(run.outage.outage_link_seconds,
+              serial.outage.outage_link_seconds);
+    EXPECT_EQ(run.outage.busy_link_seconds, serial.outage.busy_link_seconds);
+    EXPECT_EQ(run.failure_outage.outage_link_seconds,
+              serial.failure_outage.outage_link_seconds);
+    EXPECT_EQ(run.failure_outage.busy_link_seconds,
+              serial.failure_outage.busy_link_seconds);
+    EXPECT_EQ(run.max_occupancy_samples, serial.max_occupancy_samples);
+    EXPECT_EQ(run.backup_share_samples, serial.backup_share_samples);
+    EXPECT_EQ(events.ToCsv(), serial_events.ToCsv());
+  }
+}
+
+// --- svcctl drill subcommand ---
+
+TEST(SurvivableCli, DrillRackReportsSwitchoverOutcome) {
+  const topology::Topology topo = topology::BuildTwoTier(2, 2, 4, 10000, 1.0);
+  cli::Interpreter interp(topo, 0.05);
+  std::ostringstream out;
+  ASSERT_TRUE(interp.Execute("survivable on", out));
+  EXPECT_TRUE(interp.manager().admission_options().survivability);
+  ASSERT_TRUE(interp.Execute("policy switchover", out));
+  ASSERT_TRUE(interp.Execute("admit 1 homogeneous 4 100 30", out));
+
+  const topology::VertexId machine =
+      interp.manager().placement_of(1)->vm_machine[0];
+  const topology::VertexId rack = topo.parent(machine);
+  out.str("");
+  ASSERT_TRUE(
+      interp.Execute("drill rack " + std::to_string(rack), out))
+      << out.str();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("drill rack"), std::string::npos) << text;
+  EXPECT_NE(text.find("switchover"), std::string::npos) << text;
+  EXPECT_NE(text.find("state valid"), std::string::npos) << text;
+  // The drill recovered everything and the tenant survived.
+  EXPECT_TRUE(interp.manager().Faults().empty());
+  EXPECT_TRUE(interp.manager().IsLive(1));
+
+  // Guard: the argument must be a non-root switch vertex.
+  std::ostringstream err;
+  EXPECT_FALSE(
+      interp.Execute("drill rack " + std::to_string(machine), err));
+  EXPECT_FALSE(interp.Execute("drill rack 0", err));
+  // Unknown survivable argument is a parse error.
+  EXPECT_FALSE(interp.Execute("survivable maybe", err));
+  ASSERT_TRUE(interp.Execute("survivable off", err));
+  EXPECT_FALSE(interp.manager().admission_options().survivability);
+}
+
+}  // namespace
+}  // namespace svc

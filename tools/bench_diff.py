@@ -15,6 +15,13 @@ threshold — which is what lets CI run it as a perf-smoke gate:
 benchmark got at least FACTOR times faster — used to assert headline
 improvements (e.g. ``--require-speedup allocate_steady:2.0``).
 
+``--require-zero NAME:METRIC`` fails unless benchmark NAME in the *after*
+snapshot carries METRIC with the exact value 0 — used to gate hard
+correctness properties that a bench reports as a counter, e.g.
+``--require-zero fault_drill_switchover:steady_outage_rate`` (survivable
+placements must ride out a backup-covered single failure with zero
+steady-epoch outage).
+
 The allocs_per_call field, when present on both sides, is a hard gate:
 any increase fails regardless of the threshold (the zero-allocation
 steady state is a correctness property, not a throughput number).
@@ -101,6 +108,14 @@ def main():
         help="fail unless benchmark NAME is at least FACTOR times faster",
     )
     parser.add_argument(
+        "--require-zero",
+        action="append",
+        default=[],
+        metavar="NAME:METRIC",
+        help="fail unless benchmark NAME's METRIC is exactly 0 in the "
+        "after snapshot",
+    )
+    parser.add_argument(
         "--show-metrics",
         action="store_true",
         help="also print the counter diff (always checked for allocs)",
@@ -182,6 +197,20 @@ def main():
     for name in required:
         if name not in before_benches or name not in after_benches:
             failures.append(f"{name}: required benchmark missing from snapshot")
+
+    for spec in args.require_zero:
+        name, _, metric = spec.partition(":")
+        if not metric:
+            parser.error(f"--require-zero needs NAME:METRIC, got {spec!r}")
+        bench = after_benches.get(name)
+        if bench is None:
+            failures.append(
+                f"{name}: required benchmark missing from after snapshot"
+            )
+        elif metric not in bench:
+            failures.append(f"{name}: metric {metric!r} missing")
+        elif bench[metric] != 0:
+            failures.append(f"{name}.{metric} = {bench[metric]} (required 0)")
 
     width = max((len(r[0]) for r in rows), default=4)
     print(f"{'benchmark':<{width}}  {'before/s':>14}  {'after/s':>14}  delta")
