@@ -5,6 +5,10 @@
 // requests, but the simulator draws rates from a lognormal with those
 // moments instead of a normal.  If the two-moment admission were fragile,
 // the measured outage probability would blow past epsilon.
+//
+// Thin shim over the "ablation_distribution" registry scenario
+// (sim/scenario.h): epsilon is the sweep axis, the distributions are the
+// variant columns.
 #include "bench_common.h"
 
 #include "util/strings.h"
@@ -21,48 +25,26 @@ int main(int argc, char** argv) {
   flags.Parse(argc, argv);
   bench::ObsScope obs(common);
 
-  const topology::Topology topo =
-      topology::BuildThreeTier(common.TopologyConfig());
-
-  const std::vector<double> epsilon_list = util::ParseDoubleList(epsilons);
-  struct Cell {
-    workload::RateDistribution distribution;
-    double epsilon;
-  };
-  std::vector<Cell> grid;
-  for (auto distribution : {workload::RateDistribution::kNormal,
-                            workload::RateDistribution::kLogNormal}) {
-    for (double epsilon : epsilon_list) grid.push_back({distribution, epsilon});
-  }
-
-  std::vector<std::function<sim::OnlineResult()>> cells;
-  for (const Cell& cell : grid) {
-    cells.push_back([&cell, &common, &topo, &load] {
-      workload::WorkloadConfig wconfig = common.WorkloadConfig();
-      wconfig.rate_distribution = cell.distribution;
-      workload::WorkloadGenerator gen(wconfig, common.seed());
-      auto jobs = gen.GenerateOnline(load, topo.total_slots());
-      return bench::RunOnline(topo, std::move(jobs),
-                              workload::Abstraction::kSvc,
-                              bench::AllocatorFor(workload::Abstraction::kSvc),
-                              cell.epsilon, common.seed() + 1);
-    });
-  }
-  sim::SweepRunner runner(common.threads());
-  const auto results = runner.Run(std::move(cells));
+  sim::Scenario scenario = *sim::FindScenario("ablation_distribution");
+  bench::ApplyCommonOverrides(common, &scenario);
+  scenario.arrivals.load = load;
+  scenario.sweep.values = util::ParseDoubleList(epsilons);
+  const sim::ScenarioRunResult result =
+      bench::RunScenarioOrDie(scenario, common);
 
   util::Table table({"rate distribution", "epsilon", "measured outage rate",
                      "rejection %", "mean running time (s)"});
-  for (size_t i = 0; i < grid.size(); ++i) {
-    const sim::OnlineResult& result = results[i];
-    table.AddRow(
-        {grid[i].distribution == workload::RateDistribution::kNormal
-             ? "normal"
-             : "lognormal",
-         util::Table::Num(grid[i].epsilon, 2),
-         util::Table::Num(result.outage.OutageRate(), 5),
-         util::Table::Num(100 * result.RejectionRate(), 2),
-         util::Table::Num(result.MeanRunningTime(), 1)});
+  for (const char* distribution : {"normal", "lognormal"}) {
+    for (size_t p = 0; p < scenario.sweep.values.size(); ++p) {
+      const sim::OnlineResult& cell =
+          sim::FindCell(result, distribution, static_cast<int>(p))
+              ->online_result;
+      table.AddRow({distribution,
+                    util::Table::Num(scenario.sweep.values[p], 2),
+                    util::Table::Num(cell.outage.OutageRate(), 5),
+                    util::Table::Num(100 * cell.RejectionRate(), 2),
+                    util::Table::Num(cell.MeanRunningTime(), 1)});
+    }
   }
   bench::EmitTable(
       "Ablation: SVC admission with normal vs lognormal demands", table,

@@ -8,6 +8,8 @@
 // not predict.  This quantifies how much headroom multi-rooted fabrics owe
 // to hashing imbalance — the gap between the paper's "no path diversity"
 // simulation and a production Clos.
+//
+// Thin shim over the "ablation_ecmp" registry scenario (sim/scenario.h).
 #include "bench_common.h"
 
 #include "util/strings.h"
@@ -25,34 +27,27 @@ int main(int argc, char** argv) {
   flags.Parse(argc, argv);
   bench::ObsScope obs(common);
 
-  // Each cell builds its own (per-width) topology, so nothing is shared.
-  const std::vector<int64_t> width_list = util::ParseIntList(trunks);
-  std::vector<std::function<sim::OnlineResult()>> cells;
-  for (const int64_t& width : width_list) {
-    cells.push_back([&width, &common, &load] {
-      topology::ThreeTierConfig tconfig = common.TopologyConfig();
-      tconfig.tor_trunk = static_cast<int>(width);
-      tconfig.agg_trunk = static_cast<int>(width);
-      const topology::Topology topo = topology::BuildThreeTier(tconfig);
-      workload::WorkloadGenerator gen(common.WorkloadConfig(), common.seed());
-      auto jobs = gen.GenerateOnline(load, topo.total_slots());
-      return bench::RunOnline(
-          topo, std::move(jobs), workload::Abstraction::kSvc,
-          bench::AllocatorFor(workload::Abstraction::kSvc), common.epsilon(),
-          common.seed() + 1);
-    });
+  sim::Scenario scenario = *sim::FindScenario("ablation_ecmp");
+  bench::ApplyCommonOverrides(common, &scenario);
+  scenario.arrivals.load = load;
+  scenario.admission.epsilon = common.epsilon();
+  scenario.sweep.values.clear();
+  for (int64_t width : util::ParseIntList(trunks)) {
+    scenario.sweep.values.push_back(static_cast<double>(width));
   }
-  sim::SweepRunner runner(common.threads());
-  const auto results = runner.Run(std::move(cells));
+  const sim::ScenarioRunResult result =
+      bench::RunScenarioOrDie(scenario, common);
 
   util::Table table({"trunk width", "outage rate", "rejection %",
                      "mean running time (s)"});
-  for (size_t i = 0; i < width_list.size(); ++i) {
-    const sim::OnlineResult& result = results[i];
-    table.AddRow({std::to_string(width_list[i]),
-                  util::Table::Num(result.outage.OutageRate(), 5),
-                  util::Table::Num(100 * result.RejectionRate(), 2),
-                  util::Table::Num(result.MeanRunningTime(), 1)});
+  for (size_t p = 0; p < scenario.sweep.values.size(); ++p) {
+    const sim::OnlineResult& cell =
+        sim::FindCell(result, "SVC", static_cast<int>(p))->online_result;
+    table.AddRow({std::to_string(
+                      static_cast<int64_t>(scenario.sweep.values[p])),
+                  util::Table::Num(cell.outage.OutageRate(), 5),
+                  util::Table::Num(100 * cell.RejectionRate(), 2),
+                  util::Table::Num(cell.MeanRunningTime(), 1)});
   }
   bench::EmitTable(
       "Ablation: ECMP trunking (same aggregate capacity, SVC eps=" +

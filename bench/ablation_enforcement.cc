@@ -6,9 +6,12 @@
 // re-introduces transient over-capacity traffic the reservation math had
 // excluded — visible as a small nonzero outage rate.  SVC is unaffected
 // (its flows are never rate limited).
+//
+// Thin shim over the "ablation_enforcement" registry scenario
+// (sim/scenario.h): the five cells are variants with per-variant
+// enforcement overrides, no sweep axis.
 #include "bench_common.h"
 
-#include "svc/homogeneous_search.h"
 #include "util/strings.h"
 
 int main(int argc, char** argv) {
@@ -23,57 +26,33 @@ int main(int argc, char** argv) {
   flags.Parse(argc, argv);
   bench::ObsScope obs(common);
 
-  const topology::Topology topo =
-      topology::BuildThreeTier(common.TopologyConfig());
-  workload::WorkloadConfig wconfig = common.WorkloadConfig();
-  wconfig.fixed_deviation = rho;
-  const core::OktopusAllocator vc_alloc;
-  const core::HomogeneousDpAllocator svc_alloc;
+  sim::Scenario scenario = *sim::FindScenario("ablation_enforcement");
+  bench::ApplyCommonOverrides(common, &scenario);
+  scenario.workload.fixed_deviation = rho;
+  scenario.enforcement.burst_seconds = burst;
+  scenario.admission.epsilon = common.epsilon();
+  const sim::ScenarioRunResult result =
+      bench::RunScenarioOrDie(scenario, common);
 
   const struct {
-    workload::Abstraction abstraction;
-    const core::Allocator* alloc;
-    sim::Enforcement enforcement;
-    const char* label;
-  } kRuns[] = {
-      {workload::Abstraction::kMeanVc, &vc_alloc, sim::Enforcement::kHardCap,
-       "hard-cap"},
-      {workload::Abstraction::kMeanVc, &vc_alloc,
-       sim::Enforcement::kTokenBucket, "token-bucket"},
-      {workload::Abstraction::kPercentileVc, &vc_alloc,
-       sim::Enforcement::kHardCap, "hard-cap"},
-      {workload::Abstraction::kPercentileVc, &vc_alloc,
-       sim::Enforcement::kTokenBucket, "token-bucket"},
-      {workload::Abstraction::kSvc, &svc_alloc, sim::Enforcement::kHardCap,
-       "n/a (no limiting)"},
+    const char* cell;
+    const char* abstraction;
+    const char* enforcement;
+  } kRows[] = {
+      {"mean-VC/hard_cap", "mean-VC", "hard-cap"},
+      {"mean-VC/token_bucket", "mean-VC", "token-bucket"},
+      {"percentile-VC/hard_cap", "percentile-VC", "hard-cap"},
+      {"percentile-VC/token_bucket", "percentile-VC", "token-bucket"},
+      {"SVC/hard_cap", "SVC", "n/a (no limiting)"},
   };
-
-  std::vector<std::function<sim::BatchResult()>> cells;
-  for (const auto& spec : kRuns) {
-    cells.push_back([&spec, &wconfig, &common, &topo, &burst] {
-      workload::WorkloadGenerator gen(wconfig, common.seed());
-      sim::SimConfig config;
-      config.abstraction = spec.abstraction;
-      config.allocator = spec.alloc;
-      config.epsilon = common.epsilon();
-      config.seed = common.seed() + 1;
-      config.enforcement = spec.enforcement;
-      config.burst_seconds = burst;
-      sim::Engine engine(topo, config);
-      return engine.RunBatch(gen.GenerateBatch());
-    });
-  }
-  sim::SweepRunner runner(common.threads());
-  const auto results = runner.Run(std::move(cells));
-
   util::Table table({"abstraction", "enforcement", "mean running time (s)",
                      "makespan (s)", "outage rate"});
-  for (size_t i = 0; i < std::size(kRuns); ++i) {
-    const sim::BatchResult& result = results[i];
-    table.AddRow({workload::ToString(kRuns[i].abstraction), kRuns[i].label,
-                  util::Table::Num(result.MeanRunningTime(), 1),
-                  util::Table::Num(result.total_completion_time, 0),
-                  util::Table::Num(result.outage.OutageRate(), 5)});
+  for (const auto& row : kRows) {
+    const sim::BatchResult& cell = sim::FindCell(result, row.cell, -1)->batch;
+    table.AddRow({row.abstraction, row.enforcement,
+                  util::Table::Num(cell.MeanRunningTime(), 1),
+                  util::Table::Num(cell.total_completion_time, 0),
+                  util::Table::Num(cell.outage.OutageRate(), 5)});
   }
   bench::EmitTable("Ablation: reservation enforcement discipline (rho = " +
                        util::Table::Num(rho, 1) + ")",

@@ -10,10 +10,12 @@
 // locality (placements climb the tree), which consumes core bandwidth and
 // shows up as a higher rejection rate at high load — the reason the paper
 // keeps the locality rule and optimizes only within the lowest subtree.
+//
+// Thin shim over the "ablation_locality" registry scenario
+// (sim/scenario.h).
 #include "bench_common.h"
 
 #include "stats/ecdf.h"
-#include "svc/homogeneous_search.h"
 #include "util/strings.h"
 
 int main(int argc, char** argv) {
@@ -26,48 +28,30 @@ int main(int argc, char** argv) {
   flags.Parse(argc, argv);
   bench::ObsScope obs(common);
 
-  const topology::Topology topo =
-      topology::BuildThreeTier(common.TopologyConfig());
-  const core::HomogeneousDpAllocator svc_dp;
-  const core::HomogeneousSearchAllocator global_minmax(
-      {.optimize_occupancy = true, .lowest_subtree_first = false},
-      "global-minmax");
-  const core::TivcAdaptedAllocator tivc;
+  sim::Scenario scenario = *sim::FindScenario("ablation_locality");
+  bench::ApplyCommonOverrides(common, &scenario);
+  scenario.admission.epsilon = common.epsilon();
+  scenario.sweep.values = util::ParseDoubleList(loads);
+  const sim::ScenarioRunResult result =
+      bench::RunScenarioOrDie(scenario, common);
 
-  const std::vector<double> load_list = util::ParseDoubleList(loads);
-  const core::Allocator* kAllocs[] = {&svc_dp, &global_minmax, &tivc};
-
-  std::vector<std::function<sim::OnlineResult()>> cells;
-  for (const double& load : load_list) {
-    for (const core::Allocator* alloc : kAllocs) {
-      cells.push_back([alloc, &load, &common, &topo] {
-        workload::WorkloadGenerator gen(common.WorkloadConfig(),
-                                        common.seed());
-        auto jobs = gen.GenerateOnline(load, topo.total_slots());
-        return bench::RunOnline(topo, std::move(jobs),
-                                workload::Abstraction::kSvc, *alloc,
-                                common.epsilon(), common.seed() + 1);
-      });
-    }
-  }
-  sim::SweepRunner runner(common.threads());
-  const auto results = runner.Run(std::move(cells));
-
-  for (size_t p = 0; p < load_list.size(); ++p) {
+  for (size_t p = 0; p < scenario.sweep.values.size(); ++p) {
+    const int axis = static_cast<int>(p);
     util::Table table({"allocator", "rejection %", "mean placement level",
                        "median max-occ", "p95 max-occ"});
-    for (size_t a = 0; a < std::size(kAllocs); ++a) {
-      const sim::OnlineResult& result = results[p * std::size(kAllocs) + a];
-      stats::EmpiricalCdf cdf(result.max_occupancy_samples);
-      table.AddRow({std::string(kAllocs[a]->name()),
-                    util::Table::Num(100 * result.RejectionRate(), 2),
-                    util::Table::Num(result.MeanPlacementLevel(), 2),
+    for (const char* name : {"svc-dp", "global-minmax", "tivc-adapted"}) {
+      const sim::OnlineResult& cell =
+          sim::FindCell(result, name, axis)->online_result;
+      stats::EmpiricalCdf cdf(cell.max_occupancy_samples);
+      table.AddRow({name, util::Table::Num(100 * cell.RejectionRate(), 2),
+                    util::Table::Num(cell.MeanPlacementLevel(), 2),
                     cdf.empty() ? "-" : util::Table::Num(cdf.Percentile(0.5), 4),
                     cdf.empty() ? "-"
                                 : util::Table::Num(cdf.Percentile(0.95), 4)});
     }
     bench::EmitTable("Ablation: locality vs global min-max, load " +
-                         util::Table::Num(100 * load_list[p], 0) + "%",
+                         util::Table::Num(100 * scenario.sweep.values[p], 0) +
+                         "%",
                      table, csv);
   }
   return 0;

@@ -5,6 +5,10 @@
 // abstraction can reach, and shows that SVC sits at or beyond that
 // frontier (similar running time at higher acceptance), which is the
 // paper's core argument made quantitative.
+//
+// Thin shim over the "ablation_percentile" registry scenario
+// (sim/scenario.h): q-VC is swept over the quantile axis; mean-VC and SVC
+// are `once` variants pinned to their own quantiles.
 #include "bench_common.h"
 
 #include "util/strings.h"
@@ -22,50 +26,28 @@ int main(int argc, char** argv) {
   flags.Parse(argc, argv);
   bench::ObsScope obs(common);
 
-  const topology::Topology topo =
-      topology::BuildThreeTier(common.TopologyConfig());
-
-  struct RunSpec {
-    workload::Abstraction abstraction;
-    double quantile;
-    std::string label;
-  };
-  std::vector<RunSpec> specs;
-  specs.push_back({workload::Abstraction::kMeanVc, 0.5, "mean-VC"});
-  for (double q : util::ParseDoubleList(quantiles)) {
-    specs.push_back({workload::Abstraction::kPercentileVc, q,
-                     "q-VC(q=" + util::Table::Num(q, 2) + ")"});
-  }
-  specs.push_back({workload::Abstraction::kSvc, 0.95,
-                   "SVC(e=" + util::Table::Num(common.epsilon(), 2) + ")"});
-
-  std::vector<std::function<sim::OnlineResult()>> cells;
-  for (const RunSpec& spec : specs) {
-    cells.push_back([&spec, &common, &topo, &load] {
-      workload::WorkloadGenerator gen(common.WorkloadConfig(), common.seed());
-      auto jobs = gen.GenerateOnline(load, topo.total_slots());
-      sim::SimConfig config;
-      config.abstraction = spec.abstraction;
-      config.allocator = &bench::AllocatorFor(spec.abstraction);
-      config.epsilon = common.epsilon();
-      config.seed = common.seed() + 1;
-      config.vc_quantile = spec.quantile;
-      sim::Engine engine(topo, config);
-      return engine.RunOnline(std::move(jobs));
-    });
-  }
-  sim::SweepRunner runner(common.threads());
-  const auto results = runner.Run(std::move(cells));
+  sim::Scenario scenario = *sim::FindScenario("ablation_percentile");
+  bench::ApplyCommonOverrides(common, &scenario);
+  scenario.arrivals.load = load;
+  scenario.admission.epsilon = common.epsilon();
+  scenario.sweep.values = util::ParseDoubleList(quantiles);
+  const sim::ScenarioRunResult result =
+      bench::RunScenarioOrDie(scenario, common);
 
   util::Table table({"abstraction", "rejection %", "mean running time (s)",
                      "mean concurrency"});
-  for (size_t i = 0; i < specs.size(); ++i) {
-    const sim::OnlineResult& result = results[i];
-    table.AddRow({specs[i].label,
-                  util::Table::Num(100 * result.RejectionRate(), 2),
-                  util::Table::Num(result.MeanRunningTime(), 1),
-                  util::Table::Num(result.MeanConcurrency(), 1)});
+  auto add_row = [&](const std::string& label, const sim::OnlineResult& cell) {
+    table.AddRow({label, util::Table::Num(100 * cell.RejectionRate(), 2),
+                  util::Table::Num(cell.MeanRunningTime(), 1),
+                  util::Table::Num(cell.MeanConcurrency(), 1)});
+  };
+  add_row("mean-VC", sim::FindCell(result, "mean-VC", -1)->online_result);
+  for (size_t p = 0; p < scenario.sweep.values.size(); ++p) {
+    add_row("q-VC(q=" + util::Table::Num(scenario.sweep.values[p], 2) + ")",
+            sim::FindCell(result, "q-VC", static_cast<int>(p))->online_result);
   }
+  add_row("SVC(e=" + util::Table::Num(common.epsilon(), 2) + ")",
+          sim::FindCell(result, "SVC", -1)->online_result);
   bench::EmitTable(
       "Ablation: deterministic percentile frontier vs SVC (load " +
           util::Table::Num(100 * load, 0) + "%)",

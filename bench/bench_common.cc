@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "obs/decision_log.h"
@@ -136,23 +137,40 @@ sim::OnlineResult RunOnline(const topology::Topology& topo,
   return engine.RunOnline(std::move(jobs));
 }
 
+namespace {
+ObsOptions ToObsOptions(const CommonOptions& options) {
+  ObsOptions obs;
+  obs.metrics_out = options.metrics_out();
+  obs.trace_out = options.trace_out();
+  obs.series_period = options.series_period();
+  obs.decisions_out = options.decisions_out();
+  obs.flight_dir = options.flight_dir();
+  obs.flight_admit_slo_us = options.flight_admit_slo_us();
+  obs.flight_reject_rate = options.flight_reject_rate();
+  return obs;
+}
+}  // namespace
+
 ObsScope::ObsScope(const CommonOptions& options)
-    : metrics_out_(options.metrics_out()),
-      trace_out_(options.trace_out()),
-      decisions_out_(options.decisions_out()),
-      flight_(!options.flight_dir().empty()) {
+    : ObsScope(ToObsOptions(options)) {}
+
+ObsScope::ObsScope(const ObsOptions& options)
+    : metrics_out_(options.metrics_out),
+      trace_out_(options.trace_out),
+      decisions_out_(options.decisions_out),
+      flight_(!options.flight_dir.empty()) {
   if (!metrics_out_.empty()) {
     obs::SetMetricsEnabled(true);
     g_active_series = &sink_;
-    g_active_series_period = options.series_period();
+    g_active_series_period = options.series_period;
   }
   if (!trace_out_.empty()) obs::SetTraceEnabled(true);
   if (!decisions_out_.empty()) obs::SetDecisionsEnabled(true);
   if (flight_) {
     obs::FlightRecorderConfig flight;
-    flight.dir = options.flight_dir();
-    flight.admit_latency_slo_us = options.flight_admit_slo_us();
-    flight.rejection_rate_slo = options.flight_reject_rate();
+    flight.dir = options.flight_dir;
+    flight.admit_latency_slo_us = options.flight_admit_slo_us;
+    flight.rejection_rate_slo = options.flight_reject_rate;
     obs::FlightRecorder::Global().Configure(flight);
   }
 }
@@ -182,6 +200,43 @@ ObsScope::~ObsScope() {
     obs::FlightRecorder::Global().MaybeTriggerPending();
     obs::FlightRecorder::Global().Reset();
   }
+}
+
+void ApplyCommonOverrides(const CommonOptions& options,
+                          sim::Scenario* scenario) {
+  const topology::ThreeTierConfig topo = options.TopologyConfig();
+  scenario->topology.racks = topo.racks;
+  scenario->topology.machines_per_rack = topo.machines_per_rack;
+  scenario->topology.slots_per_machine = topo.slots_per_machine;
+  scenario->topology.racks_per_agg = topo.racks_per_agg;
+  scenario->topology.oversubscription = topo.oversubscription;
+  const workload::WorkloadConfig wconfig = options.WorkloadConfig();
+  scenario->workload.num_jobs = wconfig.num_jobs;
+  scenario->workload.mean_job_size = wconfig.mean_job_size;
+  scenario->workload.max_job_size = wconfig.max_job_size;
+  scenario->workload.rate_means = wconfig.rate_means;
+  scenario->seed = options.seed();
+}
+
+sim::ScenarioRunResult RunScenarioOrDie(const sim::Scenario& scenario,
+                                        const CommonOptions& options) {
+  return RunScenarioOrDie(scenario, options.threads());
+}
+
+sim::ScenarioRunResult RunScenarioOrDie(const sim::Scenario& scenario,
+                                        int threads) {
+  sim::ScenarioRunOptions run;
+  run.threads = threads;
+  run.series = g_active_series;
+  run.series_period = g_active_series_period;
+  util::Result<sim::ScenarioRunResult> result =
+      sim::RunScenario(scenario, run);
+  if (!result) {
+    std::fprintf(stderr, "scenario '%s': %s\n", scenario.name.c_str(),
+                 result.status().ToText().c_str());
+    std::exit(1);
+  }
+  return std::move(*result);
 }
 
 std::vector<double> RunCells(int threads,

@@ -13,6 +13,7 @@
 
 #include "obs/time_series.h"
 #include "sim/engine.h"
+#include "sim/scenario.h"
 #include "sim/sweep_runner.h"
 #include "svc/allocator.h"
 #include "topology/builders.h"
@@ -68,6 +69,19 @@ class CommonOptions {
   double& flight_reject_rate_;
 };
 
+// Observability outputs for one bench run, decoupled from CommonOptions so
+// binaries with their own flag surface (scenario_run) can arm the same
+// plumbing.  Empty paths disable the corresponding output.
+struct ObsOptions {
+  std::string metrics_out;
+  std::string trace_out;
+  double series_period = 100.0;
+  std::string decisions_out;
+  std::string flight_dir;
+  double flight_admit_slo_us = 0;
+  double flight_reject_rate = 0;
+};
+
 // Arms the observability layer for one bench run, driven by --metrics-out /
 // --trace-out.  Construct once in main() right after Parse(); when the
 // scope destructs it writes:
@@ -91,6 +105,7 @@ class CommonOptions {
 class ObsScope {
  public:
   explicit ObsScope(const CommonOptions& options);
+  explicit ObsScope(const ObsOptions& options);
   ~ObsScope();
 
   ObsScope(const ObsScope&) = delete;
@@ -122,6 +137,20 @@ sim::OnlineResult RunOnline(const topology::Topology& topo,
                             workload::Abstraction abstraction,
                             const core::Allocator& allocator, double epsilon,
                             uint64_t seed);
+
+// Copies the shared fabric/workload/seed flags onto a registry scenario —
+// the shim pattern: registry defaults first, command line wins.  Does not
+// touch epsilon (the figures pin their epsilons in their variants); shims
+// that honor --epsilon apply it themselves.
+void ApplyCommonOverrides(const CommonOptions& options,
+                          sim::Scenario* scenario);
+
+// Runs the scenario with the bench's --threads and the live ObsScope
+// time-series sink; prints the error and exits 1 on failure.
+sim::ScenarioRunResult RunScenarioOrDie(const sim::Scenario& scenario,
+                                        const CommonOptions& options);
+sim::ScenarioRunResult RunScenarioOrDie(const sim::Scenario& scenario,
+                                        int threads);
 
 // Runs independent simulation cells across `threads` workers via
 // sim::SweepRunner and returns the values by cell index — the output is

@@ -25,19 +25,23 @@
 // sharded admission pipeline.  --correlated adds scripted multi-element
 // groups (rack power, ToR loss, planned drain) to every cell.
 //
+// Thin shim over the "fault_recovery" / "fault_correlated" /
+// "fault_drill" registry scenarios (sim/scenario.h): the cell grid, the
+// correlated-event schedule, and the drill's scripted auto-targeted
+// failure all live in the registry; this binary applies overrides,
+// formats the report, and runs the --check assertions.
+//
 // Writes BENCH_FAULT.json (override with --out) in the BENCH_PERF.json
-// schema, so two snapshots diff with tools/bench_diff.py.
+// schema (plus the scenario name/config-hash header), so two snapshots
+// diff with tools/bench_diff.py.
 #include <algorithm>
 #include <cstdio>
-#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "bench_common.h"
 #include "obs/metrics.h"
-#include "sim/fault_injector.h"
-#include "sim/sweep_runner.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
 
@@ -96,145 +100,96 @@ int main(int argc, char** argv) {
   flags.Parse(argc, argv);
   bench::ObsScope obs(common);
 
-  const topology::Topology topo =
-      topology::BuildThreeTier(common.TopologyConfig());
-  const core::Allocator& allocator =
-      bench::AllocatorFor(workload::Abstraction::kSvc);
+  sim::Scenario scenario =
+      *sim::FindScenario(correlated ? "fault_correlated" : "fault_recovery");
+  bench::ApplyCommonOverrides(common, &scenario);
+  scenario.arrivals.load = load;
+  scenario.admission.epsilon = common.epsilon();
+  scenario.max_seconds = 4 * horizon;
+  scenario.faults.link_mtbf_factor = link_mtbf_factor;
+  scenario.faults.mttr_seconds = mttr;
+  scenario.faults.horizon_seconds = horizon;
+  scenario.faults.seed = common.seed() + 2;
+  scenario.sweep.values = util::ParseDoubleList(mtbfs);
+  const sim::ScenarioRunResult result =
+      bench::RunScenarioOrDie(scenario, common);
 
-  struct Cell {
-    core::RecoveryPolicy policy;
-    double mtbf;
-    bool survivable = false;
+  // Report rows in the legacy policy-major order; the grid itself ran
+  // axis-major (cells are independent, values identical either way).
+  const struct {
+    const char* label;   // registry variant label (and JSON record tag)
+    const char* policy;  // displayed recovery policy
+    bool survivable;
+  } kFamilies[] = {
+      {"reallocate", "reallocate", false},
+      {"patch", "patch", false},
+      {"evict", "evict", false},
+      {"survivable_reallocate", "reallocate", true},
+      {"switchover", "switchover", true},
   };
-  std::vector<Cell> cells;
-  for (const core::RecoveryPolicy policy :
-       {core::RecoveryPolicy::kReallocate, core::RecoveryPolicy::kPatch,
-        core::RecoveryPolicy::kEvict}) {
-    for (const double mtbf : util::ParseDoubleList(mtbfs)) {
-      cells.push_back({policy, mtbf});
-    }
-  }
-  // Survivable cells: the protection tax with reactive recovery, then the
-  // payoff with proactive backup activation.
-  for (const core::RecoveryPolicy policy :
-       {core::RecoveryPolicy::kReallocate,
-        core::RecoveryPolicy::kSwitchover}) {
-    for (const double mtbf : util::ParseDoubleList(mtbfs)) {
-      cells.push_back({policy, mtbf, /*survivable=*/true});
-    }
-  }
-
-  // Scripted correlated events layered onto a cell's fault schedule.
-  auto add_correlated = [&](sim::FaultConfig& faults) {
-    const auto& tors = topo.vertices_at_level(1);
-    if (tors.empty()) return;
-    sim::AppendRackPowerEvent(topo, tors.front(), 0.25 * horizon, mttr,
-                              &faults.scripted);
-    sim::AppendTorLossEvent(tors.size() > 1 ? tors[1] : tors.front(),
-                            0.5 * horizon, mttr, &faults.scripted);
-    sim::AppendPlannedDrain(topo.machines().front(), 0.75 * horizon, mttr,
-                            &faults.scripted);
-  };
-
-  // Every cell replays the same workload bytes (same generator seed) under
-  // its own fault schedule, so columns differ only by the fault plane.
-  auto make_config = [&](const Cell& cell) {
-    sim::SimConfig config;
-    config.abstraction = workload::Abstraction::kSvc;
-    config.epsilon = common.epsilon();
-    config.allocator = &allocator;
-    config.seed = common.seed() + 1;
-    config.max_seconds = 4 * horizon;
-    config.admission.survivability = cell.survivable;
-    config.faults.machine_mtbf_seconds = cell.mtbf;
-    config.faults.link_mtbf_seconds =
-        link_mtbf_factor > 0 ? link_mtbf_factor * cell.mtbf : 0;
-    config.faults.mttr_seconds = mttr;
-    config.faults.horizon_seconds = horizon;
-    config.faults.seed = common.seed() + 2;
-    config.faults.policy = cell.policy;
-    if (correlated) add_correlated(config.faults);
-    return config;
-  };
-  auto cell_task = [&](const Cell& cell) {
-    return [&, cell] {
-      workload::WorkloadGenerator gen(common.WorkloadConfig(),
-                                      common.seed());
-      auto jobs = gen.GenerateOnline(load, topo.total_slots());
-      sim::Engine engine(topo, make_config(cell));
-      return engine.RunOnline(std::move(jobs));
-    };
-  };
-  std::vector<std::function<sim::OnlineResult()>> tasks;
-  for (const Cell& cell : cells) tasks.push_back(cell_task(cell));
-  sim::SweepRunner runner(common.threads());
-  const std::vector<sim::OnlineResult> results = runner.Run(std::move(tasks));
 
   util::Table table({"policy", "surv", "mtbf", "faults", "recovered",
                      "switched", "evicted", "rej rate", "steady outage",
                      "failure outage", "p50 us", "p99 us"});
   std::vector<bench::BenchRecord> records;
   bool steady_ok = true;
-  for (size_t i = 0; i < cells.size(); ++i) {
-    const Cell& cell = cells[i];
-    const sim::OnlineResult& r = results[i];
-    const sim::OutageStats steady = r.steady_outage();
-    const double steady_rate = steady.OutageRate();
-    const double failure_rate = r.failure_outage.OutageRate();
-    const double p50 = Percentile(r.recovery_latency_us, 0.50);
-    const double p99 = Percentile(r.recovery_latency_us, 0.99);
-    const double faults_per_sec =
-        r.simulated_seconds > 0 ? r.faults_injected / r.simulated_seconds
-                                : 0.0;
-    // Reserved-vs-used protection: the share of backup bandwidth actually
-    // held (worst link, sampled at arrivals) against the fraction of
-    // affected tenants whose recovery came from a backup activation.
-    const double backup_share_mean = Mean(r.backup_share_samples);
-    const double backup_share_max = Max(r.backup_share_samples);
-    const double backup_used_fraction =
-        r.tenants_affected > 0
-            ? static_cast<double>(r.tenants_switched) / r.tenants_affected
-            : 0.0;
-    if (steady_rate > common.epsilon()) steady_ok = false;
-    table.AddRow({core::ToString(cell.policy), cell.survivable ? "on" : "off",
-                  util::Table::Num(cell.mtbf, 0),
-                  std::to_string(r.faults_injected),
-                  std::to_string(r.tenants_recovered),
-                  std::to_string(r.tenants_switched),
-                  std::to_string(r.tenants_evicted),
-                  util::Table::Num(r.RejectionRate(), 4),
-                  util::Table::Num(steady_rate, 5),
-                  util::Table::Num(failure_rate, 5),
-                  util::Table::Num(p50, 1), util::Table::Num(p99, 1)});
-    // Legacy cell names are unchanged; the survivable-reallocate family is
-    // distinguished from the plain one by prefix (switchover implies
-    // survivable admission already).
-    const std::string policy_tag =
-        cell.survivable && cell.policy == core::RecoveryPolicy::kReallocate
-            ? std::string("survivable_reallocate")
-            : std::string(core::ToString(cell.policy));
-    const std::string name = std::string("fault_") + policy_tag + "_mtbf" +
-                             util::Table::Num(cell.mtbf, 0);
-    records.push_back({name, r.faults_injected, 0.0, 0.0,
-                       {{"faults_per_sec", faults_per_sec},
-                        {"steady_outage_rate", steady_rate},
-                        {"failure_outage_rate", failure_rate},
-                        {"recovery_p50_us", p50},
-                        {"recovery_p99_us", p99},
-                        {"rejection_rate", r.RejectionRate()},
-                        {"tenants_recovered",
-                         static_cast<double>(r.tenants_recovered)},
-                        {"tenants_evicted",
-                         static_cast<double>(r.tenants_evicted)},
-                        {"switchovers",
-                         static_cast<double>(r.tenants_switched)},
-                        {"planned_drains",
-                         static_cast<double>(r.planned_drains)},
-                        {"tenants_migrated",
-                         static_cast<double>(r.tenants_migrated)},
-                        {"backup_share_mean", backup_share_mean},
-                        {"backup_share_max", backup_share_max},
-                        {"backup_used_fraction", backup_used_fraction}}});
+  for (const auto& family : kFamilies) {
+    for (size_t m = 0; m < scenario.sweep.values.size(); ++m) {
+      const double mtbf = scenario.sweep.values[m];
+      const sim::OnlineResult& r =
+          sim::FindCell(result, family.label, static_cast<int>(m))
+              ->online_result;
+      const sim::OutageStats steady = r.steady_outage();
+      const double steady_rate = steady.OutageRate();
+      const double failure_rate = r.failure_outage.OutageRate();
+      const double p50 = Percentile(r.recovery_latency_us, 0.50);
+      const double p99 = Percentile(r.recovery_latency_us, 0.99);
+      const double faults_per_sec =
+          r.simulated_seconds > 0 ? r.faults_injected / r.simulated_seconds
+                                  : 0.0;
+      // Reserved-vs-used protection: the share of backup bandwidth actually
+      // held (worst link, sampled at arrivals) against the fraction of
+      // affected tenants whose recovery came from a backup activation.
+      const double backup_share_mean = Mean(r.backup_share_samples);
+      const double backup_share_max = Max(r.backup_share_samples);
+      const double backup_used_fraction =
+          r.tenants_affected > 0
+              ? static_cast<double>(r.tenants_switched) / r.tenants_affected
+              : 0.0;
+      if (steady_rate > common.epsilon()) steady_ok = false;
+      table.AddRow({family.policy, family.survivable ? "on" : "off",
+                    util::Table::Num(mtbf, 0),
+                    std::to_string(r.faults_injected),
+                    std::to_string(r.tenants_recovered),
+                    std::to_string(r.tenants_switched),
+                    std::to_string(r.tenants_evicted),
+                    util::Table::Num(r.RejectionRate(), 4),
+                    util::Table::Num(steady_rate, 5),
+                    util::Table::Num(failure_rate, 5),
+                    util::Table::Num(p50, 1), util::Table::Num(p99, 1)});
+      const std::string name = std::string("fault_") + family.label +
+                               "_mtbf" + util::Table::Num(mtbf, 0);
+      records.push_back({name, r.faults_injected, 0.0, 0.0,
+                         {{"faults_per_sec", faults_per_sec},
+                          {"steady_outage_rate", steady_rate},
+                          {"failure_outage_rate", failure_rate},
+                          {"recovery_p50_us", p50},
+                          {"recovery_p99_us", p99},
+                          {"rejection_rate", r.RejectionRate()},
+                          {"tenants_recovered",
+                           static_cast<double>(r.tenants_recovered)},
+                          {"tenants_evicted",
+                           static_cast<double>(r.tenants_evicted)},
+                          {"switchovers",
+                           static_cast<double>(r.tenants_switched)},
+                          {"planned_drains",
+                           static_cast<double>(r.planned_drains)},
+                          {"tenants_migrated",
+                           static_cast<double>(r.tenants_migrated)},
+                          {"backup_share_mean", backup_share_mean},
+                          {"backup_share_max", backup_share_max},
+                          {"backup_used_fraction", backup_used_fraction}}});
+    }
   }
   bench::EmitTable("Fault recovery: failure churn vs recovery policy", table,
                    csv);
@@ -244,79 +199,39 @@ int main(int argc, char** argv) {
   // sigma = 0 jobs: every flow offers exactly mu, and since a permutation
   // pairing sends at most min(m, N-m) flows across any link cut (each
   // destination receives exactly one flow), the offered load per direction
-  // never exceeds the hose reservation.  One scripted machine failure is
+  // never exceeds the hose reservation.  One scripted machine failure
+  // (auto-targeted at a machine hosting a VM of the first admitted job) is
   // covered by the pre-reserved backup groups, so the run must finish with
   // steady-epoch outage EXACTLY 0, every affected tenant switched over,
   // and no evictions.
   bool drill_ok = true;
   {
-    std::vector<workload::JobSpec> jobs;
-    for (int i = 0; i < 8; ++i) {
-      workload::JobSpec job;
-      job.id = i + 1;
-      job.size = 4;
-      job.compute_time = 3000;
-      job.rate_mean = 100;
-      job.rate_stddev = 0;
-      job.flow_mbits = 100.0 * 2000;
-      job.arrival_time = 0;
-      jobs.push_back(job);
-    }
-    // Probe pass: admissions are deterministic, so the engine reproduces
-    // these placements — pick a machine that actually hosts a VM as the
-    // fault target.
-    topology::VertexId target = topology::kNoVertex;
-    {
-      core::NetworkManager probe(topo, common.epsilon());
-      core::AdmissionOptions options;
-      options.survivability = true;
-      probe.set_admission_options(options);
-      for (const workload::JobSpec& job : jobs) {
-        auto placed = probe.Admit(
-            workload::MakeRequest(job, workload::Abstraction::kSvc),
-            allocator);
-        if (placed && target == topology::kNoVertex) {
-          target = placed->vm_machine[0];
-        }
-      }
-    }
-    if (target == topology::kNoVertex) {
-      std::fprintf(stderr, "drill: no job admitted on an empty fabric\n");
-      drill_ok = false;
-    } else {
-      sim::SimConfig config;
-      config.abstraction = workload::Abstraction::kSvc;
-      config.epsilon = common.epsilon();
-      config.allocator = &allocator;
-      config.seed = common.seed() + 1;
-      config.max_seconds = 4000;
-      config.admission.survivability = true;
-      config.faults.policy = core::RecoveryPolicy::kSwitchover;
-      config.faults.scripted.push_back(
-          {500.0, target, core::FaultKind::kMachine, /*fail=*/true});
-      config.faults.scripted.push_back(
-          {500.0 + mttr, target, core::FaultKind::kMachine, /*fail=*/false});
-      sim::Engine engine(topo, config);
-      const sim::OnlineResult r = engine.RunOnline(jobs);
-      const double steady_rate = r.steady_outage().OutageRate();
-      drill_ok = steady_rate == 0.0 && r.tenants_switched > 0 &&
-                 r.tenants_evicted == 0 &&
-                 r.tenants_switched == r.tenants_affected;
-      std::printf(
-          "drill: machine %d failed, %lld affected, %lld switched over, "
-          "%lld evicted, steady outage %.6g (%s)\n",
-          target, static_cast<long long>(r.tenants_affected),
-          static_cast<long long>(r.tenants_switched),
-          static_cast<long long>(r.tenants_evicted), steady_rate,
-          drill_ok ? "ok" : "FAIL");
-      records.push_back(
-          {"fault_drill_switchover", r.tenants_affected, 0.0, 0.0,
-           {{"steady_outage_rate", steady_rate},
-            {"failure_outage_rate", r.failure_outage.OutageRate()},
-            {"switchovers", static_cast<double>(r.tenants_switched)},
-            {"tenants_evicted", static_cast<double>(r.tenants_evicted)},
-            {"backup_share_max", Max(r.backup_share_samples)}}});
-    }
+    sim::Scenario drill = *sim::FindScenario("fault_drill");
+    drill.seed = common.seed();
+    drill.admission.epsilon = common.epsilon();
+    drill.faults.scripted[1].time = drill.faults.scripted[0].time + mttr;
+    const sim::ScenarioRunResult drill_result =
+        bench::RunScenarioOrDie(drill, common);
+    const sim::OnlineResult& r =
+        sim::FindCell(drill_result, "default", -1)->online_result;
+    const double steady_rate = r.steady_outage().OutageRate();
+    drill_ok = steady_rate == 0.0 && r.tenants_switched > 0 &&
+               r.tenants_evicted == 0 &&
+               r.tenants_switched == r.tenants_affected;
+    std::printf(
+        "drill: backup-covered machine failed, %lld affected, %lld switched "
+        "over, %lld evicted, steady outage %.6g (%s)\n",
+        static_cast<long long>(r.tenants_affected),
+        static_cast<long long>(r.tenants_switched),
+        static_cast<long long>(r.tenants_evicted), steady_rate,
+        drill_ok ? "ok" : "FAIL");
+    records.push_back(
+        {"fault_drill_switchover", r.tenants_affected, 0.0, 0.0,
+         {{"steady_outage_rate", steady_rate},
+          {"failure_outage_rate", r.failure_outage.OutageRate()},
+          {"switchovers", static_cast<double>(r.tenants_switched)},
+          {"tenants_evicted", static_cast<double>(r.tenants_evicted)},
+          {"backup_share_max", Max(r.backup_share_samples)}}});
   }
 
   // --- Bit-identical replay across thread counts ---
@@ -326,21 +241,17 @@ int main(int argc, char** argv) {
   // decision and sample streams byte for byte.
   bool replay_ok = true;
   if (check) {
-    Cell probe_cell{core::RecoveryPolicy::kSwitchover,
-                    util::ParseDoubleList(mtbfs).front(),
-                    /*survivable=*/true};
-    auto run_with = [&](int workers, int shards) {
-      workload::WorkloadGenerator gen(common.WorkloadConfig(),
-                                      common.seed());
-      auto jobs = gen.GenerateOnline(load, topo.total_slots());
-      sim::SimConfig config = make_config(probe_cell);
-      config.admission_workers = workers;
-      config.admission_shards = shards;
-      sim::Engine engine(topo, config);
-      return engine.RunOnline(std::move(jobs));
-    };
-    const sim::OnlineResult serial = run_with(0, 0);
-    const sim::OnlineResult piped = run_with(4, 4);
+    const sim::OnlineResult& serial =
+        sim::FindCell(result, "switchover", 0)->online_result;
+    sim::Scenario piped_scenario = scenario;
+    piped_scenario.sweep.values = {scenario.sweep.values.front()};
+    piped_scenario.variants = {scenario.variants.back()};  // switchover
+    piped_scenario.admission.workers = 4;
+    piped_scenario.admission.shards = 4;
+    const sim::ScenarioRunResult piped_result =
+        bench::RunScenarioOrDie(piped_scenario, common);
+    const sim::OnlineResult& piped =
+        sim::FindCell(piped_result, "switchover", 0)->online_result;
     replay_ok =
         serial.accepted == piped.accepted &&
         serial.rejected == piped.rejected &&
@@ -358,6 +269,11 @@ int main(int argc, char** argv) {
 
   util::JsonWriter w;
   w.BeginObject();
+  w.Key("scenario");
+  w.BeginObject();
+  w.Member("name", scenario.name);
+  w.Member("config_hash", sim::ScenarioConfigHash(scenario));
+  w.EndObject();
   w.Member("hardware_threads", util::ThreadPool::HardwareThreads());
   w.Member("threads", common.threads());
   w.Member("seed", static_cast<int64_t>(common.seed()));

@@ -4,9 +4,10 @@
 //
 // Paper shape: the two curves are nearly identical — the occupancy
 // optimization costs nothing in admission ability.
+//
+// Thin shim over the "fig10" registry scenario (sim/scenario.h).
 #include "bench_common.h"
 
-#include "svc/homogeneous_search.h"
 #include "util/strings.h"
 
 int main(int argc, char** argv) {
@@ -20,36 +21,23 @@ int main(int argc, char** argv) {
   flags.Parse(argc, argv);
   bench::ObsScope obs(common);
 
-  const topology::Topology topo =
-      topology::BuildThreeTier(common.TopologyConfig());
-  const core::HomogeneousDpAllocator svc_dp;
-  const core::TivcAdaptedAllocator tivc;
-
-  const std::vector<double> load_list = util::ParseDoubleList(loads);
-  std::vector<std::function<double()>> cells;
-  for (const double& load : load_list) {
-    auto rejection = [&](const core::Allocator& alloc) {
-      return [&alloc, &load, &common, &topo] {
-        workload::WorkloadGenerator gen(common.WorkloadConfig(),
-                                        common.seed());
-        auto jobs = gen.GenerateOnline(load, topo.total_slots());
-        return 100.0 * bench::RunOnline(topo, std::move(jobs),
-                                        workload::Abstraction::kSvc, alloc,
-                                        common.epsilon(), common.seed() + 1)
-                           .RejectionRate();
-      };
-    };
-    cells.push_back(rejection(svc_dp));
-    cells.push_back(rejection(tivc));
-  }
-  const std::vector<double> rejections =
-      bench::RunCells(common.threads(), std::move(cells));
+  sim::Scenario scenario = *sim::FindScenario("fig10");
+  bench::ApplyCommonOverrides(common, &scenario);
+  scenario.admission.epsilon = common.epsilon();
+  scenario.sweep.values = util::ParseDoubleList(loads);
+  const sim::ScenarioRunResult result =
+      bench::RunScenarioOrDie(scenario, common);
 
   util::Table table({"load", "SVC rejection %", "TIVC rejection %"});
-  for (size_t p = 0; p < load_list.size(); ++p) {
-    table.AddRow({util::Table::Num(load_list[p], 2),
-                  util::Table::Num(rejections[2 * p], 2),
-                  util::Table::Num(rejections[2 * p + 1], 2)});
+  for (size_t p = 0; p < scenario.sweep.values.size(); ++p) {
+    const int axis = static_cast<int>(p);
+    auto rejection = [&](const char* label) {
+      return 100.0 *
+             sim::FindCell(result, label, axis)->online_result.RejectionRate();
+    };
+    table.AddRow({util::Table::Num(scenario.sweep.values[p], 2),
+                  util::Table::Num(rejection("svc-dp"), 2),
+                  util::Table::Num(rejection("tivc-adapted"), 2)});
   }
   bench::EmitTable(
       "Fig. 10: rejection rate vs load, SVC DP vs adapted TIVC", table, csv);

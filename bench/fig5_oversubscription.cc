@@ -5,9 +5,11 @@
 // Paper shape: mean-VC lowest (most concurrency), percentile-VC highest
 // (exclusive 95th-percentile reservations), SVC in between with smaller
 // epsilon costing more; all grow with oversubscription.
+//
+// Thin shim over the "fig5" registry scenario (sim/scenario.h): the grid —
+// topology, workload, sweep axis, variant columns — lives in the registry;
+// this binary only applies command-line overrides and formats the table.
 #include "bench_common.h"
-
-#include <deque>
 
 #include "util/strings.h"
 
@@ -22,53 +24,24 @@ int main(int argc, char** argv) {
   flags.Parse(argc, argv);
   bench::ObsScope obs(common);
 
-  // One topology + workload per sweep point, shared read-only by the four
-  // abstraction cells; every cell owns its Engine, so the grid fans out
-  // across the sweep runner with output identical to a serial run.
-  struct Point {
-    double oversub;
-    topology::Topology topo;
-    std::vector<workload::JobSpec> jobs;
-  };
-  std::deque<Point> points;
-  for (double oversub : util::ParseDoubleList(oversubs)) {
-    topology::ThreeTierConfig tconfig = common.TopologyConfig();
-    tconfig.oversubscription = oversub;
-    workload::WorkloadGenerator gen(common.WorkloadConfig(), common.seed());
-    points.push_back(
-        {oversub, topology::BuildThreeTier(tconfig), gen.GenerateBatch()});
-  }
-
-  const struct {
-    workload::Abstraction abstraction;
-    double epsilon;
-  } kConfigs[] = {{workload::Abstraction::kMeanVc, 0.05},
-                  {workload::Abstraction::kPercentileVc, 0.05},
-                  {workload::Abstraction::kSvc, 0.05},
-                  {workload::Abstraction::kSvc, 0.02}};
-
-  std::vector<std::function<double()>> cells;
-  for (const Point& point : points) {
-    for (const auto& config : kConfigs) {
-      cells.push_back([&point, &config, &common] {
-        return bench::RunBatch(point.topo, point.jobs, config.abstraction,
-                               bench::AllocatorFor(config.abstraction),
-                               config.epsilon, common.seed() + 1)
-            .total_completion_time;
-      });
-    }
-  }
-  const std::vector<double> makespans =
-      bench::RunCells(common.threads(), std::move(cells));
+  sim::Scenario scenario = *sim::FindScenario("fig5");
+  bench::ApplyCommonOverrides(common, &scenario);
+  scenario.sweep.values = util::ParseDoubleList(oversubs);
+  const sim::ScenarioRunResult result =
+      bench::RunScenarioOrDie(scenario, common);
 
   util::Table table({"oversub", "mean-VC", "percentile-VC", "SVC(e=0.05)",
                      "SVC(e=0.02)"});
-  for (size_t p = 0; p < points.size(); ++p) {
-    table.AddRow({util::Table::Num(points[p].oversub, 0),
-                  util::Table::Num(makespans[4 * p + 0], 0),
-                  util::Table::Num(makespans[4 * p + 1], 0),
-                  util::Table::Num(makespans[4 * p + 2], 0),
-                  util::Table::Num(makespans[4 * p + 3], 0)});
+  for (size_t p = 0; p < scenario.sweep.values.size(); ++p) {
+    const int axis = static_cast<int>(p);
+    auto makespan = [&](const char* label) {
+      return sim::FindCell(result, label, axis)->batch.total_completion_time;
+    };
+    table.AddRow({util::Table::Num(scenario.sweep.values[p], 0),
+                  util::Table::Num(makespan("mean-VC"), 0),
+                  util::Table::Num(makespan("percentile-VC"), 0),
+                  util::Table::Num(makespan("SVC(e=0.05)"), 0),
+                  util::Table::Num(makespan("SVC(e=0.02)"), 0)});
   }
   bench::EmitTable("Fig. 5: total completion time (s) of batched jobs",
                    table, csv);

@@ -4,9 +4,9 @@
 // Paper shape: percentile-VC flat and lowest; mean-VC worst, growing with
 // rho; SVC between them, closer to percentile-VC; smaller epsilon lowers
 // SVC's running time.
+//
+// Thin shim over the "fig6" registry scenario (sim/scenario.h).
 #include "bench_common.h"
-
-#include <deque>
 
 #include "util/strings.h"
 
@@ -22,52 +22,24 @@ int main(int argc, char** argv) {
   flags.Parse(argc, argv);
   bench::ObsScope obs(common);
 
-  const topology::Topology topo =
-      topology::BuildThreeTier(common.TopologyConfig());
-
-  // One workload per rho, shared read-only by the four abstraction cells.
-  struct Point {
-    double rho;
-    std::vector<workload::JobSpec> jobs;
-  };
-  std::deque<Point> points;
-  for (double rho : util::ParseDoubleList(rhos)) {
-    workload::WorkloadConfig wconfig = common.WorkloadConfig();
-    wconfig.fixed_deviation = rho;
-    workload::WorkloadGenerator gen(wconfig, common.seed());
-    points.push_back({rho, gen.GenerateBatch()});
-  }
-
-  const struct {
-    workload::Abstraction abstraction;
-    double epsilon;
-  } kConfigs[] = {{workload::Abstraction::kMeanVc, 0.05},
-                  {workload::Abstraction::kPercentileVc, 0.05},
-                  {workload::Abstraction::kSvc, 0.05},
-                  {workload::Abstraction::kSvc, 0.02}};
-
-  std::vector<std::function<double()>> cells;
-  for (const Point& point : points) {
-    for (const auto& config : kConfigs) {
-      cells.push_back([&point, &config, &common, &topo] {
-        return bench::RunBatch(topo, point.jobs, config.abstraction,
-                               bench::AllocatorFor(config.abstraction),
-                               config.epsilon, common.seed() + 1)
-            .MeanRunningTime();
-      });
-    }
-  }
-  const std::vector<double> running =
-      bench::RunCells(common.threads(), std::move(cells));
+  sim::Scenario scenario = *sim::FindScenario("fig6");
+  bench::ApplyCommonOverrides(common, &scenario);
+  scenario.sweep.values = util::ParseDoubleList(rhos);
+  const sim::ScenarioRunResult result =
+      bench::RunScenarioOrDie(scenario, common);
 
   util::Table table({"rho", "mean-VC", "percentile-VC", "SVC(e=0.05)",
                      "SVC(e=0.02)"});
-  for (size_t p = 0; p < points.size(); ++p) {
-    table.AddRow({util::Table::Num(points[p].rho, 1),
-                  util::Table::Num(running[4 * p + 0], 1),
-                  util::Table::Num(running[4 * p + 1], 1),
-                  util::Table::Num(running[4 * p + 2], 1),
-                  util::Table::Num(running[4 * p + 3], 1)});
+  for (size_t p = 0; p < scenario.sweep.values.size(); ++p) {
+    const int axis = static_cast<int>(p);
+    auto running = [&](const char* label) {
+      return sim::FindCell(result, label, axis)->batch.MeanRunningTime();
+    };
+    table.AddRow({util::Table::Num(scenario.sweep.values[p], 1),
+                  util::Table::Num(running("mean-VC"), 1),
+                  util::Table::Num(running("percentile-VC"), 1),
+                  util::Table::Num(running("SVC(e=0.05)"), 1),
+                  util::Table::Num(running("SVC(e=0.02)"), 1)});
   }
   bench::EmitTable(
       "Fig. 6: average running time per job (s) vs deviation coefficient",

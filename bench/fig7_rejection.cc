@@ -3,6 +3,10 @@
 //
 // Paper shape: mean-VC < SVC(0.05) < SVC(0.02) < percentile-VC at every
 // load; all near zero at 20% load.
+//
+// Thin shim over the "fig7" registry scenario (sim/scenario.h); the cell
+// grid runs in the same axis-major order as the bespoke bench did, so the
+// decision-provenance stream is unchanged.
 #include "bench_common.h"
 
 #include "util/strings.h"
@@ -17,46 +21,25 @@ int main(int argc, char** argv) {
   flags.Parse(argc, argv);
   bench::ObsScope obs(common);
 
-  const topology::Topology topo =
-      topology::BuildThreeTier(common.TopologyConfig());
-
-  const std::vector<double> load_list = util::ParseDoubleList(loads);
-  const struct {
-    workload::Abstraction abstraction;
-    double epsilon;
-  } kConfigs[] = {{workload::Abstraction::kMeanVc, 0.05},
-                  {workload::Abstraction::kPercentileVc, 0.05},
-                  {workload::Abstraction::kSvc, 0.05},
-                  {workload::Abstraction::kSvc, 0.02}};
-
-  // Every cell regenerates its own workload from the fixed seed, so the
-  // grid is embarrassingly parallel with order-independent output.
-  std::vector<std::function<double()>> cells;
-  for (const double& load : load_list) {
-    for (const auto& config : kConfigs) {
-      cells.push_back([&load, &config, &common, &topo] {
-        workload::WorkloadGenerator gen(common.WorkloadConfig(),
-                                        common.seed());
-        auto jobs = gen.GenerateOnline(load, topo.total_slots());
-        const auto result = bench::RunOnline(
-            topo, std::move(jobs), config.abstraction,
-            bench::AllocatorFor(config.abstraction), config.epsilon,
-            common.seed() + 1);
-        return 100.0 * result.RejectionRate();
-      });
-    }
-  }
-  const std::vector<double> rejection =
-      bench::RunCells(common.threads(), std::move(cells));
+  sim::Scenario scenario = *sim::FindScenario("fig7");
+  bench::ApplyCommonOverrides(common, &scenario);
+  scenario.sweep.values = util::ParseDoubleList(loads);
+  const sim::ScenarioRunResult result =
+      bench::RunScenarioOrDie(scenario, common);
 
   util::Table table({"load", "mean-VC", "percentile-VC", "SVC(e=0.05)",
                      "SVC(e=0.02)"});
-  for (size_t p = 0; p < load_list.size(); ++p) {
-    table.AddRow({util::Table::Num(load_list[p], 2),
-                  util::Table::Num(rejection[4 * p + 0], 2),
-                  util::Table::Num(rejection[4 * p + 1], 2),
-                  util::Table::Num(rejection[4 * p + 2], 2),
-                  util::Table::Num(rejection[4 * p + 3], 2)});
+  for (size_t p = 0; p < scenario.sweep.values.size(); ++p) {
+    const int axis = static_cast<int>(p);
+    auto rejection = [&](const char* label) {
+      return 100.0 *
+             sim::FindCell(result, label, axis)->online_result.RejectionRate();
+    };
+    table.AddRow({util::Table::Num(scenario.sweep.values[p], 2),
+                  util::Table::Num(rejection("mean-VC"), 2),
+                  util::Table::Num(rejection("percentile-VC"), 2),
+                  util::Table::Num(rejection("SVC(e=0.05)"), 2),
+                  util::Table::Num(rejection("SVC(e=0.02)"), 2)});
   }
   bench::EmitTable("Fig. 7: rejected requests (%) vs load", table, csv);
   return 0;

@@ -2,9 +2,11 @@
 // SVC(eps=0.05) vs percentile-VC.
 //
 // Paper shape: SVC consistently ~10% above percentile-VC.
+//
+// Thin shim over the "fig8" registry scenario (sim/scenario.h).
 #include "bench_common.h"
 
-#include "stats/moments.h"
+#include <algorithm>
 
 int main(int argc, char** argv) {
   using namespace svc;
@@ -18,23 +20,16 @@ int main(int argc, char** argv) {
   flags.Parse(argc, argv);
   bench::ObsScope obs(common);
 
-  const topology::Topology topo =
-      topology::BuildThreeTier(common.TopologyConfig());
-  auto run = [&](workload::Abstraction abstraction) {
-    return [abstraction, &common, &topo, &load] {
-      workload::WorkloadGenerator gen(common.WorkloadConfig(), common.seed());
-      auto jobs = gen.GenerateOnline(load, topo.total_slots());
-      return bench::RunOnline(topo, std::move(jobs), abstraction,
-                              bench::AllocatorFor(abstraction),
-                              common.epsilon(), common.seed() + 1);
-    };
-  };
-  sim::SweepRunner runner(common.threads());
-  auto results = runner.Run<sim::OnlineResult>(
-      {run(workload::Abstraction::kSvc),
-       run(workload::Abstraction::kPercentileVc)});
-  const auto& svc_result = results[0];
-  const auto& pct_result = results[1];
+  sim::Scenario scenario = *sim::FindScenario("fig8");
+  bench::ApplyCommonOverrides(common, &scenario);
+  scenario.admission.epsilon = common.epsilon();
+  scenario.sweep.values = {load};
+  const sim::ScenarioRunResult result =
+      bench::RunScenarioOrDie(scenario, common);
+  const sim::OnlineResult& svc_result =
+      sim::FindCell(result, "SVC", 0)->online_result;
+  const sim::OnlineResult& pct_result =
+      sim::FindCell(result, "percentile-VC", 0)->online_result;
 
   // Time series (downsampled to `series` points over the arrival sequence).
   util::Table table({"arrival#", "SVC(e=0.05)", "percentile-VC"});

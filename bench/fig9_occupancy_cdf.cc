@@ -4,10 +4,11 @@
 //
 // Paper shape: the SVC allocator's distribution is shifted left
 // (stochastically lower occupancy) at both loads.
+//
+// Thin shim over the "fig9" registry scenario (sim/scenario.h).
 #include "bench_common.h"
 
 #include "stats/ecdf.h"
-#include "svc/homogeneous_search.h"
 #include "util/strings.h"
 
 int main(int argc, char** argv) {
@@ -20,42 +21,27 @@ int main(int argc, char** argv) {
   flags.Parse(argc, argv);
   bench::ObsScope obs(common);
 
-  const topology::Topology topo =
-      topology::BuildThreeTier(common.TopologyConfig());
-  const core::HomogeneousDpAllocator svc_dp;
-  const core::TivcAdaptedAllocator tivc;
+  sim::Scenario scenario = *sim::FindScenario("fig9");
+  bench::ApplyCommonOverrides(common, &scenario);
+  scenario.admission.epsilon = common.epsilon();
+  scenario.sweep.values = util::ParseDoubleList(loads);
+  sim::ScenarioRunResult result = bench::RunScenarioOrDie(scenario, common);
 
-  // Cells: (load x {svc, tivc}) engines run across the sweep runner; the
-  // per-cell CDFs are assembled in index order afterwards.
-  const std::vector<double> load_list = util::ParseDoubleList(loads);
-  auto samples = [&](const core::Allocator& alloc, const double& load) {
-    return [&alloc, &load, &common, &topo] {
-      workload::WorkloadGenerator gen(common.WorkloadConfig(), common.seed());
-      auto jobs = gen.GenerateOnline(load, topo.total_slots());
-      auto result =
-          bench::RunOnline(topo, std::move(jobs), workload::Abstraction::kSvc,
-                           alloc, common.epsilon(), common.seed() + 1);
-      return stats::EmpiricalCdf(std::move(result.max_occupancy_samples));
-    };
-  };
-  std::vector<std::function<stats::EmpiricalCdf()>> cells;
-  for (const double& load : load_list) {
-    cells.push_back(samples(svc_dp, load));
-    cells.push_back(samples(tivc, load));
-  }
-  sim::SweepRunner runner(common.threads());
-  const auto cdfs = runner.Run(std::move(cells));
-
-  for (size_t p = 0; p < load_list.size(); ++p) {
-    const double load = load_list[p];
-    const auto& svc_cdf = cdfs[2 * p];
-    const auto& tivc_cdf = cdfs[2 * p + 1];
+  for (size_t p = 0; p < scenario.sweep.values.size(); ++p) {
+    const int axis = static_cast<int>(p);
+    const double load = scenario.sweep.values[p];
+    const stats::EmpiricalCdf svc_cdf(std::move(
+        sim::FindCell(result, "svc-dp", axis)->online_result
+            .max_occupancy_samples));
+    const stats::EmpiricalCdf tivc_cdf(std::move(
+        sim::FindCell(result, "tivc-adapted", axis)->online_result
+            .max_occupancy_samples));
     util::Table table({"cdf", "SVC max-occupancy", "TIVC max-occupancy"});
-    for (double p : {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9,
+    for (double q : {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9,
                      0.95, 0.99}) {
-      table.AddRow({util::Table::Num(p, 2),
-                    util::Table::Num(svc_cdf.Percentile(p), 4),
-                    util::Table::Num(tivc_cdf.Percentile(p), 4)});
+      table.AddRow({util::Table::Num(q, 2),
+                    util::Table::Num(svc_cdf.Percentile(q), 4),
+                    util::Table::Num(tivc_cdf.Percentile(q), 4)});
     }
     bench::EmitTable("Fig. 9: max bandwidth-occupancy ratio quantiles, load " +
                          util::Table::Num(100 * load, 0) + "%",

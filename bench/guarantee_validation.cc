@@ -11,6 +11,10 @@
 //   * mean-VC / percentile-VC: zero outages by construction (rate limiting
 //     caps every source at its reservation and reservations never exceed
 //     capacity).
+//
+// Thin shim over the "guarantee_validation" registry scenario
+// (sim/scenario.h): SVC is swept over epsilon, the deterministic baselines
+// run as `once` variants.
 #include "bench_common.h"
 
 #include "util/strings.h"
@@ -27,37 +31,30 @@ int main(int argc, char** argv) {
   flags.Parse(argc, argv);
   bench::ObsScope obs(common);
 
-  const topology::Topology topo =
-      topology::BuildThreeTier(common.TopologyConfig());
+  sim::Scenario scenario = *sim::FindScenario("guarantee_validation");
+  bench::ApplyCommonOverrides(common, &scenario);
+  scenario.arrivals.load = load;
+  scenario.sweep.values = util::ParseDoubleList(epsilons);
+  const sim::ScenarioRunResult result =
+      bench::RunScenarioOrDie(scenario, common);
 
   util::Table table({"abstraction", "epsilon", "measured outage rate",
                      "busy link-seconds", "rejection %"});
-  for (double epsilon : util::ParseDoubleList(epsilons)) {
-    workload::WorkloadGenerator gen(common.WorkloadConfig(), common.seed());
-    auto jobs = gen.GenerateOnline(load, topo.total_slots());
-    const auto result = bench::RunOnline(
-        topo, std::move(jobs), workload::Abstraction::kSvc,
-        bench::AllocatorFor(workload::Abstraction::kSvc), epsilon,
-        common.seed() + 1);
-    table.AddRow({"SVC", util::Table::Num(epsilon, 2),
-                  util::Table::Num(result.outage.OutageRate(), 5),
-                  std::to_string(result.outage.busy_link_seconds),
-                  util::Table::Num(100 * result.RejectionRate(), 2)});
+  auto add_row = [&](const std::string& name, const std::string& epsilon,
+                     const sim::OnlineResult& cell) {
+    table.AddRow({name, epsilon, util::Table::Num(cell.outage.OutageRate(), 5),
+                  std::to_string(cell.outage.busy_link_seconds),
+                  util::Table::Num(100 * cell.RejectionRate(), 2)});
+  };
+  for (size_t p = 0; p < scenario.sweep.values.size(); ++p) {
+    add_row("SVC", util::Table::Num(scenario.sweep.values[p], 2),
+            sim::FindCell(result, "SVC", static_cast<int>(p))->online_result);
   }
   // Deterministic baselines: rate limiting makes outages impossible.
-  for (auto abstraction : {workload::Abstraction::kMeanVc,
-                           workload::Abstraction::kPercentileVc}) {
-    workload::WorkloadGenerator gen(common.WorkloadConfig(), common.seed());
-    auto jobs = gen.GenerateOnline(load, topo.total_slots());
-    const auto result =
-        bench::RunOnline(topo, std::move(jobs), abstraction,
-                         bench::AllocatorFor(abstraction), 0.05,
-                         common.seed() + 1);
-    table.AddRow({workload::ToString(abstraction), "-",
-                  util::Table::Num(result.outage.OutageRate(), 5),
-                  std::to_string(result.outage.busy_link_seconds),
-                  util::Table::Num(100 * result.RejectionRate(), 2)});
-  }
+  add_row("mean-VC", "-",
+          sim::FindCell(result, "mean-VC", -1)->online_result);
+  add_row("percentile-VC", "-",
+          sim::FindCell(result, "percentile-VC", -1)->online_result);
   bench::EmitTable(
       "Guarantee validation: measured outage probability vs epsilon", table,
       csv);

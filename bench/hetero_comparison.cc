@@ -6,15 +6,19 @@
 // occupancy overhead and similar rejection rates compared with the
 // first-fit algorithm."
 //
-// The substring heuristic is O(|V| * Delta * N^4), so this bench defaults
-// to a smaller fabric (250 machines) and smaller jobs (mean 10 VMs) than
-// the homogeneous benches; the comparison is allocation-level, not scale-
-// sensitive (see DESIGN.md).
+// The substring heuristic is O(|V| * Delta * N^4), so the registry
+// scenario defaults to a smaller fabric (250 machines) and smaller jobs
+// (mean 10 VMs) than the homogeneous benches; the comparison is
+// allocation-level, not scale-sensitive (see DESIGN.md).
+//
+// Thin shim over the "hetero_comparison" registry scenario
+// (sim/scenario.h); explicit --racks / --mean-job-size / --jobs overrides
+// still win over the scaled-down registry defaults.
 #include "bench_common.h"
 
+#include <algorithm>
+
 #include "stats/ecdf.h"
-#include "svc/first_fit.h"
-#include "svc/hetero_heuristic.h"
 #include "util/strings.h"
 
 int main(int argc, char** argv) {
@@ -28,44 +32,41 @@ int main(int argc, char** argv) {
   flags.Parse(argc, argv);
   bench::ObsScope obs(common);
 
-  // Scaled-down defaults unless the user overrides on the command line.
-  topology::ThreeTierConfig tconfig = common.TopologyConfig();
-  if (tconfig.racks == 50 && tconfig.machines_per_rack == 20) {
-    tconfig.racks = 25;
-    tconfig.machines_per_rack = 10;
-    tconfig.racks_per_agg = 5;
+  sim::Scenario scenario = *sim::FindScenario("hetero_comparison");
+  bench::ApplyCommonOverrides(common, &scenario);
+  // Keep the registry's scaled-down fabric/jobs unless overridden.
+  if (scenario.topology.racks == 50 &&
+      scenario.topology.machines_per_rack == 20) {
+    scenario.topology.racks = 25;
+    scenario.topology.machines_per_rack = 10;
+    scenario.topology.racks_per_agg = 5;
   }
-  const topology::Topology topo = topology::BuildThreeTier(tconfig);
-
-  workload::WorkloadConfig wconfig = common.WorkloadConfig();
-  wconfig.heterogeneous = true;
-  if (wconfig.mean_job_size == 49) {
-    wconfig.mean_job_size = 10;
-    wconfig.max_job_size = 30;
+  scenario.workload.heterogeneous = true;
+  if (scenario.workload.mean_job_size == 49) {
+    scenario.workload.mean_job_size = 10;
+    scenario.workload.max_job_size = 30;
   }
-  if (wconfig.num_jobs > 200) wconfig.num_jobs = 200;
+  scenario.workload.num_jobs = std::min(scenario.workload.num_jobs, 200);
+  scenario.admission.epsilon = common.epsilon();
+  scenario.sweep.values = util::ParseDoubleList(loads);
+  const sim::ScenarioRunResult result =
+      bench::RunScenarioOrDie(scenario, common);
 
-  const core::HeteroHeuristicAllocator heuristic;
-  const core::FirstFitAllocator first_fit;
-
-  for (double load : util::ParseDoubleList(loads)) {
-    auto run = [&](const core::Allocator& alloc) {
-      workload::WorkloadGenerator gen(wconfig, common.seed());
-      auto jobs = gen.GenerateOnline(load, topo.total_slots());
-      return bench::RunOnline(topo, std::move(jobs),
-                              workload::Abstraction::kSvc, alloc,
-                              common.epsilon(), common.seed() + 1);
-    };
-    const auto h = run(heuristic);
-    const auto f = run(first_fit);
+  for (size_t p = 0; p < scenario.sweep.values.size(); ++p) {
+    const int axis = static_cast<int>(p);
+    const double load = scenario.sweep.values[p];
+    const sim::OnlineResult& h =
+        sim::FindCell(result, "hetero-heuristic", axis)->online_result;
+    const sim::OnlineResult& f =
+        sim::FindCell(result, "first-fit", axis)->online_result;
     const stats::EmpiricalCdf h_cdf(h.max_occupancy_samples);
     const stats::EmpiricalCdf f_cdf(f.max_occupancy_samples);
 
     util::Table table({"cdf", "SVC-heuristic max-occ", "first-fit max-occ"});
-    for (double p : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95}) {
-      table.AddRow({util::Table::Num(p, 2),
-                    util::Table::Num(h_cdf.Percentile(p), 4),
-                    util::Table::Num(f_cdf.Percentile(p), 4)});
+    for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95}) {
+      table.AddRow({util::Table::Num(q, 2),
+                    util::Table::Num(h_cdf.Percentile(q), 4),
+                    util::Table::Num(f_cdf.Percentile(q), 4)});
     }
     bench::EmitTable(
         "Hetero: max occupancy quantiles, load " +

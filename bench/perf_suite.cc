@@ -206,6 +206,16 @@ int main(int argc, char** argv) {
   const util::CpuTopology host_topo = util::CpuTopology::Detect();
   bench::ObsScope obs(common);
 
+  // Measurement-workload identity for the snapshot header: the fabric,
+  // workload, seed, and epsilon folded into one scenario config hash, so
+  // tools/bench_diff.py can warn when two snapshots measured different
+  // configurations rather than different code.
+  sim::Scenario perf_scenario;
+  perf_scenario.name = "perf_suite";
+  perf_scenario.description = "perf_suite measurement workload";
+  bench::ApplyCommonOverrides(common, &perf_scenario);
+  perf_scenario.admission.epsilon = common.epsilon();
+
   const topology::Topology topo =
       topology::BuildThreeTier(common.TopologyConfig());
 
@@ -780,6 +790,11 @@ int main(int argc, char** argv) {
   util::JsonWriter w;
   w.BeginObject();
   w.Member("git_sha", GitSha());
+  w.Key("scenario");
+  w.BeginObject();
+  w.Member("name", perf_scenario.name);
+  w.Member("config_hash", sim::ScenarioConfigHash(perf_scenario));
+  w.EndObject();
   w.Member("hardware_threads", util::ThreadPool::HardwareThreads());
   w.Member("threads", common.threads());
   // Topology header: bench_diff warns when two snapshots were taken on

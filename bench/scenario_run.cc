@@ -1,0 +1,239 @@
+// scenario_run: the generic driver for the declarative scenario layer
+// (sim/scenario.h).  Every experiment the figure benches hard-code is a
+// named registry entry; this binary runs any of them — or a scenario JSON
+// file — with the same observability plumbing the benches get from
+// ObsScope, and writes a machine-readable BENCH_SCENARIO.json summary
+// keyed by the scenario's config hash.
+//
+//   scenario_run --list                      # registry inventory
+//   scenario_run --scenario fig7             # run one registry entry
+//   scenario_run --scenario fig7 --print     # dump its JSON (after
+//                                            # overrides) and exit
+//   scenario_run --file my_experiment.json   # run a scenario from disk
+//   scenario_run --all --smoke               # CI: every entry, shrunk
+//
+// --jobs / --seed / --max-seconds override the scenario's declared values
+// when set; --smoke shrinks every selected scenario (job count, sweep
+// width, horizon) so the full registry sweeps in CI time.  Overrides are
+// applied BEFORE hashing, so the emitted config_hash identifies the
+// configuration that actually ran.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "obs/metrics.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace svc;
+
+// Shrinks a scenario to CI scale while keeping every variant (and so every
+// code path) alive: fewer jobs, at most two sweep points, a shorter
+// simulated horizon.
+void ApplySmoke(sim::Scenario* s) {
+  s->workload.num_jobs = std::min<int64_t>(s->workload.num_jobs, 48);
+  if (s->fixed_jobs.count > 0) {
+    s->fixed_jobs.count = std::min<int64_t>(s->fixed_jobs.count, 8);
+  }
+  if (s->sweep.values.size() > 2) s->sweep.values.resize(2);
+  s->max_seconds = std::min(s->max_seconds, 60000.0);
+}
+
+bool ReadWholeFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::FlagSet flags(
+      "scenario_run: run a registered or on-disk scenario "
+      "(writes BENCH_SCENARIO.json)");
+  std::string& scenario_name =
+      flags.String("scenario", "", "registry scenario name (see --list)");
+  std::string& file = flags.String("file", "", "scenario JSON file to run");
+  bool& list = flags.Bool("list", false, "list registered scenarios and exit");
+  bool& print = flags.Bool(
+      "print", false,
+      "print the selected scenario's JSON (after overrides) and exit");
+  bool& all = flags.Bool("all", false, "run every registered scenario");
+  bool& smoke = flags.Bool(
+      "smoke", false,
+      "shrink each scenario (jobs, sweep width, horizon) to CI scale");
+  int64_t& jobs =
+      flags.Int("jobs", 0, "override the scenario job count (0 = declared)");
+  int64_t& seed =
+      flags.Int("seed", -1, "override the scenario seed (-1 = declared)");
+  double& max_seconds = flags.Double(
+      "max-seconds", 0, "override the simulation horizon (0 = declared)");
+  int64_t& threads =
+      flags.Int("threads", 0,
+                "sweep worker threads (0 = all hardware threads, 1 = serial)");
+  std::string& out =
+      flags.String("out", "BENCH_SCENARIO.json", "summary path ('' = skip)");
+  bool& csv = flags.Bool("csv", false, "also print CSV");
+  std::string& metrics_out = flags.String(
+      "metrics-out", "", "write engine time-series + metrics JSONL here");
+  std::string& trace_out =
+      flags.String("trace-out", "", "write Chrome trace-event JSON here");
+  double& series_period = flags.Double(
+      "series-period", 100.0, "time-series sample period (simulated seconds)");
+  std::string& decisions_out = flags.String(
+      "decisions-out", "", "write admission decision provenance JSONL here");
+  std::string& flight_dir = flags.String(
+      "flight-dir", "", "arm the flight recorder; postmortems dump here");
+  double& flight_admit_slo_us = flags.Double(
+      "flight-admit-slo-us", 0, "admit latency SLO for the flight recorder");
+  double& flight_reject_rate = flags.Double(
+      "flight-reject-rate", 0, "rejection-rate SLO for the flight recorder");
+  flags.Parse(argc, argv);
+
+  if (list) {
+    for (const std::string& name : sim::RegisteredScenarioNames()) {
+      const sim::Scenario* s = sim::FindScenario(name);
+      std::printf("%-22s %s\n", name.c_str(), s->description.c_str());
+    }
+    return 0;
+  }
+
+  // Select the scenarios to run.
+  std::vector<sim::Scenario> selected;
+  const int selectors =
+      (all ? 1 : 0) + (!scenario_name.empty() ? 1 : 0) + (!file.empty() ? 1 : 0);
+  if (selectors != 1) {
+    std::fprintf(stderr,
+                 "pass exactly one of --scenario <name>, --file <path>, "
+                 "--all (see --list)\n");
+    return 2;
+  }
+  if (all) {
+    for (const std::string& name : sim::RegisteredScenarioNames()) {
+      selected.push_back(*sim::FindScenario(name));
+    }
+  } else if (!scenario_name.empty()) {
+    const sim::Scenario* s = sim::FindScenario(scenario_name);
+    if (s == nullptr) {
+      std::fprintf(stderr, "unknown scenario '%s'; --list shows the registry\n",
+                   scenario_name.c_str());
+      return 2;
+    }
+    selected.push_back(*s);
+  } else {
+    std::string text;
+    if (!ReadWholeFile(file, &text)) {
+      std::fprintf(stderr, "cannot read %s\n", file.c_str());
+      return 2;
+    }
+    util::Result<sim::Scenario> parsed = sim::ParseScenario(text);
+    if (!parsed) {
+      std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                   parsed.status().ToText().c_str());
+      return 2;
+    }
+    selected.push_back(std::move(*parsed));
+  }
+
+  for (sim::Scenario& s : selected) {
+    if (jobs > 0) s.workload.num_jobs = jobs;
+    if (seed >= 0) s.seed = static_cast<uint64_t>(seed);
+    if (max_seconds > 0) s.max_seconds = max_seconds;
+    if (smoke) ApplySmoke(&s);
+  }
+
+  if (print) {
+    for (const sim::Scenario& s : selected) {
+      std::fputs(sim::SerializeScenario(s).c_str(), stdout);
+    }
+    return 0;
+  }
+
+  bench::ObsOptions obs_options;
+  obs_options.metrics_out = metrics_out;
+  obs_options.trace_out = trace_out;
+  obs_options.series_period = series_period;
+  obs_options.decisions_out = decisions_out;
+  obs_options.flight_dir = flight_dir;
+  obs_options.flight_admit_slo_us = flight_admit_slo_us;
+  obs_options.flight_reject_rate = flight_reject_rate;
+  bench::ObsScope obs(obs_options);
+
+  util::JsonWriter w;
+  w.BeginObject();
+  w.Key("scenarios");
+  w.BeginArray();
+  for (const sim::Scenario& s : selected) {
+    const sim::ScenarioRunResult result =
+        bench::RunScenarioOrDie(s, static_cast<int>(threads));
+    util::Table table({"cell", "axis", "mode", "rejection %",
+                       "mean running (s)", "outage rate"});
+    w.BeginObject();
+    w.Member("name", s.name);
+    w.Member("config_hash", sim::ScenarioConfigHash(s));
+    w.Key("cells");
+    w.BeginArray();
+    for (const sim::ScenarioCell& cell : result.cells) {
+      const std::string axis =
+          cell.axis_index >= 0 ? util::Table::Num(cell.axis_value, 2) : "-";
+      w.BeginObject();
+      w.Member("label", cell.label);
+      w.Member("axis_index", static_cast<int64_t>(cell.axis_index));
+      w.Member("axis_value", cell.axis_value);
+      w.Member("mode", cell.online ? "online" : "batch");
+      if (cell.online) {
+        const sim::OnlineResult& r = cell.online_result;
+        w.Member("accepted", r.accepted);
+        w.Member("rejected", r.rejected);
+        w.Member("rejection_rate", r.RejectionRate());
+        w.Member("outage_rate", r.outage.OutageRate());
+        w.Member("steady_outage_rate", r.steady_outage().OutageRate());
+        w.Member("mean_running_seconds", r.MeanRunningTime());
+        w.Member("faults_injected", r.faults_injected);
+        table.AddRow({cell.label, axis, "online",
+                      util::Table::Num(100 * r.RejectionRate(), 2),
+                      util::Table::Num(r.MeanRunningTime(), 1),
+                      util::Table::Num(r.outage.OutageRate(), 5)});
+      } else {
+        const sim::BatchResult& r = cell.batch;
+        w.Member("makespan_seconds", r.total_completion_time);
+        w.Member("outage_rate", r.outage.OutageRate());
+        w.Member("mean_running_seconds", r.MeanRunningTime());
+        table.AddRow({cell.label, axis, "batch", "-",
+                      util::Table::Num(r.MeanRunningTime(), 1),
+                      util::Table::Num(r.outage.OutageRate(), 5)});
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    bench::EmitTable("Scenario " + s.name + " (" + s.description + ")", table,
+                     csv);
+  }
+  w.EndArray();
+  const obs::MetricsSnapshot snapshot = obs::Registry::Global().Collect();
+  w.Key("metrics");
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& c : snapshot.counters) w.Member(c.name, c.value);
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& g : snapshot.gauges) w.Member(g.name, g.value);
+  w.EndObject();
+  w.EndObject();
+  w.EndObject();
+  if (!out.empty()) {
+    if (!bench::WriteFile(out, w.str() + "\n")) return 1;
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}

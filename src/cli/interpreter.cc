@@ -9,10 +9,7 @@
 #include "obs/exporter.h"
 #include "obs/metrics.h"
 #include "svc/admission_pipeline.h"
-#include "svc/first_fit.h"
-#include "svc/hetero_exact.h"
-#include "svc/hetero_heuristic.h"
-#include "svc/homogeneous_search.h"
+#include "svc/allocator_registry.h"
 #include "svc/snapshot.h"
 #include "util/strings.h"
 
@@ -54,23 +51,18 @@ bool ParseInt(const std::string& text, int64_t& value) {
 
 Interpreter::Interpreter(const topology::Topology& topo, double epsilon)
     : manager_(topo, epsilon) {
-  allocators_["svc-dp"] = std::make_unique<core::HomogeneousDpAllocator>();
-  allocators_["tivc-adapted"] =
-      std::make_unique<core::TivcAdaptedAllocator>();
-  allocators_["oktopus"] = std::make_unique<core::OktopusAllocator>();
-  allocators_["hetero-exact"] = std::make_unique<core::HeteroExactAllocator>();
-  allocators_["hetero-heuristic"] =
-      std::make_unique<core::HeteroHeuristicAllocator>();
-  allocators_["first-fit"] = std::make_unique<core::FirstFitAllocator>();
-  current_allocator_name_ = "svc-dp";
-  current_allocator_ = allocators_.at(current_allocator_name_).get();
+  SelectAllocator("svc-dp");
 }
 
 Interpreter::~Interpreter() = default;
 
 bool Interpreter::SelectAllocator(const std::string& name) {
   auto it = allocators_.find(name);
-  if (it == allocators_.end()) return false;
+  if (it == allocators_.end()) {
+    std::unique_ptr<core::Allocator> built = core::MakeAllocatorByName(name);
+    if (built == nullptr) return false;
+    it = allocators_.emplace(name, std::move(built)).first;
+  }
   current_allocator_ = it->second.get();
   current_allocator_name_ = name;
   return true;
@@ -451,6 +443,50 @@ bool Interpreter::CmdDrill(const std::vector<std::string>& args,
   return manager_.StateValid();
 }
 
+bool Interpreter::CmdDrain(const std::vector<std::string>& args,
+                           std::ostream& out) {
+  // drain <machine>: outage-free planned drain — cordon the machine and
+  // migrate its tenants off (backup switchover preferred).  The machine
+  // stays cordoned; `uncordon` reopens it, `fail machine` takes it down.
+  int64_t vertex = 0;
+  if (args.size() != 2 || !ParseInt(args[1], vertex)) {
+    out << "error: drain <machine>\n";
+    return false;
+  }
+  auto outcome = manager_.DrainMachine(
+      static_cast<topology::VertexId>(vertex), *current_allocator_);
+  if (!outcome) {
+    out << "drain " << vertex << ": " << outcome.status().ToText() << "\n";
+    return false;
+  }
+  int64_t stranded = 0;
+  for (const core::TenantOutcome& tenant : outcome->tenants) {
+    if (!tenant.recovered) ++stranded;
+  }
+  out << "drain " << vertex << ": " << outcome->tenants.size()
+      << " affected, " << outcome->recovered() << " migrated ("
+      << outcome->switched() << " via backup), " << stranded
+      << " stranded in place; machine cordoned\n";
+  return stranded == 0;
+}
+
+bool Interpreter::CmdUncordon(const std::vector<std::string>& args,
+                              std::ostream& out) {
+  int64_t vertex = 0;
+  if (args.size() != 2 || !ParseInt(args[1], vertex)) {
+    out << "error: uncordon <machine>\n";
+    return false;
+  }
+  const util::Status status =
+      manager_.UncordonMachine(static_cast<topology::VertexId>(vertex));
+  if (!status.ok()) {
+    out << "uncordon " << vertex << ": " << status.ToText() << "\n";
+    return false;
+  }
+  out << "uncordon " << vertex << ": open\n";
+  return true;
+}
+
 bool Interpreter::CmdRecover(const std::vector<std::string>& args,
                              std::ostream& out) {
   int64_t vertex = 0;
@@ -563,6 +599,8 @@ bool Interpreter::Execute(const std::string& line, std::ostream& out) {
   if (command == "metrics") return CmdMetrics(args, out);
   if (command == "fail") return CmdFail(args, out);
   if (command == "recover") return CmdRecover(args, out);
+  if (command == "drain") return CmdDrain(args, out);
+  if (command == "uncordon") return CmdUncordon(args, out);
   if (command == "drill") return CmdDrill(args, out);
   if (command == "faults") return CmdFaults(args, out);
   if (command == "health") return CmdHealth(args, out);

@@ -23,6 +23,10 @@
 //   fail machine 7                      # failure drill: take machine down
 //   fail link 3                         # drain the uplink of vertex 3
 //   recover 7                           # bring a failed element back
+//   drain 7                             # planned drain: cordon machine 7
+//                                       #   and migrate its tenants off
+//                                       #   (backup switchover preferred)
+//   uncordon 7                          # reopen a drained machine
 //   drill rack 2                        # correlated drill: fail every
 //                                       #   machine under the ToR, report
 //                                       #   switchover vs reactive vs
@@ -67,12 +71,18 @@ class Interpreter {
   // Runs a whole script; returns the number of failed lines.
   int Run(std::istream& in, std::ostream& out);
 
-  // Selects the allocator by name; returns false for unknown names.
-  // Known: svc-dp, tivc-adapted, oktopus, hetero-exact, hetero-heuristic,
-  // first-fit.
+  // Selects the allocator by name (core::MakeAllocatorByName — see
+  // svc/allocator_registry.h for the known names); returns false for
+  // unknown names.  Instances are built on first use and cached.
   bool SelectAllocator(const std::string& name);
 
   const core::NetworkManager& manager() const { return manager_; }
+  core::NetworkManager& manager() { return manager_; }
+  const std::string& allocator_name() const {
+    return current_allocator_name_;
+  }
+  const core::Allocator& allocator() const { return *current_allocator_; }
+  core::RecoveryPolicy recovery_policy() const { return recovery_policy_; }
 
  private:
   bool CmdAdmit(const std::vector<std::string>& args, std::ostream& out);
@@ -84,6 +94,8 @@ class Interpreter {
   bool CmdMetrics(const std::vector<std::string>& args, std::ostream& out);
   bool CmdFail(const std::vector<std::string>& args, std::ostream& out);
   bool CmdRecover(const std::vector<std::string>& args, std::ostream& out);
+  bool CmdDrain(const std::vector<std::string>& args, std::ostream& out);
+  bool CmdUncordon(const std::vector<std::string>& args, std::ostream& out);
   bool CmdDrill(const std::vector<std::string>& args, std::ostream& out);
   bool CmdFaults(const std::vector<std::string>& args, std::ostream& out);
   bool CmdHealth(const std::vector<std::string>& args, std::ostream& out);

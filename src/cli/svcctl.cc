@@ -7,9 +7,16 @@
 // Reads commands from stdin (or --script FILE), executes them against a
 // fresh datacenter, exits nonzero if any command failed.  See
 // cli/interpreter.h for the command language.
+//
+// With --connect SOCKET the same commands drive a running svcd instead of
+// a local in-process manager: each line is sent over the daemon's NDJSON
+// protocol and the response output is printed.  Exit codes: 2 when the
+// connection fails (daemon not running), 1 when any command failed, 0
+// otherwise.
 #include <fstream>
 #include <iostream>
 
+#include "cli/daemon.h"
 #include "cli/interpreter.h"
 #include "obs/decision_log.h"
 #include "obs/exporter.h"
@@ -31,9 +38,23 @@ int main(int argc, char** argv) {
                    "hetero-heuristic | first-fit");
   std::string& script =
       flags.String("script", "", "command file (default: stdin)");
+  std::string& connect = flags.String(
+      "connect", "",
+      "drive a running svcd over this UNIX socket instead of a local "
+      "manager (fabric flags are then the daemon's, not ours)");
   std::string& flight_dir = flags.String(
       "flight-dir", "", "arm the flight recorder to dump bundles here");
   flags.Parse(argc, argv);
+
+  if (!connect.empty()) {
+    if (script.empty()) return cli::RunClient(connect, std::cin, std::cout);
+    std::ifstream in(script);
+    if (!in) {
+      std::cerr << "cannot open script '" << script << "'\n";
+      return 2;
+    }
+    return cli::RunClient(connect, in, std::cout);
+  }
 
   // An interactive tool is never on a hot path, so collection is always on:
   // the `metrics`/`health`/`tail`/`explain` commands then reflect whatever

@@ -1,0 +1,44 @@
+#include "svc/allocator_registry.h"
+
+#include "svc/first_fit.h"
+#include "svc/hetero_exact.h"
+#include "svc/hetero_heuristic.h"
+#include "svc/homogeneous_search.h"
+
+namespace svc::core {
+
+std::unique_ptr<Allocator> MakeAllocatorByName(const std::string& name) {
+  if (name == "svc-dp") return std::make_unique<HomogeneousDpAllocator>();
+  if (name == "tivc-adapted") return std::make_unique<TivcAdaptedAllocator>();
+  if (name == "oktopus") return std::make_unique<OktopusAllocator>();
+  if (name == "global-minmax") {
+    return std::make_unique<HomogeneousSearchAllocator>(
+        HomogeneousSearchOptions{.optimize_occupancy = true,
+                                 .lowest_subtree_first = false},
+        "global-minmax");
+  }
+  if (name == "hetero-exact") return std::make_unique<HeteroExactAllocator>();
+  if (name == "hetero-heuristic") {
+    return std::make_unique<HeteroHeuristicAllocator>();
+  }
+  if (name == "first-fit") return std::make_unique<FirstFitAllocator>();
+  return nullptr;
+}
+
+const std::vector<std::string>& KnownAllocatorNames() {
+  static const std::vector<std::string> kNames = {
+      "svc-dp",       "tivc-adapted",     "oktopus",  "global-minmax",
+      "hetero-exact", "hetero-heuristic", "first-fit"};
+  return kNames;
+}
+
+std::string KnownAllocatorNamesText() {
+  std::string text;
+  for (const std::string& name : KnownAllocatorNames()) {
+    if (!text.empty()) text += " | ";
+    text += name;
+  }
+  return text;
+}
+
+}  // namespace svc::core

@@ -1,0 +1,32 @@
+// Allocator construction by name — the one mapping from config/CLI strings
+// to allocator instances, shared by the interpreter, the scenario layer,
+// and the daemon so a name means the same algorithm everywhere.
+//
+// Known names:
+//   svc-dp            the paper's Algorithm 1 (lowest subtree + min-max)
+//   tivc-adapted      lowest subtree, no occupancy optimization
+//   oktopus           deterministic Oktopus-style VC allocator
+//   global-minmax     min-max over the whole tree, locality rule disabled
+//   hetero-exact      exact heterogeneous placement (exponential, tiny jobs)
+//   hetero-heuristic  substring heterogeneous heuristic
+//   first-fit         plain first-fit baseline
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "svc/allocator.h"
+
+namespace svc::core {
+
+// Builds the named allocator; nullptr for unknown names.
+std::unique_ptr<Allocator> MakeAllocatorByName(const std::string& name);
+
+// Every name MakeAllocatorByName accepts, in display order.
+const std::vector<std::string>& KnownAllocatorNames();
+
+// "name | name | ..." for usage strings and error messages.
+std::string KnownAllocatorNamesText();
+
+}  // namespace svc::core

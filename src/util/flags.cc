@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <sstream>
 
@@ -75,8 +76,44 @@ bool FlagSet::SetFromText(Flag& flag, const std::string& text) {
 }
 
 void FlagSet::Parse(int argc, char** argv) {
+  // Expand @file response files into the token stream first, so the main
+  // loop below sees one flat argument list.
+  std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
+    const std::string arg = argv[i];
+    if (arg.size() < 2 || arg[0] != '@') {
+      args.push_back(arg);
+      continue;
+    }
+    const std::string path = arg.substr(1);
+    std::ifstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open response file '%s'\n%s", path.c_str(),
+                   Usage().c_str());
+      std::exit(2);
+    }
+    std::string line;
+    while (std::getline(file, line)) {
+      if (const size_t hash = line.find('#'); hash != std::string::npos) {
+        line.resize(hash);
+      }
+      std::istringstream tokens(line);
+      std::string token;
+      while (tokens >> token) {
+        if (token[0] == '@') {
+          std::fprintf(stderr,
+                       "response file '%s' may not include another response "
+                       "file ('%s')\n%s",
+                       path.c_str(), token.c_str(), Usage().c_str());
+          std::exit(2);
+        }
+        args.push_back(token);
+      }
+    }
+  }
+
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
     if (arg == "--help" || arg == "-h") {
       std::fprintf(stdout, "%s", Usage().c_str());
       std::exit(0);
@@ -107,12 +144,12 @@ void FlagSet::Parse(int argc, char** argv) {
         flag.bool_value = true;
         continue;
       }
-      if (i + 1 >= argc) {
+      if (i + 1 >= args.size()) {
         std::fprintf(stderr, "flag '--%s' requires a value\n%s", name.c_str(),
                      Usage().c_str());
         std::exit(2);
       }
-      value = argv[++i];
+      value = args[++i];
     }
     if (!SetFromText(flag, value)) {
       std::fprintf(stderr, "bad value '%s' for flag '--%s'\n%s", value.c_str(),

@@ -4,6 +4,16 @@
 // registered with a default and a description; unknown flags are an error so
 // typos in bench invocations fail loudly.
 //
+// An argument of the form `@path` is a response file: it is replaced by the
+// whitespace-separated tokens of that file (newlines included; `#` starts a
+// comment to end of line), so recurring flag bundles — a scenario override
+// set, a CI profile — live in one file and compose with inline flags:
+//
+//   scenario_run @ci/smoke.flags --scenario fig7
+//
+// Response files expand exactly one level (a token starting with '@' inside
+// a response file is an error, not a nested include).
+//
 //   util::FlagSet flags("fig5_oversubscription");
 //   int& jobs = flags.Int("jobs", 300, "number of tenant jobs");
 //   double& eps = flags.Double("epsilon", 0.05, "risk factor");

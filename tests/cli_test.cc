@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cli/daemon.h"
 #include "obs/decision_log.h"
 #include "topology/builders.h"
 
@@ -254,6 +255,44 @@ TEST_F(InterpreterTest, FaultCommandBadUsage) {
   EXPECT_FALSE(ok);
 }
 
+TEST_F(InterpreterTest, DrainMigratesAndUncordonReopens) {
+  bool ok = false;
+  Exec("admit 1 homogeneous 6 100 40", &ok);
+  ASSERT_TRUE(ok);
+  const topology::VertexId machine =
+      interpreter_.manager().placement_of(1)->vm_machine[0];
+
+  const std::string out = Exec("drain " + std::to_string(machine), &ok);
+  EXPECT_TRUE(ok) << out;
+  EXPECT_NE(out.find("migrated"), std::string::npos) << out;
+  EXPECT_NE(out.find("machine cordoned"), std::string::npos) << out;
+  // The tenant survived the drain; the machine is cordoned but not failed.
+  EXPECT_TRUE(interpreter_.manager().IsLive(1));
+  EXPECT_FALSE(interpreter_.manager().slots().machine_up(machine));
+  EXPECT_FALSE(interpreter_.manager().IsFailed(machine));
+  for (topology::VertexId vm :
+       interpreter_.manager().placement_of(1)->vm_machine) {
+    EXPECT_NE(vm, machine);
+  }
+
+  EXPECT_EQ(Exec("uncordon " + std::to_string(machine), &ok),
+            "uncordon " + std::to_string(machine) + ": open\n");
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(interpreter_.manager().slots().machine_up(machine));
+}
+
+TEST_F(InterpreterTest, DrainAndUncordonBadUsage) {
+  bool ok = true;
+  Exec("drain", &ok);
+  EXPECT_FALSE(ok);
+  Exec("drain notanumber", &ok);
+  EXPECT_FALSE(ok);
+  Exec("uncordon", &ok);
+  EXPECT_FALSE(ok);
+  Exec("uncordon 0", &ok);  // the root is not a machine
+  EXPECT_FALSE(ok);
+}
+
 // --- The introspection plane: health / tail / explain ---
 
 TEST_F(InterpreterTest, HealthTailExplainReportDecisionProvenance) {
@@ -317,6 +356,25 @@ TEST_F(InterpreterTest, TailNotesDisabledLoggingAndBadUsage) {
   EXPECT_FALSE(ok);
   Exec("health now", &ok);
   EXPECT_FALSE(ok);
+}
+
+// --- svcctl --connect (cli/daemon.h RunClient) ---
+
+TEST(SvcctlConnect, MissingDaemonExitsTwo) {
+  // The exit-code contract svcctl --connect relies on: a connection
+  // failure is 2, distinct from "a command failed" (1).
+  std::istringstream in("health\n");
+  std::ostringstream out;
+  EXPECT_EQ(RunClient(::testing::TempDir() + "cli_no_daemon.sock", in, out),
+            2);
+  EXPECT_NE(out.str().find("error: connect"), std::string::npos) << out.str();
+}
+
+TEST(SvcctlConnect, BadSocketPathExitsTwo) {
+  std::istringstream in("health\n");
+  std::ostringstream out;
+  EXPECT_EQ(RunClient("", in, out), 2);
+  EXPECT_EQ(RunClient(std::string(200, 'x'), in, out), 2);
 }
 
 }  // namespace

@@ -1,0 +1,280 @@
+// svcd daemon (cli/daemon.h): socket serving, the NDJSON protocol's error
+// handling, the RunClient exit-code contract, and the checkpoint/resume
+// drill — a daemon restarted from its checkpoint must make bit-identical
+// admission decisions to one that never stopped.
+#include "cli/daemon.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <thread>
+
+namespace svc::cli {
+namespace {
+
+std::string TempPath(const std::string& leaf) {
+  return ::testing::TempDir() + leaf;
+}
+
+// Serves a Daemon on its own thread and joins it on destruction.  Tests
+// end the serve loop either with a client "shutdown" command or Stop().
+class DaemonHarness {
+ public:
+  explicit DaemonHarness(DaemonConfig config)
+      : daemon_(std::move(config)),
+        thread_([this] { status_ = daemon_.Serve(); }) {}
+
+  ~DaemonHarness() {
+    daemon_.Stop();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  // True once the daemon accepts connections (bounded wait).
+  bool WaitReady(const std::string& socket_path) {
+    for (int attempt = 0; attempt < 500; ++attempt) {
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      std::strncpy(addr.sun_path, socket_path.c_str(),
+                   sizeof addr.sun_path - 1);
+      const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+      if (fd < 0) return false;
+      const bool up =
+          connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) ==
+          0;
+      close(fd);
+      if (up) return true;
+      usleep(10 * 1000);
+    }
+    return false;
+  }
+
+  util::Status Join() {
+    if (thread_.joinable()) thread_.join();
+    return status_;
+  }
+
+  Daemon& daemon() { return daemon_; }
+
+ private:
+  Daemon daemon_;
+  util::Status status_;
+  std::thread thread_;
+};
+
+// Drives the daemon with a command script; returns RunClient's exit code
+// and captures the printed output.
+int Drive(const std::string& socket_path, const std::string& script,
+          std::string* output) {
+  std::istringstream in(script);
+  std::ostringstream out;
+  const int code = RunClient(socket_path, in, out);
+  *output = out.str();
+  return code;
+}
+
+DaemonConfig BaseConfig(const std::string& socket_path,
+                        const std::string& checkpoint_path = "") {
+  const sim::Scenario* scenario = sim::FindScenario("daemon_default");
+  EXPECT_NE(scenario, nullptr);
+  DaemonConfig config;
+  config.scenario = *scenario;
+  config.socket_path = socket_path;
+  config.checkpoint_path = checkpoint_path;
+  config.checkpoint_every = 1;
+  return config;
+}
+
+TEST(RunClient, ConnectionFailureReturnsTwo) {
+  std::string output;
+  const int code =
+      Drive(TempPath("svcd_no_such.sock"), "health\n", &output);
+  EXPECT_EQ(code, 2);
+  EXPECT_NE(output.find("error: connect"), std::string::npos) << output;
+}
+
+TEST(RunClient, EmptySocketPathReturnsTwo) {
+  std::string output;
+  EXPECT_EQ(Drive("", "health\n", &output), 2);
+}
+
+TEST(Daemon, ServesCommandsAndReportsFailures) {
+  const std::string socket_path = TempPath("svcd_serve.sock");
+  DaemonHarness harness(BaseConfig(socket_path));
+  ASSERT_TRUE(harness.WaitReady(socket_path));
+
+  std::string output;
+  EXPECT_EQ(Drive(socket_path,
+                  "admit 1 homogeneous 6 100 50\n"
+                  "# a comment the client strips\n"
+                  "health\n",
+                  &output),
+            0);
+  EXPECT_NE(output.find("admit 1"), std::string::npos) << output;
+
+  // A failing interpreter command flips the exit code but keeps serving.
+  EXPECT_EQ(Drive(socket_path, "bogus-command\n", &output), 1);
+  EXPECT_EQ(Drive(socket_path, "health\n", &output), 0);
+
+  EXPECT_EQ(Drive(socket_path, "shutdown\n", &output), 0);
+  EXPECT_NE(output.find("shutting down"), std::string::npos);
+  EXPECT_TRUE(harness.Join().ok());
+  EXPECT_GE(harness.daemon().requests_served(), 5);
+}
+
+TEST(Daemon, MalformedRequestKeepsTheConnectionServing) {
+  const std::string socket_path = TempPath("svcd_malformed.sock");
+  DaemonHarness harness(BaseConfig(socket_path));
+  ASSERT_TRUE(harness.WaitReady(socket_path));
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr),
+            0);
+
+  auto ReadLine = [&]() {
+    std::string line;
+    char c;
+    while (read(fd, &c, 1) == 1 && c != '\n') line.push_back(c);
+    return line;
+  };
+  const std::string garbage = "this is not json\n";
+  ASSERT_EQ(write(fd, garbage.data(), garbage.size()),
+            static_cast<ssize_t>(garbage.size()));
+  EXPECT_NE(ReadLine().find("\"ok\":false"), std::string::npos);
+
+  const std::string missing_cmd = "{\"id\":7}\n";
+  ASSERT_EQ(write(fd, missing_cmd.data(), missing_cmd.size()),
+            static_cast<ssize_t>(missing_cmd.size()));
+  EXPECT_NE(ReadLine().find("\"ok\":false"), std::string::npos);
+
+  // The connection is still good: a valid request succeeds and echoes id.
+  const std::string valid = "{\"cmd\":\"health\",\"id\":9}\n";
+  ASSERT_EQ(write(fd, valid.data(), valid.size()),
+            static_cast<ssize_t>(valid.size()));
+  const std::string reply = ReadLine();
+  EXPECT_NE(reply.find("\"ok\":true"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("\"id\":9"), std::string::npos) << reply;
+  close(fd);
+}
+
+// The acceptance drill: admit 1..2, stop, resume from the checkpoint,
+// admit 3 — and separately admit 1..3 on a daemon that never stopped.
+// Tenant 3's placement (the full interpreter output) must be identical,
+// and the restored state must remember tenants 1..2.
+TEST(Daemon, ResumesFromCheckpointWithIdenticalDecisions) {
+  const std::string socket_path = TempPath("svcd_resume.sock");
+  const std::string resumed_ckpt = TempPath("svcd_resume.ckpt");
+  const std::string straight_ckpt = TempPath("svcd_straight.ckpt");
+  std::remove(resumed_ckpt.c_str());
+  std::remove(straight_ckpt.c_str());
+
+  const std::string first_two =
+      "admit 1 homogeneous 6 100 50\n"
+      "admit 2 homogeneous 8 200 120\n";
+  const std::string third = "admit 3 homogeneous 4 300 90\n";
+
+  std::string ignored;
+  {
+    DaemonHarness harness(BaseConfig(socket_path, resumed_ckpt));
+    ASSERT_TRUE(harness.WaitReady(socket_path));
+    ASSERT_EQ(Drive(socket_path, first_two + "shutdown\n", &ignored), 0);
+    EXPECT_TRUE(harness.Join().ok());
+  }
+
+  std::string resumed_third;
+  {
+    DaemonHarness harness(BaseConfig(socket_path, resumed_ckpt));
+    ASSERT_TRUE(harness.WaitReady(socket_path));
+    // Restored state remembers tenant 1: re-admitting it must fail.
+    EXPECT_EQ(Drive(socket_path, "admit 1 homogeneous 6 100 50\n", &ignored),
+              1);
+    ASSERT_EQ(Drive(socket_path, third, &resumed_third), 0);
+    ASSERT_EQ(Drive(socket_path, "shutdown\n", &ignored), 0);
+    EXPECT_TRUE(harness.Join().ok());
+  }
+
+  std::string straight_third;
+  {
+    DaemonHarness harness(BaseConfig(socket_path, straight_ckpt));
+    ASSERT_TRUE(harness.WaitReady(socket_path));
+    ASSERT_EQ(Drive(socket_path, first_two, &ignored), 0);
+    ASSERT_EQ(Drive(socket_path, third, &straight_third), 0);
+    ASSERT_EQ(Drive(socket_path, "shutdown\n", &ignored), 0);
+    EXPECT_TRUE(harness.Join().ok());
+  }
+
+  EXPECT_FALSE(resumed_third.empty());
+  EXPECT_EQ(resumed_third, straight_third);
+  std::remove(resumed_ckpt.c_str());
+  std::remove(straight_ckpt.c_str());
+}
+
+TEST(Daemon, CheckpointForDifferentScenarioIsRejected) {
+  const std::string socket_path = TempPath("svcd_mismatch.sock");
+  const std::string checkpoint = TempPath("svcd_mismatch.ckpt");
+  std::remove(checkpoint.c_str());
+
+  std::string ignored;
+  {
+    DaemonHarness harness(BaseConfig(socket_path, checkpoint));
+    ASSERT_TRUE(harness.WaitReady(socket_path));
+    ASSERT_EQ(Drive(socket_path,
+                    "admit 1 homogeneous 6 100 50\n"
+                    "shutdown\n",
+                    &ignored),
+              0);
+    EXPECT_TRUE(harness.Join().ok());
+  }
+
+  DaemonConfig other = BaseConfig(socket_path, checkpoint);
+  other.scenario.admission.epsilon = 0.25;  // different config hash
+  DaemonHarness harness(std::move(other));
+  const util::Status status = harness.Join();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("different scenario"), std::string::npos)
+      << status.ToText();
+  std::remove(checkpoint.c_str());
+}
+
+TEST(Daemon, EmptyScenarioNameFailsValidation) {
+  DaemonConfig config = BaseConfig(TempPath("svcd_invalid.sock"));
+  config.scenario.name.clear();
+  Daemon daemon(std::move(config));
+  EXPECT_FALSE(daemon.Serve().ok());
+}
+
+TEST(Daemon, ForcedCheckpointCommandWritesTheFile) {
+  const std::string socket_path = TempPath("svcd_force.sock");
+  const std::string checkpoint = TempPath("svcd_force.ckpt");
+  std::remove(checkpoint.c_str());
+  DaemonHarness harness(BaseConfig(socket_path, checkpoint));
+  ASSERT_TRUE(harness.WaitReady(socket_path));
+
+  std::string output;
+  ASSERT_EQ(Drive(socket_path, "checkpoint\n", &output), 0);
+  EXPECT_NE(output.find("checkpoint"), std::string::npos);
+  std::ifstream in(checkpoint);
+  EXPECT_TRUE(static_cast<bool>(in));
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("scenario_hash"), std::string::npos);
+
+  ASSERT_EQ(Drive(socket_path, "shutdown\n", &output), 0);
+  EXPECT_TRUE(harness.Join().ok());
+  std::remove(checkpoint.c_str());
+}
+
+}  // namespace
+}  // namespace svc::cli

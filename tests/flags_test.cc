@@ -4,8 +4,22 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+
 namespace svc::util {
 namespace {
+
+// Writes `text` to a unique temp file and returns its path; removed by the
+// caller via std::remove.
+std::string WriteTempFile(const std::string& tag, const std::string& text) {
+  std::string path =
+      ::testing::TempDir() + "svc_flags_" + tag + ".flags";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  return path;
+}
 
 TEST(FlagSet, DefaultsSurviveEmptyParse) {
   FlagSet flags("test");
@@ -64,6 +78,46 @@ TEST(FlagSet, UsageListsFlagsAndDefaults) {
   EXPECT_NE(usage.find("300"), std::string::npos);
   EXPECT_NE(usage.find("number of jobs"), std::string::npos);
   EXPECT_NE(usage.find("--epsilon"), std::string::npos);
+}
+
+TEST(FlagSet, ResponseFileExpandsTokens) {
+  const std::string path = WriteTempFile("basic",
+                                         "# a CI profile\n"
+                                         "--count 9\n"
+                                         "--ratio=1.25  # inline comment\n"
+                                         "--verbose\n");
+  FlagSet flags("test");
+  int64_t& count = flags.Int("count", 0, "");
+  double& ratio = flags.Double("ratio", 0, "");
+  bool& verbose = flags.Bool("verbose", false, "");
+  std::string at = "@" + path;
+  char prog[] = "prog";
+  char* argv[] = {prog, at.data()};
+  flags.Parse(2, argv);
+  std::remove(path.c_str());
+  EXPECT_EQ(count, 9);
+  EXPECT_DOUBLE_EQ(ratio, 1.25);
+  EXPECT_TRUE(verbose);
+}
+
+TEST(FlagSet, ResponseFileComposesWithInlineFlags) {
+  const std::string path = WriteTempFile("compose", "--count 3 --name filed\n");
+  FlagSet flags("test");
+  int64_t& count = flags.Int("count", 0, "");
+  std::string& name = flags.String("name", "", "");
+  bool& verbose = flags.Bool("verbose", false, "");
+  std::string at = "@" + path;
+  char prog[] = "prog";
+  char later[] = "--name";
+  char value[] = "inline";
+  char flag[] = "--verbose";
+  // Inline flags after the response file win (last assignment sticks).
+  char* argv[] = {prog, at.data(), later, value, flag};
+  flags.Parse(5, argv);
+  std::remove(path.c_str());
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(name, "inline");
+  EXPECT_TRUE(verbose);
 }
 
 TEST(FlagSet, NegativeNumbers) {

@@ -1,0 +1,285 @@
+// Declarative scenario layer (sim/scenario.h): canonical serialization
+// round-trips, every registry entry validates, the strict parser rejects
+// unknown keys, and RunScenario replays bit-identically — across repeated
+// runs (decision-stream identity) and across sweep thread counts
+// (result-level identity), which is what makes the figure benches safe as
+// thin shims.
+#include "sim/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/decision_log.h"
+
+namespace svc::sim {
+namespace {
+
+// Every deterministic field of two cells must match exactly; the one
+// wall-clock output (recovery_latency_us) is excluded by contract (see
+// sim/metrics.h).
+void ExpectCellsIdentical(const ScenarioCell& a, const ScenarioCell& b) {
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.axis_index, b.axis_index);
+  EXPECT_EQ(a.axis_value, b.axis_value);
+  ASSERT_EQ(a.online, b.online);
+  if (a.online) {
+    const OnlineResult& x = a.online_result;
+    const OnlineResult& y = b.online_result;
+    EXPECT_EQ(x.accepted, y.accepted);
+    EXPECT_EQ(x.rejected, y.rejected);
+    EXPECT_EQ(x.simulated_seconds, y.simulated_seconds);
+    EXPECT_EQ(x.outage.outage_link_seconds, y.outage.outage_link_seconds);
+    EXPECT_EQ(x.outage.busy_link_seconds, y.outage.busy_link_seconds);
+    EXPECT_EQ(x.placement_levels, y.placement_levels);
+    EXPECT_EQ(x.concurrency_samples, y.concurrency_samples);
+    EXPECT_EQ(x.max_occupancy_samples, y.max_occupancy_samples);
+    EXPECT_EQ(x.faults_injected, y.faults_injected);
+    EXPECT_EQ(x.tenants_affected, y.tenants_affected);
+    EXPECT_EQ(x.tenants_recovered, y.tenants_recovered);
+    EXPECT_EQ(x.tenants_evicted, y.tenants_evicted);
+    EXPECT_EQ(x.tenants_switched, y.tenants_switched);
+    ASSERT_EQ(x.jobs.size(), y.jobs.size());
+    for (size_t i = 0; i < x.jobs.size(); ++i) {
+      EXPECT_EQ(x.jobs[i].id, y.jobs[i].id);
+      EXPECT_EQ(x.jobs[i].arrival_time, y.jobs[i].arrival_time);
+      EXPECT_EQ(x.jobs[i].start_time, y.jobs[i].start_time);
+      EXPECT_EQ(x.jobs[i].finish_time, y.jobs[i].finish_time);
+    }
+  } else {
+    const BatchResult& x = a.batch;
+    const BatchResult& y = b.batch;
+    EXPECT_EQ(x.total_completion_time, y.total_completion_time);
+    EXPECT_EQ(x.unallocatable_jobs, y.unallocatable_jobs);
+    EXPECT_EQ(x.simulated_seconds, y.simulated_seconds);
+    EXPECT_EQ(x.placement_levels, y.placement_levels);
+    EXPECT_EQ(x.jobs.size(), y.jobs.size());
+  }
+}
+
+TEST(ScenarioSerialization, RoundTripIsIdenticalForEveryBuiltin) {
+  for (const std::string& name : RegisteredScenarioNames()) {
+    SCOPED_TRACE(name);
+    const Scenario* scenario = FindScenario(name);
+    ASSERT_NE(scenario, nullptr);
+    const std::string once = SerializeScenario(*scenario);
+    util::Result<Scenario> parsed = ParseScenario(once);
+    ASSERT_TRUE(parsed) << parsed.status().ToText();
+    const std::string twice = SerializeScenario(*parsed);
+    EXPECT_EQ(once, twice);
+    EXPECT_EQ(ScenarioConfigHash(*scenario), ScenarioConfigHash(*parsed));
+  }
+}
+
+TEST(ScenarioSerialization, EveryBuiltinValidates) {
+  ASSERT_FALSE(RegisteredScenarioNames().empty());
+  for (const std::string& name : RegisteredScenarioNames()) {
+    SCOPED_TRACE(name);
+    const Scenario* scenario = FindScenario(name);
+    ASSERT_NE(scenario, nullptr);
+    EXPECT_EQ(scenario->name, name);
+    const util::Status status = ValidateScenario(*scenario);
+    EXPECT_TRUE(status.ok()) << status.ToText();
+  }
+}
+
+TEST(ScenarioSerialization, DefaultScenarioRoundTrips) {
+  Scenario scenario;
+  scenario.name = "unit";
+  util::Result<Scenario> parsed = ParseScenario(SerializeScenario(scenario));
+  ASSERT_TRUE(parsed) << parsed.status().ToText();
+  EXPECT_EQ(SerializeScenario(scenario), SerializeScenario(*parsed));
+}
+
+TEST(ScenarioSerialization, UnknownTopLevelKeyIsRejected) {
+  Scenario scenario;
+  scenario.name = "unit";
+  std::string text = SerializeScenario(scenario);
+  ASSERT_EQ(text.front(), '{');
+  text.insert(1, "\"bogus_key\":1,");
+  util::Result<Scenario> parsed = ParseScenario(text);
+  ASSERT_FALSE(parsed);
+  EXPECT_NE(parsed.status().ToText().find("bogus_key"), std::string::npos)
+      << parsed.status().ToText();
+}
+
+TEST(ScenarioSerialization, UnknownNestedKeyIsRejected) {
+  Scenario scenario;
+  scenario.name = "unit";
+  std::string text = SerializeScenario(scenario);
+  const std::string anchor = "\"admission\":{";
+  const size_t pos = text.find(anchor);
+  ASSERT_NE(pos, std::string::npos);
+  text.insert(pos + anchor.size(), "\"mystery\":true,");
+  util::Result<Scenario> parsed = ParseScenario(text);
+  ASSERT_FALSE(parsed);
+  EXPECT_NE(parsed.status().ToText().find("mystery"), std::string::npos)
+      << parsed.status().ToText();
+}
+
+TEST(ScenarioSerialization, TypeMismatchIsRejected) {
+  util::Result<Scenario> parsed = ParseScenario("{\"seed\":\"not-a-number\"}");
+  EXPECT_FALSE(parsed);
+}
+
+TEST(ScenarioValidation, CatchesBadSweepParameter) {
+  const Scenario* fig7 = FindScenario("fig7");
+  ASSERT_NE(fig7, nullptr);
+  Scenario broken = *fig7;
+  broken.sweep.parameter = "voltage";
+  EXPECT_FALSE(ValidateScenario(broken).ok());
+}
+
+TEST(ScenarioAllocator, NameDerivesFromAbstraction) {
+  Scenario scenario;
+  EXPECT_EQ(ScenarioAllocatorName(scenario), "svc-dp");
+  scenario.admission.abstraction = "mean_vc";
+  EXPECT_EQ(ScenarioAllocatorName(scenario), "oktopus");
+  scenario.admission.allocator = "first-fit";
+  EXPECT_EQ(ScenarioAllocatorName(scenario), "first-fit");
+}
+
+// fig7 at a reduced job count: the sweep fans cells across threads, and the
+// per-cell results must not depend on the thread count (each cell rebuilds
+// topology/workload/engine from the scenario's fixed seeds).
+TEST(ScenarioRun, Fig7ResultsIdenticalAcrossThreadCounts) {
+  const Scenario* fig7 = FindScenario("fig7");
+  ASSERT_NE(fig7, nullptr);
+  Scenario reduced = *fig7;
+  reduced.workload.num_jobs = 48;
+
+  ScenarioRunOptions serial;
+  serial.threads = 1;
+  util::Result<ScenarioRunResult> a = RunScenario(reduced, serial);
+  ASSERT_TRUE(a) << a.status().ToText();
+
+  ScenarioRunOptions fanned;
+  fanned.threads = 4;
+  util::Result<ScenarioRunResult> b = RunScenario(reduced, fanned);
+  ASSERT_TRUE(b) << b.status().ToText();
+
+  ASSERT_EQ(a->cells.size(), b->cells.size());
+  ASSERT_FALSE(a->cells.empty());
+  for (size_t i = 0; i < a->cells.size(); ++i) {
+    SCOPED_TRACE(a->cells[i].label + " axis " +
+                 std::to_string(a->cells[i].axis_index));
+    ExpectCellsIdentical(a->cells[i], b->cells[i]);
+  }
+}
+
+// fig7 at a reduced job count replays its decision stream bit-identically:
+// two runs of the registry entry publish the same records in the same
+// order, modulo the wall-clock stamps (ts_ns, stage latencies, worker tid).
+TEST(ScenarioRun, Fig7DecisionStreamReplaysBitIdentically) {
+  const Scenario* fig7 = FindScenario("fig7");
+  ASSERT_NE(fig7, nullptr);
+  Scenario reduced = *fig7;
+  reduced.workload.num_jobs = 32;
+  // One sweep value keeps the stream well inside the ring window.
+  reduced.sweep.values.resize(1);
+
+  const bool was_enabled = obs::DecisionsEnabled();
+  obs::SetDecisionsEnabled(true);
+
+  ScenarioRunOptions serial;
+  serial.threads = 1;
+
+  obs::ClearDecisions();
+  util::Result<ScenarioRunResult> a = RunScenario(reduced, serial);
+  ASSERT_TRUE(a) << a.status().ToText();
+  const std::vector<obs::DecisionRecord> first = obs::CollectDecisions();
+
+  obs::ClearDecisions();
+  util::Result<ScenarioRunResult> b = RunScenario(reduced, serial);
+  ASSERT_TRUE(b) << b.status().ToText();
+  const std::vector<obs::DecisionRecord> second = obs::CollectDecisions();
+
+  obs::ClearDecisions();
+  obs::SetDecisionsEnabled(was_enabled);
+
+  ASSERT_FALSE(first.empty());
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    SCOPED_TRACE("record " + std::to_string(i));
+    const obs::DecisionRecord& x = first[i];
+    const obs::DecisionRecord& y = second[i];
+    EXPECT_EQ(x.tenant_id, y.tenant_id);
+    EXPECT_EQ(x.outcome, y.outcome);
+    EXPECT_EQ(x.path, y.path);
+    EXPECT_EQ(x.shard, y.shard);
+    EXPECT_EQ(x.epoch_delta, y.epoch_delta);
+    EXPECT_STREQ(x.allocator, y.allocator);
+    EXPECT_STREQ(x.reason, y.reason);
+    ASSERT_EQ(x.num_links, y.num_links);
+    for (int l = 0; l < x.num_links; ++l) {
+      EXPECT_EQ(x.links[l].link, y.links[l].link);
+      EXPECT_EQ(x.links[l].slack, y.links[l].slack);
+    }
+  }
+}
+
+TEST(ScenarioRun, FindCellLooksUpByLabelAndAxis) {
+  const Scenario* fig7 = FindScenario("fig7");
+  ASSERT_NE(fig7, nullptr);
+  Scenario reduced = *fig7;
+  reduced.workload.num_jobs = 24;
+  reduced.sweep.values.resize(1);
+  util::Result<ScenarioRunResult> result = RunScenario(reduced);
+  ASSERT_TRUE(result) << result.status().ToText();
+  ASSERT_FALSE(result->cells.empty());
+  const ScenarioCell& cell = result->cells.front();
+  EXPECT_EQ(FindCell(*result, cell.label, cell.axis_index), &cell);
+  EXPECT_EQ(FindCell(*result, "no-such-variant", 0), nullptr);
+}
+
+TEST(ShapeArrivals, BatchAndPoissonAreNoOps) {
+  std::vector<workload::JobSpec> jobs(4);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].id = static_cast<int64_t>(i + 1);
+    jobs[i].arrival_time = 100.0 * static_cast<double>(i);
+  }
+  std::vector<workload::JobSpec> original = jobs;
+
+  ArrivalConfig arrivals;
+  arrivals.mode = "batch";
+  ShapeArrivals(arrivals, &jobs);
+  arrivals.mode = "poisson";
+  ShapeArrivals(arrivals, &jobs);
+  ASSERT_EQ(jobs.size(), original.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].id, original[i].id);
+    EXPECT_EQ(jobs[i].arrival_time, original[i].arrival_time);
+  }
+}
+
+TEST(ShapeArrivals, WarpsPreserveOrderPayloadAndDeterminism) {
+  for (const char* mode : {"flash_crowd", "diurnal"}) {
+    SCOPED_TRACE(mode);
+    std::vector<workload::JobSpec> jobs(16);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      jobs[i].id = static_cast<int64_t>(i + 1);
+      jobs[i].arrival_time = 250.0 * static_cast<double>(i);
+    }
+    ArrivalConfig arrivals;
+    arrivals.mode = mode;
+
+    std::vector<workload::JobSpec> warped = jobs;
+    ShapeArrivals(arrivals, &warped);
+    std::vector<workload::JobSpec> again = jobs;
+    ShapeArrivals(arrivals, &again);
+
+    ASSERT_EQ(warped.size(), jobs.size());
+    for (size_t i = 0; i < warped.size(); ++i) {
+      EXPECT_EQ(warped[i].id, jobs[i].id);  // payload/order preserved
+      EXPECT_EQ(warped[i].arrival_time, again[i].arrival_time);  // pure
+      if (i > 0) {
+        EXPECT_GE(warped[i].arrival_time, warped[i - 1].arrival_time);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace svc::sim

@@ -145,6 +145,27 @@ def main():
     # only comparable between machines with the same package/node/core
     # shape.  A shape mismatch is a warning, not a failure: diffing across
     # hosts is sometimes exactly what the user wants to do.
+    # Snapshots are only apples-to-apples when they measured the same
+    # scenario configuration (fabric, workload, seed, epsilon).  A config
+    # hash mismatch is a warning, not a failure, for the same reason as
+    # the host-topology mismatch below.
+    b_scn = before.get("scenario")
+    a_scn = after.get("scenario")
+    if (
+        b_scn
+        and a_scn
+        and b_scn.get("config_hash") != a_scn.get("config_hash")
+    ):
+        print(
+            "WARNING: scenario config differs between snapshots "
+            f"(before: {b_scn.get('name', '?')}"
+            f"@{b_scn.get('config_hash', '?')}, "
+            f"after: {a_scn.get('name', '?')}"
+            f"@{a_scn.get('config_hash', '?')}); "
+            "deltas may reflect the workload, not the change",
+            file=sys.stderr,
+        )
+
     b_topo = before.get("topology")
     a_topo = after.get("topology")
     if b_topo and a_topo and b_topo != a_topo:
